@@ -1,0 +1,468 @@
+(* The depsurf command-line tool: generate the study dataset and query it.
+
+     depsurf surface --version 5.4            dependency surface counts
+     depsurf func --name vfs_fsync            one function's status history
+     depsurf diff --from 4.4 --to 5.4         declaration diff summary
+     depsurf report --tool biotop             Figure-4 style mismatch matrix
+     depsurf corpus                           measured Table 7 summary
+
+   All commands accept --seed and --scale (test or bench). *)
+
+open Cmdliner
+open Depsurf
+open Ds_ksrc
+
+let version_conv =
+  let parse s =
+    match String.split_on_char '.' s with
+    | [ a; b ] -> (
+        match int_of_string_opt a, int_of_string_opt b with
+        | Some major, Some minor ->
+            let v = Version.v major minor in
+            if List.exists (Version.equal v) Version.all then Ok v
+            else Error (`Msg ("not in the study: " ^ s))
+        | _ -> Error (`Msg ("bad version: " ^ s)))
+    | _ -> Error (`Msg ("bad version: " ^ s))
+  in
+  let print fmt v = Format.pp_print_string fmt (Version.to_string v) in
+  Arg.conv (parse, print)
+
+let arch_conv =
+  let parse s =
+    match List.find_opt (fun a -> Config.arch_to_string a = s) Config.arches with
+    | Some a -> Ok a
+    | None -> Error (`Msg ("unknown arch: " ^ s))
+  in
+  Arg.conv (parse, fun fmt a -> Format.pp_print_string fmt (Config.arch_to_string a))
+
+let flavor_conv =
+  let parse s =
+    match List.find_opt (fun f -> Config.flavor_to_string f = s) Config.flavors with
+    | Some f -> Ok f
+    | None -> Error (`Msg ("unknown flavor: " ^ s))
+  in
+  Arg.conv (parse, fun fmt f -> Format.pp_print_string fmt (Config.flavor_to_string f))
+
+let seed_arg =
+  Arg.(value & opt int64 Pipeline.default_seed & info [ "seed" ] ~doc:"History seed.")
+
+let scale_conv =
+  Arg.conv
+    ( (function
+      | "test" -> Ok Calibration.test_scale
+      | "bench" -> Ok Calibration.bench_scale
+      | s -> Error (`Msg ("unknown scale: " ^ s))),
+      fun fmt _ -> Format.pp_print_string fmt "<scale>" )
+
+let scale_arg =
+  Arg.(value & opt scale_conv Calibration.test_scale
+       & info [ "scale" ] ~doc:"Kernel population scale: test or bench.")
+
+let version_arg =
+  Arg.(value & opt version_conv (Version.v 5 4) & info [ "kernel"; "k" ] ~doc:"Kernel version, e.g. 5.4.")
+
+let arch_arg = Arg.(value & opt arch_conv Config.X86 & info [ "arch" ] ~doc:"Architecture.")
+let flavor_arg =
+  Arg.(value & opt flavor_conv Config.Generic & info [ "flavor" ] ~doc:"Configuration flavor.")
+
+let mk_ds seed scale = Dataset.build ~seed scale
+
+(* ---- surface ------------------------------------------------------- *)
+
+let surface_cmd =
+  let run seed scale v arch flavor =
+    let ds = mk_ds seed scale in
+    let s = Dataset.surface ds v Config.{ arch; flavor } in
+    let f, st, tp, sc = Surface.counts s in
+    Printf.printf "%s (gcc %d.%d)\n" (Surface.tag s) (fst s.Surface.s_gcc) (snd s.Surface.s_gcc);
+    Printf.printf "  functions:   %d\n  structs:     %d\n  tracepoints: %d\n  syscalls:    %d\n"
+      f st tp sc;
+    let ic = Func_status.inline_census s in
+    Printf.printf "  fully inlined: %.1f%%  selectively inlined: %.1f%%\n"
+      (Ds_util.Stats.percent ic.Func_status.ic_full ic.Func_status.ic_total)
+      (Ds_util.Stats.percent ic.Func_status.ic_selective ic.Func_status.ic_total);
+    let tc = Func_status.transform_census s in
+    Printf.printf "  transformed: %.1f%%\n"
+      (Ds_util.Stats.percent tc.Func_status.tc_any tc.Func_status.tc_total)
+  in
+  Cmd.v (Cmd.info "surface" ~doc:"Show a kernel image's dependency surface.")
+    Term.(const run $ seed_arg $ scale_arg $ version_arg $ arch_arg $ flavor_arg)
+
+(* ---- func ---------------------------------------------------------- *)
+
+let func_cmd =
+  let name_arg =
+    Arg.(required & opt (some string) None & info [ "name"; "n" ] ~doc:"Function name.")
+  in
+  let run seed scale name =
+    let ds = mk_ds seed scale in
+    List.iter
+      (fun v ->
+        let s = Dataset.surface ds v Config.x86_generic in
+        match Surface.find_func s name with
+        | None -> Printf.printf "%-8s absent\n" (Version.to_string v)
+        | Some fe ->
+            let status =
+              match Func_status.inline_status fe with
+              | Func_status.Fully_inlined -> "fully inlined"
+              | Func_status.Selectively_inlined -> "selectively inlined"
+              | Func_status.Not_inlined ->
+                  if fe.Surface.fe_symbols <> [] then "attachable" else "no symbol"
+            in
+            let proto = Surface.representative_proto fe in
+            Printf.printf "%-8s %-20s %s\n" (Version.to_string v) status
+              (Ds_ctypes.Ctype.proto_to_string ~name proto))
+      Version.all
+  in
+  Cmd.v (Cmd.info "func" ~doc:"Trace one kernel function across all versions.")
+    Term.(const run $ seed_arg $ scale_arg $ name_arg)
+
+(* ---- diff ---------------------------------------------------------- *)
+
+let diff_cmd =
+  let from_arg =
+    Arg.(value & opt version_conv (Version.v 4 4) & info [ "from" ] ~doc:"Old version.")
+  in
+  let to_arg =
+    Arg.(value & opt version_conv (Version.v 5 4) & info [ "to" ] ~doc:"New version.")
+  in
+  let run seed scale vfrom vto =
+    let ds = mk_ds seed scale in
+    let a = Dataset.surface ds vfrom Config.x86_generic in
+    let b = Dataset.surface ds vto Config.x86_generic in
+    let d = Diff.compare_surfaces Diff.Across_versions a b in
+    let pr : 'c. string -> 'c Diff.item_diff -> int -> unit =
+     fun name id total ->
+      Printf.printf "%-12s %5d -> added %d (%.0f%%), removed %d (%.0f%%), changed %d (%.0f%%)\n"
+        name total (List.length id.Diff.d_added)
+        (Ds_util.Stats.percent (List.length id.Diff.d_added) total)
+        (List.length id.Diff.d_removed)
+        (Ds_util.Stats.percent (List.length id.Diff.d_removed) total)
+        (List.length id.Diff.d_changed)
+        (Ds_util.Stats.percent (List.length id.Diff.d_changed) total)
+    in
+    let f, st, tp, _ = Surface.counts a in
+    Printf.printf "%s -> %s\n" (Surface.tag a) (Surface.tag b);
+    pr "functions" d.Diff.df_funcs f;
+    pr "structs" d.Diff.df_structs st;
+    pr "tracepoints" d.Diff.df_tracepoints tp;
+    print_endline "\nsample function changes:";
+    List.iteri
+      (fun i (name, cs) ->
+        if i < 8 then
+          Printf.printf "  %-32s %s\n" name
+            (String.concat "; " (List.map Diff.describe_func_change cs)))
+      d.Diff.df_funcs.Diff.d_changed
+  in
+  Cmd.v (Cmd.info "diff" ~doc:"Diff two kernel versions' dependency surfaces.")
+    Term.(const run $ seed_arg $ scale_arg $ from_arg $ to_arg)
+
+(* ---- report -------------------------------------------------------- *)
+
+let report_cmd =
+  let tool_arg =
+    Arg.(required & opt (some string) None & info [ "tool"; "t" ] ~doc:"Corpus tool name (Table 7).")
+  in
+  let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.") in
+  let run seed scale tool json =
+    let ds = mk_ds seed scale in
+    match Ds_corpus.Table7.find tool with
+    | None ->
+        Printf.eprintf "unknown tool %s; pick one of: %s\n" tool
+          (String.concat ", "
+             (List.map (fun (p : Ds_corpus.Table7.profile) -> p.pr_name) Ds_corpus.Table7.programs));
+        exit 1
+    | Some _ ->
+        let built = Ds_corpus.Corpus.build_all ds () in
+        let _, obj =
+          List.find (fun ((p : Ds_corpus.Table7.profile), _) -> p.pr_name = tool) built
+        in
+        let m = Pipeline.analyze ds obj in
+        if json then print_endline (Ds_util.Json.to_string (Export.matrix m))
+        else print_string (Report.render_matrix m)
+  in
+  Cmd.v (Cmd.info "report" ~doc:"Figure-4 style mismatch matrix for a corpus tool.")
+    Term.(const run $ seed_arg $ scale_arg $ tool_arg $ json_arg)
+
+(* ---- dump ---------------------------------------------------------- *)
+
+let dump_cmd =
+  let tool_arg =
+    Arg.(required & opt (some string) None & info [ "tool"; "t" ] ~doc:"Corpus tool name.")
+  in
+  let run seed scale tool =
+    let ds = mk_ds seed scale in
+    match Ds_corpus.Table7.find tool with
+    | None ->
+        Printf.eprintf "unknown tool %s\n" tool;
+        exit 1
+    | Some _ ->
+        let built = Ds_corpus.Corpus.build_all ds () in
+        let _, obj =
+          List.find (fun ((p : Ds_corpus.Table7.profile), _) -> p.pr_name = tool) built
+        in
+        print_string (Ds_bpf.Disasm.obj obj)
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Disassemble a corpus tool's object (bpftool prog dump style).")
+    Term.(const run $ seed_arg $ scale_arg $ tool_arg)
+
+(* ---- export -------------------------------------------------------- *)
+
+let export_cmd =
+  let name_arg =
+    Arg.(value & opt (some string) None
+         & info [ "func" ] ~doc:"Export one function's status instead of the whole surface.")
+  in
+  let run seed scale v arch flavor name =
+    let ds = mk_ds seed scale in
+    let s = Dataset.surface ds v Config.{ arch; flavor } in
+    match name with
+    | Some fn -> (
+        match Surface.find_func s fn with
+        | Some fe -> print_endline (Ds_util.Json.to_string (Export.func_status fe))
+        | None ->
+            Printf.eprintf "no function %s on %s\n" fn (Surface.tag s);
+            exit 1)
+    | None -> print_endline (Ds_util.Json.to_string (Export.surface s))
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Export surface data as JSON in the DepSurf-dataset format (artifact appendix).")
+    Term.(const run $ seed_arg $ scale_arg $ version_arg $ arch_arg $ flavor_arg $ name_arg)
+
+(* ---- vmlinux-h ------------------------------------------------------ *)
+
+let vmlinux_h_cmd =
+  let run seed scale v arch flavor =
+    let ds = mk_ds seed scale in
+    let k = Dataset.vmlinux ds v Config.{ arch; flavor } in
+    print_string (Ds_btf.Btf_dump.vmlinux_h k.Ds_bpf.Vmlinux.v_btf)
+  in
+  Cmd.v
+    (Cmd.info "vmlinux-h"
+       ~doc:"Render the image's BTF as a vmlinux.h header (bpftool btf dump format c).")
+    Term.(const run $ seed_arg $ scale_arg $ version_arg $ arch_arg $ flavor_arg)
+
+(* ---- probe --------------------------------------------------------- *)
+
+let probe_cmd =
+  let name_arg =
+    Arg.(required & opt (some string) None
+         & info [ "name"; "n" ] ~doc:"Stable probe name (e.g. block:io_start).")
+  in
+  let run seed scale name =
+    let ds = mk_ds seed scale in
+    match Compat.find_probe name with
+    | None ->
+        Printf.eprintf "unknown probe %s; registry has: %s\n" name
+          (String.concat ", " (List.map (fun p -> p.Compat.pb_name) Compat.default_registry));
+        exit 1
+    | Some probe ->
+        Printf.printf "%s -- %s\n" probe.Compat.pb_name probe.Compat.pb_doc;
+        List.iter
+          (fun (label, res) ->
+            match res.Compat.rs_hook with
+            | Some hook -> Printf.printf "  %-24s -> %s\n" label (Ds_bpf.Hook.to_string hook)
+            | None -> Printf.printf "  %-24s -> UNRESOLVED\n" label)
+          (Compat.coverage probe ds
+             (List.map (fun v -> (v, Config.x86_generic)) Version.all))
+  in
+  Cmd.v
+    (Cmd.info "probe"
+       ~doc:"Resolve a stable probe (compatibility layer, paper §6) across kernel versions.")
+    Term.(const run $ seed_arg $ scale_arg $ name_arg)
+
+(* ---- file-based workflows ------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+let export_dataset_cmd =
+  let dir_arg =
+    Arg.(value & opt string "dataset" & info [ "dir" ] ~doc:"Output directory.")
+  in
+  let run seed scale dir =
+    let ds = mk_ds seed scale in
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    List.iter
+      (fun (v, cfg) ->
+        let s = Dataset.surface ds v cfg in
+        let name =
+          Printf.sprintf "%s/%d.%d-%s-%s.json" dir v.Version.major v.Version.minor
+            (Config.arch_to_string cfg.Config.arch)
+            (Config.flavor_to_string cfg.Config.flavor)
+        in
+        write_file name (Ds_util.Json.to_string (Export.surface s));
+        Printf.printf "wrote %s\n" name)
+      Dataset.study_images
+  in
+  Cmd.v
+    (Cmd.info "export-dataset"
+       ~doc:"Write every study surface as JSON (the public DepSurf-dataset layout).")
+    Term.(const run $ seed_arg $ scale_arg $ dir_arg)
+
+let gen_images_cmd =
+  let dir_arg =
+    Arg.(value & opt string "images" & info [ "dir" ] ~doc:"Output directory for vmlinux files.")
+  in
+  let run seed scale dir =
+    let ds = mk_ds seed scale in
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    List.iter
+      (fun (v, cfg) ->
+        let name =
+          Printf.sprintf "%s/vmlinux-%d.%d-%s-%s" dir v.Version.major v.Version.minor
+            (Config.arch_to_string cfg.Config.arch)
+            (Config.flavor_to_string cfg.Config.flavor)
+        in
+        write_file name (Ds_elf.Elf.write (Dataset.image ds v cfg));
+        Printf.printf "wrote %s\n" name)
+      Dataset.study_images
+  in
+  Cmd.v
+    (Cmd.info "gen-images" ~doc:"Write the 25 study vmlinux images to disk.")
+    Term.(const run $ seed_arg $ scale_arg $ dir_arg)
+
+let mkobj_cmd =
+  let tool_arg =
+    Arg.(required & opt (some string) None & info [ "tool"; "t" ] ~doc:"Corpus tool name.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~doc:"Output path (default TOOL.bpf.o).")
+  in
+  let run seed scale tool out =
+    let ds = mk_ds seed scale in
+    match Ds_corpus.Table7.find tool with
+    | None ->
+        Printf.eprintf "unknown tool %s\n" tool;
+        exit 1
+    | Some _ ->
+        let built = Ds_corpus.Corpus.build_all ds () in
+        let _, obj =
+          List.find (fun ((p : Ds_corpus.Table7.profile), _) -> p.pr_name = tool) built
+        in
+        let path = Option.value ~default:(tool ^ ".bpf.o") out in
+        write_file path (Ds_bpf.Obj.write obj);
+        Printf.printf "wrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "mkobj" ~doc:"Write a corpus tool's eBPF object file to disk.")
+    Term.(const run $ seed_arg $ scale_arg $ tool_arg $ out_arg)
+
+let analyze_cmd =
+  let obj_arg =
+    Arg.(required & opt (some string) None & info [ "obj" ] ~doc:"Path to an eBPF object file.")
+  in
+  let image_dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "images" ] ~doc:"Directory of vmlinux files (from gen-images); default: the \
+                                   in-memory study dataset.")
+  in
+  let dataset_dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "dataset" ]
+             ~doc:"Directory of surface JSON files (from export-dataset): analyze without any \
+                   kernel images.")
+  in
+  let run seed scale obj_path image_dir dataset_dir =
+    let obj =
+      try Ds_bpf.Obj.read (read_file obj_path)
+      with Ds_bpf.Obj.Bad_obj m | Sys_error m ->
+        Printf.eprintf "cannot read %s: %s\n" obj_path m;
+        exit 1
+    in
+    let analyze_surfaces surfaces =
+      match surfaces with
+      | [] ->
+          prerr_endline "no surfaces found";
+          exit 1
+      | baseline :: _ ->
+          let deps = Depset.of_obj obj in
+          List.iter
+            (fun target ->
+              let cells =
+                List.map
+                  (fun dep ->
+                    Report.status_letter (Report.worst (Report.statuses ~baseline ~target dep)))
+                  deps
+              in
+              Printf.printf "%-24s %s\n" (Surface.tag target) (String.concat " " cells))
+            surfaces;
+          Printf.printf "deps: %s\n" (String.concat ", " (List.map Depset.dep_to_string deps))
+    in
+    match image_dir, dataset_dir with
+    | None, Some dir ->
+        let entries = Sys.readdir dir in
+        Array.sort compare entries;
+        Array.to_list entries
+        |> List.filter (fun f -> Filename.check_suffix f ".json")
+        |> List.map (fun f -> Import.surface_of_string (read_file (Filename.concat dir f)))
+        |> analyze_surfaces
+    | None, None ->
+        let ds = mk_ds seed scale in
+        print_string (Report.render_matrix (Pipeline.analyze ds obj))
+    | Some dir, _ ->
+        (* file-based: extract each surface from the on-disk image bytes *)
+        let entries = Sys.readdir dir in
+        Array.sort compare entries;
+        let surfaces =
+          Array.to_list entries
+          |> List.filter (fun f -> String.length f > 8 && String.sub f 0 8 = "vmlinux-")
+          |> List.map (fun f -> Surface.extract (Ds_elf.Elf.read (read_file (Filename.concat dir f))))
+        in
+        analyze_surfaces surfaces
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Analyze an on-disk eBPF object against kernel images.")
+    Term.(const run $ seed_arg $ scale_arg $ obj_arg $ image_dir_arg $ dataset_dir_arg)
+
+(* ---- corpus -------------------------------------------------------- *)
+
+let corpus_cmd =
+  let run seed scale =
+    let ds = mk_ds seed scale in
+    let built = Ds_corpus.Corpus.build_all ds () in
+    let results = Ds_corpus.Corpus.analyze_all ds built in
+    let impacted = List.filter (fun (_, s) -> not (Report.clean s)) results in
+    List.iter
+      (fun ((pr : Ds_corpus.Table7.profile), s) ->
+        Printf.printf "%-12s %s\n" pr.pr_name
+          (if Report.clean s then "clean"
+           else
+             Printf.sprintf
+               "absent fn:%d st:%d fld:%d tp:%d sc:%d | changed fn:%d fld:%d tp:%d | F:%d S:%d T:%d D:%d"
+               s.Report.ms_absent.Depset.n_funcs s.Report.ms_absent.Depset.n_structs
+               s.Report.ms_absent.Depset.n_fields s.Report.ms_absent.Depset.n_tracepoints
+               s.Report.ms_absent.Depset.n_syscalls s.Report.ms_changed.Depset.n_funcs
+               s.Report.ms_changed.Depset.n_fields s.Report.ms_changed.Depset.n_tracepoints
+               s.Report.ms_full_inline s.Report.ms_selective_inline s.Report.ms_transformed
+               s.Report.ms_duplicated))
+      results;
+    Printf.printf "\n%d/%d programs impacted (%.0f%%; paper: 83%%)\n" (List.length impacted)
+      (List.length results)
+      (Ds_util.Stats.percent (List.length impacted) (List.length results))
+  in
+  Cmd.v (Cmd.info "corpus" ~doc:"Analyze all 53 Table-7 programs.")
+    Term.(const run $ seed_arg $ scale_arg)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "depsurf" ~version:"1.0.0"
+             ~doc:"Dependency-surface analysis for eBPF programs (EuroSys '25 reproduction).")
+          ~default
+          [ surface_cmd; func_cmd; diff_cmd; report_cmd; corpus_cmd; dump_cmd; export_cmd;
+             probe_cmd; vmlinux_h_cmd; gen_images_cmd; mkobj_cmd; analyze_cmd;
+             export_dataset_cmd ]))

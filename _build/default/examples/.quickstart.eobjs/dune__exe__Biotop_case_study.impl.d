@@ -1,0 +1,1 @@
+examples/biotop_case_study.ml: Calibration Config Dataset Depsurf Ds_bpf Ds_ksrc Format Func_status Hook List Loader Pipeline Printf Progbuild Report Runtime String Surface Version

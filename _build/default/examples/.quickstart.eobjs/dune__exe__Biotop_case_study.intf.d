@@ -1,0 +1,1 @@
+examples/biotop_case_study.mli:

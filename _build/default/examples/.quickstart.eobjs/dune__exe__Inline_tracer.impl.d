@@ -1,0 +1,1 @@
+examples/inline_tracer.ml: Calibration Config Dataset Depsurf Ds_bpf Ds_kcc Ds_ksrc Hook List Loader Pipeline Printf Progbuild Surface Version

@@ -1,0 +1,1 @@
+examples/inline_tracer.mli:

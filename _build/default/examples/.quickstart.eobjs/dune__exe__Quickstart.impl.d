@@ -1,0 +1,1 @@
+examples/quickstart.ml: Calibration Config Dataset Depset Depsurf Diff Ds_bpf Ds_ksrc List Pipeline Printf Report Surface Version

@@ -1,0 +1,1 @@
+examples/readahead_fix.ml: Calibration Config Dataset Depsurf Ds_bpf Ds_ksrc Func_status Hook Insn List Loader Pipeline Printf Progbuild Report Surface Version

@@ -1,0 +1,1 @@
+examples/readahead_fix.mli:

@@ -1,0 +1,1 @@
+examples/stable_probes.ml: Calibration Compat Config Dataset Depsurf Ds_bpf Ds_ksrc Hook List Loader Maps Option Pipeline Printf Runtime String Version

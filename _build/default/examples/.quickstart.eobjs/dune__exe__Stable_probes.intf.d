@@ -1,0 +1,1 @@
+examples/stable_probes.mli:

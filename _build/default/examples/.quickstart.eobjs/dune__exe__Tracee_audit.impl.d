@@ -1,0 +1,1 @@
+examples/tracee_audit.ml: Calibration Config Dataset Depset Depsurf Ds_corpus Ds_ksrc List Pipeline Printf Report String Surface Version

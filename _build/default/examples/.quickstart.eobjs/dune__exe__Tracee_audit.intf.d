@@ -1,0 +1,1 @@
+examples/tracee_audit.mli:

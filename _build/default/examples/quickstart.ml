@@ -1,0 +1,67 @@
+(* Quickstart: the whole DepSurf pipeline in one page.
+
+   1. Generate the synthetic kernel history and compile two images.
+   2. Extract their dependency surfaces and diff them.
+   3. "Compile" a small eBPF tool, extract its dependency set, and report
+      its mismatches across kernel versions.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Depsurf
+open Ds_ksrc
+
+let () =
+  print_endline "== DepSurf quickstart ==\n";
+  (* A small-scale dataset keeps this instant; Calibration.bench_scale is
+     what the benchmark harness uses. *)
+  let ds = Pipeline.dataset Calibration.test_scale in
+
+  (* --- dependency surfaces --------------------------------------- *)
+  let s44 = Dataset.surface ds (Version.v 4 4) Config.x86_generic in
+  let s54 = Dataset.surface ds (Version.v 5 4) Config.x86_generic in
+  let pr_counts s =
+    let f, st, tp, sc = Surface.counts s in
+    Printf.printf "%-14s %5d funcs  %4d structs  %3d tracepoints  %3d syscalls\n"
+      (Surface.tag s) f st tp sc
+  in
+  pr_counts s44;
+  pr_counts s54;
+
+  (* --- diffing ----------------------------------------------------- *)
+  let d = Diff.summary Diff.Across_versions s44 s54 in
+  Printf.printf
+    "\nv4.4 -> v5.4: functions +%.0f%% -%.0f%% changed %.0f%% | structs +%.0f%% -%.0f%% \
+     changed %.0f%%\n"
+    d.Diff.sum_funcs.Diff.t_added_pct d.Diff.sum_funcs.Diff.t_removed_pct
+    d.Diff.sum_funcs.Diff.t_changed_pct d.Diff.sum_structs.Diff.t_added_pct
+    d.Diff.sum_structs.Diff.t_removed_pct d.Diff.sum_structs.Diff.t_changed_pct;
+
+  (* --- a little tool ------------------------------------------------ *)
+  let obj =
+    Pipeline.build_program ds
+      Ds_bpf.Progbuild.
+        {
+          sp_tool = "unlink_snoop";
+          sp_hooks =
+            [
+              {
+                hs_hook = Ds_bpf.Hook.Kprobe "do_unlinkat";
+                hs_arg_indices = [ 1 ]; hs_kfuncs = [];
+                hs_reads =
+                  [ { rd_struct = "filename"; rd_path = [ "name" ]; rd_exists_check = false } ];
+              };
+            ];
+        }
+  in
+  print_endline "\ndependency set of unlink_snoop:";
+  List.iter
+    (fun dep -> Printf.printf "  %s\n" (Depset.dep_to_string dep))
+    (Depset.of_obj obj);
+
+  (* --- the mismatch report ------------------------------------------ *)
+  let images = List.map (fun v -> (v, Config.x86_generic)) Version.all in
+  let m = Pipeline.analyze ds ~images obj in
+  print_endline "";
+  print_string (Report.render_matrix m);
+  let s = Report.summarize m in
+  Printf.printf "\nmismatch-free? %b\n" (Report.clean s)

@@ -1,0 +1,125 @@
+(* Diagnosing and fixing readahead (paper §3.3, Figure 4-right, and the
+   real fix in iovisor/bcc#5086): follow the function's rename/inline
+   lineage with DepSurf, then build a portable version that attaches to
+   the first available symbol and guards field accesses with
+   bpf_core_field_exists.
+
+   Run with: dune exec examples/readahead_fix.exe *)
+
+open Depsurf
+open Ds_ksrc
+open Ds_bpf
+
+let ds = Pipeline.dataset Calibration.test_scale
+
+let x86_versions = List.map (fun v -> (v, Config.x86_generic)) Version.all
+
+(* The attach-with-fallback pattern: try each candidate in order, exactly
+   what the fixed readahead does in C. *)
+let attach_with_fallback v candidates =
+  let kernel = Dataset.vmlinux ds v Config.x86_generic in
+  let rec go = function
+    | [] -> Error "all candidates failed"
+    | fn :: rest -> (
+        let obj =
+          Pipeline.build_program ds
+            Progbuild.
+              {
+                sp_tool = "readahead_fixed";
+                sp_hooks = [ { hs_hook = Hook.Kprobe fn; hs_arg_indices = []; hs_kfuncs = []; hs_reads = [] } ];
+              }
+        in
+        match Loader.load_and_attach kernel obj with
+        | Ok _ -> Ok fn
+        | Error _ -> go rest)
+  in
+  go candidates
+
+let () =
+  print_endline "== readahead: diagnose, then fix ==\n";
+  print_endline "1. the naive tool attaches to __do_page_cache_readahead only:";
+  let naive =
+    Pipeline.build_program ds ~build:(Version.v 4 4, Config.x86_generic)
+      Progbuild.
+        {
+          sp_tool = "readahead";
+          sp_hooks =
+            [
+              {
+                hs_hook = Hook.Kprobe "__do_page_cache_readahead";
+                hs_arg_indices = []; hs_kfuncs = [];
+                hs_reads = [];
+              };
+              {
+                hs_hook = Hook.Kprobe "__page_cache_alloc";
+                hs_arg_indices = []; hs_kfuncs = [];
+                hs_reads = [];
+              };
+            ];
+        }
+  in
+  let m = Pipeline.analyze ds ~images:x86_versions ~baseline:(Version.v 4 4, Config.x86_generic) naive in
+  print_string (Report.render_matrix m);
+
+  print_endline "\n2. DepSurf explains each cell:";
+  let explain v name =
+    let s = Dataset.surface ds v Config.x86_generic in
+    match Surface.find_func s name with
+    | None -> Printf.printf "  %s %-28s absent\n" (Version.to_string v) name
+    | Some fe ->
+        Printf.printf "  %s %-28s %s\n" (Version.to_string v) name
+          (match Func_status.inline_status fe with
+          | Func_status.Fully_inlined -> "fully inlined"
+          | Func_status.Selectively_inlined -> "selectively inlined"
+          | Func_status.Not_inlined -> "attachable")
+  in
+  List.iter
+    (fun v -> explain v "__do_page_cache_readahead")
+    [ Version.v 4 4; Version.v 5 8; Version.v 5 11 ];
+  List.iter (fun v -> explain v "do_page_cache_ra") [ Version.v 5 11; Version.v 5 19 ];
+  List.iter (fun v -> explain v "page_cache_ra_order") [ Version.v 5 19; Version.v 6 8 ];
+
+  print_endline "\n3. the fixed tool falls back through the lineage:";
+  let candidates =
+    [ "page_cache_ra_order"; "do_page_cache_ra"; "__do_page_cache_readahead" ]
+  in
+  List.iter
+    (fun v ->
+      match attach_with_fallback v candidates with
+      | Ok fn -> Printf.printf "  %-8s attached to %s\n" (Version.to_string v) fn
+      | Error m -> Printf.printf "  %-8s %s\n" (Version.to_string v) m)
+    [ Version.v 4 4; Version.v 4 18; Version.v 5 8; Version.v 5 11; Version.v 5 19; Version.v 6 8 ];
+
+  print_endline "\n4. field accesses guarded with bpf_core_field_exists:";
+  let guarded =
+    Pipeline.build_program ds
+      Progbuild.
+        {
+          sp_tool = "readahead_guarded";
+          sp_hooks =
+            [
+              {
+                hs_hook = Hook.Kprobe "blk_mq_start_request";
+                hs_arg_indices = []; hs_kfuncs = [];
+                hs_reads =
+                  [ { rd_struct = "request"; rd_path = [ "rq_disk" ]; rd_exists_check = true } ];
+              };
+            ];
+        }
+  in
+  List.iter
+    (fun v ->
+      match Pipeline.load_on ds v Config.x86_generic guarded with
+      | Ok [ a ] ->
+          let exists =
+            List.find_map
+              (function Insn.Mov_imm { dst = 8; imm } -> Some imm | _ -> None)
+              a.Loader.at_insns
+          in
+          Printf.printf "  %-8s loads fine; bpf_core_field_exists(request::rq_disk) = %s\n"
+            (Version.to_string v)
+            (match exists with Some 1 -> "true" | Some _ -> "false" | None -> "?")
+      | Ok _ -> ()
+      | Error e -> Printf.printf "  %-8s %s\n" (Version.to_string v) (Loader.error_to_string e))
+    [ Version.v 5 4; Version.v 5 15; Version.v 5 19; Version.v 6 8 ];
+  print_endline "\nSame binary, every kernel: CO-RE provides the mechanism, DepSurf the map."

@@ -1,0 +1,1 @@
+lib/bpf/disasm.ml: Buffer Insn List Maps Obj Printf String

@@ -1,0 +1,1 @@
+lib/bpf/disasm.mli: Insn Obj

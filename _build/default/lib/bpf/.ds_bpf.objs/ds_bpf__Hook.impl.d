@@ -1,0 +1,1 @@
+lib/bpf/hook.ml: Option Printf String

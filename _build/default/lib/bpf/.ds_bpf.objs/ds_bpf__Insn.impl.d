@@ -1,0 +1,1 @@
+lib/bpf/insn.ml: Bytesio Ds_util List Printf String

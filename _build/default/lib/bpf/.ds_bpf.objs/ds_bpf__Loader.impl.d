@@ -1,0 +1,1 @@
+lib/bpf/loader.ml: Ds_btf Ds_elf Ds_ksrc Hook Insn List Maps Obj Printf String Verifier Version Vmlinux

@@ -1,0 +1,1 @@
+lib/bpf/loader.mli: Ds_btf Hook Insn Maps Obj Vmlinux

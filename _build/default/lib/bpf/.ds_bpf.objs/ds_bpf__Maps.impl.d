@@ -1,0 +1,1 @@
+lib/bpf/maps.ml: Array Bytes Char Hashtbl Int32 Option Printf String

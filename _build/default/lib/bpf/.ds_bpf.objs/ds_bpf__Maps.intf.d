@@ -1,0 +1,1 @@
+lib/bpf/maps.mli:

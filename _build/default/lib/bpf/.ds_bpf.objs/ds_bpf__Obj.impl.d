@@ -1,0 +1,1 @@
+lib/bpf/obj.ml: Buffer Bytesio Ds_btf Ds_elf Ds_util Elf Hashtbl Hook Insn List Maps Option Printf String

@@ -1,0 +1,1 @@
+lib/bpf/obj.mli: Ds_btf Hook Insn Maps

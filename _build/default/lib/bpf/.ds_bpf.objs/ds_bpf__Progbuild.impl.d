@@ -1,0 +1,1 @@
+lib/bpf/progbuild.ml: Config Ctype Decl Ds_btf Ds_ctypes Ds_ksrc Hashtbl Hook Insn List Maps Obj Option String

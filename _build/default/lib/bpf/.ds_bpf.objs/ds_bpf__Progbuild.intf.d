@@ -1,0 +1,1 @@
+lib/bpf/progbuild.mli: Config Ds_btf Ds_ksrc Hook Obj

@@ -1,0 +1,1 @@
+lib/bpf/runtime.ml: Compile Construct Ds_ctypes Ds_kcc Ds_ksrc Format Hashtbl Hook List Loader Maps

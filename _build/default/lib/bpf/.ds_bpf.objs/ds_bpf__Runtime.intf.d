@@ -1,0 +1,1 @@
+lib/bpf/runtime.mli: Ds_ctypes Ds_kcc Format Hook Loader Maps

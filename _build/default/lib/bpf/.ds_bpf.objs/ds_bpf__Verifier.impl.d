@@ -1,0 +1,1 @@
+lib/bpf/verifier.ml: Array Hashtbl Insn List Printf

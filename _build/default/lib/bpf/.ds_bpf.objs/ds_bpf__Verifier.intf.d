@@ -1,0 +1,1 @@
+lib/bpf/verifier.mli: Insn

@@ -1,0 +1,1 @@
+lib/bpf/vmlinux.ml: Config Ds_btf Ds_elf Ds_ksrc Elf Int64 List Printf Scanf String Version

@@ -1,0 +1,1 @@
+lib/bpf/vmlinux.mli: Config Ds_btf Ds_elf Ds_ksrc Version

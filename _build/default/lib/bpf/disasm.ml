@@ -1,0 +1,67 @@
+let size_str = function Insn.B -> "u8" | Insn.H -> "u16" | Insn.W -> "u32" | Insn.DW -> "u64"
+
+let insn_to_string = function
+  | Insn.Mov_imm { dst; imm } -> Printf.sprintf "r%d = %d" dst imm
+  | Insn.Mov_reg { dst; src } -> Printf.sprintf "r%d = r%d" dst src
+  | Insn.Add_imm { dst; imm } -> Printf.sprintf "r%d += %d" dst imm
+  | Insn.Ldx { dst; src; off; size } ->
+      Printf.sprintf "r%d = *(%s *)(r%d %s %d)" dst (size_str size) src
+        (if off < 0 then "-" else "+")
+        (abs off)
+  | Insn.Stx { dst; src; off; size } ->
+      Printf.sprintf "*(%s *)(r%d %s %d) = r%d" (size_str size) dst
+        (if off < 0 then "-" else "+")
+        (abs off) src
+  | Insn.Jeq_imm { reg; imm; target } -> Printf.sprintf "if r%d == %d goto +%d" reg imm target
+  | Insn.Call helper -> (
+      match Insn.helper_name helper with
+      | Some name -> Printf.sprintf "call %s#%d" name helper
+      | None -> Printf.sprintf "call #%d" helper)
+  | Insn.Kfunc_call idx -> Printf.sprintf "call kfunc[%d]" idx
+  | Insn.Exit -> "exit"
+
+let reloc_note obj (r : Obj.core_reloc) =
+  let kind = match r.Obj.cr_kind with
+    | Obj.Field_byte_offset -> "byte_off"
+    | Obj.Field_exists -> "field_exists"
+  in
+  match obj with
+  | Some o -> (
+      match Obj.access_path o r.Obj.cr_type_id r.Obj.cr_access with
+      | Some (root, path) ->
+          Printf.sprintf "  ; CO-RE %s %s::%s" kind root (String.concat "." path)
+      | None -> Printf.sprintf "  ; CO-RE %s <type %d>" kind r.Obj.cr_type_id)
+  | None -> Printf.sprintf "  ; CO-RE %s <type %d>" kind r.Obj.cr_type_id
+
+let prog ?obj (p : Obj.prog) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "%s: ; SEC(\"%s\")\n" p.Obj.p_name p.Obj.p_section);
+  List.iteri
+    (fun i insn ->
+      Buffer.add_string buf (Printf.sprintf "%4d: %-40s" i (insn_to_string insn));
+      (match List.find_opt (fun r -> r.Obj.cr_insn = i) p.Obj.p_relocs with
+      | Some r -> Buffer.add_string buf (reloc_note obj r)
+      | None -> ());
+      Buffer.add_char buf '\n')
+    p.Obj.p_insns;
+  Buffer.contents buf
+
+let obj (o : Obj.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "object %s (built for %s)\n" o.Obj.o_name o.Obj.o_built_for);
+  List.iter
+    (fun (d : Maps.def) ->
+      Buffer.add_string buf
+        (Printf.sprintf "map %s: %s key=%dB value=%dB max=%d\n" d.Maps.md_name
+           (match d.Maps.md_type with
+           | Maps.Hash -> "hash"
+           | Maps.Array -> "array"
+           | Maps.Percpu_array n -> Printf.sprintf "percpu_array(%d)" n)
+           d.Maps.md_key_size d.Maps.md_value_size d.Maps.md_max_entries))
+    o.Obj.o_maps;
+  List.iter
+    (fun p ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (prog ~obj:o p))
+    o.Obj.o_progs;
+  Buffer.contents buf

@@ -1,0 +1,12 @@
+(** eBPF disassembler: `bpftool prog dump xlated`-style text for programs
+    and whole objects, with CO-RE relocation annotations. *)
+
+val insn_to_string : Insn.t -> string
+(** One instruction, e.g. ["r7 = *(u64 *)(r6 + 112)"]. *)
+
+val prog : ?obj:Obj.t -> Obj.prog -> string
+(** Numbered listing; when [obj] is given, instructions carrying CO-RE
+    relocations are annotated with the resolved struct::field path. *)
+
+val obj : Obj.t -> string
+(** Full object dump: maps, then every program. *)

@@ -1,0 +1,83 @@
+type t =
+  | Kprobe of string
+  | Kretprobe of string
+  | Fentry of string
+  | Fexit of string
+  | Tracepoint of { category : string; event : string }
+  | Raw_tracepoint of string
+  | Lsm of string
+  | Syscall_enter of string
+  | Syscall_exit of string
+  | Perf_event
+
+let to_section = function
+  | Kprobe f -> "kprobe/" ^ f
+  | Kretprobe f -> "kretprobe/" ^ f
+  | Fentry f -> "fentry/" ^ f
+  | Fexit f -> "fexit/" ^ f
+  | Syscall_enter s -> "tracepoint/syscalls/sys_enter_" ^ s
+  | Syscall_exit s -> "tracepoint/syscalls/sys_exit_" ^ s
+  | Tracepoint { category; event } -> Printf.sprintf "tracepoint/%s/%s" category event
+  | Raw_tracepoint e -> "raw_tp/" ^ e
+  | Lsm h -> "lsm/" ^ h
+  | Perf_event -> "perf_event"
+
+let strip prefix s =
+  if String.starts_with ~prefix s then
+    Some (String.sub s (String.length prefix) (String.length s - String.length prefix))
+  else None
+
+let of_section s =
+  if s = "perf_event" then Some Perf_event
+  else
+  let ( <|> ) a b = match a with Some _ -> a | None -> b () in
+  Option.map (fun f -> Kprobe f) (strip "kprobe/" s)
+  <|> fun () ->
+  Option.map (fun f -> Kretprobe f) (strip "kretprobe/" s)
+  <|> fun () ->
+  Option.map (fun f -> Fentry f) (strip "fentry/" s)
+  <|> fun () ->
+  Option.map (fun f -> Fexit f) (strip "fexit/" s)
+  <|> fun () ->
+  Option.map (fun h -> Lsm h) (strip "lsm/" s)
+  <|> fun () ->
+  Option.map (fun e -> Raw_tracepoint e) (strip "raw_tp/" s)
+  <|> fun () ->
+  Option.map (fun e -> Raw_tracepoint e) (strip "raw_tracepoint/" s)
+  <|> fun () ->
+  match strip "tracepoint/" s with
+  | None -> None
+  | Some rest -> (
+      match String.index_opt rest '/' with
+      | None -> None
+      | Some i ->
+          let category = String.sub rest 0 i in
+          let event = String.sub rest (i + 1) (String.length rest - i - 1) in
+          if category = "syscalls" then
+            match strip "sys_enter_" event with
+            | Some sc -> Some (Syscall_enter sc)
+            | None -> (
+                match strip "sys_exit_" event with
+                | Some sc -> Some (Syscall_exit sc)
+                | None -> Some (Tracepoint { category; event }))
+          else Some (Tracepoint { category; event }))
+
+let to_string = to_section
+
+let target_function = function
+  | Kprobe f | Kretprobe f | Fentry f | Fexit f -> Some f
+  | Lsm h -> Some ("security_" ^ h)
+  | Tracepoint _ | Raw_tracepoint _ | Syscall_enter _ | Syscall_exit _ | Perf_event -> None
+
+let target_tracepoint = function
+  | Tracepoint { event; _ } -> Some event
+  | Raw_tracepoint e -> Some e
+  | Kprobe _ | Kretprobe _ | Fentry _ | Fexit _ | Lsm _ | Syscall_enter _ | Syscall_exit _
+  | Perf_event ->
+      None
+
+let target_syscall = function
+  | Syscall_enter s | Syscall_exit s -> Some s
+  | Kprobe _ | Kretprobe _ | Fentry _ | Fexit _ | Lsm _ | Tracepoint _ | Raw_tracepoint _
+  | Perf_event ->
+      None

@@ -1,0 +1,27 @@
+(** Hook descriptors: where an eBPF program attaches. *)
+
+type t =
+  | Kprobe of string
+  | Kretprobe of string
+  | Fentry of string
+  | Fexit of string
+  | Tracepoint of { category : string; event : string }
+  | Raw_tracepoint of string
+  | Lsm of string  (** hook name without the [security_] prefix *)
+  | Syscall_enter of string
+  | Syscall_exit of string
+  | Perf_event  (** sampling programs (SEC("perf_event")); always attachable *)
+
+val to_section : t -> string
+(** libbpf-style section name, e.g. [Kprobe "f"] → ["kprobe/f"],
+    [Syscall_enter "open"] → ["tracepoint/syscalls/sys_enter_open"]. *)
+
+val of_section : string -> t option
+val to_string : t -> string
+
+val target_function : t -> string option
+(** The kernel function the hook needs, when it is function-shaped
+    (kprobe/kretprobe/fentry/fexit/lsm). *)
+
+val target_tracepoint : t -> string option
+val target_syscall : t -> string option

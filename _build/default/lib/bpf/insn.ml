@@ -1,0 +1,123 @@
+open Ds_util
+
+type size = B | H | W | DW
+
+type t =
+  | Mov_imm of { dst : int; imm : int }
+  | Mov_reg of { dst : int; src : int }
+  | Add_imm of { dst : int; imm : int }
+  | Ldx of { dst : int; src : int; off : int; size : size }
+  | Stx of { dst : int; src : int; off : int; size : size }
+  | Jeq_imm of { reg : int; imm : int; target : int }
+  | Call of int
+  | Kfunc_call of int
+  | Exit
+
+exception Bad_insn of string
+
+(* Real opcode bytes: class | size | mode for LDX/STX, class | op | source
+   for ALU/JMP. *)
+let op_mov_imm = 0xb7
+let op_mov_reg = 0xbf
+let op_add_imm = 0x07
+let op_call = 0x85
+let op_exit = 0x95
+let op_jeq_imm = 0x15
+
+let ldx_op = function W -> 0x61 | H -> 0x69 | B -> 0x71 | DW -> 0x79
+let stx_op = function W -> 0x63 | H -> 0x6b | B -> 0x73 | DW -> 0x7b
+
+let size_of_ldx = function
+  | 0x61 -> Some W
+  | 0x69 -> Some H
+  | 0x71 -> Some B
+  | 0x79 -> Some DW
+  | _ -> None
+
+let size_of_stx = function
+  | 0x63 -> Some W
+  | 0x6b -> Some H
+  | 0x73 -> Some B
+  | 0x7b -> Some DW
+  | _ -> None
+
+let encode insns =
+  let w = Bytesio.Writer.create () in
+  let emit op ~dst ~src ~off ~imm =
+    Bytesio.Writer.u8 w op;
+    Bytesio.Writer.u8 w ((src lsl 4) lor (dst land 0xF));
+    Bytesio.Writer.u16 w (off land 0xFFFF);
+    Bytesio.Writer.u32 w (imm land 0xFFFFFFFF)
+  in
+  List.iter
+    (fun i ->
+      match i with
+      | Mov_imm { dst; imm } -> emit op_mov_imm ~dst ~src:0 ~off:0 ~imm
+      | Mov_reg { dst; src } -> emit op_mov_reg ~dst ~src ~off:0 ~imm:0
+      | Add_imm { dst; imm } -> emit op_add_imm ~dst ~src:0 ~off:0 ~imm
+      | Ldx { dst; src; off; size } -> emit (ldx_op size) ~dst ~src ~off ~imm:0
+      | Stx { dst; src; off; size } -> emit (stx_op size) ~dst ~src ~off ~imm:0
+      | Jeq_imm { reg; imm; target } -> emit op_jeq_imm ~dst:reg ~src:0 ~off:target ~imm
+      | Call helper -> emit op_call ~dst:0 ~src:0 ~off:0 ~imm:helper
+      | Kfunc_call idx -> emit op_call ~dst:0 ~src:2 (* BPF_PSEUDO_KFUNC_CALL *) ~off:0 ~imm:idx
+      | Exit -> emit op_exit ~dst:0 ~src:0 ~off:0 ~imm:0)
+    insns;
+  Bytesio.Writer.contents w
+
+let sign16 v = if v land 0x8000 <> 0 then v - 0x10000 else v
+let sign32 v = if v land 0x80000000 <> 0 then v - (1 lsl 32) else v
+
+let decode data =
+  if String.length data mod 8 <> 0 then raise (Bad_insn "instruction stream not 8-aligned");
+  let r = Bytesio.Reader.of_string data in
+  let rec go acc =
+    if Bytesio.Reader.eof r then List.rev acc
+    else begin
+      let op = Bytesio.Reader.u8 r in
+      let regs = Bytesio.Reader.u8 r in
+      let dst = regs land 0xF and src = regs lsr 4 in
+      let off = sign16 (Bytesio.Reader.u16 r) in
+      let imm = sign32 (Bytesio.Reader.u32 r) in
+      let insn =
+        if op = op_mov_imm then Mov_imm { dst; imm }
+        else if op = op_mov_reg then Mov_reg { dst; src }
+        else if op = op_add_imm then Add_imm { dst; imm }
+        else if op = op_call then (if src = 2 then Kfunc_call imm else Call imm)
+        else if op = op_exit then Exit
+        else if op = op_jeq_imm then Jeq_imm { reg = dst; imm; target = off }
+        else
+          match size_of_ldx op with
+          | Some size -> Ldx { dst; src; off; size }
+          | None -> (
+              match size_of_stx op with
+              | Some size -> Stx { dst; src; off; size }
+              | None -> raise (Bad_insn (Printf.sprintf "unknown opcode 0x%02x" op)))
+      in
+      go (insn :: acc)
+    end
+  in
+  go []
+
+let helper_map_lookup_elem = 1
+let helper_probe_read = 4
+let helper_ktime_get_ns = 5
+let helper_trace_printk = 6
+let helper_get_current_pid_tgid = 14
+let helper_get_current_comm = 16
+let helper_perf_event_output = 25
+let helper_probe_read_str = 45
+
+let helper_table =
+  [
+    (helper_map_lookup_elem, "bpf_map_lookup_elem");
+    (helper_probe_read, "bpf_probe_read");
+    (helper_ktime_get_ns, "bpf_ktime_get_ns");
+    (helper_trace_printk, "bpf_trace_printk");
+    (helper_get_current_pid_tgid, "bpf_get_current_pid_tgid");
+    (helper_get_current_comm, "bpf_get_current_comm");
+    (helper_perf_event_output, "bpf_perf_event_output");
+    (helper_probe_read_str, "bpf_probe_read_str");
+  ]
+
+let helper_known id = List.mem_assoc id helper_table
+let helper_name id = List.assoc_opt id helper_table

@@ -1,0 +1,41 @@
+(** eBPF instructions: a practical subset of the ISA with the real 8-byte
+    wire encoding (opcode, dst/src register nibbles, 16-bit offset, 32-bit
+    immediate). *)
+
+type size = B | H | W | DW
+
+type t =
+  | Mov_imm of { dst : int; imm : int }
+  | Mov_reg of { dst : int; src : int }
+  | Add_imm of { dst : int; imm : int }
+  | Ldx of { dst : int; src : int; off : int; size : size }
+      (** load from memory: [dst = *(src + off)] — the instruction CO-RE
+          patches *)
+  | Stx of { dst : int; src : int; off : int; size : size }
+  | Jeq_imm of { reg : int; imm : int; target : int }
+      (** relative jump: skip [target] instructions when equal *)
+  | Call of int  (** helper id *)
+  | Kfunc_call of int
+      (** call into a kernel function: the immediate indexes the object's
+          kfunc name table, resolved against the target kernel's BTF at
+          load time (the real ISA marks these with src_reg =
+          BPF_PSEUDO_KFUNC_CALL) *)
+  | Exit
+
+val encode : t list -> string
+val decode : string -> t list
+
+exception Bad_insn of string
+
+(** {2 Helper functions} (ids from the real UAPI) *)
+
+val helper_map_lookup_elem : int
+val helper_ktime_get_ns : int
+val helper_trace_printk : int
+val helper_get_current_pid_tgid : int
+val helper_get_current_comm : int
+val helper_probe_read : int
+val helper_perf_event_output : int
+val helper_probe_read_str : int
+val helper_known : int -> bool
+val helper_name : int -> string option

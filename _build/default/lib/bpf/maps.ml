@@ -1,0 +1,116 @@
+type map_type = Hash | Array | Percpu_array of int
+
+type def = {
+  md_name : string;
+  md_type : map_type;
+  md_key_size : int;
+  md_value_size : int;
+  md_max_entries : int;
+}
+
+type t = { d : def; tbl : (string, string array) Hashtbl.t }
+
+type update_flag = Any | Noexist | Exist
+
+exception Map_error of string
+
+let ncpus d = match d.md_type with Percpu_array n -> max 1 n | Hash | Array -> 1
+
+let create d =
+  if d.md_key_size <= 0 || d.md_value_size <= 0 || d.md_max_entries <= 0 then
+    raise (Map_error "invalid map definition");
+  let t = { d; tbl = Hashtbl.create 64 } in
+  (* array maps are pre-populated with zero values, like the kernel *)
+  (match d.md_type with
+  | Array | Percpu_array _ ->
+      for i = 0 to d.md_max_entries - 1 do
+        let key = Bytes.make d.md_key_size '\000' in
+        Bytes.set_int32_le key 0 (Int32.of_int i);
+        Hashtbl.replace t.tbl (Bytes.to_string key)
+          (Array.make (ncpus d) (String.make d.md_value_size '\000'))
+      done
+  | Hash -> ());
+  t
+
+let def t = t.d
+let entries t = Hashtbl.length t.tbl
+
+let check_key t key =
+  if String.length key <> t.d.md_key_size then
+    raise (Map_error (Printf.sprintf "%s: key size %d, want %d" t.d.md_name (String.length key) t.d.md_key_size))
+
+let check_value t v =
+  if String.length v <> t.d.md_value_size then
+    raise (Map_error (Printf.sprintf "%s: value size %d, want %d" t.d.md_name (String.length v) t.d.md_value_size))
+
+let lookup t key =
+  check_key t key;
+  Option.map (fun slots -> slots.(0)) (Hashtbl.find_opt t.tbl key)
+
+let lookup_percpu t key =
+  check_key t key;
+  Option.map Array.to_list (Hashtbl.find_opt t.tbl key)
+
+let update ?(cpu = 0) ?(flag = Any) t key value =
+  check_key t key;
+  check_value t value;
+  let exists = Hashtbl.mem t.tbl key in
+  match t.d.md_type, flag, exists with
+  | Hash, Noexist, true -> Error "EEXIST"
+  | Hash, Exist, false -> Error "ENOENT"
+  | Hash, _, false when Hashtbl.length t.tbl >= t.d.md_max_entries -> Error "E2BIG"
+  | (Array | Percpu_array _), _, false -> Error "E2BIG" (* out-of-range index *)
+  | _ ->
+      let slots =
+        match Hashtbl.find_opt t.tbl key with
+        | Some s -> s
+        | None -> Array.make (ncpus t.d) (String.make t.d.md_value_size '\000')
+      in
+      let cpu = if cpu < 0 || cpu >= Array.length slots then 0 else cpu in
+      slots.(cpu) <- value;
+      Hashtbl.replace t.tbl key slots;
+      Ok ()
+
+let delete t key =
+  check_key t key;
+  match t.d.md_type with
+  | Array | Percpu_array _ -> Error "EINVAL" (* array entries cannot be deleted *)
+  | Hash ->
+      if Hashtbl.mem t.tbl key then begin
+        Hashtbl.remove t.tbl key;
+        Ok ()
+      end
+      else Error "ENOENT"
+
+let fold t ~init ~f = Hashtbl.fold (fun k slots acc -> f k slots.(0) acc) t.tbl init
+
+let key_of_int t i =
+  let b = Bytes.make t.d.md_key_size '\000' in
+  let n = min t.d.md_key_size 8 in
+  for j = 0 to n - 1 do
+    Bytes.set b j (Char.chr ((i lsr (8 * j)) land 0xFF))
+  done;
+  Bytes.to_string b
+
+let value_to_int v =
+  let n = min (String.length v) 8 in
+  let acc = ref 0 in
+  for j = n - 1 downto 0 do
+    acc := (!acc lsl 8) lor Char.code v.[j]
+  done;
+  !acc
+
+let int_to_value size i =
+  let b = Bytes.make size '\000' in
+  let n = min size 8 in
+  for j = 0 to n - 1 do
+    Bytes.set b j (Char.chr ((i lsr (8 * j)) land 0xFF))
+  done;
+  Bytes.to_string b
+
+let bump t key delta =
+  check_key t key;
+  let current = match lookup t key with Some v -> value_to_int v | None -> 0 in
+  match update t key (int_to_value t.d.md_value_size (current + delta)) with
+  | Ok () -> ()
+  | Error e -> raise (Map_error (t.d.md_name ^ ": bump: " ^ e))

@@ -1,0 +1,57 @@
+(** eBPF maps: the kernel-side key/value stores every real tool uses to
+    accumulate results (biotop's per-device counters, runqlat's latency
+    histogram, ...).
+
+    Three of the classic map types are modelled — [Hash], [Array] and
+    [Percpu_array] — with fixed key/value sizes, bounded capacity and the
+    kernel's update semantics ([bpf_map_update_elem] flags). The runtime
+    gives attached programs access to their object's maps, and examples
+    read the maps afterwards, exactly like a userspace frontend. *)
+
+type map_type = Hash | Array | Percpu_array of int  (** cpu count *)
+
+type def = {
+  md_name : string;
+  md_type : map_type;
+  md_key_size : int;  (** bytes *)
+  md_value_size : int;
+  md_max_entries : int;
+}
+
+type t
+(** A live map instance. *)
+
+type update_flag = Any | Noexist | Exist
+(** BPF_ANY / BPF_NOEXIST / BPF_EXIST. *)
+
+exception Map_error of string
+
+val create : def -> t
+val def : t -> def
+val entries : t -> int
+
+val lookup : t -> string -> string option
+(** [lookup m key] — key must be exactly [md_key_size] bytes. For percpu
+    maps, returns the cpu-0 slot (use {!lookup_percpu}). *)
+
+val lookup_percpu : t -> string -> string list option
+
+val update : ?cpu:int -> ?flag:update_flag -> t -> string -> string -> (unit, string) result
+(** Kernel semantics: [Noexist] fails on present keys, [Exist] on absent
+    ones; hash maps reject inserts at capacity ([E2BIG]); array maps
+    reject out-of-range indices. *)
+
+val delete : t -> string -> (unit, string) result
+val fold : t -> init:'a -> f:(string -> string -> 'a -> 'a) -> 'a
+(** Iterate key/value pairs (cpu-0 view for percpu maps). *)
+
+(** {2 Helpers for numeric maps} *)
+
+val key_of_int : t -> int -> string
+(** Encode an int as a little-endian key of the map's key size. *)
+
+val value_to_int : string -> int
+(** Decode a little-endian value (up to 8 bytes). *)
+
+val bump : t -> string -> int -> unit
+(** [bump m key delta]: the ubiquitous lookup-or-init + add pattern. *)

@@ -1,0 +1,39 @@
+(** High-level construction of eBPF object files: the "clang + libbpf"
+    stand-in. A {!spec} names the hooks a tool attaches to, the struct
+    fields it reads, and the function arguments it fetches through
+    [pt_regs]; [build] compiles that into real bytecode with CO-RE
+    relocation records, plus a program-local BTF cut down from the build
+    kernel's types (what clang distills from [vmlinux.h]). *)
+
+open Ds_ksrc
+
+type read = {
+  rd_struct : string;
+  rd_path : string list;  (** field chain within the struct *)
+  rd_exists_check : bool;  (** emit a [bpf_core_field_exists]-style guard
+                               instead of a direct access *)
+}
+
+type hook_spec = {
+  hs_hook : Hook.t;
+  hs_arg_indices : int list;
+      (** for kprobes: which arguments (0-based) to fetch via the build
+          arch's [pt_regs] register fields — the non-portable
+          PT_REGS_PARM pattern of paper §4.2 *)
+  hs_reads : read list;
+  hs_kfuncs : string list;
+      (** kernel functions the program calls (paper §4.1): resolved
+          against the target kernel's BTF at load time *)
+}
+
+type spec = { sp_tool : string; sp_hooks : hook_spec list }
+
+val arg_register : Config.arch -> int -> string option
+(** The [pt_regs] field holding argument [i] under that architecture's
+    calling convention (e.g. x86 arg 0 → ["di"], arm64 arg 0 → ["regs"]). *)
+
+val build : build_btf:Ds_btf.Btf.t -> build_arch:Config.arch -> tag:string -> spec -> Obj.t
+(** Compile a spec against a build kernel's BTF. The object's local BTF
+    contains only the types the program touches. Unknown structs/fields
+    are included as the program expects them (compilation against an old
+    [vmlinux.h] is exactly how version skew happens). *)

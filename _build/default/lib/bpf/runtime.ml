@@ -1,0 +1,139 @@
+open Ds_ksrc
+open Ds_kcc
+open Construct
+
+type expectation = { ex_prog : string; ex_arg : int; ex_type : Ds_ctypes.Ctype.t }
+
+type prog_stats = {
+  ps_prog : string;
+  ps_hook : Hook.t;
+  ps_logical : int;
+  ps_observed : int;
+  ps_stray_reads : int;
+}
+
+type report = { r_rounds : int; r_per_prog : prog_stats list }
+
+let missing_invocations ps = ps.ps_logical - ps.ps_observed
+
+let simulate ?events_map (model : Compile.model) ~attachments ~expectations ~rounds =
+  (* Index kernel facts once. *)
+  let sites_by_fn : (string, (int64 option * bool) list ref) Hashtbl.t = Hashtbl.create 256 in
+  (* per function name: one entry per call site: (address of the copy
+     serving this site if out-of-line, inlined?) *)
+  let proto_by_fn : (string, Ds_ctypes.Ctype.proto) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun (i : Compile.instance) ->
+      let f = i.Compile.i_func in
+      if not (Hashtbl.mem proto_by_fn f.fn_name) then
+        Hashtbl.replace proto_by_fn f.fn_name (proto_for f model.Compile.m_config);
+      let cell =
+        match Hashtbl.find_opt sites_by_fn f.fn_name with
+        | Some c -> c
+        | None ->
+            let c = ref [] in
+            Hashtbl.add sites_by_fn f.fn_name c;
+            c
+      in
+      let copy_addr = match i.Compile.i_symbols with (_, a) :: _ -> Some a | [] -> None in
+      List.iter
+        (fun (s : Compile.site) -> cell := (copy_addr, s.Compile.sd_inlined) :: !cell)
+        i.Compile.i_sites;
+      (* a function with a symbol but no recorded sites still runs (called
+         from elsewhere): give it one synthetic site *)
+      if i.Compile.i_sites = [] && copy_addr <> None then cell := (copy_addr, false) :: !cell)
+    model.Compile.m_instances;
+  let stats a =
+    let prog = a.Loader.at_prog in
+    let expect = List.filter (fun e -> e.ex_prog = prog) expectations in
+    let is_return = match a.Loader.at_hook with
+      | Hook.Kretprobe _ | Hook.Fexit _ -> true
+      | _ -> false
+    in
+    match a.Loader.at_hook with
+    | Hook.Kprobe fn | Hook.Kretprobe fn | Hook.Fentry fn | Hook.Fexit fn ->
+        let sites = match Hashtbl.find_opt sites_by_fn fn with Some c -> !c | None -> [] in
+        let logical = rounds * List.length sites in
+        let observed_sites =
+          List.filter
+            (fun (addr, inlined) ->
+              (not inlined)
+              && match addr with Some a' -> List.mem a' a.Loader.at_addrs | None -> false)
+            sites
+        in
+        let observed = rounds * List.length observed_sites in
+        (* stray reads: for each observed hit, compare expected arg types
+           against the function's current signature *)
+        let current = Hashtbl.find_opt proto_by_fn fn in
+        let stray_per_hit =
+          List.length
+            (List.filter
+               (fun e ->
+                 match current with
+                 | None -> false
+                 | Some proto ->
+                     if e.ex_arg < 0 || is_return then
+                       (* return-value expectation (kretprobe/fexit) *)
+                       not (Ds_ctypes.Ctype.compatible proto.Ds_ctypes.Ctype.ret e.ex_type)
+                     else (
+                       match List.nth_opt proto.Ds_ctypes.Ctype.params e.ex_arg with
+                       | None -> true (* argument vanished: reads garbage *)
+                       | Some p ->
+                           not (Ds_ctypes.Ctype.compatible p.Ds_ctypes.Ctype.ptype e.ex_type)))
+               expect)
+        in
+        {
+          ps_prog = prog;
+          ps_hook = a.Loader.at_hook;
+          ps_logical = logical;
+          ps_observed = observed;
+          ps_stray_reads = observed * stray_per_hit;
+        }
+    | Hook.Lsm hook ->
+        let fn = "security_" ^ hook in
+        let sites = match Hashtbl.find_opt sites_by_fn fn with Some c -> !c | None -> [] in
+        let n = max 1 (List.length sites) in
+        {
+          ps_prog = prog;
+          ps_hook = a.Loader.at_hook;
+          ps_logical = rounds * n;
+          ps_observed = rounds * n;
+          ps_stray_reads = 0;
+        }
+    | Hook.Tracepoint _ | Hook.Raw_tracepoint _ ->
+        (* static instrumentation: fires exactly as often as it should *)
+        {
+          ps_prog = prog;
+          ps_hook = a.Loader.at_hook;
+          ps_logical = rounds;
+          ps_observed = rounds;
+          ps_stray_reads = 0;
+        }
+    | Hook.Syscall_enter _ | Hook.Syscall_exit _ | Hook.Perf_event ->
+        {
+          ps_prog = prog;
+          ps_hook = a.Loader.at_hook;
+          ps_logical = rounds;
+          ps_observed = rounds;
+          ps_stray_reads = 0;
+        }
+  in
+  let per_prog = List.map stats attachments in
+  (match events_map with
+  | Some m ->
+      List.iteri
+        (fun i ps ->
+          if ps.ps_observed > 0 then Maps.bump m (Maps.key_of_int m i) ps.ps_observed)
+        per_prog
+  | None -> ());
+  { r_rounds = rounds; r_per_prog = per_prog }
+
+let pp_report fmt r =
+  Format.fprintf fmt "workload: %d rounds@." r.r_rounds;
+  List.iter
+    (fun ps ->
+      Format.fprintf fmt "  %-40s %-30s logical=%-6d observed=%-6d missing=%-6d stray=%d@."
+        ps.ps_prog
+        (Hook.to_string ps.ps_hook)
+        ps.ps_logical ps.ps_observed (missing_invocations ps) ps.ps_stray_reads)
+    r.r_per_prog

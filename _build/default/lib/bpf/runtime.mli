@@ -1,0 +1,47 @@
+(** Execution simulation: replay a synthetic kernel workload against
+    attached programs and measure what the paper calls silent failures.
+
+    The workload is derived from a compiled kernel model: every call site
+    of every function fires, tagged with whether that site was inlined;
+    every tracepoint and system call fires. An attached kprobe observes
+    only non-inlined calls that hit the exact symbol address it attached
+    to — so selective inlining yields {e incomplete} results and
+    duplication misses the copies that were not attached (Table 2,
+    "Missing Invocation").
+
+    Stray reads are modelled by comparing, per observed kprobe hit, the
+    argument type the program expects at each register slot against the
+    type the running kernel actually passes there (Table 2, "Incorrect
+    Result"). *)
+
+type expectation = {
+  ex_prog : string;  (** program name (within the object) *)
+  ex_arg : int;  (** 0-based argument index; [-1] (or any kretprobe/fexit
+                     hook) means the return value *)
+  ex_type : Ds_ctypes.Ctype.t;  (** type assumed at build time *)
+}
+
+type prog_stats = {
+  ps_prog : string;
+  ps_hook : Hook.t;
+  ps_logical : int;  (** times the hooked construct logically ran *)
+  ps_observed : int;  (** times the program actually fired *)
+  ps_stray_reads : int;  (** observed hits that read a misinterpreted arg *)
+}
+
+type report = { r_rounds : int; r_per_prog : prog_stats list }
+
+val simulate :
+  ?events_map:Maps.t ->
+  Ds_kcc.Compile.model ->
+  attachments:Loader.attachment list ->
+  expectations:expectation list ->
+  rounds:int ->
+  report
+(** When [events_map] is given (the object's results map, from
+    {!Loader.instantiate_maps}), every observed hit bumps the per-program
+    slot, the way real tools accumulate counters for their userspace
+    frontend to read. *)
+
+val missing_invocations : prog_stats -> int
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,27 @@
+(** A small but genuine eBPF verifier: abstract interpretation of register
+    states over the instruction stream.
+
+    Checked properties (a practical subset of the kernel verifier's):
+    - R1 enters as the context pointer, R10 as the stack frame pointer;
+    - reads go through known-safe pointers: loads are allowed only from
+      the context (bounded offset) or the stack; scalars must flow through
+      [bpf_probe_read] to be dereferenced;
+    - stores only to the stack, within the 512-byte frame;
+    - helpers must exist; calls clobber R1–R5 and define R0 (kfunc calls
+      are accepted here and name-checked against kernel BTF at load);
+    - only forward jumps (no loops), bounded program size; branches fork
+      the abstract state and {e both} paths must verify;
+    - every path ends with [Exit] and R0 initialized there. *)
+
+type reg_state = Uninit | Scalar | Ctx | Stack
+
+type error = {
+  ve_insn : int;  (** offending instruction index, -1 for whole-program *)
+  ve_msg : string;
+}
+
+val max_insns : int
+val ctx_limit : int
+(** Maximum context offset a load may use. *)
+
+val verify : Insn.t list -> (unit, error) result

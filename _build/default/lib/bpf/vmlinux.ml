@@ -1,0 +1,155 @@
+open Ds_elf
+open Ds_ksrc
+
+type tracepoint = {
+  vtp_event : string;
+  vtp_class : string;
+  vtp_func : string option;
+  vtp_fmt : string;
+}
+
+type t = {
+  v_img : Elf.t;
+  v_version : Version.t;
+  v_flavor : Config.flavor;
+  v_gcc : int * int;
+  v_arch : Config.arch;
+  v_btf : Ds_btf.Btf.t;
+  v_tracepoints : tracepoint list;
+  v_syscalls : string list;
+}
+
+exception Bad_vmlinux of string
+
+let arch_of_machine = function
+  | Elf.X86_64 -> Config.X86
+  | Elf.Aarch64 -> Config.Arm64
+  | Elf.Arm -> Config.Arm32
+  | Elf.Ppc64 -> Config.Ppc
+  | Elf.Riscv64 -> Config.Riscv
+  | Elf.Bpf -> raise (Bad_vmlinux "BPF object is not a kernel image")
+
+(* "Linux version 5.4.0-generic (...) (gcc version 9.2.0 (Ubuntu)) ..." *)
+let parse_banner s =
+  let fail () = raise (Bad_vmlinux ("unparsable banner: " ^ s)) in
+  let version, flavor =
+    try
+      Scanf.sscanf s "Linux version %d.%d.%d-%s@ " (fun major minor _patch rest ->
+          (Version.v major minor, rest))
+    with Scanf.Scan_failure _ | End_of_file -> fail ()
+  in
+  let flavor =
+    match
+      List.find_opt (fun f -> Config.flavor_to_string f = flavor) Config.flavors
+    with
+    | Some f -> f
+    | None -> fail ()
+  in
+  let gcc =
+    let marker = "gcc version " in
+    let rec find i =
+      if i + String.length marker > String.length s then fail ()
+      else if String.sub s i (String.length marker) = marker then i + String.length marker
+      else find (i + 1)
+    in
+    let at = find 0 in
+    try
+      Scanf.sscanf
+        (String.sub s at (String.length s - at))
+        "%d.%d" (fun a b -> (a, b))
+    with Scanf.Scan_failure _ | End_of_file -> fail ()
+  in
+  (version, flavor, gcc)
+
+let required_symbol img name =
+  match Elf.find_symbol img name with
+  | Some s -> s
+  | None -> raise (Bad_vmlinux ("missing symbol " ^ name))
+
+(* strip the per-arch syscall stub prefix *)
+let strip_syscall_prefix arch sym =
+  let prefixes =
+    match arch with
+    | Config.X86 -> [ "__x64_sys_" ]
+    | Config.Arm64 -> [ "__arm64_sys_" ]
+    | Config.Arm32 | Config.Ppc -> [ "sys_" ]
+    | Config.Riscv -> [ "__riscv_sys_" ]
+  in
+  match
+    List.find_map
+      (fun p ->
+        if String.starts_with ~prefix:p sym then
+          Some (String.sub sym (String.length p) (String.length sym - String.length p))
+        else None)
+      prefixes
+  with
+  | Some n -> n
+  | None -> sym
+
+let load img =
+  let deref = Elf.Deref.make img in
+  let banner_sym = required_symbol img "linux_banner" in
+  let v_version, v_flavor, v_gcc =
+    parse_banner (Elf.Deref.read_cstring deref banner_sym.Elf.sym_value)
+  in
+  let v_arch = arch_of_machine img.Elf.machine in
+  let btf_data =
+    match Elf.find_section img ".BTF" with
+    | Some s -> s.Elf.sec_data
+    | None -> raise (Bad_vmlinux "missing .BTF section")
+  in
+  let v_btf =
+    try Ds_btf.Btf.decode btf_data
+    with Ds_btf.Btf.Bad_btf m -> raise (Bad_vmlinux (".BTF: " ^ m))
+  in
+  let ptr = Elf.Deref.ptr_size deref in
+  (* ftrace events: pointer array between the two markers; each slot
+     points at a trace_event_call-like record of four pointers. *)
+  let start = (required_symbol img "__start_ftrace_events").Elf.sym_value in
+  let stop = (required_symbol img "__stop_ftrace_events").Elf.sym_value in
+  let n_events = Int64.to_int (Int64.sub stop start) / ptr in
+  let v_tracepoints =
+    List.init n_events (fun i ->
+        let slot = Int64.add start (Int64.of_int (i * ptr)) in
+        let record = Elf.Deref.read_ptr deref slot in
+        let field k = Elf.Deref.read_ptr deref (Int64.add record (Int64.of_int (k * ptr))) in
+        let vtp_event = Elf.Deref.read_cstring deref (field 0) in
+        let vtp_class = Elf.Deref.read_cstring deref (field 1) in
+        let func_addr = field 2 in
+        let vtp_func =
+          match Elf.symbols_at img func_addr with
+          | s :: _ -> Some s.Elf.sym_name
+          | [] -> None
+        in
+        let vtp_fmt = Elf.Deref.read_cstring deref (field 3) in
+        { vtp_event; vtp_class; vtp_func; vtp_fmt })
+  in
+  (* syscall table *)
+  let table = required_symbol img "sys_call_table" in
+  let n_sys = table.Elf.sym_size / ptr in
+  let v_syscalls =
+    List.init n_sys (fun i ->
+        let slot = Int64.add table.Elf.sym_value (Int64.of_int (i * ptr)) in
+        let addr = Elf.Deref.read_ptr deref slot in
+        match Elf.symbols_at img addr with
+        | s :: _ -> strip_syscall_prefix v_arch s.Elf.sym_name
+        | [] -> raise (Bad_vmlinux (Printf.sprintf "sys_call_table slot %d unresolvable" i)))
+  in
+  { v_img = img; v_version; v_flavor; v_gcc; v_arch; v_btf; v_tracepoints; v_syscalls }
+
+let symbols_named t name =
+  List.filter (fun s -> s.Elf.sym_name = name) t.v_img.Elf.symbols
+
+let suffixed_symbols t name =
+  let prefix = name ^ "." in
+  List.filter (fun s -> String.starts_with ~prefix s.Elf.sym_name) t.v_img.Elf.symbols
+
+let has_tracepoint t name = List.exists (fun tp -> tp.vtp_event = name) t.v_tracepoints
+let find_tracepoint t name = List.find_opt (fun tp -> tp.vtp_event = name) t.v_tracepoints
+let has_syscall t name = List.mem name t.v_syscalls
+
+let tag t =
+  Printf.sprintf "%s/%s/%s"
+    (Version.to_string t.v_version)
+    (Config.arch_to_string t.v_arch)
+    (Config.flavor_to_string t.v_flavor)

@@ -1,0 +1,1 @@
+lib/btf/btf.ml: Array Buffer Bytesio Ctype Decl Ds_ctypes Ds_util Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/btf/btf.mli: Ds_ctypes

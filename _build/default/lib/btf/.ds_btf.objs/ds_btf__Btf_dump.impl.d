@@ -1,0 +1,1 @@
+lib/btf/btf_dump.ml: Btf Buffer Ctype Decl Ds_ctypes List Printf String

@@ -1,0 +1,1 @@
+lib/btf/btf_dump.mli: Btf Ds_ctypes

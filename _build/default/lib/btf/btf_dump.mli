@@ -1,0 +1,17 @@
+(** C-syntax rendering of a BTF table — `bpftool btf dump format c`, the
+    mechanism that produces the `vmlinux.h` every CO-RE program includes.
+
+    Output is deterministic: typedefs first, then struct/union/enum
+    definitions in dependency order (forward declarations break pointer
+    cycles), then function prototypes as extern declarations. *)
+
+val ctype_decl : Ds_ctypes.Ctype.t -> string -> string
+(** [ctype_decl ty name] renders a declarator, handling the C inside-out
+    syntax for arrays and pointers: [ctype_decl (Array (char_, 16))
+    "comm"] is ["char comm[16]"]. *)
+
+val struct_to_c : Ds_ctypes.Decl.struct_def -> string
+(** One aggregate definition with a trailing [";"] and offset comments. *)
+
+val vmlinux_h : Btf.t -> string
+(** The whole header. *)

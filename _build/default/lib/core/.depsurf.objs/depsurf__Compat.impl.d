@@ -1,0 +1,1 @@
+lib/core/compat.ml: Config Dataset Ds_bpf Ds_ksrc Func_status List Option Printf Surface Version

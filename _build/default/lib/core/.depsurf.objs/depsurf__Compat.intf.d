@@ -1,0 +1,1 @@
+lib/core/compat.mli: Config Dataset Ds_bpf Ds_ksrc Surface Version

@@ -1,0 +1,1 @@
+lib/core/dataset.ml: Calibration Config Ds_bpf Ds_elf Ds_kcc Ds_ksrc Evolution Hashtbl List Source Surface Version

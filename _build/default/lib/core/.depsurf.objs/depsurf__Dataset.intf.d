@@ -1,0 +1,1 @@
+lib/core/dataset.mli: Calibration Config Ds_bpf Ds_elf Ds_kcc Ds_ksrc Source Surface Version

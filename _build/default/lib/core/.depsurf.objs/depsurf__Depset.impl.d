@@ -1,0 +1,1 @@
+lib/core/depset.ml: Ds_bpf Ds_btf Ds_ctypes Hook List Obj Printf

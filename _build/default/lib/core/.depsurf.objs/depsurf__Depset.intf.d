@@ -1,0 +1,1 @@
+lib/core/depset.mli: Ds_bpf

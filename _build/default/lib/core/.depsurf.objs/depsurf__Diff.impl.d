@@ -1,0 +1,1 @@
+lib/core/diff.ml: Ctype Decl Ds_ctypes Ds_util Fun List Map Printf String Surface

@@ -1,0 +1,1 @@
+lib/core/diff.mli: Ctype Decl Ds_ctypes Surface

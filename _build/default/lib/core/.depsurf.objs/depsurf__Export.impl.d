@@ -1,0 +1,1 @@
+lib/core/export.ml: Config Ctype Decl Depset Ds_ctypes Ds_elf Ds_ksrc Ds_util Func_status Int64 Json List Printf Report Surface Version

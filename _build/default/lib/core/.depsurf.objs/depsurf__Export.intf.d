@@ -1,0 +1,1 @@
+lib/core/export.mli: Ds_ctypes Ds_util Json Report Surface

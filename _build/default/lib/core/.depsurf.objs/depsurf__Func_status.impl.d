@@ -1,0 +1,1 @@
+lib/core/func_status.ml: Construct Ds_elf Ds_ksrc List String Surface

@@ -1,0 +1,1 @@
+lib/core/func_status.mli: Construct Ds_ksrc Surface

@@ -1,0 +1,1 @@
+lib/core/import.ml: Config Ctype Decl Ds_ctypes Ds_elf Ds_ksrc Ds_util Int64 Json List Option String Surface Version

@@ -1,0 +1,1 @@
+lib/core/import.mli: Ds_ctypes Ds_util Json Surface

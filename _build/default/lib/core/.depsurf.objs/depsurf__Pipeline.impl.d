@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Config Dataset Ds_bpf Ds_ksrc Report Version

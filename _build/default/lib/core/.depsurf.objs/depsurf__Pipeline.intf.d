@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Calibration Config Dataset Ds_bpf Ds_ksrc Report Version

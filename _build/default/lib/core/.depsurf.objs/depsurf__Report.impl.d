@@ -1,0 +1,1 @@
+lib/core/report.ml: Config Ctype Dataset Decl Depset Diff Ds_bpf Ds_ctypes Ds_ksrc Ds_util Func_status List Printf Surface Version

@@ -1,0 +1,1 @@
+lib/core/report.mli: Config Dataset Depset Ds_bpf Ds_ksrc Surface Version

@@ -1,0 +1,1 @@
+lib/core/surface.ml: Config Ctype Decl Ds_bpf Ds_btf Ds_ctypes Ds_dwarf Ds_elf Ds_ksrc Elf Hashtbl List Map Option Printf String Version

@@ -1,0 +1,1 @@
+lib/core/surface.mli: Config Ctype Decl Ds_bpf Ds_ctypes Ds_elf Ds_ksrc Version

@@ -1,0 +1,117 @@
+open Ds_ksrc
+module Hook = Ds_bpf.Hook
+
+type candidate = {
+  ca_hook : Hook.t;
+  ca_since : Version.t option;
+  ca_until : Version.t option;
+}
+
+type probe = { pb_name : string; pb_doc : string; pb_candidates : candidate list }
+
+let c ?since ?until hook = { ca_hook = hook; ca_since = since; ca_until = until }
+
+let default_registry =
+  [
+    {
+      pb_name = "block:io_start";
+      pb_doc = "an I/O request enters accounting (biotop's start edge)";
+      pb_candidates =
+        [
+          c ~since:(Version.v 6 5) (Hook.Tracepoint { category = "block"; event = "block_io_start" });
+          c (Hook.Kprobe "blk_account_io_start");
+          c (Hook.Kprobe "__blk_account_io_start");
+          c (Hook.Kprobe "blk_mq_start_request");
+        ];
+    };
+    {
+      pb_name = "block:io_done";
+      pb_doc = "an I/O request completes (biotop's end edge)";
+      pb_candidates =
+        [
+          c ~since:(Version.v 6 5) (Hook.Tracepoint { category = "block"; event = "block_io_done" });
+          c (Hook.Kprobe "blk_account_io_done");
+          c (Hook.Kprobe "__blk_account_io_done");
+          c (Hook.Kprobe "blk_mq_end_request");
+        ];
+    };
+    {
+      pb_name = "mm:readahead";
+      pb_doc = "page-cache readahead is issued (the readahead tool's probe)";
+      pb_candidates =
+        [
+          c ~since:(Version.v 5 19) (Hook.Kprobe "page_cache_ra_order");
+          c ~since:(Version.v 5 11) ~until:(Version.v 5 15) (Hook.Kprobe "do_page_cache_ra");
+          c ~until:(Version.v 5 8) (Hook.Kprobe "__do_page_cache_readahead");
+        ];
+    };
+    {
+      pb_name = "vfs:unlink";
+      pb_doc = "a file is being unlinked";
+      pb_candidates = [ c (Hook.Kprobe "do_unlinkat") ];
+    };
+    {
+      pb_name = "sched:switch";
+      pb_doc = "context switch";
+      pb_candidates = [ c (Hook.Tracepoint { category = "sched"; event = "sched_switch" }) ];
+    };
+  ]
+
+let find_probe name = List.find_opt (fun p -> p.pb_name = name) default_registry
+
+type resolution = {
+  rs_probe : string;
+  rs_hook : Hook.t option;
+  rs_skipped : (Hook.t * string) list;
+}
+
+let candidate_ok (surface : Surface.t) cand =
+  let v = surface.Surface.s_version in
+  if (match cand.ca_since with Some s -> Version.compare v s < 0 | None -> false) then
+    Error "candidate newer than this kernel"
+  else if (match cand.ca_until with Some u -> Version.compare v u > 0 | None -> false) then
+    Error "candidate retired before this kernel"
+  else
+    match Hook.target_function cand.ca_hook with
+    | Some fn -> (
+        match Surface.find_func surface fn with
+        | None -> Error "function absent"
+        | Some fe ->
+            if Func_status.is_attachable fe then Ok ()
+            else if Func_status.transforms fe <> [] then Error "function transformed"
+            else Error "function fully inlined")
+    | None -> (
+        match Hook.target_tracepoint cand.ca_hook with
+        | Some tp ->
+            if Surface.find_tracepoint surface tp <> None then Ok ()
+            else Error "tracepoint absent"
+        | None -> (
+            match Hook.target_syscall cand.ca_hook with
+            | Some sc ->
+                if Surface.has_syscall surface sc then Ok () else Error "syscall unavailable"
+            | None -> Ok ()))
+
+let resolve probe surface =
+  let rec go skipped = function
+    | [] -> { rs_probe = probe.pb_name; rs_hook = None; rs_skipped = List.rev skipped }
+    | cand :: rest -> (
+        match candidate_ok surface cand with
+        | Ok () ->
+            { rs_probe = probe.pb_name; rs_hook = Some cand.ca_hook; rs_skipped = List.rev skipped }
+        | Error why -> go ((cand.ca_hook, why) :: skipped) rest)
+  in
+  go [] probe.pb_candidates
+
+let coverage probe ds images =
+  List.map
+    (fun (v, cfg) ->
+      let label = Printf.sprintf "%s/%s" (Version.to_string v) (Config.to_string cfg) in
+      (label, resolve probe (Dataset.surface ds v cfg)))
+    images
+
+let spec_of_resolution ~tool res =
+  Option.map
+    (fun hook ->
+      Ds_bpf.Progbuild.
+        { sp_tool = tool; sp_hooks = [ { hs_hook = hook; hs_arg_indices = []; hs_kfuncs = []; hs_reads = [] } ] })
+    res.rs_hook

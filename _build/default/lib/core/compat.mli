@@ -1,0 +1,49 @@
+(** A prototype of the paper's §6 "compatibility layer": a curated
+    registry of {e stable probe names} that resolve, per target kernel,
+    to whichever concrete hook actually works there — the DTrace-style
+    stable-probe idea the eBPF community has discussed for years.
+
+    A stable probe is an ordered list of candidate hooks. Resolution walks
+    the list against a target surface and picks the first candidate that
+    would attach cleanly (symbol present for kprobes, event present for
+    tracepoints), so the maintenance knowledge DepSurf surfaces (Figure 4)
+    is captured once, in data, instead of in every tool. *)
+
+open Ds_ksrc
+
+type candidate = {
+  ca_hook : Ds_bpf.Hook.t;
+  ca_since : Version.t option;  (** only meaningful from this version *)
+  ca_until : Version.t option;  (** last version it should be used on *)
+}
+
+type probe = {
+  pb_name : string;  (** stable name, e.g. ["block:io_start"] *)
+  pb_doc : string;
+  pb_candidates : candidate list;  (** in preference order *)
+}
+
+val default_registry : probe list
+(** Probes for the case-study lineages: ["block:io_start"],
+    ["block:io_done"], ["mm:readahead"], ["vfs:unlink"], ... *)
+
+val find_probe : string -> probe option
+
+type resolution = {
+  rs_probe : string;
+  rs_hook : Ds_bpf.Hook.t option;  (** [None] = nothing works on this kernel *)
+  rs_skipped : (Ds_bpf.Hook.t * string) list;  (** rejected candidates + why *)
+}
+
+val resolve : probe -> Surface.t -> resolution
+(** Pick the first candidate that attaches cleanly on the surface's
+    kernel. A kprobe candidate is rejected when the function has no
+    symbol (absent, fully inlined, or transformed); a tracepoint when the
+    event is absent; a syscall when unavailable on the arch. *)
+
+val coverage : probe -> Dataset.t -> (Version.t * Config.t) list -> (string * resolution) list
+(** Resolve across an image list; the matrix a registry maintainer
+    reviews. *)
+
+val spec_of_resolution : tool:string -> resolution -> Ds_bpf.Progbuild.spec option
+(** Turn a successful resolution into a one-hook program spec. *)

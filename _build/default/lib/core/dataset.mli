@@ -1,0 +1,30 @@
+(** The study's image matrix and its extracted surfaces, built once and
+    memoized: 17 x86/generic versions plus 4 architectures and 4 flavors
+    at v5.4 — 25 images (paper §3.2). *)
+
+open Ds_ksrc
+
+type t
+
+val study_images : (Version.t * Config.t) list
+(** All 25 (version, config) pairs. *)
+
+val fig4_images : (Version.t * Config.t) list
+(** The 21 images of Figure 4: 17 x86 versions + 4 arches at v5.4. *)
+
+val build : seed:int64 -> Calibration.scale -> t
+(** Generate the kernel history; images and surfaces materialize lazily
+    on first access. *)
+
+val seed : t -> int64
+val scale : t -> Calibration.scale
+val source : t -> Version.t -> Source.t
+val image : t -> Version.t -> Config.t -> Ds_elf.Elf.t
+val model : t -> Version.t -> Config.t -> Ds_kcc.Compile.model
+val vmlinux : t -> Version.t -> Config.t -> Ds_bpf.Vmlinux.t
+val surface : t -> Version.t -> Config.t -> Surface.t
+val x86_series : t -> (Version.t * Surface.t) list
+(** The 17 x86/generic surfaces in release order. *)
+
+val warm : t -> unit
+(** Force every study image/surface (useful before timing runs). *)

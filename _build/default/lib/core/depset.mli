@@ -1,0 +1,28 @@
+(** Dependency-set extraction from eBPF object files (paper §3.4): hooks
+    from section names, struct/field dependencies from the CO-RE
+    relocation records, with every intermediate link of a chained access
+    recorded. *)
+
+type dep =
+  | Dep_func of string  (** kprobe/kretprobe/fentry/fexit/lsm target *)
+  | Dep_struct of string
+  | Dep_field of string * string
+  | Dep_tracepoint of string
+  | Dep_syscall of string
+
+val compare_dep : dep -> dep -> int
+val dep_to_string : dep -> string
+
+val of_obj : Ds_bpf.Obj.t -> dep list
+(** Deduplicated, ordered: functions, structs, fields, tracepoints,
+    syscalls. *)
+
+type totals = {
+  n_funcs : int;
+  n_structs : int;
+  n_fields : int;
+  n_tracepoints : int;
+  n_syscalls : int;
+}
+
+val totals : dep list -> totals

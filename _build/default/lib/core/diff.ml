@@ -1,0 +1,313 @@
+open Ds_ctypes
+
+type func_change =
+  | Param_added of string
+  | Param_removed of string
+  | Param_reordered
+  | Param_type_changed of string * Ctype.t * Ctype.t
+  | Return_type_changed of Ctype.t * Ctype.t
+
+type field_change =
+  | Field_added of string
+  | Field_removed of string
+  | Field_type_changed of string * Ctype.t * Ctype.t
+
+type tp_change =
+  | Event_struct_changed of field_change list
+  | Tracing_func_changed of func_change list
+
+type mode = Across_versions | Across_configs
+
+type 'c item_diff = {
+  d_common : int;
+  d_added : string list;
+  d_removed : string list;
+  d_changed : (string * 'c list) list;
+}
+
+type t = {
+  df_funcs : func_change item_diff;
+  df_structs : field_change item_diff;
+  df_tracepoints : tp_change item_diff;
+  df_syscalls : unit item_diff;
+}
+
+let index_of name params =
+  let rec go i = function
+    | [] -> None
+    | (p : Ctype.param) :: rest -> if p.pname = name then Some i else go (i + 1) rest
+  in
+  go 0 params
+
+let func_changes (old_p : Ctype.proto) (new_p : Ctype.proto) =
+  if Ctype.equal_proto old_p new_p then []
+  else begin
+    let changes = ref [] in
+    let add c = changes := c :: !changes in
+    List.iteri
+      (fun _ (p : Ctype.param) ->
+        if index_of p.pname old_p.params = None then add (Param_added p.pname))
+      new_p.params;
+    List.iter
+      (fun (p : Ctype.param) ->
+        if index_of p.pname new_p.params = None then add (Param_removed p.pname))
+      old_p.params;
+    let reordered =
+      List.exists
+        (fun (p : Ctype.param) ->
+          match index_of p.pname old_p.params, index_of p.pname new_p.params with
+          | Some i, Some j -> i <> j
+          | _ -> false)
+        old_p.params
+    in
+    if reordered then add Param_reordered;
+    List.iter
+      (fun (p : Ctype.param) ->
+        match List.find_opt (fun (q : Ctype.param) -> q.pname = p.pname) new_p.params with
+        | Some q when not (Ctype.equal p.ptype q.ptype) ->
+            add (Param_type_changed (p.pname, p.ptype, q.ptype))
+        | _ -> ())
+      old_p.params;
+    if not (Ctype.equal old_p.ret new_p.ret) then
+      add (Return_type_changed (old_p.ret, new_p.ret));
+    (* a real difference with no nameable cause (e.g. only variadicness):
+       surface it as a reorder-class change *)
+    if !changes = [] then add Param_reordered;
+    List.rev !changes
+  end
+
+let field_changes mode (old_s : Decl.struct_def) (new_s : Decl.struct_def) =
+  let changes = ref [] in
+  let add c = changes := c :: !changes in
+  let field_eq (a : Decl.field) (b : Decl.field) =
+    match mode with
+    | Across_versions -> Ctype.equal a.ftype b.ftype && a.bits_offset = b.bits_offset
+    | Across_configs ->
+        (* pointer width shifts every offset; compare shape only *)
+        Ctype.to_string a.ftype = Ctype.to_string b.ftype
+  in
+  List.iter
+    (fun (f : Decl.field) ->
+      if not (List.exists (fun (g : Decl.field) -> g.fname = f.fname) old_s.fields) then
+        add (Field_added f.fname))
+    new_s.fields;
+  List.iter
+    (fun (f : Decl.field) ->
+      match List.find_opt (fun (g : Decl.field) -> g.fname = f.fname) new_s.fields with
+      | None -> add (Field_removed f.fname)
+      | Some g ->
+          if not (Ctype.equal f.ftype g.ftype) then
+            add (Field_type_changed (f.fname, f.ftype, g.ftype))
+          else if not (field_eq f g) && mode = Across_versions then
+            (* same type, moved: layout change only — CO-RE absorbs it, so
+               it is not a change for dependency purposes *)
+            ())
+    old_s.fields;
+  List.rev !changes
+
+let tp_changes mode (old_tp : Surface.tp_entry) (new_tp : Surface.tp_entry) =
+  let changes = ref [] in
+  (match old_tp.Surface.te_event_struct, new_tp.Surface.te_event_struct with
+  | Some a, Some b ->
+      let fc = field_changes mode a b in
+      if fc <> [] then changes := Event_struct_changed fc :: !changes
+  | None, None -> ()
+  | Some _, None | None, Some _ ->
+      changes := Event_struct_changed [] :: !changes);
+  (match old_tp.Surface.te_func, new_tp.Surface.te_func with
+  | Some a, Some b ->
+      let fc = func_changes a.Decl.proto b.Decl.proto in
+      if fc <> [] then changes := Tracing_func_changed fc :: !changes
+  | None, None -> ()
+  | Some _, None | None, Some _ -> changes := Tracing_func_changed [] :: !changes);
+  List.rev !changes
+
+let diff_assoc ~key ~changed old_items new_items =
+  let module Smap = Map.Make (String) in
+  let index items = List.fold_left (fun m x -> Smap.add (key x) x m) Smap.empty items in
+  let old_m = index old_items and new_m = index new_items in
+  let added =
+    Smap.fold (fun k _ acc -> if Smap.mem k old_m then acc else k :: acc) new_m []
+  in
+  let removed =
+    Smap.fold (fun k _ acc -> if Smap.mem k new_m then acc else k :: acc) old_m []
+  in
+  let common = ref 0 in
+  let changes =
+    Smap.fold
+      (fun k ov acc ->
+        match Smap.find_opt k new_m with
+        | None -> acc
+        | Some nv -> (
+            incr common;
+            match changed ov nv with [] -> acc | cs -> (k, cs) :: acc))
+      old_m []
+  in
+  {
+    d_common = !common;
+    d_added = List.rev added;
+    d_removed = List.rev removed;
+    d_changed = List.rev changes;
+  }
+
+let compare_surfaces mode (old_s : Surface.t) (new_s : Surface.t) =
+  let df_funcs =
+    diff_assoc
+      ~key:(fun (fe : Surface.func_entry) -> fe.fe_name)
+      ~changed:(fun a b ->
+        func_changes (Surface.representative_proto a) (Surface.representative_proto b))
+      old_s.Surface.s_funcs new_s.Surface.s_funcs
+  in
+  let df_structs =
+    diff_assoc
+      ~key:(fun (s : Decl.struct_def) -> s.sname)
+      ~changed:(fun a b -> field_changes mode a b)
+      old_s.Surface.s_structs new_s.Surface.s_structs
+  in
+  let df_tracepoints =
+    diff_assoc
+      ~key:(fun (tp : Surface.tp_entry) -> tp.te_name)
+      ~changed:(fun a b -> tp_changes mode a b)
+      old_s.Surface.s_tracepoints new_s.Surface.s_tracepoints
+  in
+  let df_syscalls =
+    diff_assoc
+      ~key:Fun.id
+      ~changed:(fun _ _ -> [])
+      old_s.Surface.s_syscalls new_s.Surface.s_syscalls
+  in
+  { df_funcs; df_structs; df_tracepoints; df_syscalls }
+
+let change_is_silent = function
+  | Param_added _ | Param_removed _ | Param_reordered -> true
+  | Param_type_changed (_, a, b) | Return_type_changed (a, b) -> Ctype.compatible a b
+
+let describe_func_change = function
+  | Param_added n -> Printf.sprintf "param %s added" n
+  | Param_removed n -> Printf.sprintf "param %s removed" n
+  | Param_reordered -> "params reordered"
+  | Param_type_changed (n, a, b) ->
+      Printf.sprintf "param %s: %s -> %s" n (Ctype.to_string a) (Ctype.to_string b)
+  | Return_type_changed (a, b) ->
+      Printf.sprintf "return: %s -> %s" (Ctype.to_string a) (Ctype.to_string b)
+
+let describe_field_change = function
+  | Field_added n -> Printf.sprintf "field %s added" n
+  | Field_removed n -> Printf.sprintf "field %s removed" n
+  | Field_type_changed (n, a, b) ->
+      Printf.sprintf "field %s: %s -> %s" n (Ctype.to_string a) (Ctype.to_string b)
+
+let describe_tp_change = function
+  | Event_struct_changed [] -> "event struct added/removed"
+  | Event_struct_changed fcs ->
+      "event struct changed (" ^ String.concat "; " (List.map describe_field_change fcs) ^ ")"
+  | Tracing_func_changed [] -> "tracing function added/removed"
+  | Tracing_func_changed fcs ->
+      "tracing function changed (" ^ String.concat "; " (List.map describe_func_change fcs) ^ ")"
+
+type rates = { t_count : int; t_added_pct : float; t_removed_pct : float; t_changed_pct : float }
+type summary = { sum_funcs : rates; sum_structs : rates; sum_tracepoints : rates }
+
+let rates_of (d : 'c item_diff) ~old_count ~new_count =
+  ignore new_count;
+  {
+    t_count = old_count;
+    t_added_pct = Ds_util.Stats.percent (List.length d.d_added) old_count;
+    t_removed_pct = Ds_util.Stats.percent (List.length d.d_removed) old_count;
+    t_changed_pct = Ds_util.Stats.percent (List.length d.d_changed) old_count;
+  }
+
+let summary mode old_s new_s =
+  let d = compare_surfaces mode old_s new_s in
+  let fo, so, tpo, _ = Surface.counts old_s in
+  let fn, sn, tpn, _ = Surface.counts new_s in
+  {
+    sum_funcs = rates_of d.df_funcs ~old_count:fo ~new_count:fn;
+    sum_structs = rates_of d.df_structs ~old_count:so ~new_count:sn;
+    sum_tracepoints = rates_of d.df_tracepoints ~old_count:tpo ~new_count:tpn;
+  }
+
+type func_breakdown = {
+  fb_changed : int;
+  fb_param_added : int;
+  fb_param_removed : int;
+  fb_param_reordered : int;
+  fb_param_type : int;
+  fb_ret_type : int;
+}
+
+type struct_breakdown = {
+  sb_changed : int;
+  sb_field_added : int;
+  sb_field_removed : int;
+  sb_field_type : int;
+}
+
+type tp_breakdown = { tb_changed : int; tb_event : int; tb_func : int }
+
+let breakdown (d : t) =
+  let fb =
+    List.fold_left
+      (fun fb (_, cs) ->
+        let has p = List.exists p cs in
+        {
+          fb_changed = fb.fb_changed + 1;
+          fb_param_added =
+            (fb.fb_param_added + if has (function Param_added _ -> true | _ -> false) then 1 else 0);
+          fb_param_removed =
+            (fb.fb_param_removed
+            + if has (function Param_removed _ -> true | _ -> false) then 1 else 0);
+          fb_param_reordered =
+            (fb.fb_param_reordered
+            + if has (function Param_reordered -> true | _ -> false) then 1 else 0);
+          fb_param_type =
+            (fb.fb_param_type
+            + if has (function Param_type_changed _ -> true | _ -> false) then 1 else 0);
+          fb_ret_type =
+            (fb.fb_ret_type
+            + if has (function Return_type_changed _ -> true | _ -> false) then 1 else 0);
+        })
+      {
+        fb_changed = 0;
+        fb_param_added = 0;
+        fb_param_removed = 0;
+        fb_param_reordered = 0;
+        fb_param_type = 0;
+        fb_ret_type = 0;
+      }
+      d.df_funcs.d_changed
+  in
+  let sb =
+    List.fold_left
+      (fun sb (_, cs) ->
+        let has p = List.exists p cs in
+        {
+          sb_changed = sb.sb_changed + 1;
+          sb_field_added =
+            (sb.sb_field_added + if has (function Field_added _ -> true | _ -> false) then 1 else 0);
+          sb_field_removed =
+            (sb.sb_field_removed
+            + if has (function Field_removed _ -> true | _ -> false) then 1 else 0);
+          sb_field_type =
+            (sb.sb_field_type
+            + if has (function Field_type_changed _ -> true | _ -> false) then 1 else 0);
+        })
+      { sb_changed = 0; sb_field_added = 0; sb_field_removed = 0; sb_field_type = 0 }
+      d.df_structs.d_changed
+  in
+  let tb =
+    List.fold_left
+      (fun tb (_, cs) ->
+        {
+          tb_changed = tb.tb_changed + 1;
+          tb_event =
+            (tb.tb_event
+            + if List.exists (function Event_struct_changed _ -> true | _ -> false) cs then 1 else 0);
+          tb_func =
+            (tb.tb_func
+            + if List.exists (function Tracing_func_changed _ -> true | _ -> false) cs then 1 else 0);
+        })
+      { tb_changed = 0; tb_event = 0; tb_func = 0 }
+      d.df_tracepoints.d_changed
+  in
+  (fb, sb, tb)

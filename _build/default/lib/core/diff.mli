@@ -1,0 +1,90 @@
+(** Declaration diffs between two dependency surfaces, with the specific
+    change reasons DepSurf records (paper §3.1): the machinery behind
+    Tables 1, 3, 4 and 5. *)
+
+open Ds_ctypes
+
+type func_change =
+  | Param_added of string
+  | Param_removed of string
+  | Param_reordered
+  | Param_type_changed of string * Ctype.t * Ctype.t
+  | Return_type_changed of Ctype.t * Ctype.t
+
+type field_change =
+  | Field_added of string
+  | Field_removed of string
+  | Field_type_changed of string * Ctype.t * Ctype.t
+
+type tp_change = Event_struct_changed of field_change list | Tracing_func_changed of func_change list
+
+type mode = Across_versions | Across_configs
+(** [Across_configs] normalizes ABI-induced layout differences: struct
+    comparison ignores member offsets and aggregate size (pointer width
+    alone would otherwise flag every pointer-bearing struct). *)
+
+type 'c item_diff = {
+  d_common : int;  (** constructs present on both sides *)
+  d_added : string list;  (** present only in the newer surface *)
+  d_removed : string list;
+  d_changed : (string * 'c list) list;
+}
+
+type t = {
+  df_funcs : func_change item_diff;
+  df_structs : field_change item_diff;
+  df_tracepoints : tp_change item_diff;
+  df_syscalls : unit item_diff;
+}
+
+val func_changes : Ctype.proto -> Ctype.proto -> func_change list
+(** Empty when the prototypes agree. Insertion at the front reports both
+    the addition and the reordering of the shifted parameters, matching
+    the paper's counting of vfs_create (6521f89). *)
+
+val field_changes : mode -> Decl.struct_def -> Decl.struct_def -> field_change list
+val tp_changes : mode -> Surface.tp_entry -> Surface.tp_entry -> tp_change list
+
+val compare_surfaces : mode -> Surface.t -> Surface.t -> t
+(** [compare_surfaces mode old_s new_s]. *)
+
+val change_is_silent : func_change -> bool
+(** Whether the change yields a silent stray read rather than a
+    compile/relocation error (compatible type change, reorder,
+    add/remove shifting untyped registers). For kprobes every signature
+    change is silent; this refines by severity for reporting. *)
+
+val describe_func_change : func_change -> string
+val describe_field_change : field_change -> string
+val describe_tp_change : tp_change -> string
+
+(** {2 Aggregate rows for the bench tables} *)
+
+type rates = { t_count : int; t_added_pct : float; t_removed_pct : float; t_changed_pct : float }
+
+type summary = { sum_funcs : rates; sum_structs : rates; sum_tracepoints : rates }
+
+val summary : mode -> Surface.t -> Surface.t -> summary
+(** Percentages relative to the {e old} surface's population, as in the
+    paper's Table 3. *)
+
+type func_breakdown = {
+  fb_changed : int;
+  fb_param_added : int;
+  fb_param_removed : int;
+  fb_param_reordered : int;
+  fb_param_type : int;
+  fb_ret_type : int;
+}
+
+type struct_breakdown = {
+  sb_changed : int;
+  sb_field_added : int;
+  sb_field_removed : int;
+  sb_field_type : int;
+}
+
+type tp_breakdown = { tb_changed : int; tb_event : int; tb_func : int }
+
+val breakdown : t -> func_breakdown * struct_breakdown * tp_breakdown
+(** Table 4: how many changed constructs exhibit each change kind. *)

@@ -1,0 +1,222 @@
+open Ds_util
+open Ds_ctypes
+open Ds_ksrc
+
+let rec json_of_ctype (t : Ctype.t) : Json.t =
+  match t with
+  | Ctype.Void -> Json.Obj [ ("name", Json.String "void"); ("kind", Json.String "VOID") ]
+  | Ctype.Int { name; _ } ->
+      Json.Obj [ ("kind", Json.String "INT"); ("name", Json.String name) ]
+  | Ctype.Float { name; _ } ->
+      Json.Obj [ ("kind", Json.String "FLOAT"); ("name", Json.String name) ]
+  | Ctype.Ptr inner -> Json.Obj [ ("kind", Json.String "PTR"); ("type", json_of_ctype inner) ]
+  | Ctype.Array (inner, n) ->
+      Json.Obj
+        [ ("kind", Json.String "ARRAY"); ("type", json_of_ctype inner); ("nr_elems", Json.Int n) ]
+  | Ctype.Struct_ref name ->
+      Json.Obj [ ("kind", Json.String "STRUCT"); ("name", Json.String name) ]
+  | Ctype.Union_ref name ->
+      Json.Obj [ ("kind", Json.String "UNION"); ("name", Json.String name) ]
+  | Ctype.Enum_ref name -> Json.Obj [ ("kind", Json.String "ENUM"); ("name", Json.String name) ]
+  | Ctype.Typedef_ref name ->
+      Json.Obj [ ("kind", Json.String "TYPEDEF"); ("name", Json.String name) ]
+  | Ctype.Const inner ->
+      Json.Obj [ ("kind", Json.String "CONST"); ("type", json_of_ctype inner) ]
+  | Ctype.Volatile inner ->
+      Json.Obj [ ("kind", Json.String "VOLATILE"); ("type", json_of_ctype inner) ]
+  | Ctype.Func_proto proto -> proto_json proto
+
+and proto_json (proto : Ctype.proto) : Json.t =
+  Json.Obj
+    [
+      ("kind", Json.String "FUNC_PROTO");
+      ( "params",
+        Json.List
+          (List.map
+             (fun (p : Ctype.param) ->
+               Json.Obj [ ("name", Json.String p.pname); ("type", json_of_ctype p.ptype) ])
+             proto.params) );
+      ("ret_type", json_of_ctype proto.ret);
+    ]
+
+let func_decl ~name proto =
+  Json.Obj
+    [ ("kind", Json.String "FUNC"); ("name", Json.String name); ("type", proto_json proto) ]
+
+let struct_def (s : Decl.struct_def) =
+  Json.Obj
+    [
+      ("kind", Json.String (match s.skind with `Struct -> "STRUCT" | `Union -> "UNION"));
+      ("name", Json.String s.sname);
+      ("size", Json.Int s.byte_size);
+      ( "members",
+        Json.List
+          (List.map
+             (fun (f : Decl.field) ->
+               Json.Obj
+                 [
+                   ("name", Json.String f.fname);
+                   ("bits_offset", Json.Int f.bits_offset);
+                   ("type", json_of_ctype f.ftype);
+                 ])
+             s.fields) );
+    ]
+
+let collision_type_string = function
+  | Func_status.Unique_global -> "Unique Global"
+  | Func_status.Unique_static -> "Unique Static"
+  | Func_status.Duplication -> "Duplication"
+  | Func_status.Static_static_collision -> "Static-Static Collision"
+  | Func_status.Static_global_collision -> "Static-Global Collision"
+
+let inline_type_string = function
+  | Func_status.Not_inlined -> "Not inlined"
+  | Func_status.Fully_inlined -> "Fully inlined"
+  | Func_status.Selectively_inlined -> "Partially inlined"
+
+let inline_attr_string (d : Surface.decl_instance) =
+  match d.di_declared_inline, d.di_low_pc with
+  | true, Some _ -> "declared, not inlined"
+  | true, None -> "declared, inlined"
+  | false, Some _ -> "not declared, not inlined"
+  | false, None -> "not declared, inlined"
+
+let func_status (fe : Surface.func_entry) =
+  let funcs =
+    List.map
+      (fun (d : Surface.decl_instance) ->
+        Json.Obj
+          ([
+             ( "addr",
+               match d.di_low_pc with
+               | Some a -> Json.Int (Int64.to_int (Int64.logand a 0xFFFFFFFFFFFFFFL))
+               | None -> Json.Null );
+             ("name", Json.String fe.fe_name);
+             ("external", Json.Bool d.di_external);
+             ("loc", Json.String (Printf.sprintf "%s:%d" d.di_file d.di_line));
+             ("file", Json.String d.di_tu);
+             ("inline", Json.String (inline_attr_string d));
+           ]
+          @ [
+              ( "caller_inline",
+                Json.List
+                  (List.filter_map
+                     (fun (s : Surface.inline_site) ->
+                       if s.is_tu = d.di_tu || List.length fe.fe_decls = 1 then
+                         Some (Json.String (Printf.sprintf "%s:%s" s.is_tu s.is_caller))
+                       else None)
+                     fe.fe_inline_sites) );
+              ( "caller_func",
+                Json.List (List.map (fun c -> Json.String c) fe.fe_callers) );
+            ]))
+      fe.fe_decls
+  in
+  let symbols =
+    List.map
+      (fun (sym : Ds_elf.Elf.symbol) ->
+        Json.Obj
+          [
+            ("addr", Json.Int (Int64.to_int (Int64.logand sym.sym_value 0xFFFFFFFFFFFFFFL)));
+            ("name", Json.String sym.sym_name);
+            ("section", Json.String sym.sym_section);
+            ( "bind",
+              Json.String
+                (match sym.sym_bind with
+                | Ds_elf.Elf.Global -> "STB_GLOBAL"
+                | Ds_elf.Elf.Local -> "STB_LOCAL"
+                | Ds_elf.Elf.Weak -> "STB_WEAK") );
+            ("size", Json.Int sym.sym_size);
+          ])
+      (fe.fe_symbols @ fe.fe_suffixed)
+  in
+  Json.Obj
+    [
+      ("name", Json.String fe.fe_name);
+      ("collision_type", Json.String (collision_type_string (Func_status.name_status fe)));
+      ("inline_type", Json.String (inline_type_string (Func_status.inline_status fe)));
+      ("decl", func_decl ~name:fe.fe_name (Surface.representative_proto fe));
+      ("funcs", Json.List funcs);
+      ("symbols", Json.List symbols);
+    ]
+
+let tracepoint (tp : Surface.tp_entry) =
+  Json.Obj
+    ([
+       ("class_name", Json.String tp.te_class);
+       ("event_name", Json.String tp.te_name);
+       ("func_name", Json.String ("trace_event_raw_event_" ^ tp.te_class));
+       ("struct_name", Json.String ("trace_event_raw_" ^ tp.te_class));
+     ]
+    @ (match tp.te_func with
+      | Some f -> [ ("func", func_decl ~name:f.Decl.fname f.Decl.proto) ]
+      | None -> [])
+    @
+    match tp.te_event_struct with
+    | Some s -> [ ("struct", struct_def s) ]
+    | None -> [])
+
+let surface (s : Surface.t) =
+  Json.Obj
+    [
+      ("version", Json.String (Version.to_string s.s_version));
+      ("arch", Json.String (Config.arch_to_string s.s_arch));
+      ("flavor", Json.String (Config.flavor_to_string s.s_flavor));
+      ( "gcc",
+        Json.String (Printf.sprintf "%d.%d" (fst s.s_gcc) (snd s.s_gcc)) );
+      ( "funcs",
+        Json.Obj
+          (List.map (fun fe -> (fe.Surface.fe_name, func_status fe)) s.s_funcs) );
+      ( "structs",
+        Json.Obj (List.map (fun st -> (st.Decl.sname, struct_def st)) s.s_structs) );
+      ( "tracepoints",
+        Json.Obj (List.map (fun tp -> (tp.Surface.te_name, tracepoint tp)) s.s_tracepoints) );
+      ("syscalls", Json.List (List.map (fun sc -> Json.String sc) s.s_syscalls));
+    ]
+
+
+let status_json (st : Report.status) =
+  match st with
+  | Report.St_changed reasons ->
+      Json.Obj
+        [ ("status", Json.String "changed"); ("reasons", Json.List (List.map (fun r -> Json.String r) reasons)) ]
+  | st ->
+      Json.Obj
+        [
+          ( "status",
+            Json.String
+              (match st with
+              | Report.St_ok -> "ok"
+              | Report.St_absent -> "absent"
+              | Report.St_full_inline -> "full_inline"
+              | Report.St_selective_inline -> "selective_inline"
+              | Report.St_transformed -> "transformed"
+              | Report.St_duplicated -> "duplicated"
+              | Report.St_collision -> "collision"
+              | Report.St_changed _ -> assert false) );
+        ]
+
+let matrix (m : Report.matrix) =
+  let image_label (v, cfg) =
+    Printf.sprintf "%s/%s" (Version.to_string v) (Config.to_string cfg)
+  in
+  Json.Obj
+    [
+      ("program", Json.String m.Report.m_obj_name);
+      ("baseline", Json.String (image_label m.Report.m_baseline));
+      ( "dependencies",
+        Json.List
+          (List.map
+             (fun (row : Report.dep_row) ->
+               Json.Obj
+                 [
+                   ("dep", Json.String (Depset.dep_to_string row.Report.r_dep));
+                   ( "images",
+                     Json.Obj
+                       (List.map
+                          (fun (c : Report.cell) ->
+                            ( image_label c.Report.c_image,
+                              Json.List (List.map status_json c.Report.c_statuses) ))
+                          row.Report.r_cells) );
+                 ])
+             m.Report.m_rows) );
+    ]

@@ -1,0 +1,35 @@
+(** Dataset export in the format of the paper's artifact appendix (A.2.4):
+    function status, function declarations, structs and tracepoints as
+    JSON documents. This is the public DepSurf-dataset format, so the
+    encodings follow the appendix examples field by field (addresses,
+    [collision_type]/[inline_type] strings, ["file:line"] locations,
+    ["caller_inline"]/["caller_func"] lists, and the recursive
+    kind/name/type encoding of declarations). *)
+
+open Ds_util
+
+val json_of_ctype : Ds_ctypes.Ctype.t -> Json.t
+(** The appendix's recursive type encoding: [{"kind": "PTR", "type":
+    {"kind": "STRUCT", "name": "file"}}]. *)
+
+val func_decl : name:string -> Ds_ctypes.Ctype.proto -> Json.t
+(** Appendix "Function Declaration": FUNC / FUNC_PROTO / params /
+    ret_type. *)
+
+val struct_def : Ds_ctypes.Decl.struct_def -> Json.t
+(** Appendix "Struct": kind/name/size/members with bit offsets. *)
+
+val func_status : Surface.func_entry -> Json.t
+(** Appendix "Function Status": per-instance records with inline status,
+    inlined and direct callers, plus the matching symbol-table entries. *)
+
+val tracepoint : Surface.tp_entry -> Json.t
+(** Appendix "Tracepoint": class/event/func/struct names plus the decoded
+    tracing-function declaration and event struct. *)
+
+val surface : Surface.t -> Json.t
+(** A whole surface: identity + every construct, keyed by name. *)
+
+val matrix : Report.matrix -> Json.t
+(** A program's mismatch report: per dependency, per image, the status
+    letters and human-readable reasons. *)

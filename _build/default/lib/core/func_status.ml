@@ -1,0 +1,131 @@
+open Ds_ksrc
+open Surface
+
+type inline_status = Not_inlined | Fully_inlined | Selectively_inlined
+
+type name_status =
+  | Unique_global
+  | Unique_static
+  | Duplication
+  | Static_static_collision
+  | Static_global_collision
+
+let inline_status fe =
+  if fe.fe_inline_sites = [] then Not_inlined
+  else if fe.fe_symbols = [] then Fully_inlined
+  else Selectively_inlined
+
+let transforms fe =
+  let kinds =
+    List.filter_map
+      (fun (s : Ds_elf.Elf.symbol) ->
+        match String.split_on_char '.' s.Ds_elf.Elf.sym_name with
+        | _ :: suffix :: _ -> Construct.transform_of_suffix suffix
+        | _ -> None)
+      fe.fe_suffixed
+  in
+  List.sort_uniq compare kinds
+
+let is_attachable fe = fe.fe_symbols <> []
+
+let name_status fe =
+  let origins =
+    List.sort_uniq compare (List.map (fun d -> (d.di_file, d.di_line)) fe.fe_decls)
+  in
+  let any_external = List.exists (fun d -> d.di_external) fe.fe_decls in
+  if List.length origins > 1 then
+    if any_external then Static_global_collision else Static_static_collision
+  else if List.length fe.fe_decls > 1 || List.length fe.fe_symbols > 1 then Duplication
+  else if any_external then Unique_global
+  else Unique_static
+
+type inline_census = { ic_total : int; ic_full : int; ic_selective : int }
+
+let inline_census surface =
+  let total = List.length surface.s_funcs in
+  let full = ref 0 and selective = ref 0 in
+  List.iter
+    (fun fe ->
+      match inline_status fe with
+      | Fully_inlined -> incr full
+      | Selectively_inlined -> incr selective
+      | Not_inlined -> ())
+    surface.s_funcs;
+  { ic_total = total; ic_full = !full; ic_selective = !selective }
+
+type transform_census = {
+  tc_total : int;
+  tc_isra : int;
+  tc_constprop : int;
+  tc_part : int;
+  tc_cold : int;
+  tc_multi : int;
+  tc_any : int;
+}
+
+let transform_census surface =
+  (* the paper counts fractions of functions "in the symbol table" *)
+  let in_symtab =
+    List.filter (fun fe -> fe.fe_symbols <> [] || fe.fe_suffixed <> []) surface.s_funcs
+  in
+  let c = { tc_total = List.length in_symtab; tc_isra = 0; tc_constprop = 0;
+            tc_part = 0; tc_cold = 0; tc_multi = 0; tc_any = 0 }
+  in
+  List.fold_left
+    (fun c fe ->
+      match transforms fe with
+      | [] -> c
+      | kinds ->
+          let has k = List.mem k kinds in
+          {
+            c with
+            tc_isra = (c.tc_isra + if has Construct.T_isra then 1 else 0);
+            tc_constprop = (c.tc_constprop + if has Construct.T_constprop then 1 else 0);
+            tc_part = (c.tc_part + if has Construct.T_part then 1 else 0);
+            tc_cold = (c.tc_cold + if has Construct.T_cold then 1 else 0);
+            tc_multi = (c.tc_multi + if List.length kinds >= 2 then 1 else 0);
+            tc_any = c.tc_any + 1;
+          })
+    c in_symtab
+
+type collision_census = {
+  cc_unique_global : int;
+  cc_unique_static : int;
+  cc_duplication : int;
+  cc_static_static : int;
+  cc_static_global : int;
+}
+
+let collision_census surface =
+  List.fold_left
+    (fun c fe ->
+      match name_status fe with
+      | Unique_global -> { c with cc_unique_global = c.cc_unique_global + 1 }
+      | Unique_static -> { c with cc_unique_static = c.cc_unique_static + 1 }
+      | Duplication -> { c with cc_duplication = c.cc_duplication + 1 }
+      | Static_static_collision -> { c with cc_static_static = c.cc_static_static + 1 }
+      | Static_global_collision -> { c with cc_static_global = c.cc_static_global + 1 })
+    {
+      cc_unique_global = 0;
+      cc_unique_static = 0;
+      cc_duplication = 0;
+      cc_static_static = 0;
+      cc_static_global = 0;
+    }
+    surface.s_funcs
+
+
+let is_lsm_hook name = String.starts_with ~prefix:"security_" name
+let is_kfunc name = String.starts_with ~prefix:"bpf_" name
+
+type special_census = { sp_lsm : int; sp_kfunc : int }
+
+let special_census surface =
+  List.fold_left
+    (fun c fe ->
+      {
+        sp_lsm = (c.sp_lsm + if is_lsm_hook fe.fe_name then 1 else 0);
+        sp_kfunc = (c.sp_kfunc + if is_kfunc fe.fe_name then 1 else 0);
+      })
+    { sp_lsm = 0; sp_kfunc = 0 }
+    surface.s_funcs

@@ -1,0 +1,66 @@
+(** Classification of the compilation-induced function statuses DepSurf
+    reports (paper §4.3): inline status, compiler transformations, and the
+    duplication/collision taxonomy of Table 6, plus the censuses behind
+    Figures 5–6. *)
+
+open Ds_ksrc
+
+type inline_status = Not_inlined | Fully_inlined | Selectively_inlined
+
+type name_status =
+  | Unique_global
+  | Unique_static
+  | Duplication  (** one definition (same file:line), several copies *)
+  | Static_static_collision  (** distinct static definitions share a name *)
+  | Static_global_collision
+
+val inline_status : Surface.func_entry -> inline_status
+val transforms : Surface.func_entry -> Construct.transform list
+(** Distinct transformation kinds observed in the suffixed symbols. *)
+
+val is_attachable : Surface.func_entry -> bool
+(** At least one exact-name symbol exists. *)
+
+val name_status : Surface.func_entry -> name_status
+
+type inline_census = {
+  ic_total : int;
+  ic_full : int;
+  ic_selective : int;
+}
+
+val inline_census : Surface.t -> inline_census
+
+type transform_census = {
+  tc_total : int;
+  tc_isra : int;
+  tc_constprop : int;
+  tc_part : int;
+  tc_cold : int;
+  tc_multi : int;  (** functions with ≥ 2 distinct transformations *)
+  tc_any : int;
+}
+
+val transform_census : Surface.t -> transform_census
+
+type collision_census = {
+  cc_unique_global : int;
+  cc_unique_static : int;
+  cc_duplication : int;
+  cc_static_static : int;
+  cc_static_global : int;
+}
+
+val collision_census : Surface.t -> collision_census
+
+(** {2 Special kernel functions (paper §4.1)} *)
+
+val is_lsm_hook : string -> bool
+(** By the kernel's naming convention ([security_*]). *)
+
+val is_kfunc : string -> bool
+(** Kernel functions callable from eBPF ([bpf_*] in our model). *)
+
+type special_census = { sp_lsm : int; sp_kfunc : int }
+
+val special_census : Surface.t -> special_census

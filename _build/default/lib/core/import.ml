@@ -1,0 +1,248 @@
+open Ds_util
+open Ds_ctypes
+open Ds_ksrc
+
+exception Bad_dataset of string
+
+let fail msg = raise (Bad_dataset msg)
+let str_field name j = match Json.member name j with Some (Json.String s) -> s | _ -> fail ("missing string " ^ name)
+let int_field name j = match Json.member name j with Some (Json.Int i) -> i | _ -> fail ("missing int " ^ name)
+let bool_field name j = match Json.member name j with Some (Json.Bool b) -> b | _ -> fail ("missing bool " ^ name)
+let list_field name j =
+  match Json.member name j with Some (Json.List l) -> l | _ -> fail ("missing list " ^ name)
+
+(* Byte widths of the base types Export can emit, recovered from their C
+   names (the JSON does not carry widths, matching the appendix). *)
+let int_of_name name =
+  let bits, signed =
+    match name with
+    | "char" -> (8, true)
+    | "unsigned char" | "_Bool" -> (8, false)
+    | "short int" -> (16, true)
+    | "short unsigned int" -> (16, false)
+    | "int" -> (32, true)
+    | "unsigned int" -> (32, false)
+    | "long int" | "long long int" -> (64, true)
+    | "long unsigned int" | "long long unsigned int" -> (64, false)
+    | _ -> (32, true)
+  in
+  Ctype.Int { name; bits; signed = signed && name <> "_Bool" }
+
+let rec ctype_of_json j =
+  match str_field "kind" j with
+  | "VOID" -> Ctype.Void
+  | "INT" -> int_of_name (str_field "name" j)
+  | "FLOAT" ->
+      let name = str_field "name" j in
+      Ctype.Float { name; bits = (if name = "float" then 32 else 64) }
+  | "PTR" -> Ctype.Ptr (inner j)
+  | "ARRAY" -> Ctype.Array (inner j, int_field "nr_elems" j)
+  | "STRUCT" -> Ctype.Struct_ref (str_field "name" j)
+  | "UNION" -> Ctype.Union_ref (str_field "name" j)
+  | "ENUM" -> Ctype.Enum_ref (str_field "name" j)
+  | "TYPEDEF" -> Ctype.Typedef_ref (str_field "name" j)
+  | "CONST" -> Ctype.Const (inner j)
+  | "VOLATILE" -> Ctype.Volatile (inner j)
+  | "FUNC_PROTO" -> Ctype.Func_proto (proto_of_json j)
+  | k -> fail ("unknown type kind " ^ k)
+
+and inner j =
+  match Json.member "type" j with Some t -> ctype_of_json t | None -> fail "missing type"
+
+and proto_of_json j =
+  (* accept both a FUNC wrapper and a bare FUNC_PROTO *)
+  let j =
+    match str_field "kind" j with
+    | "FUNC" -> (
+        match Json.member "type" j with Some t -> t | None -> fail "FUNC without type")
+    | _ -> j
+  in
+  match str_field "kind" j with
+  | "FUNC_PROTO" ->
+      let params =
+        List.map
+          (fun p -> Ctype.{ pname = str_field "name" p; ptype = inner p })
+          (list_field "params" j)
+      in
+      let ret =
+        match Json.member "ret_type" j with
+        | Some r -> ctype_of_json r
+        | None -> fail "missing ret_type"
+      in
+      { Ctype.ret; params; variadic = false }
+  | k -> fail ("expected FUNC_PROTO, got " ^ k)
+
+let struct_of_json j =
+  let skind = match str_field "kind" j with "UNION" -> `Union | _ -> `Struct in
+  Decl.
+    {
+      sname = str_field "name" j;
+      skind;
+      byte_size = int_field "size" j;
+      fields =
+        List.map
+          (fun m ->
+            {
+              fname = str_field "name" m;
+              ftype = inner m;
+              bits_offset = int_field "bits_offset" m;
+            })
+          (list_field "members" j);
+    }
+
+let split_loc loc =
+  match String.rindex_opt loc ':' with
+  | Some i ->
+      let file = String.sub loc 0 i in
+      let line =
+        match int_of_string_opt (String.sub loc (i + 1) (String.length loc - i - 1)) with
+        | Some l -> l
+        | None -> fail ("bad loc " ^ loc)
+      in
+      (file, line)
+  | None -> fail ("bad loc " ^ loc)
+
+let func_entry_of_json j : Surface.func_entry =
+  let name = str_field "name" j in
+  let proto = proto_of_json (match Json.member "decl" j with Some d -> d | None -> fail "missing decl") in
+  let decls =
+    List.map
+      (fun inst ->
+        let file, line = split_loc (str_field "loc" inst) in
+        Surface.
+          {
+            di_tu = str_field "file" inst;
+            di_file = file;
+            di_line = line;
+            di_proto = proto;
+            di_external = bool_field "external" inst;
+            di_declared_inline =
+              (match str_field "inline" inst with
+              | "declared, inlined" | "declared, not inlined" -> true
+              | _ -> false);
+            di_low_pc =
+              (match Json.member "addr" inst with
+              | Some (Json.Int a) -> Some (Int64.of_int a)
+              | _ -> None);
+          })
+      (list_field "funcs" j)
+  in
+  (* inline sites are recorded as "tu:caller" strings on the instances *)
+  let inline_sites =
+    List.concat_map
+      (fun inst ->
+        List.filter_map
+          (function
+            | Json.String s -> (
+                match String.index_opt s ':' with
+                | Some i ->
+                    Some
+                      Surface.
+                        {
+                          is_tu = String.sub s 0 i;
+                          is_caller = String.sub s (i + 1) (String.length s - i - 1);
+                          is_pc = 0L;
+                        }
+                | None -> None)
+            | _ -> None)
+          (list_field "caller_inline" inst))
+      (list_field "funcs" j)
+  in
+  let callers =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun inst ->
+           List.filter_map
+             (function Json.String s -> Some s | _ -> None)
+             (list_field "caller_func" inst))
+         (list_field "funcs" j))
+  in
+  let symbols =
+    List.map
+      (fun sym ->
+        Ds_elf.Elf.
+          {
+            sym_name = str_field "name" sym;
+            sym_value = Int64.of_int (int_field "addr" sym);
+            sym_size = int_field "size" sym;
+            sym_bind =
+              (match str_field "bind" sym with
+              | "STB_GLOBAL" -> Ds_elf.Elf.Global
+              | "STB_WEAK" -> Ds_elf.Elf.Weak
+              | _ -> Ds_elf.Elf.Local);
+            sym_section = str_field "section" sym;
+          })
+      (list_field "symbols" j)
+  in
+  let exact, suffixed =
+    List.partition (fun (s : Ds_elf.Elf.symbol) -> s.sym_name = name) symbols
+  in
+  {
+    fe_name = name;
+    fe_decls = decls;
+    fe_symbols = exact;
+    fe_suffixed = suffixed;
+    fe_inline_sites = inline_sites;
+    fe_callers = callers;
+  }
+
+let tp_of_json j : Surface.tp_entry =
+  {
+    te_name = str_field "event_name" j;
+    te_class = str_field "class_name" j;
+    te_event_struct = Option.map struct_of_json (Json.member "struct" j);
+    te_func =
+      Option.map
+        (fun d -> Ds_ctypes.Decl.{ fname = str_field "name" d; proto = proto_of_json d })
+        (Json.member "func" j);
+  }
+
+let surface_of_json j =
+  let version =
+    match String.split_on_char '.' (str_field "version" j) with
+    | [ major; minor ] -> (
+        match
+          int_of_string_opt (String.sub major 1 (String.length major - 1)),
+          int_of_string_opt minor
+        with
+        | Some a, Some b -> Version.v a b
+        | _ -> fail "bad version")
+    | _ -> fail "bad version"
+  in
+  let arch =
+    let a = str_field "arch" j in
+    match List.find_opt (fun x -> Config.arch_to_string x = a) Config.arches with
+    | Some x -> x
+    | None -> fail ("bad arch " ^ a)
+  in
+  let flavor =
+    let f = str_field "flavor" j in
+    match List.find_opt (fun x -> Config.flavor_to_string x = f) Config.flavors with
+    | Some x -> x
+    | None -> fail ("bad flavor " ^ f)
+  in
+  let gcc =
+    match String.split_on_char '.' (str_field "gcc" j) with
+    | [ a; b ] -> (
+        match int_of_string_opt a, int_of_string_opt b with
+        | Some x, Some y -> (x, y)
+        | _ -> fail "bad gcc")
+    | _ -> fail "bad gcc"
+  in
+  let obj_field name =
+    match Json.member name j with Some (Json.Obj kvs) -> kvs | _ -> fail ("missing object " ^ name)
+  in
+  let funcs = List.map (fun (_, v) -> func_entry_of_json v) (obj_field "funcs") in
+  let structs = List.map (fun (_, v) -> struct_of_json v) (obj_field "structs") in
+  let tracepoints = List.map (fun (_, v) -> tp_of_json v) (obj_field "tracepoints") in
+  let syscalls =
+    List.map
+      (function Json.String s -> s | _ -> fail "bad syscall entry")
+      (list_field "syscalls" j)
+  in
+  Surface.v ~version ~arch ~flavor ~gcc ~funcs ~structs ~tracepoints ~syscalls
+
+let surface_of_string s =
+  match Json.of_string s with
+  | j -> surface_of_json j
+  | exception Json.Parse_error m -> fail ("JSON: " ^ m)

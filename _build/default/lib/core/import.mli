@@ -1,0 +1,26 @@
+(** The inverse of {!Export}: load a published dataset-JSON surface back
+    into a {!Surface.t}, so the analyses (diffing, dependency reports) run
+    directly off the distributed dataset without the original kernel
+    images — the workflow of the paper's DepSurf-dataset repository.
+
+    Round-trip guarantees (tested): declarations, struct definitions,
+    tracepoints, syscalls, inline/collision classification inputs
+    (symbols, inline sites, decl locations) survive
+    [import (export s) ≡ s] for every analysis this library performs. *)
+
+open Ds_util
+
+exception Bad_dataset of string
+
+val ctype_of_json : Json.t -> Ds_ctypes.Ctype.t
+(** Inverse of {!Export.json_of_ctype}. *)
+
+val proto_of_json : Json.t -> Ds_ctypes.Ctype.proto
+(** Parse a FUNC/FUNC_PROTO declaration document. *)
+
+val struct_of_json : Json.t -> Ds_ctypes.Decl.struct_def
+
+val surface_of_json : Json.t -> Surface.t
+(** Parse a whole-surface document produced by {!Export.surface}. *)
+
+val surface_of_string : string -> Surface.t

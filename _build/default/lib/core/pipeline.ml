@@ -1,0 +1,21 @@
+open Ds_ksrc
+
+let default_seed = 0xD5EED5EEDL
+
+let dataset ?(seed = default_seed) scale = Dataset.build ~seed scale
+
+let analyze ds ?(images = Dataset.fig4_images) ?(baseline = (Version.v 5 4, Config.x86_generic))
+    obj =
+  Report.matrix ds ~images ~baseline obj
+
+let load_on ds v cfg obj = Ds_bpf.Loader.load_and_attach (Dataset.vmlinux ds v cfg) obj
+
+let build_program ds ?(build = (Version.v 5 4, Config.x86_generic)) spec =
+  let v, cfg = build in
+  let k = Dataset.vmlinux ds v cfg in
+  let obj =
+    Ds_bpf.Progbuild.build ~build_btf:k.Ds_bpf.Vmlinux.v_btf ~build_arch:cfg.Config.arch
+      ~tag:(Ds_bpf.Vmlinux.tag k) spec
+  in
+  (* round-trip through the wire format *)
+  Ds_bpf.Obj.read (Ds_bpf.Obj.write obj)

@@ -1,0 +1,31 @@
+(** One-call drivers tying the whole system together: generate the kernel
+    history, compile the image matrix, extract surfaces, and analyze
+    programs — the workflow of the paper's Figure 3. *)
+
+open Ds_ksrc
+
+val default_seed : int64
+
+val dataset : ?seed:int64 -> Calibration.scale -> Dataset.t
+
+val analyze :
+  Dataset.t ->
+  ?images:(Version.t * Config.t) list ->
+  ?baseline:Version.t * Config.t ->
+  Ds_bpf.Obj.t ->
+  Report.matrix
+(** Defaults: the 21 Figure-4 images, baseline v5.4/x86. *)
+
+val load_on :
+  Dataset.t -> Version.t -> Config.t -> Ds_bpf.Obj.t ->
+  (Ds_bpf.Loader.attachment list, Ds_bpf.Loader.error) result
+(** Try to actually load+attach the object on one image (loader path). *)
+
+val build_program :
+  Dataset.t ->
+  ?build : Version.t * Config.t ->
+  Ds_bpf.Progbuild.spec ->
+  Ds_bpf.Obj.t
+(** "Compile" a program spec against a build kernel (default v5.4/x86),
+    through the serialized object bytes so the depset analysis reads the
+    same artifact a real toolchain would produce. *)

@@ -1,0 +1,288 @@
+open Ds_ksrc
+open Ds_ctypes
+
+type status =
+  | St_ok
+  | St_absent
+  | St_changed of string list
+  | St_full_inline
+  | St_selective_inline
+  | St_transformed
+  | St_duplicated
+  | St_collision
+
+let status_letter = function
+  | St_ok -> "."
+  | St_absent -> "x"
+  | St_changed _ -> "C"
+  | St_full_inline -> "F"
+  | St_selective_inline -> "S"
+  | St_transformed -> "T"
+  | St_duplicated -> "D"
+  | St_collision -> "N"
+
+let severity = function
+  | St_absent -> 0
+  | St_full_inline -> 1
+  | St_transformed -> 2
+  | St_changed _ -> 3
+  | St_duplicated -> 4 (* a header copy per TU dominates partial inlining:
+                          both lose invocations, duplication also splits
+                          the symbol (Fig. 4's D cells) *)
+  | St_selective_inline -> 5
+  | St_collision -> 6
+  | St_ok -> 7
+
+let worst = function
+  | [] -> St_ok
+  | statuses -> List.hd (List.sort (fun a b -> compare (severity a) (severity b)) statuses)
+
+let func_statuses ~baseline ~target name =
+  match Surface.find_func target name with
+  | None -> (
+      (* not in DWARF; could still be a raw symbol (syscall stubs) *)
+      [ St_absent ])
+  | Some fe ->
+      let acc = ref [] in
+      (match Func_status.inline_status fe with
+      | Func_status.Fully_inlined -> acc := St_full_inline :: !acc
+      | Func_status.Selectively_inlined -> acc := St_selective_inline :: !acc
+      | Func_status.Not_inlined -> ());
+      if Func_status.transforms fe <> [] && fe.Surface.fe_symbols = [] then
+        acc := St_transformed :: !acc;
+      (match Func_status.name_status fe with
+      | Func_status.Duplication -> acc := St_duplicated :: !acc
+      | Func_status.Static_static_collision | Func_status.Static_global_collision ->
+          acc := St_collision :: !acc
+      | Func_status.Unique_global | Func_status.Unique_static -> ());
+      (match Surface.find_func baseline name with
+      | Some base_fe ->
+          let changes =
+            Diff.func_changes
+              (Surface.representative_proto base_fe)
+              (Surface.representative_proto fe)
+          in
+          if changes <> [] then
+            acc := St_changed (List.map Diff.describe_func_change changes) :: !acc
+      | None -> ());
+      if !acc = [] then [ St_ok ] else List.rev !acc
+
+let statuses ~baseline ~target dep =
+  match dep with
+  | Depset.Dep_func name -> func_statuses ~baseline ~target name
+  | Depset.Dep_struct name -> (
+      match Surface.find_struct target name with
+      | None -> [ St_absent ]
+      | Some _ -> [ St_ok ])
+  | Depset.Dep_field (sname, fname) -> (
+      match Surface.find_struct target sname with
+      | None -> [ St_absent ]
+      | Some _ -> (
+          match Surface.find_field target sname fname with
+          | None -> [ St_absent ]
+          | Some f -> (
+              match Surface.find_field baseline sname fname with
+              | Some base_f when not (Ctype.equal base_f.Decl.ftype f.Decl.ftype) ->
+                  [
+                    St_changed
+                      [
+                        Printf.sprintf "type %s -> %s"
+                          (Ctype.to_string base_f.Decl.ftype)
+                          (Ctype.to_string f.Decl.ftype);
+                      ];
+                  ]
+              | _ -> [ St_ok ])))
+  | Depset.Dep_tracepoint name -> (
+      match Surface.find_tracepoint target name with
+      | None -> [ St_absent ]
+      | Some tp -> (
+          match Surface.find_tracepoint baseline name with
+          | None -> [ St_ok ]
+          | Some base_tp -> (
+              match Diff.(tp_changes Across_versions base_tp tp) with
+              | exception _ -> [ St_ok ]
+              | [] -> [ St_ok ]
+              | cs -> [ St_changed (List.map Diff.describe_tp_change cs) ])))
+  | Depset.Dep_syscall name ->
+      if Surface.has_syscall target name then [ St_ok ] else [ St_absent ]
+
+type consequence =
+  | Compilation_error
+  | Relocation_error
+  | Attachment_error
+  | Stray_read
+  | Missing_invocation
+
+type implication = Explicit_error | Incorrect_result | Incomplete_result
+
+let consequence_of dep status =
+  match dep, status with
+  | _, St_ok -> []
+  | Depset.Dep_func _, St_absent -> [ Attachment_error ]
+  | Depset.Dep_func _, St_full_inline -> [ Attachment_error ]
+  | Depset.Dep_func _, St_transformed -> [ Attachment_error ]
+  | Depset.Dep_func _, St_changed _ -> [ Stray_read ]
+  | Depset.Dep_func _, St_selective_inline -> [ Missing_invocation ]
+  | Depset.Dep_func _, St_duplicated -> [ Missing_invocation ]
+  | Depset.Dep_func _, St_collision -> [ Stray_read ]
+  | (Depset.Dep_struct _ | Depset.Dep_field _), St_absent ->
+      [ Compilation_error; Relocation_error ]
+  | (Depset.Dep_struct _ | Depset.Dep_field _), St_changed _ -> [ Stray_read ]
+  | Depset.Dep_tracepoint _, St_absent -> [ Attachment_error ]
+  | Depset.Dep_tracepoint _, St_changed _ -> [ Stray_read ]
+  | Depset.Dep_syscall _, St_absent -> [ Attachment_error ]
+  | Depset.Dep_syscall _, St_changed _ -> []
+  | _, (St_full_inline | St_selective_inline | St_transformed | St_duplicated | St_collision) ->
+      []
+
+let implication_of = function
+  | Compilation_error | Relocation_error | Attachment_error -> Explicit_error
+  | Stray_read -> Incorrect_result
+  | Missing_invocation -> Incomplete_result
+
+let consequence_to_string = function
+  | Compilation_error -> "Compilation Error"
+  | Relocation_error -> "Relocation Error"
+  | Attachment_error -> "Attachment Error"
+  | Stray_read -> "Stray Read"
+  | Missing_invocation -> "Missing Invocation"
+
+let implication_to_string = function
+  | Explicit_error -> "Explicit Error (before execution)"
+  | Incorrect_result -> "Incorrect Result (might be detectable)"
+  | Incomplete_result -> "Incomplete Result (difficult to detect)"
+
+type cell = { c_image : Version.t * Config.t; c_statuses : status list }
+type dep_row = { r_dep : Depset.dep; r_cells : cell list }
+
+type matrix = {
+  m_obj_name : string;
+  m_baseline : Version.t * Config.t;
+  m_rows : dep_row list;
+}
+
+let matrix dataset ~images ~baseline obj =
+  let bv, bc = baseline in
+  let base_surface = Dataset.surface dataset bv bc in
+  let deps = Depset.of_obj obj in
+  let rows =
+    List.map
+      (fun dep ->
+        {
+          r_dep = dep;
+          r_cells =
+            List.map
+              (fun (v, cfg) ->
+                let target = Dataset.surface dataset v cfg in
+                { c_image = (v, cfg); c_statuses = statuses ~baseline:base_surface ~target dep })
+              images;
+        })
+      deps
+  in
+  { m_obj_name = obj.Ds_bpf.Obj.o_name; m_baseline = baseline; m_rows = rows }
+
+let image_label (v, cfg) =
+  if Config.equal cfg Config.x86_generic then Version.to_string v
+  else Printf.sprintf "%s %s" (Version.to_string v) (Config.to_string cfg)
+
+let render_matrix m =
+  match m.m_rows with
+  | [] -> Printf.sprintf "%s: no dependencies\n" m.m_obj_name
+  | first :: _ ->
+      let headers =
+        ("image", Ds_util.Texttable.L)
+        :: List.map
+             (fun row ->
+               let name =
+                 match row.r_dep with
+                 | Depset.Dep_func f -> "fn " ^ f
+                 | Depset.Dep_struct s -> "st " ^ s
+                 | Depset.Dep_field (s, f) -> s ^ "::" ^ f
+                 | Depset.Dep_tracepoint t -> "tp " ^ t
+                 | Depset.Dep_syscall s -> "sc " ^ s
+               in
+               (name, Ds_util.Texttable.L))
+             m.m_rows
+      in
+      let table =
+        Ds_util.Texttable.create
+          ~title:
+            (Printf.sprintf
+               "%s (built against %s)  legend: . ok | x absent | C changed | F full inline | S \
+                selective | T transformed | D duplicated | N collision"
+               m.m_obj_name (image_label m.m_baseline))
+          headers
+      in
+      List.iteri
+        (fun i _ ->
+          let img = (List.nth first.r_cells i).c_image in
+          Ds_util.Texttable.row table
+            (image_label img
+            :: List.map
+                 (fun row -> status_letter (worst (List.nth row.r_cells i).c_statuses))
+                 m.m_rows))
+        first.r_cells;
+      Ds_util.Texttable.render table
+
+type mismatch_summary = {
+  ms_total : Depset.totals;
+  ms_absent : Depset.totals;
+  ms_changed : Depset.totals;
+  ms_full_inline : int;
+  ms_selective_inline : int;
+  ms_transformed : int;
+  ms_duplicated : int;
+}
+
+let zero = Depset.{ n_funcs = 0; n_structs = 0; n_fields = 0; n_tracepoints = 0; n_syscalls = 0 }
+
+let bump_totals (t : Depset.totals) dep =
+  match dep with
+  | Depset.Dep_func _ -> { t with Depset.n_funcs = t.Depset.n_funcs + 1 }
+  | Depset.Dep_struct _ -> { t with Depset.n_structs = t.Depset.n_structs + 1 }
+  | Depset.Dep_field _ -> { t with Depset.n_fields = t.Depset.n_fields + 1 }
+  | Depset.Dep_tracepoint _ -> { t with Depset.n_tracepoints = t.Depset.n_tracepoints + 1 }
+  | Depset.Dep_syscall _ -> { t with Depset.n_syscalls = t.Depset.n_syscalls + 1 }
+
+let summarize m =
+  List.fold_left
+    (fun acc row ->
+      let all = List.concat_map (fun c -> c.c_statuses) row.r_cells in
+      let has p = List.exists p all in
+      let acc = { acc with ms_total = bump_totals acc.ms_total row.r_dep } in
+      let acc =
+        if has (function St_absent -> true | _ -> false) then
+          { acc with ms_absent = bump_totals acc.ms_absent row.r_dep }
+        else acc
+      in
+      let acc =
+        if has (function St_changed _ -> true | _ -> false) then
+          { acc with ms_changed = bump_totals acc.ms_changed row.r_dep }
+        else acc
+      in
+      {
+        acc with
+        ms_full_inline =
+          (acc.ms_full_inline + if has (function St_full_inline -> true | _ -> false) then 1 else 0);
+        ms_selective_inline =
+          (acc.ms_selective_inline
+          + if has (function St_selective_inline -> true | _ -> false) then 1 else 0);
+        ms_transformed =
+          (acc.ms_transformed + if has (function St_transformed -> true | _ -> false) then 1 else 0);
+        ms_duplicated =
+          (acc.ms_duplicated + if has (function St_duplicated -> true | _ -> false) then 1 else 0);
+      })
+    {
+      ms_total = zero;
+      ms_absent = zero;
+      ms_changed = zero;
+      ms_full_inline = 0;
+      ms_selective_inline = 0;
+      ms_transformed = 0;
+      ms_duplicated = 0;
+    }
+    m.m_rows
+
+let clean s =
+  s.ms_absent = zero && s.ms_changed = zero && s.ms_full_inline = 0
+  && s.ms_selective_inline = 0 && s.ms_transformed = 0 && s.ms_duplicated = 0

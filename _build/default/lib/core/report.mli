@@ -1,0 +1,84 @@
+(** Dependency-mismatch reports (paper §3.1, Figure 4, Tables 1–2): for
+    each dependency of an eBPF program and each kernel image, the mismatch
+    statuses, their consequences, and their user-visible implications. *)
+
+open Ds_ksrc
+
+type status =
+  | St_ok
+  | St_absent
+  | St_changed of string list  (** human-readable reasons *)
+  | St_full_inline
+  | St_selective_inline
+  | St_transformed
+  | St_duplicated
+  | St_collision
+
+val status_letter : status -> string
+(** Figure 4 cell legend: ["."] ok, ["x"] absent, ["C"] changed,
+    ["F"]/["S"] fully/selectively inlined, ["T"] transformed,
+    ["D"] duplicated, ["N"] name collision. *)
+
+val statuses : baseline:Surface.t -> target:Surface.t -> Depset.dep -> status list
+(** Every mismatch the dependency would hit on [target], where [baseline]
+    is the surface the program was developed against. [\[\]] never occurs:
+    an unaffected dependency reports [\[St_ok\]]. *)
+
+val worst : status list -> status
+(** The dominant status for a one-letter cell (absence beats inline beats
+    change ...). *)
+
+(** {2 Consequences and implications (Tables 1 and 2)} *)
+
+type consequence =
+  | Compilation_error
+  | Relocation_error
+  | Attachment_error
+  | Stray_read
+  | Missing_invocation
+
+type implication = Explicit_error | Incorrect_result | Incomplete_result
+
+val consequence_of : Depset.dep -> status -> consequence list
+val implication_of : consequence -> implication
+val consequence_to_string : consequence -> string
+val implication_to_string : implication -> string
+
+(** {2 Program-level reports} *)
+
+type cell = { c_image : Version.t * Config.t; c_statuses : status list }
+
+type dep_row = { r_dep : Depset.dep; r_cells : cell list }
+
+type matrix = {
+  m_obj_name : string;
+  m_baseline : Version.t * Config.t;
+  m_rows : dep_row list;
+}
+
+val matrix :
+  Dataset.t ->
+  images:(Version.t * Config.t) list ->
+  baseline:Version.t * Config.t ->
+  Ds_bpf.Obj.t ->
+  matrix
+
+val render_matrix : matrix -> string
+(** Figure 4-style text rendering: dependencies as columns, images as
+    rows. *)
+
+type mismatch_summary = {
+  ms_total : Depset.totals;  (** dependency-set sizes *)
+  ms_absent : Depset.totals;  (** deps absent on ≥1 image *)
+  ms_changed : Depset.totals;  (** deps changed on ≥1 image *)
+  ms_full_inline : int;
+  ms_selective_inline : int;
+  ms_transformed : int;
+  ms_duplicated : int;
+}
+
+val summarize : matrix -> mismatch_summary
+(** The per-program row of Table 7. *)
+
+val clean : mismatch_summary -> bool
+(** No mismatch of any kind (the blue rows of Table 7). *)

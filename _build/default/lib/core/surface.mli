@@ -1,0 +1,90 @@
+(** The dependency surface of one kernel image (paper §2.3): every
+    construct an eBPF program can depend on, extracted from the image's
+    binary artifacts only — DWARF debug info, the symbol table, BTF, and
+    raw data sections. Nothing here looks at the synthetic "source":
+    DepSurf works on compiled kernels, exactly as in the paper. *)
+
+open Ds_ksrc
+open Ds_ctypes
+
+type decl_instance = {
+  di_tu : string;  (** compile unit the declaration came from *)
+  di_file : string;  (** declared file (header for header-defined) *)
+  di_line : int;
+  di_proto : Ctype.proto;
+  di_external : bool;
+  di_declared_inline : bool;
+  di_low_pc : int64 option;
+}
+
+type inline_site = { is_caller : string; is_tu : string; is_pc : int64 }
+
+type func_entry = {
+  fe_name : string;
+  fe_decls : decl_instance list;
+  fe_symbols : Ds_elf.Elf.symbol list;  (** exact-name text symbols *)
+  fe_suffixed : Ds_elf.Elf.symbol list;  (** ["name.isra.0"]-style symbols *)
+  fe_inline_sites : inline_site list;  (** call sites where the body was
+                                           copied into the caller *)
+  fe_callers : string list;  (** direct (non-inlined) callers *)
+}
+
+type tp_entry = {
+  te_name : string;
+  te_class : string;
+  te_event_struct : Decl.struct_def option;  (** from BTF *)
+  te_func : Decl.func_decl option;  (** tracing-function prototype *)
+}
+
+type index
+(** Precomputed name→entry maps; lookups below are logarithmic. *)
+
+type t = {
+  s_version : Version.t;
+  s_arch : Config.arch;
+  s_flavor : Config.flavor;
+  s_gcc : int * int;
+  s_funcs : func_entry list;  (** sorted by name *)
+  s_structs : Decl.struct_def list;  (** sorted; event structs excluded *)
+  s_tracepoints : tp_entry list;
+  s_syscalls : string list;
+  s_compat_traceable : bool;
+      (** whether 32-bit compat syscalls can be traced on this arch *)
+  s_index : index;
+}
+
+val v :
+  version:Version.t ->
+  arch:Config.arch ->
+  flavor:Config.flavor ->
+  gcc:int * int ->
+  funcs:func_entry list ->
+  structs:Decl.struct_def list ->
+  tracepoints:tp_entry list ->
+  syscalls:string list ->
+  t
+(** Assemble a surface from parts (building the index); used by the
+    dataset-JSON importer. Lists are sorted by name. *)
+
+val extract : Ds_elf.Elf.t -> t
+(** Full extraction from an image. *)
+
+val of_vmlinux : Ds_bpf.Vmlinux.t -> t
+(** Reuse an already-loaded kernel view (avoids re-decoding BTF and the
+    data sections). *)
+
+val config : t -> Config.t
+val tag : t -> string
+
+val find_func : t -> string -> func_entry option
+val find_struct : t -> string -> Decl.struct_def option
+val find_field : t -> string -> string -> Decl.field option
+val find_tracepoint : t -> string -> tp_entry option
+val has_syscall : t -> string -> bool
+
+val representative_proto : func_entry -> Ctype.proto
+(** The declaration used for cross-image comparison (the external decl
+    when one exists, else the first). *)
+
+val counts : t -> int * int * int * int
+(** (functions, structs, tracepoints, syscalls). *)

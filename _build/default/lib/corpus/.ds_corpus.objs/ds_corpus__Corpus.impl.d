@@ -1,0 +1,1 @@
+lib/corpus/corpus.ml: Config Depsurf Ds_bpf Ds_ksrc Hashtbl Hook List Pools Progbuild String Table7 Version

@@ -1,0 +1,1 @@
+lib/corpus/corpus.mli: Config Depsurf Ds_bpf Ds_ksrc Pools Table7 Version

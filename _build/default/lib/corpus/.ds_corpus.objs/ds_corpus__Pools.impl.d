@@ -1,0 +1,1 @@
+lib/corpus/pools.ml: Array Config Dataset Depset Depsurf Ds_ctypes Ds_ksrc List Report Surface Version

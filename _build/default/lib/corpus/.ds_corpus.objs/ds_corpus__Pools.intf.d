@@ -1,0 +1,1 @@
+lib/corpus/pools.mli: Config Depsurf Ds_ksrc Version

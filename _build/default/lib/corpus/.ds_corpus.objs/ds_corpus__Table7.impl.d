@@ -1,0 +1,1 @@
+lib/corpus/table7.ml: List

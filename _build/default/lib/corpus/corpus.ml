@@ -1,0 +1,201 @@
+open Ds_ksrc
+open Ds_bpf
+
+(* Hand-pinned dependencies for the paper's case-study tools, so Figure 4
+   reproduces with the real construct names. *)
+type hints = {
+  h_funcs : string list;
+  h_tps : string list;
+  h_fields : (string * string list) list;
+}
+
+let no_hints = { h_funcs = []; h_tps = []; h_fields = [] }
+
+let hints_for = function
+  | "biotop" ->
+      {
+        h_funcs =
+          [
+            "blk_mq_start_request";
+            "blk_account_io_start";
+            "blk_account_io_done";
+            "__blk_account_io_start";
+            "__blk_account_io_done";
+          ];
+        h_tps = [ "block_io_start"; "block_io_done" ];
+        h_fields = [ ("request", [ "__sector" ]); ("request", [ "rq_disk" ]) ];
+      }
+  | "readahead" ->
+      {
+        h_funcs =
+          [
+            "__do_page_cache_readahead";
+            "do_page_cache_ra";
+            "__page_cache_alloc";
+            "filemap_alloc_folio";
+          ];
+        h_tps = [];
+        h_fields = [ ("folio", [ "flags" ]) ];
+      }
+  | "biosnoop" ->
+      {
+        h_funcs = [ "blk_account_io_start" ];
+        h_tps = [ "block_rq_issue"; "block_rq_insert"; "block_rq_complete"; "block_io_done" ];
+        h_fields = [ ("request", [ "__sector" ]); ("request", [ "rq_disk" ]) ];
+      }
+  | "biostacks" ->
+      {
+        h_funcs = [ "blk_account_io_start" ];
+        h_tps = [ "block_io_start"; "block_io_done" ];
+        h_fields = [ ("request", [ "__sector" ]) ];
+      }
+  | "biolatency" ->
+      {
+        h_funcs = [];
+        h_tps = [ "block_rq_issue"; "block_rq_insert"; "block_rq_complete" ];
+        h_fields = [ ("request", [ "__sector" ]) ];
+      }
+  | "runqlat" | "runqslower" ->
+      { h_funcs = []; h_tps = [ "sched_switch"; "sched_wakeup" ]; h_fields = [] }
+  | "oomkill" ->
+      {
+        h_funcs = [];
+        h_tps = [];
+        h_fields = [ ("task_struct", [ "comm" ]); ("task_struct", [ "pid" ]) ];
+      }
+  | "syncsnoop" -> { h_funcs = []; h_tps = []; h_fields = [] }
+  | _ -> no_hints
+
+let take n xs = List.filteri (fun i _ -> i < n) xs
+let pad_to n filler xs = if List.length xs >= n then take n xs else xs @ filler (n - List.length xs)
+
+(* dedup preserving first occurrence, so pinned catalog deps survive the
+   final truncation to the paper's Σ *)
+let dedup xs =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.replace seen x ();
+        true
+      end)
+    xs
+
+let category_of_tp name =
+  match String.index_opt name '_' with
+  | Some i -> String.sub name 0 i
+  | None -> "misc"
+
+let spec_for pools (pr : Table7.profile) =
+  let c = pr.Table7.pr_counts in
+  let fn_total, fn_a, fn_c, fn_f, fn_s, fn_t, fn_d = c.Table7.c_fn in
+  let fld_total, fld_a, fld_c = c.Table7.c_fld in
+  let tp_total, tp_a, tp_c = c.Table7.c_tp in
+  let sc_total, sc_a = c.Table7.c_sc in
+  let hints = hints_for pr.Table7.pr_name in
+  (* Functions: pinned first, then property picks, padded with stable. *)
+  let funcs =
+    if pr.Table7.pr_clean then pad_to fn_total (Pools.take_funcs pools `Stable) []
+    else
+      let picks =
+        hints.h_funcs
+        @ Pools.take_funcs pools `Absent (max 0 (fn_a - List.length hints.h_funcs))
+        @ Pools.take_funcs pools `Changed fn_c
+        @ Pools.take_funcs pools `Full fn_f
+        @ Pools.take_funcs pools `Selective fn_s
+        @ Pools.take_funcs pools `Transformed fn_t
+        @ Pools.take_funcs pools `Duplicated fn_d
+      in
+      pad_to fn_total (Pools.take_funcs pools `Stable) (dedup picks)
+  in
+  let tps =
+    if pr.Table7.pr_clean then pad_to tp_total (Pools.take_tracepoints pools `Stable) []
+    else
+      let picks =
+        hints.h_tps
+        @ Pools.take_tracepoints pools `Absent (max 0 (tp_a - List.length hints.h_tps))
+        @ Pools.take_tracepoints pools `Changed tp_c
+      in
+      pad_to tp_total (Pools.take_tracepoints pools `Stable) (dedup picks)
+  in
+  let scs =
+    if pr.Table7.pr_clean then pad_to sc_total (Pools.take_syscalls pools `Stable) []
+    else
+      pad_to sc_total (Pools.take_syscalls pools `Stable)
+        (dedup (Pools.take_syscalls pools `Absent sc_a))
+  in
+  let stable_filler n =
+    List.map (fun (s, f) -> (s, [ f ])) (Pools.take_fields pools `Stable n)
+  in
+  let fields =
+    if pr.Table7.pr_clean then pad_to fld_total stable_filler []
+    else
+      let picks =
+        List.concat_map (fun (s, path) -> [ (s, path) ]) hints.h_fields
+        @ List.map
+            (fun (s, f) -> (s, [ f ]))
+            (Pools.take_fields pools `Absent (max 0 (fld_a - List.length hints.h_fields))
+            @ Pools.take_fields pools `Changed fld_c)
+      in
+      pad_to fld_total stable_filler (dedup picks)
+  in
+  let reads =
+    List.map
+      (fun (s, path) ->
+        Progbuild.{ rd_struct = s; rd_path = path; rd_exists_check = false })
+      (match fields with
+      | (s, path) :: rest when pr.Table7.pr_clean = false ->
+          (* representative CO-RE guard, as the fixed tools do *)
+          (s, path) :: rest
+      | l -> l)
+  in
+  let hooks =
+    List.map
+      (fun f -> Progbuild.{ hs_hook = Hook.Kprobe f; hs_arg_indices = []; hs_kfuncs = []; hs_reads = [] })
+      funcs
+    @ List.map
+        (fun tp ->
+          Progbuild.
+            {
+              hs_hook = Hook.Tracepoint { category = category_of_tp tp; event = tp };
+              hs_arg_indices = []; hs_kfuncs = [];
+              hs_reads = [];
+            })
+        tps
+    @ List.map
+        (fun sc ->
+          Progbuild.{ hs_hook = Hook.Syscall_enter sc; hs_arg_indices = []; hs_kfuncs = []; hs_reads = [] })
+        scs
+  in
+  let hooks =
+    if hooks = [] then
+      [ Progbuild.{ hs_hook = Hook.Perf_event; hs_arg_indices = []; hs_kfuncs = []; hs_reads = [] } ]
+    else hooks
+  in
+  (* attach the reads to the first hook *)
+  let hooks =
+    match hooks with
+    | first :: rest -> { first with Progbuild.hs_reads = reads } :: rest
+    | [] -> assert false
+  in
+  Progbuild.{ sp_tool = pr.Table7.pr_name; sp_hooks = hooks }
+
+let build_all ds ?(build = (Version.v 5 4, Config.x86_generic)) () =
+  let pools = Pools.compute ds ~baseline:build () in
+  List.map
+    (fun pr ->
+      let spec = spec_for pools pr in
+      (pr, Depsurf.Pipeline.build_program ds ~build spec))
+    Table7.programs
+
+let analyze_all_matrices ds ?(images = Depsurf.Dataset.fig4_images)
+    ?(baseline = (Version.v 5 4, Config.x86_generic)) built =
+  List.map
+    (fun (pr, obj) ->
+      let m = Depsurf.Report.matrix ds ~images ~baseline obj in
+      (pr, m, Depsurf.Report.summarize m))
+    built
+
+let analyze_all ds ?images ?baseline built =
+  List.map (fun (pr, _, s) -> (pr, s)) (analyze_all_matrices ds ?images ?baseline built)

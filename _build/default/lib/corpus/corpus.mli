@@ -1,0 +1,34 @@
+(** Regeneration of the paper's 53-program corpus: each Table 7 profile is
+    turned into a build spec (hand-pinned catalog dependencies for the
+    case-study tools, pool-drawn dependencies elsewhere), compiled into a
+    real object file, and handed to the DepSurf analysis. *)
+
+open Ds_ksrc
+
+val spec_for : Pools.t -> Table7.profile -> Ds_bpf.Progbuild.spec
+
+val build_all :
+  Depsurf.Dataset.t ->
+  ?build:Version.t * Config.t ->
+  unit ->
+  (Table7.profile * Ds_bpf.Obj.t) list
+(** All 53 objects, round-tripped through the wire format. Pools are
+    computed once from the dataset. *)
+
+val analyze_all :
+  Depsurf.Dataset.t ->
+  ?images:(Version.t * Config.t) list ->
+  ?baseline:Version.t * Config.t ->
+  (Table7.profile * Ds_bpf.Obj.t) list ->
+  (Table7.profile * Depsurf.Report.mismatch_summary) list
+(** Run the Figure-4 style analysis for every program and summarize (the
+    measured Table 7). *)
+
+val analyze_all_matrices :
+  Depsurf.Dataset.t ->
+  ?images:(Version.t * Config.t) list ->
+  ?baseline:Version.t * Config.t ->
+  (Table7.profile * Ds_bpf.Obj.t) list ->
+  (Table7.profile * Depsurf.Report.matrix * Depsurf.Report.mismatch_summary) list
+(** Like {!analyze_all} but keeps the full per-dependency matrices (used
+    by the Table 8 aggregation). *)

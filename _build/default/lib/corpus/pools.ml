@@ -1,0 +1,216 @@
+open Ds_ksrc
+open Depsurf
+
+type pool = { items : string array; cursor : int ref }
+type fpool = { fitems : (string * string) array; fcursor : int ref }
+
+type t = {
+  fn_stable : pool;
+  fn_absent : pool;
+  fn_changed : pool;
+  fn_full : pool;
+  fn_selective : pool;
+  fn_transformed : pool;
+  fn_duplicated : pool;
+  fld_stable : fpool;
+  fld_absent : fpool;
+  fld_changed : fpool;
+  tp_stable : pool;
+  tp_absent : pool;
+  tp_changed : pool;
+  sc_stable : pool;
+  sc_absent : pool;
+}
+
+type fn_bucket = [ `Stable | `Absent | `Changed | `Full | `Selective | `Transformed | `Duplicated ]
+type field_bucket = [ `Stable | `Absent | `Changed ]
+type tp_bucket = [ `Stable | `Absent | `Changed ]
+type sc_bucket = [ `Stable | `Absent ]
+
+let mk_pool items = { items = Array.of_list items; cursor = ref 0 }
+let mk_fpool items = { fitems = Array.of_list items; fcursor = ref 0 }
+
+let compute ds ?(baseline = (Version.v 5 4, Config.x86_generic))
+    ?(images = Dataset.fig4_images) () =
+  let bv, bc = baseline in
+  let base = Dataset.surface ds bv bc in
+  (* Bucket by behaviour over the x86 version series: the real tools
+     depend on core-kernel constructs, which exist on every arch; had we
+     bucketed over the arch images too, "absent somewhere" would swallow
+     ~2/3 of the population (driver-ish constructs) and starve every
+     other bucket. Arch-induced absences still show up in the reports,
+     as they do in the paper's Σ∅ columns. *)
+  let x86_images = List.filter (fun (_, cfg) -> Config.equal cfg Config.x86_generic) images in
+  let x86_images = if x86_images = [] then images else x86_images in
+  let targets = List.map (fun (v, cfg) -> Dataset.surface ds v cfg) x86_images in
+  let all_targets = List.map (fun (v, cfg) -> Dataset.surface ds v cfg) images in
+  let statuses_everywhere dep =
+    List.concat_map (fun target -> Report.statuses ~baseline:base ~target dep) targets
+  in
+  (* syscall availability is an architecture story (paper §4.2), so the
+     syscall buckets consider every image *)
+  let statuses_all_images dep =
+    List.concat_map (fun target -> Report.statuses ~baseline:base ~target dep) all_targets
+  in
+  let flags dep =
+    let all = statuses_everywhere dep in
+    let has p = List.exists p all in
+    ( has (function Report.St_absent -> true | _ -> false),
+      has (function Report.St_changed _ -> true | _ -> false),
+      has (function Report.St_full_inline -> true | _ -> false),
+      has (function Report.St_selective_inline -> true | _ -> false),
+      has (function Report.St_transformed -> true | _ -> false),
+      has (function Report.St_duplicated -> true | _ -> false) )
+  in
+  let clean_everywhere dep =
+    List.for_all
+      (function Report.St_ok -> true | _ -> false)
+      (statuses_all_images dep)
+  in
+  (* Functions. *)
+  let stable = ref []
+  and absent = ref []
+  and changed = ref []
+  and full = ref []
+  and selective = ref []
+  and transformed = ref []
+  and duplicated = ref [] in
+  List.iter
+    (fun (fe : Surface.func_entry) ->
+      let name = fe.Surface.fe_name in
+      let a, c, f, s, t, d = flags (Depset.Dep_func name) in
+      (* exclusive buckets by priority: drawing "changed" functions must
+         not smuggle in extra absences, or per-program mismatch profiles
+         overshoot the paper's; transformation ranks right after absence
+         because it is the rarest property *)
+      if a then absent := name :: !absent
+      else if t then transformed := name :: !transformed
+      else if c then changed := name :: !changed
+      else if f then full := name :: !full
+      else if s then selective := name :: !selective
+      else if d then duplicated := name :: !duplicated
+      else if clean_everywhere (Depset.Dep_func name) then stable := name :: !stable
+        (* constructs flaky only across arches fit no Table 7 column well:
+           leave them out of the draw pools *))
+    base.Surface.s_funcs;
+  (* Fields: iterate baseline structs. *)
+  let fld_stable = ref [] and fld_absent = ref [] and fld_changed = ref [] in
+  List.iter
+    (fun (st : Ds_ctypes.Decl.struct_def) ->
+      List.iter
+        (fun (fd : Ds_ctypes.Decl.field) ->
+          let dep = Depset.Dep_field (st.sname, fd.fname) in
+          let a, c, _, _, _, _ = flags dep in
+          let item = (st.sname, fd.fname) in
+          if a then fld_absent := item :: !fld_absent
+          else if c then fld_changed := item :: !fld_changed
+          else if clean_everywhere dep then fld_stable := item :: !fld_stable)
+        st.Ds_ctypes.Decl.fields)
+    base.Surface.s_structs;
+  (* Tracepoints. *)
+  let tp_stable = ref [] and tp_absent = ref [] and tp_changed = ref [] in
+  List.iter
+    (fun (tp : Surface.tp_entry) ->
+      let name = tp.Surface.te_name in
+      let a, c, _, _, _, _ = flags (Depset.Dep_tracepoint name) in
+      if a then tp_absent := name :: !tp_absent
+      else if c then tp_changed := name :: !tp_changed
+      else if clean_everywhere (Depset.Dep_tracepoint name) then
+        tp_stable := name :: !tp_stable)
+    base.Surface.s_tracepoints;
+  (* Syscalls. *)
+  let sc_stable = ref [] and sc_absent = ref [] in
+  List.iter
+    (fun name ->
+      let a =
+        List.exists
+          (function Report.St_absent -> true | _ -> false)
+          (statuses_all_images (Depset.Dep_syscall name))
+      in
+      if a then sc_absent := name :: !sc_absent else sc_stable := name :: !sc_stable)
+    base.Surface.s_syscalls;
+  let sorted l = List.sort compare !l in
+  {
+    fn_stable = mk_pool (sorted stable);
+    fn_absent = mk_pool (sorted absent);
+    fn_changed = mk_pool (sorted changed);
+    fn_full = mk_pool (sorted full);
+    fn_selective = mk_pool (sorted selective);
+    fn_transformed = mk_pool (sorted transformed);
+    fn_duplicated = mk_pool (sorted duplicated);
+    fld_stable = mk_fpool (sorted fld_stable);
+    fld_absent = mk_fpool (sorted fld_absent);
+    fld_changed = mk_fpool (sorted fld_changed);
+    tp_stable = mk_pool (sorted tp_stable);
+    tp_absent = mk_pool (sorted tp_absent);
+    tp_changed = mk_pool (sorted tp_changed);
+    sc_stable = mk_pool (sorted sc_stable);
+    sc_absent = mk_pool (sorted sc_absent);
+  }
+
+let draw pool n =
+  if Array.length pool.items = 0 then []
+  else
+    List.init (min n (Array.length pool.items)) (fun _ ->
+        let i = !(pool.cursor) mod Array.length pool.items in
+        pool.cursor := !(pool.cursor) + 1;
+        pool.items.(i))
+
+let fdraw pool n =
+  if Array.length pool.fitems = 0 then []
+  else
+    List.init (min n (Array.length pool.fitems)) (fun _ ->
+        let i = !(pool.fcursor) mod Array.length pool.fitems in
+        pool.fcursor := !(pool.fcursor) + 1;
+        pool.fitems.(i))
+
+let take_funcs t bucket n =
+  let pool =
+    match bucket with
+    | `Stable -> t.fn_stable
+    | `Absent -> t.fn_absent
+    | `Changed -> t.fn_changed
+    | `Full -> t.fn_full
+    | `Selective -> t.fn_selective
+    | `Transformed -> t.fn_transformed
+    | `Duplicated -> t.fn_duplicated
+  in
+  draw pool n
+
+let take_fields t bucket n =
+  let pool =
+    match bucket with
+    | `Stable -> t.fld_stable
+    | `Absent -> t.fld_absent
+    | `Changed -> t.fld_changed
+  in
+  fdraw pool n
+
+let take_tracepoints t bucket n =
+  let pool =
+    match bucket with `Stable -> t.tp_stable | `Absent -> t.tp_absent | `Changed -> t.tp_changed
+  in
+  draw pool n
+
+let take_syscalls t bucket n =
+  let pool = match bucket with `Stable -> t.sc_stable | `Absent -> t.sc_absent in
+  draw pool n
+
+let pool_sizes t =
+  [
+    ("fn_stable", Array.length t.fn_stable.items);
+    ("fn_absent", Array.length t.fn_absent.items);
+    ("fn_changed", Array.length t.fn_changed.items);
+    ("fn_full", Array.length t.fn_full.items);
+    ("fn_selective", Array.length t.fn_selective.items);
+    ("fn_transformed", Array.length t.fn_transformed.items);
+    ("fn_duplicated", Array.length t.fn_duplicated.items);
+    ("fld_stable", Array.length t.fld_stable.fitems);
+    ("fld_absent", Array.length t.fld_absent.fitems);
+    ("fld_changed", Array.length t.fld_changed.fitems);
+    ("tp_stable", Array.length t.tp_stable.items);
+    ("tp_absent", Array.length t.tp_absent.items);
+    ("tp_changed", Array.length t.tp_changed.items);
+    ("sc_stable", Array.length t.sc_stable.items);
+    ("sc_absent", Array.length t.sc_absent.items);
+  ]

@@ -1,0 +1,33 @@
+(** Dependency pools: the study dataset's constructs, bucketed by the
+    mismatch profile they exhibit across the Figure-4 image set. The
+    corpus builder draws from these pools to give each regenerated tool a
+    dependency set with the paper's per-program mismatch shape. *)
+
+open Ds_ksrc
+
+type t
+
+val compute :
+  Depsurf.Dataset.t ->
+  ?baseline:Version.t * Config.t ->
+  ?images:(Version.t * Config.t) list ->
+  unit ->
+  t
+(** Defaults: baseline v5.4/x86, the 21 Figure-4 images. *)
+
+type fn_bucket = [ `Stable | `Absent | `Changed | `Full | `Selective | `Transformed | `Duplicated ]
+type field_bucket = [ `Stable | `Absent | `Changed ]
+type tp_bucket = [ `Stable | `Absent | `Changed ]
+type sc_bucket = [ `Stable | `Absent ]
+
+val take_funcs : t -> fn_bucket -> int -> string list
+(** Draw [n] function names from the bucket; a rotating cursor spreads
+    consecutive draws over the pool (wrapping when exhausted, empty list
+    when the pool is empty). *)
+
+val take_fields : t -> field_bucket -> int -> (string * string) list
+val take_tracepoints : t -> tp_bucket -> int -> string list
+val take_syscalls : t -> sc_bucket -> int -> string list
+
+val pool_sizes : t -> (string * int) list
+(** Diagnostic: bucket name → size. *)

@@ -1,0 +1,86 @@
+type counts7 = {
+  c_fn : int * int * int * int * int * int * int;
+  c_st : int * int;
+  c_fld : int * int * int;
+  c_tp : int * int * int;
+  c_sc : int * int;
+}
+
+type profile = {
+  pr_name : string;
+  pr_subsystem : string;
+  pr_counts : counts7;
+  pr_clean : bool;
+}
+
+let p name subsystem ?(fn = (0, 0, 0, 0, 0, 0, 0)) ?(st = (0, 0)) ?(fld = (0, 0, 0))
+    ?(tp = (0, 0, 0)) ?(sc = (0, 0)) ?(clean = false) () =
+  {
+    pr_name = name;
+    pr_subsystem = subsystem;
+    pr_counts = { c_fn = fn; c_st = st; c_fld = fld; c_tp = tp; c_sc = sc };
+    pr_clean = clean;
+  }
+
+(* Table 7, row by row. Tuples: fn = (Σ, ∅, Δ, F, S, T, D);
+   st = (Σ, ∅); fld = (Σ, ∅, Δ); tp = (Σ, ∅, Δ); sc = (Σ, ∅). *)
+let programs =
+  [
+    p "tracee" "security"
+      ~fn:(67, 14, 16, 5, 14, 14, 2)
+      ~st:(98, 14) ~fld:(250, 53, 9) ~tp:(13, 3, 4) ~sc:(446, 202) ();
+    p "klockstat" "cpu" ~fn:(14, 3, 0, 0, 4, 0, 0) ();
+    p "vfsstat" "storage" ~fn:(8, 0, 5, 0, 6, 1, 0) ();
+    p "biotop" "storage" ~fn:(5, 2, 2, 3, 2, 0, 0) ~st:(3, 0) ~fld:(7, 2, 1) ~tp:(2, 2, 0) ();
+    p "cachestat" "memory" ~fn:(5, 2, 2, 0, 1, 0, 0) ~tp:(2, 2, 1) ();
+    p "fsdist" "storage" ~fn:(5, 2, 1, 0, 2, 2, 0) ();
+    p "tcptracer" "network" ~fn:(5, 0, 1, 0, 0, 3, 0) ~st:(6, 0) ~fld:(14, 0, 0) ();
+    p "readahead" "memory" ~fn:(4, 3, 1, 2, 3, 1, 1) ~st:(2, 1) ~fld:(1, 1, 0) ();
+    p "fsslower" "storage" ~fn:(4, 1, 0, 0, 2, 1, 0) ~st:(5, 0) ~fld:(6, 0, 0) ();
+    p "filelife" "storage" ~fn:(4, 0, 3, 0, 2, 0, 0) ~st:(5, 1) ~fld:(6, 2, 0) ();
+    p "biostacks" "storage" ~fn:(3, 1, 2, 2, 3, 0, 0) ~st:(3, 0) ~fld:(5, 2, 0) ~tp:(2, 2, 0) ();
+    p "tcpconnlat" "network" ~fn:(3, 0, 0, 0, 0, 2, 0) ~st:(4, 1) ~fld:(11, 1, 0) ~tp:(1, 1, 1) ();
+    p "numamove" "memory" ~fn:(2, 2, 0, 1, 0, 0, 0) ();
+    p "biosnoop" "storage" ~fn:(2, 1, 1, 1, 2, 0, 0) ~st:(3, 0) ~fld:(9, 2, 1) ~tp:(4, 1, 3) ();
+    p "filetop" "storage" ~fn:(2, 0, 0, 0, 2, 0, 0) ~st:(6, 0) ~fld:(10, 0, 0) ();
+    p "tcpsynbl" "network" ~fn:(2, 0, 0, 0, 0, 2, 0) ~st:(1, 0) ~fld:(2, 0, 0) ();
+    p "tcpconnect" "network" ~fn:(2, 0, 0, 0, 0, 1, 0) ~st:(3, 0) ~fld:(8, 0, 0) ();
+    p "bindsnoop" "network" ~fn:(2, 0, 0, 0, 0, 0, 0) ~st:(5, 0) ~fld:(14, 4, 1) ();
+    p "tcptop" "network" ~fn:(2, 0, 0, 0, 0, 0, 0) ~st:(3, 0) ~fld:(9, 0, 0) ~clean:true ();
+    p "oomkill" "memory" ~fn:(1, 0, 1, 0, 1, 1, 0) ~st:(3, 1) ~fld:(4, 2, 0) ();
+    p "capable" "security" ~fn:(1, 0, 1, 0, 1, 1, 0) ();
+    p "tcprtt" "network" ~fn:(1, 0, 1, 0, 0, 1, 0) ~st:(6, 0) ~fld:(12, 0, 0) ();
+    p "mdflush" "storage" ~fn:(1, 0, 1, 0, 0, 1, 0) ~st:(3, 0) ~fld:(4, 2, 0) ();
+    p "solisten" "network" ~fn:(1, 0, 0, 0, 0, 1, 0) ~st:(1, 0) ~fld:(6, 0, 1) ();
+    p "slabratetop" "memory" ~fn:(1, 0, 0, 0, 0, 0, 0) ~st:(1, 0) ~fld:(2, 0, 1) ();
+    p "memleak" "memory" ~st:(11, 9) ~fld:(17, 14, 0) ~tp:(10, 4, 7) ();
+    p "tcppktlat" "network" ~st:(1, 1) ~fld:(12, 0, 0) ~tp:(3, 3, 3) ();
+    p "mountsnoop" "storage" ~st:(17, 1) ~fld:(6, 0, 0) ~sc:(2, 0) ();
+    p "runqlat" "cpu" ~st:(5, 0) ~fld:(11, 3, 1) ~tp:(3, 0, 3) ();
+    p "tcpstates" "network" ~st:(4, 1) ~fld:(13, 7, 1) ~tp:(1, 1, 1) ();
+    p "runqlen" "cpu" ~st:(4, 0) ~fld:(5, 0, 0) ~clean:true ();
+    p "biolatency" "storage" ~st:(3, 0) ~fld:(7, 2, 1) ~tp:(3, 0, 3) ();
+    p "bitesize" "storage" ~st:(3, 0) ~fld:(6, 2, 0) ~tp:(1, 0, 1) ();
+    p "sigsnoop" "cpu" ~st:(3, 0) ~fld:(5, 0, 0) ~tp:(1, 0, 1) ~sc:(3, 0) ();
+    p "execsnoop" "cpu" ~st:(3, 0) ~fld:(4, 0, 0) ~sc:(1, 0) ~clean:true ();
+    p "biopattern" "storage" ~st:(2, 2) ~fld:(6, 6, 0) ~tp:(1, 0, 1) ();
+    p "tcplife" "network" ~st:(2, 1) ~fld:(12, 10, 1) ~tp:(1, 1, 1) ();
+    p "syscount" "cpu" ~st:(2, 0) ~fld:(4, 0, 0) ~tp:(2, 0, 0) ~clean:true ();
+    p "statsnoop" "storage" ~st:(2, 0) ~fld:(2, 0, 0) ~sc:(5, 4) ();
+    p "opensnoop" "storage" ~st:(2, 0) ~fld:(2, 0, 0) ~sc:(2, 1) ();
+    p "futexctn" "cpu" ~st:(2, 0) ~fld:(2, 0, 0) ~sc:(1, 0) ~clean:true ();
+    p "profile" "cpu" ~st:(1, 1) ~fld:(1, 1, 1) ();
+    p "llcstat" "cpu" ~st:(1, 1) ~fld:(1, 1, 0) ();
+    p "offcputime" "cpu" ~st:(1, 0) ~fld:(6, 2, 0) ~tp:(1, 0, 1) ();
+    p "runqslower" "cpu" ~st:(1, 0) ~fld:(5, 2, 0) ~tp:(3, 0, 3) ();
+    p "cpudist" "cpu" ~st:(1, 0) ~fld:(5, 2, 0) ~tp:(1, 0, 1) ();
+    p "wakeuptime" "cpu" ~st:(1, 0) ~fld:(4, 0, 0) ~tp:(2, 0, 2) ();
+    p "exitsnoop" "cpu" ~st:(1, 0) ~fld:(4, 0, 0) ~tp:(1, 0, 0) ~clean:true ();
+    p "hardirqs" "cpu" ~st:(1, 0) ~fld:(1, 0, 0) ~tp:(2, 0, 0) ~clean:true ();
+    p "drsnoop" "memory" ~tp:(2, 0, 1) ();
+    p "softirqs" "cpu" ~tp:(2, 0, 0) ~clean:true ();
+    p "cpufreq" "cpu" ~tp:(1, 0, 0) ~clean:true ();
+    p "syncsnoop" "storage" ~sc:(6, 1) ();
+  ]
+
+let find name = List.find_opt (fun pr -> pr.pr_name = name) programs

@@ -1,0 +1,25 @@
+(** The 53 real-world eBPF programs of the paper's Table 7 (52 BCC
+    libbpf-tools plus Tracee), with their published dependency-set sizes
+    and mismatch counts. The corpus builder regenerates each one as a real
+    object file whose dependency set has the same shape. *)
+
+type counts7 = {
+  (* functions: total, absent, changed, full-inline, selective, transformed, duplicated *)
+  c_fn : int * int * int * int * int * int * int;
+  c_st : int * int;  (** structs: total, absent *)
+  c_fld : int * int * int;  (** fields: total, absent, changed *)
+  c_tp : int * int * int;  (** tracepoints: total, absent, changed *)
+  c_sc : int * int;  (** syscalls: total, absent *)
+}
+
+type profile = {
+  pr_name : string;
+  pr_subsystem : string;  (** CPU/memory/storage/network/security *)
+  pr_counts : counts7;
+  pr_clean : bool;  (** highlighted mismatch-free in the paper *)
+}
+
+val programs : profile list
+(** All 53 rows, in the paper's order (Tracee first). *)
+
+val find : string -> profile option

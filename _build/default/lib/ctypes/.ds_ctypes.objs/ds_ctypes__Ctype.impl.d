@@ -1,0 +1,1 @@
+lib/ctypes/ctype.ml: List Printf Stdlib String

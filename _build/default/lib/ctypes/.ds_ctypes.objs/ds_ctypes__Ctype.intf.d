@@ -1,0 +1,1 @@
+lib/ctypes/ctype.mli:

@@ -1,0 +1,1 @@
+lib/ctypes/decl.ml: Ctype List Map String

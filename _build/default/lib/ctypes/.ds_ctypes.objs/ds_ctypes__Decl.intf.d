@@ -1,0 +1,1 @@
+lib/ctypes/decl.mli: Ctype

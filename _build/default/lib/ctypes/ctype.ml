@@ -1,0 +1,120 @@
+type t =
+  | Void
+  | Int of { name : string; bits : int; signed : bool }
+  | Float of { name : string; bits : int }
+  | Ptr of t
+  | Array of t * int
+  | Struct_ref of string
+  | Union_ref of string
+  | Enum_ref of string
+  | Typedef_ref of string
+  | Const of t
+  | Volatile of t
+  | Func_proto of proto
+
+and param = { pname : string; ptype : t }
+and proto = { ret : t; params : param list; variadic : bool }
+
+let rec equal a b =
+  match a, b with
+  | Void, Void -> true
+  | Int a, Int b -> a.name = b.name && a.bits = b.bits && a.signed = b.signed
+  | Float a, Float b -> a.name = b.name && a.bits = b.bits
+  | Ptr a, Ptr b -> equal a b
+  | Array (a, n), Array (b, m) -> n = m && equal a b
+  | Struct_ref a, Struct_ref b
+  | Union_ref a, Union_ref b
+  | Enum_ref a, Enum_ref b
+  | Typedef_ref a, Typedef_ref b ->
+      a = b
+  | Const a, Const b | Volatile a, Volatile b -> equal a b
+  | Func_proto a, Func_proto b -> equal_proto a b
+  | ( ( Void | Int _ | Float _ | Ptr _ | Array _ | Struct_ref _ | Union_ref _
+      | Enum_ref _ | Typedef_ref _ | Const _ | Volatile _ | Func_proto _ ),
+      _ ) ->
+      false
+
+and equal_proto a b =
+  a.variadic = b.variadic
+  && equal a.ret b.ret
+  && List.length a.params = List.length b.params
+  && List.for_all2 (fun p q -> p.pname = q.pname && equal p.ptype q.ptype) a.params b.params
+
+let compare = Stdlib.compare
+
+let rec strip_quals = function
+  | Const t | Volatile t -> strip_quals t
+  | t -> t
+
+let rec to_string = function
+  | Void -> "void"
+  | Int { name; _ } -> name
+  | Float { name; _ } -> name
+  | Ptr t -> to_string t ^ " *"
+  | Array (t, n) -> Printf.sprintf "%s[%d]" (to_string t) n
+  | Struct_ref n -> "struct " ^ n
+  | Union_ref n -> "union " ^ n
+  | Enum_ref n -> "enum " ^ n
+  | Typedef_ref n -> n
+  | Const t -> "const " ^ to_string t
+  | Volatile t -> "volatile " ^ to_string t
+  | Func_proto p -> proto_to_string ~name:"" p
+
+and proto_to_string ~name p =
+  let params =
+    match p.params, p.variadic with
+    | [], false -> "void"
+    | params, variadic ->
+        let ps = List.map (fun { pname; ptype } -> to_string ptype ^ " " ^ pname) params in
+        String.concat ", " (if variadic then ps @ [ "..." ] else ps)
+  in
+  Printf.sprintf "%s %s(%s)" (to_string p.ret) name params
+
+let void = Void
+let mk name bits signed = Int { name; bits; signed }
+let bool_ = mk "_Bool" 8 false
+let char_ = mk "char" 8 true
+let uchar = mk "unsigned char" 8 false
+let short = mk "short int" 16 true
+let ushort = mk "short unsigned int" 16 false
+let int_ = mk "int" 32 true
+let uint = mk "unsigned int" 32 false
+let long = mk "long int" 64 true
+let ulong = mk "long unsigned int" 64 false
+let llong = mk "long long int" 64 true
+let ullong = mk "long long unsigned int" 64 false
+let u8 = Typedef_ref "u8"
+let u16 = Typedef_ref "u16"
+let u32 = Typedef_ref "u32"
+let u64 = Typedef_ref "u64"
+let s32 = Typedef_ref "s32"
+let s64 = Typedef_ref "s64"
+let size_t = Typedef_ref "size_t"
+let char_ptr = Ptr char_
+let void_ptr = Ptr Void
+
+let scalar_pool =
+  [| bool_; char_; uchar; short; ushort; int_; uint; long; ulong; u8; u16; u32; u64; s32; s64; size_t |]
+
+let bits_of = function
+  | Int { bits; _ } -> Some bits
+  | Typedef_ref ("u8" | "s8") -> Some 8
+  | Typedef_ref ("u16" | "s16") -> Some 16
+  | Typedef_ref ("u32" | "s32") -> Some 32
+  | Typedef_ref ("u64" | "s64" | "size_t" | "ssize_t") -> Some 64
+  | _ -> None
+
+(* qualifiers never change what a register read sees, at any depth *)
+let rec strip_deep = function
+  | Const t | Volatile t -> strip_deep t
+  | Ptr t -> Ptr (strip_deep t)
+  | Array (t, n) -> Array (strip_deep t, n)
+  | t -> t
+
+let compatible a b =
+  let a = strip_deep a and b = strip_deep b in
+  equal a b
+  ||
+  match bits_of a, bits_of b with
+  | Some x, Some y -> x = y
+  | _ -> false

@@ -1,0 +1,76 @@
+(** Canonical model of C types as they appear in kernel debug info.
+
+    This is the lingua franca of the repository: the synthetic kernel
+    source model declares functions and structs in it, the mini compiler
+    lowers it into DWARF DIEs and BTF records, and DepSurf raises the
+    binary forms back into it to compare declarations across images.
+
+    Named aggregates are represented by {e reference}: a [Struct_ref
+    "task_struct"] node carries only the name, and the definition lives in
+    a {!Decl.struct_def} looked up by name. This mirrors both DWARF
+    (DW_AT_type references) and BTF (type ids) and keeps the graph acyclic
+    at this level. *)
+
+type t =
+  | Void
+  | Int of { name : string; bits : int; signed : bool }
+  | Float of { name : string; bits : int }
+  | Ptr of t
+  | Array of t * int
+  | Struct_ref of string
+  | Union_ref of string
+  | Enum_ref of string
+  | Typedef_ref of string
+  | Const of t
+  | Volatile of t
+  | Func_proto of proto
+
+and param = { pname : string; ptype : t }
+and proto = { ret : t; params : param list; variadic : bool }
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val equal_proto : proto -> proto -> bool
+
+val strip_quals : t -> t
+(** Remove leading [Const]/[Volatile] wrappers. *)
+
+val to_string : t -> string
+(** C-ish rendering, e.g. ["const struct file *"]. *)
+
+val proto_to_string : name:string -> proto -> string
+(** e.g. ["int vfs_fsync(struct file *file, int datasync)"]. *)
+
+(** {2 Common scalar types} *)
+
+val void : t
+val bool_ : t
+val char_ : t
+val uchar : t
+val short : t
+val ushort : t
+val int_ : t
+val uint : t
+val long : t
+val ulong : t
+val llong : t
+val ullong : t
+val u8 : t
+val u16 : t
+val u32 : t
+val u64 : t
+val s32 : t
+val s64 : t
+val size_t : t
+val char_ptr : t
+val void_ptr : t
+
+val scalar_pool : t array
+(** The scalars the synthetic generator draws from. *)
+
+val compatible : t -> t -> bool
+(** [compatible a b] is true when a register/memory read typed as [a]
+    would not be rejected by the compiler if the producer used [b]: equal
+    types, or integer types of the same bit width. A change between
+    compatible types is precisely the kind that yields silent stray reads
+    (paper, Takeaway 4). *)

@@ -1,0 +1,133 @@
+module Smap = Map.Make (String)
+
+type field = { fname : string; ftype : Ctype.t; bits_offset : int }
+
+type struct_def = {
+  sname : string;
+  skind : [ `Struct | `Union ];
+  byte_size : int;
+  fields : field list;
+}
+
+type enum_def = { ename : string; values : (string * int) list }
+type typedef_def = { tname : string; aliased : Ctype.t }
+type func_decl = { fname : string; proto : Ctype.proto }
+
+type type_env = {
+  ptr_size : int;
+  structs : struct_def Smap.t;
+  enums : enum_def Smap.t;
+  typedefs : typedef_def Smap.t;
+}
+
+let empty_env ~ptr_size =
+  { ptr_size; structs = Smap.empty; enums = Smap.empty; typedefs = Smap.empty }
+
+let ptr_size env = env.ptr_size
+let add_struct env s = { env with structs = Smap.add s.sname s env.structs }
+let add_enum env e = { env with enums = Smap.add e.ename e env.enums }
+let add_typedef env t = { env with typedefs = Smap.add t.tname t env.typedefs }
+let find_struct env n = Smap.find_opt n env.structs
+let find_enum env n = Smap.find_opt n env.enums
+let find_typedef env n = Smap.find_opt n env.typedefs
+let structs env = List.map snd (Smap.bindings env.structs)
+let enums env = List.map snd (Smap.bindings env.enums)
+let typedefs env = List.map snd (Smap.bindings env.typedefs)
+
+let default_typedefs =
+  let itd name base = { tname = name; aliased = base } in
+  [
+    itd "u8" Ctype.uchar;
+    itd "s8" Ctype.char_;
+    itd "u16" Ctype.ushort;
+    itd "s16" Ctype.short;
+    itd "u32" Ctype.uint;
+    itd "s32" Ctype.int_;
+    itd "u64" Ctype.ullong;
+    itd "s64" Ctype.llong;
+    itd "size_t" Ctype.ulong;
+    itd "ssize_t" Ctype.long;
+    itd "pid_t" Ctype.int_;
+    itd "gfp_t" Ctype.uint;
+    itd "umode_t" Ctype.ushort;
+    itd "loff_t" Ctype.llong;
+    itd "sector_t" Ctype.ulong;
+    itd "dev_t" Ctype.uint;
+    itd "cputime_t" Ctype.ulong;
+  ]
+
+let rec size_of env (t : Ctype.t) =
+  match t with
+  | Void -> 1
+  | Int { bits; _ } | Float { bits; _ } -> bits / 8
+  | Ptr _ | Func_proto _ -> env.ptr_size
+  | Array (t, n) -> size_of env t * n
+  | Const t | Volatile t -> size_of env t
+  | Struct_ref n | Union_ref n -> (
+      match find_struct env n with Some s -> s.byte_size | None -> raise Not_found)
+  | Enum_ref n ->
+      if Smap.mem n env.enums then 4 else raise Not_found
+  | Typedef_ref n -> (
+      match find_typedef env n with
+      | Some td -> size_of env td.aliased
+      | None -> raise Not_found)
+
+let rec align_of env (t : Ctype.t) =
+  match t with
+  | Void -> 1
+  | Int { bits; _ } | Float { bits; _ } -> min (bits / 8) env.ptr_size
+  | Ptr _ | Func_proto _ -> env.ptr_size
+  | Array (t, _) | Const t | Volatile t -> align_of env t
+  | Struct_ref n | Union_ref n -> (
+      match find_struct env n with
+      | Some { fields = []; _ } -> 1
+      | Some s ->
+          List.fold_left (fun acc f -> max acc (align_of env f.ftype)) 1 s.fields
+      | None -> raise Not_found)
+  | Enum_ref _ -> 4
+  | Typedef_ref n -> (
+      match find_typedef env n with
+      | Some td -> align_of env td.aliased
+      | None -> raise Not_found)
+
+let round_up v a = (v + a - 1) / a * a
+
+let layout_struct env ~name ~kind members =
+  match kind with
+  | `Union ->
+      let fields =
+        List.map (fun (fname, ftype) -> { fname; ftype; bits_offset = 0 }) members
+      in
+      let byte_size =
+        List.fold_left (fun acc (_, t) -> max acc (size_of env t)) 0 members
+      in
+      let align =
+        List.fold_left (fun acc (_, t) -> max acc (align_of env t)) 1 members
+      in
+      { sname = name; skind = `Union; byte_size = round_up byte_size align; fields }
+  | `Struct ->
+      let off = ref 0 in
+      let max_align = ref 1 in
+      let fields =
+        List.map
+          (fun (fname, ftype) ->
+            let a = align_of env ftype in
+            max_align := max !max_align a;
+            off := round_up !off a;
+            let f = { fname; ftype; bits_offset = !off * 8 } in
+            off := !off + size_of env ftype;
+            f)
+          members
+      in
+      { sname = name; skind = `Struct; byte_size = round_up !off !max_align; fields }
+
+let equal_field (a : field) (b : field) =
+  a.fname = b.fname && a.bits_offset = b.bits_offset && Ctype.equal a.ftype b.ftype
+
+let equal_struct a b =
+  a.sname = b.sname && a.skind = b.skind && a.byte_size = b.byte_size
+  && List.length a.fields = List.length b.fields
+  && List.for_all2 equal_field a.fields b.fields
+
+let equal_func (a : func_decl) (b : func_decl) =
+  a.fname = b.fname && Ctype.equal_proto a.proto b.proto

@@ -1,0 +1,52 @@
+(** Declarations: named aggregates and function signatures.
+
+    A {!type_env} holds every named definition of one kernel version; it is
+    what the compiler lowers into debug info and what DepSurf reconstructs
+    from an image. *)
+
+type field = { fname : string; ftype : Ctype.t; bits_offset : int }
+
+type struct_def = {
+  sname : string;
+  skind : [ `Struct | `Union ];
+  byte_size : int;
+  fields : field list;
+}
+
+type enum_def = { ename : string; values : (string * int) list }
+type typedef_def = { tname : string; aliased : Ctype.t }
+type func_decl = { fname : string; proto : Ctype.proto }
+
+type type_env
+
+val empty_env : ptr_size:int -> type_env
+val ptr_size : type_env -> int
+val add_struct : type_env -> struct_def -> type_env
+val add_enum : type_env -> enum_def -> type_env
+val add_typedef : type_env -> typedef_def -> type_env
+val find_struct : type_env -> string -> struct_def option
+val find_enum : type_env -> string -> enum_def option
+val find_typedef : type_env -> string -> typedef_def option
+val structs : type_env -> struct_def list
+val enums : type_env -> enum_def list
+val typedefs : type_env -> typedef_def list
+
+val default_typedefs : typedef_def list
+(** The kernel's scalar typedefs (u8..u64, size_t, ...). *)
+
+val size_of : type_env -> Ctype.t -> int
+(** Byte size of a type; struct/enum/typedef references are resolved
+    through the environment. Raises [Not_found] on dangling references. *)
+
+val align_of : type_env -> Ctype.t -> int
+(** Natural alignment (power of two, at most the pointer size). *)
+
+val layout_struct :
+  type_env -> name:string -> kind:[ `Struct | `Union ] -> (string * Ctype.t) list -> struct_def
+(** Compute bit offsets and total size by sequential natural-alignment
+    packing (unions overlay at offset 0), the same rule the mini compiler
+    uses; this is our stand-in for the real ABI layout. *)
+
+val equal_field : field -> field -> bool
+val equal_struct : struct_def -> struct_def -> bool
+val equal_func : func_decl -> func_decl -> bool

@@ -1,0 +1,1 @@
+lib/dwarf/die.ml: Array Bytesio Ds_util Hashtbl List Printf String

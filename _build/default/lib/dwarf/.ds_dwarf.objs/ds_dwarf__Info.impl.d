@@ -1,0 +1,1 @@
+lib/dwarf/info.ml: Builder Ctype Decl Die Ds_ctypes Dw Hashtbl List Option Printf

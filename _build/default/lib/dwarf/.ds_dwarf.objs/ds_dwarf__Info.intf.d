@@ -1,0 +1,1 @@
+lib/dwarf/info.mli: Ctype Decl Ds_ctypes

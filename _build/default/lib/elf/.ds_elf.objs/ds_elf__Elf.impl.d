@@ -1,0 +1,1 @@
+lib/elf/elf.ml: Array Buffer Bytesio Ds_util Int64 List Option Printf String

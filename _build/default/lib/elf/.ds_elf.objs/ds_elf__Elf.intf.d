@@ -1,0 +1,1 @@
+lib/elf/elf.mli: Ds_util

@@ -1,0 +1,1 @@
+lib/kcc/compile.ml: Calibration Config Construct Ctype Decl Ds_ctypes Ds_ksrc Ds_util Fun Hashtbl Int64 List Prng Source String Version

@@ -1,0 +1,1 @@
+lib/kcc/compile.mli: Config Construct Ds_ctypes Ds_ksrc Source Version

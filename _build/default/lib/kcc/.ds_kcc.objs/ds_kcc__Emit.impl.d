@@ -1,0 +1,1 @@
+lib/kcc/emit.ml: Bytesio Compile Config Construct Ctype Decl Ds_btf Ds_ctypes Ds_dwarf Ds_elf Ds_ksrc Ds_util Elf Hashtbl Int64 List Printf String Version

@@ -1,0 +1,1 @@
+lib/kcc/emit.mli: Compile Ds_elf Ds_ksrc

@@ -1,0 +1,355 @@
+open Ds_util
+open Ds_ctypes
+open Ds_ksrc
+open Construct
+
+type site = {
+  sd_caller : string;
+  sd_tu : string;
+  sd_line : int;
+  sd_inlined : bool;
+  sd_pc : int64;
+}
+
+type instance = {
+  i_func : Construct.func_def;
+  i_tu : string;
+  i_symbols : (string * int64) list;
+  i_sites : site list;
+}
+
+type model = {
+  m_source_version : Version.t;
+  m_config : Config.t;
+  m_gcc : int * int;
+  m_env : Decl.type_env;
+  m_instances : instance list;
+  m_tracepoints : Construct.tracepoint_def list;
+  m_syscalls : (string * string * int64) list;
+}
+
+let trace_entry_struct =
+  Decl.
+    {
+      sname = "trace_entry";
+      skind = `Struct;
+      byte_size = 8;
+      fields =
+        [
+          { fname = "type"; ftype = Ctype.ushort; bits_offset = 0 };
+          { fname = "flags"; ftype = Ctype.uchar; bits_offset = 16 };
+          { fname = "preempt_count"; ftype = Ctype.uchar; bits_offset = 24 };
+          { fname = "pid"; ftype = Ctype.int_; bits_offset = 32 };
+        ];
+    }
+
+let syscall_prefix = function
+  | Config.X86 -> "__x64_sys_"
+  | Config.Arm64 -> "__arm64_sys_"
+  | Config.Arm32 -> "sys_"
+  | Config.Ppc -> "sys_"
+  | Config.Riscv -> "__riscv_sys_"
+
+let syscall_symbol arch name = syscall_prefix arch ^ name
+
+let syscall_of_symbol arch sym =
+  let prefix = syscall_prefix arch in
+  if String.length sym > String.length prefix && String.starts_with ~prefix sym then
+    Some (String.sub sym (String.length prefix) (String.length sym - String.length prefix))
+  else None
+
+let inline_jitter ~tu ~fn =
+  (* 80% of header copies inline; stable across versions/configs. *)
+  let h = Prng.next_int64 (Prng.of_string ("jitter:" ^ tu ^ ":" ^ fn)) in
+  Int64.rem (Int64.logand h Int64.max_int) 10L < 8L
+
+(* ------------------------------------------------------------------ *)
+(* Struct layout                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Lay out every configured struct. Direct struct-typed members require
+   the inner struct to be laid out first, so iterate to a fixpoint;
+   pointer members only need the pointer size. *)
+let build_env src cfg =
+  let env0 =
+    List.fold_left Decl.add_typedef
+      (Decl.empty_env ~ptr_size:(Config.ptr_size cfg.Config.arch))
+      Decl.default_typedefs
+  in
+  let env0 = Decl.add_struct env0 trace_entry_struct in
+  let pending = ref (Source.structs_in src cfg) in
+  let env = ref env0 in
+  let progress = ref true in
+  while !pending <> [] && !progress do
+    progress := false;
+    let still = ref [] in
+    List.iter
+      (fun (s : struct_src) ->
+        match
+          Decl.layout_struct !env ~name:s.st_name ~kind:s.st_kind (members_for s cfg)
+        with
+        | def ->
+            env := Decl.add_struct !env def;
+            progress := true
+        | exception Not_found -> still := s :: !still)
+      !pending;
+    pending := List.rev !still
+  done;
+  (* Anything left refers (directly, by value) to a struct this config
+     doesn't have; treat the unresolved members as opaque words, which is
+     what an #ifdef'd placeholder would produce. *)
+  List.iter
+    (fun (s : struct_src) ->
+      let members =
+        List.map
+          (fun (n, ty) ->
+            match Decl.size_of !env ty with
+            | _ -> (n, ty)
+            | exception Not_found -> (n, Ctype.ulong))
+          (members_for s cfg)
+      in
+      env := Decl.add_struct !env (Decl.layout_struct !env ~name:s.st_name ~kind:s.st_kind members))
+    !pending;
+  (* Event structs for configured tracepoints. *)
+  List.iter
+    (fun tp ->
+      let members =
+        ("ent", Ctype.Struct_ref "trace_entry")
+        :: List.map
+             (fun (n, ty) ->
+               match Decl.size_of !env ty with
+               | _ -> (n, ty)
+               | exception Not_found -> (n, Ctype.ulong))
+             tp.tp_fields
+      in
+      env :=
+        Decl.add_struct !env
+          (Decl.layout_struct !env ~name:(tp_struct_name tp) ~kind:`Struct members))
+    (Source.tracepoints_in src cfg);
+  !env
+
+(* ------------------------------------------------------------------ *)
+(* Call-site synthesis                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* TU index: file -> names of functions whose primary copy lives there. *)
+let build_tu_index funcs =
+  let tbl : (string, string list ref) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun f ->
+      if not (fn_is_header f) then begin
+        let cell =
+          match Hashtbl.find_opt tbl f.fn_file with
+          | Some c -> c
+          | None ->
+              let c = ref [] in
+              Hashtbl.add tbl f.fn_file c;
+              c
+        in
+        cell := f.fn_name :: !cell
+      end)
+    funcs;
+  tbl
+
+let pick_callers prng tu_index ~tu ~self n =
+  match Hashtbl.find_opt tu_index tu with
+  | None -> []
+  | Some names ->
+      let candidates = List.filter (fun c -> c <> self) !names in
+      Prng.sample prng n candidates
+
+(* Synthesize call sites for a function without explicit ones. Seeded by
+   the function name only, so sites are stable across versions. *)
+let synth_sites prng_for tu_index (f : func_def) ~tus =
+  let prng = prng_for f.fn_name in
+  match tus with
+  | `Header includers ->
+      List.concat_map
+        (fun tu ->
+          List.map
+            (fun caller -> { cl_func = caller; cl_file = tu })
+            (pick_callers prng tu_index ~tu ~self:f.fn_name (1 + Prng.int prng 2)))
+        includers
+  | `Single tu -> (
+      match f.fn_profile with
+      | P_full ->
+          List.map
+            (fun c -> { cl_func = c; cl_file = tu })
+            (pick_callers prng tu_index ~tu ~self:f.fn_name (1 + Prng.int prng 3))
+      | P_selective ->
+          let same =
+            List.map
+              (fun c -> { cl_func = c; cl_file = tu })
+              (pick_callers prng tu_index ~tu ~self:f.fn_name (1 + Prng.int prng 2))
+          in
+          let keys = Hashtbl.fold (fun k _ acc -> k :: acc) tu_index [] in
+          let keys = List.sort compare (List.filter (fun k -> k <> tu) keys) in
+          let other =
+            if keys = [] then []
+            else
+              let otu = List.nth keys (Prng.int prng (List.length keys)) in
+              List.map
+                (fun c -> { cl_func = c; cl_file = otu })
+                (pick_callers prng tu_index ~tu:otu ~self:f.fn_name (1 + Prng.int prng 2))
+          in
+          same @ other
+      | P_never ->
+          let keys = Hashtbl.fold (fun k _ acc -> k :: acc) tu_index [] in
+          let keys = List.sort compare keys in
+          if keys = [] then []
+          else
+            List.init
+              (1 + Prng.int prng 3)
+              (fun _ ->
+                let otu = List.nth keys (Prng.int prng (List.length keys)) in
+                match pick_callers prng tu_index ~tu:otu ~self:f.fn_name 1 with
+                | [ c ] -> Some { cl_func = c; cl_file = otu }
+                | _ -> None)
+            |> List.filter_map Fun.id)
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let text_base_for arch =
+  if Config.ptr_size arch = 4 then 0xc0008000L else 0xffffffff81000000L
+
+let compile ?inline_threshold src cfg =
+  let gcc = Version.gcc_of (Source.version src) in
+  let arch = cfg.Config.arch in
+  let text_base = text_base_for arch in
+  let inline_pc_base = if Config.ptr_size arch = 4 then 0xc8000000L else 0xffffffff89000000L in
+  let threshold =
+    match inline_threshold with
+    | Some t -> t
+    | None -> Calibration.inline_threshold ~gcc
+  in
+  let funcs = Source.funcs_in src cfg in
+  let tu_index = build_tu_index funcs in
+  let name_set = Hashtbl.create 512 in
+  List.iter (fun f -> Hashtbl.replace name_set f.fn_name ()) funcs;
+  let prng_for name = Prng.of_string ("sites:" ^ name) in
+  (* Address allocator. *)
+  let next_addr = ref text_base in
+  let alloc size =
+    let a = !next_addr in
+    next_addr := Int64.add a (Int64.of_int ((size + 15) / 16 * 16));
+    a
+  in
+  (* Per-function compilation. *)
+  let compile_func (f : func_def) =
+    let explicit =
+      List.filter (fun c -> Hashtbl.mem name_set c.cl_func) f.fn_callers
+    in
+    let copies =
+      if fn_is_header f then `Header f.fn_includers else `Single f.fn_file
+    in
+    let sites =
+      if explicit <> [] then explicit else synth_sites prng_for tu_index f ~tus:copies
+    in
+    let inlinable = f.fn_body_size <= threshold && not f.fn_address_taken in
+    let decide_site ~copy_tu (c : caller) =
+      (* visibility: the body is visible at the call site iff the call is
+         in the TU holding this copy (header copies live in each
+         includer). Global functions can also be inlined intra-TU. *)
+      let visible = c.cl_file = copy_tu in
+      let jitter = if fn_is_header f then inline_jitter ~tu:copy_tu ~fn:f.fn_name else true in
+      visible && inlinable && jitter
+    in
+    let transforms =
+      (* ISRA/constprop need internal linkage; cold/part splitting applies
+         to globals too *)
+      List.filter
+        (fun t ->
+          Calibration.transform_supported t ~gcc ~arch
+          && (f.fn_static || t = T_cold || t = T_part))
+        f.fn_transforms
+    in
+    let symbols_for base_kept =
+      (* base symbol possibly renamed by isra/constprop; cold/part add
+         siblings. *)
+      let renames =
+        List.filter (fun t -> t = T_isra || t = T_constprop) transforms
+      in
+      let splits = List.filter (fun t -> t = T_cold || t = T_part) transforms in
+      let base_name =
+        List.fold_left (fun n t -> n ^ transform_suffix t) f.fn_name renames
+      in
+      if not base_kept then []
+      else
+        (base_name, alloc f.fn_body_size)
+        :: List.map (fun t -> (f.fn_name ^ transform_suffix t, alloc (max 8 (f.fn_body_size / 3)))) splits
+    in
+    match copies with
+    | `Single tu ->
+        let decided =
+          List.map
+            (fun (c : caller) ->
+              let inlined = decide_site ~copy_tu:tu c in
+              (c, inlined))
+            sites
+        in
+        let all_inlined =
+          decided <> [] && List.for_all snd decided
+        in
+        let keep_symbol = (not f.fn_static) || not all_inlined in
+        let symbols = symbols_for keep_symbol in
+        let base_addr = match symbols with (_, a) :: _ -> a | [] -> 0L in
+        let mk_site i ((c : caller), inlined) =
+          {
+            sd_caller = c.cl_func;
+            sd_tu = c.cl_file;
+            sd_line = f.fn_line + 1000 + i;
+            sd_inlined = inlined;
+            sd_pc =
+              (if inlined then Int64.add inline_pc_base (Int64.of_int (Prng.int (prng_for f.fn_name) 1000000 * 16))
+               else Int64.add base_addr 0L);
+          }
+        in
+        [ { i_func = f; i_tu = tu; i_symbols = symbols; i_sites = List.mapi mk_site decided } ]
+    | `Header includers ->
+        List.map
+          (fun tu ->
+            let tu_sites = List.filter (fun (c : caller) -> c.cl_file = tu) sites in
+            let decided =
+              List.map (fun c -> (c, decide_site ~copy_tu:tu c)) tu_sites
+            in
+            let all_inlined = decided <> [] && List.for_all snd decided in
+            let keep_symbol = not all_inlined in
+            let symbols =
+              if keep_symbol then [ (f.fn_name, alloc f.fn_body_size) ] else []
+            in
+            let base_addr = match symbols with (_, a) :: _ -> a | [] -> 0L in
+            let mk_site i ((c : caller), inlined) =
+              {
+                sd_caller = c.cl_func;
+                sd_tu = c.cl_file;
+                sd_line = f.fn_line + 1000 + i;
+                sd_inlined = inlined;
+                sd_pc =
+                  (if inlined then
+                     Int64.add inline_pc_base
+                       (Int64.of_int (Prng.int (prng_for (f.fn_name ^ tu)) 1000000 * 16))
+                   else base_addr);
+              }
+            in
+            { i_func = f; i_tu = tu; i_symbols = symbols; i_sites = List.mapi mk_site decided })
+          includers
+  in
+  let instances = List.concat_map compile_func funcs in
+  let syscalls =
+    List.map
+      (fun (s : syscall_def) ->
+        let sym = syscall_symbol arch s.sc_name in
+        (s.sc_name, sym, alloc 64))
+      (Source.syscalls_in src cfg)
+  in
+  {
+    m_source_version = Source.version src;
+    m_config = cfg;
+    m_gcc = gcc;
+    m_env = build_env src cfg;
+    m_instances = instances;
+    m_tracepoints = Source.tracepoints_in src cfg;
+    m_syscalls = syscalls;
+  }

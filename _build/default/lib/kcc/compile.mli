@@ -1,0 +1,73 @@
+(** The compilation front half: configure a source tree, decide inlining
+    per call site, apply interprocedural transformations, lay out structs
+    for the target ABI, and assign addresses. The output {!model} is what
+    {!Emit} serializes into a vmlinux-like ELF image.
+
+    Decision procedure (mirrors GCC's observable behaviour, paper §4.3):
+    - a call site is inlined iff the callee's body is under the compiler
+      version's threshold, its address is never taken, and its definition
+      is visible in the calling TU (same file, or header-defined);
+    - a {e static} function whose call sites were all inlined loses its
+      symbol (full inline); a {e global} one always keeps its symbol, so
+      same-TU inlining yields selective inline;
+    - header-defined static functions are compiled once per including TU;
+      non-inlined copies produce duplicate local symbols;
+    - ISRA/constprop rename the symbol (original disappears); cold/part
+      split it (original stays, a suffixed sibling appears). *)
+
+open Ds_ksrc
+
+type site = {
+  sd_caller : string;
+  sd_tu : string;  (** translation unit the call site lives in *)
+  sd_line : int;
+  sd_inlined : bool;
+  sd_pc : int64;  (** address of the (inlined) call site *)
+}
+
+type instance = {
+  i_func : Construct.func_def;
+  i_tu : string;  (** TU this copy was compiled into *)
+  i_symbols : (string * int64) list;
+      (** emitted symbol names and addresses; empty = fully inlined copy.
+          More than one when cold/part splitting applies. *)
+  i_sites : site list;  (** call sites targeting this copy *)
+}
+
+type model = {
+  m_source_version : Version.t;
+  m_config : Config.t;
+  m_gcc : int * int;
+  m_env : Ds_ctypes.Decl.type_env;  (** structs laid out for the target ABI,
+                                        including tracepoint event structs *)
+  m_instances : instance list;
+  m_tracepoints : Construct.tracepoint_def list;
+  m_syscalls : (string * string * int64) list;
+      (** (name, impl symbol, impl address), in syscall-number order *)
+}
+
+val trace_entry_struct : Ds_ctypes.Decl.struct_def
+(** The common [trace_entry] header every event struct embeds. *)
+
+val syscall_symbol : Config.arch -> string -> string
+(** Symbol implementing a system call, e.g. x86 [openat] →
+    ["__x64_sys_openat"]. *)
+
+val syscall_of_symbol : Config.arch -> string -> string option
+(** Inverse of {!syscall_symbol} (strip the arch prefix). *)
+
+val text_base_for : Config.arch -> int64
+(** Load address of [.text] (32-bit arches get a 32-bit address space so
+    in-image pointers fit their pointer width). *)
+
+val compile : ?inline_threshold:int -> Source.t -> Config.t -> model
+(** Configure and compile. The GCC version is derived from the source
+    version via {!Version.gcc_of}; [inline_threshold] overrides the
+    compiler's size threshold (used by the Figure-5 sensitivity
+    ablation). *)
+
+val inline_jitter : tu:string -> fn:string -> bool
+(** Deterministic per-TU tie-breaker for header-defined functions: some
+    including TUs inline their copy, others keep a local symbol (this is
+    what makes duplication and inlining coexist, as DepSurf observes for
+    [__page_cache_alloc] on arm32/riscv). *)

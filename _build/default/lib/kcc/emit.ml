@@ -1,0 +1,342 @@
+open Ds_util
+open Ds_ctypes
+open Ds_elf
+open Ds_ksrc
+open Construct
+open Compile
+
+let rodata_base_for arch =
+  if Ds_ksrc.Config.ptr_size arch = 4 then 0xc4000000L else 0xffffffff82000000L
+
+let data_base_for arch =
+  if Ds_ksrc.Config.ptr_size arch = 4 then 0xc6000000L else 0xffffffff83000000L
+
+let banner m =
+  let major, minor = (m.m_source_version.Version.major, m.m_source_version.Version.minor) in
+  let gmaj, gmin = m.m_gcc in
+  Printf.sprintf
+    "Linux version %d.%d.0-%s (buildd@lcy02-amd64-021) (gcc version %d.%d.0 (Ubuntu)) #1 SMP %s"
+    major minor
+    (Config.flavor_to_string m.m_config.Config.flavor)
+    gmaj gmin
+    (Config.arch_to_string m.m_config.Config.arch)
+
+let tp_func_proto tp =
+  Ctype.
+    {
+      ret = void;
+      params = { pname = "__data"; ptype = void_ptr } :: tp.tp_params;
+      variadic = false;
+    }
+
+let syscall_impl_proto =
+  Ctype.
+    {
+      ret = long;
+      params = [ { pname = "regs"; ptype = Ptr (Const (Struct_ref "pt_regs")) } ];
+      variadic = false;
+    }
+
+let emit m =
+  let endian = Elf.machine_endian (match m.m_config.Config.arch with
+    | Config.X86 -> Elf.X86_64
+    | Config.Arm64 -> Elf.Aarch64
+    | Config.Arm32 -> Elf.Arm
+    | Config.Ppc -> Elf.Ppc64
+    | Config.Riscv -> Elf.Riscv64)
+  in
+  let machine =
+    match m.m_config.Config.arch with
+    | Config.X86 -> Elf.X86_64
+    | Config.Arm64 -> Elf.Aarch64
+    | Config.Arm32 -> Elf.Arm
+    | Config.Ppc -> Elf.Ppc64
+    | Config.Riscv -> Elf.Riscv64
+  in
+  let ptr_size = Config.ptr_size m.m_config.Config.arch in
+  let rodata_base = rodata_base_for m.m_config.Config.arch in
+  let data_base = data_base_for m.m_config.Config.arch in
+  let text_base = Compile.text_base_for m.m_config.Config.arch in
+  (* --- address bookkeeping ------------------------------------------- *)
+  let text_end = ref text_base in
+  let bump addr size =
+    let e = Int64.add addr (Int64.of_int size) in
+    if Int64.compare e !text_end > 0 then text_end := e
+  in
+  List.iter
+    (fun i -> List.iter (fun (_, a) -> bump a i.i_func.fn_body_size) i.i_symbols)
+    m.m_instances;
+  List.iter (fun (_, _, a) -> bump a 64) m.m_syscalls;
+  (* tracing-function addresses continue after everything else *)
+  let tp_funcs =
+    List.map
+      (fun tp ->
+        let addr = !text_end in
+        text_end := Int64.add !text_end 64L;
+        (tp, addr))
+      m.m_tracepoints
+  in
+  (* --- .rodata -------------------------------------------------------- *)
+  let ro = Bytesio.Writer.create ~endian () in
+  let ro_string s =
+    let off = Bytesio.Writer.pos ro in
+    Bytesio.Writer.cstring ro s;
+    Int64.add rodata_base (Int64.of_int off)
+  in
+  let banner_addr = ro_string (banner m) in
+  let tp_strings =
+    List.map
+      (fun (tp, faddr) ->
+        let name_addr = ro_string tp.tp_name in
+        let class_addr = ro_string tp.tp_class in
+        let fmt =
+          String.concat ", "
+            (List.map (fun (f, _) -> Printf.sprintf "%s=%%lu" f) tp.tp_fields)
+        in
+        let fmt_addr = ro_string ("\"" ^ fmt ^ "\"") in
+        (tp, faddr, name_addr, class_addr, fmt_addr))
+      tp_funcs
+  in
+  (* --- .data ----------------------------------------------------------- *)
+  let data = Bytesio.Writer.create ~endian () in
+  let wptr v =
+    if ptr_size = 8 then Bytesio.Writer.u64 data v
+    else Bytesio.Writer.u32 data (Int64.to_int (Int64.logand v 0xFFFFFFFFL))
+  in
+  (* trace_event_call records first *)
+  let call_records =
+    List.map
+      (fun (tp, faddr, name_addr, class_addr, fmt_addr) ->
+        Bytesio.Writer.align data ptr_size;
+        let rec_addr = Int64.add data_base (Int64.of_int (Bytesio.Writer.pos data)) in
+        wptr name_addr;
+        wptr class_addr;
+        wptr faddr;
+        wptr fmt_addr;
+        ignore tp;
+        rec_addr)
+      tp_strings
+  in
+  (* ftrace events pointer array *)
+  Bytesio.Writer.align data ptr_size;
+  let ftrace_start = Int64.add data_base (Int64.of_int (Bytesio.Writer.pos data)) in
+  List.iter wptr call_records;
+  let ftrace_stop = Int64.add data_base (Int64.of_int (Bytesio.Writer.pos data)) in
+  (* sys_call_table *)
+  Bytesio.Writer.align data ptr_size;
+  let sys_table_addr = Int64.add data_base (Int64.of_int (Bytesio.Writer.pos data)) in
+  List.iter (fun (_, _, addr) -> wptr addr) m.m_syscalls;
+  let sys_table_size = List.length m.m_syscalls * ptr_size in
+  (* --- symbols ---------------------------------------------------------- *)
+  let text_size = Int64.to_int (Int64.sub !text_end text_base) in
+  let func_symbols =
+    List.concat_map
+      (fun i ->
+        List.map
+          (fun (name, addr) ->
+            Elf.
+              {
+                sym_name = name;
+                sym_value = addr;
+                sym_size = i.i_func.fn_body_size;
+                sym_bind = (if i.i_func.fn_static then Elf.Local else Elf.Global);
+                sym_section = ".text";
+              })
+          i.i_symbols)
+      m.m_instances
+  in
+  let syscall_symbols =
+    List.map
+      (fun (_, sym, addr) ->
+        Elf.
+          {
+            sym_name = sym;
+            sym_value = addr;
+            sym_size = 64;
+            sym_bind = Elf.Global;
+            sym_section = ".text";
+          })
+      m.m_syscalls
+  in
+  let tp_symbols =
+    List.map
+      (fun (tp, addr) ->
+        Elf.
+          {
+            sym_name = tp_func_name tp;
+            sym_value = addr;
+            sym_size = 64;
+            sym_bind = Elf.Local;
+            sym_section = ".text";
+          })
+      tp_funcs
+  in
+  let marker_symbols =
+    Elf.
+      [
+        {
+          sym_name = "linux_banner";
+          sym_value = banner_addr;
+          sym_size = String.length (banner m) + 1;
+          sym_bind = Elf.Global;
+          sym_section = ".rodata";
+        };
+        {
+          sym_name = "__start_ftrace_events";
+          sym_value = ftrace_start;
+          sym_size = 0;
+          sym_bind = Elf.Global;
+          sym_section = ".data";
+        };
+        {
+          sym_name = "__stop_ftrace_events";
+          sym_value = ftrace_stop;
+          sym_size = 0;
+          sym_bind = Elf.Global;
+          sym_section = ".data";
+        };
+        {
+          sym_name = "sys_call_table";
+          sym_value = sys_table_addr;
+          sym_size = sys_table_size;
+          sym_bind = Elf.Global;
+          sym_section = ".data";
+        };
+      ]
+  in
+  (* --- DWARF ------------------------------------------------------------ *)
+  (* caller-side records: (tu, caller) -> inlined calls / direct calls *)
+  let inlined_into : (string * string, Ds_dwarf.Info.inlined_call list ref) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let calls_into : (string * string, string list ref) Hashtbl.t = Hashtbl.create 256 in
+  let push tbl key v =
+    let cell =
+      match Hashtbl.find_opt tbl key with
+      | Some c -> c
+      | None ->
+          let c = ref [] in
+          Hashtbl.add tbl key c;
+          c
+    in
+    cell := v :: !cell
+  in
+  List.iter
+    (fun i ->
+      List.iter
+        (fun s ->
+          if s.sd_inlined then
+            push inlined_into (s.sd_tu, s.sd_caller)
+              Ds_dwarf.Info.
+                { ic_callee = i.i_func.fn_name; ic_pc = s.sd_pc; ic_call_line = s.sd_line }
+          else push calls_into (s.sd_tu, s.sd_caller) i.i_func.fn_name)
+        i.i_sites)
+    m.m_instances;
+  let tu_map : (string, Ds_dwarf.Info.subprogram list ref) Hashtbl.t = Hashtbl.create 128 in
+  let add_sp tu sp = push tu_map tu sp in
+  List.iter
+    (fun i ->
+      let f = i.i_func in
+      let sp =
+        Ds_dwarf.Info.
+          {
+            sp_name = f.fn_name;
+            sp_proto = proto_for f m.m_config;
+            sp_file = f.fn_file;
+            sp_line = f.fn_line;
+            sp_external = not f.fn_static;
+            sp_declared_inline = f.fn_declared_inline;
+            sp_low_pc = (match i.i_symbols with (_, a) :: _ -> Some a | [] -> None);
+            sp_inlined =
+              (match Hashtbl.find_opt inlined_into (i.i_tu, f.fn_name) with
+              | Some c -> List.rev !c
+              | None -> []);
+            sp_calls =
+              (match Hashtbl.find_opt calls_into (i.i_tu, f.fn_name) with
+              | Some c -> List.sort_uniq compare !c
+              | None -> []);
+          }
+      in
+      add_sp i.i_tu sp)
+    m.m_instances;
+  (* tracing functions live in one synthetic trace-events unit *)
+  List.iter
+    (fun (tp, addr) ->
+      add_sp "kernel/trace-events.c"
+        Ds_dwarf.Info.
+          {
+            sp_name = tp_func_name tp;
+            sp_proto = tp_func_proto tp;
+            sp_file = "kernel/trace-events.c";
+            sp_line = 1;
+            sp_external = false;
+            sp_declared_inline = false;
+            sp_low_pc = Some addr;
+            sp_inlined = [];
+            sp_calls = [];
+          })
+    tp_funcs;
+  let cus =
+    (* one types unit with every aggregate, then one unit per TU *)
+    Ds_dwarf.Info.
+      {
+        cu_name = "__vmlinux_types__";
+        cu_subprograms = [];
+        cu_structs = Decl.structs m.m_env;
+        cu_enums = Decl.enums m.m_env;
+        cu_typedefs = Decl.typedefs m.m_env;
+      }
+    :: (Hashtbl.fold (fun tu sps acc -> (tu, sps) :: acc) tu_map []
+       |> List.sort (fun (a, _) (b, _) -> compare a b)
+       |> List.map (fun (tu, sps) ->
+              Ds_dwarf.Info.
+                {
+                  cu_name = tu;
+                  cu_subprograms =
+                    List.sort (fun a b -> compare a.sp_name b.sp_name) (List.rev !sps);
+                  cu_structs = [];
+                  cu_enums = [];
+                  cu_typedefs = [];
+                }))
+  in
+  let debug_info, debug_abbrev = Ds_dwarf.Info.encode cus in
+  (* --- BTF --------------------------------------------------------------- *)
+  let seen = Hashtbl.create 512 in
+  let plain_symbol_funcs =
+    List.filter_map
+      (fun i ->
+        let f = i.i_func in
+        if Hashtbl.mem seen f.fn_name then None
+        else if List.exists (fun (n, _) -> n = f.fn_name) i.i_symbols then begin
+          Hashtbl.replace seen f.fn_name ();
+          Some Decl.{ fname = f.fn_name; proto = proto_for f m.m_config }
+        end
+        else None)
+      m.m_instances
+  in
+  let btf_funcs =
+    plain_symbol_funcs
+    @ List.map
+        (fun (tp, _) -> Decl.{ fname = tp_func_name tp; proto = tp_func_proto tp })
+        tp_funcs
+    @ List.map (fun (_, sym, _) -> Decl.{ fname = sym; proto = syscall_impl_proto }) m.m_syscalls
+  in
+  let btf = Ds_btf.Btf.encode (Ds_btf.Btf.of_env m.m_env btf_funcs) in
+  (* --- assemble ---------------------------------------------------------- *)
+  Elf.
+    {
+      machine;
+      sections =
+        [
+          { sec_name = ".text"; sec_addr = text_base; sec_data = String.make text_size '\x00' };
+          { sec_name = ".rodata"; sec_addr = rodata_base; sec_data = Bytesio.Writer.contents ro };
+          { sec_name = ".data"; sec_addr = data_base; sec_data = Bytesio.Writer.contents data };
+          { sec_name = ".debug_info"; sec_addr = 0L; sec_data = debug_info };
+          { sec_name = ".debug_abbrev"; sec_addr = 0L; sec_data = debug_abbrev };
+          { sec_name = ".BTF"; sec_addr = 0L; sec_data = btf };
+        ];
+      symbols = func_symbols @ syscall_symbols @ tp_symbols @ marker_symbols;
+    }
+
+let build_image src cfg = emit (compile src cfg)
+let image_bytes src cfg = Elf.write (build_image src cfg)

@@ -1,0 +1,28 @@
+(** The compilation back half: serialize a compiled {!Compile.model} into
+    a vmlinux-like ELF image.
+
+    The image contains exactly what DepSurf's extractors consume:
+    - [.symtab]/[.strtab]: function symbols (with transformation
+      suffixes), tracing-function and syscall-stub symbols, plus the
+      [__start_ftrace_events]/[__stop_ftrace_events] delimiters,
+      [sys_call_table], and [linux_banner];
+    - [.rodata]: the banner and tracepoint strings;
+    - [.data]: the ftrace-events pointer array, one
+      [trace_event_call]-like record per tracepoint, and the
+      [sys_call_table] pointer array — all written with the target
+      machine's endianness and pointer size;
+    - [.debug_info]/[.debug_abbrev]: DWARF-lite compile units;
+    - [.BTF]: types and function prototypes. *)
+
+val banner : Compile.model -> string
+(** ["Linux version 5.4.0 ... (gcc version 9.2.0) ..."] — the string
+    stored at [linux_banner], from which DepSurf recovers the kernel and
+    compiler versions. *)
+
+val emit : Compile.model -> Ds_elf.Elf.t
+
+val build_image : Ds_ksrc.Source.t -> Ds_ksrc.Config.t -> Ds_elf.Elf.t
+(** [compile] + [emit]. *)
+
+val image_bytes : Ds_ksrc.Source.t -> Ds_ksrc.Config.t -> string
+(** [build_image] serialized with {!Ds_elf.Elf.write}. *)

@@ -1,0 +1,1 @@
+lib/ksrc/calibration.ml: Config Construct Float List Version

@@ -1,0 +1,1 @@
+lib/ksrc/calibration.mli: Config Construct Version

@@ -1,0 +1,1 @@
+lib/ksrc/catalog.ml: Config Construct Ctype Ds_ctypes Hashtbl List Option Source Version

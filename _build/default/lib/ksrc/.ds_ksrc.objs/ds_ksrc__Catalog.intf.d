@@ -1,0 +1,1 @@
+lib/ksrc/catalog.mli: Construct Source Version

@@ -1,0 +1,1 @@
+lib/ksrc/config.mli:

@@ -1,0 +1,1 @@
+lib/ksrc/construct.ml: Config Ctype Ds_ctypes Filename List

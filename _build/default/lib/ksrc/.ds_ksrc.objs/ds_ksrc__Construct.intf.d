@@ -1,0 +1,1 @@
+lib/ksrc/construct.mli: Config Ctype Ds_ctypes

@@ -1,0 +1,1 @@
+lib/ksrc/evolution.ml: Calibration Catalog Config Construct Ds_util Float Genpool List Namegen Prng Source Version

@@ -1,0 +1,1 @@
+lib/ksrc/evolution.mli: Calibration Genpool Source Version

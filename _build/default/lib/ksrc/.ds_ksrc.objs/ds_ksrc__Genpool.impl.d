@@ -1,0 +1,1 @@
+lib/ksrc/genpool.ml: Array Calibration Config Construct Ctype Ds_ctypes Ds_util Float Hashtbl List Namegen Printf Prng

@@ -1,0 +1,1 @@
+lib/ksrc/genpool.mli: Calibration Config Construct Ctype Ds_ctypes Ds_util Namegen

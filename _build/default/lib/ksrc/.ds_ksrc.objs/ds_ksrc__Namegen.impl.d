@@ -1,0 +1,1 @@
+lib/ksrc/namegen.ml: Array Ds_util Hashtbl List Printf Prng

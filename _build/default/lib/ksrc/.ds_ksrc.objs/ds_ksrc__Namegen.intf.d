@@ -1,0 +1,1 @@
+lib/ksrc/namegen.mli: Ds_util

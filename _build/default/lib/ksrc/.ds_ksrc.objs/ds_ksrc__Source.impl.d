@@ -1,0 +1,1 @@
+lib/ksrc/source.ml: Construct List Map Option String Version

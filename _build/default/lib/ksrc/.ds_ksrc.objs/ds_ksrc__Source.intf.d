@@ -1,0 +1,1 @@
+lib/ksrc/source.mli: Config Construct Version

@@ -1,0 +1,1 @@
+lib/ksrc/version.ml: List Printf Stdlib

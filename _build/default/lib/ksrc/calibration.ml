@@ -1,0 +1,162 @@
+type scale = {
+  sc_funcs : float;
+  sc_structs : float;
+  sc_tracepoints : float;
+  sc_syscalls : float;
+}
+
+let bench_scale =
+  { sc_funcs = 0.04; sc_structs = 0.05; sc_tracepoints = 0.25; sc_syscalls = 1.0 }
+
+let test_scale =
+  { sc_funcs = 0.010; sc_structs = 0.02; sc_tracepoints = 0.08; sc_syscalls = 0.2 }
+
+type rates = { r_count : int; r_rm : float; r_ch : float }
+type step = { s_version : Version.t; s_fn : rates; s_st : rates; s_tp : rates }
+
+let v = Version.v
+let fn c rm ch = { r_count = c; r_rm = rm /. 100.; r_ch = ch /. 100. }
+
+(* Table 3: per-release population targets and removal/change rates for
+   the x86 population. Additions are derived (whatever reaches the
+   target), matching the paper's "+%" columns to within rounding. *)
+let steps =
+  [
+    { s_version = v 4 4; s_fn = fn 36000 0. 0.; s_st = fn 6200 0. 0.; s_tp = fn 502 0. 0. };
+    { s_version = v 4 8; s_fn = fn 38000 3. 2.; s_st = fn 6600 2. 9.; s_tp = fn 539 1. 5. };
+    { s_version = v 4 10; s_fn = fn 39000 2. 1.; s_st = fn 6800 1. 6.; s_tp = fn 559 2. 3. };
+    { s_version = v 4 13; s_fn = fn 41000 3. 2.; s_st = fn 7100 1. 9.; s_tp = fn 635 3. 2. };
+    { s_version = v 4 15; s_fn = fn 42000 1. 1.; s_st = fn 7300 2. 5.; s_tp = fn 675 0.4 3. };
+    { s_version = v 4 18; s_fn = fn 44000 3. 2.; s_st = fn 7600 1. 7.; s_tp = fn 683 0.1 1. };
+    { s_version = v 5 0; s_fn = fn 45000 3. 2.; s_st = fn 7800 1. 7.; s_tp = fn 704 2. 3. };
+    { s_version = v 5 3; s_fn = fn 47000 2. 1.; s_st = fn 8200 3. 7.; s_tp = fn 737 1. 3. };
+    { s_version = v 5 4; s_fn = fn 48000 1. 1.; s_st = fn 8400 2. 3.; s_tp = fn 752 2. 0.3 };
+    { s_version = v 5 8; s_fn = fn 52000 6. 1.; s_st = fn 8600 1. 8.; s_tp = fn 785 0.5 7. };
+    { s_version = v 5 11; s_fn = fn 53000 2. 2.; s_st = fn 9000 1. 7.; s_tp = fn 813 3. 3. };
+    { s_version = v 5 13; s_fn = fn 53500 5. 2.; s_st = fn 9200 2. 4.; s_tp = fn 805 2. 2. };
+    { s_version = v 5 15; s_fn = fn 54000 2. 1.; s_st = fn 9300 1. 5.; s_tp = fn 818 0.4 6. };
+    { s_version = v 5 19; s_fn = fn 56000 3. 2.; s_st = fn 9600 2. 7.; s_tp = fn 843 1. 6. };
+    { s_version = v 6 2; s_fn = fn 58000 3. 2.; s_st = fn 9800 1. 6.; s_tp = fn 871 0.1 4. };
+    { s_version = v 6 5; s_fn = fn 60000 1. 2.; s_st = fn 10000 1. 6.; s_tp = fn 917 1. 5. };
+    { s_version = v 6 8; s_fn = fn 62000 2. 1.; s_st = fn 10500 0.5 6.; s_tp = fn 932 0.1 2. };
+  ]
+
+let step_for version =
+  match List.find_opt (fun s -> Version.equal s.s_version version) steps with
+  | Some s -> s
+  | None -> invalid_arg ("Calibration.step_for: unknown " ^ Version.to_string version)
+
+let scaled scale rates which =
+  let m =
+    match which with
+    | `Fn -> scale.sc_funcs
+    | `St -> scale.sc_structs
+    | `Tp -> scale.sc_tracepoints
+  in
+  max 1 (int_of_float (Float.round (float_of_int rates.r_count *. m)))
+
+(* Table 4 change-kind probabilities. *)
+let p_param_add = 0.52
+let p_param_add_front = 0.10
+let p_param_remove = 0.45
+let p_param_swap = 0.05
+let p_param_type = 0.30
+let p_ret_type = 0.16
+let p_field_add = 0.72
+let p_field_remove = 0.40
+let p_field_type = 0.34
+let p_tp_event = 0.88
+let p_tp_func = 0.45
+let p_compatible_type_change = 0.5
+let p_hot_bias = 0.35
+
+type config_probs = {
+  cp_present : (Config.arch * float) list;
+  cp_only : (Config.arch * float) list;
+  cp_variant : (Config.arch * float) list;
+  cp_flavor_removed : (Config.flavor * float) list;
+  cp_flavor_only : (Config.flavor * float) list;
+  cp_flavor_variant : (Config.flavor * float) list;
+  cp_numa : float;
+}
+
+open Config
+
+(* Table 5, derived from the v5.4 row group: fractions of the x86/generic
+   population (48k functions, 8.4k structs, 752 tracepoints). *)
+let func_config =
+  {
+    cp_present = [ (Arm64, 0.835); (Arm32, 0.754); (Ppc, 0.780); (Riscv, 0.719) ];
+    cp_only = [ (Arm64, 0.192); (Arm32, 0.2625); (Ppc, 0.1125); (Riscv, 0.0437) ];
+    cp_variant = [ (Arm64, 0.0025); (Arm32, 0.0022); (Ppc, 0.00285); (Riscv, 0.0021) ];
+    cp_flavor_removed =
+      [ (Aws, 0.0375); (Azure, 0.0729); (Gcp, 0.0066); (Lowlatency, 0.00085) ];
+    cp_flavor_only = [ (Aws, 0.0068); (Azure, 0.0207); (Gcp, 0.0094); (Lowlatency, 0.0012) ];
+    cp_flavor_variant = [ (Aws, 0.00004); (Azure, 0.0002); (Gcp, 0.00002) ];
+    cp_numa = 0.004;
+  }
+
+let struct_config =
+  {
+    cp_present = [ (Arm64, 0.881); (Arm32, 0.774); (Ppc, 0.810); (Riscv, 0.762) ];
+    cp_only = [ (Arm64, 0.202); (Arm32, 0.238); (Ppc, 0.068); (Riscv, 0.019) ];
+    cp_variant = [ (Arm64, 0.0096); (Arm32, 0.0183); (Ppc, 0.0138); (Riscv, 0.0117) ];
+    cp_flavor_removed =
+      [ (Aws, 0.0575); (Azure, 0.0991); (Gcp, 0.0146); (Lowlatency, 0.0001) ];
+    cp_flavor_only = [ (Aws, 0.0099); (Azure, 0.0306); (Gcp, 0.0081); (Lowlatency, 0.0005) ];
+    cp_flavor_variant =
+      [ (Aws, 0.0023); (Azure, 0.0033); (Gcp, 0.0017); (Lowlatency, 0.0006) ];
+    cp_numa = 0.002;
+  }
+
+let tracepoint_config =
+  {
+    cp_present = [ (Arm64, 0.851); (Arm32, 0.824); (Ppc, 0.828); (Riscv, 0.831) ];
+    cp_only = [ (Arm64, 0.060); (Arm32, 0.093); (Ppc, 0.033); (Riscv, 0.0) ];
+    cp_variant = [];
+    cp_flavor_removed = [ (Aws, 0.012); (Azure, 0.052) ];
+    cp_flavor_only = [ (Aws, 0.0053); (Azure, 0.0346) ];
+    cp_flavor_variant = [];
+    cp_numa = 0.0;
+  }
+
+let syscall_config =
+  {
+    cp_present = [ (Arm64, 0.868); (Arm32, 0.913); (Ppc, 0.973); (Riscv, 0.835) ];
+    cp_only = [ (Arm64, 0.006); (Arm32, 0.222); (Ppc, 0.069); (Riscv, 0.006) ];
+    cp_variant = [];
+    cp_flavor_removed = [];
+    cp_flavor_only = [];
+    cp_flavor_variant = [];
+    cp_numa = 0.0;
+  }
+
+let syscall_count = 333
+
+(* Figure 5 / Figure 6 / Table 6 attribute rates. *)
+let p_static = 0.66
+let p_profile_full = 0.36
+let p_profile_selective = 0.11
+let p_header_defined = 0.09
+let p_address_taken = 0.25
+let p_transform =
+  Construct.[ (T_isra, 0.10); (T_constprop, 0.08); (T_part, 0.03); (T_cold, 0.08) ]
+let p_collision_static_static = 0.009
+let p_collision_static_global = 0.0005
+let p_lsm_fraction = 150. /. 48000.
+let p_kfunc_fraction = 100. /. 62000.
+
+let inline_threshold ~gcc:(major, _minor) =
+  (* Newer compilers inline a bit more aggressively; the band 28..34 makes
+     functions with borderline body sizes flip across kernel versions. *)
+  if major <= 5 then 28
+  else if major <= 7 then 30
+  else if major <= 9 then 31
+  else if major <= 11 then 32
+  else 34
+
+let transform_supported t ~gcc:(major, _minor) ~arch =
+  match t with
+  | Construct.T_cold -> major >= 8
+  | Construct.T_isra -> arch <> Config.Arm32
+  | Construct.T_constprop | Construct.T_part -> true

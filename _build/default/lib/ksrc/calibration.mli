@@ -1,0 +1,118 @@
+(** Calibration of the synthetic kernel's evolution, taken from the
+    paper's measurements so that the generated image matrix reproduces the
+    published *shape* of the dependency surface.
+
+    Numbers are stored at paper magnitude (e.g. 36,000 functions in v4.4)
+    and scaled by a {!scale} record; all percentages reported by DepSurf
+    over the generated images are scale-invariant. *)
+
+type scale = {
+  sc_funcs : float;
+  sc_structs : float;
+  sc_tracepoints : float;
+  sc_syscalls : float;
+}
+
+val bench_scale : scale
+(** ~1.9–2.5k functions per image: seconds-scale full pipeline. *)
+
+val test_scale : scale
+(** ~400 functions: milliseconds-scale, for unit tests. *)
+
+type rates = {
+  r_count : int;  (** paper-magnitude x86 population target after this step *)
+  r_rm : float;  (** fraction of the previous population removed *)
+  r_ch : float;  (** fraction of surviving constructs changed *)
+}
+
+type step = { s_version : Version.t; s_fn : rates; s_st : rates; s_tp : rates }
+
+val steps : step list
+(** One entry per version of {!Version.all}, in order; the first entry's
+    [r_rm]/[r_ch] are zero (genesis). Counts follow the paper's Table 3
+    "#" columns. *)
+
+val step_for : Version.t -> step
+
+val scaled : scale -> rates -> [ `Fn | `St | `Tp ] -> int
+(** Scaled population target. *)
+
+(** {2 Change-kind probabilities (Table 4)} *)
+
+val p_param_add : float
+
+val p_param_add_front : float
+(** given an add: insert at position 0 *)
+
+val p_param_remove : float
+
+val p_param_swap : float
+(** explicit reorder *)
+
+val p_param_type : float
+val p_ret_type : float
+val p_field_add : float
+val p_field_remove : float
+val p_field_type : float
+val p_tp_event : float
+val p_tp_func : float
+
+val p_compatible_type_change : float
+(** Probability that a type change picks a same-width (silently
+    compatible) type — the stray-read case. *)
+
+val p_hot_bias : float
+(** Probability that a change targets a previously-changed construct
+    (kernel churn concentrates in hot areas; this also keeps LTS-level
+    change unions near the paper's numbers). *)
+
+(** {2 Configuration probabilities (Table 5)} *)
+
+type config_probs = {
+  cp_present : (Config.arch * float) list;
+      (** P(an x86 construct is also present on that arch) *)
+  cp_only : (Config.arch * float) list;
+      (** arch-only population as a fraction of the x86 population *)
+  cp_variant : (Config.arch * float) list;
+      (** P(definition differs on that arch) *)
+  cp_flavor_removed : (Config.flavor * float) list;
+  cp_flavor_only : (Config.flavor * float) list;
+  cp_flavor_variant : (Config.flavor * float) list;
+  cp_numa : float;  (** P(gated on CONFIG_NUMA) *)
+}
+
+val func_config : config_probs
+val struct_config : config_probs
+val tracepoint_config : config_probs
+val syscall_config : config_probs
+
+val syscall_count : int
+(** 333 native x86 syscalls (Table 5). *)
+
+(** {2 Function-attribute probabilities (Figures 5–6, Table 6)} *)
+
+val p_static : float
+val p_profile_full : float
+val p_profile_selective : float
+val p_header_defined : float
+(** among static functions *)
+
+val p_address_taken : float
+(** among P_never functions *)
+
+val p_transform : (Construct.transform * float) list
+val p_collision_static_static : float
+val p_collision_static_global : float
+val p_lsm_fraction : float
+(** ~150 LSM hooks / 48k functions, scaled *)
+
+val p_kfunc_fraction : float
+
+val inline_threshold : gcc:int * int -> int
+(** Body-size threshold under which a call site is inlined; varies with
+    the compiler version so some borderline functions flip across
+    kernels, as in Figure 5. *)
+
+val transform_supported : Construct.transform -> gcc:int * int -> arch:Config.arch -> bool
+(** [T_cold] appears at GCC ≥ 8; ISRA is disabled on arm32 (paper §4.3,
+    commit a077224). *)

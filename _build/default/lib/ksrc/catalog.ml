@@ -1,0 +1,776 @@
+open Ds_ctypes
+open Construct
+module C = Ctype
+
+type event =
+  | Add_func of Construct.func_def
+  | Remove_func of string
+  | Update_func of string * (Construct.func_def -> Construct.func_def)
+  | Add_struct of Construct.struct_src
+  | Remove_struct of string
+  | Update_struct of string * (Construct.struct_src -> Construct.struct_src)
+  | Add_tracepoint of Construct.tracepoint_def
+  | Remove_tracepoint of string
+  | Update_tracepoint of string * (Construct.tracepoint_def -> Construct.tracepoint_def)
+
+(* ------------------------------------------------------------------ *)
+(* Builders                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let proto ?(variadic = false) ret params =
+  C.{ ret; params = List.map (fun (pname, ptype) -> { pname; ptype }) params; variadic }
+
+let sref n = C.Ptr (C.Struct_ref n)
+
+let mk_fn ~name ~file ?(line = 100) ?(static = false) ?(inline = false) ?(size = 80)
+    ?(addr_taken = false) ?(callers = []) ?(profile = P_never) ?(includers = [])
+    ?(gate = gate_always) ?(kind = Regular) ?(transforms = []) p =
+  {
+    fn_name = name;
+    fn_file = file;
+    fn_line = line;
+    fn_proto = p;
+    fn_static = static;
+    fn_declared_inline = inline;
+    fn_body_size = size;
+    fn_address_taken = addr_taken;
+    fn_callers = List.map (fun (cl_func, cl_file) -> { cl_func; cl_file }) callers;
+    fn_profile = profile;
+    fn_includers = includers;
+    fn_gate = gate;
+    fn_kind = kind;
+    fn_transforms = transforms;
+    fn_variant_arches = [];
+    fn_variant_flavors = [];
+  }
+
+let mk_struct ~name ~file ?(kind = `Struct) ?(arch_members = []) ?(gate = gate_always) members =
+  {
+    st_name = name;
+    st_kind = kind;
+    st_file = file;
+    st_members = members;
+    st_arch_members = arch_members;
+    st_flavor_members = [];
+    st_gate = gate;
+  }
+
+let mk_tp ~name ?(cls = "") ?(gate = gate_always) ~fields ~params () =
+  {
+    tp_name = name;
+    tp_class = (if cls = "" then name else cls);
+    tp_fields = fields;
+    tp_params = List.map (fun (pname, ptype) -> C.{ pname; ptype }) params;
+    tp_gate = gate;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Structs (v4.4 baseline)                                             *)
+(* ------------------------------------------------------------------ *)
+
+let pt_regs =
+  let reg = C.ulong in
+  mk_struct ~name:"pt_regs" ~file:"arch/pt_regs.h"
+    ~arch_members:
+      Config.
+        [
+          (X86, ("r15", reg)); (X86, ("r14", reg)); (X86, ("r13", reg));
+          (X86, ("r12", reg)); (X86, ("bp", reg)); (X86, ("bx", reg));
+          (X86, ("r11", reg)); (X86, ("r10", reg)); (X86, ("r9", reg));
+          (X86, ("r8", reg)); (X86, ("ax", reg)); (X86, ("cx", reg));
+          (X86, ("dx", reg)); (X86, ("si", reg)); (X86, ("di", reg));
+          (X86, ("orig_ax", reg)); (X86, ("ip", reg)); (X86, ("sp", reg));
+          (Arm64, ("regs", C.Array (reg, 31))); (Arm64, ("sp", reg));
+          (Arm64, ("pc", reg)); (Arm64, ("pstate", reg));
+          (Arm32, ("uregs", C.Array (reg, 18)));
+          (Ppc, ("gpr", C.Array (reg, 32))); (Ppc, ("nip", reg)); (Ppc, ("msr", reg));
+          (Riscv, ("epc", reg)); (Riscv, ("ra", reg)); (Riscv, ("sp", reg));
+          (Riscv, ("a0", reg)); (Riscv, ("a1", reg)); (Riscv, ("a2", reg));
+          (Riscv, ("a3", reg)); (Riscv, ("a4", reg)); (Riscv, ("a5", reg));
+        ]
+    []
+
+let task_struct =
+  mk_struct ~name:"task_struct" ~file:"include/linux/sched.h"
+    ~arch_members:
+      Config.[ (Ppc, ("thread_fpu", C.ulong)); (Arm64, ("thread_cpu_context", C.ulong)) ]
+    [
+      ("state", C.long);
+      ("stack", C.void_ptr);
+      ("flags", C.uint);
+      ("prio", C.int_);
+      ("static_prio", C.int_);
+      ("mm", sref "mm_struct");
+      ("pid", C.Typedef_ref "pid_t");
+      ("tgid", C.Typedef_ref "pid_t");
+      ("parent", sref "task_struct");
+      ("utime", C.Typedef_ref "cputime_t");
+      ("stime", C.Typedef_ref "cputime_t");
+      ("comm", C.Array (C.char_, 16));
+      ("files", sref "files_struct");
+      ("nvcsw", C.ulong);
+      ("nivcsw", C.ulong);
+    ]
+
+let request =
+  mk_struct ~name:"request" ~file:"include/linux/blkdev.h"
+    [
+      ("q", sref "request_queue");
+      ("cmd_flags", C.uint);
+      ("rq_flags", C.uint);
+      ("__sector", C.Typedef_ref "sector_t");
+      ("__data_len", C.uint);
+      ("bio", sref "bio");
+      ("rq_disk", sref "gendisk");
+      ("start_time_ns", C.u64);
+    ]
+
+let request_queue =
+  mk_struct ~name:"request_queue" ~file:"include/linux/blkdev.h"
+    [
+      ("queuedata", C.void_ptr);
+      ("queue_flags", C.ulong);
+      ("nr_requests", C.ulong);
+    ]
+
+let baseline_structs =
+  [
+    pt_regs;
+    task_struct;
+    request;
+    request_queue;
+    mk_struct ~name:"gendisk" ~file:"include/linux/genhd.h"
+      [ ("major", C.int_); ("first_minor", C.int_); ("disk_name", C.Array (C.char_, 32)) ];
+    mk_struct ~name:"bio" ~file:"include/linux/blk_types.h"
+      [
+        ("bi_next", sref "bio");
+        ("bi_opf", C.uint);
+        ("bi_flags", C.ushort);
+        ("bi_iter_sector", C.Typedef_ref "sector_t");
+        ("bi_size", C.uint);
+      ];
+    mk_struct ~name:"file" ~file:"include/linux/fs.h"
+      [
+        ("f_inode", sref "inode");
+        ("f_flags", C.uint);
+        ("f_mode", C.uint);
+        ("f_pos", C.Typedef_ref "loff_t");
+        ("f_count", C.u64);
+      ];
+    mk_struct ~name:"inode" ~file:"include/linux/fs.h"
+      [
+        ("i_mode", C.Typedef_ref "umode_t");
+        ("i_ino", C.ulong);
+        ("i_size", C.Typedef_ref "loff_t");
+        ("i_sb", sref "super_block");
+        ("i_rdev", C.Typedef_ref "dev_t");
+      ];
+    mk_struct ~name:"dentry" ~file:"include/linux/dcache.h"
+      [ ("d_parent", sref "dentry"); ("d_inode", sref "inode"); ("d_iname", C.Array (C.char_, 32)) ];
+    mk_struct ~name:"super_block" ~file:"include/linux/fs.h"
+      [ ("s_dev", C.Typedef_ref "dev_t"); ("s_blocksize", C.ulong); ("s_magic", C.ulong) ];
+    mk_struct ~name:"filename" ~file:"include/linux/fs.h"
+      [ ("name", C.Ptr (C.Const C.char_)); ("uptr", C.Ptr (C.Const C.char_)); ("refcnt", C.int_) ];
+    mk_struct ~name:"mm_struct" ~file:"include/linux/mm_types.h"
+      [ ("mmap", sref "vm_area_struct"); ("total_vm", C.ulong); ("hiwater_rss", C.ulong) ];
+    mk_struct ~name:"vm_area_struct" ~file:"include/linux/mm_types.h"
+      [ ("vm_start", C.ulong); ("vm_end", C.ulong); ("vm_flags", C.ulong) ];
+    mk_struct ~name:"page" ~file:"include/linux/mm_types.h"
+      [ ("flags", C.ulong); ("_refcount", C.int_); ("mapping", sref "address_space") ];
+    mk_struct ~name:"address_space" ~file:"include/linux/fs.h"
+      [ ("host", sref "inode"); ("nrpages", C.ulong) ];
+    mk_struct ~name:"sock" ~file:"include/net/sock.h"
+      [
+        ("sk_family", C.ushort);
+        ("sk_state", C.uchar);
+        ("sk_rcvbuf", C.int_);
+        ("sk_sndbuf", C.int_);
+        ("sk_max_ack_backlog", C.u32);
+      ];
+    mk_struct ~name:"sk_buff" ~file:"include/linux/skbuff.h"
+      [ ("len", C.uint); ("data_len", C.uint); ("data", C.Ptr C.uchar); ("head", C.Ptr C.uchar) ];
+    mk_struct ~name:"files_struct" ~file:"include/linux/fdtable.h"
+      [ ("count", C.int_); ("next_fd", C.uint) ];
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Functions (v4.4 baseline)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let blk_core = "block/blk-core.c"
+let blk_mq = "block/blk-mq.c"
+
+let baseline_funcs =
+  [
+    (* -- biotop cluster ------------------------------------------------ *)
+    mk_fn ~name:"blk_mq_start_request" ~file:blk_mq ~line:680
+      (proto C.void [ ("rq", sref "request") ]);
+    mk_fn ~name:"blk_mq_end_request" ~file:blk_mq ~line:520
+      (proto C.void [ ("rq", sref "request"); ("error", C.int_) ]);
+    mk_fn ~name:"blk_mq_bio_to_request" ~file:blk_mq ~line:1200 ~static:true ~size:60
+      (proto C.void [ ("rq", sref "request"); ("bio", sref "bio") ]);
+    mk_fn ~name:"blk_insert_cloned_request" ~file:blk_core ~line:1400
+      (proto C.int_ [ ("q", sref "request_queue"); ("rq", sref "request") ]);
+    mk_fn ~name:"blk_account_io_start" ~file:blk_core ~line:120 ~size:40
+      ~callers:[ ("blk_mq_bio_to_request", blk_mq); ("blk_insert_cloned_request", blk_core) ]
+      (proto C.void [ ("rq", sref "request"); ("new_io", C.bool_) ]);
+    mk_fn ~name:"blk_account_io_done" ~file:blk_core ~line:160 ~size:40
+      ~callers:[ ("blk_mq_end_request", blk_mq) ]
+      (proto C.void [ ("rq", sref "request"); ("now", C.u64) ]);
+    (* -- vfs / unlink / fsync ------------------------------------------ *)
+    mk_fn ~name:"do_unlinkat" ~file:"fs/namei.c" ~line:4000
+      (proto C.int_ [ ("dfd", C.int_); ("pathname", C.Ptr (C.Const C.char_)) ]);
+    mk_fn ~name:"__x64_sys_fsync" ~file:"fs/sync.c" ~line:200
+      (proto C.long [ ("fd", C.uint) ]);
+    mk_fn ~name:"__x64_sys_fdatasync" ~file:"fs/sync.c" ~line:230
+      (proto C.long [ ("fd", C.uint) ]);
+    mk_fn ~name:"aio_fsync_work" ~file:"fs/aio.c" ~line:1560
+      (proto C.void [ ("work", C.void_ptr) ]);
+    mk_fn ~name:"loop_update_dio" ~file:"drivers/block/loop.c" ~line:660
+      (proto C.void [ ("lo", C.void_ptr) ]);
+    mk_fn ~name:"vfs_fsync" ~file:"fs/sync.c" ~line:213 ~size:12
+      ~callers:
+        [
+          ("__x64_sys_fsync", "fs/sync.c");
+          ("__x64_sys_fdatasync", "fs/sync.c");
+          ("aio_fsync_work", "fs/aio.c");
+          ("loop_update_dio", "drivers/block/loop.c");
+        ]
+      (proto C.int_ [ ("file", sref "file"); ("datasync", C.int_) ]);
+    mk_fn ~name:"vfs_rename" ~file:"fs/namei.c" ~line:4400
+      (proto C.int_
+         [
+           ("old_dir", sref "inode"); ("old_dentry", sref "dentry");
+           ("new_dir", sref "inode"); ("new_dentry", sref "dentry");
+           ("delegated_inode", C.Ptr (sref "inode")); ("flags", C.uint);
+         ]);
+    mk_fn ~name:"vfs_create" ~file:"fs/namei.c" ~line:3000
+      (proto C.int_
+         [
+           ("dir", sref "inode"); ("dentry", sref "dentry");
+           ("mode", C.Typedef_ref "umode_t"); ("want_excl", C.bool_);
+         ]);
+    mk_fn ~name:"vfs_read" ~file:"fs/read_write.c" ~line:450
+      (proto (C.Typedef_ref "ssize_t")
+         [
+           ("file", sref "file"); ("buf", C.char_ptr);
+           ("count", C.size_t); ("pos", C.Ptr (C.Typedef_ref "loff_t"));
+         ]);
+    mk_fn ~name:"vfs_write" ~file:"fs/read_write.c" ~line:550
+      (proto (C.Typedef_ref "ssize_t")
+         [
+           ("file", sref "file"); ("buf", C.Ptr (C.Const C.char_));
+           ("count", C.size_t); ("pos", C.Ptr (C.Typedef_ref "loff_t"));
+         ]);
+    mk_fn ~name:"do_sys_open" ~file:"fs/open.c" ~line:1050
+      (proto C.long
+         [
+           ("dfd", C.int_); ("filename", C.Ptr (C.Const C.char_));
+           ("flags", C.int_); ("mode", C.Typedef_ref "umode_t");
+         ]);
+    (* -- readahead cluster --------------------------------------------- *)
+    mk_fn ~name:"ondemand_readahead" ~file:"mm/readahead.c" ~line:440 ~static:true ~size:90
+      (proto C.ulong
+         [ ("mapping", sref "address_space"); ("filp", sref "file"); ("req_size", C.ulong) ]);
+    mk_fn ~name:"page_cache_sync_readahead" ~file:"mm/readahead.c" ~line:520
+      (proto C.void
+         [ ("mapping", sref "address_space"); ("filp", sref "file"); ("req_size", C.ulong) ]);
+    mk_fn ~name:"__do_page_cache_readahead" ~file:"mm/readahead.c" ~line:150 ~size:70
+      ~callers:[ ("ondemand_readahead", "mm/readahead.c") ]
+      (proto C.ulong
+         [
+           ("mapping", sref "address_space"); ("filp", sref "file");
+           ("offset", C.ulong); ("nr_to_read", C.ulong); ("lookahead_size", C.ulong);
+         ]);
+    (* NUMA twin pair: a normal global when CONFIG_NUMA=y, a header-defined
+       static copy otherwise (drives the readahead D/F cells on arm32 and
+       riscv). *)
+    mk_fn ~name:"__page_cache_alloc" ~file:"mm/filemap.c" ~line:980 ~size:45
+      ~gate:{ gate_always with g_numa = Numa_on }
+      (proto (sref "page") [ ("gfp", C.Typedef_ref "gfp_t") ]);
+    mk_fn ~name:"__page_cache_alloc" ~file:"include/linux/pagemap.h" ~line:280 ~static:true
+      ~inline:true ~size:8
+      ~includers:
+        [ "mm/readahead.c"; "mm/filemap.c"; "fs/ext4-inode.c"; "fs/btrfs-file.c"; "fs/nfs-read.c" ]
+      ~gate:{ gate_always with g_numa = Numa_off }
+      (proto (sref "page") [ ("gfp", C.Typedef_ref "gfp_t") ]);
+    (* -- scheduler / accounting ---------------------------------------- *)
+    mk_fn ~name:"account_idle_time" ~file:"kernel/sched-cputime.c" ~line:220
+      (proto C.void [ ("cputime", C.Typedef_ref "cputime_t") ]);
+    mk_fn ~name:"account_process_tick" ~file:"kernel/sched-cputime.c" ~line:470
+      (proto C.void [ ("p", sref "task_struct"); ("user_tick", C.int_) ]);
+    mk_fn ~name:"finish_task_switch" ~file:"kernel/sched-core.c" ~line:2700 ~static:true ~size:90
+      (proto (sref "task_struct") [ ("prev", sref "task_struct") ]);
+    mk_fn ~name:"wake_up_new_task" ~file:"kernel/sched-core.c" ~line:2400
+      (proto C.void [ ("p", sref "task_struct") ]);
+    (* -- duplication / collision exhibits ------------------------------- *)
+    mk_fn ~name:"get_order" ~file:"include/linux/getorder.h" ~line:30 ~static:true ~inline:true
+      ~size:6
+      ~includers:
+        [
+          "mm/mm-core.c"; "mm/mm-util.c"; "block/blk-core.c"; "net/net-core.c";
+          "drivers/usb-core.c"; "fs/ext4-inode.c"; "kernel/sched-core.c"; "lib/lib-util.c";
+        ]
+      (proto C.int_ [ ("size", C.ulong) ]);
+    mk_fn ~name:"destroy_inodecache" ~file:"fs/ext4-super.c" ~line:1100 ~static:true ~size:50
+      (proto C.void []);
+    mk_fn ~name:"destroy_inodecache" ~file:"fs/xfs-super.c" ~line:900 ~static:true ~size:48
+      (proto C.void []);
+    mk_fn ~name:"destroy_inodecache" ~file:"fs/btrfs-super.c" ~line:1300 ~static:true ~size:52
+      (proto C.void []);
+    mk_fn ~name:"do_readahead" ~file:"mm/readahead.c" ~line:600 ~static:true ~size:44
+      (proto C.int_
+         [ ("mapping", sref "address_space"); ("filp", sref "file"); ("nr", C.ulong) ]);
+    mk_fn ~name:"do_readahead" ~file:"fs/jbd2-recovery.c" ~line:250 ~static:true ~size:61
+      (proto C.int_ [ ("journal", C.void_ptr); ("start", C.ulong) ]);
+    (* -- kfuncs (paper §4.1): callable from eBPF, no stable interface --- *)
+    mk_fn ~name:"bpf_task_from_pid" ~file:"kernel/bpf-helpers.c" ~line:900 ~kind:Kfunc
+      (proto (sref "task_struct") [ ("pid", C.int_) ]);
+    (* -- LSM hooks ------------------------------------------------------ *)
+    mk_fn ~name:"security_file_open" ~file:"security/security.c" ~line:1500 ~kind:Lsm_hook
+      (proto C.int_ [ ("file", sref "file") ]);
+    mk_fn ~name:"security_task_alloc" ~file:"security/security.c" ~line:1600 ~kind:Lsm_hook
+      (proto C.int_ [ ("task", sref "task_struct"); ("clone_flags", C.ulong) ]);
+    mk_fn ~name:"security_inode_create" ~file:"security/security.c" ~line:1200 ~kind:Lsm_hook
+      (proto C.int_
+         [ ("dir", sref "inode"); ("dentry", sref "dentry"); ("mode", C.Typedef_ref "umode_t") ]);
+    mk_fn ~name:"security_socket_connect" ~file:"security/security.c" ~line:2000 ~kind:Lsm_hook
+      (proto C.int_ [ ("sock", sref "sock"); ("addrlen", C.int_) ]);
+    (* -- networking (tcp corpus deps) ----------------------------------- *)
+    mk_fn ~name:"tcp_v4_connect" ~file:"net/tcp-core.c" ~line:200
+      (proto C.int_ [ ("sk", sref "sock"); ("addr_len", C.int_) ]);
+    mk_fn ~name:"tcp_v6_connect" ~file:"net/ipv6-core.c" ~line:180
+      (proto C.int_ [ ("sk", sref "sock"); ("addr_len", C.int_) ]);
+    mk_fn ~name:"tcp_rcv_state_process" ~file:"net/tcp-core.c" ~line:6100
+      (proto C.int_ [ ("sk", sref "sock"); ("skb", sref "sk_buff") ]);
+    mk_fn ~name:"tcp_rtt_estimator" ~file:"net/tcp-core.c" ~line:700 ~static:true ~size:20
+      ~profile:P_full
+      (proto C.void [ ("sk", sref "sock"); ("mrtt_us", C.long) ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Tracepoints (v4.4 baseline)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let block_rq_fields =
+  [
+    ("dev", C.Typedef_ref "dev_t");
+    ("sector", C.Typedef_ref "sector_t");
+    ("nr_sector", C.uint);
+    ("rwbs", C.Array (C.char_, 8));
+    ("comm", C.Array (C.char_, 16));
+  ]
+
+let baseline_tracepoints =
+  [
+    mk_tp ~name:"block_rq_issue" ~cls:"block_rq" ~fields:block_rq_fields
+      ~params:[ ("q", sref "request_queue"); ("rq", sref "request") ]
+      ();
+    mk_tp ~name:"block_rq_complete" ~cls:"block_rq_complete" ~fields:block_rq_fields
+      ~params:[ ("rq", sref "request"); ("error", C.int_); ("nr_bytes", C.uint) ]
+      ();
+    mk_tp ~name:"block_rq_insert" ~cls:"block_rq_insert" ~fields:block_rq_fields
+      ~params:[ ("q", sref "request_queue"); ("rq", sref "request") ]
+      ();
+    mk_tp ~name:"block_bio_queue" ~cls:"block_bio"
+      ~fields:[ ("dev", C.Typedef_ref "dev_t"); ("sector", C.Typedef_ref "sector_t"); ("rwbs", C.Array (C.char_, 8)) ]
+      ~params:[ ("q", sref "request_queue"); ("bio", sref "bio") ]
+      ();
+    mk_tp ~name:"sched_switch" ~cls:"sched_switch"
+      ~fields:
+        [
+          ("prev_comm", C.Array (C.char_, 16));
+          ("prev_pid", C.Typedef_ref "pid_t");
+          ("prev_prio", C.int_);
+          ("prev_state", C.long);
+          ("next_comm", C.Array (C.char_, 16));
+          ("next_pid", C.Typedef_ref "pid_t");
+          ("next_prio", C.int_);
+        ]
+      ~params:[ ("prev", sref "task_struct"); ("next", sref "task_struct") ]
+      ();
+    mk_tp ~name:"sched_wakeup" ~cls:"sched_wakeup"
+      ~fields:
+        [
+          ("comm", C.Array (C.char_, 16));
+          ("pid", C.Typedef_ref "pid_t");
+          ("prio", C.int_);
+          ("target_cpu", C.int_);
+        ]
+      ~params:[ ("p", sref "task_struct") ]
+      ();
+    mk_tp ~name:"sched_process_exit" ~cls:"sched_process_template"
+      ~fields:[ ("comm", C.Array (C.char_, 16)); ("pid", C.Typedef_ref "pid_t"); ("prio", C.int_) ]
+      ~params:[ ("p", sref "task_struct") ]
+      ();
+    mk_tp ~name:"itimer_state" ~cls:"itimer_state"
+      ~fields:
+        [
+          ("which", C.int_);
+          ("expires", C.ulong);
+          ("value_sec", C.long);
+          ("value_usec", C.long);
+        ]
+      ~params:[ ("which", C.int_); ("expires", C.ulong) ]
+      ();
+    mk_tp ~name:"kmem_alloc" ~cls:"kmem_alloc"
+      ~fields:
+        [
+          ("call_site", C.ulong);
+          ("ptr", C.void_ptr);
+          ("bytes_req", C.size_t);
+          ("bytes_alloc", C.size_t);
+        ]
+      ~params:[ ("call_site", C.ulong); ("ptr", C.void_ptr) ]
+      ();
+    mk_tp ~name:"kmem_alloc_node" ~cls:"kmem_alloc_node"
+      ~fields:
+        [
+          ("call_site", C.ulong);
+          ("ptr", C.void_ptr);
+          ("bytes_req", C.size_t);
+          ("bytes_alloc", C.size_t);
+          ("node", C.int_);
+        ]
+      ~params:[ ("call_site", C.ulong); ("ptr", C.void_ptr); ("node", C.int_) ]
+      ();
+    mk_tp ~name:"mm_vmscan_direct_reclaim_begin" ~cls:"mm_vmscan_direct_reclaim_begin"
+      ~fields:[ ("order", C.int_); ("gfp_flags", C.uint) ]
+      ~params:[ ("order", C.int_); ("gfp_flags", C.Typedef_ref "gfp_t") ]
+      ();
+    mk_tp ~name:"mm_vmscan_direct_reclaim_end" ~cls:"mm_vmscan_direct_reclaim_end"
+      ~fields:[ ("nr_reclaimed", C.ulong) ]
+      ~params:[ ("nr_reclaimed", C.ulong) ]
+      ();
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Scripted timeline                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let set_proto p f = { f with fn_proto = p }
+
+let drop_param name (f : func_def) =
+  let params = List.filter (fun (q : C.param) -> q.pname <> name) f.fn_proto.C.params in
+  { f with fn_proto = { f.fn_proto with C.params } }
+
+let retype_param name ty (f : func_def) =
+  let params =
+    List.map
+      (fun (q : C.param) -> if q.pname = name then { q with C.ptype = ty } else q)
+      f.fn_proto.C.params
+  in
+  { f with fn_proto = { f.fn_proto with C.params } }
+
+let retype_field name ty (s : struct_src) =
+  {
+    s with
+    st_members = List.map (fun (n, t) -> if n = name then (n, ty) else (n, t)) s.st_members;
+  }
+
+let rename_field old_ new_ ?ty (s : struct_src) =
+  {
+    s with
+    st_members =
+      List.map
+        (fun (n, t) -> if n = old_ then (new_, Option.value ~default:t ty) else (n, t))
+        s.st_members;
+  }
+
+let add_field n ty (s : struct_src) = { s with st_members = s.st_members @ [ (n, ty) ] }
+let drop_field n (s : struct_src) =
+  { s with st_members = List.filter (fun (m, _) -> m <> n) s.st_members }
+
+let timeline : (Version.t * event list) list =
+  [
+    ( Version.v 4 13,
+      [
+        (* 18b43a9-style: cputime_t becomes u64 nanoseconds. *)
+        Update_func
+          ( "account_idle_time@kernel/sched-cputime.c",
+            fun f ->
+              retype_param "cputime" C.u64
+                { f with fn_proto = { f.fn_proto with C.params = f.fn_proto.C.params } } );
+        Update_struct ("task_struct", retype_field "utime" C.u64);
+        Update_struct ("task_struct", retype_field "stime" C.u64);
+      ] );
+    ( Version.v 4 15,
+      [
+        (* do_unlinkat takes struct filename* instead of char* — the
+           Listing 1 / §2.3 stray-read example. *)
+        Update_func
+          ("do_unlinkat@fs/namei.c", retype_param "pathname" (sref "filename"));
+      ] );
+    ( Version.v 4 18,
+      [
+        (* c534aa3: __do_page_cache_readahead returns unsigned int. *)
+        Update_func
+          ( "__do_page_cache_readahead@mm/readahead.c",
+            fun f -> set_proto { f.fn_proto with C.ret = C.uint } f );
+      ] );
+    ( Version.v 5 0,
+      [
+        (* bd40a17: itimer_state value_usec -> value_nsec. *)
+        Update_tracepoint
+          ( "itimer_state",
+            fun tp ->
+              {
+                tp with
+                tp_fields =
+                  List.map
+                    (fun (n, ty) -> if n = "value_usec" then ("value_nsec", ty) else (n, ty))
+                    tp.tp_fields;
+              } );
+      ] );
+    ( Version.v 5 8,
+      [
+        (* b5af37a: blk_account_io_start loses new_io. *)
+        Update_func ("blk_account_io_start@block/blk-core.c", drop_param "new_io");
+        (* 2c68423: refactor leads to selective inline: now small, called
+           both from its own TU and from others. *)
+        Update_func
+          ( "__do_page_cache_readahead@mm/readahead.c",
+            fun f ->
+              {
+                f with
+                fn_body_size = 14;
+                fn_callers =
+                  [
+                    { cl_func = "ondemand_readahead"; cl_file = "mm/readahead.c" };
+                    { cl_func = "page_cache_sync_readahead"; cl_file = "mm/readahead.c" };
+                    { cl_func = "do_sys_open"; cl_file = "fs/open.c" };
+                  ];
+              } );
+      ] );
+    ( Version.v 5 11,
+      [
+        (* 8238287: renamed to do_page_cache_ra. *)
+        Remove_func "__do_page_cache_readahead@mm/readahead.c";
+        Add_func
+          (mk_fn ~name:"do_page_cache_ra" ~file:"mm/readahead.c" ~line:150 ~size:14
+             ~callers:
+               [
+                 ("ondemand_readahead", "mm/readahead.c");
+                 ("page_cache_sync_readahead", "mm/readahead.c");
+                 ("do_sys_open", "fs/open.c");
+               ]
+             (proto C.void
+                [
+                  ("ractl", sref "readahead_control");
+                  ("nr_to_read", C.ulong);
+                  ("lookahead_size", C.ulong);
+                ]));
+        Add_struct
+          (mk_struct ~name:"readahead_control" ~file:"include/linux/pagemap.h"
+             [ ("file", sref "file"); ("mapping", sref "address_space"); ("_index", C.ulong) ]);
+        (* a54895f: block_rq_issue loses the request_queue argument. *)
+        Update_tracepoint
+          ( "block_rq_issue",
+            fun tp ->
+              { tp with tp_params = List.filter (fun (p : C.param) -> p.pname <> "q") tp.tp_params }
+          );
+        Update_tracepoint
+          ( "block_rq_insert",
+            fun tp ->
+              { tp with tp_params = List.filter (fun (p : C.param) -> p.pname <> "q") tp.tp_params }
+          );
+      ] );
+    ( Version.v 5 13,
+      [
+        (* 9fe6145: vfs_rename takes a single renamedata. *)
+        Add_struct
+          (mk_struct ~name:"renamedata" ~file:"include/linux/fs.h"
+             [
+               ("old_dir", sref "inode"); ("old_dentry", sref "dentry");
+               ("new_dir", sref "inode"); ("new_dentry", sref "dentry");
+               ("delegated_inode", C.Ptr (sref "inode")); ("flags", C.uint);
+             ]);
+        Update_func
+          ( "vfs_rename@fs/namei.c",
+            set_proto (proto C.int_ [ ("rd", sref "renamedata") ]) );
+        (* 6521f89: a user_namespace argument lands in front of vfs_create. *)
+        Update_func
+          ( "vfs_create@fs/namei.c",
+            fun f ->
+              set_proto
+                (proto C.int_
+                   (("mnt_userns", sref "user_namespace")
+                   :: List.map
+                        (fun (q : C.param) -> (q.pname, q.ptype))
+                        f.fn_proto.C.params))
+                f );
+      ] );
+    ( Version.v 5 15,
+      [
+        (* 2f064a5: task_struct.state becomes unsigned int __state. *)
+        Update_struct ("task_struct", rename_field "state" "__state" ~ty:C.uint);
+        (* request_queue gains disk; request.rq_disk still present —
+           "both fields coexist in that version" (Fig. 4). *)
+        Update_struct ("request_queue", add_field "disk" (sref "gendisk"));
+      ] );
+    ( Version.v 5 19,
+      [
+        (* kfuncs come and go without notice (f85671c, 6499fe6, d2dcc67) *)
+        Add_func
+          (mk_fn ~name:"bpf_task_acquire" ~file:"kernel/bpf-helpers.c" ~line:910 ~kind:Kfunc
+             (proto (sref "task_struct") [ ("p", sref "task_struct") ]));
+        Add_func
+          (mk_fn ~name:"bpf_task_release" ~file:"kernel/bpf-helpers.c" ~line:920 ~kind:Kfunc
+             (proto C.void [ ("p", sref "task_struct") ]));
+        Add_func
+          (mk_fn ~name:"bpf_ct_insert_entry" ~file:"net/nf-core.c" ~line:400 ~kind:Kfunc
+             (proto C.int_ [ ("ct", C.void_ptr) ]));
+        (* be6bfe3: blk_account_io_{start,done} become static inline
+           wrappers — fully inlined, unattachable. *)
+        Update_func
+          ( "blk_account_io_start@block/blk-core.c",
+            fun f ->
+              {
+                f with
+                fn_static = true;
+                fn_declared_inline = true;
+                fn_body_size = 4;
+                fn_callers = [ { cl_func = "blk_insert_cloned_request"; cl_file = blk_core } ];
+              } );
+        Update_func
+          ( "blk_account_io_done@block/blk-core.c",
+            fun f ->
+              {
+                f with
+                fn_static = true;
+                fn_declared_inline = true;
+                fn_body_size = 4;
+                fn_callers = [ { cl_func = "blk_insert_cloned_request"; cl_file = blk_core } ];
+              } );
+        (* ... and the real work moves to __blk_account_io_{start,done};
+           the compiler happens to inline the start variant (the failed
+           first fix of issue #4261). *)
+        Add_func
+          (mk_fn ~name:"__blk_account_io_start" ~file:blk_core ~line:125 ~static:true ~size:10
+             ~callers:[ ("blk_insert_cloned_request", blk_core) ]
+             (proto C.void [ ("rq", sref "request") ]));
+        Add_func
+          (mk_fn ~name:"__blk_account_io_done" ~file:blk_core ~line:170 ~size:40
+             ~callers:[ ("blk_mq_end_request", blk_mq) ]
+             (proto C.void [ ("rq", sref "request"); ("now", C.u64) ]));
+        (* 56a4d67: do_page_cache_ra goes static (fully inlined);
+           page_cache_ra_order is exposed instead. *)
+        Update_func
+          ( "do_page_cache_ra@mm/readahead.c",
+            fun f ->
+              {
+                f with
+                fn_static = true;
+                fn_body_size = 10;
+                fn_callers =
+                  [
+                    { cl_func = "ondemand_readahead"; cl_file = "mm/readahead.c" };
+                    { cl_func = "page_cache_sync_readahead"; cl_file = "mm/readahead.c" };
+                  ];
+              } );
+        Add_func
+          (mk_fn ~name:"page_cache_ra_order" ~file:"mm/readahead.c" ~line:500
+             (proto C.void
+                [
+                  ("ractl", sref "readahead_control");
+                  ("ra", C.void_ptr);
+                  ("new_order", C.uint);
+                ]));
+        (* bb3c579: __page_cache_alloc becomes a wrapper around
+           filemap_alloc_folio and is fully inlined (NUMA side). *)
+        Update_func
+          ( "__page_cache_alloc@mm/filemap.c",
+            fun f ->
+              {
+                f with
+                fn_static = true;
+                fn_declared_inline = true;
+                fn_body_size = 3;
+                fn_callers = [ { cl_func = "ondemand_readahead"; cl_file = "mm/readahead.c" } ];
+              } );
+        Add_func
+          (mk_fn ~name:"filemap_alloc_folio" ~file:"mm/filemap.c" ~line:990
+             (proto (sref "folio") [ ("gfp", C.Typedef_ref "gfp_t"); ("order", C.uint) ]));
+        Add_struct
+          (mk_struct ~name:"folio" ~file:"include/linux/mm_types.h"
+             [ ("flags", C.ulong); ("_refcount", C.int_); ("mapping", sref "address_space") ]);
+        (* rq_disk leaves struct request (request_queue::disk remains). *)
+        Update_struct ("request", drop_field "rq_disk");
+      ] );
+    ( Version.v 6 2,
+      [
+        (* 11e9734: kmem_alloc removed; the node variant takes its place. *)
+        Remove_tracepoint "kmem_alloc";
+        Remove_tracepoint "kmem_alloc_node";
+        Add_tracepoint
+          (mk_tp ~name:"kmem_alloc" ~cls:"kmem_alloc2"
+             ~fields:
+               [
+                 ("call_site", C.ulong);
+                 ("ptr", C.void_ptr);
+                 ("bytes_req", C.size_t);
+                 ("bytes_alloc", C.size_t);
+                 ("node", C.int_);
+               ]
+             ~params:[ ("call_site", C.ulong); ("ptr", C.void_ptr); ("node", C.int_) ]
+             ());
+      ] );
+    ( Version.v 6 5,
+      [
+        (* ... and this one is removed again (the f85671c pattern) *)
+        Remove_func "bpf_ct_insert_entry@net/nf-core.c";
+        (* 5a80bd0: dedicated block_io_{start,done} tracepoints — the
+           eventual biotop fix. *)
+        Add_tracepoint
+          (mk_tp ~name:"block_io_start" ~cls:"block_io_start" ~fields:block_rq_fields
+             ~params:[ ("rq", sref "request") ]
+             ());
+        Add_tracepoint
+          (mk_tp ~name:"block_io_done" ~cls:"block_io_done" ~fields:block_rq_fields
+             ~params:[ ("rq", sref "request") ]
+             ());
+      ] );
+  ]
+
+let events_for version =
+  match List.find_opt (fun (v, _) -> Version.equal v version) timeline with
+  | Some (_, events) -> events
+  | None -> []
+
+(* ------------------------------------------------------------------ *)
+(* Installation & pinning                                              *)
+(* ------------------------------------------------------------------ *)
+
+let install_genesis src =
+  let src = List.fold_left Source.add_struct src baseline_structs in
+  let src = List.fold_left Source.add_func src baseline_funcs in
+  List.fold_left Source.add_tracepoint src baseline_tracepoints
+
+let names_from_events =
+  List.concat_map
+    (fun (_, events) ->
+      List.filter_map
+        (function
+          | Add_func f -> Some f.fn_name
+          | Add_struct s -> Some s.st_name
+          | Add_tracepoint tp -> Some tp.tp_name
+          | Remove_func _ | Remove_struct _ | Remove_tracepoint _ | Update_func _
+          | Update_struct _ | Update_tracepoint _ ->
+              None)
+        events)
+    timeline
+
+let all_names =
+  List.map (fun f -> f.fn_name) baseline_funcs
+  @ List.map (fun s -> s.st_name) baseline_structs
+  @ List.concat_map (fun tp -> [ tp.tp_name; tp_struct_name tp; tp_func_name tp ]) baseline_tracepoints
+  @ names_from_events
+  (* caller names that appear only as call sites *)
+  @ [ "user_namespace" ]
+
+let pinned_tbl =
+  let tbl = Hashtbl.create 128 in
+  List.iter (fun n -> Hashtbl.replace tbl n ()) all_names;
+  tbl
+
+let pinned name = Hashtbl.mem pinned_tbl name

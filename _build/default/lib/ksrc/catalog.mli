@@ -1,0 +1,34 @@
+(** The hand-written part of the synthetic kernel: named constructs whose
+    evolution follows real, documented kernel history. These drive the
+    paper's case studies (biotop §2.5/Fig. 4-left, readahead Fig. 4-right)
+    and give the eBPF corpus real names to depend on.
+
+    Everything here is {e pinned}: the random evolution engine never
+    removes or mutates catalog constructs; their changes come exclusively
+    from the scripted {!events_for} timeline. *)
+
+type event =
+  | Add_func of Construct.func_def
+  | Remove_func of string  (** by id (name[@]file) *)
+  | Update_func of string * (Construct.func_def -> Construct.func_def)
+  | Add_struct of Construct.struct_src
+  | Remove_struct of string
+  | Update_struct of string * (Construct.struct_src -> Construct.struct_src)
+  | Add_tracepoint of Construct.tracepoint_def
+  | Remove_tracepoint of string
+  | Update_tracepoint of string * (Construct.tracepoint_def -> Construct.tracepoint_def)
+
+val install_genesis : Source.t -> Source.t
+(** Add the v4.4 catalog constructs to an (empty) source tree. *)
+
+val events_for : Version.t -> event list
+(** Scripted timeline entries to apply when evolving {e into} the given
+    version. *)
+
+val pinned : string -> bool
+(** Whether a construct name is catalog-owned (protected from random
+    mutation/removal). *)
+
+val all_names : string list
+(** Every name the catalog will ever introduce (reserved in the name
+    generator so random constructs cannot collide with it). *)

@@ -1,0 +1,61 @@
+type arch = X86 | Arm64 | Arm32 | Ppc | Riscv
+type flavor = Generic | Lowlatency | Aws | Azure | Gcp
+type t = { arch : arch; flavor : flavor }
+
+let arches = [ X86; Arm64; Arm32; Ppc; Riscv ]
+let flavors = [ Generic; Lowlatency; Aws; Azure; Gcp ]
+
+let arch_to_string = function
+  | X86 -> "x86"
+  | Arm64 -> "arm64"
+  | Arm32 -> "arm32"
+  | Ppc -> "ppc"
+  | Riscv -> "riscv"
+
+let flavor_to_string = function
+  | Generic -> "generic"
+  | Lowlatency -> "lowlatency"
+  | Aws -> "aws"
+  | Azure -> "azure"
+  | Gcp -> "gcp"
+
+let to_string t = arch_to_string t.arch ^ "/" ^ flavor_to_string t.flavor
+let equal a b = a.arch = b.arch && a.flavor = b.flavor
+let x86_generic = { arch = X86; flavor = Generic }
+
+let study_configs =
+  x86_generic
+  :: List.map (fun arch -> { arch; flavor = Generic }) [ Arm64; Arm32; Ppc; Riscv ]
+  @ List.map (fun flavor -> { arch = X86; flavor }) [ Lowlatency; Aws; Azure; Gcp ]
+
+let ptr_size = function Arm32 -> 4 | X86 | Arm64 | Ppc | Riscv -> 8
+
+type gate =
+  | Always
+  | Arch_only of arch list
+  | Arch_except of arch list
+  | Flavor_except of flavor list
+  | Config_numa
+
+let numa_enabled = function Arm32 | Riscv -> false | X86 | Arm64 | Ppc -> true
+
+let gate_admits gate t =
+  match gate with
+  | Always -> true
+  | Arch_only archs -> List.mem t.arch archs
+  | Arch_except archs -> not (List.mem t.arch archs)
+  | Flavor_except fls -> not (List.mem t.flavor fls)
+  | Config_numa -> numa_enabled t.arch
+
+(* Table 5 "Config #" row. *)
+let option_count t =
+  match t.flavor, t.arch with
+  | Generic, X86 -> 8800
+  | Generic, Arm64 -> 9600
+  | Generic, Arm32 -> 9600
+  | Generic, Ppc -> 8100
+  | Generic, Riscv -> 7600
+  | Lowlatency, _ -> 8800
+  | Aws, _ -> 6400
+  | Azure, _ -> 5300
+  | Gcp, _ -> 8600

@@ -1,0 +1,43 @@
+(** Kernel configurations: architecture × flavor, and the gates that make
+    constructs conditionally present (our model of [#ifdef]/Kconfig).
+
+    The study's matrix is 5 architectures at the generic flavor plus 4
+    extra flavors on x86 (paper §3.2, Table 5). *)
+
+type arch = X86 | Arm64 | Arm32 | Ppc | Riscv
+type flavor = Generic | Lowlatency | Aws | Azure | Gcp
+
+type t = { arch : arch; flavor : flavor }
+
+val arches : arch list
+val flavors : flavor list
+val arch_to_string : arch -> string
+val flavor_to_string : flavor -> string
+val to_string : t -> string
+val equal : t -> t -> bool
+
+val x86_generic : t
+
+val study_configs : t list
+(** The 9 configurations of Table 5: x86/generic, 4 other arches
+    (generic), and 4 other flavors (x86). *)
+
+val ptr_size : arch -> int
+(** 4 on arm32, 8 elsewhere. *)
+
+(** A gate decides whether a construct is compiled into a configuration.
+    [Config_numa] models CONFIG_NUMA, disabled on arm32 and riscv in our
+    matrix (this drives the readahead case study). *)
+type gate =
+  | Always
+  | Arch_only of arch list  (** present only on these architectures *)
+  | Arch_except of arch list  (** present everywhere except these *)
+  | Flavor_except of flavor list  (** pruned from these flavors *)
+  | Config_numa
+
+val numa_enabled : arch -> bool
+val gate_admits : gate -> t -> bool
+
+val option_count : t -> int
+(** Number of Kconfig options in this configuration (Table 5 "Config #"
+    row; informational). *)

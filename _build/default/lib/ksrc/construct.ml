@@ -1,0 +1,104 @@
+open Ds_ctypes
+
+type numa_req = Numa_any | Numa_on | Numa_off
+
+type gate = {
+  g_arches : Config.arch list;
+  g_flavor_only : Config.flavor list;
+  g_flavor_removed : Config.flavor list;
+  g_numa : numa_req;
+}
+
+let gate_always =
+  { g_arches = Config.arches; g_flavor_only = []; g_flavor_removed = []; g_numa = Numa_any }
+
+let gate_admits g (cfg : Config.t) =
+  List.mem cfg.arch g.g_arches
+  && (g.g_flavor_only = [] || List.mem cfg.flavor g.g_flavor_only)
+  && (not (List.mem cfg.flavor g.g_flavor_removed))
+  && (match g.g_numa with
+     | Numa_any -> true
+     | Numa_on -> Config.numa_enabled cfg.arch
+     | Numa_off -> not (Config.numa_enabled cfg.arch))
+
+type func_kind = Regular | Lsm_hook | Kfunc
+type caller = { cl_func : string; cl_file : string }
+type transform = T_isra | T_constprop | T_part | T_cold
+type inline_profile = P_full | P_selective | P_never
+
+let transform_suffix = function
+  | T_isra -> ".isra.0"
+  | T_constprop -> ".constprop.0"
+  | T_part -> ".part.0"
+  | T_cold -> ".cold"
+
+let transform_of_suffix = function
+  | "isra" -> Some T_isra
+  | "constprop" -> Some T_constprop
+  | "part" -> Some T_part
+  | "cold" -> Some T_cold
+  | _ -> None
+
+type func_def = {
+  fn_name : string;
+  fn_file : string;
+  fn_line : int;
+  fn_proto : Ctype.proto;
+  fn_static : bool;
+  fn_declared_inline : bool;
+  fn_body_size : int;
+  fn_address_taken : bool;
+  fn_callers : caller list;
+  fn_profile : inline_profile;
+  fn_includers : string list;
+  fn_gate : gate;
+  fn_kind : func_kind;
+  fn_transforms : transform list;
+  fn_variant_arches : Config.arch list;
+  fn_variant_flavors : Config.flavor list;
+}
+
+let fn_id f = f.fn_name ^ "@" ^ f.fn_file
+let fn_is_header f = Filename.check_suffix f.fn_file ".h"
+let variant_param = Ctype.{ pname = "arch_flags"; ptype = ulong }
+
+let proto_for f (cfg : Config.t) =
+  if List.mem cfg.arch f.fn_variant_arches || List.mem cfg.flavor f.fn_variant_flavors
+  then { f.fn_proto with Ctype.params = f.fn_proto.Ctype.params @ [ variant_param ] }
+  else f.fn_proto
+
+type struct_src = {
+  st_name : string;
+  st_kind : [ `Struct | `Union ];
+  st_file : string;
+  st_members : (string * Ctype.t) list;
+  st_arch_members : (Config.arch * (string * Ctype.t)) list;
+  st_flavor_members : (Config.flavor * (string * Ctype.t)) list;
+  st_gate : gate;
+}
+
+let members_for s (cfg : Config.t) =
+  s.st_members
+  @ List.filter_map
+      (fun (a, m) -> if a = cfg.arch then Some m else None)
+      s.st_arch_members
+  @ List.filter_map
+      (fun (f, m) -> if f = cfg.flavor then Some m else None)
+      s.st_flavor_members
+
+type tracepoint_def = {
+  tp_name : string;
+  tp_class : string;
+  tp_fields : (string * Ctype.t) list;
+  tp_params : Ctype.param list;
+  tp_gate : gate;
+}
+
+let tp_struct_name tp = "trace_event_raw_" ^ tp.tp_class
+let tp_func_name tp = "trace_event_raw_event_" ^ tp.tp_class
+
+type syscall_def = { sc_name : string; sc_gate : gate }
+
+let compat_syscall_traceable = function
+  | Config.Arm32 | Config.Ppc -> true
+  | Config.X86 | Config.Arm64 | Config.Riscv -> false

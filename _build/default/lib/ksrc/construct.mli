@@ -1,0 +1,136 @@
+(** Source-level kernel constructs: what the synthetic kernel "source
+    tree" contains before configuration and compilation.
+
+    Every construct carries a {!gate} deciding in which configurations it
+    is compiled (our model of Kconfig/[#ifdef]), and optionally per-arch
+    definition variants (the [task_struct]-style [#ifdef] fields of paper
+    §4.2). *)
+
+open Ds_ctypes
+
+(** {2 Gates} *)
+
+type numa_req = Numa_any | Numa_on | Numa_off
+
+type gate = {
+  g_arches : Config.arch list;  (** architectures where the construct exists *)
+  g_flavor_only : Config.flavor list;
+      (** when non-empty, present {e only} in these flavors (flavor-specific
+          additions, e.g. AWS-only paravirt helpers) *)
+  g_flavor_removed : Config.flavor list;  (** flavors that prune it *)
+  g_numa : numa_req;
+      (** [Numa_on]: requires CONFIG_NUMA; [Numa_off]: only without it (the
+          fallback definition of an [#ifdef CONFIG_NUMA]/[#else] pair) *)
+}
+
+val gate_always : gate
+val gate_admits : gate -> Config.t -> bool
+
+(** {2 Functions} *)
+
+type func_kind = Regular | Lsm_hook | Kfunc
+
+type caller = { cl_func : string; cl_file : string }
+(** A call site: the calling function and the translation unit it lives
+    in. The compiler's inline decision is per call site. *)
+
+type transform = T_isra | T_constprop | T_part | T_cold
+
+(** Planted inlining intent, realized by attribute choices and recovered by
+    the mini compiler's real decision procedure:
+    - [P_full]: static, small, all call sites in the defining TU;
+    - [P_selective]: global and small, call sites both inside and outside
+      the defining TU (the [vfs_fsync] pattern of paper Listing 4);
+    - [P_never]: too large, address-taken, or otherwise uninlinable. *)
+type inline_profile = P_full | P_selective | P_never
+
+val transform_suffix : transform -> string
+(** The symbol-name suffix the compiler appends: [".isra.0"] etc. *)
+
+val transform_of_suffix : string -> transform option
+(** Classify a dotted symbol suffix component (e.g. ["isra"]). *)
+
+type func_def = {
+  fn_name : string;
+  fn_file : string;  (** defining file; a [.h] file means header-defined *)
+  fn_line : int;
+  fn_proto : Ctype.proto;
+  fn_static : bool;
+  fn_declared_inline : bool;
+  fn_body_size : int;  (** abstract size units, compared to the compiler's
+                           inline threshold *)
+  fn_address_taken : bool;
+  fn_callers : caller list;
+      (** explicit call sites (catalog constructs); when empty, the
+          compiler synthesizes call sites from [fn_profile] *)
+  fn_profile : inline_profile;
+  fn_includers : string list;
+      (** for header-defined functions: the [.c] files that include the
+          header (each gets its own copy — function duplication) *)
+  fn_gate : gate;
+  fn_kind : func_kind;
+  fn_transforms : transform list;
+      (** transformations the compiler applies when the function is
+          eligible (static, out-of-line) *)
+  fn_variant_arches : Config.arch list;
+      (** arches where the signature differs (an extra trailing parameter
+          under an arch [#ifdef]) *)
+  fn_variant_flavors : Config.flavor list;
+}
+
+val fn_id : func_def -> string
+(** Unique id: ["name@file"]. Name collisions (distinct functions sharing
+    a name) are distinct ids. *)
+
+val fn_is_header : func_def -> bool
+
+val variant_param : Ctype.param
+(** The canonical extra parameter appearing in per-arch signature
+    variants. *)
+
+val proto_for : func_def -> Config.t -> Ctype.proto
+(** The function's prototype as compiled under a configuration (applies
+    arch/flavor variants). *)
+
+(** {2 Structs} *)
+
+type struct_src = {
+  st_name : string;
+  st_kind : [ `Struct | `Union ];
+  st_file : string;
+  st_members : (string * Ctype.t) list;
+  st_arch_members : (Config.arch * (string * Ctype.t)) list;
+      (** extra members compiled only on the given arch *)
+  st_flavor_members : (Config.flavor * (string * Ctype.t)) list;
+  st_gate : gate;
+}
+
+val members_for : struct_src -> Config.t -> (string * Ctype.t) list
+
+(** {2 Tracepoints} *)
+
+type tracepoint_def = {
+  tp_name : string;  (** event name, e.g. ["block_rq_issue"] *)
+  tp_class : string;  (** event class, names the event struct *)
+  tp_fields : (string * Ctype.t) list;  (** event-struct fields *)
+  tp_params : Ctype.param list;  (** tracing-function parameters *)
+  tp_gate : gate;
+}
+
+val tp_struct_name : tracepoint_def -> string
+(** ["trace_event_raw_<class>"]. *)
+
+val tp_func_name : tracepoint_def -> string
+(** ["trace_event_raw_event_<class>"]. *)
+
+(** {2 System calls} *)
+
+type syscall_def = {
+  sc_name : string;  (** without the [sys_] prefix, e.g. ["openat"] *)
+  sc_gate : gate;
+}
+
+val compat_syscall_traceable : Config.arch -> bool
+(** Whether 32-bit compat system calls can be traced natively on this
+    architecture (false on x86, arm64 and riscv — the paper's blind
+    spot). *)

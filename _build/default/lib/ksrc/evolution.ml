@@ -1,0 +1,261 @@
+open Ds_util
+open Construct
+
+let apply_event src = function
+  | Catalog.Add_func f -> Source.add_func src f
+  | Catalog.Remove_func id -> Source.remove_func src ~id
+  | Catalog.Update_func (id, f) -> (
+      match Source.find_func src ~id with
+      | Some fd -> Source.replace_func src (f fd)
+      | None -> invalid_arg ("scripted update of missing function " ^ id))
+  | Catalog.Add_struct s -> Source.add_struct src s
+  | Catalog.Remove_struct n -> Source.remove_struct src n
+  | Catalog.Update_struct (n, f) -> (
+      match Source.find_struct src n with
+      | Some sd -> Source.replace_struct src (f sd)
+      | None -> invalid_arg ("scripted update of missing struct " ^ n))
+  | Catalog.Add_tracepoint tp -> Source.add_tracepoint src tp
+  | Catalog.Remove_tracepoint n -> Source.remove_tracepoint src n
+  | Catalog.Update_tracepoint (n, f) -> (
+      match Source.find_tracepoint src n with
+      | Some tp -> Source.replace_tracepoint src (f tp)
+      | None -> invalid_arg ("scripted update of missing tracepoint " ^ n))
+
+(* Additions: [n] x86-visible constructs plus a calibrated share of
+   arch-/flavor-only ones. *)
+let add_funcs ctx src n =
+  let prng = Genpool.prng ctx in
+  let w = Genpool.only_weight Calibration.func_config in
+  let n_only = Prng.binomial prng n (min 1. w) in
+  let ss = Calibration.p_collision_static_static in
+  let sg = Calibration.p_collision_static_global in
+  let add_one src ~x86 =
+    let collide =
+      if Prng.bool prng ss then `Static
+      else if Prng.bool prng sg then `Global
+      else `No
+    in
+    let f =
+      match collide with
+      | `No -> Genpool.gen_func ctx ~x86 ()
+      | `Static | `Global -> (
+          (* Reuse an existing name in a different file: static-static or
+             static-global collision. Pick a random victim — but never a
+             catalog name, whose symbol-count history is scripted. *)
+          let funcs =
+            List.filter (fun f -> not (Catalog.pinned f.fn_name)) (Source.funcs src)
+          in
+          match funcs with
+          | [] -> Genpool.gen_func ctx ~x86 ()
+          | _ -> (
+              let victim = List.nth funcs (Prng.int prng (List.length funcs)) in
+              let want_global_victim = collide = `Global in
+              if want_global_victim && victim.fn_static then Genpool.gen_func ctx ~x86 ()
+              else
+                let f =
+                  Genpool.gen_func ctx ~x86 ~forced_name:victim.fn_name ~forced_static:true ()
+                in
+                (* distinct file required for a distinct id *)
+                if f.fn_file = victim.fn_file then { f with fn_file = "lib/lib-extra.c" }
+                else f))
+    in
+    if Source.find_func src ~id:(fn_id f) <> None then src (* rare id clash: skip *)
+    else Source.add_func src f
+  in
+  let src = ref src in
+  for _ = 1 to n do
+    src := add_one !src ~x86:true
+  done;
+  for _ = 1 to n_only do
+    src := add_one !src ~x86:false
+  done;
+  !src
+
+let add_structs ctx src n =
+  let prng = Genpool.prng ctx in
+  let w = Genpool.only_weight Calibration.struct_config in
+  let n_only = Prng.binomial prng n w in
+  let src = ref src in
+  let add_one ~x86 =
+    let s = Genpool.gen_struct ctx ~x86 in
+    if Source.find_struct !src s.st_name = None then src := Source.add_struct !src s
+  in
+  for _ = 1 to n do
+    add_one ~x86:true
+  done;
+  for _ = 1 to n_only do
+    add_one ~x86:false
+  done;
+  !src
+
+let add_tracepoints ctx src n =
+  let prng = Genpool.prng ctx in
+  let w = Genpool.only_weight Calibration.tracepoint_config in
+  let n_only = Prng.binomial prng n w in
+  let src = ref src in
+  let add_one ~x86 =
+    let tp = Genpool.gen_tracepoint ctx ~x86 in
+    if Source.find_tracepoint !src tp.tp_name = None then
+      src := Source.add_tracepoint !src tp
+  in
+  for _ = 1 to n do
+    add_one ~x86:true
+  done;
+  for _ = 1 to n_only do
+    add_one ~x86:false
+  done;
+  !src
+
+let x86_count_fn src = List.length (Source.funcs_in src Config.x86_generic)
+let x86_count_st src = List.length (Source.structs_in src Config.x86_generic)
+let x86_count_tp src = List.length (Source.tracepoints_in src Config.x86_generic)
+
+let genesis ctx =
+  List.iter (Namegen.reserve (Genpool.names ctx)) Catalog.all_names;
+  let src = Catalog.install_genesis (Source.empty (Version.v 4 4)) in
+  List.iter
+    (fun (s : struct_src) -> Genpool.note_struct ctx s.st_name)
+    (Source.structs src);
+  let step = Calibration.step_for (Version.v 4 4) in
+  let scale = Genpool.scale ctx in
+  let src =
+    add_funcs ctx src (max 0 (Calibration.scaled scale step.s_fn `Fn - x86_count_fn src))
+  in
+  let src =
+    add_structs ctx src (max 0 (Calibration.scaled scale step.s_st `St - x86_count_st src))
+  in
+  let src =
+    add_tracepoints ctx src
+      (max 0 (Calibration.scaled scale step.s_tp `Tp - x86_count_tp src))
+  in
+  List.fold_left Source.add_syscall src (Genpool.gen_syscalls ctx)
+
+(* Pick [n] victims from [xs], preferring previously-changed ("hot")
+   constructs with probability [p_hot_bias]; churn concentrates in hot
+   code, which keeps multi-release change unions near the paper's LTS
+   numbers. *)
+let pick_victims prng ~n ~hot xs =
+  let hots = List.filter hot xs in
+  let colds = List.filter (fun x -> not (hot x)) xs in
+  let n_hot =
+    min (List.length hots)
+      (int_of_float (Float.round (float_of_int n *. Calibration.p_hot_bias)))
+  in
+  let n_cold = min (List.length colds) (n - n_hot) in
+  Prng.sample prng n_hot hots @ Prng.sample prng n_cold colds
+
+let evolve ctx src (step : Calibration.step) =
+  let prng = Genpool.prng ctx in
+  let scale = Genpool.scale ctx in
+  let src = Source.with_version src step.s_version in
+  (* 1. scripted catalog history *)
+  let src = List.fold_left apply_event src (Catalog.events_for step.s_version) in
+  (* 2. removals *)
+  let removable_funcs =
+    List.filter (fun f -> not (Catalog.pinned f.fn_name)) (Source.funcs src)
+  in
+  let n_rm_fn =
+    int_of_float (Float.round (float_of_int (List.length removable_funcs) *. step.s_fn.r_rm))
+  in
+  let src =
+    List.fold_left
+      (fun src f -> Source.remove_func src ~id:(fn_id f))
+      src
+      (Prng.sample prng n_rm_fn removable_funcs)
+  in
+  let removable_sts =
+    List.filter (fun s -> not (Catalog.pinned s.st_name)) (Source.structs src)
+  in
+  let n_rm_st =
+    int_of_float (Float.round (float_of_int (List.length removable_sts) *. step.s_st.r_rm))
+  in
+  let src =
+    List.fold_left
+      (fun src s -> Source.remove_struct src s.st_name)
+      src
+      (Prng.sample prng n_rm_st removable_sts)
+  in
+  let removable_tps =
+    List.filter (fun x -> not (Catalog.pinned x.tp_name)) (Source.tracepoints src)
+  in
+  let n_rm_tp =
+    int_of_float (Float.round (float_of_int (List.length removable_tps) *. step.s_tp.r_rm))
+  in
+  let src =
+    List.fold_left
+      (fun src x -> Source.remove_tracepoint src x.tp_name)
+      src
+      (Prng.sample prng n_rm_tp removable_tps)
+  in
+  (* 3. changes *)
+  let changeable_funcs =
+    List.filter (fun f -> not (Catalog.pinned f.fn_name)) (Source.funcs src)
+  in
+  let n_ch_fn =
+    int_of_float (Float.round (float_of_int (List.length changeable_funcs) *. step.s_fn.r_ch))
+  in
+  let victims =
+    pick_victims prng ~n:n_ch_fn ~hot:(fun f -> Genpool.hot_func ctx f.fn_name) changeable_funcs
+  in
+  let src =
+    List.fold_left
+      (fun src f ->
+        Genpool.mark_hot_func ctx f.fn_name;
+        Source.replace_func src { f with fn_proto = Genpool.mutate_proto ctx f.fn_proto })
+      src victims
+  in
+  let changeable_sts =
+    List.filter (fun s -> not (Catalog.pinned s.st_name)) (Source.structs src)
+  in
+  let n_ch_st =
+    int_of_float (Float.round (float_of_int (List.length changeable_sts) *. step.s_st.r_ch))
+  in
+  let victims =
+    pick_victims prng ~n:n_ch_st ~hot:(fun s -> Genpool.hot_struct ctx s.st_name) changeable_sts
+  in
+  let src =
+    List.fold_left
+      (fun src s ->
+        Genpool.mark_hot_struct ctx s.st_name;
+        Source.replace_struct src { s with st_members = Genpool.mutate_members ctx s.st_members })
+      src victims
+  in
+  let changeable_tps =
+    List.filter (fun x -> not (Catalog.pinned x.tp_name)) (Source.tracepoints src)
+  in
+  let n_ch_tp =
+    int_of_float (Float.round (float_of_int (List.length changeable_tps) *. step.s_tp.r_ch))
+  in
+  let victims =
+    pick_victims prng ~n:n_ch_tp ~hot:(fun x -> Genpool.hot_tp ctx x.tp_name) changeable_tps
+  in
+  let src =
+    List.fold_left
+      (fun src x ->
+        Genpool.mark_hot_tp ctx x.tp_name;
+        Source.replace_tracepoint src (Genpool.mutate_tracepoint ctx x))
+      src victims
+  in
+  (* 4. additions up to the scaled Table 3 targets *)
+  let src =
+    add_funcs ctx src (max 0 (Calibration.scaled scale step.s_fn `Fn - x86_count_fn src))
+  in
+  let src =
+    add_structs ctx src (max 0 (Calibration.scaled scale step.s_st `St - x86_count_st src))
+  in
+  let src =
+    add_tracepoints ctx src
+      (max 0 (Calibration.scaled scale step.s_tp `Tp - x86_count_tp src))
+  in
+  Source.prune_dangling_callers src
+
+let build_history ~seed scale =
+  let ctx = Genpool.create ~seed scale in
+  let src0 = genesis ctx in
+  let rec go src = function
+    | [] -> []
+    | step :: rest ->
+        let src' = evolve ctx src step in
+        (step.Calibration.s_version, src') :: go src' rest
+  in
+  (Version.v 4 4, src0) :: go src0 (List.tl Calibration.steps)

@@ -1,0 +1,16 @@
+(** The evolution engine: grows the v4.4 genesis tree through the 17
+    studied kernel versions, applying the scripted catalog timeline plus
+    calibrated random churn (additions, removals and declaration changes
+    at the paper's Table 3 rates). A seed fully determines the history. *)
+
+val genesis : Genpool.ctx -> Source.t
+(** Build the v4.4 source tree: catalog constructs plus random population
+    up to the calibrated (scaled) counts, including non-x86 constructs,
+    collisions and the full syscall table. *)
+
+val evolve : Genpool.ctx -> Source.t -> Calibration.step -> Source.t
+(** Evolve one release step: scripted events, removals, changes,
+    additions. *)
+
+val build_history : seed:int64 -> Calibration.scale -> (Version.t * Source.t) list
+(** The full 17-version history, in release order. *)

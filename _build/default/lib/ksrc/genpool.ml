@@ -1,0 +1,480 @@
+open Ds_util
+open Ds_ctypes
+open Construct
+
+type ctx = {
+  g_prng : Prng.t;
+  g_names : Namegen.t;
+  g_scale : Calibration.scale;
+  g_structs : string list ref;  (* recent struct names, pointer targets *)
+  g_hot_funcs : (string, unit) Hashtbl.t;
+  g_hot_structs : (string, unit) Hashtbl.t;
+  g_hot_tps : (string, unit) Hashtbl.t;
+}
+
+let create ~seed scale =
+  let root = Prng.create seed in
+  {
+    g_prng = Prng.split root "genpool";
+    g_names = Namegen.create (Prng.split root "names");
+    g_scale = scale;
+    g_structs = ref [ "task_struct"; "file"; "inode"; "page" ];
+    g_hot_funcs = Hashtbl.create 256;
+    g_hot_structs = Hashtbl.create 256;
+    g_hot_tps = Hashtbl.create 64;
+  }
+
+let prng t = t.g_prng
+let names t = t.g_names
+let scale t = t.g_scale
+
+let note_struct t name =
+  t.g_structs := name :: !(t.g_structs);
+  if List.length !(t.g_structs) > 256 then
+    t.g_structs := List.filteri (fun i _ -> i < 200) !(t.g_structs)
+
+let mark_hot_func t n = Hashtbl.replace t.g_hot_funcs n ()
+let mark_hot_struct t n = Hashtbl.replace t.g_hot_structs n ()
+let mark_hot_tp t n = Hashtbl.replace t.g_hot_tps n ()
+let hot_func t n = Hashtbl.mem t.g_hot_funcs n
+let hot_struct t n = Hashtbl.mem t.g_hot_structs n
+let hot_tp t n = Hashtbl.mem t.g_hot_tps n
+
+let sample_type t =
+  let r = Prng.float t.g_prng 1.0 in
+  if r < 0.65 then Prng.pick t.g_prng Ctype.scalar_pool
+  else if r < 0.85 then Ctype.Ptr (Ctype.Struct_ref (Prng.pick_list t.g_prng !(t.g_structs)))
+  else if r < 0.92 then Ctype.Ptr (Ctype.Const Ctype.char_)
+  else Ctype.void_ptr
+
+(* ------------------------------------------------------------------ *)
+(* Gates                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sample_variants t (cp : Calibration.config_probs) =
+  let arches =
+    List.filter_map
+      (fun (a, p) -> if Prng.bool t.g_prng p then Some a else None)
+      cp.cp_variant
+  in
+  let flavors =
+    List.filter_map
+      (fun (f, p) -> if Prng.bool t.g_prng p then Some f else None)
+      cp.cp_flavor_variant
+  in
+  (arches, flavors)
+
+let only_weight (cp : Calibration.config_probs) =
+  List.fold_left (fun acc (_, p) -> acc +. p) 0. cp.cp_only
+  +. List.fold_left (fun acc (_, p) -> acc +. p) 0. cp.cp_flavor_only
+
+let sample_only_slot t (cp : Calibration.config_probs) =
+  let total = only_weight cp in
+  let r = Prng.float t.g_prng total in
+  let rec pick acc = function
+    | [] -> None
+    | (x, p) :: rest -> if r < acc +. p then Some x else pick (acc +. p) rest
+  in
+  let arch_slots = List.map (fun (a, p) -> (`Arch a, p)) cp.cp_only in
+  let flavor_slots = List.map (fun (f, p) -> (`Flavor f, p)) cp.cp_flavor_only in
+  match pick 0. (arch_slots @ flavor_slots) with
+  | Some slot -> slot
+  | None -> ( (* numeric edge: fall back to the heaviest slot *)
+      match arch_slots with (s, _) :: _ -> s | [] -> `Flavor Config.Generic)
+
+let sample_gate t (cp : Calibration.config_probs) ~x86 =
+  if x86 then begin
+    let arches =
+      Config.X86
+      :: List.filter_map
+           (fun (a, p) -> if Prng.bool t.g_prng p then Some a else None)
+           cp.cp_present
+    in
+    let flavor_removed =
+      List.filter_map
+        (fun (f, p) -> if Prng.bool t.g_prng p then Some f else None)
+        cp.cp_flavor_removed
+    in
+    let numa = if Prng.bool t.g_prng cp.cp_numa then Numa_on else Numa_any in
+    { g_arches = arches; g_flavor_only = []; g_flavor_removed = flavor_removed; g_numa = numa }
+  end
+  else
+    match sample_only_slot t cp with
+    | `Arch a ->
+        { g_arches = [ a ]; g_flavor_only = []; g_flavor_removed = []; g_numa = Numa_any }
+    | `Flavor f ->
+        {
+          g_arches = [ Config.X86 ];
+          g_flavor_only = [ f ];
+          g_flavor_removed = [];
+          g_numa = Numa_any;
+        }
+
+(* ------------------------------------------------------------------ *)
+(* Functions                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let sample_ret t =
+  let r = Prng.float t.g_prng 1.0 in
+  if r < 0.40 then Ctype.void
+  else if r < 0.70 then Ctype.int_
+  else if r < 0.80 then Ctype.long
+  else if r < 0.90 then Ctype.bool_
+  else Ctype.Ptr (Ctype.Struct_ref (Prng.pick_list t.g_prng !(t.g_structs)))
+
+let sample_params t =
+  let n = Prng.int t.g_prng 5 in
+  List.init n (fun i -> Ctype.{ pname = Namegen.param_name i; ptype = sample_type t })
+
+let gen_func t ~x86 ?forced_name ?forced_static () =
+  let subsys = Namegen.pick_subsystem t.g_names in
+  let kind =
+    if Prng.bool t.g_prng Calibration.p_lsm_fraction then Lsm_hook
+    else if Prng.bool t.g_prng Calibration.p_kfunc_fraction then Kfunc
+    else Regular
+  in
+  let name =
+    match forced_name with
+    | Some n -> n
+    | None -> (
+        match kind with
+        | Lsm_hook -> "security_" ^ Namegen.func_name t.g_names ~subsys:"lsm"
+        | Kfunc -> "bpf_" ^ Namegen.func_name t.g_names ~subsys
+        | Regular -> Namegen.func_name t.g_names ~subsys)
+  in
+  let profile =
+    let r = Prng.float t.g_prng 1.0 in
+    if r < Calibration.p_profile_full then P_full
+    else if r < Calibration.p_profile_full +. Calibration.p_profile_selective then P_selective
+    else P_never
+  in
+  let static =
+    match forced_static with
+    | Some s -> s
+    | None -> (
+        match profile with
+        | P_full -> true
+        | P_selective -> false
+        | P_never -> Prng.bool t.g_prng Calibration.p_static)
+  in
+  let header = static && Prng.bool t.g_prng Calibration.p_header_defined in
+  let file =
+    if header then Namegen.header_file ~subsys else Namegen.c_file t.g_names ~subsys
+  in
+  let body_size =
+    match profile with
+    | P_full | P_selective -> 5 + Prng.int t.g_prng 21 (* 5..25: under every threshold *)
+    | P_never ->
+        (* Mostly clearly large; a sliver sits in the 28..34 band where
+           compiler versions disagree (Figure 5's small variation). *)
+        if Prng.bool t.g_prng 0.08 then 28 + Prng.int t.g_prng 7
+        else 40 + Prng.int t.g_prng 160
+  in
+  let address_taken = profile = P_never && Prng.bool t.g_prng Calibration.p_address_taken in
+  let includers =
+    if header then
+      (* duplication: a header copy lands in each includer *)
+      Namegen.includer_pool t.g_names ~subsys ~n:(2 + Prng.int t.g_prng 8)
+    else []
+  in
+  let transforms =
+    List.filter_map
+      (fun (tr, p) -> if Prng.bool t.g_prng p then Some tr else None)
+      Calibration.p_transform
+  in
+  let variant_arches, variant_flavors = sample_variants t Calibration.func_config in
+  {
+    fn_name = name;
+    fn_file = file;
+    fn_line = 10 + Prng.int t.g_prng 4000;
+    fn_proto = Ctype.{ ret = sample_ret t; params = sample_params t; variadic = false };
+    fn_static = static;
+    fn_declared_inline = (profile = P_full && Prng.bool t.g_prng 0.5) || header;
+    fn_body_size = body_size;
+    fn_address_taken = address_taken;
+    fn_callers = [];
+    fn_profile = profile;
+    fn_includers = includers;
+    fn_gate = sample_gate t Calibration.func_config ~x86;
+    fn_kind = kind;
+    fn_transforms = transforms;
+    fn_variant_arches = variant_arches;
+    fn_variant_flavors = variant_flavors;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Structs                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let gen_struct t ~x86 =
+  let subsys = Namegen.pick_subsystem t.g_names in
+  let name = Namegen.struct_name t.g_names ~subsys in
+  let n_fields = 2 + Prng.int t.g_prng 9 in
+  let members = List.init n_fields (fun i -> (Namegen.field_name t.g_names i, sample_type t)) in
+  let variant_arches, variant_flavors = sample_variants t Calibration.struct_config in
+  let variant_field i = (Printf.sprintf "arch_private%d" i, Ctype.ulong) in
+  note_struct t name;
+  {
+    st_name = name;
+    st_kind = (if Prng.bool t.g_prng 0.06 then `Union else `Struct);
+    st_file = Namegen.header_file ~subsys;
+    st_members = members;
+    st_arch_members = List.mapi (fun i a -> (a, variant_field i)) variant_arches;
+    st_flavor_members = List.mapi (fun i f -> (f, variant_field (i + 8))) variant_flavors;
+    st_gate = sample_gate t Calibration.struct_config ~x86;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Tracepoints                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let gen_tracepoint t ~x86 =
+  let subsys = Namegen.pick_subsystem t.g_names in
+  let event, cls = Namegen.tracepoint_name t.g_names ~subsys in
+  let n_fields = 1 + Prng.int t.g_prng 5 in
+  let fields =
+    List.init n_fields (fun i ->
+        (Namegen.field_name t.g_names i, Prng.pick t.g_prng Ctype.scalar_pool))
+  in
+  let n_params = 1 + Prng.int t.g_prng 3 in
+  let params =
+    List.init n_params (fun i -> Ctype.{ pname = Namegen.param_name i; ptype = sample_type t })
+  in
+  {
+    tp_name = event;
+    tp_class = cls;
+    tp_fields = fields;
+    tp_params = params;
+    tp_gate = sample_gate t Calibration.tracepoint_config ~x86;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Syscalls                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Real names used for the syscalls newer architectures dropped in favour
+   of *at/clone variants (paper §4.2). *)
+let legacy_names =
+  [
+    "open"; "chmod"; "chown"; "lchown"; "link"; "unlink"; "mkdir"; "rmdir";
+    "rename"; "symlink"; "readlink"; "stat"; "lstat"; "access"; "mknod";
+    "fork"; "vfork"; "utime"; "utimes"; "futimesat"; "creat"; "pause";
+    "getdents"; "select"; "poll"; "epoll_create"; "epoll_wait"; "inotify_init";
+    "eventfd"; "signalfd"; "dup2"; "pipe"; "alarm"; "time"; "ustat"; "uselib";
+    "sysfs"; "getpgrp"; "renameat"; "send"; "recv"; "bdflush"; "oldolduname"; "olduname";
+  ]
+
+let modern_names =
+  [
+    "read"; "write"; "close"; "openat"; "fstat"; "lseek"; "mmap"; "mprotect";
+    "munmap"; "brk"; "ioctl"; "pread64"; "pwrite64"; "readv"; "writev";
+    "pipe2"; "sched_yield"; "mremap"; "msync"; "madvise"; "dup"; "dup3";
+    "nanosleep"; "getpid"; "socket"; "connect"; "accept"; "sendto"; "recvfrom";
+    "bind"; "listen"; "clone"; "execve"; "exit"; "wait4"; "kill"; "uname";
+    "fcntl"; "flock"; "fsync"; "fdatasync"; "truncate"; "ftruncate";
+    "getcwd"; "chdir"; "fchdir"; "fchmod"; "fchown"; "umask"; "gettimeofday";
+    "getuid"; "getgid"; "setuid"; "setgid"; "ptrace"; "statfs"; "fstatfs";
+    "prctl"; "mount"; "umount2"; "reboot"; "sethostname"; "gettid"; "futex";
+    "epoll_create1"; "epoll_ctl"; "epoll_pwait"; "unlinkat"; "mkdirat";
+    "renameat2"; "faccessat"; "fchmodat"; "fchownat"; "newfstatat"; "readlinkat";
+    "symlinkat"; "linkat"; "mknodat"; "utimensat"; "accept4"; "eventfd2";
+    "signalfd4"; "inotify_init1"; "preadv"; "pwritev"; "perf_event_open";
+    "recvmmsg"; "sendmmsg"; "getrandom"; "memfd_create"; "execveat"; "bpf";
+    "statx"; "io_uring_setup"; "io_uring_enter"; "clone3"; "openat2";
+    "pidfd_open"; "faccessat2"; "close_range"; "process_madvise";
+  ]
+
+let gen_syscalls t =
+  let target =
+    max 8
+      (int_of_float
+         (Float.round (float_of_int Calibration.syscall_count *. t.g_scale.sc_syscalls)))
+  in
+  let cp = Calibration.syscall_config in
+  let legacy_frac = 0.165 (* riscv drops the most; the legacy set ⊆ that *) in
+  let n_legacy = int_of_float (Float.round (float_of_int target *. legacy_frac)) in
+  let mk_gate ~legacy =
+    let arches =
+      if legacy then
+        (* Legacy calls (open, fork, ...) are absent from the arches whose
+           ABI was defined after the *at/clone replacements existed. *)
+        [ Config.X86; Config.Arm32; Config.Ppc ]
+      else
+        (* The remaining per-arch drops: 64-bit-only calls absent on
+           arm32, a few ppc oddities. *)
+        Config.X86 :: Config.Arm64 :: Config.Riscv
+        :: List.concat
+             [
+               (if Prng.bool t.g_prng 0.087 then [] else [ Config.Arm32 ]);
+               (if Prng.bool t.g_prng 0.027 then [] else [ Config.Ppc ]);
+             ]
+    in
+    { g_arches = arches; g_flavor_only = []; g_flavor_removed = []; g_numa = Numa_any }
+  in
+  let take n xs = List.filteri (fun i _ -> i < n) xs in
+  let legacy = take n_legacy legacy_names in
+  let n_modern = target - List.length legacy in
+  let named_modern = take n_modern modern_names in
+  let extra_modern =
+    if n_modern > List.length named_modern then
+      List.init (n_modern - List.length named_modern) (fun _ -> Namegen.syscall_name t.g_names)
+    else []
+  in
+  let x86_calls =
+    List.map (fun n -> { sc_name = n; sc_gate = mk_gate ~legacy:true }) legacy
+    @ List.map (fun n -> { sc_name = n; sc_gate = mk_gate ~legacy:false }) (named_modern @ extra_modern)
+  in
+  (* Arch-only syscalls (OABI leftovers on arm32, ppc-specific calls...). *)
+  let only_calls =
+    List.concat_map
+      (fun (arch, frac) ->
+        let n = int_of_float (Float.round (float_of_int target *. frac)) in
+        List.init n (fun _ ->
+            {
+              sc_name =
+                Printf.sprintf "%s_%s" (Config.arch_to_string arch) (Namegen.syscall_name t.g_names);
+              sc_gate =
+                { g_arches = [ arch ]; g_flavor_only = []; g_flavor_removed = []; g_numa = Numa_any };
+            }))
+      cp.cp_only
+  in
+  x86_calls @ only_calls
+
+(* ------------------------------------------------------------------ *)
+(* Mutations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let compatible_alternative t ty =
+  let open Ctype in
+  match strip_quals ty with
+  | Int { bits = 32; signed = true; _ } -> uint
+  | Int { bits = 32; signed = false; _ } -> if Prng.bool t.g_prng 0.5 then int_ else u32
+  | Int { bits = 64; signed = true; _ } -> ulong
+  | Int { bits = 64; signed = false; _ } -> if Prng.bool t.g_prng 0.5 then long else u64
+  | Int { bits = 16; _ } -> ushort
+  | Int { bits = 8; _ } -> uchar
+  | Typedef_ref "u32" -> uint
+  | Typedef_ref "u64" -> if Prng.bool t.g_prng 0.5 then ulong else Typedef_ref "size_t"
+  | Typedef_ref "cputime_t" -> u64
+  | Typedef_ref _ -> ulong
+  | _ -> u64
+
+let incompatible_alternative t ty =
+  let open Ctype in
+  match strip_quals ty with
+  | Ptr _ -> long
+  | Int { bits = 64; _ } | Typedef_ref _ -> int_
+  | _ -> if Prng.bool t.g_prng 0.5 then Ptr (Struct_ref (Prng.pick_list t.g_prng !(t.g_structs))) else u64
+
+let change_type t ty =
+  if Prng.bool t.g_prng Calibration.p_compatible_type_change then compatible_alternative t ty
+  else incompatible_alternative t ty
+
+let fresh_param_name existing =
+  let pool = [ "flags"; "mode"; "attr"; "opts"; "extra"; "nr"; "gfp"; "ctx" ] in
+  let taken = List.map (fun (p : Ctype.param) -> p.pname) existing in
+  match List.find_opt (fun n -> not (List.mem n taken)) pool with
+  | Some n -> n
+  | None -> "arg" ^ string_of_int (List.length existing)
+
+let insert_at i x xs =
+  let rec go i acc = function
+    | rest when i = 0 -> List.rev_append acc (x :: rest)
+    | [] -> List.rev (x :: acc)
+    | y :: rest -> go (i - 1) (y :: acc) rest
+  in
+  go i [] xs
+
+let remove_at i xs = List.filteri (fun j _ -> j <> i) xs
+
+let rec mutate_proto t (proto : Ctype.proto) =
+  let p = t.g_prng in
+  let params = ref proto.params in
+  let ret = ref proto.ret in
+  let changed = ref false in
+  if Prng.bool p Calibration.p_param_add then begin
+    changed := true;
+    let newp = Ctype.{ pname = fresh_param_name !params; ptype = sample_type t } in
+    let pos =
+      if Prng.bool p Calibration.p_param_add_front then 0
+      else Prng.int p (List.length !params + 1)
+    in
+    params := insert_at pos newp !params
+  end;
+  if !params <> [] && Prng.bool p Calibration.p_param_remove then begin
+    changed := true;
+    params := remove_at (Prng.int p (List.length !params)) !params
+  end;
+  if List.length !params >= 2 && Prng.bool p Calibration.p_param_swap then begin
+    changed := true;
+    let n = List.length !params in
+    let i = Prng.int p n in
+    let j = (i + 1 + Prng.int p (n - 1)) mod n in
+    let arr = Array.of_list !params in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp;
+    params := Array.to_list arr
+  end;
+  if !params <> [] && Prng.bool p Calibration.p_param_type then begin
+    changed := true;
+    let i = Prng.int p (List.length !params) in
+    params :=
+      List.mapi
+        (fun j (q : Ctype.param) ->
+          if j = i then { q with ptype = change_type t q.ptype } else q)
+        !params
+  end;
+  if Prng.bool p Calibration.p_ret_type then begin
+    changed := true;
+    ret := (match !ret with Ctype.Void -> Ctype.int_ | r -> change_type t r)
+  end;
+  if not !changed then begin
+    let newp = Ctype.{ pname = fresh_param_name !params; ptype = sample_type t } in
+    params := !params @ [ newp ]
+  end;
+  let result = { proto with Ctype.params = !params; ret = !ret } in
+  (* An add followed by a remove of the same slot can cancel out; a change
+     must be visible. *)
+  if Ctype.equal_proto result proto then mutate_proto t proto else result
+
+let fresh_field_name t existing =
+  let taken = List.map fst existing in
+  let rec go i =
+    let cand = Namegen.field_name t.g_names i in
+    if List.mem cand taken then go (i + 1) else cand
+  in
+  go (Prng.int t.g_prng 36)
+
+let rec mutate_members t members =
+  let p = t.g_prng in
+  let fields = ref members in
+  let changed = ref false in
+  if Prng.bool p Calibration.p_field_add then begin
+    changed := true;
+    let f = (fresh_field_name t !fields, sample_type t) in
+    fields := insert_at (Prng.int p (List.length !fields + 1)) f !fields
+  end;
+  if List.length !fields > 1 && Prng.bool p Calibration.p_field_remove then begin
+    changed := true;
+    fields := remove_at (Prng.int p (List.length !fields)) !fields
+  end;
+  if !fields <> [] && Prng.bool p Calibration.p_field_type then begin
+    changed := true;
+    let i = Prng.int p (List.length !fields) in
+    fields :=
+      List.mapi (fun j (n, ty) -> if j = i then (n, change_type t ty) else (n, ty)) !fields
+  end;
+  if not !changed then fields := (fresh_field_name t !fields, sample_type t) :: !fields;
+  if !fields = members then mutate_members t members else !fields
+
+let mutate_tracepoint t tp =
+  let p = t.g_prng in
+  let ev = Prng.bool p Calibration.p_tp_event in
+  let fu = Prng.bool p Calibration.p_tp_func in
+  let ev = ev || not fu in
+  let tp = if ev then { tp with tp_fields = mutate_members t tp.tp_fields } else tp in
+  if fu then
+    let proto = Ctype.{ ret = void; params = tp.tp_params; variadic = false } in
+    { tp with tp_params = (mutate_proto t proto).Ctype.params }
+  else tp

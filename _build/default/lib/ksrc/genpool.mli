@@ -1,0 +1,57 @@
+(** Random construct generation and mutation, shared by the genesis
+    builder and the evolution engine. All randomness flows through the
+    context's PRNG streams, so a seed fully determines the kernel
+    history. *)
+
+open Ds_ctypes
+
+type ctx
+
+val create : seed:int64 -> Calibration.scale -> ctx
+val prng : ctx -> Ds_util.Prng.t
+val names : ctx -> Namegen.t
+val scale : ctx -> Calibration.scale
+
+val note_struct : ctx -> string -> unit
+(** Make a struct name available as a pointer target for generated types. *)
+
+val mark_hot_func : ctx -> string -> unit
+val mark_hot_struct : ctx -> string -> unit
+val mark_hot_tp : ctx -> string -> unit
+val hot_func : ctx -> string -> bool
+val hot_struct : ctx -> string -> bool
+val hot_tp : ctx -> string -> bool
+
+val sample_type : ctx -> Ctype.t
+(** A plausible kernel type: scalar, pointer-to-struct, string, ... *)
+
+val sample_gate : ctx -> Calibration.config_probs -> x86:bool -> Construct.gate
+(** For [x86:true], samples which other arches/flavors also carry the
+    construct; for [x86:false], assigns it to exactly one arch-only or
+    flavor-only slot chosen by the calibrated weights. *)
+
+val sample_variants : ctx -> Calibration.config_probs -> Config.arch list * Config.flavor list
+val only_weight : Calibration.config_probs -> float
+(** Sum of arch-only and flavor-only fractions: how many non-x86 constructs
+    to create per x86 construct. *)
+
+val gen_func :
+  ctx -> x86:bool -> ?forced_name:string -> ?forced_static:bool -> unit -> Construct.func_def
+(** [forced_name] bypasses the uniqueness pool (used to plant name
+    collisions); [forced_static] pins staticness (static-global vs
+    static-static collisions). *)
+
+val gen_struct : ctx -> x86:bool -> Construct.struct_src
+val gen_tracepoint : ctx -> x86:bool -> Construct.tracepoint_def
+val gen_syscalls : ctx -> Construct.syscall_def list
+(** The full syscall population (genesis only): x86-native calls plus
+    arch-only ones, with real legacy names ([open], [fork], ...) among the
+    calls absent from newer architectures. *)
+
+val mutate_proto : ctx -> Ctype.proto -> Ctype.proto
+(** Apply ≥1 signature change sampled from the Table 4 distribution. *)
+
+val mutate_members : ctx -> (string * Ctype.t) list -> (string * Ctype.t) list
+(** Apply ≥1 field change (add/remove/retype). *)
+
+val mutate_tracepoint : ctx -> Construct.tracepoint_def -> Construct.tracepoint_def

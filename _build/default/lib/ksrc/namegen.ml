@@ -1,0 +1,142 @@
+open Ds_util
+
+type t = { prng : Prng.t; used : (string, unit) Hashtbl.t; counter : int ref }
+
+let create prng = { prng; used = Hashtbl.create 4096; counter = ref 0 }
+let reserve t name = Hashtbl.replace t.used name ()
+
+let subsystems =
+  [|
+    "vfs"; "blk"; "mm"; "tcp"; "udp"; "sched"; "ext4"; "xfs"; "btrfs"; "nfs";
+    "net"; "dev"; "usb"; "pci"; "snd"; "kvm"; "irq"; "acpi"; "nvme"; "scsi";
+    "cgroup"; "bpf"; "ftrace"; "rcu"; "sock"; "inet"; "ipv6"; "nf"; "xdp"; "io_uring";
+  |]
+
+let dir_of_subsys = function
+  | "vfs" | "ext4" | "xfs" | "btrfs" | "nfs" | "io_uring" -> "fs"
+  | "blk" | "nvme" -> "block"
+  | "mm" -> "mm"
+  | "tcp" | "udp" | "net" | "sock" | "inet" | "ipv6" | "nf" | "xdp" -> "net"
+  | "sched" | "irq" | "rcu" | "bpf" | "ftrace" | "cgroup" -> "kernel"
+  | "dev" | "usb" | "pci" | "snd" | "scsi" | "acpi" -> "drivers"
+  | "kvm" -> "virt"
+  | _ -> "lib"
+
+let verbs =
+  [|
+    "alloc"; "free"; "init"; "exit"; "read"; "write"; "submit"; "queue"; "account";
+    "lookup"; "insert"; "remove"; "start"; "done"; "update"; "get"; "put"; "set";
+    "find"; "register"; "unregister"; "probe"; "handle"; "process"; "flush"; "sync";
+    "map"; "unmap"; "attach"; "detach"; "open"; "release"; "prepare"; "commit";
+    "charge"; "walk"; "scan"; "wait"; "wake"; "poll"; "send"; "recv"; "parse";
+  |]
+
+let nouns =
+  [|
+    "page"; "folio"; "request"; "bio"; "inode"; "dentry"; "file"; "sb"; "buffer";
+    "entry"; "node"; "queue"; "list"; "tree"; "cache"; "pool"; "slab"; "skb";
+    "packet"; "frame"; "sock"; "conn"; "route"; "table"; "group"; "task"; "thread";
+    "timer"; "work"; "event"; "state"; "ctx"; "desc"; "region"; "zone"; "range";
+    "extent"; "block"; "segment"; "cluster"; "bitmap"; "lock"; "ref"; "stats";
+  |]
+
+let suffixes =
+  [| ""; ""; ""; ""; ""; "_locked"; "_nowait"; "_rcu"; "_fast"; "_slow"; "_one"; "_all"; "_atomic" |]
+
+let pick_subsystem t = Prng.pick t.prng subsystems
+
+let fresh t mk =
+  let rec go attempts =
+    let name = mk attempts in
+    if Hashtbl.mem t.used name then go (attempts + 1)
+    else begin
+      Hashtbl.replace t.used name ();
+      name
+    end
+  in
+  go 0
+
+let func_name t ~subsys =
+  fresh t (fun attempts ->
+      let verb = Prng.pick t.prng verbs in
+      let noun = Prng.pick t.prng nouns in
+      let suffix = Prng.pick t.prng suffixes in
+      let core = Printf.sprintf "%s_%s_%s%s" subsys verb noun suffix in
+      if attempts < 4 then core
+      else begin
+        incr t.counter;
+        Printf.sprintf "%s_%d" core !(t.counter)
+      end)
+
+let struct_name t ~subsys =
+  fresh t (fun attempts ->
+      let noun = Prng.pick t.prng nouns in
+      let core = Printf.sprintf "%s_%s" subsys noun in
+      if attempts < 4 then core
+      else begin
+        incr t.counter;
+        Printf.sprintf "%s_%d" core !(t.counter)
+      end)
+
+let tracepoint_name t ~subsys =
+  let event =
+    fresh t (fun attempts ->
+        let noun = Prng.pick t.prng nouns in
+        let verb = Prng.pick t.prng verbs in
+        let core = Printf.sprintf "%s_%s_%s" subsys noun verb in
+        if attempts < 4 then core
+        else begin
+          incr t.counter;
+          Printf.sprintf "%s_%d" core !(t.counter)
+        end)
+  in
+  (* Most events define their own class; a "class" groups similar events
+     in the real kernel, but unique classes keep struct names 1:1. *)
+  (event, event)
+
+let syscall_name t =
+  fresh t (fun attempts ->
+      let verb = Prng.pick t.prng verbs in
+      let noun = Prng.pick t.prng nouns in
+      let core = Printf.sprintf "%s_%s" verb noun in
+      if attempts < 4 then core
+      else begin
+        incr t.counter;
+        Printf.sprintf "%s%d" core !(t.counter)
+      end)
+
+let field_pool =
+  [|
+    "flags"; "count"; "size"; "len"; "offset"; "start"; "end"; "time"; "nr";
+    "id"; "mode"; "type"; "refcnt"; "owner"; "parent"; "next"; "prev"; "data";
+    "priv"; "ops"; "lock"; "wait"; "bytes"; "sector"; "pid"; "uid"; "gid";
+    "ino"; "dev"; "error"; "ret"; "order"; "mask"; "prio"; "weight"; "ticks";
+  |]
+
+let field_name _t i =
+  let base = field_pool.(i mod Array.length field_pool) in
+  if i < Array.length field_pool then base
+  else Printf.sprintf "%s%d" base (i / Array.length field_pool)
+
+let param_pool = [| "p"; "q"; "arg"; "val"; "n"; "flags"; "ptr"; "idx"; "mask"; "data" |]
+let param_name i =
+  if i < Array.length param_pool then param_pool.(i)
+  else Printf.sprintf "arg%d" i
+
+let file_stems = [| "core"; "main"; "util"; "ops"; "io"; "table"; "ctl"; "sysfs" |]
+
+let c_file t ~subsys =
+  let stem = Prng.pick t.prng file_stems in
+  Printf.sprintf "%s/%s-%s.c" (dir_of_subsys subsys) subsys stem
+
+let header_file ~subsys = Printf.sprintf "include/linux/%s.h" subsys
+
+let includer_pool t ~subsys ~n =
+  let rec go acc k guard =
+    if k = 0 || guard = 0 then acc
+    else
+      let s = if Prng.bool t.prng 0.5 then subsys else pick_subsystem t in
+      let f = c_file t ~subsys:s in
+      if List.mem f acc then go acc k (guard - 1) else go (f :: acc) (k - 1) (guard - 1)
+  in
+  go [] n (n * 20)

@@ -1,0 +1,41 @@
+(** Kernel-flavoured identifier generation.
+
+    Names are built from subsystem prefixes and verb/noun pools
+    (["blk_mq_insert_request"], ["ext4_find_entry_locked"], ...) and
+    deduplicated through a context that remembers every name ever issued,
+    so a removed function's name is never recycled in a later version
+    (which would corrupt add/remove accounting). *)
+
+type t
+
+val create : Ds_util.Prng.t -> t
+
+val reserve : t -> string -> unit
+(** Mark a hand-picked (catalog) name as taken. *)
+
+val subsystems : string array
+(** Subsystem keys, e.g. "blk", "vfs", "tcp". *)
+
+val pick_subsystem : t -> string
+
+val func_name : t -> subsys:string -> string
+val struct_name : t -> subsys:string -> string
+val tracepoint_name : t -> subsys:string -> string * string
+(** (event name, class name): the class is shared-looking but unique. *)
+
+val syscall_name : t -> string
+val field_name : t -> int -> string
+(** A field name for position [i] (deterministic pool + index). *)
+
+val param_name : int -> string
+
+val c_file : t -> subsys:string -> string
+(** A translation unit for the subsystem, e.g. ["block/blk-mq.c"]; draws
+    from a small per-subsystem pool so functions share files. *)
+
+val header_file : subsys:string -> string
+(** The subsystem's header, e.g. ["include/linux/blk.h"]. *)
+
+val includer_pool : t -> subsys:string -> n:int -> string list
+(** [n] distinct .c files (possibly from other subsystems) that include a
+    header. *)

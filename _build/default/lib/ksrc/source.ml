@@ -1,0 +1,147 @@
+open Construct
+module Smap = Map.Make (String)
+
+type t = {
+  version : Version.t;
+  funcs : func_def Smap.t;  (* by fn_id *)
+  by_name : int Smap.t;  (* name -> number of definitions *)
+  structs : struct_src Smap.t;
+  tracepoints : tracepoint_def Smap.t;
+  syscalls : syscall_def Smap.t;
+}
+
+let empty version =
+  {
+    version;
+    funcs = Smap.empty;
+    by_name = Smap.empty;
+    structs = Smap.empty;
+    tracepoints = Smap.empty;
+    syscalls = Smap.empty;
+  }
+
+let version t = t.version
+let with_version t version = { t with version }
+let funcs t = List.map snd (Smap.bindings t.funcs)
+let structs t = List.map snd (Smap.bindings t.structs)
+let tracepoints t = List.map snd (Smap.bindings t.tracepoints)
+let syscalls t = List.map snd (Smap.bindings t.syscalls)
+
+let counts t =
+  (Smap.cardinal t.funcs, Smap.cardinal t.structs, Smap.cardinal t.tracepoints,
+   Smap.cardinal t.syscalls)
+
+let bump name delta m =
+  let n = Option.value ~default:0 (Smap.find_opt name m) + delta in
+  if n <= 0 then Smap.remove name m else Smap.add name n m
+
+let add_func t f =
+  let id = fn_id f in
+  if Smap.mem id t.funcs then invalid_arg ("Source.add_func: duplicate id " ^ id);
+  { t with funcs = Smap.add id f t.funcs; by_name = bump f.fn_name 1 t.by_name }
+
+let remove_func t ~id =
+  match Smap.find_opt id t.funcs with
+  | None -> t
+  | Some gone ->
+      { t with funcs = Smap.remove id t.funcs; by_name = bump gone.fn_name (-1) t.by_name }
+
+let replace_func t f =
+  let id = fn_id f in
+  if not (Smap.mem id t.funcs) then invalid_arg ("Source.replace_func: no such id " ^ id);
+  { t with funcs = Smap.add id f t.funcs }
+
+let find_func t ~id = Smap.find_opt id t.funcs
+
+let funcs_named t name =
+  Smap.fold (fun _ f acc -> if f.fn_name = name then f :: acc else acc) t.funcs []
+
+let has_func_name t name = Smap.mem name t.by_name
+
+let prune_dangling_callers t =
+  let funcs =
+    Smap.map
+      (fun f ->
+        let live = List.filter (fun c -> Smap.mem c.cl_func t.by_name) f.fn_callers in
+        if List.length live = List.length f.fn_callers then f
+        else { f with fn_callers = live })
+      t.funcs
+  in
+  { t with funcs }
+
+let add_struct t s =
+  if Smap.mem s.st_name t.structs then
+    invalid_arg ("Source.add_struct: duplicate " ^ s.st_name);
+  { t with structs = Smap.add s.st_name s t.structs }
+
+let remove_struct t name = { t with structs = Smap.remove name t.structs }
+let replace_struct t s = { t with structs = Smap.add s.st_name s t.structs }
+let find_struct t name = Smap.find_opt name t.structs
+
+let add_tracepoint t tp =
+  if Smap.mem tp.tp_name t.tracepoints then
+    invalid_arg ("Source.add_tracepoint: duplicate " ^ tp.tp_name);
+  { t with tracepoints = Smap.add tp.tp_name tp t.tracepoints }
+
+let remove_tracepoint t name = { t with tracepoints = Smap.remove name t.tracepoints }
+let replace_tracepoint t tp = { t with tracepoints = Smap.add tp.tp_name tp t.tracepoints }
+let find_tracepoint t name = Smap.find_opt name t.tracepoints
+
+let add_syscall t s =
+  if Smap.mem s.sc_name t.syscalls then
+    invalid_arg ("Source.add_syscall: duplicate " ^ s.sc_name);
+  { t with syscalls = Smap.add s.sc_name s t.syscalls }
+
+let find_syscall t name = Smap.find_opt name t.syscalls
+
+let filter_list pred xs = List.filter pred xs
+
+let funcs_in t cfg = filter_list (fun f -> gate_admits f.fn_gate cfg) (funcs t)
+let structs_in t cfg = filter_list (fun s -> gate_admits s.st_gate cfg) (structs t)
+let tracepoints_in t cfg = filter_list (fun x -> gate_admits x.tp_gate cfg) (tracepoints t)
+let syscalls_in t cfg = filter_list (fun s -> gate_admits s.sc_gate cfg) (syscalls t)
+
+let check_invariants t =
+  let bad_edge =
+    Smap.fold
+      (fun _ f acc ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+            List.find_map
+              (fun c ->
+                if Smap.mem c.cl_func t.by_name then None
+                else Some (fn_id f ^ " has dangling caller " ^ c.cl_func))
+              f.fn_callers)
+      t.funcs None
+  in
+  match bad_edge with
+  | Some msg -> Error msg
+  | None -> (
+      let bad_header =
+        Smap.fold
+          (fun _ f acc ->
+            match acc with
+            | Some _ -> acc
+            | None ->
+                if fn_is_header f && f.fn_includers = [] then
+                  Some (fn_id f ^ " is header-defined but has no includers")
+                else if (not (fn_is_header f)) && f.fn_includers <> [] then
+                  Some (fn_id f ^ " has includers but is not header-defined")
+                else None)
+          t.funcs None
+      in
+      match bad_header with
+      | Some msg -> Error msg
+      | None ->
+          let bad_id =
+            Smap.fold
+              (fun id f acc ->
+                match acc with
+                | Some _ -> acc
+                | None -> if id = fn_id f then None else Some ("key/id mismatch " ^ id))
+              t.funcs None
+          in
+          (match bad_id with
+          | Some msg -> Error msg
+          | None -> Ok [ "edges"; "headers"; "ids" ]))

@@ -1,0 +1,58 @@
+(** One kernel version's source tree: every construct, indexed for the
+    evolution engine and the compiler.
+
+    Functions are keyed by {!Construct.fn_id} (name[@]file) because name
+    collisions are real constructs of the study; structs, tracepoints and
+    system calls are keyed by name. All listing functions return
+    key-sorted lists, so iteration order is deterministic. *)
+
+type t
+
+val empty : Version.t -> t
+val version : t -> Version.t
+val with_version : t -> Version.t -> t
+
+val funcs : t -> Construct.func_def list
+val structs : t -> Construct.struct_src list
+val tracepoints : t -> Construct.tracepoint_def list
+val syscalls : t -> Construct.syscall_def list
+
+val counts : t -> int * int * int * int
+(** (functions, structs, tracepoints, syscalls). *)
+
+val add_func : t -> Construct.func_def -> t
+(** Raises [Invalid_argument] on duplicate id. *)
+
+val remove_func : t -> id:string -> t
+val replace_func : t -> Construct.func_def -> t
+val find_func : t -> id:string -> Construct.func_def option
+val funcs_named : t -> string -> Construct.func_def list
+val has_func_name : t -> string -> bool
+
+val prune_dangling_callers : t -> t
+(** Drop call edges whose calling function no longer exists; run once per
+    evolution step rather than per removal. *)
+
+val add_struct : t -> Construct.struct_src -> t
+val remove_struct : t -> string -> t
+val replace_struct : t -> Construct.struct_src -> t
+val find_struct : t -> string -> Construct.struct_src option
+
+val add_tracepoint : t -> Construct.tracepoint_def -> t
+val remove_tracepoint : t -> string -> t
+val replace_tracepoint : t -> Construct.tracepoint_def -> t
+val find_tracepoint : t -> string -> Construct.tracepoint_def option
+
+val add_syscall : t -> Construct.syscall_def -> t
+val find_syscall : t -> string -> Construct.syscall_def option
+
+val funcs_in : t -> Config.t -> Construct.func_def list
+val structs_in : t -> Config.t -> Construct.struct_src list
+val tracepoints_in : t -> Config.t -> Construct.tracepoint_def list
+val syscalls_in : t -> Config.t -> Construct.syscall_def list
+(** Constructs admitted by the configuration's gates. *)
+
+val check_invariants : t -> (string list, string) result
+(** Sanity checks used by tests: call edges reference existing function
+    names, header functions have includers, ids are well-formed. Returns
+    the list of checked categories, or an error message. *)

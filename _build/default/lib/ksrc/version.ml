@@ -1,0 +1,57 @@
+type t = { major : int; minor : int }
+
+let v major minor = { major; minor }
+let to_string t = Printf.sprintf "v%d.%d" t.major t.minor
+let compare a b = Stdlib.compare (a.major, a.minor) (b.major, b.minor)
+let equal a b = compare a b = 0
+
+let all =
+  [
+    v 4 4; v 4 8; v 4 10; v 4 13; v 4 15; v 4 18; v 5 0; v 5 3; v 5 4;
+    v 5 8; v 5 11; v 5 13; v 5 15; v 5 19; v 6 2; v 6 5; v 6 8;
+  ]
+
+let lts = [ v 4 4; v 4 15; v 5 4; v 5 15; v 6 8 ]
+let is_lts t = List.exists (equal t) lts
+
+let pairs versions =
+  let rec go = function a :: (b :: _ as rest) -> (a, b) :: go rest | _ -> [] in
+  go versions
+
+let index t =
+  let rec go i = function
+    | [] -> raise Not_found
+    | x :: rest -> if equal x t then i else go (i + 1) rest
+  in
+  go 0 all
+
+(* Compiler used by Ubuntu for each kernel: 17 kernels, 14 distinct GCC
+   versions (4.18 and 5.0 share GCC 8.2; 5.3/5.4 share 9.2; 6.5/6.8 share
+   13.2). *)
+let gcc_table =
+  [
+    (v 4 4, (5, 4)); (v 4 8, (6, 2)); (v 4 10, (6, 3)); (v 4 13, (7, 2));
+    (v 4 15, (7, 5)); (v 4 18, (8, 2)); (v 5 0, (8, 2)); (v 5 3, (9, 2));
+    (v 5 4, (9, 2)); (v 5 8, (10, 2)); (v 5 11, (10, 3)); (v 5 13, (11, 1));
+    (v 5 15, (11, 4)); (v 5 19, (12, 1)); (v 6 2, (12, 3)); (v 6 5, (13, 2));
+    (v 6 8, (13, 2));
+  ]
+
+let gcc_of t =
+  match List.find_opt (fun (x, _) -> equal x t) gcc_table with
+  | Some (_, g) -> g
+  | None -> raise Not_found
+
+let ubuntu_table =
+  [
+    (v 4 4, "16.04"); (v 4 8, "16.10"); (v 4 10, "17.04"); (v 4 13, "17.10");
+    (v 4 15, "18.04"); (v 4 18, "18.10"); (v 5 0, "19.04"); (v 5 3, "19.10");
+    (v 5 4, "20.04"); (v 5 8, "20.10"); (v 5 11, "21.04"); (v 5 13, "21.10");
+    (v 5 15, "22.04"); (v 5 19, "22.10"); (v 6 2, "23.04"); (v 6 5, "23.10");
+    (v 6 8, "24.04");
+  ]
+
+let ubuntu_of t =
+  match List.find_opt (fun (x, _) -> equal x t) ubuntu_table with
+  | Some (_, u) -> u
+  | None -> raise Not_found

@@ -1,0 +1,33 @@
+(** The kernel version matrix of the study: 17 Ubuntu kernel versions from
+    v4.4 (Ubuntu 16.04) to v6.8 (Ubuntu 24.04), and the GCC version each
+    was built with. *)
+
+type t = { major : int; minor : int }
+
+val v : int -> int -> t
+val to_string : t -> string
+(** e.g. ["v5.4"]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val all : t list
+(** All 17 versions in release order. *)
+
+val lts : t list
+(** The five LTS versions: 4.4, 4.15, 5.4, 5.15, 6.8. *)
+
+val is_lts : t -> bool
+
+val pairs : t list -> (t * t) list
+(** Consecutive pairs of a version list. *)
+
+val index : t -> int
+(** Position in {!all}; raises [Not_found] for unknown versions. *)
+
+val gcc_of : t -> int * int
+(** GCC version used to build that kernel (e.g. v5.4 → (9, 4)). The 17
+    kernels map onto 14 distinct compiler versions, as in the paper. *)
+
+val ubuntu_of : t -> string
+(** The Ubuntu release shipping this kernel (e.g. v5.4 → "20.04"). *)

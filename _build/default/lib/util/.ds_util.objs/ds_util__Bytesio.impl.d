@@ -1,0 +1,1 @@
+lib/util/bytesio.ml: Buffer Char Int32 Int64 Printf String

@@ -1,0 +1,1 @@
+lib/util/json.ml: Buffer Char List Printf String

@@ -1,0 +1,1 @@
+lib/util/texttable.ml: Array Buffer Float List Printf String

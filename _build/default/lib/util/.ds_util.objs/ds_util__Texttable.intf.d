@@ -1,0 +1,1 @@
+lib/util/texttable.mli:

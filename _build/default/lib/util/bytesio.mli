@@ -1,0 +1,72 @@
+(** Binary readers and writers with explicit endianness.
+
+    All on-disk artifacts in this project (ELF images, DWARF sections, BTF
+    blobs, eBPF object files) are produced by {!Writer} and re-parsed by
+    {!Reader}; both support little- and big-endian byte order and 4- or
+    8-byte pointers so that the ppc (big-endian in our model) and arm32
+    images exercise the same architecture-specific handling the paper's
+    data-section parser needed. *)
+
+type endian = Little | Big
+
+exception Truncated of string
+(** Raised by {!Reader} on reads past the end of the buffer. *)
+
+module Writer : sig
+  type t
+
+  val create : ?endian:endian -> unit -> t
+  val endian : t -> endian
+  val pos : t -> int
+
+  val u8 : t -> int -> unit
+  val u16 : t -> int -> unit
+  val u32 : t -> int -> unit
+  val u64 : t -> int64 -> unit
+  val uint : t -> int -> unit
+  (** [uint w v] writes [v] (assumed non-negative, < 2^63) as a u64. *)
+
+  val uleb128 : t -> int -> unit
+  val sleb128 : t -> int -> unit
+  val bytes : t -> string -> unit
+  val cstring : t -> string -> unit
+  (** NUL-terminated string. The string itself must not contain NUL. *)
+
+  val align : t -> int -> unit
+  (** Pad with zero bytes to the given alignment. *)
+
+  val contents : t -> string
+end
+
+module Reader : sig
+  type t
+
+  val of_string : ?endian:endian -> string -> t
+  val sub : t -> pos:int -> len:int -> t
+  (** A sub-reader over [len] bytes starting at absolute [pos]; inherits
+      endianness. *)
+
+  val endian : t -> endian
+  val pos : t -> int
+  val length : t -> int
+  val eof : t -> bool
+  val seek : t -> int -> unit
+
+  val u8 : t -> int
+  val u16 : t -> int
+  val u32 : t -> int
+  val u64 : t -> int64
+  val uint : t -> int
+  (** Reads a u64 and converts to [int]; raises [Truncated] if it does not
+      fit in an OCaml int. *)
+
+  val uleb128 : t -> int
+  val sleb128 : t -> int
+  val bytes : t -> int -> string
+  val cstring : t -> string
+  (** Reads up to (and consumes) the next NUL byte. *)
+
+  val cstring_at : t -> int -> string
+  (** [cstring_at r pos] reads a NUL-terminated string at absolute [pos]
+      without moving the cursor. Used for string-table lookups. *)
+end

@@ -1,0 +1,219 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_string ?(indent = 2) t =
+  let buf = Buffer.create 256 in
+  let pad depth = String.make (depth * indent) ' ' in
+  let rec go depth = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (Printf.sprintf "%g" f)
+    | String s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape s);
+        Buffer.add_char buf '"'
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+        Buffer.add_string buf "[\n";
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            Buffer.add_string buf (pad (depth + 1));
+            go (depth + 1) item)
+          items;
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (pad depth);
+        Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+        Buffer.add_string buf "{\n";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            Buffer.add_string buf (pad (depth + 1));
+            Buffer.add_char buf '"';
+            Buffer.add_string buf (escape k);
+            Buffer.add_string buf "\": ";
+            go (depth + 1) v)
+          fields;
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (pad depth);
+        Buffer.add_char buf '}'
+  in
+  go 0 t;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+
+type parser_state = { src : string; mutable pos : int }
+
+let fail msg = raise (Parse_error msg)
+let peek p = if p.pos < String.length p.src then Some p.src.[p.pos] else None
+let advance p = p.pos <- p.pos + 1
+
+let rec skip_ws p =
+  match peek p with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance p;
+      skip_ws p
+  | _ -> ()
+
+let expect p c =
+  match peek p with
+  | Some c' when c' = c -> advance p
+  | Some c' -> fail (Printf.sprintf "expected %c at %d, got %c" c p.pos c')
+  | None -> fail (Printf.sprintf "expected %c at %d, got EOF" c p.pos)
+
+let literal p word value =
+  let n = String.length word in
+  if p.pos + n <= String.length p.src && String.sub p.src p.pos n = word then begin
+    p.pos <- p.pos + n;
+    value
+  end
+  else fail (Printf.sprintf "bad literal at %d" p.pos)
+
+let parse_string_body p =
+  expect p '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek p with
+    | None -> fail "unterminated string"
+    | Some '"' -> advance p
+    | Some '\\' -> (
+        advance p;
+        match peek p with
+        | Some 'n' -> advance p; Buffer.add_char buf '\n'; go ()
+        | Some 't' -> advance p; Buffer.add_char buf '\t'; go ()
+        | Some 'r' -> advance p; Buffer.add_char buf '\r'; go ()
+        | Some '"' -> advance p; Buffer.add_char buf '"'; go ()
+        | Some '\\' -> advance p; Buffer.add_char buf '\\'; go ()
+        | Some '/' -> advance p; Buffer.add_char buf '/'; go ()
+        | Some 'u' ->
+            advance p;
+            if p.pos + 4 > String.length p.src then fail "bad \\u escape";
+            let hex = String.sub p.src p.pos 4 in
+            p.pos <- p.pos + 4;
+            let code = int_of_string ("0x" ^ hex) in
+            (* BMP only; enough for our own output *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else Buffer.add_string buf (Printf.sprintf "\\u%04x" code);
+            go ()
+        | _ -> fail "bad escape")
+    | Some c ->
+        advance p;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number p =
+  let start = p.pos in
+  let is_num_char c =
+    (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+  in
+  while (match peek p with Some c when is_num_char c -> true | _ -> false) do
+    advance p
+  done;
+  let s = String.sub p.src start (p.pos - start) in
+  if String.contains s '.' || String.contains s 'e' || String.contains s 'E' then
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> fail ("bad number " ^ s)
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> fail ("bad number " ^ s)
+
+let rec parse_value p =
+  skip_ws p;
+  match peek p with
+  | None -> fail "unexpected EOF"
+  | Some '{' ->
+      advance p;
+      skip_ws p;
+      if peek p = Some '}' then begin
+        advance p;
+        Obj []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws p;
+          let k = parse_string_body p in
+          skip_ws p;
+          expect p ':';
+          let v = parse_value p in
+          skip_ws p;
+          match peek p with
+          | Some ',' ->
+              advance p;
+              fields ((k, v) :: acc)
+          | Some '}' ->
+              advance p;
+              List.rev ((k, v) :: acc)
+          | _ -> fail "expected , or } in object"
+        in
+        Obj (fields [])
+      end
+  | Some '[' ->
+      advance p;
+      skip_ws p;
+      if peek p = Some ']' then begin
+        advance p;
+        List []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value p in
+          skip_ws p;
+          match peek p with
+          | Some ',' ->
+              advance p;
+              items (v :: acc)
+          | Some ']' ->
+              advance p;
+              List.rev (v :: acc)
+          | _ -> fail "expected , or ] in array"
+        in
+        List (items [])
+      end
+  | Some '"' -> String (parse_string_body p)
+  | Some 't' -> literal p "true" (Bool true)
+  | Some 'f' -> literal p "false" (Bool false)
+  | Some 'n' -> literal p "null" Null
+  | Some _ -> parse_number p
+
+let of_string s =
+  let p = { src = s; pos = 0 } in
+  let v = parse_value p in
+  skip_ws p;
+  if p.pos <> String.length s then fail "trailing garbage";
+  v
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+let to_int = function Int i -> i | _ -> fail "expected int"
+let to_str = function String s -> s | _ -> fail "expected string"

@@ -1,0 +1,27 @@
+(** A small JSON library (values, printer, parser) for the dataset-export
+    format of the paper's artifact appendix. No external dependencies. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : ?indent:int -> t -> string
+(** Pretty-print; [indent] spaces per level (default 2). *)
+
+val of_string : string -> t
+(** Parse. Raises {!Parse_error} on malformed input. Numbers without [.],
+    [e] or [E] parse as [Int]. *)
+
+val member : string -> t -> t option
+(** Object field lookup. *)
+
+val to_int : t -> int
+val to_str : t -> string
+(** Raise [Parse_error] when the value has the wrong shape. *)

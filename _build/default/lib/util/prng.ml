@@ -1,0 +1,80 @@
+type t = { seed : int64; mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { seed; state = seed }
+
+let fnv1a s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    s;
+  !h
+
+let of_string label = create (fnv1a label)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+(* Children derive from the original seed, not the consumed state, so a
+   subsystem's stream is immune to how much its siblings have drawn. *)
+let split t label = create (mix64 (Int64.logxor t.seed (fnv1a label)))
+
+let int t bound =
+  assert (bound > 0);
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  r /. 9007199254740992.0 *. bound
+
+let bool t p = float t 1.0 < p
+let pick t arr = arr.(int t (Array.length arr))
+
+let pick_list t xs =
+  match xs with
+  | [] -> invalid_arg "Prng.pick_list: empty"
+  | _ -> List.nth xs (int t (List.length xs))
+
+(* Mark k distinct indices, then filter: preserves input order. *)
+let sample t k xs =
+  let n = List.length xs in
+  let k = min k n in
+  if k = n then xs
+  else begin
+    let chosen = Array.make n false in
+    let remaining = ref k in
+    while !remaining > 0 do
+      let i = int t n in
+      if not chosen.(i) then begin
+        chosen.(i) <- true;
+        decr remaining
+      end
+    done;
+    List.filteri (fun i _ -> chosen.(i)) xs
+  end
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let binomial t n p =
+  (* Exact counting is fine at our scales (n is at most a few thousand). *)
+  let count = ref 0 in
+  for _ = 1 to n do
+    if bool t p then incr count
+  done;
+  !count

@@ -1,0 +1,10 @@
+let percent part whole =
+  if whole = 0 then 0. else 100. *. float_of_int part /. float_of_int whole
+
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let ratio_scaled n rate =
+  let v = int_of_float (Float.round (float_of_int n *. rate)) in
+  if v < 0 then 0 else v

@@ -1,0 +1,12 @@
+(** Small numeric helpers shared by the diff summaries and the bench
+    harness. *)
+
+val percent : int -> int -> float
+(** [percent part whole] is [100 * part / whole], or [0.] when [whole = 0]. *)
+
+val mean : float list -> float
+(** Arithmetic mean; [0.] on the empty list. *)
+
+val ratio_scaled : int -> float -> int
+(** [ratio_scaled n rate] is [round (n * rate)], clamped to [>= 0]. Used to
+    turn calibrated rates into integer counts. *)

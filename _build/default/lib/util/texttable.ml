@@ -1,0 +1,75 @@
+type align = L | R
+
+type line = Row of string list | Sep
+
+type t = {
+  title : string option;
+  headers : (string * align) list;
+  mutable lines : line list; (* reversed *)
+}
+
+let create ?title headers = { title; headers; lines = [] }
+
+let row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Texttable.row: arity mismatch";
+  t.lines <- Row cells :: t.lines
+
+let sep t = t.lines <- Sep :: t.lines
+
+let render t =
+  let lines = List.rev t.lines in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let measure cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  measure (List.map fst t.headers);
+  List.iter (function Row cells -> measure cells | Sep -> ()) lines;
+  let buf = Buffer.create 1024 in
+  (match t.title with
+  | Some title ->
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  let pad align width s =
+    let fill = String.make (width - String.length s) ' ' in
+    match align with L -> s ^ fill | R -> fill ^ s
+  in
+  let emit_row cells =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf "  ";
+        let _, align = List.nth t.headers i in
+        Buffer.add_string buf (pad align widths.(i) c))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  let total_width = Array.fold_left ( + ) 0 widths + (2 * (ncols - 1)) in
+  let emit_sep () =
+    Buffer.add_string buf (String.make total_width '-');
+    Buffer.add_char buf '\n'
+  in
+  emit_row (List.map fst t.headers);
+  emit_sep ();
+  List.iter (function Row cells -> emit_row cells | Sep -> emit_sep ()) lines;
+  Buffer.contents buf
+
+let bar v ~max =
+  if max <= 0. || v <= 0. then ""
+  else begin
+    let cells = 8 in
+    let n = int_of_float (Float.round (v /. max *. float_of_int cells)) in
+    let n = if n < 1 then 1 else if n > cells then cells else n in
+    String.make n '#'
+  end
+
+let pct v =
+  if v = 0. then "-"
+  else if Float.abs v < 1. then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.0f" v
+
+let count n =
+  if n >= 10_000 then Printf.sprintf "%dk" (int_of_float (Float.round (float_of_int n /. 1000.)))
+  else if n >= 1_000 then Printf.sprintf "%.1fk" (float_of_int n /. 1000.)
+  else string_of_int n

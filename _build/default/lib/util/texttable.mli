@@ -1,0 +1,31 @@
+(** Aligned plain-text tables for the benchmark harness.
+
+    The bench binary regenerates every table of the paper as text; this
+    module handles column sizing, alignment and optional proportional bars
+    (the paper renders in-cell bars in Tables 3 and 5). *)
+
+type align = L | R
+
+type t
+
+val create : ?title:string -> (string * align) list -> t
+(** [create ~title headers] starts a table with the given column headers. *)
+
+val row : t -> string list -> unit
+(** Append a row; must have as many cells as there are headers. *)
+
+val sep : t -> unit
+(** Append a horizontal separator row. *)
+
+val render : t -> string
+
+val bar : float -> max:float -> string
+(** [bar v ~max] is a small proportional bar (up to 8 cells) used to mimic
+    the paper's in-table bars. Empty when [max <= 0.]. *)
+
+val pct : float -> string
+(** Format a percentage the way the paper does: ["0.3"] below 1, integers
+    above (["24"]), ["-"] for exact zero. *)
+
+val count : int -> string
+(** Format counts in the paper's compact style: 36k, 6.2k, 502. *)

@@ -1,0 +1,1 @@
+test/test_btf.ml: Alcotest Ctype Decl Ds_btf Ds_ctypes List Option Printf String

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Calibration Config Corpus Dataset Depset Depsurf Ds_bpf Ds_corpus Ds_ksrc Ds_util Lazy List Option Pools Printexc Printf Report String Table7 Testenv Version

@@ -1,0 +1,1 @@
+test/test_ctypes.ml: Alcotest Ctype Decl Ds_ctypes List Printf QCheck QCheck_alcotest

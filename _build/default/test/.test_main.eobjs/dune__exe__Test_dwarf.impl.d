@@ -1,0 +1,1 @@
+test/test_dwarf.ml: Alcotest Ctype Decl Die Ds_ctypes Ds_dwarf Info Int64 List Printf QCheck QCheck_alcotest

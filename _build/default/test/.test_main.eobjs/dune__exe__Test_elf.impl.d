@@ -1,0 +1,1 @@
+test/test_elf.ml: Alcotest Bytesio Ds_elf Ds_util Elf Int64 List Option QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_kcc.ml: Alcotest Compile Config Construct Ds_btf Ds_ctypes Ds_dwarf Ds_elf Ds_kcc Ds_ksrc Ds_util Elf Fun Hashtbl Int64 List Option Printf String Testenv Version

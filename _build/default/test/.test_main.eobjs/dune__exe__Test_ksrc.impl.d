@@ -1,0 +1,1 @@
+test/test_ksrc.ml: Alcotest Calibration Catalog Config Construct Ctype Ds_ctypes Ds_ksrc Ds_util Evolution Float Genpool Hashtbl Lazy List Namegen Option Printf Source Testenv Version

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_bpf Test_btf Test_corpus Test_ctypes Test_depsurf Test_dwarf Test_elf Test_ext Test_kcc Test_ksrc Test_util

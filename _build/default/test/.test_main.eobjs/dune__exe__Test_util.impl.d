@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Bytesio Ds_util Fun List Printf Prng QCheck QCheck_alcotest Stats String Texttable

@@ -1,0 +1,1 @@
+test/testenv.ml: Calibration Config Ds_elf Ds_kcc Ds_ksrc Evolution Hashtbl Lazy List Version

@@ -1,0 +1,189 @@
+open Ds_ctypes
+
+let tenv () =
+  let env = Decl.empty_env ~ptr_size:8 in
+  List.fold_left Decl.add_typedef env Decl.default_typedefs
+
+let test_to_string () =
+  Alcotest.(check string) "ptr" "struct file *" Ctype.(to_string (Ptr (Struct_ref "file")));
+  Alcotest.(check string) "const ptr" "const char *" Ctype.(to_string (Ptr (Const char_)));
+  Alcotest.(check string) "array" "int[4]" Ctype.(to_string (Array (int_, 4)));
+  let proto =
+    Ctype.
+      {
+        ret = int_;
+        params =
+          [
+            { pname = "file"; ptype = Ptr (Struct_ref "file") };
+            { pname = "datasync"; ptype = int_ };
+          ];
+        variadic = false;
+      }
+  in
+  Alcotest.(check string) "proto" "int vfs_fsync(struct file * file, int datasync)"
+    (Ctype.proto_to_string ~name:"vfs_fsync" proto)
+
+let test_equal () =
+  Alcotest.(check bool) "int = int" true Ctype.(equal int_ int_);
+  Alcotest.(check bool) "int <> uint" false Ctype.(equal int_ uint);
+  Alcotest.(check bool) "nested ptr" true Ctype.(equal (Ptr (Ptr Void)) (Ptr (Ptr Void)));
+  Alcotest.(check bool) "array len matters" false Ctype.(equal (Array (int_, 3)) (Array (int_, 4)))
+
+let test_compatible () =
+  Alcotest.(check bool) "same" true Ctype.(compatible int_ int_);
+  Alcotest.(check bool) "int/uint same width" true Ctype.(compatible int_ uint);
+  Alcotest.(check bool) "cputime->u64 not (typedef vs typedef widths)" true
+    Ctype.(compatible u64 ulong);
+  Alcotest.(check bool) "int vs long" false Ctype.(compatible int_ long);
+  Alcotest.(check bool) "const stripped" true Ctype.(compatible (Const int_) uint);
+  Alcotest.(check bool) "ptr vs int" false Ctype.(compatible (Ptr Void) int_)
+
+let test_strip_quals () =
+  Alcotest.(check bool) "strip" true
+    Ctype.(equal (strip_quals (Const (Volatile int_))) int_)
+
+let test_size_align () =
+  let env = tenv () in
+  Alcotest.(check int) "int" 4 (Decl.size_of env Ctype.int_);
+  Alcotest.(check int) "ptr" 8 (Decl.size_of env Ctype.void_ptr);
+  Alcotest.(check int) "u64 typedef" 8 (Decl.size_of env Ctype.u64);
+  Alcotest.(check int) "array" 16 (Decl.size_of env (Ctype.Array (Ctype.int_, 4)));
+  Alcotest.(check int) "align int" 4 (Decl.align_of env Ctype.int_);
+  Alcotest.(check int) "align char" 1 (Decl.align_of env Ctype.char_)
+
+let test_layout_struct () =
+  let env = tenv () in
+  let s =
+    Decl.layout_struct env ~name:"mix" ~kind:`Struct
+      [ ("c", Ctype.char_); ("x", Ctype.u64); ("y", Ctype.int_) ]
+  in
+  let offs = List.map (fun (f : Decl.field) -> f.bits_offset) s.fields in
+  Alcotest.(check (list int)) "offsets with padding" [ 0; 64; 128 ] offs;
+  Alcotest.(check int) "size rounds to align" 24 s.byte_size
+
+let test_layout_union () =
+  let env = tenv () in
+  let s =
+    Decl.layout_struct env ~name:"u" ~kind:`Union
+      [ ("a", Ctype.char_); ("b", Ctype.u64) ]
+  in
+  Alcotest.(check int) "size = max member" 8 s.byte_size;
+  List.iter
+    (fun (f : Decl.field) -> Alcotest.(check int) "all at 0" 0 f.bits_offset)
+    s.fields
+
+let test_layout_ptr32 () =
+  (* arm32: pointers are 4 bytes, so layouts differ between architectures,
+     which is what makes struct definitions config-dependent. *)
+  let env32 = List.fold_left Decl.add_typedef (Decl.empty_env ~ptr_size:4) Decl.default_typedefs in
+  let s =
+    Decl.layout_struct env32 ~name:"p" ~kind:`Struct
+      [ ("p", Ctype.void_ptr); ("q", Ctype.void_ptr) ]
+  in
+  Alcotest.(check int) "two 4-byte pointers" 8 s.byte_size
+
+let test_nested_struct_size () =
+  let env = tenv () in
+  let inner =
+    Decl.layout_struct env ~name:"inner" ~kind:`Struct
+      [ ("a", Ctype.int_); ("b", Ctype.int_) ]
+  in
+  let env = Decl.add_struct env inner in
+  let outer =
+    Decl.layout_struct env ~name:"outer" ~kind:`Struct
+      [ ("i", Ctype.Struct_ref "inner"); ("c", Ctype.char_) ]
+  in
+  Alcotest.(check int) "inner size" 8 inner.byte_size;
+  Alcotest.(check int) "outer size" 12 outer.byte_size
+
+let test_dangling_ref () =
+  let env = tenv () in
+  Alcotest.check_raises "dangling struct" Not_found (fun () ->
+      ignore (Decl.size_of env (Ctype.Struct_ref "no_such")))
+
+let test_env_lookup () =
+  let env = tenv () in
+  let s = Decl.layout_struct env ~name:"s" ~kind:`Struct [ ("x", Ctype.int_) ] in
+  let env = Decl.add_struct env s in
+  Alcotest.(check bool) "found" true (Decl.find_struct env "s" <> None);
+  Alcotest.(check bool) "absent" true (Decl.find_struct env "t" = None);
+  Alcotest.(check bool) "typedefs listed" true (List.length (Decl.typedefs env) > 10)
+
+let test_equal_struct () =
+  let env = tenv () in
+  let a = Decl.layout_struct env ~name:"s" ~kind:`Struct [ ("x", Ctype.int_) ] in
+  let b = Decl.layout_struct env ~name:"s" ~kind:`Struct [ ("x", Ctype.uint) ] in
+  Alcotest.(check bool) "same" true (Decl.equal_struct a a);
+  Alcotest.(check bool) "field type differs" false (Decl.equal_struct a b)
+
+(* Random type generator for property tests. *)
+let rec gen_ctype depth st =
+  let open QCheck.Gen in
+  if depth = 0 then
+    oneofl
+      Ctype.[ int_; uint; long; char_; u64; u32; Void; Struct_ref "task_struct" ]
+      st
+  else
+    frequency
+      [
+        (3, map (fun t -> Ctype.Ptr t) (gen_ctype (depth - 1)));
+        (1, map (fun t -> Ctype.Const t) (gen_ctype (depth - 1)));
+        (1, map2 (fun t n -> Ctype.Array (t, n)) (gen_ctype (depth - 1)) (int_range 1 8));
+        (3, gen_ctype 0);
+      ]
+      st
+
+let arb_ctype = QCheck.make (gen_ctype 3) ~print:Ctype.to_string
+
+let qcheck_equal_refl =
+  QCheck.Test.make ~name:"ctype equal reflexive" ~count:200 arb_ctype (fun t ->
+      Ctype.equal t t)
+
+let qcheck_compat_refl =
+  QCheck.Test.make ~name:"ctype compatible reflexive" ~count:200 arb_ctype (fun t ->
+      Ctype.compatible t t)
+
+let qcheck_layout_monotone =
+  QCheck.Test.make ~name:"struct layout offsets strictly increase" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 10) arb_ctype)
+    (fun types ->
+      let env = tenv () in
+      let env =
+        Decl.add_struct env
+          (Decl.layout_struct env ~name:"task_struct" ~kind:`Struct [ ("pid", Ctype.int_) ])
+      in
+      let members = List.mapi (fun i t -> (Printf.sprintf "f%d" i, t)) types in
+      let s = Decl.layout_struct env ~name:"r" ~kind:`Struct members in
+      let rec mono = function
+        | (a : Decl.field) :: (b : Decl.field) :: rest ->
+            a.bits_offset < b.bits_offset && mono (b :: rest)
+        | _ -> true
+      in
+      mono s.fields
+      && s.byte_size * 8
+         >= List.fold_left
+              (fun acc (f : Decl.field) ->
+                max acc (f.bits_offset + (8 * Decl.size_of env f.ftype)))
+              0 s.fields)
+
+let suites =
+  [
+    ( "ctypes",
+      [
+        Alcotest.test_case "to_string" `Quick test_to_string;
+        Alcotest.test_case "equal" `Quick test_equal;
+        Alcotest.test_case "compatible" `Quick test_compatible;
+        Alcotest.test_case "strip_quals" `Quick test_strip_quals;
+        Alcotest.test_case "size/align" `Quick test_size_align;
+        Alcotest.test_case "layout struct" `Quick test_layout_struct;
+        Alcotest.test_case "layout union" `Quick test_layout_union;
+        Alcotest.test_case "layout 32-bit" `Quick test_layout_ptr32;
+        Alcotest.test_case "nested struct size" `Quick test_nested_struct_size;
+        Alcotest.test_case "dangling ref" `Quick test_dangling_ref;
+        Alcotest.test_case "env lookup" `Quick test_env_lookup;
+        Alcotest.test_case "equal_struct" `Quick test_equal_struct;
+        QCheck_alcotest.to_alcotest qcheck_equal_refl;
+        QCheck_alcotest.to_alcotest qcheck_compat_refl;
+        QCheck_alcotest.to_alcotest qcheck_layout_monotone;
+      ] );
+  ]

@@ -1,0 +1,467 @@
+open Depsurf
+open Ds_ksrc
+open Ds_ctypes
+
+(* A shared dataset at test scale; surfaces are memoized inside. *)
+let ds = lazy (Dataset.build ~seed:Testenv.seed Calibration.test_scale)
+let surf ?(cfg = Config.x86_generic) v = Dataset.surface (Lazy.force ds) v cfg
+let v44 = Version.v 4 4
+let v54 = Version.v 5 4
+let v519 = Version.v 5 19
+
+(* ------------------------------------------------------------------ *)
+(* Surface extraction                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_surface_identity () =
+  let s = surf v54 in
+  Alcotest.(check string) "version" "v5.4" (Version.to_string s.Surface.s_version);
+  Alcotest.(check bool) "arch" true (s.Surface.s_arch = Config.X86);
+  Alcotest.(check bool) "gcc" true (s.Surface.s_gcc = (9, 2));
+  let f, st, tp, sc = Surface.counts s in
+  Alcotest.(check bool)
+    (Printf.sprintf "counts look sane (%d funcs %d structs %d tps %d syscalls)" f st tp sc)
+    true
+    (f > 100 && st > 50 && tp > 20 && sc > 20)
+
+let test_surface_func_entry () =
+  let s = surf v44 in
+  let fe = Option.get (Surface.find_func s "vfs_fsync") in
+  Alcotest.(check int) "one decl" 1 (List.length fe.Surface.fe_decls);
+  Alcotest.(check int) "one symbol" 1 (List.length fe.Surface.fe_symbols);
+  Alcotest.(check bool) "selective: inline sites recorded" true
+    (fe.Surface.fe_inline_sites <> []);
+  Alcotest.(check bool) "direct callers recorded" true (fe.Surface.fe_callers <> []);
+  let d = List.hd fe.Surface.fe_decls in
+  Alcotest.(check string) "decl file" "fs/sync.c" d.Surface.di_file;
+  Alcotest.(check bool) "external" true d.Surface.di_external;
+  Alcotest.(check int) "params" 2 (List.length d.Surface.di_proto.Ctype.params)
+
+let test_surface_structs_from_btf () =
+  let s = surf v44 in
+  let task = Option.get (Surface.find_struct s "task_struct") in
+  Alcotest.(check bool) "has pid" true
+    (List.exists (fun (f : Decl.field) -> f.fname = "pid") task.Decl.fields);
+  Alcotest.(check bool) "event structs excluded" true
+    (not
+       (List.exists
+          (fun (st : Decl.struct_def) ->
+            String.starts_with ~prefix:"trace_event_raw_" st.sname)
+          s.Surface.s_structs))
+
+let test_surface_tracepoints () =
+  let s = surf v44 in
+  let tp = Option.get (Surface.find_tracepoint s "sched_switch") in
+  Alcotest.(check bool) "event struct resolved" true (tp.Surface.te_event_struct <> None);
+  Alcotest.(check bool) "tracing func resolved" true (tp.Surface.te_func <> None);
+  (match tp.Surface.te_func with
+  | Some f ->
+      Alcotest.(check string) "func name" "trace_event_raw_event_sched_switch" f.Decl.fname;
+      (* __data plus the two task_struct pointers *)
+      Alcotest.(check int) "params" 3 (List.length f.Decl.proto.Ctype.params)
+  | None -> ());
+  Alcotest.(check bool) "tracing funcs not counted as surface functions" true
+    (Surface.find_func s "trace_event_raw_event_sched_switch" = None)
+
+let test_surface_syscalls () =
+  let x86 = surf v54 in
+  let arm64 = surf ~cfg:Config.{ arch = Arm64; flavor = Generic } v54 in
+  Alcotest.(check bool) "x86 open" true (Surface.has_syscall x86 "open");
+  Alcotest.(check bool) "arm64 lacks open" false (Surface.has_syscall arm64 "open");
+  Alcotest.(check bool) "x86 compat untraceable" false x86.Surface.s_compat_traceable;
+  let arm32 = surf ~cfg:Config.{ arch = Arm32; flavor = Generic } v54 in
+  Alcotest.(check bool) "arm32 traceable" true arm32.Surface.s_compat_traceable
+
+(* ------------------------------------------------------------------ *)
+(* Func status                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_inline_classification () =
+  let s44 = surf v44 and s519 = surf v519 in
+  let st name s =
+    Func_status.inline_status (Option.get (Surface.find_func s name))
+  in
+  Alcotest.(check bool) "vfs_fsync selective" true
+    (st "vfs_fsync" s44 = Func_status.Selectively_inlined);
+  Alcotest.(check bool) "blk_account_io_start not inlined at 4.4" true
+    (st "blk_account_io_start" s44 = Func_status.Not_inlined);
+  Alcotest.(check bool) "blk_account_io_start fully inlined at 5.19" true
+    (st "blk_account_io_start" s519 = Func_status.Fully_inlined)
+
+let test_name_classification () =
+  let s = surf v44 in
+  let st name = Func_status.name_status (Option.get (Surface.find_func s name)) in
+  Alcotest.(check bool) "vfs_fsync unique global" true (st "vfs_fsync" = Func_status.Unique_global);
+  Alcotest.(check bool) "destroy_inodecache static-static collision" true
+    (st "destroy_inodecache" = Func_status.Static_static_collision);
+  Alcotest.(check bool) "get_order duplication" true (st "get_order" = Func_status.Duplication)
+
+let test_censuses () =
+  let s = surf v54 in
+  let ic = Func_status.inline_census s in
+  let full_pct = Ds_util.Stats.percent ic.Func_status.ic_full ic.Func_status.ic_total in
+  let sel_pct = Ds_util.Stats.percent ic.Func_status.ic_selective ic.Func_status.ic_total in
+  Alcotest.(check bool)
+    (Printf.sprintf "full inline near paper's 32-36%% (got %.1f)" full_pct)
+    true
+    (full_pct > 20. && full_pct < 50.);
+  Alcotest.(check bool)
+    (Printf.sprintf "selective near paper's 9-11%% (got %.1f)" sel_pct)
+    true
+    (sel_pct > 4. && sel_pct < 20.);
+  let tc = Func_status.transform_census s in
+  Alcotest.(check bool) "some transformed" true (tc.Func_status.tc_any > 0);
+  let cc = Func_status.collision_census s in
+  Alcotest.(check bool) "statics dominate globals (Table 6)" true
+    (cc.Func_status.cc_unique_static > cc.Func_status.cc_unique_global);
+  Alcotest.(check bool) "collisions are rare" true
+    (cc.Func_status.cc_static_static < cc.Func_status.cc_unique_static / 10)
+
+let test_cold_only_on_gcc8 () =
+  (* GCC 7.5 built v4.15: no .cold symbols; GCC 8.2 built v4.18: some. *)
+  let tc415 = Func_status.transform_census (surf (Version.v 4 15)) in
+  let tc418 = Func_status.transform_census (surf (Version.v 4 18)) in
+  Alcotest.(check int) "no cold on gcc7" 0 tc415.Func_status.tc_cold;
+  Alcotest.(check bool) "cold appears with gcc8" true (tc418.Func_status.tc_cold > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Diff                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let mk_proto ret params =
+  Ctype.{ ret; params = List.map (fun (n, t) -> { pname = n; ptype = t }) params; variadic = false }
+
+let test_func_changes_kinds () =
+  let base = mk_proto Ctype.int_ [ ("a", Ctype.int_); ("b", Ctype.long) ] in
+  Alcotest.(check (list pass)) "no change" [] (Diff.func_changes base base);
+  let added = mk_proto Ctype.int_ [ ("a", Ctype.int_); ("b", Ctype.long); ("c", Ctype.uint) ] in
+  Alcotest.(check bool) "added" true (Diff.func_changes base added = [ Diff.Param_added "c" ]);
+  let removed = mk_proto Ctype.int_ [ ("a", Ctype.int_) ] in
+  Alcotest.(check bool) "removed" true (Diff.func_changes base removed = [ Diff.Param_removed "b" ]);
+  let front = mk_proto Ctype.int_ [ ("z", Ctype.uint); ("a", Ctype.int_); ("b", Ctype.long) ] in
+  let cs = Diff.func_changes base front in
+  Alcotest.(check bool) "front insert = added + reordered (vfs_create)" true
+    (List.mem (Diff.Param_added "z") cs && List.mem Diff.Param_reordered cs);
+  let retype = mk_proto Ctype.int_ [ ("a", Ctype.uint); ("b", Ctype.long) ] in
+  (match Diff.func_changes base retype with
+  | [ Diff.Param_type_changed ("a", _, _) ] -> ()
+  | _ -> Alcotest.fail "expected type change");
+  let ret = mk_proto Ctype.long [ ("a", Ctype.int_); ("b", Ctype.long) ] in
+  (match Diff.func_changes base ret with
+  | [ Diff.Return_type_changed _ ] -> ()
+  | _ -> Alcotest.fail "expected return change");
+  let swap = mk_proto Ctype.int_ [ ("b", Ctype.long); ("a", Ctype.int_) ] in
+  Alcotest.(check bool) "swap = reordered" true (List.mem Diff.Param_reordered (Diff.func_changes base swap))
+
+let test_change_is_silent () =
+  Alcotest.(check bool) "add silent" true (Diff.change_is_silent (Diff.Param_added "x"));
+  Alcotest.(check bool) "compatible retype silent" true
+    (Diff.change_is_silent (Diff.Param_type_changed ("x", Ctype.int_, Ctype.uint)));
+  Alcotest.(check bool) "incompatible retype loud" false
+    (Diff.change_is_silent (Diff.Param_type_changed ("x", Ctype.int_, Ctype.void_ptr)))
+
+let test_diff_self_empty () =
+  let s = surf v54 in
+  let d = Diff.compare_surfaces Diff.Across_versions s s in
+  Alcotest.(check (list string)) "no funcs added" [] d.Diff.df_funcs.Diff.d_added;
+  Alcotest.(check (list string)) "no funcs removed" [] d.Diff.df_funcs.Diff.d_removed;
+  Alcotest.(check int) "no funcs changed" 0 (List.length d.Diff.df_funcs.Diff.d_changed);
+  Alcotest.(check int) "no structs changed" 0 (List.length d.Diff.df_structs.Diff.d_changed);
+  Alcotest.(check int) "no tps changed" 0 (List.length d.Diff.df_tracepoints.Diff.d_changed)
+
+let test_diff_symmetry () =
+  let a = surf v44 and b = surf (Version.v 4 8) in
+  let ab = Diff.compare_surfaces Diff.Across_versions a b in
+  let ba = Diff.compare_surfaces Diff.Across_versions b a in
+  let sort = List.sort compare in
+  Alcotest.(check (list string)) "added(a,b) = removed(b,a)"
+    (sort ab.Diff.df_funcs.Diff.d_added)
+    (sort ba.Diff.df_funcs.Diff.d_removed);
+  Alcotest.(check (list string)) "removed(a,b) = added(b,a)"
+    (sort ab.Diff.df_funcs.Diff.d_removed)
+    (sort ba.Diff.df_funcs.Diff.d_added);
+  Alcotest.(check int) "changed counts agree"
+    (List.length ab.Diff.df_funcs.Diff.d_changed)
+    (List.length ba.Diff.df_funcs.Diff.d_changed)
+
+let test_diff_finds_scripted_changes () =
+  let d =
+    Diff.compare_surfaces Diff.Across_versions (surf (Version.v 5 4)) (surf (Version.v 5 8))
+  in
+  (match List.assoc_opt "blk_account_io_start" d.Diff.df_funcs.Diff.d_changed with
+  | Some cs ->
+      Alcotest.(check bool) "param removed detected" true
+        (List.mem (Diff.Param_removed "new_io") cs)
+  | None -> Alcotest.fail "blk_account_io_start change not detected");
+  let d1113 =
+    Diff.compare_surfaces Diff.Across_versions (surf (Version.v 5 8)) (surf (Version.v 5 11))
+  in
+  Alcotest.(check bool) "rename detected as remove+add" true
+    (List.mem "__do_page_cache_readahead" d1113.Diff.df_funcs.Diff.d_removed
+    && List.mem "do_page_cache_ra" d1113.Diff.df_funcs.Diff.d_added)
+
+let test_diff_tracepoint_change () =
+  let d =
+    Diff.compare_surfaces Diff.Across_versions (surf (Version.v 5 8)) (surf (Version.v 5 11))
+  in
+  match List.assoc_opt "block_rq_issue" d.Diff.df_tracepoints.Diff.d_changed with
+  | Some cs ->
+      Alcotest.(check bool) "a54895f: tracing func changed" true
+        (List.exists (function Diff.Tracing_func_changed _ -> true | _ -> false) cs)
+  | None -> Alcotest.fail "block_rq_issue change not detected"
+
+let test_diff_rates_plausible () =
+  (* the calibrated Table 3 shape: the 4.4 -> 4.8 release *)
+  let s = Diff.summary Diff.Across_versions (surf v44) (surf (Version.v 4 8)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "func add %.1f%%" s.Diff.sum_funcs.Diff.t_added_pct)
+    true
+    (s.Diff.sum_funcs.Diff.t_added_pct > 2. && s.Diff.sum_funcs.Diff.t_added_pct < 16.);
+  Alcotest.(check bool)
+    (Printf.sprintf "func rm %.1f%%" s.Diff.sum_funcs.Diff.t_removed_pct)
+    true
+    (s.Diff.sum_funcs.Diff.t_removed_pct > 0.5 && s.Diff.sum_funcs.Diff.t_removed_pct < 8.);
+  Alcotest.(check bool)
+    (Printf.sprintf "struct ch %.1f%%" s.Diff.sum_structs.Diff.t_changed_pct)
+    true
+    (s.Diff.sum_structs.Diff.t_changed_pct > 2. && s.Diff.sum_structs.Diff.t_changed_pct < 20.)
+
+let test_config_diff_normalizes_abi () =
+  (* arm32 halves pointers; across-configs comparison must not flag every
+     pointer-bearing struct as changed. *)
+  let x86 = surf v54 and arm32 = surf ~cfg:Config.{ arch = Arm32; flavor = Generic } v54 in
+  let d = Diff.compare_surfaces Diff.Across_configs x86 arm32 in
+  let _, st_x86, _, _ = Surface.counts x86 in
+  let changed = List.length d.Diff.df_structs.Diff.d_changed in
+  Alcotest.(check bool)
+    (Printf.sprintf "few structs changed across configs (%d of %d)" changed st_x86)
+    true
+    (Ds_util.Stats.percent changed st_x86 < 10.);
+  Alcotest.(check bool) "pt_regs differs across arches" true
+    (List.mem_assoc "pt_regs" d.Diff.df_structs.Diff.d_changed)
+
+let test_breakdown () =
+  let d = Diff.compare_surfaces Diff.Across_versions (surf v44) (surf (Version.v 4 15)) in
+  let fb, sb, tb = Diff.breakdown d in
+  Alcotest.(check bool) "funcs changed" true (fb.Diff.fb_changed > 0);
+  Alcotest.(check bool) "adds dominate (Table 4)" true
+    (fb.Diff.fb_param_added >= fb.Diff.fb_param_reordered);
+  Alcotest.(check bool) "structs changed" true (sb.Diff.sb_changed > 0);
+  Alcotest.(check bool) "field adds dominate" true
+    (sb.Diff.sb_field_added >= sb.Diff.sb_field_type / 2);
+  Alcotest.(check bool) "tp events change more than funcs (Table 4)" true
+    (tb.Diff.tb_event >= tb.Diff.tb_func)
+
+(* ------------------------------------------------------------------ *)
+(* Depset + report                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let biotop_obj =
+  lazy
+    (Pipeline.build_program (Lazy.force ds)
+       ~build:(v54, Config.x86_generic)
+       Ds_bpf.Progbuild.
+         {
+           sp_tool = "biotop";
+           sp_hooks =
+             [
+               {
+                 hs_hook = Ds_bpf.Hook.Kprobe "blk_account_io_start";
+                 hs_arg_indices = [ 0 ]; hs_kfuncs = [];
+                 hs_reads =
+                   [
+                     { rd_struct = "request"; rd_path = [ "__sector" ]; rd_exists_check = false };
+                     {
+                       rd_struct = "request";
+                       rd_path = [ "rq_disk"; "major" ];
+                       rd_exists_check = false;
+                     };
+                   ];
+               };
+               {
+                 hs_hook = Ds_bpf.Hook.Kprobe "blk_account_io_done";
+                 hs_arg_indices = [ 0 ]; hs_kfuncs = [];
+                 hs_reads = [];
+               };
+               {
+                 hs_hook = Ds_bpf.Hook.Kprobe "blk_mq_start_request";
+                 hs_arg_indices = []; hs_kfuncs = [];
+                 hs_reads = [];
+               };
+             ];
+         })
+
+let test_depset_extraction () =
+  let deps = Depset.of_obj (Lazy.force biotop_obj) in
+  let has d = List.mem d deps in
+  Alcotest.(check bool) "func dep" true (has (Depset.Dep_func "blk_account_io_start"));
+  Alcotest.(check bool) "struct dep" true (has (Depset.Dep_struct "request"));
+  Alcotest.(check bool) "field dep" true (has (Depset.Dep_field ("request", "__sector")));
+  Alcotest.(check bool) "chain intermediate struct" true (has (Depset.Dep_struct "gendisk"));
+  Alcotest.(check bool) "chain final field" true (has (Depset.Dep_field ("gendisk", "major")));
+  Alcotest.(check bool) "pt_regs recorded" true (has (Depset.Dep_struct "pt_regs"));
+  let t = Depset.totals deps in
+  Alcotest.(check int) "3 funcs" 3 t.Depset.n_funcs
+
+let test_statuses_biotop_lineage () =
+  let baseline = surf v54 in
+  let dep = Depset.Dep_func "blk_account_io_start" in
+  let st v = Report.worst (Report.statuses ~baseline ~target:(surf v) dep) in
+  Alcotest.(check string) "ok at 5.4" "." (Report.status_letter (st v54));
+  Alcotest.(check string) "same decl at 4.4" "." (Report.status_letter (st v44));
+  Alcotest.(check string) "changed at 5.8 (b5af37a dropped new_io)" "C"
+    (Report.status_letter (st (Version.v 5 8)));
+  Alcotest.(check string) "still changed at 5.15" "C"
+    (Report.status_letter (st (Version.v 5 15)));
+  Alcotest.(check string) "full inline at 5.19" "F" (Report.status_letter (st v519));
+  let tp_dep = Depset.Dep_tracepoint "block_io_start" in
+  Alcotest.(check string) "tracepoint absent before 6.5" "x"
+    (Report.status_letter (Report.worst (Report.statuses ~baseline ~target:(surf v519) tp_dep)));
+  Alcotest.(check string) "tracepoint present at 6.8" "."
+    (Report.status_letter
+       (Report.worst (Report.statuses ~baseline ~target:(surf (Version.v 6 8)) tp_dep)))
+
+let test_statuses_fields () =
+  let baseline = surf v54 in
+  let dep = Depset.Dep_field ("request", "rq_disk") in
+  let letter v = Report.status_letter (Report.worst (Report.statuses ~baseline ~target:(surf v) dep)) in
+  Alcotest.(check string) "present at 5.15" "." (letter (Version.v 5 15));
+  Alcotest.(check string) "absent at 5.19" "x" (letter v519);
+  let state = Depset.Dep_field ("task_struct", "utime") in
+  Alcotest.(check string) "utime type changed vs 4.4 baseline" "C"
+    (Report.status_letter
+       (Report.worst (Report.statuses ~baseline:(surf v44) ~target:(surf v54) state)))
+
+let test_matrix_and_summary () =
+  let m = Pipeline.analyze (Lazy.force ds) (Lazy.force biotop_obj) in
+  Alcotest.(check int) "21 images per row" 21
+    (List.length (List.hd m.Report.m_rows).Report.r_cells);
+  let rendered = Report.render_matrix m in
+  Alcotest.(check bool) "render mentions tool" true
+    (String.length rendered > 0
+    &&
+    let re = "biotop" in
+    let rec go i =
+      i + String.length re <= String.length rendered
+      && (String.sub rendered i (String.length re) = re || go (i + 1))
+    in
+    go 0);
+  let s = Report.summarize m in
+  Alcotest.(check bool) "not clean" false (Report.clean s);
+  Alcotest.(check int) "3 funcs total" 3 s.Report.ms_total.Depset.n_funcs;
+  Alcotest.(check bool) "full inline seen" true (s.Report.ms_full_inline >= 1);
+  Alcotest.(check bool) "some field absent somewhere" true
+    (s.Report.ms_absent.Depset.n_fields >= 1)
+
+let test_clean_program () =
+  (* a program with a single rock-stable dependency *)
+  let obj =
+    Pipeline.build_program (Lazy.force ds)
+      Ds_bpf.Progbuild.
+        {
+          sp_tool = "stable_watcher";
+          sp_hooks =
+            [
+              {
+                hs_hook = Ds_bpf.Hook.Kprobe "blk_mq_start_request";
+                hs_arg_indices = []; hs_kfuncs = [];
+                hs_reads = [];
+              };
+            ];
+        }
+  in
+  let m =
+    Pipeline.analyze (Lazy.force ds)
+      ~images:(List.map (fun v -> (v, Config.x86_generic)) Version.all)
+      obj
+  in
+  Alcotest.(check bool) "clean across x86 versions" true (Report.clean (Report.summarize m))
+
+let test_consequences_taxonomy () =
+  let open Report in
+  Alcotest.(check bool) "func absent -> attach error" true
+    (consequence_of (Depset.Dep_func "f") St_absent = [ Attachment_error ]);
+  Alcotest.(check bool) "field absent -> CE + reloc" true
+    (consequence_of (Depset.Dep_field ("s", "f")) St_absent
+    = [ Compilation_error; Relocation_error ]);
+  Alcotest.(check bool) "selective -> missing invocation" true
+    (consequence_of (Depset.Dep_func "f") St_selective_inline = [ Missing_invocation ]);
+  Alcotest.(check bool) "implication mapping" true
+    (implication_of Stray_read = Incorrect_result
+    && implication_of Missing_invocation = Incomplete_result
+    && implication_of Attachment_error = Explicit_error)
+
+(* property: the differ detects every mutation the generator can plant *)
+let qcheck_mutation_always_detected =
+  QCheck.Test.make ~name:"every generated proto mutation is detected" ~count:200
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let ctx = Genpool.create ~seed:(Int64.of_int seed) Calibration.test_scale in
+      let proto =
+        Ctype.
+          {
+            ret = int_;
+            params =
+              [ { pname = "a"; ptype = int_ }; { pname = "b"; ptype = Ptr (Struct_ref "file") } ];
+            variadic = false;
+          }
+      in
+      let proto' = Genpool.mutate_proto ctx proto in
+      Diff.func_changes proto proto' <> [])
+
+(* property: statuses is deterministic and worst is stable *)
+let qcheck_worst_dominates =
+  QCheck.Test.make ~name:"worst status is at least as severe as members" ~count:200
+    QCheck.(
+      list_of_size (QCheck.Gen.int_range 1 5)
+        (oneofl
+           Report.
+             [
+               St_ok; St_absent; St_changed [ "x" ]; St_full_inline; St_selective_inline;
+               St_transformed; St_duplicated; St_collision;
+             ]))
+    (fun statuses ->
+      let w = Report.worst statuses in
+      List.mem w statuses)
+
+let suites =
+  [
+    ( "depsurf.surface",
+      [
+        Alcotest.test_case "identity" `Quick test_surface_identity;
+        Alcotest.test_case "func entry" `Quick test_surface_func_entry;
+        Alcotest.test_case "structs from BTF" `Quick test_surface_structs_from_btf;
+        Alcotest.test_case "tracepoints" `Quick test_surface_tracepoints;
+        Alcotest.test_case "syscalls per arch" `Quick test_surface_syscalls;
+      ] );
+    ( "depsurf.func_status",
+      [
+        Alcotest.test_case "inline classification" `Quick test_inline_classification;
+        Alcotest.test_case "name classification" `Quick test_name_classification;
+        Alcotest.test_case "censuses" `Quick test_censuses;
+        Alcotest.test_case "cold only on gcc>=8" `Quick test_cold_only_on_gcc8;
+      ] );
+    ( "depsurf.diff",
+      [
+        Alcotest.test_case "func change kinds" `Quick test_func_changes_kinds;
+        Alcotest.test_case "silent changes" `Quick test_change_is_silent;
+        Alcotest.test_case "self diff empty" `Quick test_diff_self_empty;
+        Alcotest.test_case "symmetry" `Quick test_diff_symmetry;
+        Alcotest.test_case "scripted changes found" `Quick test_diff_finds_scripted_changes;
+        Alcotest.test_case "tracepoint change found" `Quick test_diff_tracepoint_change;
+        Alcotest.test_case "rates plausible" `Quick test_diff_rates_plausible;
+        Alcotest.test_case "config diff normalizes ABI" `Quick test_config_diff_normalizes_abi;
+        Alcotest.test_case "breakdown" `Quick test_breakdown;
+      ] );
+    ( "depsurf.report",
+      [
+        Alcotest.test_case "depset extraction" `Quick test_depset_extraction;
+        Alcotest.test_case "biotop lineage statuses" `Quick test_statuses_biotop_lineage;
+        Alcotest.test_case "field statuses" `Quick test_statuses_fields;
+        Alcotest.test_case "matrix + summary" `Quick test_matrix_and_summary;
+        Alcotest.test_case "clean program" `Quick test_clean_program;
+        Alcotest.test_case "consequences taxonomy" `Quick test_consequences_taxonomy;
+        QCheck_alcotest.to_alcotest qcheck_worst_dominates;
+        QCheck_alcotest.to_alcotest qcheck_mutation_always_detected;
+      ] );
+  ]

@@ -1,0 +1,304 @@
+open Ds_dwarf
+open Ds_ctypes
+module Dw = Die.Dw
+
+let mk_proto ret params =
+  Ctype.{ ret; params = List.map (fun (n, t) -> { pname = n; ptype = t }) params; variadic = false }
+
+let sample_cus () =
+  let env = List.fold_left Decl.add_typedef (Decl.empty_env ~ptr_size:8) Decl.default_typedefs in
+  let request =
+    Decl.layout_struct env ~name:"request" ~kind:`Struct
+      [ ("sector", Ctype.Typedef_ref "sector_t"); ("rq_disk", Ctype.Ptr (Ctype.Struct_ref "gendisk")) ]
+  in
+  [
+    Info.
+      {
+        cu_name = "block/blk-core.c";
+        cu_subprograms =
+          [
+            {
+              sp_name = "blk_account_io_start";
+              sp_proto =
+                mk_proto Ctype.void
+                  [
+                    ("rq", Ctype.Ptr (Ctype.Struct_ref "request"));
+                    ("new_io", Ctype.bool_);
+                  ];
+              sp_file = "block/blk-core.c";
+              sp_line = 120;
+              sp_external = true;
+              sp_declared_inline = false;
+              sp_low_pc = Some 0x10000L;
+              sp_inlined = [];
+              sp_calls = [ "blk_do_io_stat" ];
+            };
+            {
+              sp_name = "submit_bio";
+              sp_proto = mk_proto Ctype.void [ ("bio", Ctype.Ptr (Ctype.Struct_ref "bio")) ];
+              sp_file = "block/blk-core.c";
+              sp_line = 300;
+              sp_external = true;
+              sp_declared_inline = false;
+              sp_low_pc = Some 0x10100L;
+              sp_inlined =
+                [
+                  { ic_callee = "blk_account_io_start"; ic_pc = 0x10140L; ic_call_line = 310 };
+                  { ic_callee = "bio_check_eod"; ic_pc = 0x10180L; ic_call_line = 315 };
+                ];
+              sp_calls = [];
+            };
+          ];
+        cu_structs = [ request ];
+        cu_enums = [ { ename = "req_opf"; values = [ ("REQ_OP_READ", 0); ("REQ_OP_WRITE", 1) ] } ];
+        cu_typedefs = [ { tname = "sector_t"; aliased = Ctype.ulong } ];
+      };
+    Info.
+      {
+        cu_name = "fs/sync.c";
+        cu_subprograms =
+          [
+            {
+              sp_name = "do_fsync";
+              sp_proto = mk_proto Ctype.long [ ("fd", Ctype.uint); ("datasync", Ctype.int_) ];
+              sp_file = "fs/sync.c";
+              sp_line = 200;
+              sp_external = false;
+              sp_declared_inline = true;
+              sp_low_pc = None;
+              sp_inlined = [];
+              sp_calls = [];
+            };
+          ];
+        cu_structs = [];
+        cu_enums = [];
+        cu_typedefs = [];
+      };
+  ]
+
+let roundtrip cus =
+  let info, abbrev = Info.encode cus in
+  Info.decode ~info ~abbrev
+
+let test_cu_structure () =
+  let cus = roundtrip (sample_cus ()) in
+  Alcotest.(check int) "two CUs" 2 (List.length cus);
+  let cu = List.hd cus in
+  Alcotest.(check string) "cu name" "block/blk-core.c" cu.Info.cu_name;
+  Alcotest.(check int) "subprograms" 2 (List.length cu.Info.cu_subprograms);
+  Alcotest.(check int) "structs" 1 (List.length cu.Info.cu_structs);
+  Alcotest.(check int) "enums" 1 (List.length cu.Info.cu_enums);
+  Alcotest.(check int) "typedefs" 1 (List.length cu.Info.cu_typedefs)
+
+let test_subprogram_decl () =
+  let cus = roundtrip (sample_cus ()) in
+  let cu = List.hd cus in
+  let sp = List.hd cu.Info.cu_subprograms in
+  Alcotest.(check string) "name" "blk_account_io_start" sp.Info.sp_name;
+  Alcotest.(check int) "line" 120 sp.Info.sp_line;
+  Alcotest.(check bool) "external" true sp.Info.sp_external;
+  Alcotest.(check bool) "not declared inline" false sp.Info.sp_declared_inline;
+  Alcotest.(check bool) "has low pc" true (sp.Info.sp_low_pc = Some 0x10000L);
+  Alcotest.(check int) "params" 2 (List.length sp.Info.sp_proto.params);
+  let p0 = List.hd sp.Info.sp_proto.params in
+  Alcotest.(check string) "param name" "rq" p0.Ctype.pname;
+  Alcotest.(check bool) "param type" true
+    (Ctype.equal p0.Ctype.ptype (Ctype.Ptr (Ctype.Struct_ref "request")));
+  Alcotest.(check (list string)) "call sites" [ "blk_do_io_stat" ] sp.Info.sp_calls
+
+let test_inlined_subroutines () =
+  let cus = roundtrip (sample_cus ()) in
+  let cu = List.hd cus in
+  let sp = List.nth cu.Info.cu_subprograms 1 in
+  Alcotest.(check int) "two inlined" 2 (List.length sp.Info.sp_inlined);
+  let ic = List.hd sp.Info.sp_inlined in
+  Alcotest.(check string) "callee" "blk_account_io_start" ic.Info.ic_callee;
+  Alcotest.(check int64) "pc" 0x10140L ic.Info.ic_pc;
+  Alcotest.(check int) "call line" 310 ic.Info.ic_call_line
+
+let test_static_inline_subprogram () =
+  let cus = roundtrip (sample_cus ()) in
+  let cu = List.nth cus 1 in
+  let sp = List.hd cu.Info.cu_subprograms in
+  Alcotest.(check bool) "static" false sp.Info.sp_external;
+  Alcotest.(check bool) "declared inline" true sp.Info.sp_declared_inline;
+  Alcotest.(check bool) "no low pc (fully inlined)" true (sp.Info.sp_low_pc = None);
+  Alcotest.(check bool) "return type" true (Ctype.equal sp.Info.sp_proto.ret Ctype.long)
+
+let test_struct_def_roundtrip () =
+  let cus = roundtrip (sample_cus ()) in
+  let cu = List.hd cus in
+  let s = List.hd cu.Info.cu_structs in
+  Alcotest.(check string) "name" "request" s.Decl.sname;
+  Alcotest.(check int) "fields" 2 (List.length s.Decl.fields);
+  let rq_disk = List.nth s.Decl.fields 1 in
+  Alcotest.(check string) "field name" "rq_disk" rq_disk.Decl.fname;
+  Alcotest.(check bool) "field type via opaque ref" true
+    (Ctype.equal rq_disk.Decl.ftype (Ctype.Ptr (Ctype.Struct_ref "gendisk")));
+  Alcotest.(check int) "offset" 64 rq_disk.Decl.bits_offset
+
+let test_typedef_enum_roundtrip () =
+  let cus = roundtrip (sample_cus ()) in
+  let cu = List.hd cus in
+  let td = List.hd cu.Info.cu_typedefs in
+  Alcotest.(check string) "typedef name" "sector_t" td.Decl.tname;
+  Alcotest.(check bool) "aliased" true (Ctype.equal td.Decl.aliased Ctype.ulong);
+  let e = List.hd cu.Info.cu_enums in
+  Alcotest.(check (list (pair string int))) "values"
+    [ ("REQ_OP_READ", 0); ("REQ_OP_WRITE", 1) ]
+    e.Decl.values
+
+let test_die_low_level () =
+  let b = Die.Builder.create () in
+  let child = Die.Builder.add b ~tag:Dw.tag_member ~attrs:[ (Dw.at_name, Die.String "x") ] ~children:[] in
+  let parent =
+    Die.Builder.add b ~tag:Dw.tag_structure_type
+      ~attrs:[ (Dw.at_name, Die.String "s"); (Dw.at_byte_size, Die.Int 8) ]
+      ~children:[ child ]
+  in
+  let cu =
+    Die.Builder.add b ~tag:Dw.tag_compile_unit
+      ~attrs:[ (Dw.at_name, Die.String "a.c") ]
+      ~children:[ parent ]
+  in
+  Die.Builder.add_root b cu;
+  let arena = Die.Builder.finish b in
+  let info, abbrev = Die.encode arena in
+  let arena' = Die.decode ~info ~abbrev in
+  Alcotest.(check int) "die count" (Die.size arena) (Die.size arena');
+  let root = List.hd (Die.roots arena') in
+  let cu_die = Die.get arena' root in
+  Alcotest.(check int) "cu tag" Dw.tag_compile_unit cu_die.Die.tag;
+  Alcotest.(check (option string)) "cu name" (Some "a.c") (Die.attr_string cu_die Dw.at_name)
+
+let test_die_refs () =
+  let b = Die.Builder.create () in
+  let base =
+    Die.Builder.add b ~tag:Dw.tag_base_type
+      ~attrs:[ (Dw.at_name, Die.String "int"); (Dw.at_byte_size, Die.Int 4) ]
+      ~children:[]
+  in
+  let ptr = Die.Builder.add b ~tag:Dw.tag_pointer_type ~attrs:[ (Dw.at_type, Die.Ref base) ] ~children:[] in
+  let cu =
+    Die.Builder.add b ~tag:Dw.tag_compile_unit
+      ~attrs:[ (Dw.at_name, Die.String "x.c") ]
+      ~children:[ base; ptr ]
+  in
+  Die.Builder.add_root b cu;
+  let info, abbrev = Die.encode (Die.Builder.finish b) in
+  let arena' = Die.decode ~info ~abbrev in
+  let cu_die = Die.get arena' (List.hd (Die.roots arena')) in
+  let ptr_die =
+    List.find (fun id -> (Die.get arena' id).Die.tag = Dw.tag_pointer_type) cu_die.Die.children
+  in
+  match Die.attr_ref (Die.get arena' ptr_die) Dw.at_type with
+  | Some target ->
+      Alcotest.(check (option string)) "ref resolves" (Some "int")
+        (Die.attr_string (Die.get arena' target) Dw.at_name)
+  | None -> Alcotest.fail "missing type ref"
+
+let test_bad_input () =
+  Alcotest.check_raises "garbage abbrev" (Die.Bad_dwarf "truncated abbrev") (fun () ->
+      ignore (Die.decode ~info:"" ~abbrev:"\x81"))
+
+let test_empty_cu_list () =
+  let info, abbrev = Info.encode [] in
+  Alcotest.(check (list pass)) "no cus" [] (Info.decode ~info ~abbrev)
+
+(* random CU generator for the roundtrip property *)
+let gen_ctype_simple =
+  QCheck.Gen.oneofl
+    Ctype.[ int_; uint; long; char_; u64; u32; Ptr (Struct_ref "request"); Ptr (Const char_) ]
+
+let gen_proto =
+  let open QCheck.Gen in
+  let* nparams = int_range 0 4 in
+  let* types = list_size (return nparams) gen_ctype_simple in
+  let* ret = oneof [ return Ctype.Void; gen_ctype_simple ] in
+  let* variadic = bool in
+  return
+    Ctype.
+      {
+        ret;
+        params = List.mapi (fun i t -> { pname = Printf.sprintf "p%d" i; ptype = t }) types;
+        variadic;
+      }
+
+let gen_subprogram =
+  let open QCheck.Gen in
+  let* name = string_size ~gen:(char_range 'a' 'z') (int_range 1 12) in
+  let* proto = gen_proto in
+  let* line = int_range 1 5000 in
+  let* external_ = bool in
+  let* declared_inline = bool in
+  let* has_pc = bool in
+  let* n_inlined = int_range 0 3 in
+  let* inlined =
+    list_size (return n_inlined)
+      (let* callee = string_size ~gen:(char_range 'a' 'z') (int_range 1 8) in
+       let* pc = int_range 1 1000000 in
+       let* l = int_range 1 9999 in
+       return Info.{ ic_callee = callee; ic_pc = Int64.of_int (pc * 16); ic_call_line = l })
+  in
+  let* calls = list_size (int_range 0 3) (string_size ~gen:(char_range 'a' 'z') (int_range 1 8)) in
+  return
+    Info.
+      {
+        sp_name = name;
+        sp_proto = proto;
+        sp_file = "gen/file.c";
+        sp_line = line;
+        sp_external = external_;
+        sp_declared_inline = declared_inline;
+        sp_low_pc = (if has_pc then Some 0x1000L else None);
+        sp_inlined = inlined;
+        sp_calls = calls;
+      }
+
+let gen_cu =
+  let open QCheck.Gen in
+  let* name = string_size ~gen:(char_range 'a' 'z') (int_range 1 10) in
+  let* sps = list_size (int_range 0 5) gen_subprogram in
+  return
+    Info.
+      { cu_name = name ^ ".c"; cu_subprograms = sps; cu_structs = []; cu_enums = []; cu_typedefs = [] }
+
+let eq_sp (a : Info.subprogram) (b : Info.subprogram) =
+  a.sp_name = b.sp_name
+  && Ctype.equal_proto a.sp_proto b.sp_proto
+  && a.sp_file = b.sp_file && a.sp_line = b.sp_line && a.sp_external = b.sp_external
+  && a.sp_declared_inline = b.sp_declared_inline
+  && a.sp_low_pc = b.sp_low_pc && a.sp_inlined = b.sp_inlined
+  && a.sp_calls = b.sp_calls
+
+let qcheck_info_roundtrip =
+  QCheck.Test.make ~name:"dwarf Info roundtrip (random CUs)" ~count:100
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 4) gen_cu))
+    (fun cus ->
+      let info, abbrev = Info.encode cus in
+      let cus' = Info.decode ~info ~abbrev in
+      List.length cus = List.length cus'
+      && List.for_all2
+           (fun (a : Info.cu) (b : Info.cu) ->
+             a.cu_name = b.cu_name
+             && List.length a.cu_subprograms = List.length b.cu_subprograms
+             && List.for_all2 eq_sp a.cu_subprograms b.cu_subprograms)
+           cus cus')
+
+let suites =
+  [
+    ( "dwarf",
+      [
+        Alcotest.test_case "cu structure" `Quick test_cu_structure;
+        Alcotest.test_case "subprogram decl" `Quick test_subprogram_decl;
+        Alcotest.test_case "inlined subroutines" `Quick test_inlined_subroutines;
+        Alcotest.test_case "static inline subprogram" `Quick test_static_inline_subprogram;
+        Alcotest.test_case "struct def" `Quick test_struct_def_roundtrip;
+        Alcotest.test_case "typedef/enum" `Quick test_typedef_enum_roundtrip;
+        Alcotest.test_case "die low level" `Quick test_die_low_level;
+        Alcotest.test_case "die refs" `Quick test_die_refs;
+        Alcotest.test_case "bad input" `Quick test_bad_input;
+        Alcotest.test_case "empty cu list" `Quick test_empty_cu_list;
+        QCheck_alcotest.to_alcotest qcheck_info_roundtrip;
+      ] );
+  ]

@@ -1,0 +1,412 @@
+open Ds_ksrc
+open Ds_ctypes
+open Construct
+
+let test_versions () =
+  Alcotest.(check int) "17 versions" 17 (List.length Version.all);
+  Alcotest.(check int) "5 LTS" 5 (List.length Version.lts);
+  Alcotest.(check string) "to_string" "v5.4" (Version.to_string (Version.v 5 4));
+  Alcotest.(check bool) "5.4 is LTS" true (Version.is_lts (Version.v 5 4));
+  Alcotest.(check bool) "5.8 is not LTS" false (Version.is_lts (Version.v 5 8));
+  Alcotest.(check int) "16 consecutive pairs" 16 (List.length (Version.pairs Version.all));
+  Alcotest.(check int) "index of 4.4" 0 (Version.index (Version.v 4 4));
+  let gccs = List.sort_uniq compare (List.map (fun v -> Version.gcc_of v) Version.all) in
+  Alcotest.(check int) "14 distinct GCC versions" 14 (List.length gccs);
+  Alcotest.(check string) "ubuntu" "24.04" (Version.ubuntu_of (Version.v 6 8))
+
+let test_calibration_table () =
+  Alcotest.(check int) "17 steps" 17 (List.length Calibration.steps);
+  (* targets grow monotonically for functions *)
+  let counts =
+    List.map (fun s -> s.Calibration.s_fn.Calibration.r_count) Calibration.steps
+  in
+  let rec mono = function a :: (b :: _ as rest) -> a <= b && mono rest | _ -> true in
+  Alcotest.(check bool) "function targets monotone" true (mono counts);
+  Alcotest.(check int) "first is 36k" 36000 (List.hd counts);
+  Alcotest.(check int) "last is 62k" 62000 (List.nth counts 16);
+  (* tracepoint targets are NOT monotone: v5.13 shrank (Table 3) *)
+  let tp = List.map (fun s -> s.Calibration.s_tp.Calibration.r_count) Calibration.steps in
+  Alcotest.(check bool) "tp dip at 5.13" true (List.nth tp 11 < List.nth tp 10);
+  (* scaled counts respect the multiplier *)
+  let s44 = Calibration.step_for (Version.v 4 4) in
+  Alcotest.(check int) "bench scale funcs" 1440
+    (Calibration.scaled Calibration.bench_scale s44.Calibration.s_fn `Fn);
+  Alcotest.check_raises "unknown version"
+    (Invalid_argument "Calibration.step_for: unknown v9.9") (fun () ->
+      ignore (Calibration.step_for (Version.v 9 9)))
+
+let test_syscalls_stable_across_versions () =
+  (* syscall tables effectively never shrink in our model (nor in the
+     paper's study window) *)
+  let h = Lazy.force Testenv.history in
+  let at v = List.assoc v h in
+  let names v =
+    List.map (fun (s : syscall_def) -> s.sc_name) (Source.syscalls_in (at v) Config.x86_generic)
+  in
+  Alcotest.(check (list string)) "same x86 syscalls at 4.4 and 6.8" (names (Version.v 4 4))
+    (names (Version.v 6 8))
+
+let test_pinned_names_protected () =
+  (* catalog constructs may only change through the scripted timeline:
+     e.g. vfs_fsync's declaration is byte-identical at every version *)
+  let h = Lazy.force Testenv.history in
+  let protos =
+    List.map
+      (fun (_, src) ->
+        match Source.find_func src ~id:"vfs_fsync@fs/sync.c" with
+        | Some f -> f.fn_proto
+        | None -> Alcotest.fail "vfs_fsync vanished")
+      h
+  in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "unchanged" true (Ds_ctypes.Ctype.equal_proto (List.hd protos) p))
+    protos
+
+let test_configs () =
+  Alcotest.(check int) "9 study configs" 9 (List.length Config.study_configs);
+  Alcotest.(check int) "arm32 ptr" 4 (Config.ptr_size Config.Arm32);
+  Alcotest.(check bool) "numa off on riscv" false (Config.numa_enabled Config.Riscv);
+  Alcotest.(check string) "to_string" "x86/generic" (Config.to_string Config.x86_generic)
+
+let test_gates () =
+  let g = gate_always in
+  List.iter
+    (fun cfg -> Alcotest.(check bool) (Config.to_string cfg) true (gate_admits g cfg))
+    Config.study_configs;
+  let arm_only = { gate_always with g_arches = [ Config.Arm64 ] } in
+  Alcotest.(check bool) "arm only: x86 no" false (gate_admits arm_only Config.x86_generic);
+  Alcotest.(check bool) "arm only: arm yes" true
+    (gate_admits arm_only Config.{ arch = Arm64; flavor = Generic });
+  let no_cloud = { gate_always with g_flavor_removed = [ Config.Aws; Config.Azure ] } in
+  Alcotest.(check bool) "pruned in aws" false
+    (gate_admits no_cloud Config.{ arch = X86; flavor = Aws });
+  Alcotest.(check bool) "kept in gcp" true
+    (gate_admits no_cloud Config.{ arch = X86; flavor = Gcp });
+  let numa_off = { gate_always with g_numa = Numa_off } in
+  Alcotest.(check bool) "numa-off twin absent on x86" false
+    (gate_admits numa_off Config.x86_generic);
+  Alcotest.(check bool) "numa-off twin present on arm32" true
+    (gate_admits numa_off Config.{ arch = Arm32; flavor = Generic });
+  let aws_only = { gate_always with g_flavor_only = [ Config.Aws ] } in
+  Alcotest.(check bool) "aws-only absent from generic" false
+    (gate_admits aws_only Config.x86_generic);
+  Alcotest.(check bool) "aws-only present in aws" true
+    (gate_admits aws_only Config.{ arch = X86; flavor = Aws })
+
+let test_transform_suffix () =
+  Alcotest.(check string) "isra" ".isra.0" (transform_suffix T_isra);
+  Alcotest.(check (option pass)) "parse isra" (Some T_isra) (transform_of_suffix "isra");
+  Alcotest.(check bool) "parse junk" true (transform_of_suffix "junk" = None)
+
+let test_proto_for_variant () =
+  let f =
+    {
+      fn_name = "f"; fn_file = "a.c"; fn_line = 1;
+      fn_proto = Ctype.{ ret = void; params = []; variadic = false };
+      fn_static = false; fn_declared_inline = false; fn_body_size = 50;
+      fn_address_taken = false; fn_callers = []; fn_profile = P_never;
+      fn_includers = []; fn_gate = gate_always; fn_kind = Regular;
+      fn_transforms = []; fn_variant_arches = [ Config.Ppc ]; fn_variant_flavors = [];
+    }
+  in
+  let p_x86 = proto_for f Config.x86_generic in
+  let p_ppc = proto_for f Config.{ arch = Ppc; flavor = Generic } in
+  Alcotest.(check int) "x86 unchanged" 0 (List.length p_x86.Ctype.params);
+  Alcotest.(check int) "ppc has variant param" 1 (List.length p_ppc.Ctype.params)
+
+let test_source_ops () =
+  let src = Source.empty (Version.v 4 4) in
+  let src = Catalog.install_genesis src in
+  Alcotest.(check bool) "task_struct present" true (Source.find_struct src "task_struct" <> None);
+  Alcotest.(check bool) "biotop dep present" true
+    (Source.find_func src ~id:"blk_account_io_start@block/blk-core.c" <> None);
+  Alcotest.(check int) "collisions are distinct defs" 3
+    (List.length (Source.funcs_named src "destroy_inodecache"));
+  (match Source.check_invariants src with
+  | Ok cats -> Alcotest.(check bool) "some categories" true (List.length cats >= 3)
+  | Error e -> Alcotest.fail e);
+  (* add/remove/replace *)
+  let f = List.hd (Source.funcs_named src "vfs_fsync") in
+  Alcotest.check_raises "duplicate add rejected"
+    (Invalid_argument "Source.add_func: duplicate id vfs_fsync@fs/sync.c") (fun () ->
+      ignore (Source.add_func src f));
+  let src' = Source.remove_func src ~id:(fn_id f) in
+  Alcotest.(check bool) "removed" true (Source.find_func src' ~id:(fn_id f) = None);
+  Alcotest.(check bool) "others kept" true (Source.find_func src' ~id:"vfs_read@fs/read_write.c" <> None)
+
+let test_numa_twin () =
+  let src = Catalog.install_genesis (Source.empty (Version.v 4 4)) in
+  let defs = Source.funcs_named src "__page_cache_alloc" in
+  Alcotest.(check int) "two twins" 2 (List.length defs);
+  let on_x86 = Source.funcs_in src Config.x86_generic in
+  let on_arm32 = Source.funcs_in src Config.{ arch = Arm32; flavor = Generic } in
+  let count name l = List.length (List.filter (fun f -> f.fn_name = name) l) in
+  Alcotest.(check int) "one on x86" 1 (count "__page_cache_alloc" on_x86);
+  Alcotest.(check int) "one on arm32" 1 (count "__page_cache_alloc" on_arm32);
+  let x86_def = List.find (fun f -> f.fn_name = "__page_cache_alloc") on_x86 in
+  let arm_def = List.find (fun f -> f.fn_name = "__page_cache_alloc") on_arm32 in
+  Alcotest.(check bool) "x86 twin is the .c global" false (fn_is_header x86_def);
+  Alcotest.(check bool) "arm32 twin is header-defined" true (fn_is_header arm_def)
+
+let test_members_for () =
+  let src = Catalog.install_genesis (Source.empty (Version.v 4 4)) in
+  let pt = Option.get (Source.find_struct src "pt_regs") in
+  let x86_members = members_for pt Config.x86_generic in
+  let arm64_members = members_for pt Config.{ arch = Arm64; flavor = Generic } in
+  Alcotest.(check bool) "x86 has di" true (List.mem_assoc "di" x86_members);
+  Alcotest.(check bool) "x86 lacks regs" false (List.mem_assoc "regs" x86_members);
+  Alcotest.(check bool) "arm64 has regs" true (List.mem_assoc "regs" arm64_members)
+
+let test_namegen_unique () =
+  let ng = Namegen.create (Ds_util.Prng.create 5L) in
+  Namegen.reserve ng "vfs_fsync";
+  let seen = Hashtbl.create 64 in
+  for _ = 1 to 500 do
+    let n = Namegen.func_name ng ~subsys:"vfs" in
+    Alcotest.(check bool) ("fresh " ^ n) false (Hashtbl.mem seen n || n = "vfs_fsync");
+    Hashtbl.replace seen n ()
+  done
+
+let ctx () = Genpool.create ~seed:11L Calibration.test_scale
+
+let test_genpool_func () =
+  let c = ctx () in
+  let f = Genpool.gen_func c ~x86:true () in
+  Alcotest.(check bool) "x86 gate" true (gate_admits f.fn_gate Config.x86_generic);
+  let f2 = Genpool.gen_func c ~x86:false () in
+  Alcotest.(check bool) "only gate excludes x86 generic" false
+    (gate_admits f2.fn_gate Config.x86_generic);
+  (* profiles are realized consistently *)
+  for _ = 1 to 200 do
+    let f = Genpool.gen_func c ~x86:true () in
+    match f.fn_profile with
+    | P_full ->
+        Alcotest.(check bool) "full => static" true f.fn_static;
+        Alcotest.(check bool) "full => small" true (f.fn_body_size <= 25)
+    | P_selective ->
+        Alcotest.(check bool) "selective => global" false f.fn_static;
+        Alcotest.(check bool) "selective => small" true (f.fn_body_size <= 25)
+    | P_never -> ()
+  done
+
+let test_genpool_mutate_proto () =
+  let c = ctx () in
+  let p =
+    Ctype.
+      {
+        ret = int_;
+        params = [ { pname = "a"; ptype = int_ }; { pname = "b"; ptype = long } ];
+        variadic = false;
+      }
+  in
+  for _ = 1 to 100 do
+    let p' = Genpool.mutate_proto c p in
+    Alcotest.(check bool) "proto differs" false (Ctype.equal_proto p p')
+  done
+
+let test_genpool_mutate_members () =
+  let c = ctx () in
+  let members = [ ("a", Ctype.int_); ("b", Ctype.u64) ] in
+  for _ = 1 to 100 do
+    let m' = Genpool.mutate_members c members in
+    Alcotest.(check bool) "members differ" false (m' = members);
+    Alcotest.(check bool) "still has fields" true (List.length m' >= 1);
+    let names = List.map fst m' in
+    Alcotest.(check bool) "no dup fields" true
+      (List.sort_uniq compare names = List.sort compare names)
+  done
+
+let test_syscalls () =
+  let c = ctx () in
+  let calls = Genpool.gen_syscalls c in
+  let in_cfg arch =
+    List.filter
+      (fun s -> gate_admits s.sc_gate Config.{ arch; flavor = Generic })
+      calls
+  in
+  let x86 = in_cfg Config.X86 and arm64 = in_cfg Config.Arm64 in
+  Alcotest.(check bool) "x86 nonempty" true (List.length x86 > 10);
+  let x86_names = List.map (fun s -> s.sc_name) x86 in
+  let arm64_names = List.map (fun s -> s.sc_name) arm64 in
+  Alcotest.(check bool) "open on x86" true (List.mem "open" x86_names);
+  Alcotest.(check bool) "open dropped on arm64" false (List.mem "open" arm64_names);
+  Alcotest.(check bool) "openat everywhere" true
+    (List.mem "openat" x86_names && List.mem "openat" arm64_names)
+
+let history = Testenv.history
+
+let test_history_shape () =
+  let h = Lazy.force history in
+  Alcotest.(check int) "17 versions" 17 (List.length h);
+  List.iter
+    (fun (v, src) ->
+      Alcotest.(check bool)
+        (Version.to_string v ^ " invariants")
+        true
+        (match Source.check_invariants src with Ok _ -> true | Error _ -> false);
+      Alcotest.(check bool)
+        (Version.to_string v ^ " matches source version")
+        true
+        (Version.equal (Source.version src) v))
+    h
+
+let test_history_counts_grow () =
+  let h = Lazy.force history in
+  let count src = List.length (Source.funcs_in src Config.x86_generic) in
+  let first = count (snd (List.hd h)) in
+  let last = count (snd (List.nth h 16)) in
+  (* paper: 36k -> 62k, i.e. ~1.7x growth *)
+  let ratio = float_of_int last /. float_of_int first in
+  Alcotest.(check bool)
+    (Printf.sprintf "func growth ~1.7x (got %.2f)" ratio)
+    true
+    (ratio > 1.5 && ratio < 1.95)
+
+let test_history_deterministic () =
+  let h1 = Evolution.build_history ~seed:7L Calibration.test_scale in
+  let h2 = Evolution.build_history ~seed:7L Calibration.test_scale in
+  List.iter2
+    (fun (v1, s1) (v2, s2) ->
+      Alcotest.(check bool) "versions equal" true (Version.equal v1 v2);
+      let names src = List.map (fun f -> fn_id f) (Source.funcs src) in
+      Alcotest.(check (list string)) (Version.to_string v1 ^ " same funcs") (names s1) (names s2))
+    h1 h2
+
+let test_history_seed_matters () =
+  let h1 = Evolution.build_history ~seed:7L Calibration.test_scale in
+  let h2 = Evolution.build_history ~seed:8L Calibration.test_scale in
+  let names h = List.map (fun f -> fn_id f) (Source.funcs (snd (List.nth h 3))) in
+  Alcotest.(check bool) "different seeds differ" false (names h1 = names h2)
+
+let test_scripted_biotop_lineage () =
+  let h = Lazy.force history in
+  let at v = List.assoc v (List.map (fun (a, b) -> (a, b)) h) in
+  let src44 = at (Version.v 4 4) in
+  let src58 = at (Version.v 5 8) in
+  let src519 = at (Version.v 5 19) in
+  let src65 = at (Version.v 6 5) in
+  let f44 = Option.get (Source.find_func src44 ~id:"blk_account_io_start@block/blk-core.c") in
+  Alcotest.(check int) "two params at 4.4" 2 (List.length f44.fn_proto.Ctype.params);
+  let f58 = Option.get (Source.find_func src58 ~id:"blk_account_io_start@block/blk-core.c") in
+  Alcotest.(check int) "one param at 5.8 (b5af37a)" 1 (List.length f58.fn_proto.Ctype.params);
+  let f519 = Option.get (Source.find_func src519 ~id:"blk_account_io_start@block/blk-core.c") in
+  Alcotest.(check bool) "static inline at 5.19 (be6bfe3)" true f519.fn_static;
+  Alcotest.(check bool) "no block_io_start before 6.5" true
+    (Source.find_tracepoint src519 "block_io_start" = None);
+  Alcotest.(check bool) "block_io_start at 6.5 (5a80bd0)" true
+    (Source.find_tracepoint src65 "block_io_start" <> None)
+
+let test_scripted_readahead_lineage () =
+  let h = Lazy.force history in
+  let at v = List.assoc v h in
+  let f418 =
+    Option.get
+      (Source.find_func (at (Version.v 4 18)) ~id:"__do_page_cache_readahead@mm/readahead.c")
+  in
+  Alcotest.(check bool) "ret is uint at 4.18" true (Ctype.equal f418.fn_proto.Ctype.ret Ctype.uint);
+  Alcotest.(check bool) "renamed at 5.11" true
+    (Source.find_func (at (Version.v 5 11)) ~id:"__do_page_cache_readahead@mm/readahead.c" = None);
+  Alcotest.(check bool) "do_page_cache_ra exists at 5.11" true
+    (Source.find_func (at (Version.v 5 11)) ~id:"do_page_cache_ra@mm/readahead.c" <> None);
+  Alcotest.(check bool) "page_cache_ra_order at 5.19" true
+    (Source.find_func (at (Version.v 5 19)) ~id:"page_cache_ra_order@mm/readahead.c" <> None)
+
+let test_scripted_struct_lineage () =
+  let h = Lazy.force history in
+  let at v = List.assoc v h in
+  let task v = Option.get (Source.find_struct (at v) "task_struct") in
+  Alcotest.(check bool) "state at 5.13" true (List.mem_assoc "state" (task (Version.v 5 13)).st_members);
+  Alcotest.(check bool) "__state at 5.15 (2f064a5)" true
+    (List.mem_assoc "__state" (task (Version.v 5 15)).st_members);
+  let req v = Option.get (Source.find_struct (at v) "request") in
+  let rq v = Option.get (Source.find_struct (at v) "request_queue") in
+  (* Fig 4: both rq_disk and request_queue::disk coexist at 5.15 *)
+  Alcotest.(check bool) "rq_disk at 5.15" true (List.mem_assoc "rq_disk" (req (Version.v 5 15)).st_members);
+  Alcotest.(check bool) "disk at 5.15" true (List.mem_assoc "disk" (rq (Version.v 5 15)).st_members);
+  Alcotest.(check bool) "rq_disk gone at 5.19" false
+    (List.mem_assoc "rq_disk" (req (Version.v 5 19)).st_members)
+
+let test_per_release_rates_match_calibration () =
+  (* end-to-end conformance: the emergent per-release removal/change
+     fractions stay near the planted Table 3 rates *)
+  let h = Lazy.force Testenv.history in
+  List.iter
+    (fun ((a, b) : Version.t * Version.t) ->
+      let step = Calibration.step_for b in
+      let src_a = List.assoc a h and src_b = List.assoc b h in
+      let names src =
+        List.sort_uniq compare
+          (List.map (fun f -> f.fn_name) (Source.funcs_in src Config.x86_generic))
+      in
+      let na = names src_a and nb = names src_b in
+      let removed = List.length (List.filter (fun n -> not (List.mem n nb)) na) in
+      let measured = float_of_int removed /. float_of_int (List.length na) in
+      let planted = step.Calibration.s_fn.Calibration.r_rm in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s->%s removal %.3f vs planted %.3f"
+           (Version.to_string a) (Version.to_string b) measured planted)
+        true
+        (Float.abs (measured -. planted) < 0.03))
+    (Version.pairs Version.all)
+
+let test_config_population_shape () =
+  (* Table 5 shape at v5.4: arm64 should gain and lose functions relative
+     to x86; cloud flavors mostly lose. *)
+  let h = Lazy.force history in
+  let src = List.assoc (Version.v 5 4) h in
+  let names cfg =
+    List.sort_uniq compare (List.map (fun f -> f.fn_name) (Source.funcs_in src cfg))
+  in
+  let x86 = names Config.x86_generic in
+  let arm64 = names Config.{ arch = Arm64; flavor = Generic } in
+  let azure = names Config.{ arch = X86; flavor = Azure } in
+  let diff a b = List.length (List.filter (fun n -> not (List.mem n b)) a) in
+  let added = diff arm64 x86 and removed = diff x86 arm64 in
+  Alcotest.(check bool)
+    (Printf.sprintf "arm64 adds (%d) and removes (%d)" added removed)
+    true
+    (added > 0 && removed > 0 && removed > added / 3);
+  let az_removed = diff x86 azure and az_added = diff azure x86 in
+  Alcotest.(check bool)
+    (Printf.sprintf "azure prunes more than it adds (+%d -%d)" az_added az_removed)
+    true (az_removed > az_added)
+
+let suites =
+  [
+    ( "ksrc.model",
+      [
+        Alcotest.test_case "versions" `Quick test_versions;
+        Alcotest.test_case "configs" `Quick test_configs;
+        Alcotest.test_case "calibration table" `Quick test_calibration_table;
+        Alcotest.test_case "gates" `Quick test_gates;
+        Alcotest.test_case "transform suffix" `Quick test_transform_suffix;
+        Alcotest.test_case "proto variants" `Quick test_proto_for_variant;
+        Alcotest.test_case "source ops" `Quick test_source_ops;
+        Alcotest.test_case "numa twin" `Quick test_numa_twin;
+        Alcotest.test_case "members_for" `Quick test_members_for;
+        Alcotest.test_case "namegen unique" `Quick test_namegen_unique;
+      ] );
+    ( "ksrc.genpool",
+      [
+        Alcotest.test_case "gen_func" `Quick test_genpool_func;
+        Alcotest.test_case "mutate proto" `Quick test_genpool_mutate_proto;
+        Alcotest.test_case "mutate members" `Quick test_genpool_mutate_members;
+        Alcotest.test_case "syscalls" `Quick test_syscalls;
+      ] );
+    ( "ksrc.evolution",
+      [
+        Alcotest.test_case "history shape" `Quick test_history_shape;
+        Alcotest.test_case "counts grow" `Quick test_history_counts_grow;
+        Alcotest.test_case "deterministic" `Quick test_history_deterministic;
+        Alcotest.test_case "seed matters" `Quick test_history_seed_matters;
+        Alcotest.test_case "biotop lineage" `Quick test_scripted_biotop_lineage;
+        Alcotest.test_case "readahead lineage" `Quick test_scripted_readahead_lineage;
+        Alcotest.test_case "struct lineage" `Quick test_scripted_struct_lineage;
+        Alcotest.test_case "per-release rates match calibration" `Quick
+          test_per_release_rates_match_calibration;
+        Alcotest.test_case "config population shape" `Quick test_config_population_shape;
+        Alcotest.test_case "syscalls stable" `Quick test_syscalls_stable_across_versions;
+        Alcotest.test_case "pinned names protected" `Quick test_pinned_names_protected;
+      ] );
+  ]

@@ -1,0 +1,192 @@
+open Ds_util
+
+let test_prng_deterministic () =
+  let a = Prng.create 42L and b = Prng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_split_independent () =
+  let root = Prng.create 7L in
+  (* Consuming the parent must not change what a split child produces. *)
+  let c1 = Prng.split root "child" in
+  let v1 = Prng.next_int64 c1 in
+  let root' = Prng.create 7L in
+  ignore (Prng.next_int64 root');
+  ignore (Prng.next_int64 root');
+  let c2 = Prng.split root' "child" in
+  Alcotest.(check int64) "split ignores consumption" v1 (Prng.next_int64 c2)
+
+let test_prng_split_labels_differ () =
+  let root = Prng.create 7L in
+  let a = Prng.next_int64 (Prng.split root "a") in
+  let b = Prng.next_int64 (Prng.split root "b") in
+  Alcotest.(check bool) "different labels, different streams" true (a <> b)
+
+let test_prng_int_bounds () =
+  let t = Prng.create 1L in
+  for _ = 1 to 1000 do
+    let v = Prng.int t 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_prng_sample () =
+  let t = Prng.create 3L in
+  let xs = List.init 20 Fun.id in
+  let s = Prng.sample t 5 xs in
+  Alcotest.(check int) "size" 5 (List.length s);
+  Alcotest.(check bool) "sorted (order preserved)" true (List.sort compare s = s);
+  Alcotest.(check bool) "distinct" true (List.sort_uniq compare s = List.sort compare s);
+  Alcotest.(check (list int)) "oversample returns all" xs (Prng.sample t 100 xs)
+
+let test_prng_binomial () =
+  let t = Prng.create 9L in
+  Alcotest.(check int) "p=0" 0 (Prng.binomial t 100 0.);
+  Alcotest.(check int) "p=1" 100 (Prng.binomial t 100 1.);
+  let v = Prng.binomial t 10000 0.3 in
+  Alcotest.(check bool) "roughly np" true (v > 2700 && v < 3300)
+
+let roundtrip_uleb v =
+  let w = Bytesio.Writer.create () in
+  Bytesio.Writer.uleb128 w v;
+  let r = Bytesio.Reader.of_string (Bytesio.Writer.contents w) in
+  Alcotest.(check int) (Printf.sprintf "uleb %d" v) v (Bytesio.Reader.uleb128 r)
+
+let roundtrip_sleb v =
+  let w = Bytesio.Writer.create () in
+  Bytesio.Writer.sleb128 w v;
+  let r = Bytesio.Reader.of_string (Bytesio.Writer.contents w) in
+  Alcotest.(check int) (Printf.sprintf "sleb %d" v) v (Bytesio.Reader.sleb128 r)
+
+let test_leb128 () =
+  List.iter roundtrip_uleb [ 0; 1; 127; 128; 300; 16384; 1 lsl 40 ];
+  List.iter roundtrip_sleb [ 0; 1; -1; 63; 64; -64; -65; 8191; -8192; 1 lsl 40; -(1 lsl 40) ]
+
+let test_endianness () =
+  List.iter
+    (fun endian ->
+      let w = Bytesio.Writer.create ~endian () in
+      Bytesio.Writer.u16 w 0xBEEF;
+      Bytesio.Writer.u32 w 0xDEADBEEF;
+      Bytesio.Writer.u64 w 0x0123456789ABCDEFL;
+      let r = Bytesio.Reader.of_string ~endian (Bytesio.Writer.contents w) in
+      Alcotest.(check int) "u16" 0xBEEF (Bytesio.Reader.u16 r);
+      Alcotest.(check int) "u32" 0xDEADBEEF (Bytesio.Reader.u32 r);
+      Alcotest.(check int64) "u64" 0x0123456789ABCDEFL (Bytesio.Reader.u64 r))
+    [ Bytesio.Little; Bytesio.Big ]
+
+let test_cstring () =
+  let w = Bytesio.Writer.create () in
+  Bytesio.Writer.cstring w "hello";
+  Bytesio.Writer.cstring w "";
+  Bytesio.Writer.cstring w "world";
+  let r = Bytesio.Reader.of_string (Bytesio.Writer.contents w) in
+  Alcotest.(check string) "first" "hello" (Bytesio.Reader.cstring r);
+  Alcotest.(check string) "empty" "" (Bytesio.Reader.cstring r);
+  Alcotest.(check string) "at" "world" (Bytesio.Reader.cstring_at r (Bytesio.Reader.pos r));
+  Alcotest.(check string) "third" "world" (Bytesio.Reader.cstring r)
+
+let test_truncated () =
+  let r = Bytesio.Reader.of_string "ab" in
+  Alcotest.check_raises "u32 past end" (Bytesio.Truncated "need 4 at 0/2") (fun () ->
+      ignore (Bytesio.Reader.u32 r))
+
+let test_align () =
+  let w = Bytesio.Writer.create () in
+  Bytesio.Writer.u8 w 1;
+  Bytesio.Writer.align w 8;
+  Alcotest.(check int) "aligned" 8 (Bytesio.Writer.pos w);
+  Bytesio.Writer.align w 8;
+  Alcotest.(check int) "idempotent" 8 (Bytesio.Writer.pos w)
+
+let test_sub_reader () =
+  let r = Bytesio.Reader.of_string "0123456789" in
+  let s = Bytesio.Reader.sub r ~pos:2 ~len:4 in
+  Alcotest.(check string) "window" "2345" (Bytesio.Reader.bytes s 4);
+  Alcotest.check_raises "sub out of range" (Bytesio.Truncated "sub") (fun () ->
+      ignore (Bytesio.Reader.sub r ~pos:8 ~len:4))
+
+let test_table_render () =
+  let t = Texttable.create ~title:"T" [ ("a", Texttable.L); ("b", Texttable.R) ] in
+  Texttable.row t [ "x"; "1" ];
+  Texttable.row t [ "longer"; "22" ];
+  let s = Texttable.render t in
+  Alcotest.(check bool) "contains title" true (String.length s > 0 && s.[0] = 'T');
+  Alcotest.(check bool) "right-aligns" true
+    (List.exists (fun line -> line = "x        1") (String.split_on_char '\n' s))
+
+let test_table_bar () =
+  Alcotest.(check string) "empty at zero" "" (Texttable.bar 0. ~max:10.);
+  Alcotest.(check string) "empty at no max" "" (Texttable.bar 5. ~max:0.);
+  Alcotest.(check string) "full" "########" (Texttable.bar 10. ~max:10.);
+  Alcotest.(check string) "half" "####" (Texttable.bar 5. ~max:10.);
+  Alcotest.(check string) "tiny values still visible" "#" (Texttable.bar 0.1 ~max:100.)
+
+let test_table_formats () =
+  Alcotest.(check string) "pct zero" "-" (Texttable.pct 0.);
+  Alcotest.(check string) "pct small" "0.3" (Texttable.pct 0.3);
+  Alcotest.(check string) "pct big" "24" (Texttable.pct 24.2);
+  Alcotest.(check string) "count k" "36k" (Texttable.count 36000);
+  Alcotest.(check string) "count 6.2k" "6.2k" (Texttable.count 6200);
+  Alcotest.(check string) "count small" "502" (Texttable.count 502)
+
+let test_stats () =
+  Alcotest.(check (float 1e-9)) "percent" 25. (Stats.percent 1 4);
+  Alcotest.(check (float 1e-9)) "percent zero whole" 0. (Stats.percent 1 0);
+  Alcotest.(check (float 1e-9)) "mean" 2. (Stats.mean [ 1.; 2.; 3. ]);
+  Alcotest.(check int) "ratio" 24 (Stats.ratio_scaled 100 0.24)
+
+let qcheck_leb128 =
+  QCheck.Test.make ~name:"uleb128 roundtrip" ~count:500
+    QCheck.(int_bound ((1 lsl 50) - 1))
+    (fun v ->
+      let w = Bytesio.Writer.create () in
+      Bytesio.Writer.uleb128 w v;
+      let r = Bytesio.Reader.of_string (Bytesio.Writer.contents w) in
+      Bytesio.Reader.uleb128 r = v)
+
+let qcheck_sleb128 =
+  QCheck.Test.make ~name:"sleb128 roundtrip" ~count:500 QCheck.int (fun v ->
+      let w = Bytesio.Writer.create () in
+      Bytesio.Writer.sleb128 w v;
+      let r = Bytesio.Reader.of_string (Bytesio.Writer.contents w) in
+      Bytesio.Reader.sleb128 r = v)
+
+let qcheck_prng_int =
+  QCheck.Test.make ~name:"prng int in bounds" ~count:500
+    QCheck.(pair int64 (int_range 1 1000))
+    (fun (seed, bound) ->
+      let v = Prng.int (Prng.create seed) bound in
+      v >= 0 && v < bound)
+
+let suites =
+  [
+    ( "util.prng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+        Alcotest.test_case "split independent" `Quick test_prng_split_independent;
+        Alcotest.test_case "split labels differ" `Quick test_prng_split_labels_differ;
+        Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+        Alcotest.test_case "sample" `Quick test_prng_sample;
+        Alcotest.test_case "binomial" `Quick test_prng_binomial;
+        QCheck_alcotest.to_alcotest qcheck_prng_int;
+      ] );
+    ( "util.bytesio",
+      [
+        Alcotest.test_case "leb128" `Quick test_leb128;
+        Alcotest.test_case "endianness" `Quick test_endianness;
+        Alcotest.test_case "cstring" `Quick test_cstring;
+        Alcotest.test_case "truncated" `Quick test_truncated;
+        Alcotest.test_case "align" `Quick test_align;
+        Alcotest.test_case "sub reader" `Quick test_sub_reader;
+        QCheck_alcotest.to_alcotest qcheck_leb128;
+        QCheck_alcotest.to_alcotest qcheck_sleb128;
+      ] );
+    ( "util.table",
+      [
+        Alcotest.test_case "render" `Quick test_table_render;
+        Alcotest.test_case "bar" `Quick test_table_bar;
+        Alcotest.test_case "formats" `Quick test_table_formats;
+        Alcotest.test_case "stats" `Quick test_stats;
+      ] );
+  ]

@@ -1,0 +1,30 @@
+(* Shared, lazily-built fixtures so every suite reuses one kernel history
+   and one set of compiled images. *)
+
+open Ds_ksrc
+
+let seed = 42L
+let history = lazy (Evolution.build_history ~seed Calibration.test_scale)
+let source_at v = List.assoc v (Lazy.force history)
+
+let image_cache : (string, Ds_elf.Elf.t) Hashtbl.t = Hashtbl.create 16
+
+let image ?(cfg = Config.x86_generic) v =
+  let key = Version.to_string v ^ "/" ^ Config.to_string cfg in
+  match Hashtbl.find_opt image_cache key with
+  | Some img -> img
+  | None ->
+      let img = Ds_kcc.Emit.build_image (source_at v) cfg in
+      Hashtbl.replace image_cache key img;
+      img
+
+let model_cache : (string, Ds_kcc.Compile.model) Hashtbl.t = Hashtbl.create 16
+
+let model ?(cfg = Config.x86_generic) v =
+  let key = Version.to_string v ^ "/" ^ Config.to_string cfg in
+  match Hashtbl.find_opt model_cache key with
+  | Some m -> m
+  | None ->
+      let m = Ds_kcc.Compile.compile (source_at v) cfg in
+      Hashtbl.replace model_cache key m;
+      m
