@@ -19,42 +19,35 @@ let scale =
   | Some "test" -> Calibration.test_scale
   | _ -> Calibration.bench_scale
 
-let ds = Pipeline.dataset scale
+(* jobs=1 vs jobs=N pipeline comparison; N from DEPSURF_JOBS/cores, but
+   at least 4 so the pool machinery is always exercised *)
+let par_jobs =
+  let n = Par.default_jobs () in
+  if n > 1 then n else 4
+
+let now = Unix.gettimeofday
+let time f =
+  let t0 = now () in
+  let r = f () in
+  (r, now () -. t0)
+
+let ds, t_evolve = time (fun () -> Pipeline.dataset scale)
+let pool = Par.create ~jobs:par_jobs ()
+let cached = Pipeline.cached ~pool ds
 let x86 v = Dataset.surface ds v Config.x86_generic
 let section title = Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
 
-let lts_pairs = Version.pairs Version.lts
 let pct = Texttable.pct
 let count = Texttable.count
 
-(* Shared computations, memoized across sections. *)
-let lts_diffs =
-  lazy
-    (List.map
-       (fun (a, b) -> ((a, b), Diff.compare_surfaces Diff.Across_versions (x86 a) (x86 b)))
-       lts_pairs)
-
-let release_diffs =
-  lazy
-    (List.map
-       (fun (a, b) -> ((a, b), Diff.compare_surfaces Diff.Across_versions (x86 a) (x86 b)))
-       (Version.pairs Version.all))
-
-let config_diffs =
-  lazy
-    (let base = x86 (Version.v 5 4) in
-     List.filter_map
-       (fun cfg ->
-         if Config.equal cfg Config.x86_generic then None
-         else
-           Some
-             ( cfg,
-               Diff.compare_surfaces Diff.Across_configs base
-                 (Dataset.surface ds (Version.v 5 4) cfg) ))
-       Config.study_configs)
+(* Shared computations, memoized across sections (Pipeline.cached
+   computes each diff fan-out once, through the pool). *)
+let lts_diffs = lazy (Pipeline.lts_diffs cached)
+let release_diffs = lazy (Pipeline.release_diffs cached)
+let config_diffs = lazy (Pipeline.config_diffs cached)
 
 let corpus = lazy (Ds_corpus.Corpus.build_all ds ())
-let corpus_analysis = lazy (Ds_corpus.Corpus.analyze_all_matrices ds (Lazy.force corpus))
+let corpus_analysis = lazy (Ds_corpus.Corpus.analyze_all_matrices ds ~pool (Lazy.force corpus))
 
 (* ------------------------------------------------------------------ *)
 (* Table 3                                                              *)
@@ -760,15 +753,146 @@ let perf () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* End-to-end pipeline timing: jobs=1 vs jobs=N, per stage, persisted   *)
+(* as BENCH_PIPELINE.json so later PRs have a perf trajectory.          *)
+(* ------------------------------------------------------------------ *)
+
+type stage_times = {
+  st_compile : float;  (** compile + emit *)
+  st_parse : float;  (** ELF roundtrip + BTF/DWARF parse *)
+  st_surface : float;
+  st_diff : float;
+  st_corpus : float;
+}
+
+let stage_total st = st.st_compile +. st.st_parse +. st.st_surface +. st.st_diff +. st.st_corpus
+
+(* Warm stage by stage (images, then vmlinuxes, then surfaces) so each
+   layer of the chain gets its own wall-clock number; the diff and corpus
+   fan-outs then run on the warmed dataset. *)
+let staged_run ?pool ds' c corpus_thunk =
+  let force f =
+    let chain (v, cfg) = ignore (f ds' v cfg) in
+    match pool with
+    | None -> List.iter chain Dataset.study_images
+    | Some p -> ignore (Par.map_list p chain Dataset.study_images)
+  in
+  let (), st_compile = time (fun () -> force Dataset.image) in
+  let (), st_parse = time (fun () -> force Dataset.vmlinux) in
+  let (), st_surface = time (fun () -> force Dataset.surface) in
+  let (), st_diff =
+    time (fun () ->
+        ignore (Pipeline.lts_diffs c);
+        ignore (Pipeline.release_diffs c);
+        ignore (Pipeline.config_diffs c))
+  in
+  let analysis, st_corpus = time corpus_thunk in
+  ({ st_compile; st_parse; st_surface; st_diff; st_corpus }, analysis)
+
+let write_bench_json seq par =
+  let open Json in
+  let stage name s p =
+    Obj
+      [
+        ("stage", String name);
+        ("seq_s", Float s);
+        ("par_s", Float p);
+        ("speedup", Float (s /. Float.max 1e-9 p));
+      ]
+  in
+  let total_seq = t_evolve +. stage_total seq and total_par = t_evolve +. stage_total par in
+  let j =
+    Obj
+      [
+        ("schema", String "depsurf-bench-pipeline/1");
+        ("scale", String (if scale = Calibration.bench_scale then "bench" else "test"));
+        ("image_count", Int (List.length Dataset.study_images));
+        ("corpus_programs", Int (List.length T7.programs));
+        ("jobs_seq", Int 1);
+        ("jobs_par", Int par_jobs);
+        ( "stages",
+          List
+            [
+              stage "evolve" t_evolve t_evolve;
+              stage "compile_emit" seq.st_compile par.st_compile;
+              stage "parse" seq.st_parse par.st_parse;
+              stage "surface" seq.st_surface par.st_surface;
+              stage "diff" seq.st_diff par.st_diff;
+              stage "corpus" seq.st_corpus par.st_corpus;
+            ] );
+        ("total_seq_s", Float total_seq);
+        ("total_par_s", Float total_par);
+        ("speedup", Float (total_seq /. Float.max 1e-9 total_par));
+      ]
+  in
+  let oc = open_out "BENCH_PIPELINE.json" in
+  output_string oc (Json.to_string j);
+  output_char oc '\n';
+  close_out oc;
+  total_seq, total_par
+
+let biotop_matrix analysis =
+  let _, m, _ = List.find (fun ((pr : T7.profile), _, _) -> pr.T7.pr_name = "biotop") analysis in
+  Report.render_matrix m
+
+let pipeline_timing () =
+  section (Printf.sprintf "Pipeline timing: jobs=1 vs jobs=%d (%d images)" par_jobs
+             (List.length Dataset.study_images));
+  (* jobs=1 reference run on its own dataset *)
+  let ds1 = Pipeline.dataset scale in
+  let seq, seq_analysis =
+    staged_run ds1 (Pipeline.cached ds1) (fun () ->
+        Ds_corpus.Corpus.analyze_all_matrices ds1 (Ds_corpus.Corpus.build_all ds1 ()))
+  in
+  (* jobs=N run on the dataset every table below reads *)
+  let par, par_analysis = staged_run ~pool ds cached (fun () -> Lazy.force corpus_analysis) in
+  let t =
+    Texttable.create
+      [
+        ("stage", Texttable.L); ("jobs=1 (s)", Texttable.R);
+        (Printf.sprintf "jobs=%d (s)" par_jobs, Texttable.R); ("speedup", Texttable.R);
+      ]
+  in
+  let row name s p =
+    Texttable.row t
+      [ name; Printf.sprintf "%.2f" s; Printf.sprintf "%.2f" p;
+        Printf.sprintf "%.2fx" (s /. Float.max 1e-9 p) ]
+  in
+  row "evolve (sequential)" t_evolve t_evolve;
+  row "compile+emit" seq.st_compile par.st_compile;
+  row "parse" seq.st_parse par.st_parse;
+  row "surface" seq.st_surface par.st_surface;
+  row "diff" seq.st_diff par.st_diff;
+  row "corpus" seq.st_corpus par.st_corpus;
+  Texttable.sep t;
+  let total_seq, total_par = write_bench_json seq par in
+  row "total" total_seq total_par;
+  print_string (Texttable.render t);
+  print_endline "(written to BENCH_PIPELINE.json)";
+  if Domain.recommended_domain_count () = 1 then
+    print_endline
+      "(single-core host: the jobs>1 run is oversubscribed; wall-clock speedup needs >1 core)";
+  (* determinism contract: the parallel run must be byte-identical *)
+  let seq_surface = Json.to_string (Export.surface (Dataset.surface ds1 (Version.v 6 8) Config.x86_generic)) in
+  let par_surface = Json.to_string (Export.surface (x86 (Version.v 6 8))) in
+  if
+    String.equal (biotop_matrix seq_analysis) (biotop_matrix par_analysis)
+    && String.equal seq_surface par_surface
+  then print_endline "determinism check: jobs=1 and parallel outputs byte-identical: OK"
+  else begin
+    print_endline "determinism check: FAILED (parallel output differs from jobs=1)";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let () =
-  let t0 = Sys.time () in
+  let t0 = now () in
   Printf.printf "DepSurf benchmark harness (seed %Ld, scale: %s)\n" (Dataset.seed ds)
     (if scale = Calibration.bench_scale then "bench (~1/25 of a real kernel)" else "test");
-  Dataset.warm ds;
-  Printf.printf "dataset: %d images generated, compiled and parsed in %.1fs\n"
-    (List.length Dataset.study_images)
-    (Sys.time () -. t0);
+  pipeline_timing ();
+  Printf.printf "\ndataset: %d images generated, compiled and parsed (evolve %.2fs)\n"
+    (List.length Dataset.study_images) t_evolve;
   table1 ();
   table2 ();
   table3 ();
@@ -787,4 +911,5 @@ let () =
   ablation_composition ();
   ablation_threshold ();
   perf ();
-  Printf.printf "\ntotal: %.1fs\n" (Sys.time () -. t0)
+  Par.shutdown pool;
+  Printf.printf "\ntotal: %.1fs\n" (now () -. t0)

@@ -67,6 +67,16 @@ let flavor_arg =
 
 let mk_ds seed scale = Dataset.build ~seed scale
 
+let jobs_arg =
+  Arg.(value & opt int 0
+       & info [ "jobs"; "j" ]
+           ~doc:"Worker domains for the parallel pipeline (0 = \\$DEPSURF_JOBS, or all cores).")
+
+(* run [f] with a domain pool sized by --jobs, shut down on exit *)
+let with_pool jobs f =
+  let jobs = if jobs >= 1 then jobs else Ds_util.Par.default_jobs () in
+  Ds_util.Par.run ~jobs f
+
 (* ---- surface ------------------------------------------------------- *)
 
 let surface_cmd =
@@ -164,7 +174,7 @@ let report_cmd =
     Arg.(required & opt (some string) None & info [ "tool"; "t" ] ~doc:"Corpus tool name (Table 7).")
   in
   let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.") in
-  let run seed scale tool json =
+  let run seed scale jobs tool json =
     let ds = mk_ds seed scale in
     match Ds_corpus.Table7.find tool with
     | None ->
@@ -173,6 +183,9 @@ let report_cmd =
              (List.map (fun (p : Ds_corpus.Table7.profile) -> p.pr_name) Ds_corpus.Table7.programs));
         exit 1
     | Some _ ->
+        with_pool jobs @@ fun pool ->
+        Dataset.warm_list ~pool ds
+          ((Version.v 5 4, Config.x86_generic) :: Dataset.fig4_images);
         let built = Ds_corpus.Corpus.build_all ds () in
         let _, obj =
           List.find (fun ((p : Ds_corpus.Table7.profile), _) -> p.pr_name = tool) built
@@ -182,7 +195,7 @@ let report_cmd =
         else print_string (Report.render_matrix m)
   in
   Cmd.v (Cmd.info "report" ~doc:"Figure-4 style mismatch matrix for a corpus tool.")
-    Term.(const run $ seed_arg $ scale_arg $ tool_arg $ json_arg)
+    Term.(const run $ seed_arg $ scale_arg $ jobs_arg $ tool_arg $ json_arg)
 
 (* ---- dump ---------------------------------------------------------- *)
 
@@ -291,9 +304,10 @@ let export_dataset_cmd =
   let dir_arg =
     Arg.(value & opt string "dataset" & info [ "dir" ] ~doc:"Output directory.")
   in
-  let run seed scale dir =
+  let run seed scale jobs dir =
     let ds = mk_ds seed scale in
     if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    with_pool jobs (fun pool -> Dataset.warm_par ~pool ds);
     List.iter
       (fun (v, cfg) ->
         let s = Dataset.surface ds v cfg in
@@ -309,15 +323,20 @@ let export_dataset_cmd =
   Cmd.v
     (Cmd.info "export-dataset"
        ~doc:"Write every study surface as JSON (the public DepSurf-dataset layout).")
-    Term.(const run $ seed_arg $ scale_arg $ dir_arg)
+    Term.(const run $ seed_arg $ scale_arg $ jobs_arg $ dir_arg)
 
 let gen_images_cmd =
   let dir_arg =
     Arg.(value & opt string "images" & info [ "dir" ] ~doc:"Output directory for vmlinux files.")
   in
-  let run seed scale dir =
+  let run seed scale jobs dir =
     let ds = mk_ds seed scale in
     if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    with_pool jobs (fun pool ->
+        ignore
+          (Ds_util.Par.map_list pool
+             (fun (v, cfg) -> ignore (Dataset.image ds v cfg))
+             Dataset.study_images));
     List.iter
       (fun (v, cfg) ->
         let name =
@@ -331,7 +350,7 @@ let gen_images_cmd =
   in
   Cmd.v
     (Cmd.info "gen-images" ~doc:"Write the 25 study vmlinux images to disk.")
-    Term.(const run $ seed_arg $ scale_arg $ dir_arg)
+    Term.(const run $ seed_arg $ scale_arg $ jobs_arg $ dir_arg)
 
 let mkobj_cmd =
   let tool_arg =
@@ -374,7 +393,7 @@ let analyze_cmd =
              ~doc:"Directory of surface JSON files (from export-dataset): analyze without any \
                    kernel images.")
   in
-  let run seed scale obj_path image_dir dataset_dir =
+  let run seed scale jobs obj_path image_dir dataset_dir =
     let obj =
       try Ds_bpf.Obj.read (read_file obj_path)
       with Ds_bpf.Obj.Bad_obj m | Sys_error m ->
@@ -410,6 +429,9 @@ let analyze_cmd =
         |> analyze_surfaces
     | None, None ->
         let ds = mk_ds seed scale in
+        with_pool jobs (fun pool ->
+            Dataset.warm_list ~pool ds
+              ((Version.v 5 4, Config.x86_generic) :: Dataset.fig4_images));
         print_string (Report.render_matrix (Pipeline.analyze ds obj))
     | Some dir, _ ->
         (* file-based: extract each surface from the on-disk image bytes *)
@@ -424,15 +446,16 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Analyze an on-disk eBPF object against kernel images.")
-    Term.(const run $ seed_arg $ scale_arg $ obj_arg $ image_dir_arg $ dataset_dir_arg)
+    Term.(const run $ seed_arg $ scale_arg $ jobs_arg $ obj_arg $ image_dir_arg $ dataset_dir_arg)
 
 (* ---- corpus -------------------------------------------------------- *)
 
 let corpus_cmd =
-  let run seed scale =
+  let run seed scale jobs =
     let ds = mk_ds seed scale in
+    with_pool jobs @@ fun pool ->
     let built = Ds_corpus.Corpus.build_all ds () in
-    let results = Ds_corpus.Corpus.analyze_all ds built in
+    let results = Ds_corpus.Corpus.analyze_all ds ~pool built in
     let impacted = List.filter (fun (_, s) -> not (Report.clean s)) results in
     List.iter
       (fun ((pr : Ds_corpus.Table7.profile), s) ->
@@ -453,7 +476,7 @@ let corpus_cmd =
       (Ds_util.Stats.percent (List.length impacted) (List.length results))
   in
   Cmd.v (Cmd.info "corpus" ~doc:"Analyze all 53 Table-7 programs.")
-    Term.(const run $ seed_arg $ scale_arg)
+    Term.(const run $ seed_arg $ scale_arg $ jobs_arg)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

@@ -1,13 +1,17 @@
 open Ds_ksrc
+module Par = Ds_util.Par
 
 type t = {
   seed : int64;
   scale : Calibration.scale;
   history : (Version.t * Source.t) list;
-  models : (string, Ds_kcc.Compile.model) Hashtbl.t;
-  images : (string, Ds_elf.Elf.t) Hashtbl.t;
-  vmlinuxes : (string, Ds_bpf.Vmlinux.t) Hashtbl.t;
-  surfaces : (string, Surface.t) Hashtbl.t;
+  sources : (Version.t, Source.t) Hashtbl.t;
+      (* index over [history]; read-only after [build], so safe to share
+         across domains without a lock *)
+  models : (string, Ds_kcc.Compile.model) Par.Memo.t;
+  images : (string, Ds_elf.Elf.t) Par.Memo.t;
+  vmlinuxes : (string, Ds_bpf.Vmlinux.t) Par.Memo.t;
+  surfaces : (string, Surface.t) Par.Memo.t;
 }
 
 let study_images =
@@ -23,48 +27,57 @@ let fig4_images =
       [ Config.Arm64; Config.Arm32; Config.Ppc; Config.Riscv ]
 
 let build ~seed scale =
+  let history = Evolution.build_history ~seed scale in
+  let sources = Hashtbl.create (List.length history) in
+  List.iter (fun (v, src) -> Hashtbl.replace sources v src) history;
   {
     seed;
     scale;
-    history = Evolution.build_history ~seed scale;
-    models = Hashtbl.create 32;
-    images = Hashtbl.create 32;
-    vmlinuxes = Hashtbl.create 32;
-    surfaces = Hashtbl.create 32;
+    history;
+    sources;
+    models = Par.Memo.create 32;
+    images = Par.Memo.create 32;
+    vmlinuxes = Par.Memo.create 32;
+    surfaces = Par.Memo.create 32;
   }
 
 let seed t = t.seed
 let scale t = t.scale
 
 let source t v =
-  match List.find_opt (fun (v', _) -> Version.equal v v') t.history with
-  | Some (_, src) -> src
+  match Hashtbl.find_opt t.sources v with
+  | Some src -> src
   | None -> invalid_arg ("Dataset.source: unknown version " ^ Version.to_string v)
 
 let key v cfg = Version.to_string v ^ "/" ^ Config.to_string cfg
 
-let memo tbl k f =
-  match Hashtbl.find_opt tbl k with
-  | Some v -> v
-  | None ->
-      let v = f () in
-      Hashtbl.replace tbl k v;
-      v
-
 let model t v cfg =
-  memo t.models (key v cfg) (fun () -> Ds_kcc.Compile.compile (source t v) cfg)
+  Par.Memo.find_or_compute t.models (key v cfg) (fun () ->
+      Ds_kcc.Compile.compile (source t v) cfg)
 
-let image t v cfg = memo t.images (key v cfg) (fun () -> Ds_kcc.Emit.emit (model t v cfg))
+let image t v cfg =
+  Par.Memo.find_or_compute t.images (key v cfg) (fun () -> Ds_kcc.Emit.emit (model t v cfg))
 
 let vmlinux t v cfg =
-  memo t.vmlinuxes (key v cfg) (fun () ->
+  Par.Memo.find_or_compute t.vmlinuxes (key v cfg) (fun () ->
       (* Serialize and re-parse: every analysis works on the bytes a real
          image would provide, not on in-memory structures. *)
       Ds_bpf.Vmlinux.load (Ds_elf.Elf.read (Ds_elf.Elf.write (image t v cfg))))
 
 let surface t v cfg =
-  memo t.surfaces (key v cfg) (fun () -> Surface.of_vmlinux (vmlinux t v cfg))
+  Par.Memo.find_or_compute t.surfaces (key v cfg) (fun () ->
+      Surface.of_vmlinux (vmlinux t v cfg))
 
 let x86_series t = List.map (fun v -> (v, surface t v Config.x86_generic)) Version.all
 
 let warm t = List.iter (fun (v, cfg) -> ignore (surface t v cfg)) study_images
+
+let warm_list ?pool t imgs =
+  match pool with
+  | None -> List.iter (fun (v, cfg) -> ignore (surface t v cfg)) imgs
+  | Some p -> ignore (Par.map_list p (fun (v, cfg) -> ignore (surface t v cfg)) imgs)
+
+let warm_par ?pool t =
+  match pool with
+  | Some _ -> warm_list ?pool t study_images
+  | None -> Par.run (fun p -> warm_list ~pool:p t study_images)

@@ -17,8 +17,13 @@ val build : seed:int64 -> Calibration.scale -> t
     on first access. *)
 
 val seed : t -> int64
+
 val scale : t -> Calibration.scale
+
 val source : t -> Version.t -> Source.t
+(** O(1): served from a [Hashtbl] index built over the history at
+    construction time. *)
+
 val image : t -> Version.t -> Config.t -> Ds_elf.Elf.t
 val model : t -> Version.t -> Config.t -> Ds_kcc.Compile.model
 val vmlinux : t -> Version.t -> Config.t -> Ds_bpf.Vmlinux.t
@@ -27,4 +32,19 @@ val x86_series : t -> (Version.t * Surface.t) list
 (** The 17 x86/generic surfaces in release order. *)
 
 val warm : t -> unit
-(** Force every study image/surface (useful before timing runs). *)
+(** Force every study image/surface sequentially (useful before timing
+    runs). *)
+
+val warm_list : ?pool:Ds_util.Par.pool -> t -> (Version.t * Config.t) list -> unit
+(** Force the given images, through the pool when one is supplied. Each
+    image's compile → emit → ELF-roundtrip → parse → surface chain is
+    independent, so this fans out near-linearly.
+
+    All accessors above are safe to call from multiple domains: the memo
+    tables guarantee each (version, config) model/image/vmlinux/surface
+    is computed exactly once. *)
+
+val warm_par : ?pool:Ds_util.Par.pool -> t -> unit
+(** {!warm_list} over {!study_images}; without [pool], a temporary pool
+    sized by [DEPSURF_JOBS] (default: all cores) is created and shut
+    down. *)

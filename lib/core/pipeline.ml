@@ -1,8 +1,57 @@
 open Ds_ksrc
+module Par = Ds_util.Par
 
 let default_seed = 0xD5EED5EEDL
 
 let dataset ?(seed = default_seed) scale = Dataset.build ~seed scale
+
+type cached = {
+  c_ds : Dataset.t;
+  c_pool : Par.pool option;
+  c_lts : (unit, ((Version.t * Version.t) * Diff.t) list) Par.Memo.t;
+  c_release : (unit, ((Version.t * Version.t) * Diff.t) list) Par.Memo.t;
+  c_config : (unit, (Config.t * Diff.t) list) Par.Memo.t;
+}
+
+let cached ?pool ds =
+  {
+    c_ds = ds;
+    c_pool = pool;
+    c_lts = Par.Memo.create 1;
+    c_release = Par.Memo.create 1;
+    c_config = Par.Memo.create 1;
+  }
+
+let dataset_cached ?(seed = default_seed) ?pool scale = cached ?pool (dataset ~seed scale)
+let cached_dataset c = c.c_ds
+
+let maplist c f xs =
+  match c.c_pool with None -> List.map f xs | Some p -> Par.map_list p f xs
+
+let x86 c v = Dataset.surface c.c_ds v Config.x86_generic
+
+let version_diffs c pairs =
+  maplist c
+    (fun (a, b) -> ((a, b), Diff.compare_surfaces Diff.Across_versions (x86 c a) (x86 c b)))
+    pairs
+
+let lts_diffs c =
+  Par.Memo.find_or_compute c.c_lts () (fun () -> version_diffs c (Version.pairs Version.lts))
+
+let release_diffs c =
+  Par.Memo.find_or_compute c.c_release () (fun () -> version_diffs c (Version.pairs Version.all))
+
+let config_diffs c =
+  Par.Memo.find_or_compute c.c_config () (fun () ->
+      let base = x86 c (Version.v 5 4) in
+      let others =
+        List.filter (fun cfg -> not (Config.equal cfg Config.x86_generic)) Config.study_configs
+      in
+      maplist c
+        (fun cfg ->
+          (cfg, Diff.compare_surfaces Diff.Across_configs base
+                  (Dataset.surface c.c_ds (Version.v 5 4) cfg)))
+        others)
 
 let analyze ds ?(images = Dataset.fig4_images) ?(baseline = (Version.v 5 4, Config.x86_generic))
     obj =

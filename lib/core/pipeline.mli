@@ -8,6 +8,30 @@ val default_seed : int64
 
 val dataset : ?seed:int64 -> Calibration.scale -> Dataset.t
 
+type cached
+(** A dataset plus once-memoized pairwise diff fan-outs shared by the CLI
+    and the bench harness (Tables 1/3/4/5, ablations), so the same diffs
+    are never recomputed. When built with a pool, the fan-outs run through
+    {!Ds_util.Par.map_list} (input order preserved, so output is identical
+    to the sequential run). *)
+
+val cached : ?pool:Ds_util.Par.pool -> Dataset.t -> cached
+
+val dataset_cached : ?seed:int64 -> ?pool:Ds_util.Par.pool -> Calibration.scale -> cached
+(** [cached] over a fresh {!dataset}. *)
+
+val cached_dataset : cached -> Dataset.t
+
+val lts_diffs : cached -> ((Version.t * Version.t) * Diff.t) list
+(** Diffs of consecutive LTS pairs (x86/generic), computed once. *)
+
+val release_diffs : cached -> ((Version.t * Version.t) * Diff.t) list
+(** Diffs of all consecutive release pairs (x86/generic), computed once. *)
+
+val config_diffs : cached -> (Config.t * Diff.t) list
+(** Diffs of every non-default study config against x86/generic at v5.4,
+    computed once. *)
+
 val analyze :
   Dataset.t ->
   ?images:(Version.t * Config.t) list ->

@@ -189,13 +189,18 @@ let build_all ds ?(build = (Version.v 5 4, Config.x86_generic)) () =
       (pr, Depsurf.Pipeline.build_program ds ~build spec))
     Table7.programs
 
-let analyze_all_matrices ds ?(images = Depsurf.Dataset.fig4_images)
+let analyze_all_matrices ds ?pool ?(images = Depsurf.Dataset.fig4_images)
     ?(baseline = (Version.v 5 4, Config.x86_generic)) built =
-  List.map
-    (fun (pr, obj) ->
-      let m = Depsurf.Report.matrix ds ~images ~baseline obj in
-      (pr, m, Depsurf.Report.summarize m))
-    built
+  (* warm the image set first so the per-program fan-out only reads the
+     memo tables; with a pool both phases run across domains *)
+  Depsurf.Dataset.warm_list ?pool ds (baseline :: images);
+  let analyze (pr, obj) =
+    let m = Depsurf.Report.matrix ds ~images ~baseline obj in
+    (pr, m, Depsurf.Report.summarize m)
+  in
+  match pool with
+  | None -> List.map analyze built
+  | Some p -> Ds_util.Par.map_list p analyze built
 
-let analyze_all ds ?images ?baseline built =
-  List.map (fun (pr, _, s) -> (pr, s)) (analyze_all_matrices ds ?images ?baseline built)
+let analyze_all ds ?pool ?images ?baseline built =
+  List.map (fun (pr, _, s) -> (pr, s)) (analyze_all_matrices ds ?pool ?images ?baseline built)

@@ -17,15 +17,18 @@ val build_all :
 
 val analyze_all :
   Depsurf.Dataset.t ->
+  ?pool:Ds_util.Par.pool ->
   ?images:(Version.t * Config.t) list ->
   ?baseline:Version.t * Config.t ->
   (Table7.profile * Ds_bpf.Obj.t) list ->
   (Table7.profile * Depsurf.Report.mismatch_summary) list
 (** Run the Figure-4 style analysis for every program and summarize (the
-    measured Table 7). *)
+    measured Table 7). With [pool], the per-program matrices are computed
+    through {!Ds_util.Par.map_list} (result order unchanged). *)
 
 val analyze_all_matrices :
   Depsurf.Dataset.t ->
+  ?pool:Ds_util.Par.pool ->
   ?images:(Version.t * Config.t) list ->
   ?baseline:Version.t * Config.t ->
   (Table7.profile * Ds_bpf.Obj.t) list ->

@@ -1,0 +1,215 @@
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  f_mutex : Mutex.t;
+  f_cond : Condition.t;
+  mutable f_state : 'a state;
+  f_pool : pool;
+}
+
+and task = Task : 'a future * (unit -> 'a) -> task
+
+and pool = {
+  p_jobs : int;
+  p_mutex : Mutex.t;
+  p_pending : Condition.t;
+  p_queue : task Queue.t;
+  mutable p_down : bool;
+  mutable p_workers : unit Domain.t list;
+}
+
+let default_jobs () =
+  match Option.bind (Sys.getenv_opt "DEPSURF_JOBS") int_of_string_opt with
+  | Some n when n >= 1 -> n
+  | _ -> Domain.recommended_domain_count ()
+
+let jobs p = p.p_jobs
+
+let finish (Task (fut, f)) =
+  let result =
+    try Done (f ()) with e -> Failed (e, Printexc.get_raw_backtrace ())
+  in
+  Mutex.lock fut.f_mutex;
+  fut.f_state <- result;
+  Condition.broadcast fut.f_cond;
+  Mutex.unlock fut.f_mutex
+
+let try_pop p =
+  Mutex.lock p.p_mutex;
+  let t = Queue.take_opt p.p_queue in
+  Mutex.unlock p.p_mutex;
+  t
+
+let rec worker p =
+  Mutex.lock p.p_mutex;
+  while Queue.is_empty p.p_queue && not p.p_down do
+    Condition.wait p.p_pending p.p_mutex
+  done;
+  match Queue.take_opt p.p_queue with
+  | None ->
+      (* shut down with an empty queue *)
+      Mutex.unlock p.p_mutex
+  | Some t ->
+      Mutex.unlock p.p_mutex;
+      finish t;
+      worker p
+
+let create ?jobs () =
+  let n = match jobs with Some n when n >= 1 -> n | Some _ | None -> default_jobs () in
+  let p =
+    {
+      p_jobs = n;
+      p_mutex = Mutex.create ();
+      p_pending = Condition.create ();
+      p_queue = Queue.create ();
+      p_down = false;
+      p_workers = [];
+    }
+  in
+  (* the caller is the n-th worker: it executes tasks inside [await] *)
+  p.p_workers <- List.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker p));
+  p
+
+let submit p f =
+  let fut = { f_mutex = Mutex.create (); f_cond = Condition.create (); f_state = Pending; f_pool = p } in
+  Mutex.lock p.p_mutex;
+  if p.p_down then begin
+    Mutex.unlock p.p_mutex;
+    invalid_arg "Par.submit: pool is shut down"
+  end;
+  Queue.push (Task (fut, f)) p.p_queue;
+  Condition.signal p.p_pending;
+  Mutex.unlock p.p_mutex;
+  fut
+
+let rec await fut =
+  Mutex.lock fut.f_mutex;
+  let st = fut.f_state in
+  Mutex.unlock fut.f_mutex;
+  match st with
+  | Done v -> v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending -> (
+      (* help: run queued tasks instead of blocking, so a 1-domain pool
+         makes progress and larger pools keep the caller busy *)
+      match try_pop fut.f_pool with
+      | Some t ->
+          finish t;
+          await fut
+      | None ->
+          let pending f = match f.f_state with Pending -> true | _ -> false in
+          Mutex.lock fut.f_mutex;
+          while pending fut do
+            Condition.wait fut.f_cond fut.f_mutex
+          done;
+          Mutex.unlock fut.f_mutex;
+          await fut)
+
+let map_list p f xs = List.map await (List.map (fun x -> submit p (fun () -> f x)) xs)
+
+let map_reduce p ~map ~reduce ~init xs =
+  List.fold_left reduce init (map_list p map xs)
+
+let shutdown p =
+  Mutex.lock p.p_mutex;
+  p.p_down <- true;
+  Condition.broadcast p.p_pending;
+  Mutex.unlock p.p_mutex;
+  (* drain whatever the workers leave behind, then join them *)
+  let rec drain () = match try_pop p with Some t -> finish t; drain () | None -> () in
+  drain ();
+  List.iter Domain.join p.p_workers;
+  p.p_workers <- []
+
+let run ?jobs f =
+  let p = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown p) (fun () -> f p)
+
+module Memo = struct
+  type 'v cell_state =
+    | In_progress
+    | Ready of 'v
+    | Broken of exn * Printexc.raw_backtrace
+
+  type 'v cell = {
+    c_mutex : Mutex.t;
+    c_cond : Condition.t;
+    mutable c_state : 'v cell_state;
+  }
+
+  type ('k, 'v) t = { m_mutex : Mutex.t; m_tbl : ('k, 'v cell) Hashtbl.t }
+
+  let create n = { m_mutex = Mutex.create (); m_tbl = Hashtbl.create n }
+
+  let in_progress cell = match cell.c_state with In_progress -> true | _ -> false
+
+  let read cell =
+    Mutex.lock cell.c_mutex;
+    while in_progress cell do
+      Condition.wait cell.c_cond cell.c_mutex
+    done;
+    let st = cell.c_state in
+    Mutex.unlock cell.c_mutex;
+    match st with
+    | Ready v -> v
+    | Broken (e, bt) -> Printexc.raise_with_backtrace e bt
+    | In_progress -> assert false
+
+  let fill cell st =
+    Mutex.lock cell.c_mutex;
+    cell.c_state <- st;
+    Condition.broadcast cell.c_cond;
+    Mutex.unlock cell.c_mutex
+
+  let find_or_compute t k f =
+    Mutex.lock t.m_mutex;
+    match Hashtbl.find_opt t.m_tbl k with
+    | Some cell ->
+        Mutex.unlock t.m_mutex;
+        read cell
+    | None ->
+        (* claim the key, then compute outside the table lock so other
+           keys stay computable in parallel *)
+        let cell =
+          { c_mutex = Mutex.create (); c_cond = Condition.create (); c_state = In_progress }
+        in
+        Hashtbl.replace t.m_tbl k cell;
+        Mutex.unlock t.m_mutex;
+        (match f () with
+        | v ->
+            fill cell (Ready v);
+            v
+        | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            fill cell (Broken (e, bt));
+            Printexc.raise_with_backtrace e bt)
+
+  let find_opt t k =
+    Mutex.lock t.m_mutex;
+    let cell = Hashtbl.find_opt t.m_tbl k in
+    Mutex.unlock t.m_mutex;
+    match cell with
+    | None -> None
+    | Some cell -> (
+        Mutex.lock cell.c_mutex;
+        let st = cell.c_state in
+        Mutex.unlock cell.c_mutex;
+        match st with Ready v -> Some v | In_progress | Broken _ -> None)
+
+  let length t =
+    Mutex.lock t.m_mutex;
+    let n =
+      Hashtbl.fold
+        (fun _ cell acc ->
+          Mutex.lock cell.c_mutex;
+          let st = cell.c_state in
+          Mutex.unlock cell.c_mutex;
+          match st with Ready _ -> acc + 1 | _ -> acc)
+        t.m_tbl 0
+    in
+    Mutex.unlock t.m_mutex;
+    n
+end

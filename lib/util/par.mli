@@ -1,0 +1,72 @@
+(** A fixed-size domain work-pool with futures, for the embarrassingly
+    parallel fan-outs of the pipeline (per-image compile/parse/surface
+    chains, pairwise diffs, per-program report matrices).
+
+    Determinism contract: {!map_list} and {!map_reduce} preserve input
+    order, so parallel runs produce byte-identical tables and figures as
+    long as the mapped function is pure. A pool of size 1 degrades to
+    plain sequential execution in the calling domain — no worker domains
+    are spawned. *)
+
+type pool
+type 'a future
+
+val default_jobs : unit -> int
+(** [DEPSURF_JOBS] when set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()]. *)
+
+val create : ?jobs:int -> unit -> pool
+(** Spawn a pool of [jobs] total domains: the caller plus [jobs - 1]
+    workers (the calling domain executes queued tasks while it waits in
+    {!await}). Default: {!default_jobs}. *)
+
+val jobs : pool -> int
+
+val submit : pool -> (unit -> 'a) -> 'a future
+(** Enqueue a task. Raises [Invalid_argument] after {!shutdown}. *)
+
+val await : 'a future -> 'a
+(** Block until the task finishes, executing other queued tasks of the
+    same pool while waiting. Re-raises the task's exception (with its
+    backtrace) if it failed. *)
+
+val map_list : pool -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel [List.map]; results are in input order. The first failing
+    element's exception (in input order) is re-raised. *)
+
+val map_reduce : pool -> map:('a -> 'b) -> reduce:('c -> 'b -> 'c) -> init:'c -> 'a list -> 'c
+(** [map] runs in parallel; the fold runs left-to-right in input order in
+    the calling domain, so the result is deterministic even for
+    non-commutative [reduce]. *)
+
+val shutdown : pool -> unit
+(** Drain the queue, stop and join every worker domain. Idempotent.
+    After shutdown no domains are left running. *)
+
+val run : ?jobs:int -> (pool -> 'a) -> 'a
+(** [run f] = create a pool, apply [f], shut the pool down (also on
+    exception), return [f]'s result. *)
+
+(** A mutex-protected memo table with an exactly-once guarantee: when
+    several domains request the same absent key concurrently, one of them
+    computes while the others block until the value is ready. Used by
+    [Dataset] so each (version, config) model/image/vmlinux/surface is
+    built once no matter how many domains ask for it. *)
+module Memo : sig
+  type ('k, 'v) t
+
+  val create : int -> ('k, 'v) t
+  (** [create n]: initial capacity hint, as for [Hashtbl.create]. *)
+
+  val find_or_compute : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+  (** Return the memoized value for the key, computing it with the
+      supplied thunk exactly once across all domains. If the computing
+      thunk raises, the same exception is re-raised for every waiter and
+      for all later lookups of that key. *)
+
+  val find_opt : ('k, 'v) t -> 'k -> 'v option
+  (** [Some v] only for keys whose computation already finished. *)
+
+  val length : ('k, 'v) t -> int
+  (** Number of completed entries. *)
+end
