@@ -31,11 +31,54 @@ let time f =
   let r = f () in
   (r, now () -. t0)
 
-let ds, t_evolve = time (fun () -> Pipeline.dataset scale)
+(* Persistent artifact store on a fresh directory: the main (cold) run
+   populates it, the store-timing section replays the pipeline warm from
+   it. A pre-existing DEPSURF_CACHE reuses that directory instead (so a
+   second bench invocation is itself warm). *)
+module Store = Ds_store.Store
+
+let cache_dir =
+  match Sys.getenv_opt "DEPSURF_CACHE" with
+  | Some dir when dir <> "" -> dir
+  | _ ->
+      let f = Filename.temp_file "depsurf-bench-cache" "" in
+      Sys.remove f;
+      f
+
+let store = Store.open_ ~dir:cache_dir ()
+let ds, t_evolve = time (fun () -> Pipeline.dataset ~store scale)
 let pool = Par.create ~jobs:par_jobs ()
 let cached = Pipeline.cached ~pool ds
 let x86 v = Dataset.surface ds v Config.x86_generic
 let section title = Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* capture stdout produced by [f], for byte-identity checks *)
+let capture f =
+  flush stdout;
+  let saved = Unix.dup Unix.stdout in
+  let tmp = Filename.temp_file "depsurf-capture" ".txt" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  Unix.dup2 fd Unix.stdout;
+  Unix.close fd;
+  let restore () =
+    flush stdout;
+    Unix.dup2 saved Unix.stdout;
+    Unix.close saved
+  in
+  (match f () with
+  | () -> restore ()
+  | exception e ->
+      restore ();
+      raise e);
+  let s = read_file tmp in
+  Sys.remove tmp;
+  s
 
 let pct = Texttable.pct
 let count = Texttable.count
@@ -49,6 +92,18 @@ let config_diffs = lazy (Pipeline.config_diffs cached)
 let corpus = lazy (Ds_corpus.Corpus.build_all ds ())
 let corpus_analysis = lazy (Ds_corpus.Corpus.analyze_all_matrices ds ~pool (Lazy.force corpus))
 
+(* Tables 1, 3 and 7 are rendered twice — once from the cold dataset and
+   once from the warm (store-backed) replay — and must agree byte for
+   byte, so they read everything through this environment record. *)
+type env = {
+  e_ds : Dataset.t;
+  e_cached : Pipeline.cached;
+  e_analysis : (T7.profile * Report.matrix * Report.mismatch_summary) list Lazy.t;
+}
+
+let env = { e_ds = ds; e_cached = cached; e_analysis = corpus_analysis }
+let ex86 e v = Dataset.surface e.e_ds v Config.x86_generic
+
 (* ------------------------------------------------------------------ *)
 (* Table 3                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -58,7 +113,7 @@ let rates_row (d : 'c Diff.item_diff) old_total =
     Stats.percent (List.length d.Diff.d_removed) old_total,
     Stats.percent (List.length d.Diff.d_changed) old_total )
 
-let table3 () =
+let table3 env () =
   section "Table 3: kernel source code differences (x86/generic)";
   let headers =
     [
@@ -72,7 +127,7 @@ let table3 () =
     let t = Texttable.create ~title headers in
     List.iter
       (fun ((a, b), (d : Diff.t)) ->
-        let fo, so, tpo, _ = Surface.counts (x86 a) in
+        let fo, so, tpo, _ = Surface.counts (ex86 env a) in
         let fa, fr, fc = rates_row d.Diff.df_funcs fo in
         let sa, sr, sc = rates_row d.Diff.df_structs so in
         let ta, tr, tc = rates_row d.Diff.df_tracepoints tpo in
@@ -84,16 +139,16 @@ let table3 () =
             count tpo; pct ta; pct tr; pct tc;
           ])
       diffs;
-    let last = x86 (Version.v 6 8) in
+    let last = ex86 env (Version.v 6 8) in
     let f, s, tp, _ = Surface.counts last in
     Texttable.row t
       [ "v6.8 (#)"; count f; "-"; "-"; "-"; count s; "-"; "-"; "-"; count tp; "-"; "-"; "-" ];
     print_string (Texttable.render t)
   in
   emit "across LTS versions (paper maxima: fn +24/-10/C6, st +24/-4/C18, tp +39/-5/C16)"
-    (Lazy.force lts_diffs);
+    (Pipeline.lts_diffs env.e_cached);
   print_newline ();
-  emit "across consecutive releases" (Lazy.force release_diffs)
+  emit "across consecutive releases" (Pipeline.release_diffs env.e_cached)
 
 (* ------------------------------------------------------------------ *)
 (* Table 4                                                              *)
@@ -291,11 +346,11 @@ let fig6 () =
 (* Tables 1 and 2                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let table1 () =
+let table1 env () =
   section "Table 1: summary of dependency mismatches";
   let maxf f xs = List.fold_left (fun acc x -> Float.max acc (f x)) 0. xs in
-  let lts = List.map snd (Lazy.force lts_diffs) in
-  let cfgs = List.map snd (Lazy.force config_diffs) in
+  let lts = List.map snd (Pipeline.lts_diffs env.e_cached) in
+  let cfgs = List.map snd (Pipeline.config_diffs env.e_cached) in
   let t =
     Texttable.create
       [
@@ -357,7 +412,7 @@ let table1 () =
   Texttable.row t
     [ "config"; "register"; "difference"; "by arch"; "by arch"; "Relocation Error" ];
   Texttable.sep t;
-  let s54 = x86 (Version.v 5 4) in
+  let s54 = ex86 env (Version.v 5 4) in
   let ic = Func_status.inline_census s54 in
   let tc = Func_status.transform_census s54 in
   let cc = Func_status.collision_census s54 in
@@ -425,7 +480,7 @@ let fig4 () =
 (* Tables 7 and 8                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let table7 () =
+let table7 env () =
   section "Table 7: dependency sets and mismatches of the 53-program corpus";
   let t =
     Texttable.create
@@ -490,11 +545,12 @@ let table7 () =
           n s.Report.ms_absent.Depset.n_syscalls;
           (if Report.clean s then "yes" else "");
         ])
-    (Lazy.force corpus_analysis);
+    (Lazy.force env.e_analysis);
   print_string (Texttable.render t);
   print_endline "(columns: S=total, a=absent somewhere, c=changed; F/S/T/D as in Fig. 4)";
   let impacted =
-    List.length (List.filter (fun (_, _, s) -> not (Report.clean s)) (Lazy.force corpus_analysis))
+    List.length
+      (List.filter (fun (_, _, s) -> not (Report.clean s)) (Lazy.force env.e_analysis))
   in
   Printf.printf "\n%d/53 programs impacted: %.0f%% (paper: 83%%)\n" impacted
     (Stats.percent impacted 53)
@@ -730,8 +786,14 @@ let perf () =
         (Staged.stage (fun () -> ignore (Diff.compare_surfaces Diff.Across_versions s44 s68)));
       Test.make ~name:"depset-analysis (1 obj)"
         (Staged.stage (fun () -> ignore (Depset.of_obj (Ds_bpf.Obj.read obj_bytes))));
+      (* Report.matrix directly: Pipeline.analyze would serve the cached
+         matrix after the first iteration and we'd be timing the decoder *)
       Test.make ~name:"report-matrix (tracee, 21 images)"
-        (Staged.stage (fun () -> ignore (Pipeline.analyze ds obj)));
+        (Staged.stage (fun () ->
+             ignore
+               (Report.matrix ds ~images:Dataset.fig4_images
+                  ~baseline:(Version.v 5 4, Config.x86_generic)
+                  obj)));
     ]
   in
   List.iter
@@ -789,6 +851,83 @@ let staged_run ?pool ds' c corpus_thunk =
   let analysis, st_corpus = time corpus_thunk in
   ({ st_compile; st_parse; st_surface; st_diff; st_corpus }, analysis)
 
+(* Satellite: regression guard. Parse the previous BENCH_PIPELINE.json
+   (written by an earlier run of this harness) before overwriting it, so
+   slowdowns against the recorded baseline are visible in the output. *)
+let read_pipeline_baseline () =
+  if not (Sys.file_exists "BENCH_PIPELINE.json") then None
+  else
+    match Json.of_string (read_file "BENCH_PIPELINE.json") with
+    | exception _ -> None
+    | j -> (
+        let jfloat = function
+          | Json.Float f -> Some f
+          | Json.Int i -> Some (float_of_int i)
+          | _ -> None
+        in
+        let jstr = function Json.String s -> Some s | _ -> None in
+        match Json.member "stages" j with
+        | Some (Json.List stages) ->
+            let scale_label = Option.bind (Json.member "scale" j) jstr in
+            Some
+              ( scale_label,
+                List.filter_map
+                  (fun st ->
+                    match
+                      ( Option.bind (Json.member "stage" st) jstr,
+                        Option.bind (Json.member "seq_s" st) jfloat,
+                        Option.bind (Json.member "par_s" st) jfloat )
+                    with
+                    | Some name, Some s, Some p -> Some (name, (s, p))
+                    | _ -> None)
+                  stages )
+        | _ -> None)
+
+let regression_guard baseline seq par =
+  match baseline with
+  | None -> print_endline "(no BENCH_PIPELINE.json baseline; skipping regression check)"
+  | Some (scale_label, stages) ->
+      let this_scale = if scale = Calibration.bench_scale then "bench" else "test" in
+      if scale_label <> Some this_scale then
+        Printf.printf "(baseline BENCH_PIPELINE.json is at scale %s, this run is %s; delta \
+                       table skipped)\n"
+          (Option.value ~default:"?" scale_label)
+          this_scale
+      else begin
+        let t =
+          Texttable.create
+            [
+              ("stage", Texttable.L); ("baseline par (s)", Texttable.R);
+              ("now par (s)", Texttable.R); ("delta", Texttable.R);
+            ]
+        in
+        let slow = ref [] in
+        let row name now_p =
+          match List.assoc_opt name stages with
+          | None -> ()
+          | Some (_, base_p) ->
+              let ratio = now_p /. Float.max 1e-9 base_p in
+              if ratio > 2. && now_p -. base_p > 0.05 then slow := name :: !slow;
+              Texttable.row t
+                [
+                  name; Printf.sprintf "%.2f" base_p; Printf.sprintf "%.2f" now_p;
+                  Printf.sprintf "%+.0f%%" ((ratio -. 1.) *. 100.);
+                ]
+        in
+        row "evolve" t_evolve;
+        row "compile_emit" par.st_compile;
+        row "parse" par.st_parse;
+        row "surface" par.st_surface;
+        row "diff" par.st_diff;
+        row "corpus" par.st_corpus;
+        ignore seq;
+        print_endline "Per-stage delta vs the previous BENCH_PIPELINE.json:";
+        print_string (Texttable.render t);
+        List.iter
+          (fun name -> Printf.printf "WARNING: stage %s is >2x slower than the baseline\n" name)
+          (List.rev !slow)
+      end
+
 let write_bench_json seq par =
   let open Json in
   let stage name s p =
@@ -835,10 +974,15 @@ let biotop_matrix analysis =
   let _, m, _ = List.find (fun ((pr : T7.profile), _, _) -> pr.T7.pr_name = "biotop") analysis in
   Report.render_matrix m
 
+(* cold per-stage wall clock, kept for the store-timing comparison *)
+let cold_times : stage_times option ref = ref None
+
 let pipeline_timing () =
   section (Printf.sprintf "Pipeline timing: jobs=1 vs jobs=%d (%d images)" par_jobs
              (List.length Dataset.study_images));
-  (* jobs=1 reference run on its own dataset *)
+  let baseline = read_pipeline_baseline () in
+  (* jobs=1 reference run on its own dataset (no store: it doubles as the
+     cache-off side of the determinism check below) *)
   let ds1 = Pipeline.dataset scale in
   let seq, seq_analysis =
     staged_run ds1 (Pipeline.cached ds1) (fun () ->
@@ -869,6 +1013,8 @@ let pipeline_timing () =
   row "total" total_seq total_par;
   print_string (Texttable.render t);
   print_endline "(written to BENCH_PIPELINE.json)";
+  regression_guard baseline seq par;
+  cold_times := Some par;
   if Domain.recommended_domain_count () = 1 then
     print_endline
       "(single-core host: the jobs>1 run is oversubscribed; wall-clock speedup needs >1 core)";
@@ -885,17 +1031,136 @@ let pipeline_timing () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Store timing: cold vs warm                                           *)
+(* ------------------------------------------------------------------ *)
+
+let write_store_json ~warm ~(wstats : Store.counters) ~cold_total ~warm_total ~identical =
+  let open Json in
+  let es = Store.entries ~dir:cache_dir in
+  let j =
+    Obj
+      [
+        ("schema", String "depsurf-bench-store/1");
+        ("scale", String (if scale = Calibration.bench_scale then "bench" else "test"));
+        ("image_count", Int (List.length Dataset.study_images));
+        ("entries", Int (List.length es));
+        ("bytes", Int (List.fold_left (fun a e -> a + e.Store.e_bytes) 0 es));
+        ("cold_total_s", Float cold_total);
+        ( "warm",
+          Obj
+            [
+              ("evolve_s", Float (List.assoc "evolve" warm));
+              ("surface_s", Float (List.assoc "surface" warm));
+              ("diff_s", Float (List.assoc "diff" warm));
+              ("corpus_s", Float (List.assoc "corpus" warm));
+              ("total_s", Float warm_total);
+              ("hits", Int wstats.Store.c_hits);
+              ("misses", Int wstats.Store.c_misses);
+              ("evictions", Int wstats.Store.c_evictions);
+              ("bytes_read", Int wstats.Store.c_bytes_read);
+            ] );
+        ("speedup", Float (cold_total /. Float.max 1e-9 warm_total));
+        ("tables_identical", Bool identical);
+      ]
+  in
+  let oc = open_out "BENCH_STORE.json" in
+  output_string oc (Json.to_string j);
+  output_char oc '\n';
+  close_out oc
+
+let store_timing () =
+  section "Store timing: cold vs warm (persistent artifact cache)";
+  Store.save_counters store;
+  let cold = Store.stats store in
+  (* re-render the cold tables from the already-memoized main dataset;
+     table1/3/7 are pure views, so this equals what was printed above *)
+  let cold_tables = capture (fun () -> table1 env (); table3 env (); table7 env ()) in
+  (* a fresh handle + dataset replays what a second process would do over
+     the same cache directory *)
+  let store_w = Store.open_ ~dir:cache_dir () in
+  let ds_w, w_evolve = time (fun () -> Pipeline.dataset ~store:store_w scale) in
+  let cached_w = Pipeline.cached ds_w in
+  let (), w_surface =
+    time (fun () ->
+        List.iter (fun (v, cfg) -> ignore (Dataset.surface ds_w v cfg)) Dataset.study_images)
+  in
+  let (), w_diff =
+    time (fun () ->
+        ignore (Pipeline.lts_diffs cached_w);
+        ignore (Pipeline.release_diffs cached_w);
+        ignore (Pipeline.config_diffs cached_w))
+  in
+  let analysis_w, w_corpus =
+    time (fun () ->
+        Ds_corpus.Corpus.analyze_all_matrices ds_w (Ds_corpus.Corpus.build_all ds_w ()))
+  in
+  let env_w = { e_ds = ds_w; e_cached = cached_w; e_analysis = lazy analysis_w } in
+  let warm_tables = capture (fun () -> table1 env_w (); table3 env_w (); table7 env_w ()) in
+  let wstats = Store.stats store_w in
+  Store.save_counters store_w;
+  let cold_total =
+    t_evolve +. match !cold_times with Some c -> stage_total c | None -> 0.
+  in
+  let warm_total = w_evolve +. w_surface +. w_diff +. w_corpus in
+  let t =
+    Texttable.create
+      [ ("stage", Texttable.L); ("cold (s)", Texttable.R); ("warm (s)", Texttable.R) ]
+  in
+  let row name c w =
+    Texttable.row t [ name; Printf.sprintf "%.2f" c; Printf.sprintf "%.2f" w ]
+  in
+  row "evolve" t_evolve w_evolve;
+  (match !cold_times with
+  | Some c ->
+      row "compile+parse+surface" (c.st_compile +. c.st_parse +. c.st_surface) w_surface;
+      row "diff" c.st_diff w_diff;
+      row "corpus" c.st_corpus w_corpus
+  | None -> ());
+  Texttable.sep t;
+  row "total" cold_total warm_total;
+  print_string (Texttable.render t);
+  Printf.printf "warm store counters: hits %d misses %d evictions %d bytes_read %d\n"
+    wstats.Store.c_hits wstats.Store.c_misses wstats.Store.c_evictions wstats.Store.c_bytes_read;
+  Printf.printf "cold store counters: misses %d writes %d bytes_written %d\n"
+    cold.Store.c_misses cold.Store.c_writes cold.Store.c_bytes_written;
+  Printf.printf "warm kernel compiles: %d (cold: %d)\n" (Dataset.compile_count ds_w)
+    (Dataset.compile_count ds);
+  let identical = String.equal cold_tables warm_tables in
+  write_store_json
+    ~warm:
+      [ ("evolve", w_evolve); ("surface", w_surface); ("diff", w_diff); ("corpus", w_corpus) ]
+    ~wstats ~cold_total ~warm_total ~identical;
+  print_endline "(written to BENCH_STORE.json)";
+  if identical && Dataset.compile_count ds_w = 0 && wstats.Store.c_misses = 0 then
+    print_endline
+      "store check: warm run hit every artifact (0 compiles, 0 misses); Tables 1/3/7 \
+       byte-identical: OK"
+  else begin
+    if not identical then
+      print_endline "store check: FAILED (warm tables differ from cold tables)";
+    if Dataset.compile_count ds_w <> 0 then
+      Printf.printf "store check: FAILED (%d image compiles on the warm run)\n"
+        (Dataset.compile_count ds_w);
+    if wstats.Store.c_misses <> 0 then
+      Printf.printf "store check: FAILED (%d store misses on the warm run)\n"
+        wstats.Store.c_misses;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.Warning);
   let t0 = now () in
   Printf.printf "DepSurf benchmark harness (seed %Ld, scale: %s)\n" (Dataset.seed ds)
     (if scale = Calibration.bench_scale then "bench (~1/25 of a real kernel)" else "test");
   pipeline_timing ();
   Printf.printf "\ndataset: %d images generated, compiled and parsed (evolve %.2fs)\n"
     (List.length Dataset.study_images) t_evolve;
-  table1 ();
+  table1 env ();
   table2 ();
-  table3 ();
+  table3 env ();
   table4 ();
   table5 ();
   table6 ();
@@ -903,7 +1168,7 @@ let () =
   fig4 ();
   fig5 ();
   fig6 ();
-  table7 ();
+  table7 env ();
   table8 ();
   special_functions ();
   ablation_scale ();
@@ -911,5 +1176,6 @@ let () =
   ablation_composition ();
   ablation_threshold ();
   perf ();
+  store_timing ();
   Par.shutdown pool;
   Printf.printf "\ntotal: %.1fs\n" (now () -. t0)

@@ -65,7 +65,38 @@ let arch_arg = Arg.(value & opt arch_conv Config.X86 & info [ "arch" ] ~doc:"Arc
 let flavor_arg =
   Arg.(value & opt flavor_conv Config.Generic & info [ "flavor" ] ~doc:"Configuration flavor.")
 
-let mk_ds seed scale = Dataset.build ~seed scale
+(* ---- persistent artifact cache (ds_store) -------------------------- *)
+
+module Store = Ds_store.Store
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ]
+        ~env:(Cmd.Env.info "DEPSURF_CACHE")
+        ~doc:
+          "On-disk artifact cache directory (also read from \\$DEPSURF_CACHE). When unset, \
+           nothing is cached across runs.")
+
+let no_cache_arg =
+  Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the on-disk artifact cache.")
+
+(* the effective cache directory: --no-cache beats --cache-dir/$DEPSURF_CACHE *)
+let cache_arg =
+  let combine dir no_cache = if no_cache then None else dir in
+  Term.(const combine $ cache_dir_arg $ no_cache_arg)
+
+(* open the store (when configured) around a command, persisting the
+   hit/miss counters into <dir>/stats.json on the way out *)
+let with_store cache f =
+  match cache with
+  | None -> f None
+  | Some dir ->
+      let store = Store.open_ ~dir () in
+      Fun.protect ~finally:(fun () -> Store.save_counters store) (fun () -> f (Some store))
+
+let mk_ds seed scale store = Dataset.build ~seed ?store scale
 
 let jobs_arg =
   Arg.(value & opt int 0
@@ -80,8 +111,9 @@ let with_pool jobs f =
 (* ---- surface ------------------------------------------------------- *)
 
 let surface_cmd =
-  let run seed scale v arch flavor =
-    let ds = mk_ds seed scale in
+  let run seed scale cache v arch flavor =
+    with_store cache @@ fun store ->
+    let ds = mk_ds seed scale store in
     let s = Dataset.surface ds v Config.{ arch; flavor } in
     let f, st, tp, sc = Surface.counts s in
     Printf.printf "%s (gcc %d.%d)\n" (Surface.tag s) (fst s.Surface.s_gcc) (snd s.Surface.s_gcc);
@@ -96,7 +128,7 @@ let surface_cmd =
       (Ds_util.Stats.percent tc.Func_status.tc_any tc.Func_status.tc_total)
   in
   Cmd.v (Cmd.info "surface" ~doc:"Show a kernel image's dependency surface.")
-    Term.(const run $ seed_arg $ scale_arg $ version_arg $ arch_arg $ flavor_arg)
+    Term.(const run $ seed_arg $ scale_arg $ cache_arg $ version_arg $ arch_arg $ flavor_arg)
 
 (* ---- func ---------------------------------------------------------- *)
 
@@ -104,8 +136,9 @@ let func_cmd =
   let name_arg =
     Arg.(required & opt (some string) None & info [ "name"; "n" ] ~doc:"Function name.")
   in
-  let run seed scale name =
-    let ds = mk_ds seed scale in
+  let run seed scale cache name =
+    with_store cache @@ fun store ->
+    let ds = mk_ds seed scale store in
     List.iter
       (fun v ->
         let s = Dataset.surface ds v Config.x86_generic in
@@ -125,7 +158,7 @@ let func_cmd =
       Version.all
   in
   Cmd.v (Cmd.info "func" ~doc:"Trace one kernel function across all versions.")
-    Term.(const run $ seed_arg $ scale_arg $ name_arg)
+    Term.(const run $ seed_arg $ scale_arg $ cache_arg $ name_arg)
 
 (* ---- diff ---------------------------------------------------------- *)
 
@@ -136,8 +169,9 @@ let diff_cmd =
   let to_arg =
     Arg.(value & opt version_conv (Version.v 5 4) & info [ "to" ] ~doc:"New version.")
   in
-  let run seed scale vfrom vto =
-    let ds = mk_ds seed scale in
+  let run seed scale cache vfrom vto =
+    with_store cache @@ fun store ->
+    let ds = mk_ds seed scale store in
     let a = Dataset.surface ds vfrom Config.x86_generic in
     let b = Dataset.surface ds vto Config.x86_generic in
     let d = Diff.compare_surfaces Diff.Across_versions a b in
@@ -165,7 +199,7 @@ let diff_cmd =
       d.Diff.df_funcs.Diff.d_changed
   in
   Cmd.v (Cmd.info "diff" ~doc:"Diff two kernel versions' dependency surfaces.")
-    Term.(const run $ seed_arg $ scale_arg $ from_arg $ to_arg)
+    Term.(const run $ seed_arg $ scale_arg $ cache_arg $ from_arg $ to_arg)
 
 (* ---- report -------------------------------------------------------- *)
 
@@ -174,8 +208,9 @@ let report_cmd =
     Arg.(required & opt (some string) None & info [ "tool"; "t" ] ~doc:"Corpus tool name (Table 7).")
   in
   let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.") in
-  let run seed scale jobs tool json =
-    let ds = mk_ds seed scale in
+  let run seed scale cache jobs tool json =
+    with_store cache @@ fun store ->
+    let ds = mk_ds seed scale store in
     match Ds_corpus.Table7.find tool with
     | None ->
         Printf.eprintf "unknown tool %s; pick one of: %s\n" tool
@@ -195,7 +230,7 @@ let report_cmd =
         else print_string (Report.render_matrix m)
   in
   Cmd.v (Cmd.info "report" ~doc:"Figure-4 style mismatch matrix for a corpus tool.")
-    Term.(const run $ seed_arg $ scale_arg $ jobs_arg $ tool_arg $ json_arg)
+    Term.(const run $ seed_arg $ scale_arg $ cache_arg $ jobs_arg $ tool_arg $ json_arg)
 
 (* ---- dump ---------------------------------------------------------- *)
 
@@ -203,8 +238,9 @@ let dump_cmd =
   let tool_arg =
     Arg.(required & opt (some string) None & info [ "tool"; "t" ] ~doc:"Corpus tool name.")
   in
-  let run seed scale tool =
-    let ds = mk_ds seed scale in
+  let run seed scale cache tool =
+    with_store cache @@ fun store ->
+    let ds = mk_ds seed scale store in
     match Ds_corpus.Table7.find tool with
     | None ->
         Printf.eprintf "unknown tool %s\n" tool;
@@ -218,7 +254,7 @@ let dump_cmd =
   in
   Cmd.v
     (Cmd.info "dump" ~doc:"Disassemble a corpus tool's object (bpftool prog dump style).")
-    Term.(const run $ seed_arg $ scale_arg $ tool_arg)
+    Term.(const run $ seed_arg $ scale_arg $ cache_arg $ tool_arg)
 
 (* ---- export -------------------------------------------------------- *)
 
@@ -227,8 +263,9 @@ let export_cmd =
     Arg.(value & opt (some string) None
          & info [ "func" ] ~doc:"Export one function's status instead of the whole surface.")
   in
-  let run seed scale v arch flavor name =
-    let ds = mk_ds seed scale in
+  let run seed scale cache v arch flavor name =
+    with_store cache @@ fun store ->
+    let ds = mk_ds seed scale store in
     let s = Dataset.surface ds v Config.{ arch; flavor } in
     match name with
     | Some fn -> (
@@ -242,20 +279,23 @@ let export_cmd =
   Cmd.v
     (Cmd.info "export"
        ~doc:"Export surface data as JSON in the DepSurf-dataset format (artifact appendix).")
-    Term.(const run $ seed_arg $ scale_arg $ version_arg $ arch_arg $ flavor_arg $ name_arg)
+    Term.(
+      const run $ seed_arg $ scale_arg $ cache_arg $ version_arg $ arch_arg $ flavor_arg
+      $ name_arg)
 
 (* ---- vmlinux-h ------------------------------------------------------ *)
 
 let vmlinux_h_cmd =
-  let run seed scale v arch flavor =
-    let ds = mk_ds seed scale in
+  let run seed scale cache v arch flavor =
+    with_store cache @@ fun store ->
+    let ds = mk_ds seed scale store in
     let k = Dataset.vmlinux ds v Config.{ arch; flavor } in
     print_string (Ds_btf.Btf_dump.vmlinux_h k.Ds_bpf.Vmlinux.v_btf)
   in
   Cmd.v
     (Cmd.info "vmlinux-h"
        ~doc:"Render the image's BTF as a vmlinux.h header (bpftool btf dump format c).")
-    Term.(const run $ seed_arg $ scale_arg $ version_arg $ arch_arg $ flavor_arg)
+    Term.(const run $ seed_arg $ scale_arg $ cache_arg $ version_arg $ arch_arg $ flavor_arg)
 
 (* ---- probe --------------------------------------------------------- *)
 
@@ -264,8 +304,9 @@ let probe_cmd =
     Arg.(required & opt (some string) None
          & info [ "name"; "n" ] ~doc:"Stable probe name (e.g. block:io_start).")
   in
-  let run seed scale name =
-    let ds = mk_ds seed scale in
+  let run seed scale cache name =
+    with_store cache @@ fun store ->
+    let ds = mk_ds seed scale store in
     match Compat.find_probe name with
     | None ->
         Printf.eprintf "unknown probe %s; registry has: %s\n" name
@@ -284,7 +325,7 @@ let probe_cmd =
   Cmd.v
     (Cmd.info "probe"
        ~doc:"Resolve a stable probe (compatibility layer, paper §6) across kernel versions.")
-    Term.(const run $ seed_arg $ scale_arg $ name_arg)
+    Term.(const run $ seed_arg $ scale_arg $ cache_arg $ name_arg)
 
 (* ---- file-based workflows ------------------------------------------ *)
 
@@ -304,8 +345,9 @@ let export_dataset_cmd =
   let dir_arg =
     Arg.(value & opt string "dataset" & info [ "dir" ] ~doc:"Output directory.")
   in
-  let run seed scale jobs dir =
-    let ds = mk_ds seed scale in
+  let run seed scale cache jobs dir =
+    with_store cache @@ fun store ->
+    let ds = mk_ds seed scale store in
     if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
     with_pool jobs (fun pool -> Dataset.warm_par ~pool ds);
     List.iter
@@ -323,14 +365,15 @@ let export_dataset_cmd =
   Cmd.v
     (Cmd.info "export-dataset"
        ~doc:"Write every study surface as JSON (the public DepSurf-dataset layout).")
-    Term.(const run $ seed_arg $ scale_arg $ jobs_arg $ dir_arg)
+    Term.(const run $ seed_arg $ scale_arg $ cache_arg $ jobs_arg $ dir_arg)
 
 let gen_images_cmd =
   let dir_arg =
     Arg.(value & opt string "images" & info [ "dir" ] ~doc:"Output directory for vmlinux files.")
   in
-  let run seed scale jobs dir =
-    let ds = mk_ds seed scale in
+  let run seed scale cache jobs dir =
+    with_store cache @@ fun store ->
+    let ds = mk_ds seed scale store in
     if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
     with_pool jobs (fun pool ->
         ignore
@@ -350,7 +393,7 @@ let gen_images_cmd =
   in
   Cmd.v
     (Cmd.info "gen-images" ~doc:"Write the 25 study vmlinux images to disk.")
-    Term.(const run $ seed_arg $ scale_arg $ jobs_arg $ dir_arg)
+    Term.(const run $ seed_arg $ scale_arg $ cache_arg $ jobs_arg $ dir_arg)
 
 let mkobj_cmd =
   let tool_arg =
@@ -359,8 +402,9 @@ let mkobj_cmd =
   let out_arg =
     Arg.(value & opt (some string) None & info [ "out"; "o" ] ~doc:"Output path (default TOOL.bpf.o).")
   in
-  let run seed scale tool out =
-    let ds = mk_ds seed scale in
+  let run seed scale cache tool out =
+    with_store cache @@ fun store ->
+    let ds = mk_ds seed scale store in
     match Ds_corpus.Table7.find tool with
     | None ->
         Printf.eprintf "unknown tool %s\n" tool;
@@ -376,7 +420,7 @@ let mkobj_cmd =
   in
   Cmd.v
     (Cmd.info "mkobj" ~doc:"Write a corpus tool's eBPF object file to disk.")
-    Term.(const run $ seed_arg $ scale_arg $ tool_arg $ out_arg)
+    Term.(const run $ seed_arg $ scale_arg $ cache_arg $ tool_arg $ out_arg)
 
 let analyze_cmd =
   let obj_arg =
@@ -393,7 +437,8 @@ let analyze_cmd =
              ~doc:"Directory of surface JSON files (from export-dataset): analyze without any \
                    kernel images.")
   in
-  let run seed scale jobs obj_path image_dir dataset_dir =
+  let run seed scale cache jobs obj_path image_dir dataset_dir =
+    with_store cache @@ fun store ->
     let obj =
       try Ds_bpf.Obj.read (read_file obj_path)
       with Ds_bpf.Obj.Bad_obj m | Sys_error m ->
@@ -428,7 +473,7 @@ let analyze_cmd =
         |> List.map (fun f -> Import.surface_of_string (read_file (Filename.concat dir f)))
         |> analyze_surfaces
     | None, None ->
-        let ds = mk_ds seed scale in
+        let ds = mk_ds seed scale store in
         with_pool jobs (fun pool ->
             Dataset.warm_list ~pool ds
               ((Version.v 5 4, Config.x86_generic) :: Dataset.fig4_images));
@@ -446,13 +491,16 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Analyze an on-disk eBPF object against kernel images.")
-    Term.(const run $ seed_arg $ scale_arg $ jobs_arg $ obj_arg $ image_dir_arg $ dataset_dir_arg)
+    Term.(
+      const run $ seed_arg $ scale_arg $ cache_arg $ jobs_arg $ obj_arg $ image_dir_arg
+      $ dataset_dir_arg)
 
 (* ---- corpus -------------------------------------------------------- *)
 
 let corpus_cmd =
-  let run seed scale jobs =
-    let ds = mk_ds seed scale in
+  let run seed scale cache jobs =
+    with_store cache @@ fun store ->
+    let ds = mk_ds seed scale store in
     with_pool jobs @@ fun pool ->
     let built = Ds_corpus.Corpus.build_all ds () in
     let results = Ds_corpus.Corpus.analyze_all ds ~pool built in
@@ -476,9 +524,87 @@ let corpus_cmd =
       (Ds_util.Stats.percent (List.length impacted) (List.length results))
   in
   Cmd.v (Cmd.info "corpus" ~doc:"Analyze all 53 Table-7 programs.")
-    Term.(const run $ seed_arg $ scale_arg $ jobs_arg)
+    Term.(const run $ seed_arg $ scale_arg $ cache_arg $ jobs_arg)
+
+(* ---- cache maintenance --------------------------------------------- *)
+
+(* maintenance needs an actual directory; --no-cache makes no sense here *)
+let require_cache_dir cache =
+  match cache with
+  | Some dir -> dir
+  | None ->
+      prerr_endline "no cache directory: pass --cache-dir or set DEPSURF_CACHE";
+      exit 1
+
+let cache_stats_cmd =
+  let run cache =
+    let dir = require_cache_dir cache in
+    let c = Store.lifetime ~dir in
+    Printf.printf "lifetime: hits %d misses %d evictions %d writes %d bytes_read %d bytes_written %d\n"
+      c.Store.c_hits c.Store.c_misses c.Store.c_evictions c.Store.c_writes c.Store.c_bytes_read
+      c.Store.c_bytes_written;
+    let es = Store.entries ~dir in
+    let total = List.fold_left (fun a (e : Store.entry) -> a + e.Store.e_bytes) 0 es in
+    Printf.printf "entries %d bytes %d\n" (List.length es) total;
+    let by_ns = Hashtbl.create 8 in
+    List.iter
+      (fun (e : Store.entry) ->
+        let n, b = Option.value ~default:(0, 0) (Hashtbl.find_opt by_ns e.Store.e_ns) in
+        Hashtbl.replace by_ns e.Store.e_ns (n + 1, b + e.Store.e_bytes))
+      es;
+    List.iter
+      (fun ns ->
+        match Hashtbl.find_opt by_ns ns with
+        | Some (n, b) -> Printf.printf "  %-8s %5d entries %10d bytes\n" ns n b
+        | None -> ())
+      (List.sort compare (Hashtbl.fold (fun ns _ acc -> ns :: acc) by_ns []))
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Show lifetime hit/miss counters and per-namespace entry counts.")
+    Term.(const run $ cache_arg)
+
+let cache_verify_cmd =
+  let run cache =
+    let dir = require_cache_dir cache in
+    let ok, evicted = Store.verify ~dir in
+    Printf.printf "verified %d entries, corrupt %d (evicted)\n" ok evicted
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Re-check every entry's frame; evict the broken ones.")
+    Term.(const run $ cache_arg)
+
+let cache_gc_cmd =
+  let max_mb_arg =
+    Arg.(value & opt int 256 & info [ "max-mb" ] ~doc:"Target store size in MiB (oldest evicted first).")
+  in
+  let run cache max_mb =
+    let dir = require_cache_dir cache in
+    let evicted = Store.gc ~dir ~max_bytes:(max_mb * 1024 * 1024) in
+    Printf.printf "evicted %d entries\n" evicted
+  in
+  Cmd.v
+    (Cmd.info "gc" ~doc:"Evict oldest entries until the store fits the size budget.")
+    Term.(const run $ cache_arg $ max_mb_arg)
+
+let cache_clear_cmd =
+  let run cache =
+    let dir = require_cache_dir cache in
+    let n = Store.clear ~dir in
+    Printf.printf "cleared %d entries\n" n
+  in
+  Cmd.v (Cmd.info "clear" ~doc:"Delete every cache entry.") Term.(const run $ cache_arg)
+
+let cache_cmd =
+  let default = Term.(ret (const (`Help (`Pager, Some "cache")))) in
+  Cmd.group
+    (Cmd.info "cache" ~doc:"Inspect and maintain the on-disk artifact cache.")
+    ~default
+    [ cache_stats_cmd; cache_verify_cmd; cache_gc_cmd; cache_clear_cmd ]
 
 let () =
+  (* store evictions report through Logs; route them to stderr *)
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.Warning);
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
     (Cmd.eval
@@ -488,4 +614,4 @@ let () =
           ~default
           [ surface_cmd; func_cmd; diff_cmd; report_cmd; corpus_cmd; dump_cmd; export_cmd;
              probe_cmd; vmlinux_h_cmd; gen_images_cmd; mkobj_cmd; analyze_cmd;
-             export_dataset_cmd ]))
+             export_dataset_cmd; cache_cmd ]))

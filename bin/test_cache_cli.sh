@@ -1,0 +1,55 @@
+#!/bin/sh
+# End-to-end exercise of the persistent artifact cache through the CLI:
+# cold run -> warm run (byte-identical, hit counters advance) -> verify ->
+# hand-corrupted entry (recovered, logged, evicted) -> --no-cache -> clear.
+set -eu
+
+# absolutize: dune hands us a build-dir-relative path that would not
+# survive PATH lookup
+CLI=$(cd "$(dirname "$1")" && pwd)/$(basename "$1")
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+CACHE="$TMP/cache"
+
+# cold run populates the cache
+"$CLI" surface --kernel 5.4 --cache-dir "$CACHE" > "$TMP/cold.out"
+"$CLI" cache stats --cache-dir "$CACHE" > "$TMP/stats1.out"
+grep -q "^entries " "$TMP/stats1.out"
+
+# warm run: byte-identical output, lifetime hit counter advances
+"$CLI" surface --kernel 5.4 --cache-dir "$CACHE" > "$TMP/warm.out"
+cmp "$TMP/cold.out" "$TMP/warm.out"
+DEPSURF_CACHE="$CACHE" "$CLI" cache stats > "$TMP/stats2.out"
+hits1=$(sed -n 's/^lifetime: hits \([0-9]*\).*/\1/p' "$TMP/stats1.out")
+hits2=$(sed -n 's/^lifetime: hits \([0-9]*\).*/\1/p' "$TMP/stats2.out")
+[ "$hits2" -gt "$hits1" ]
+
+# the generated images also round-trip through the cache bit-for-bit
+"$CLI" gen-images --dir "$TMP/img1" --cache-dir "$CACHE" > /dev/null
+"$CLI" gen-images --dir "$TMP/img2" --cache-dir "$CACHE" > /dev/null
+for f in "$TMP/img1"/vmlinux-*; do
+  cmp "$f" "$TMP/img2/$(basename "$f")"
+done
+
+# everything on disk is intact
+"$CLI" cache verify --cache-dir "$CACHE" | grep -q "corrupt 0"
+
+# hand-corrupt the surface entry: the run must recover with identical
+# output, log the eviction, and drop the damaged file
+entry=$(find "$CACHE/surface" -name '*.dsa' | head -n 1)
+printf 'garbage' > "$entry"
+"$CLI" surface --kernel 5.4 --cache-dir "$CACHE" \
+  > "$TMP/recovered.out" 2> "$TMP/recovered.err"
+cmp "$TMP/cold.out" "$TMP/recovered.out"
+grep -qi "evict" "$TMP/recovered.err"
+
+# --no-cache bypasses the store but computes the same answer
+"$CLI" surface --kernel 5.4 --cache-dir "$CACHE" --no-cache > "$TMP/nocache.out"
+cmp "$TMP/cold.out" "$TMP/nocache.out"
+
+# clear empties the store
+"$CLI" cache clear --cache-dir "$CACHE" | grep -q "^cleared "
+"$CLI" cache stats --cache-dir "$CACHE" | grep -q "^entries 0 "
+
+echo "cache CLI e2e: OK"

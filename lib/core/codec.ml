@@ -1,0 +1,100 @@
+(* Public codec = the base (surface/diff) codec plus the report-matrix
+   codec. Split into two compilation units because [Dataset] needs the
+   surface codec while [Report] needs [Dataset]: keeping the matrix part
+   here (and only here) breaks that cycle. *)
+
+include Codec_base
+
+(* ----------------------------- matrices ------------------------------ *)
+
+let w_dep w (d : Depset.dep) =
+  match d with
+  | Dep_func s ->
+      W.u8 w 0;
+      w_str w s
+  | Dep_struct s ->
+      W.u8 w 1;
+      w_str w s
+  | Dep_field (s, f) ->
+      W.u8 w 2;
+      w_str w s;
+      w_str w f
+  | Dep_tracepoint s ->
+      W.u8 w 3;
+      w_str w s
+  | Dep_syscall s ->
+      W.u8 w 4;
+      w_str w s
+
+let r_dep r : Depset.dep =
+  match R.u8 r with
+  | 0 -> Dep_func (r_str r)
+  | 1 -> Dep_struct (r_str r)
+  | 2 ->
+      let s = r_str r in
+      let f = r_str r in
+      Dep_field (s, f)
+  | 3 -> Dep_tracepoint (r_str r)
+  | 4 -> Dep_syscall (r_str r)
+  | n -> fail "dep tag %d" n
+
+let w_status w (s : Report.status) =
+  match s with
+  | St_ok -> W.u8 w 0
+  | St_absent -> W.u8 w 1
+  | St_changed reasons ->
+      W.u8 w 2;
+      w_list w w_str reasons
+  | St_full_inline -> W.u8 w 3
+  | St_selective_inline -> W.u8 w 4
+  | St_transformed -> W.u8 w 5
+  | St_duplicated -> W.u8 w 6
+  | St_collision -> W.u8 w 7
+
+let r_status r : Report.status =
+  match R.u8 r with
+  | 0 -> St_ok
+  | 1 -> St_absent
+  | 2 -> St_changed (r_list r r_str)
+  | 3 -> St_full_inline
+  | 4 -> St_selective_inline
+  | 5 -> St_transformed
+  | 6 -> St_duplicated
+  | 7 -> St_collision
+  | n -> fail "status tag %d" n
+
+let w_image = w_pair w_version w_config
+let r_image = r_pair r_version r_config
+
+let encode_matrix (m : Report.matrix) =
+  let w = W.create () in
+  w_str w m.m_obj_name;
+  w_image w m.m_baseline;
+  w_list w
+    (fun w (row : Report.dep_row) ->
+      w_dep w row.r_dep;
+      w_list w
+        (fun w (c : Report.cell) ->
+          w_image w c.c_image;
+          w_list w w_status c.c_statuses)
+        row.r_cells)
+    m.m_rows;
+  W.contents w
+
+let decode_matrix data : Report.matrix =
+  let r = R.of_string data in
+  let m_obj_name = r_str r in
+  let m_baseline = r_image r in
+  let m_rows =
+    r_list r (fun r ->
+        let r_dep_v = r_dep r in
+        let r_cells =
+          r_list r (fun r ->
+              let c_image = r_image r in
+              let c_statuses = r_list r r_status in
+              ({ c_image; c_statuses } : Report.cell))
+        in
+        ({ r_dep = r_dep_v; r_cells } : Report.dep_row))
+  in
+  expect_eof r;
+  { m_obj_name; m_baseline; m_rows }

@@ -1,0 +1,33 @@
+(** Compact binary serialization of the pipeline's cacheable artifacts —
+    surfaces, diff fan-outs and report matrices — for the {!Ds_store}
+    persistent tier. Unlike {!Export} (the human-readable dataset JSON of
+    the paper's artifact), this format is private to the cache: dense,
+    versioned, and free to change — bumping {!version} silently invalidates
+    every old entry because the version participates in the store keys. *)
+
+open Ds_ksrc
+
+val version : int
+(** Schema version of this codec; part of every cache key. *)
+
+exception Decode_error of string
+(** Raised on an unknown tag or malformed payload ({!Ds_util.Bytesio}'s
+    [Truncated] may also escape); the store treats any decode exception as
+    a corrupt entry and recomputes. *)
+
+val encode_surface : Surface.t -> string
+val decode_surface : string -> Surface.t
+(** Roundtrips through {!Surface.v}, which rebuilds the lookup index. *)
+
+val encode_diff : Diff.t -> string
+val decode_diff : string -> Diff.t
+
+val encode_version_diffs : ((Version.t * Version.t) * Diff.t) list -> string
+val decode_version_diffs : string -> ((Version.t * Version.t) * Diff.t) list
+(** The [lts_diffs]/[release_diffs] fan-outs of {!Pipeline.cached}. *)
+
+val encode_config_diffs : (Config.t * Diff.t) list -> string
+val decode_config_diffs : string -> (Config.t * Diff.t) list
+
+val encode_matrix : Report.matrix -> string
+val decode_matrix : string -> Report.matrix

@@ -1,0 +1,477 @@
+open Ds_util
+open Ds_ksrc
+open Ds_ctypes
+
+let version = 1
+
+exception Decode_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Decode_error s)) fmt
+
+module W = Bytesio.Writer
+module R = Bytesio.Reader
+
+(* ------------------------- primitive helpers ------------------------- *)
+
+(* length-prefixed rather than NUL-terminated: payload strings (section
+   names, reasons) are arbitrary bytes *)
+let w_str w s =
+  W.uleb128 w (String.length s);
+  W.bytes w s
+
+let r_str r =
+  let n = R.uleb128 r in
+  R.bytes r n
+
+let w_bool w b = W.u8 w (if b then 1 else 0)
+
+let r_bool r = match R.u8 r with 0 -> false | 1 -> true | n -> fail "bool tag %d" n
+
+let w_list w f l =
+  W.uleb128 w (List.length l);
+  List.iter (f w) l
+
+(* explicit in-order loop: List.init's evaluation order is unspecified,
+   and the element reads are side-effecting *)
+let r_list r f =
+  let n = R.uleb128 r in
+  let rec go acc i = if i = 0 then List.rev acc else go (f r :: acc) (i - 1) in
+  go [] n
+
+let w_opt w f = function
+  | None -> W.u8 w 0
+  | Some v ->
+      W.u8 w 1;
+      f w v
+
+let r_opt r f = match R.u8 r with 0 -> None | 1 -> Some (f r) | n -> fail "option tag %d" n
+
+let w_pair fa fb w (a, b) =
+  fa w a;
+  fb w b
+
+let r_pair fa fb r =
+  let a = fa r in
+  let b = fb r in
+  (a, b)
+
+(* ------------------------------ ctypes ------------------------------- *)
+
+let rec w_ctype w (t : Ctype.t) =
+  match t with
+  | Void -> W.u8 w 0
+  | Int { name; bits; signed } ->
+      W.u8 w 1;
+      w_str w name;
+      W.uleb128 w bits;
+      w_bool w signed
+  | Float { name; bits } ->
+      W.u8 w 2;
+      w_str w name;
+      W.uleb128 w bits
+  | Ptr t ->
+      W.u8 w 3;
+      w_ctype w t
+  | Array (t, n) ->
+      W.u8 w 4;
+      w_ctype w t;
+      W.uleb128 w n
+  | Struct_ref s ->
+      W.u8 w 5;
+      w_str w s
+  | Union_ref s ->
+      W.u8 w 6;
+      w_str w s
+  | Enum_ref s ->
+      W.u8 w 7;
+      w_str w s
+  | Typedef_ref s ->
+      W.u8 w 8;
+      w_str w s
+  | Const t ->
+      W.u8 w 9;
+      w_ctype w t
+  | Volatile t ->
+      W.u8 w 10;
+      w_ctype w t
+  | Func_proto p ->
+      W.u8 w 11;
+      w_proto w p
+
+and w_proto w (p : Ctype.proto) =
+  w_ctype w p.ret;
+  w_list w
+    (fun w (pa : Ctype.param) ->
+      w_str w pa.pname;
+      w_ctype w pa.ptype)
+    p.params;
+  w_bool w p.variadic
+
+let rec r_ctype r : Ctype.t =
+  match R.u8 r with
+  | 0 -> Void
+  | 1 ->
+      let name = r_str r in
+      let bits = R.uleb128 r in
+      let signed = r_bool r in
+      Int { name; bits; signed }
+  | 2 ->
+      let name = r_str r in
+      let bits = R.uleb128 r in
+      Float { name; bits }
+  | 3 -> Ptr (r_ctype r)
+  | 4 ->
+      let t = r_ctype r in
+      let n = R.uleb128 r in
+      Array (t, n)
+  | 5 -> Struct_ref (r_str r)
+  | 6 -> Union_ref (r_str r)
+  | 7 -> Enum_ref (r_str r)
+  | 8 -> Typedef_ref (r_str r)
+  | 9 -> Const (r_ctype r)
+  | 10 -> Volatile (r_ctype r)
+  | 11 -> Func_proto (r_proto r)
+  | n -> fail "ctype tag %d" n
+
+and r_proto r : Ctype.proto =
+  let ret = r_ctype r in
+  let params =
+    r_list r (fun r ->
+        let pname = r_str r in
+        let ptype = r_ctype r in
+        ({ pname; ptype } : Ctype.param))
+  in
+  let variadic = r_bool r in
+  { ret; params; variadic }
+
+let w_field w (f : Decl.field) =
+  w_str w f.fname;
+  w_ctype w f.ftype;
+  W.uleb128 w f.bits_offset
+
+let r_field r : Decl.field =
+  let fname = r_str r in
+  let ftype = r_ctype r in
+  let bits_offset = R.uleb128 r in
+  { fname; ftype; bits_offset }
+
+let w_struct_def w (s : Decl.struct_def) =
+  w_str w s.sname;
+  W.u8 w (match s.skind with `Struct -> 0 | `Union -> 1);
+  W.uleb128 w s.byte_size;
+  w_list w w_field s.fields
+
+let r_struct_def r : Decl.struct_def =
+  let sname = r_str r in
+  let skind = match R.u8 r with 0 -> `Struct | 1 -> `Union | n -> fail "skind tag %d" n in
+  let byte_size = R.uleb128 r in
+  let fields = r_list r r_field in
+  { sname; skind; byte_size; fields }
+
+let w_func_decl w (f : Decl.func_decl) =
+  w_str w f.fname;
+  w_proto w f.proto
+
+let r_func_decl r : Decl.func_decl =
+  let fname = r_str r in
+  let proto = r_proto r in
+  { fname; proto }
+
+(* ----------------------------- surfaces ------------------------------ *)
+
+let w_version w (v : Version.t) =
+  W.uleb128 w v.major;
+  W.uleb128 w v.minor
+
+let r_version r : Version.t =
+  let major = R.uleb128 r in
+  let minor = R.uleb128 r in
+  { major; minor }
+
+let arch_tag : Config.arch -> int = function X86 -> 0 | Arm64 -> 1 | Arm32 -> 2 | Ppc -> 3 | Riscv -> 4
+
+let arch_of_tag : int -> Config.arch = function
+  | 0 -> X86
+  | 1 -> Arm64
+  | 2 -> Arm32
+  | 3 -> Ppc
+  | 4 -> Riscv
+  | n -> fail "arch tag %d" n
+
+let flavor_tag : Config.flavor -> int = function
+  | Generic -> 0
+  | Lowlatency -> 1
+  | Aws -> 2
+  | Azure -> 3
+  | Gcp -> 4
+
+let flavor_of_tag : int -> Config.flavor = function
+  | 0 -> Generic
+  | 1 -> Lowlatency
+  | 2 -> Aws
+  | 3 -> Azure
+  | 4 -> Gcp
+  | n -> fail "flavor tag %d" n
+
+let w_config w (c : Config.t) =
+  W.u8 w (arch_tag c.arch);
+  W.u8 w (flavor_tag c.flavor)
+
+let r_config r : Config.t =
+  let arch = arch_of_tag (R.u8 r) in
+  let flavor = flavor_of_tag (R.u8 r) in
+  { arch; flavor }
+
+let w_symbol w (s : Ds_elf.Elf.symbol) =
+  w_str w s.sym_name;
+  W.u64 w s.sym_value;
+  W.uleb128 w s.sym_size;
+  W.u8 w (match s.sym_bind with Local -> 0 | Global -> 1 | Weak -> 2);
+  w_str w s.sym_section
+
+let r_symbol r : Ds_elf.Elf.symbol =
+  let sym_name = r_str r in
+  let sym_value = R.u64 r in
+  let sym_size = R.uleb128 r in
+  let sym_bind : Ds_elf.Elf.sym_bind =
+    match R.u8 r with 0 -> Local | 1 -> Global | 2 -> Weak | n -> fail "sym_bind tag %d" n
+  in
+  let sym_section = r_str r in
+  { sym_name; sym_value; sym_size; sym_bind; sym_section }
+
+let w_decl_instance w (d : Surface.decl_instance) =
+  w_str w d.di_tu;
+  w_str w d.di_file;
+  W.uleb128 w d.di_line;
+  w_proto w d.di_proto;
+  w_bool w d.di_external;
+  w_bool w d.di_declared_inline;
+  w_opt w (fun w v -> W.u64 w v) d.di_low_pc
+
+let r_decl_instance r : Surface.decl_instance =
+  let di_tu = r_str r in
+  let di_file = r_str r in
+  let di_line = R.uleb128 r in
+  let di_proto = r_proto r in
+  let di_external = r_bool r in
+  let di_declared_inline = r_bool r in
+  let di_low_pc = r_opt r R.u64 in
+  { di_tu; di_file; di_line; di_proto; di_external; di_declared_inline; di_low_pc }
+
+let w_inline_site w (s : Surface.inline_site) =
+  w_str w s.is_caller;
+  w_str w s.is_tu;
+  W.u64 w s.is_pc
+
+let r_inline_site r : Surface.inline_site =
+  let is_caller = r_str r in
+  let is_tu = r_str r in
+  let is_pc = R.u64 r in
+  { is_caller; is_tu; is_pc }
+
+let w_func_entry w (f : Surface.func_entry) =
+  w_str w f.fe_name;
+  w_list w w_decl_instance f.fe_decls;
+  w_list w w_symbol f.fe_symbols;
+  w_list w w_symbol f.fe_suffixed;
+  w_list w w_inline_site f.fe_inline_sites;
+  w_list w w_str f.fe_callers
+
+let r_func_entry r : Surface.func_entry =
+  let fe_name = r_str r in
+  let fe_decls = r_list r r_decl_instance in
+  let fe_symbols = r_list r r_symbol in
+  let fe_suffixed = r_list r r_symbol in
+  let fe_inline_sites = r_list r r_inline_site in
+  let fe_callers = r_list r r_str in
+  { fe_name; fe_decls; fe_symbols; fe_suffixed; fe_inline_sites; fe_callers }
+
+let w_tp_entry w (t : Surface.tp_entry) =
+  w_str w t.te_name;
+  w_str w t.te_class;
+  w_opt w w_struct_def t.te_event_struct;
+  w_opt w w_func_decl t.te_func
+
+let r_tp_entry r : Surface.tp_entry =
+  let te_name = r_str r in
+  let te_class = r_str r in
+  let te_event_struct = r_opt r r_struct_def in
+  let te_func = r_opt r r_func_decl in
+  { te_name; te_class; te_event_struct; te_func }
+
+let encode_surface (s : Surface.t) =
+  let w = W.create () in
+  w_version w s.s_version;
+  W.u8 w (arch_tag s.s_arch);
+  W.u8 w (flavor_tag s.s_flavor);
+  W.uleb128 w (fst s.s_gcc);
+  W.uleb128 w (snd s.s_gcc);
+  w_list w w_func_entry s.s_funcs;
+  w_list w w_struct_def s.s_structs;
+  w_list w w_tp_entry s.s_tracepoints;
+  w_list w w_str s.s_syscalls;
+  W.contents w
+
+let expect_eof r = if not (R.eof r) then fail "trailing payload bytes"
+
+let decode_surface data =
+  let r = R.of_string data in
+  let version = r_version r in
+  let arch = arch_of_tag (R.u8 r) in
+  let flavor = flavor_of_tag (R.u8 r) in
+  let gcc_major = R.uleb128 r in
+  let gcc_minor = R.uleb128 r in
+  let funcs = r_list r r_func_entry in
+  let structs = r_list r r_struct_def in
+  let tracepoints = r_list r r_tp_entry in
+  let syscalls = r_list r r_str in
+  expect_eof r;
+  Surface.v ~version ~arch ~flavor ~gcc:(gcc_major, gcc_minor) ~funcs ~structs ~tracepoints
+    ~syscalls
+
+(* ------------------------------- diffs ------------------------------- *)
+
+let w_func_change w (c : Diff.func_change) =
+  match c with
+  | Param_added s ->
+      W.u8 w 0;
+      w_str w s
+  | Param_removed s ->
+      W.u8 w 1;
+      w_str w s
+  | Param_reordered -> W.u8 w 2
+  | Param_type_changed (s, a, b) ->
+      W.u8 w 3;
+      w_str w s;
+      w_ctype w a;
+      w_ctype w b
+  | Return_type_changed (a, b) ->
+      W.u8 w 4;
+      w_ctype w a;
+      w_ctype w b
+
+let r_func_change r : Diff.func_change =
+  match R.u8 r with
+  | 0 -> Param_added (r_str r)
+  | 1 -> Param_removed (r_str r)
+  | 2 -> Param_reordered
+  | 3 ->
+      let s = r_str r in
+      let a = r_ctype r in
+      let b = r_ctype r in
+      Param_type_changed (s, a, b)
+  | 4 ->
+      let a = r_ctype r in
+      let b = r_ctype r in
+      Return_type_changed (a, b)
+  | n -> fail "func_change tag %d" n
+
+let w_field_change w (c : Diff.field_change) =
+  match c with
+  | Field_added s ->
+      W.u8 w 0;
+      w_str w s
+  | Field_removed s ->
+      W.u8 w 1;
+      w_str w s
+  | Field_type_changed (s, a, b) ->
+      W.u8 w 2;
+      w_str w s;
+      w_ctype w a;
+      w_ctype w b
+
+let r_field_change r : Diff.field_change =
+  match R.u8 r with
+  | 0 -> Field_added (r_str r)
+  | 1 -> Field_removed (r_str r)
+  | 2 ->
+      let s = r_str r in
+      let a = r_ctype r in
+      let b = r_ctype r in
+      Field_type_changed (s, a, b)
+  | n -> fail "field_change tag %d" n
+
+let w_tp_change w (c : Diff.tp_change) =
+  match c with
+  | Event_struct_changed cs ->
+      W.u8 w 0;
+      w_list w w_field_change cs
+  | Tracing_func_changed cs ->
+      W.u8 w 1;
+      w_list w w_func_change cs
+
+let r_tp_change r : Diff.tp_change =
+  match R.u8 r with
+  | 0 -> Event_struct_changed (r_list r r_field_change)
+  | 1 -> Tracing_func_changed (r_list r r_func_change)
+  | n -> fail "tp_change tag %d" n
+
+let w_item_diff wc w (d : _ Diff.item_diff) =
+  W.uleb128 w d.d_common;
+  w_list w w_str d.d_added;
+  w_list w w_str d.d_removed;
+  w_list w
+    (fun w (name, cs) ->
+      w_str w name;
+      w_list w wc cs)
+    d.d_changed
+
+let r_item_diff rc r : _ Diff.item_diff =
+  let d_common = R.uleb128 r in
+  let d_added = r_list r r_str in
+  let d_removed = r_list r r_str in
+  let d_changed =
+    r_list r (fun r ->
+        let name = r_str r in
+        let cs = r_list r rc in
+        (name, cs))
+  in
+  { d_common; d_added; d_removed; d_changed }
+
+let w_diff w (d : Diff.t) =
+  w_item_diff w_func_change w d.df_funcs;
+  w_item_diff w_field_change w d.df_structs;
+  w_item_diff w_tp_change w d.df_tracepoints;
+  w_item_diff (fun w () -> W.u8 w 0) w d.df_syscalls
+
+let r_diff r : Diff.t =
+  let df_funcs = r_item_diff r_func_change r in
+  let df_structs = r_item_diff r_field_change r in
+  let df_tracepoints = r_item_diff r_tp_change r in
+  let df_syscalls =
+    r_item_diff (fun r -> match R.u8 r with 0 -> () | n -> fail "unit tag %d" n) r
+  in
+  { df_funcs; df_structs; df_tracepoints; df_syscalls }
+
+let encode_diff d =
+  let w = W.create () in
+  w_diff w d;
+  W.contents w
+
+let decode_diff data =
+  let r = R.of_string data in
+  let d = r_diff r in
+  expect_eof r;
+  d
+
+let encode_version_diffs l =
+  let w = W.create () in
+  w_list w (w_pair (w_pair w_version w_version) w_diff) l;
+  W.contents w
+
+let decode_version_diffs data =
+  let r = R.of_string data in
+  let l = r_list r (r_pair (r_pair r_version r_version) r_diff) in
+  expect_eof r;
+  l
+
+let encode_config_diffs l =
+  let w = W.create () in
+  w_list w (w_pair w_config w_diff) l;
+  W.contents w
+
+let decode_config_diffs data =
+  let r = R.of_string data in
+  let l = r_list r (r_pair r_config r_diff) in
+  expect_eof r;
+  l

@@ -1,5 +1,6 @@
 open Ds_ksrc
 module Par = Ds_util.Par
+module Store = Ds_store.Store
 
 type t = {
   seed : int64;
@@ -8,6 +9,9 @@ type t = {
   sources : (Version.t, Source.t) Hashtbl.t;
       (* index over [history]; read-only after [build], so safe to share
          across domains without a lock *)
+  store : Store.t option;
+      (* persistent tier under the in-memory memo tables; [None] disables
+         on-disk caching entirely *)
   models : (string, Ds_kcc.Compile.model) Par.Memo.t;
   images : (string, Ds_elf.Elf.t) Par.Memo.t;
   vmlinuxes : (string, Ds_bpf.Vmlinux.t) Par.Memo.t;
@@ -26,7 +30,7 @@ let fig4_images =
       (fun arch -> (Version.v 5 4, Config.{ arch; flavor = Generic }))
       [ Config.Arm64; Config.Arm32; Config.Ppc; Config.Riscv ]
 
-let build ~seed scale =
+let build ~seed ?store scale =
   let history = Evolution.build_history ~seed scale in
   let sources = Hashtbl.create (List.length history) in
   List.iter (fun (v, src) -> Hashtbl.replace sources v src) history;
@@ -35,6 +39,7 @@ let build ~seed scale =
     scale;
     history;
     sources;
+    store;
     models = Par.Memo.create 32;
     images = Par.Memo.create 32;
     vmlinuxes = Par.Memo.create 32;
@@ -43,6 +48,21 @@ let build ~seed scale =
 
 let seed t = t.seed
 let scale t = t.scale
+let store t = t.store
+
+let compile_count t = Par.Memo.length t.models
+
+let cache_key t ~label parts =
+  let h = Store.Hash.create () in
+  Store.Hash.int h Codec_base.version;
+  Store.Hash.int64 h t.seed;
+  Store.Hash.float h t.scale.Calibration.sc_funcs;
+  Store.Hash.float h t.scale.Calibration.sc_structs;
+  Store.Hash.float h t.scale.Calibration.sc_tracepoints;
+  Store.Hash.float h t.scale.Calibration.sc_syscalls;
+  Store.Hash.string h label;
+  List.iter (Store.Hash.string h) parts;
+  label ^ "-" ^ Store.Hash.hex h
 
 let source t v =
   match Hashtbl.find_opt t.sources v with
@@ -56,7 +76,11 @@ let model t v cfg =
       Ds_kcc.Compile.compile (source t v) cfg)
 
 let image t v cfg =
-  Par.Memo.find_or_compute t.images (key v cfg) (fun () -> Ds_kcc.Emit.emit (model t v cfg))
+  Par.Memo.find_or_compute t.images (key v cfg) (fun () ->
+      Store.memo t.store ~ns:"image"
+        ~key:(cache_key t ~label:(key v cfg) [])
+        ~encode:Ds_elf.Elf.write ~decode:Ds_elf.Elf.read
+        (fun () -> Ds_kcc.Emit.emit (model t v cfg)))
 
 let vmlinux t v cfg =
   Par.Memo.find_or_compute t.vmlinuxes (key v cfg) (fun () ->
@@ -66,7 +90,10 @@ let vmlinux t v cfg =
 
 let surface t v cfg =
   Par.Memo.find_or_compute t.surfaces (key v cfg) (fun () ->
-      Surface.of_vmlinux (vmlinux t v cfg))
+      Store.memo t.store ~ns:"surface"
+        ~key:(cache_key t ~label:(key v cfg) [])
+        ~encode:Codec_base.encode_surface ~decode:Codec_base.decode_surface
+        (fun () -> Surface.of_vmlinux (vmlinux t v cfg)))
 
 let x86_series t = List.map (fun v -> (v, surface t v Config.x86_generic)) Version.all
 

@@ -12,13 +12,27 @@ val study_images : (Version.t * Config.t) list
 val fig4_images : (Version.t * Config.t) list
 (** The 21 images of Figure 4: 17 x86 versions + 4 arches at v5.4. *)
 
-val build : seed:int64 -> Calibration.scale -> t
+val build : seed:int64 -> ?store:Ds_store.Store.t -> Calibration.scale -> t
 (** Generate the kernel history; images and surfaces materialize lazily
-    on first access. *)
+    on first access. With [store], images and surfaces additionally get a
+    persistent on-disk tier under the in-memory memo tables: computed
+    artifacts are written through, and later processes (same seed, scale
+    and codec version) load them instead of recompiling. *)
 
 val seed : t -> int64
 
 val scale : t -> Calibration.scale
+
+val store : t -> Ds_store.Store.t option
+
+val compile_count : t -> int
+(** How many kernel models this process actually compiled (cache hits
+    don't compile); the bench asserts this is 0 on a warm run. *)
+
+val cache_key : t -> label:string -> string list -> string
+(** [cache_key t ~label parts]: a store key binding the codec version,
+    evolution seed, scale record, [label] and [parts] — everything the
+    artifact's content is a function of. Shaped [label ^ "-" ^ digest]. *)
 
 val source : t -> Version.t -> Source.t
 (** O(1): served from a [Hashtbl] index built over the history at

@@ -1,9 +1,10 @@
 open Ds_ksrc
 module Par = Ds_util.Par
+module Store = Ds_store.Store
 
 let default_seed = 0xD5EED5EEDL
 
-let dataset ?(seed = default_seed) scale = Dataset.build ~seed scale
+let dataset ?(seed = default_seed) ?store scale = Dataset.build ~seed ?store scale
 
 type cached = {
   c_ds : Dataset.t;
@@ -22,7 +23,8 @@ let cached ?pool ds =
     c_config = Par.Memo.create 1;
   }
 
-let dataset_cached ?(seed = default_seed) ?pool scale = cached ?pool (dataset ~seed scale)
+let dataset_cached ?(seed = default_seed) ?pool ?store scale =
+  cached ?pool (dataset ~seed ?store scale)
 let cached_dataset c = c.c_ds
 
 let maplist c f xs =
@@ -35,27 +37,54 @@ let version_diffs c pairs =
     (fun (a, b) -> ((a, b), Diff.compare_surfaces Diff.Across_versions (x86 c a) (x86 c b)))
     pairs
 
+(* the diff fan-outs also land in the persistent tier: a warm process
+   loads them without touching any surface *)
+let diff_memo c ~label ~encode ~decode compute =
+  Store.memo (Dataset.store c.c_ds) ~ns:"diff"
+    ~key:(Dataset.cache_key c.c_ds ~label [])
+    ~encode ~decode compute
+
 let lts_diffs c =
-  Par.Memo.find_or_compute c.c_lts () (fun () -> version_diffs c (Version.pairs Version.lts))
+  Par.Memo.find_or_compute c.c_lts () (fun () ->
+      diff_memo c ~label:"lts-diffs" ~encode:Codec.encode_version_diffs
+        ~decode:Codec.decode_version_diffs (fun () ->
+          version_diffs c (Version.pairs Version.lts)))
 
 let release_diffs c =
-  Par.Memo.find_or_compute c.c_release () (fun () -> version_diffs c (Version.pairs Version.all))
+  Par.Memo.find_or_compute c.c_release () (fun () ->
+      diff_memo c ~label:"release-diffs" ~encode:Codec.encode_version_diffs
+        ~decode:Codec.decode_version_diffs (fun () ->
+          version_diffs c (Version.pairs Version.all)))
 
 let config_diffs c =
   Par.Memo.find_or_compute c.c_config () (fun () ->
-      let base = x86 c (Version.v 5 4) in
-      let others =
-        List.filter (fun cfg -> not (Config.equal cfg Config.x86_generic)) Config.study_configs
-      in
-      maplist c
-        (fun cfg ->
-          (cfg, Diff.compare_surfaces Diff.Across_configs base
-                  (Dataset.surface c.c_ds (Version.v 5 4) cfg)))
-        others)
+      diff_memo c ~label:"config-diffs" ~encode:Codec.encode_config_diffs
+        ~decode:Codec.decode_config_diffs (fun () ->
+          let base = x86 c (Version.v 5 4) in
+          let others =
+            List.filter
+              (fun cfg -> not (Config.equal cfg Config.x86_generic))
+              Config.study_configs
+          in
+          maplist c
+            (fun cfg ->
+              (cfg, Diff.compare_surfaces Diff.Across_configs base
+                      (Dataset.surface c.c_ds (Version.v 5 4) cfg)))
+            others))
+
+let image_tag (v, cfg) = Version.to_string v ^ "/" ^ Config.to_string cfg
 
 let analyze ds ?(images = Dataset.fig4_images) ?(baseline = (Version.v 5 4, Config.x86_generic))
     obj =
-  Report.matrix ds ~images ~baseline obj
+  (* content-addressed on the serialized object plus the image set, so a
+     changed program or image list never reuses a stale matrix *)
+  let key =
+    Dataset.cache_key ds
+      ~label:("matrix-" ^ obj.Ds_bpf.Obj.o_name)
+      (Ds_bpf.Obj.write obj :: image_tag baseline :: List.map image_tag images)
+  in
+  Store.memo (Dataset.store ds) ~ns:"matrix" ~key ~encode:Codec.encode_matrix
+    ~decode:Codec.decode_matrix (fun () -> Report.matrix ds ~images ~baseline obj)
 
 let load_on ds v cfg obj = Ds_bpf.Loader.load_and_attach (Dataset.vmlinux ds v cfg) obj
 

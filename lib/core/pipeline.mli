@@ -6,7 +6,9 @@ open Ds_ksrc
 
 val default_seed : int64
 
-val dataset : ?seed:int64 -> Calibration.scale -> Dataset.t
+val dataset : ?seed:int64 -> ?store:Ds_store.Store.t -> Calibration.scale -> Dataset.t
+(** With [store], the dataset (and the diff/matrix drivers below) gain a
+    persistent on-disk tier — see {!Dataset.build}. *)
 
 type cached
 (** A dataset plus once-memoized pairwise diff fan-outs shared by the CLI
@@ -17,7 +19,8 @@ type cached
 
 val cached : ?pool:Ds_util.Par.pool -> Dataset.t -> cached
 
-val dataset_cached : ?seed:int64 -> ?pool:Ds_util.Par.pool -> Calibration.scale -> cached
+val dataset_cached :
+  ?seed:int64 -> ?pool:Ds_util.Par.pool -> ?store:Ds_store.Store.t -> Calibration.scale -> cached
 (** [cached] over a fresh {!dataset}. *)
 
 val cached_dataset : cached -> Dataset.t

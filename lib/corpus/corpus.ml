@@ -181,13 +181,51 @@ let spec_for pools (pr : Table7.profile) =
   in
   Progbuild.{ sp_tool = pr.Table7.pr_name; sp_hooks = hooks }
 
+let obj_key ds ~build pr =
+  Depsurf.Dataset.cache_key ds
+    ~label:("obj-" ^ pr.Table7.pr_name)
+    [ Version.to_string (fst build) ^ "/" ^ Config.to_string (snd build) ]
+
 let build_all ds ?(build = (Version.v 5 4, Config.x86_generic)) () =
-  let pools = Pools.compute ds ~baseline:build () in
-  List.map
-    (fun pr ->
-      let spec = spec_for pools pr in
-      (pr, Depsurf.Pipeline.build_program ds ~build spec))
-    Table7.programs
+  (* Persistent caching of the built objects is all-or-nothing: the pool
+     draws in [spec_for] advance mutable cursors, so rebuilding only the
+     missing programs would hand them different draws than a full build.
+     Either every object loads from the store, or all are rebuilt. *)
+  let store = Depsurf.Dataset.store ds in
+  let cached =
+    match store with
+    | None -> None
+    | Some store ->
+        let rec go acc = function
+          | [] -> Some (List.rev acc)
+          | pr :: rest -> (
+              match
+                Ds_store.Store.find store ~ns:"obj" ~key:(obj_key ds ~build pr) ~decode:Obj.read
+              with
+              | Some obj -> go ((pr, obj) :: acc) rest
+              | None -> None)
+        in
+        go [] Table7.programs
+  in
+  match cached with
+  | Some built -> built
+  | None ->
+      let pools = Pools.compute ds ~baseline:build () in
+      let built =
+        List.map
+          (fun pr ->
+            let spec = spec_for pools pr in
+            (pr, Depsurf.Pipeline.build_program ds ~build spec))
+          Table7.programs
+      in
+      (match store with
+      | None -> ()
+      | Some store ->
+          List.iter
+            (fun (pr, obj) ->
+              Ds_store.Store.add store ~ns:"obj" ~key:(obj_key ds ~build pr) (Obj.write obj))
+            built);
+      built
 
 let analyze_all_matrices ds ?pool ?(images = Depsurf.Dataset.fig4_images)
     ?(baseline = (Version.v 5 4, Config.x86_generic)) built =
@@ -195,7 +233,9 @@ let analyze_all_matrices ds ?pool ?(images = Depsurf.Dataset.fig4_images)
      memo tables; with a pool both phases run across domains *)
   Depsurf.Dataset.warm_list ?pool ds (baseline :: images);
   let analyze (pr, obj) =
-    let m = Depsurf.Report.matrix ds ~images ~baseline obj in
+    (* through [Pipeline.analyze], so matrices land in the persistent
+       tier too *)
+    let m = Depsurf.Pipeline.analyze ds ~images ~baseline obj in
     (pr, m, Depsurf.Report.summarize m)
   in
   match pool with
