@@ -1031,6 +1031,129 @@ let pipeline_timing () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Robustness: lenient-ingestion overhead + fault survival              *)
+(* ------------------------------------------------------------------ *)
+
+module Faultgen = Ds_faultgen.Faultgen
+
+let robustness () =
+  section "Robustness: lenient ingestion overhead and mutation survival";
+  let img = Dataset.image ds (Version.v 5 4) Config.x86_generic in
+  let image_bytes = Ds_elf.Elf.write img in
+  let sec name =
+    match Ds_elf.Elf.find_section img name with Some s -> s.Ds_elf.Elf.sec_data | None -> ""
+  in
+  (* clean-image overhead: the lenient path must cost no more than the
+     strict path it shadows (budget: 5%) *)
+  let reps = 20 in
+  let avg f =
+    let (), dt = time (fun () -> for _ = 1 to reps do ignore (f ()) done) in
+    dt /. float_of_int reps
+  in
+  (* interleave so neither side soaks up a GC bias *)
+  let t_strict0 = avg (fun () -> Surface.extract (Ds_elf.Elf.read image_bytes)) in
+  let t_lenient0 = avg (fun () -> Surface.extract_lenient image_bytes) in
+  let t_strict = Float.min t_strict0 (avg (fun () -> Surface.extract (Ds_elf.Elf.read image_bytes))) in
+  let t_lenient = Float.min t_lenient0 (avg (fun () -> Surface.extract_lenient image_bytes)) in
+  let overhead_pct = ((t_lenient /. Float.max 1e-9 t_strict) -. 1.) *. 100. in
+  Printf.printf "  clean-image extraction: strict %.2f ms, lenient %.2f ms (%+.1f%%)\n"
+    (t_strict *. 1000.) (t_lenient *. 1000.) overhead_pct;
+  if overhead_pct > 5. then
+    Printf.printf "WARNING: lenient ingestion %.1f%% slower than strict on clean images (>5%% budget)\n"
+      overhead_pct;
+  (* clean images must come out byte-identical with zero diagnostics *)
+  let strict_json = Json.to_string (Export.surface (Surface.extract (Ds_elf.Elf.read image_bytes))) in
+  let lenient_s = Surface.extract_lenient image_bytes in
+  let lenient_json = Json.to_string (Export.surface lenient_s) in
+  let identical = String.equal strict_json lenient_json && Surface.health lenient_s = [] in
+  if identical then
+    print_endline "  clean-image check: lenient surface byte-identical to strict, zero diagnostics: OK"
+  else print_endline "  clean-image check: FAILED (lenient differs from strict on a clean image)";
+  (* seeded mutation survival, per parser and end-to-end *)
+  let seed = Dataset.seed ds in
+  let dwarf_abbrev = sec ".debug_abbrev" in
+  let obj_bytes = Ds_bpf.Obj.write (snd (List.hd (Lazy.force corpus))) in
+  let pipeline_count = if scale = Calibration.bench_scale then 100 else 500 in
+  let surveys =
+    [
+      ( "elf", 500, image_bytes,
+        fun bytes -> (Ds_elf.Elf.read_lenient bytes).Ds_elf.Elf.r_diags );
+      ( "btf", 500, sec ".BTF",
+        fun bytes -> (Ds_btf.Btf.decode_lenient bytes).Ds_btf.Btf.b_diags );
+      ( "dwarf", 500, sec ".debug_info",
+        fun bytes -> snd (Ds_dwarf.Info.decode_lenient ~info:bytes ~abbrev:dwarf_abbrev) );
+      ( "bpf_obj", 500, obj_bytes,
+        fun bytes -> (Ds_bpf.Obj.read_lenient bytes).Ds_bpf.Obj.o_diags );
+      ( "pipeline", pipeline_count, image_bytes,
+        fun bytes -> Surface.health (Surface.extract_lenient bytes) );
+    ]
+  in
+  let t =
+    Texttable.create
+      [
+        ("parser", Texttable.L); ("mutations", Texttable.R); ("clean", Texttable.R);
+        ("degraded", Texttable.R); ("fatal", Texttable.R); ("crashed", Texttable.R);
+      ]
+  in
+  let crashed_total = ref 0 in
+  let results =
+    List.map
+      (fun (name, mut_count, bytes, health) ->
+        let muts = Faultgen.mutations ~count:mut_count ~seed bytes in
+        let tally, crashed = Faultgen.survey health muts in
+        List.iter
+          (fun (mname, e) -> Printf.printf "  CRASH %s %s: %s\n" name mname e)
+          crashed;
+        crashed_total := !crashed_total + tally.Faultgen.n_crashed;
+        Texttable.row t
+          [
+            name;
+            string_of_int tally.Faultgen.n_total; string_of_int tally.Faultgen.n_clean;
+            string_of_int tally.Faultgen.n_degraded; string_of_int tally.Faultgen.n_fatal;
+            string_of_int tally.Faultgen.n_crashed;
+          ];
+        (name, tally))
+      surveys
+  in
+  print_string (Texttable.render t);
+  let open Json in
+  let j =
+    Obj
+      [
+        ("schema", String "depsurf-bench-robust/1");
+        ("scale", String (if scale = Calibration.bench_scale then "bench" else "test"));
+        ("strict_ms", Float (t_strict *. 1000.));
+        ("lenient_ms", Float (t_lenient *. 1000.));
+        ("overhead_pct", Float overhead_pct);
+        ("clean_identical", Bool identical);
+        ( "surveys",
+          List
+            (List.map
+               (fun (name, (ta : Faultgen.tally)) ->
+                 Obj
+                   [
+                     ("parser", String name);
+                     ("total", Int ta.Faultgen.n_total);
+                     ("clean", Int ta.Faultgen.n_clean);
+                     ("degraded", Int ta.Faultgen.n_degraded);
+                     ("fatal", Int ta.Faultgen.n_fatal);
+                     ("crashed", Int ta.Faultgen.n_crashed);
+                   ])
+               results) );
+      ]
+  in
+  let oc = open_out "BENCH_ROBUST.json" in
+  output_string oc (Json.to_string j);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "(written to BENCH_ROBUST.json)";
+  if !crashed_total > 0 || not identical then begin
+    Printf.printf "robustness check: FAILED (%d uncaught exceptions)\n" !crashed_total;
+    exit 1
+  end
+  else print_endline "robustness check: every mutation survived with typed diagnostics: OK"
+
+(* ------------------------------------------------------------------ *)
 (* Store timing: cold vs warm                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1176,6 +1299,7 @@ let () =
   ablation_composition ();
   ablation_threshold ();
   perf ();
+  robustness ();
   store_timing ();
   Par.shutdown pool;
   Printf.printf "\ntotal: %.1fs\n" (now () -. t0)

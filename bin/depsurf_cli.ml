@@ -437,7 +437,12 @@ let analyze_cmd =
              ~doc:"Directory of surface JSON files (from export-dataset): analyze without any \
                    kernel images.")
   in
-  let run seed scale cache jobs obj_path image_dir dataset_dir =
+  let strict_arg =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:"Fail on the first malformed byte of an on-disk image instead of degrading.")
+  in
+  let run seed scale cache jobs obj_path image_dir dataset_dir strict =
     with_store cache @@ fun store ->
     let obj =
       try Ds_bpf.Obj.read (read_file obj_path)
@@ -460,9 +465,13 @@ let analyze_cmd =
                     Report.status_letter (Report.worst (Report.statuses ~baseline ~target dep)))
                   deps
               in
-              Printf.printf "%-24s %s\n" (Surface.tag target) (String.concat " " cells))
+              let tag =
+                if Surface.degraded target then "~ " ^ Surface.tag target else Surface.tag target
+              in
+              Printf.printf "%-24s %s\n" tag (String.concat " " cells))
             surfaces;
-          Printf.printf "deps: %s\n" (String.concat ", " (List.map Depset.dep_to_string deps))
+          Printf.printf "deps: %s\n" (String.concat ", " (List.map Depset.dep_to_string deps));
+          if List.exists Surface.degraded surfaces then exit 2
     in
     match image_dir, dataset_dir with
     | None, Some dir ->
@@ -485,7 +494,17 @@ let analyze_cmd =
         let surfaces =
           Array.to_list entries
           |> List.filter (fun f -> String.length f > 8 && String.sub f 0 8 = "vmlinux-")
-          |> List.map (fun f -> Surface.extract (Ds_elf.Elf.read (read_file (Filename.concat dir f))))
+          |> List.map (fun f ->
+                 let bytes = read_file (Filename.concat dir f) in
+                 if strict then
+                   try Surface.extract (Ds_elf.Elf.read bytes) with
+                   | Ds_elf.Elf.Bad_elf m
+                   | Ds_btf.Btf.Bad_btf m
+                   | Ds_dwarf.Die.Bad_dwarf m
+                   | Ds_bpf.Vmlinux.Bad_vmlinux m ->
+                       Printf.eprintf "%s: %s\n" f m;
+                       exit 1
+                 else Surface.extract_lenient bytes)
         in
         analyze_surfaces surfaces
   in
@@ -493,7 +512,122 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Analyze an on-disk eBPF object against kernel images.")
     Term.(
       const run $ seed_arg $ scale_arg $ cache_arg $ jobs_arg $ obj_arg $ image_dir_arg
-      $ dataset_dir_arg)
+      $ dataset_dir_arg $ strict_arg)
+
+(* ---- doctor -------------------------------------------------------- *)
+
+let doctor_cmd =
+  let image_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"IMAGE" ~doc:"Path to a vmlinux image (or any candidate file).")
+  in
+  let strict_arg =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:"Strict mode: report only the first malformed byte, as the parsers did \
+                   historically.")
+  in
+  let run strict path =
+    let module Diag = Ds_util.Diag in
+    let data =
+      try read_file path
+      with Sys_error m ->
+        prerr_endline m;
+        exit 1
+    in
+    if strict then begin
+      match Surface.extract (Ds_elf.Elf.read data) with
+      | s ->
+          Printf.printf "%s: clean\n" (Surface.tag s);
+          exit 0
+      | exception Ds_elf.Elf.Bad_elf m ->
+          Printf.printf "fatal elf: %s\n" m;
+          exit 1
+      | exception Ds_btf.Btf.Bad_btf m ->
+          Printf.printf "fatal btf: %s\n" m;
+          exit 1
+      | exception Ds_dwarf.Die.Bad_dwarf m ->
+          Printf.printf "fatal dwarf: %s\n" m;
+          exit 1
+      | exception Ds_bpf.Vmlinux.Bad_vmlinux m ->
+          Printf.printf "fatal vmlinux: %s\n" m;
+          exit 1
+    end
+    else begin
+      let s = Surface.extract_lenient data in
+      let health = Surface.health s in
+      let tag =
+        if Diag.worst health = Some Diag.Fatal then "unidentified image" else Surface.tag s
+      in
+      let f, st, tp, sc = Surface.counts s in
+      Printf.printf "%s: functions %d, structs %d, tracepoints %d, syscalls %d\n" tag f st tp sc;
+      (match health with
+      | [] -> print_endline "clean: no diagnostics"
+      | diags -> List.iter (fun d -> print_endline ("  " ^ Diag.to_string d)) diags);
+      exit (Diag.exit_code health)
+    end
+  in
+  Cmd.v
+    (Cmd.info "doctor"
+       ~doc:"Diagnose a kernel image's ingestion health. Exit 0 when clean, 1 when nothing \
+             usable could be extracted, 2 when the surface is degraded.")
+    Term.(const run $ strict_arg $ image_arg)
+
+(* ---- mutate -------------------------------------------------------- *)
+
+let mutate_cmd =
+  let in_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"IN" ~doc:"Input file.")
+  in
+  let out_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT" ~doc:"Output file.")
+  in
+  let trunc_arg =
+    Arg.(value & opt (some int) None & info [ "trunc" ] ~doc:"Keep only the first N bytes.")
+  in
+  let flip_arg =
+    Arg.(value & opt (some int) None & info [ "flip" ] ~doc:"Flip the low bit of byte OFFSET.")
+  in
+  let zero_arg =
+    Arg.(value & opt (some string) None
+         & info [ "zero" ] ~docv:"POS:LEN" ~doc:"Zero LEN bytes starting at POS.")
+  in
+  let run inp outp trunc flip zero =
+    let data =
+      try read_file inp
+      with Sys_error m ->
+        prerr_endline m;
+        exit 1
+    in
+    let data =
+      match trunc with Some n -> Ds_faultgen.Faultgen.truncate data ~len:n | None -> data
+    in
+    let data =
+      match flip with
+      | Some b -> Ds_faultgen.Faultgen.flip_bit data ~byte:b ~bit:0
+      | None -> data
+    in
+    let data =
+      match zero with
+      | None -> data
+      | Some spec -> (
+          match String.split_on_char ':' spec with
+          | [ p; l ] -> (
+              match (int_of_string_opt p, int_of_string_opt l) with
+              | Some pos, Some len -> Ds_faultgen.Faultgen.zero_range data ~pos ~len
+              | _ ->
+                  prerr_endline ("bad --zero spec: " ^ spec);
+                  exit 1)
+          | _ ->
+              prerr_endline ("bad --zero spec: " ^ spec);
+              exit 1)
+    in
+    write_file outp data
+  in
+  Cmd.v
+    (Cmd.info "mutate"
+       ~doc:"Deterministically corrupt a file (for exercising doctor and the lenient parsers).")
+    Term.(const run $ in_arg $ out_arg $ trunc_arg $ flip_arg $ zero_arg)
 
 (* ---- corpus -------------------------------------------------------- *)
 
@@ -613,5 +747,5 @@ let () =
              ~doc:"Dependency-surface analysis for eBPF programs (EuroSys '25 reproduction).")
           ~default
           [ surface_cmd; func_cmd; diff_cmd; report_cmd; corpus_cmd; dump_cmd; export_cmd;
-             probe_cmd; vmlinux_h_cmd; gen_images_cmd; mkobj_cmd; analyze_cmd;
-             export_dataset_cmd; cache_cmd ]))
+             probe_cmd; vmlinux_h_cmd; gen_images_cmd; mkobj_cmd; analyze_cmd; doctor_cmd;
+             mutate_cmd; export_dataset_cmd; cache_cmd ]))

@@ -52,4 +52,38 @@ cmp "$TMP/cold.out" "$TMP/nocache.out"
 "$CLI" cache clear --cache-dir "$CACHE" | grep -q "^cleared "
 "$CLI" cache stats --cache-dir "$CACHE" | grep -q "^entries 0 "
 
+# --- doctor: ingestion health triage on corrupted images ---------------
+IMG="$TMP/img1/vmlinux-5.4-x86-generic"
+
+# clean image: exit 0, no diagnostics
+"$CLI" doctor "$IMG" > "$TMP/doc_clean.out"
+grep -q "clean: no diagnostics" "$TMP/doc_clean.out"
+"$CLI" doctor --strict "$IMG" | grep -q ": clean"
+
+# truncated to 3 bytes: nothing extractable, exit 1 with a fatal diagnostic
+"$CLI" mutate "$IMG" "$TMP/img_fatal" --trunc 3
+if "$CLI" doctor "$TMP/img_fatal" > "$TMP/doc_fatal.out"; then
+  echo "doctor accepted a 3-byte image" >&2; exit 1
+else
+  [ $? -eq 1 ]
+fi
+grep -q "fatal" "$TMP/doc_fatal.out"
+
+# zeroed mid-file region: partial extraction, exit 2 with degraded diagnostics
+size=$(wc -c < "$IMG")
+"$CLI" mutate "$IMG" "$TMP/img_degraded" --zero $((size / 3)):512
+if "$CLI" doctor "$TMP/img_degraded" > "$TMP/doc_degr.out"; then
+  echo "doctor called a corrupted image clean" >&2; exit 1
+else
+  [ $? -eq 2 ]
+fi
+grep -q "degraded" "$TMP/doc_degr.out"
+
+# the same degraded image aborts under --strict
+if "$CLI" doctor --strict "$TMP/img_degraded" > /dev/null 2>&1; then
+  echo "--strict accepted a corrupted image" >&2; exit 1
+else
+  [ $? -eq 1 ]
+fi
+
 echo "cache CLI e2e: OK"

@@ -249,7 +249,7 @@ let write t =
         symbols;
       }
 
-let read data =
+let read_strict data =
   let elf = try Elf.read data with Elf.Bad_elf m -> raise (Bad_obj m) in
   if elf.Elf.machine <> Elf.Bpf then raise (Bad_obj "not a BPF object");
   let section name =
@@ -303,6 +303,128 @@ let read data =
       elf.Elf.sections
   in
   { o_name; o_built_for; o_progs = progs; o_maps = maps; o_btf = btf }
+
+(* The .BTF.ext header reads and the per-prog instruction decodes used to
+   leak raw [Bytesio.Truncated]; map every escape to [Bad_obj]. *)
+let read data =
+  try read_strict data with Bytesio.Truncated what -> raise (Bad_obj ("truncated: " ^ what))
+
+type read_result = { o_obj : t; o_diags : Diag.t list }
+
+let empty_obj =
+  { o_name = "unknown"; o_built_for = ""; o_progs = []; o_maps = []; o_btf = Btf.create () }
+
+let meta_section_names =
+  [ ".BTF"; ".BTF.ext"; ".depsurf.meta"; ".maps"; ".depsurf.kfuncs" ]
+
+let read_lenient data =
+  let collector = Diag.Collector.create () in
+  let emit ?context severity msg =
+    Diag.Collector.emit collector (Diag.v ?context severity ~component:"bpf_obj" msg)
+  in
+  let { Elf.r_elf = elf; r_diags } = Elf.read_lenient data in
+  List.iter (Diag.Collector.emit collector) r_diags;
+  if Diag.worst r_diags = Some Diag.Fatal then
+    (* not even an ELF container: nothing downstream to salvage *)
+    { o_obj = empty_obj; o_diags = Diag.Collector.diags collector }
+  else if elf.Elf.machine <> Elf.Bpf then begin
+    emit Diag.Fatal "not a BPF object";
+    { o_obj = empty_obj; o_diags = Diag.Collector.diags collector }
+  end
+  else begin
+    let o_btf =
+      match Elf.find_section elf ".BTF" with
+      | None ->
+          emit Diag.Degraded "missing section .BTF";
+          Btf.create ()
+      | Some s ->
+          let { Ds_btf.Btf.b_btf; b_diags } = Btf.decode_lenient s.Elf.sec_data in
+          List.iter (fun d -> Diag.Collector.emit collector (Diag.demote d)) b_diags;
+          b_btf
+    in
+    let o_maps =
+      match Elf.find_section elf ".maps" with
+      | None -> []
+      | Some s -> (
+          match decode_maps s.Elf.sec_data with
+          | maps -> maps
+          | exception Bad_obj m ->
+              emit ~context:".maps" Diag.Degraded m;
+              [])
+    in
+    let kfuncs =
+      match Elf.find_section elf ".depsurf.kfuncs" with
+      | None -> []
+      | Some s -> (
+          match decode_kfuncs s.Elf.sec_data with
+          | k -> k
+          | exception Bad_obj m ->
+              emit ~context:".depsurf.kfuncs" Diag.Degraded m;
+              [])
+    in
+    let relocs =
+      match Elf.find_section elf ".BTF.ext" with
+      | None ->
+          emit Diag.Degraded "missing section .BTF.ext";
+          []
+      | Some s -> (
+          match decode_btf_ext s.Elf.sec_data with
+          | r -> r
+          | exception Bad_obj m ->
+              emit ~context:".BTF.ext" Diag.Degraded m;
+              []
+          | exception Bytesio.Truncated what ->
+              emit ~context:".BTF.ext" Diag.Degraded ("truncated: " ^ what);
+              [])
+    in
+    let o_name, o_built_for =
+      match Elf.find_section elf ".depsurf.meta" with
+      | None ->
+          emit Diag.Degraded "missing section .depsurf.meta";
+          ("unknown", "")
+      | Some s -> (
+          match String.split_on_char '\000' s.Elf.sec_data with
+          | [ a; b ] -> (a, b)
+          | _ ->
+              emit Diag.Degraded "bad meta section";
+              ("unknown", ""))
+    in
+    let bad_progs = ref 0 in
+    let progs =
+      List.filter_map
+        (fun (s : Elf.section) ->
+          if List.mem s.Elf.sec_name meta_section_names then None
+          else begin
+            let name =
+              match
+                List.find_opt (fun sym -> sym.Elf.sym_section = s.Elf.sec_name) elf.Elf.symbols
+              with
+              | Some sym -> sym.Elf.sym_name
+              | None -> s.Elf.sec_name
+            in
+            match Insn.decode s.Elf.sec_data with
+            | insns ->
+                Some
+                  {
+                    p_name = name;
+                    p_section = s.Elf.sec_name;
+                    p_insns = insns;
+                    p_relocs = Option.value ~default:[] (List.assoc_opt s.Elf.sec_name relocs);
+                    p_kfuncs = Option.value ~default:[] (List.assoc_opt s.Elf.sec_name kfuncs);
+                  }
+            | exception Insn.Bad_insn _ | (exception Bytesio.Truncated _) ->
+                incr bad_progs;
+                None
+          end)
+        elf.Elf.sections
+    in
+    if !bad_progs > 0 then
+      emit Diag.Degraded (Printf.sprintf "%d program sections undecodable (skipped)" !bad_progs);
+    {
+      o_obj = { o_name; o_built_for; o_progs = progs; o_maps = o_maps; o_btf };
+      o_diags = Diag.Collector.diags collector;
+    }
+  end
 
 (* Resolve an access chain against the object's own BTF, skipping
    modifiers and following pointers, as libbpf does. The first access

@@ -49,6 +49,16 @@ val write : t -> string
     relocation and kfunc tables). *)
 
 val read : string -> t
+(** Strict read: raises [Bad_obj] on any malformed byte (raw
+    [Bytesio.Truncated] escapes are wrapped). *)
+
+type read_result = { o_obj : t; o_diags : Ds_util.Diag.t list }
+
+val read_lenient : string -> read_result
+(** Best-effort read: never raises. Undecodable pieces (BTF, maps,
+    relocations, individual program sections) are dropped and recorded
+    as diagnostics; a non-ELF or non-BPF input yields an empty object
+    with a [Fatal] diagnostic. *)
 
 val access_path : t -> int -> int list -> (string * string list) option
 (** [access_path obj type_id access] resolves a CO-RE access chain against

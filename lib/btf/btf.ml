@@ -163,33 +163,65 @@ let encode t =
   Bytesio.Writer.bytes out strings;
   Bytesio.Writer.contents out
 
-let decode data =
-  let r = Bytesio.Reader.of_string data in
-  let fail msg = raise (Bad_btf msg) in
-  let m = try Bytesio.Reader.u16 r with Bytesio.Truncated _ -> fail "truncated header" in
-  if m <> magic then fail "bad magic";
-  let _version = Bytesio.Reader.u8 r in
-  let _flags = Bytesio.Reader.u8 r in
-  let hlen = Bytesio.Reader.u32 r in
-  let type_off = Bytesio.Reader.u32 r in
-  let type_len = Bytesio.Reader.u32 r in
-  let str_off = Bytesio.Reader.u32 r in
-  let str_len = Bytesio.Reader.u32 r in
-  let types =
-    try Bytesio.Reader.sub r ~pos:(hlen + type_off) ~len:type_len
-    with Bytesio.Truncated _ -> fail "bad type section bounds"
+type decode_result = { b_btf : t; b_diags : Diag.t list }
+
+(* Shared strict/lenient decoder. Strict raises [Bad_btf] on the first
+   problem (historical messages preserved); lenient keeps every record
+   decoded before the failure point and describes the loss. [Stop]
+   aborts lenient parsing after a diagnostic has been recorded. *)
+exception Stop
+
+let decode_impl ~strict data =
+  let collector = Diag.Collector.create () in
+  let diag ?context ?offset severity msg =
+    if strict then raise (Bad_btf msg)
+    else Diag.Collector.emit collector (Diag.v ?context ?offset severity ~component:"btf" msg)
   in
-  let strings =
-    try Bytesio.Reader.sub r ~pos:(hlen + str_off) ~len:str_len
-    with Bytesio.Truncated _ -> fail "bad string section bounds"
-  in
-  let str off =
-    try Bytesio.Reader.cstring_at strings off
-    with Bytesio.Truncated _ -> fail "bad string offset"
+  let fatal ?offset msg =
+    diag ?offset Diag.Fatal msg;
+    raise Stop
   in
   let t = create () in
   (try
+     let r = Bytesio.Reader.of_string data in
+     let m = try Bytesio.Reader.u16 r with Bytesio.Truncated _ -> fatal ~offset:0 "truncated header" in
+     if m <> magic then fatal ~offset:0 "bad magic";
+     let hlen, type_off, type_len, str_off, str_len =
+       try
+         let _version = Bytesio.Reader.u8 r in
+         let _flags = Bytesio.Reader.u8 r in
+         let hlen = Bytesio.Reader.u32 r in
+         let type_off = Bytesio.Reader.u32 r in
+         let type_len = Bytesio.Reader.u32 r in
+         let str_off = Bytesio.Reader.u32 r in
+         let str_len = Bytesio.Reader.u32 r in
+         (hlen, type_off, type_len, str_off, str_len)
+       with Bytesio.Truncated _ -> fatal ~offset:2 "truncated header"
+     in
+     let types =
+       try Bytesio.Reader.sub r ~pos:(hlen + type_off) ~len:type_len
+       with Bytesio.Truncated _ | Invalid_argument _ -> fatal ~offset:hdr_len "bad type section bounds"
+     in
+     let strings =
+       try Bytesio.Reader.sub r ~pos:(hlen + str_off) ~len:str_len
+       with Bytesio.Truncated _ | Invalid_argument _ -> fatal ~offset:hdr_len "bad string section bounds"
+     in
+     let record_start = ref 0 in
+     let fail msg =
+       if strict then raise (Bad_btf msg)
+       else begin
+         (* keep the records decoded so far, drop the tail *)
+         diag ~offset:!record_start Diag.Degraded
+           (Printf.sprintf "%s; kept %d type records" msg t.len);
+         raise Stop
+       end
+     in
+     let str off =
+       try Bytesio.Reader.cstring_at strings off
+       with Bytesio.Truncated _ -> fail "bad string offset"
+     in
      while not (Bytesio.Reader.eof types) do
+       record_start := Bytesio.Reader.pos types;
        let name_off = Bytesio.Reader.u32 types in
        let info = Bytesio.Reader.u32 types in
        let size_or_type = Bytesio.Reader.u32 types in
@@ -245,8 +277,18 @@ let decode data =
        in
        ignore (add t record)
      done
-   with Bytesio.Truncated _ -> fail "truncated type section");
-  t
+   with
+  | Bytesio.Truncated _ ->
+      if strict then raise (Bad_btf "truncated type section")
+      else
+        Diag.Collector.emit collector
+          (Diag.v ~offset:(String.length data) Diag.Degraded ~component:"btf"
+             (Printf.sprintf "truncated type section; kept %d type records" t.len))
+  | Stop -> ());
+  { b_btf = t; b_diags = Diag.Collector.diags collector }
+
+let decode data = (decode_impl ~strict:true data).b_btf
+let decode_lenient data = decode_impl ~strict:false data
 
 (* ------------------------------------------------------------------ *)
 (* Bridge to the C type model                                          *)
@@ -366,33 +408,44 @@ let of_env env funcs =
     funcs;
   t
 
-let rec ctype_of t id : Ctype.t =
+(* A corrupt table can contain reference cycles through Ptr/Typedef ids
+   (impossible in well-formed BTF, which only cycles through named
+   aggregates); the depth bound turns them into a typed error instead of
+   a stack overflow. *)
+let max_type_depth = 64
+
+let rec ctype_of_d t d id : Ctype.t =
+  if d > max_type_depth then raise (Bad_btf "type reference cycle");
   match get t id with
   | Void -> Ctype.Void
   | Int { name; bits; signed } -> Ctype.Int { name; bits; signed }
   | Float { name; bits } -> Ctype.Float { name; bits }
-  | Ptr i -> Ctype.Ptr (ctype_of t i)
-  | Const i -> Ctype.Const (ctype_of t i)
-  | Volatile i | Restrict i -> Ctype.Volatile (ctype_of t i)
-  | Array { elem; nelems; _ } -> Ctype.Array (ctype_of t elem, nelems)
+  | Ptr i -> Ctype.Ptr (ctype_of_d t (d + 1) i)
+  | Const i -> Ctype.Const (ctype_of_d t (d + 1) i)
+  | Volatile i | Restrict i -> Ctype.Volatile (ctype_of_d t (d + 1) i)
+  | Array { elem; nelems; _ } -> Ctype.Array (ctype_of_d t (d + 1) elem, nelems)
   | Struct { name; _ } -> Ctype.Struct_ref name
   | Union { name; _ } -> Ctype.Union_ref name
   | Fwd { name; union } -> if union then Ctype.Union_ref name else Ctype.Struct_ref name
   | Enum { name; _ } -> Ctype.Enum_ref name
   | Typedef { name; _ } -> Ctype.Typedef_ref name
-  | Func { proto; _ } -> ctype_of t proto
-  | Func_proto { ret; params } -> Ctype.Func_proto (proto_of t ~ret ~params)
+  | Func { proto; _ } -> ctype_of_d t (d + 1) proto
+  | Func_proto { ret; params } -> Ctype.Func_proto (proto_of_d t (d + 1) ~ret ~params)
 
-and proto_of t ~ret ~params : Ctype.proto =
+and proto_of_d t d ~ret ~params : Ctype.proto =
   let variadic =
     match List.rev params with { p_name = ""; p_type = 0 } :: _ -> true | _ -> false
   in
   let params = List.filter (fun p -> not (p.p_name = "" && p.p_type = 0)) params in
   {
-    ret = ctype_of t ret;
-    params = List.map (fun p -> Ctype.{ pname = p.p_name; ptype = ctype_of t p.p_type }) params;
+    ret = ctype_of_d t (d + 1) ret;
+    params =
+      List.map (fun p -> Ctype.{ pname = p.p_name; ptype = ctype_of_d t (d + 1) p.p_type }) params;
     variadic;
   }
+
+let ctype_of t id = ctype_of_d t 0 id
+let proto_of t ~ret ~params = proto_of_d t 0 ~ret ~params
 
 let to_env ~ptr_size t =
   let ctype_of id = ctype_of t id in
@@ -422,6 +475,62 @@ let to_env ~ptr_size t =
           ());
   (!env, List.rev !funcs)
 
+(* Like [to_env], but a record whose type references are broken (dangling
+   ids, cycles, a Func without a proto — all possible in a partially
+   decoded table) degrades to [void] or is skipped, instead of raising. *)
+let to_env_lenient ~ptr_size t =
+  let bad_refs = ref 0 and bad_funcs = ref 0 in
+  let safe_ctype id =
+    match ctype_of t id with
+    | c -> c
+    | exception Bad_btf _ ->
+        incr bad_refs;
+        Ctype.Void
+  in
+  let env = ref (Decl.empty_env ~ptr_size) in
+  let funcs = ref [] in
+  iteri t (fun _ k ->
+      match k with
+      | Struct { name; size; members } | Union { name; size; members } ->
+          let skind = match k with Union _ -> `Union | _ -> `Struct in
+          let fields =
+            List.map
+              (fun m ->
+                Decl.
+                  { fname = m.m_name; ftype = safe_ctype m.m_type; bits_offset = m.m_offset_bits })
+              members
+          in
+          env := Decl.add_struct !env { sname = name; skind; byte_size = size; fields }
+      | Enum { name; values; _ } -> env := Decl.add_enum !env { ename = name; values }
+      | Typedef { name; typ } ->
+          env := Decl.add_typedef !env { tname = name; aliased = safe_ctype typ }
+      | Func { name; proto } -> (
+          match get t proto with
+          | Func_proto { ret; params } -> (
+              match proto_of t ~ret ~params with
+              | p -> funcs := Decl.{ fname = name; proto = p } :: !funcs
+              | exception Bad_btf _ -> incr bad_funcs)
+          | _ | (exception Bad_btf _) -> incr bad_funcs)
+      | Void | Int _ | Ptr _ | Array _ | Fwd _ | Volatile _ | Const _ | Restrict _
+      | Func_proto _ | Float _ ->
+          ());
+  let diags =
+    (if !bad_refs > 0 then
+       [
+         Diag.v Diag.Degraded ~component:"btf"
+           (Printf.sprintf "%d dangling type references degraded to void" !bad_refs);
+       ]
+     else [])
+    @
+    if !bad_funcs > 0 then
+      [
+        Diag.v Diag.Degraded ~component:"btf"
+          (Printf.sprintf "%d funcs without a usable prototype skipped" !bad_funcs);
+      ]
+    else []
+  in
+  (!env, List.rev !funcs, diags)
+
 let find_struct t name =
   let found = ref None in
   iteri t (fun id k ->
@@ -438,14 +547,16 @@ let find_func t name =
       | Func { name = n; proto } when n = name && !found = None -> (
           match get t proto with
           | Func_proto _ -> found := Some proto
-          | _ -> ())
+          | _ | (exception Bad_btf _) -> ())
       | _ -> ());
   match !found with
   | None -> None
   | Some proto_id -> (
       match get t proto_id with
-      | Func_proto { ret; params } ->
-          Some Decl.{ fname = name; proto = proto_of t ~ret ~params }
+      | Func_proto { ret; params } -> (
+          match proto_of t ~ret ~params with
+          | p -> Some Decl.{ fname = name; proto = p }
+          | exception Bad_btf _ -> None)
       | _ -> None)
 
 let member_offset t ~struct_name ~field =

@@ -47,7 +47,17 @@ val length : t -> int
 val iteri : t -> (int -> kind -> unit) -> unit
 
 val encode : t -> string
+
 val decode : string -> t
+(** Strict decode: raises [Bad_btf] on the first malformed byte. *)
+
+type decode_result = { b_btf : t; b_diags : Ds_util.Diag.t list }
+
+val decode_lenient : string -> decode_result
+(** Best-effort decode: never raises. Every record decoded before the
+    first failure point is kept; the loss (truncated records, bad string
+    offsets, unsupported kinds, bogus section bounds) is described in
+    [b_diags]. *)
 
 (** {2 Bridge to the canonical C type model} *)
 
@@ -58,6 +68,14 @@ val of_env : Ds_ctypes.Decl.type_env -> Ds_ctypes.Decl.func_decl list -> t
 
 val to_env : ptr_size:int -> t -> Ds_ctypes.Decl.type_env * Ds_ctypes.Decl.func_decl list
 (** Raise a BTF table back into declarations. *)
+
+val to_env_lenient :
+  ptr_size:int ->
+  t ->
+  Ds_ctypes.Decl.type_env * Ds_ctypes.Decl.func_decl list * Ds_util.Diag.t list
+(** Like {!to_env}, but broken type references (dangling ids, cycles,
+    funcs without a prototype — all possible in a partially decoded
+    table) degrade to [void] or are skipped instead of raising. *)
 
 val find_struct : t -> string -> (int * kind) option
 (** Find a [Struct] or [Union] record by name. *)

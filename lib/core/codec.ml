@@ -76,7 +76,8 @@ let encode_matrix (m : Report.matrix) =
       w_list w
         (fun w (c : Report.cell) ->
           w_image w c.c_image;
-          w_list w w_status c.c_statuses)
+          w_list w w_status c.c_statuses;
+          w_bool w c.c_degraded)
         row.r_cells)
     m.m_rows;
   W.contents w
@@ -92,7 +93,8 @@ let decode_matrix data : Report.matrix =
           r_list r (fun r ->
               let c_image = r_image r in
               let c_statuses = r_list r r_status in
-              ({ c_image; c_statuses } : Report.cell))
+              let c_degraded = r_bool r in
+              ({ c_image; c_statuses; c_degraded } : Report.cell))
         in
         ({ r_dep = r_dep_v; r_cells } : Report.dep_row))
   in

@@ -2,7 +2,7 @@ open Ds_util
 open Ds_ksrc
 open Ds_ctypes
 
-let version = 1
+let version = 2
 
 exception Decode_error of string
 
@@ -286,6 +286,23 @@ let r_func_entry r : Surface.func_entry =
   let fe_callers = r_list r r_str in
   { fe_name; fe_decls; fe_symbols; fe_suffixed; fe_inline_sites; fe_callers }
 
+let w_diag w (d : Diag.t) =
+  W.u8 w (match d.Diag.d_severity with Warning -> 0 | Degraded -> 1 | Fatal -> 2);
+  w_str w d.Diag.d_component;
+  w_opt w w_str d.Diag.d_context;
+  w_opt w (fun w n -> W.uleb128 w n) d.Diag.d_offset;
+  w_str w d.Diag.d_message
+
+let r_diag r : Diag.t =
+  let d_severity : Diag.severity =
+    match R.u8 r with 0 -> Warning | 1 -> Degraded | 2 -> Fatal | n -> fail "severity tag %d" n
+  in
+  let d_component = r_str r in
+  let d_context = r_opt r r_str in
+  let d_offset = r_opt r R.uleb128 in
+  let d_message = r_str r in
+  { d_severity; d_component; d_context; d_offset; d_message }
+
 let w_tp_entry w (t : Surface.tp_entry) =
   w_str w t.te_name;
   w_str w t.te_class;
@@ -310,6 +327,7 @@ let encode_surface (s : Surface.t) =
   w_list w w_struct_def s.s_structs;
   w_list w w_tp_entry s.s_tracepoints;
   w_list w w_str s.s_syscalls;
+  w_list w w_diag s.s_health;
   W.contents w
 
 let expect_eof r = if not (R.eof r) then fail "trailing payload bytes"
@@ -325,9 +343,11 @@ let decode_surface data =
   let structs = r_list r r_struct_def in
   let tracepoints = r_list r r_tp_entry in
   let syscalls = r_list r r_str in
+  let health = r_list r r_diag in
   expect_eof r;
-  Surface.v ~version ~arch ~flavor ~gcc:(gcc_major, gcc_minor) ~funcs ~structs ~tracepoints
-    ~syscalls
+  Surface.with_health health
+    (Surface.v ~version ~arch ~flavor ~gcc:(gcc_major, gcc_minor) ~funcs ~structs ~tracepoints
+       ~syscalls)
 
 (* ------------------------------- diffs ------------------------------- *)
 

@@ -91,6 +91,7 @@ let vmlinux t v cfg =
 let surface t v cfg =
   Par.Memo.find_or_compute t.surfaces (key v cfg) (fun () ->
       Store.memo t.store ~ns:"surface"
+        ~cache_if:(fun s -> not (Surface.degraded s))
         ~key:(cache_key t ~label:(key v cfg) [])
         ~encode:Codec_base.encode_surface ~decode:Codec_base.decode_surface
         (fun () -> Surface.of_vmlinux (vmlinux t v cfg)))

@@ -152,7 +152,7 @@ let implication_to_string = function
   | Incorrect_result -> "Incorrect Result (might be detectable)"
   | Incomplete_result -> "Incomplete Result (difficult to detect)"
 
-type cell = { c_image : Version.t * Config.t; c_statuses : status list }
+type cell = { c_image : Version.t * Config.t; c_statuses : status list; c_degraded : bool }
 type dep_row = { r_dep : Depset.dep; r_cells : cell list }
 
 type matrix = {
@@ -174,7 +174,11 @@ let matrix dataset ~images ~baseline obj =
             List.map
               (fun (v, cfg) ->
                 let target = Dataset.surface dataset v cfg in
-                { c_image = (v, cfg); c_statuses = statuses ~baseline:base_surface ~target dep })
+                {
+                  c_image = (v, cfg);
+                  c_statuses = statuses ~baseline:base_surface ~target dep;
+                  c_degraded = Surface.degraded target;
+                })
               images;
         })
       deps
@@ -204,20 +208,27 @@ let render_matrix m =
                (name, Ds_util.Texttable.L))
              m.m_rows
       in
+      let any_degraded =
+        List.exists (fun row -> List.exists (fun c -> c.c_degraded) row.r_cells) m.m_rows
+      in
       let table =
         Ds_util.Texttable.create
           ~title:
             (Printf.sprintf
                "%s (built against %s)  legend: . ok | x absent | C changed | F full inline | S \
-                selective | T transformed | D duplicated | N collision"
-               m.m_obj_name (image_label m.m_baseline))
+                selective | T transformed | D duplicated | N collision%s"
+               m.m_obj_name (image_label m.m_baseline)
+               (if any_degraded then " | ~ degraded image" else ""))
           headers
       in
       List.iteri
         (fun i _ ->
           let img = (List.nth first.r_cells i).c_image in
+          let degraded =
+            List.exists (fun row -> (List.nth row.r_cells i).c_degraded) m.m_rows
+          in
           Ds_util.Texttable.row table
-            (image_label img
+            ((if degraded then "~ " ^ image_label img else image_label img)
             :: List.map
                  (fun row -> status_letter (worst (List.nth row.r_cells i).c_statuses))
                  m.m_rows))

@@ -46,7 +46,12 @@ val implication_to_string : implication -> string
 
 (** {2 Program-level reports} *)
 
-type cell = { c_image : Version.t * Config.t; c_statuses : status list }
+type cell = {
+  c_image : Version.t * Config.t;
+  c_statuses : status list;
+  c_degraded : bool;  (** the target surface was extracted leniently and
+                          lost something — statuses may be incomplete *)
+}
 
 type dep_row = { r_dep : Depset.dep; r_cells : cell list }
 

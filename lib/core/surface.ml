@@ -1,6 +1,7 @@
 open Ds_ksrc
 open Ds_ctypes
 open Ds_elf
+module Diag = Ds_util.Diag
 module Smap = Map.Make (String)
 
 type decl_instance = {
@@ -48,6 +49,7 @@ type t = {
   s_tracepoints : tp_entry list;
   s_syscalls : string list;
   s_compat_traceable : bool;
+  s_health : Diag.t list;
   s_index : index;
 }
 
@@ -55,20 +57,11 @@ let is_tracing_func name = String.starts_with ~prefix:"trace_event_raw_event_" n
 let is_event_struct name =
   String.starts_with ~prefix:"trace_event_raw_" name || name = "trace_entry"
 
-let of_vmlinux (k : Ds_bpf.Vmlinux.t) =
+(* Shared back half of extraction: everything after the DWARF compile
+   units, the BTF type environment and the struct list have been
+   obtained (strictly or leniently). *)
+let assemble (k : Ds_bpf.Vmlinux.t) ~cus ~env ~btf_funcs ~structs ~health =
   let img = k.Ds_bpf.Vmlinux.v_img in
-  (* DWARF: function declarations, inline sites, call sites. *)
-  let info =
-    match Elf.find_section img ".debug_info" with
-    | Some s -> s.Elf.sec_data
-    | None -> raise (Ds_bpf.Vmlinux.Bad_vmlinux "missing .debug_info")
-  in
-  let abbrev =
-    match Elf.find_section img ".debug_abbrev" with
-    | Some s -> s.Elf.sec_data
-    | None -> raise (Ds_bpf.Vmlinux.Bad_vmlinux "missing .debug_abbrev")
-  in
-  let cus = Ds_dwarf.Info.decode ~info ~abbrev in
   let decls : (string, decl_instance list ref) Hashtbl.t = Hashtbl.create 1024 in
   let inline_sites : (string, inline_site list ref) Hashtbl.t = Hashtbl.create 256 in
   let callers : (string, string list ref) Hashtbl.t = Hashtbl.create 256 in
@@ -146,13 +139,6 @@ let of_vmlinux (k : Ds_bpf.Vmlinux.t) =
             })
       func_names
   in
-  (* Structs from BTF (event structs handled with tracepoints). *)
-  let env, btf_funcs =
-    Ds_btf.Btf.to_env ~ptr_size:(Config.ptr_size k.Ds_bpf.Vmlinux.v_arch) k.Ds_bpf.Vmlinux.v_btf
-  in
-  let structs =
-    List.filter (fun (s : Decl.struct_def) -> not (is_event_struct s.sname)) (Decl.structs env)
-  in
   let btf_func_map =
     List.fold_left
       (fun m (f : Decl.func_decl) -> Smap.add f.fname f m)
@@ -198,8 +184,78 @@ let of_vmlinux (k : Ds_bpf.Vmlinux.t) =
     s_syscalls = k.Ds_bpf.Vmlinux.v_syscalls;
     s_compat_traceable =
       Ds_ksrc.Construct.compat_syscall_traceable k.Ds_bpf.Vmlinux.v_arch;
+    s_health = health;
     s_index = index;
   }
+
+let of_vmlinux (k : Ds_bpf.Vmlinux.t) =
+  let img = k.Ds_bpf.Vmlinux.v_img in
+  (* DWARF: function declarations, inline sites, call sites. *)
+  let info =
+    match Elf.find_section img ".debug_info" with
+    | Some s -> s.Elf.sec_data
+    | None -> raise (Ds_bpf.Vmlinux.Bad_vmlinux "missing .debug_info")
+  in
+  let abbrev =
+    match Elf.find_section img ".debug_abbrev" with
+    | Some s -> s.Elf.sec_data
+    | None -> raise (Ds_bpf.Vmlinux.Bad_vmlinux "missing .debug_abbrev")
+  in
+  let cus = Ds_dwarf.Info.decode ~info ~abbrev in
+  (* Structs from BTF (event structs handled with tracepoints). *)
+  let env, btf_funcs =
+    Ds_btf.Btf.to_env ~ptr_size:(Config.ptr_size k.Ds_bpf.Vmlinux.v_arch) k.Ds_bpf.Vmlinux.v_btf
+  in
+  let structs =
+    List.filter (fun (s : Decl.struct_def) -> not (is_event_struct s.sname)) (Decl.structs env)
+  in
+  assemble k ~cus ~env ~btf_funcs ~structs ~health:[]
+
+let of_vmlinux_lenient ?(health = []) (k : Ds_bpf.Vmlinux.t) =
+  let img = k.Ds_bpf.Vmlinux.v_img in
+  let sdiag ?context msg = Diag.v ?context Diag.Degraded ~component:"surface" msg in
+  let cus, dwarf_diags =
+    match (Elf.find_section img ".debug_info", Elf.find_section img ".debug_abbrev") with
+    | Some i, Some a ->
+        Ds_dwarf.Info.decode_lenient ~info:i.Elf.sec_data ~abbrev:a.Elf.sec_data
+    | None, _ -> ([], [ sdiag "missing .debug_info; function surface unavailable" ])
+    | _, None -> ([], [ sdiag "missing .debug_abbrev; function surface unavailable" ])
+  in
+  let env, btf_funcs, btf_diags =
+    Ds_btf.Btf.to_env_lenient
+      ~ptr_size:(Config.ptr_size k.Ds_bpf.Vmlinux.v_arch)
+      k.Ds_bpf.Vmlinux.v_btf
+  in
+  let structs_btf =
+    List.filter (fun (s : Decl.struct_def) -> not (is_event_struct s.sname)) (Decl.structs env)
+  in
+  (* With a dead .BTF, fall back to the struct definitions DWARF carries
+     per compile unit: dedup by name, same event-struct exclusion. *)
+  let structs, fallback_diags =
+    if structs_btf <> [] || cus = [] then (structs_btf, [])
+    else begin
+      let seen = Hashtbl.create 256 in
+      let from_dwarf =
+        List.concat_map
+          (fun cu ->
+            List.filter
+              (fun (s : Decl.struct_def) ->
+                if is_event_struct s.sname || Hashtbl.mem seen s.sname then false
+                else begin
+                  Hashtbl.replace seen s.sname ();
+                  true
+                end)
+              cu.Ds_dwarf.Info.cu_structs)
+          cus
+      in
+      if from_dwarf = [] then ([], [])
+      else
+        ( List.sort (fun (a : Decl.struct_def) b -> compare a.sname b.sname) from_dwarf,
+          [ sdiag "no structs in BTF; struct surface recovered from DWARF" ] )
+    end
+  in
+  assemble k ~cus ~env ~btf_funcs ~structs
+    ~health:(health @ dwarf_diags @ btf_diags @ fallback_diags)
 
 let v ~version ~arch ~flavor ~gcc ~funcs ~structs ~tracepoints ~syscalls =
   let funcs = List.sort (fun a b -> compare a.fe_name b.fe_name) funcs in
@@ -228,10 +284,33 @@ let v ~version ~arch ~flavor ~gcc ~funcs ~structs ~tracepoints ~syscalls =
     s_tracepoints = tracepoints;
     s_syscalls = syscalls;
     s_compat_traceable = Ds_ksrc.Construct.compat_syscall_traceable arch;
+    s_health = [];
     s_index = index;
   }
 
+let with_health health t = { t with s_health = health }
+
 let extract img = of_vmlinux (Ds_bpf.Vmlinux.load img)
+
+(* Surface for an image nothing could be extracted from: empty lists,
+   placeholder identity, the diagnostics telling the story. *)
+let stub ~health =
+  with_health health
+    (v ~version:(Version.v 0 0) ~arch:Config.X86 ~flavor:Config.Generic ~gcc:(0, 0) ~funcs:[]
+       ~structs:[] ~tracepoints:[] ~syscalls:[])
+
+let extract_lenient data =
+  let { Elf.r_elf = img; r_diags } = Elf.read_lenient data in
+  if Diag.worst r_diags = Some Diag.Fatal then stub ~health:r_diags
+  else begin
+    let { Ds_bpf.Vmlinux.k_kernel; k_diags } = Ds_bpf.Vmlinux.load_lenient img in
+    let health = r_diags @ k_diags in
+    if Diag.worst k_diags = Some Diag.Fatal then stub ~health
+    else of_vmlinux_lenient ~health k_kernel
+  end
+
+let health t = t.s_health
+let degraded t = Diag.is_degraded t.s_health
 
 let config t = Config.{ arch = t.s_arch; flavor = t.s_flavor }
 

@@ -50,6 +50,9 @@ type t = {
   s_syscalls : string list;
   s_compat_traceable : bool;
       (** whether 32-bit compat syscalls can be traced on this arch *)
+  s_health : Ds_util.Diag.t list;
+      (** ingestion diagnostics: empty for a cleanly-parsed image,
+          otherwise what was lost during lenient extraction *)
   s_index : index;
 }
 
@@ -64,14 +67,32 @@ val v :
   syscalls:string list ->
   t
 (** Assemble a surface from parts (building the index); used by the
-    dataset-JSON importer. Lists are sorted by name. *)
+    dataset-JSON importer. Lists are sorted by name; health is empty
+    (use {!with_health}). *)
+
+val with_health : Ds_util.Diag.t list -> t -> t
 
 val extract : Ds_elf.Elf.t -> t
 (** Full extraction from an image. *)
 
+val extract_lenient : string -> t
+(** Best-effort extraction straight from the raw image bytes: never
+    raises. Whatever the four parsers could not recover is described in
+    [s_health]; a hopeless input (not an ELF, or a BPF object) yields an
+    empty surface whose health carries a [Fatal] diagnostic. *)
+
 val of_vmlinux : Ds_bpf.Vmlinux.t -> t
 (** Reuse an already-loaded kernel view (avoids re-decoding BTF and the
     data sections). *)
+
+val of_vmlinux_lenient : ?health:Ds_util.Diag.t list -> Ds_bpf.Vmlinux.t -> t
+(** Lenient counterpart of {!of_vmlinux}: missing DWARF empties the
+    function surface, a dead BTF falls back to DWARF struct definitions.
+    [health] prepends diagnostics already collected upstream. *)
+
+val health : t -> Ds_util.Diag.t list
+val degraded : t -> bool
+(** True when any health diagnostic is [Degraded] or [Fatal]. *)
 
 val config : t -> Config.t
 val tag : t -> string

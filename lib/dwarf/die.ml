@@ -247,8 +247,23 @@ let encode t =
   Bytesio.Writer.uleb128 abbrev 0;
   (Bytesio.Writer.contents info, Bytesio.Writer.contents abbrev)
 
-let decode ~info ~abbrev =
-  let fail msg = raise (Bad_dwarf msg) in
+type decode_result = { dw_arena : t; dw_diags : Ds_util.Diag.t list }
+
+(* Lenient parsing: a failure inside one compile unit skips just that
+   unit (the unit header's length field locates the next unit boundary,
+   which is what real consumers resync on), and failures in the shared
+   abbrev table or in the reference-remap pass degrade rather than
+   abort. *)
+exception Unit_fail of string
+
+exception Stop_units
+
+let decode_impl ~strict ~info ~abbrev =
+  let collector = Diag.Collector.create () in
+  let diag ?offset severity msg =
+    if strict then raise (Bad_dwarf msg)
+    else Diag.Collector.emit collector (Diag.v ?offset severity ~component:"dwarf" msg)
+  in
   (* Abbreviation table. *)
   let shapes : (int, shape) Hashtbl.t = Hashtbl.create 64 in
   let ar = Bytesio.Reader.of_string abbrev in
@@ -268,13 +283,15 @@ let decode ~info ~abbrev =
        end
      in
      go ()
-   with Bytesio.Truncated _ -> fail "truncated abbrev");
+   with Bytesio.Truncated _ ->
+     diag ~offset:(Bytesio.Reader.pos ar) Diag.Degraded "truncated abbrev");
   (* Info section: parse units. *)
   let b = Builder.create () in
   let offset_to_id : (int, int) Hashtbl.t = Hashtbl.create 256 in
   (* Refs are recorded as raw section offsets first; a remapping pass
      rewrites them to arena ids once every DIE is known. *)
   let r = Bytesio.Reader.of_string info in
+  let ufail msg = if strict then raise (Bad_dwarf msg) else raise (Unit_fail msg) in
   let rec parse_die () =
     let die_off = Bytesio.Reader.pos r in
     let code = Bytesio.Reader.uleb128 r in
@@ -283,7 +300,7 @@ let decode ~info ~abbrev =
       let shape =
         match Hashtbl.find_opt shapes code with
         | Some s -> s
-        | None -> fail (Printf.sprintf "unknown abbrev %d" code)
+        | None -> ufail (Printf.sprintf "unknown abbrev %d" code)
       in
       let attrs =
         List.map
@@ -294,7 +311,7 @@ let decode ~info ~abbrev =
               else if form = form_data8 then Addr (Bytesio.Reader.u64 r)
               else if form = form_flag_present then Flag
               else if form = form_ref4 then Ref (Bytesio.Reader.u32 r)
-              else fail (Printf.sprintf "unsupported form 0x%x" form)
+              else ufail (Printf.sprintf "unsupported form 0x%x" form)
             in
             (at, v))
           shape.s_pairs
@@ -313,35 +330,84 @@ let decode ~info ~abbrev =
       Some id
     end
   in
+  (* Consecutive resync failures mean we are walking garbage (e.g. a
+     zeroed region where every 4-byte "length" is 0): bail rather than
+     emit one diagnostic per word of junk. *)
+  let max_consecutive_skips = 8 in
+  let consecutive_skips = ref 0 in
   (try
      while not (Bytesio.Reader.eof r) do
-       let _len = Bytesio.Reader.u32 r in
-       let version = Bytesio.Reader.u16 r in
-       if version <> 4 then fail "bad version";
-       let _abbrev_off = Bytesio.Reader.u32 r in
-       let _addr_size = Bytesio.Reader.u8 r in
-       match parse_die () with
-       | Some id -> Builder.add_root b id
-       | None -> fail "empty unit"
+       let unit_start = Bytesio.Reader.pos r in
+       let len =
+         match Bytesio.Reader.u32 r with
+         | len -> len
+         | exception Bytesio.Truncated _ ->
+             if strict then raise (Bad_dwarf "truncated info");
+             diag ~offset:unit_start Diag.Degraded "truncated unit header; rest of .debug_info dropped";
+             raise Stop_units
+       in
+       let skip msg =
+         incr consecutive_skips;
+         diag ~offset:unit_start Diag.Degraded
+           (Printf.sprintf "unit at offset %d: %s; unit skipped" unit_start msg);
+         (* resync on the unit length field; [unit_start + 4 + len] is the
+            start of the next unit in a well-formed stream *)
+         let next = unit_start + 4 + len in
+         if next > String.length info then begin
+           diag ~offset:unit_start Diag.Degraded "rest of .debug_info dropped";
+           raise Stop_units
+         end
+         else if !consecutive_skips >= max_consecutive_skips then begin
+           diag ~offset:unit_start Diag.Degraded
+             (Printf.sprintf "%d consecutive undecodable units; rest of .debug_info dropped"
+                !consecutive_skips);
+           raise Stop_units
+         end
+         else Bytesio.Reader.seek r next
+       in
+       try
+         let version = Bytesio.Reader.u16 r in
+         if version <> 4 then ufail "bad version";
+         let _abbrev_off = Bytesio.Reader.u32 r in
+         let _addr_size = Bytesio.Reader.u8 r in
+         (match parse_die () with
+         | Some id -> Builder.add_root b id
+         | None -> ufail "empty unit");
+         consecutive_skips := 0
+       with
+       | Unit_fail msg -> skip msg
+       | Bytesio.Truncated _ ->
+           if strict then raise (Bad_dwarf "truncated info");
+           skip "truncated"
      done
-   with Bytesio.Truncated _ -> fail "truncated info");
+   with Stop_units -> ());
   let arena = Builder.finish b in
   (* Rewrite Ref values from section offsets to arena ids. *)
+  let dangling = ref 0 in
   let dies =
     Array.map
       (fun die ->
         let attrs =
-          List.map
+          List.filter_map
             (fun (at, v) ->
               match v with
               | Ref off -> (
                   match Hashtbl.find_opt offset_to_id off with
-                  | Some id -> (at, Ref id)
-                  | None -> fail (Printf.sprintf "dangling ref to offset %d" off))
-              | _ -> (at, v))
+                  | Some id -> Some (at, Ref id)
+                  | None ->
+                      if strict then
+                        raise (Bad_dwarf (Printf.sprintf "dangling ref to offset %d" off));
+                      incr dangling;
+                      None)
+              | _ -> Some (at, v))
             die.attrs
         in
         { die with attrs })
       arena.dies
   in
-  { dies; root_ids = arena.root_ids }
+  if !dangling > 0 then
+    diag Diag.Degraded (Printf.sprintf "%d dangling references dropped" !dangling);
+  { dw_arena = { dies; root_ids = arena.root_ids }; dw_diags = Diag.Collector.diags collector }
+
+let decode ~info ~abbrev = (decode_impl ~strict:true ~info ~abbrev).dw_arena
+let decode_lenient ~info ~abbrev = decode_impl ~strict:false ~info ~abbrev

@@ -116,3 +116,12 @@ val encode : t -> string * string
 (** [encode t] is [(debug_info, debug_abbrev)]. *)
 
 val decode : info:string -> abbrev:string -> t
+(** Strict decode: raises [Bad_dwarf] on the first malformed byte. *)
+
+type decode_result = { dw_arena : t; dw_diags : Ds_util.Diag.t list }
+
+val decode_lenient : info:string -> abbrev:string -> decode_result
+(** Best-effort decode: never raises. A failure inside one compile unit
+    skips just that unit (resynchronizing on the unit header's length
+    field); dangling references are dropped. Losses are described in
+    [dw_diags]. *)

@@ -276,12 +276,17 @@ let encode cus =
 (* Decoding                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let decode ~info ~abbrev =
-  let arena = Die.decode ~info ~abbrev in
-  let rec ctype_of id : Ctype.t =
+(* A corrupted ref4 offset can remap onto an earlier DIE and create a
+   reference cycle (impossible in writer-produced arenas); the depth
+   bound turns that into a typed error instead of a stack overflow. *)
+let max_type_depth = 64
+
+let decode_cu_of arena =
+  let rec ctype_of ?(d = 0) id : Ctype.t =
+    if d > max_type_depth then raise (Bad_dwarf "type reference cycle");
     let die = get arena id in
     let inner () =
-      match attr_ref die Dw.at_type with Some r -> ctype_of r | None -> Ctype.Void
+      match attr_ref die Dw.at_type with Some r -> ctype_of ~d:(d + 1) r | None -> Ctype.Void
     in
     if die.tag = Dw.tag_base_type then begin
       let name = Option.value ~default:"?" (attr_string die Dw.at_name) in
@@ -319,9 +324,9 @@ let decode ~info ~abbrev =
       Ctype.Enum_ref (Option.value ~default:"?" (attr_string die Dw.at_name))
     else if die.tag = Dw.tag_typedef then
       Ctype.Typedef_ref (Option.value ~default:"?" (attr_string die Dw.at_name))
-    else if die.tag = Dw.tag_subroutine_type then Ctype.Func_proto (proto_of die)
+    else if die.tag = Dw.tag_subroutine_type then Ctype.Func_proto (proto_of ~d:(d + 1) die)
     else raise (Bad_dwarf (Printf.sprintf "unexpected type tag 0x%x" die.tag))
-  and proto_of die : Ctype.proto =
+  and proto_of ?(d = 0) die : Ctype.proto =
     let params =
       List.filter_map
         (fun c ->
@@ -329,7 +334,9 @@ let decode ~info ~abbrev =
           if child.tag = Dw.tag_formal_parameter then
             let pname = Option.value ~default:"" (attr_string child Dw.at_name) in
             let ptype =
-              match attr_ref child Dw.at_type with Some r -> ctype_of r | None -> Ctype.Void
+              match attr_ref child Dw.at_type with
+              | Some r -> ctype_of ~d:(d + 1) r
+              | None -> Ctype.Void
             in
             Some Ctype.{ pname; ptype }
           else None)
@@ -338,7 +345,11 @@ let decode ~info ~abbrev =
     let variadic =
       List.exists (fun c -> (get arena c).tag = Dw.tag_unspecified_parameters) die.children
     in
-    let ret = match attr_ref die Dw.at_type with Some r -> ctype_of r | None -> Ctype.Void in
+    let ret =
+      match attr_ref die Dw.at_type with
+      | Some r -> ctype_of ~d:(d + 1) r
+      | None -> Ctype.Void
+    in
     { ret; params; variadic }
   in
   let decode_cu root =
@@ -464,4 +475,34 @@ let decode ~info ~abbrev =
       cu_typedefs = List.rev !typedefs;
     }
   in
-  List.map decode_cu (Die.roots arena)
+  decode_cu
+
+let decode ~info ~abbrev =
+  let arena = Die.decode ~info ~abbrev in
+  List.map (decode_cu_of arena) (Die.roots arena)
+
+let decode_lenient ~info ~abbrev =
+  let { Die.dw_arena = arena; dw_diags } = Die.decode_lenient ~info ~abbrev in
+  let decode_cu = decode_cu_of arena in
+  let skipped = ref 0 in
+  let cus =
+    List.filter_map
+      (fun root ->
+        match decode_cu root with
+        | cu -> Some cu
+        | exception Bad_dwarf _ ->
+            incr skipped;
+            None)
+      (Die.roots arena)
+  in
+  let diags =
+    dw_diags
+    @
+    if !skipped > 0 then
+      [
+        Ds_util.Diag.v Ds_util.Diag.Degraded ~component:"dwarf"
+          (Printf.sprintf "%d compile units undecodable (skipped)" !skipped);
+      ]
+    else []
+  in
+  (cus, diags)

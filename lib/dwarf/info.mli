@@ -48,4 +48,10 @@ val encode : cu list -> string * string
 (** [(debug_info, debug_abbrev)] sections. *)
 
 val decode : info:string -> abbrev:string -> cu list
-(** Inverse of {!encode}. Raises [Die.Bad_dwarf] on malformed input. *)
+(** Inverse of {!encode}. Raises [Die.Bad_dwarf] on malformed input
+    (strict mode). *)
+
+val decode_lenient : info:string -> abbrev:string -> cu list * Ds_util.Diag.t list
+(** Best-effort decode: never raises. Malformed compile units are
+    skipped individually (resynchronizing on unit boundaries); the
+    losses are described by the diagnostics. *)

@@ -45,7 +45,16 @@ val write : t -> string
 
 val read : string -> t
 (** Parse bytes produced by {!write} (or any file using the same subset).
-    Raises [Bad_elf] on malformed input. *)
+    Raises [Bad_elf] on malformed input (strict mode). *)
+
+type read_result = { r_elf : t; r_diags : Ds_util.Diag.t list }
+
+val read_lenient : string -> read_result
+(** Best-effort parse: never raises. Whatever parses cleanly is kept
+    (malformed sections, symbol records or an unknown [e_machine] are
+    skipped or defaulted), and everything lost is described in
+    [r_diags]. An unrecoverable failure (not an ELF file at all) yields
+    an empty image plus a [Fatal] diagnostic. *)
 
 val find_section : t -> string -> section option
 val section_reader : t -> string -> Ds_util.Bytesio.Reader.t option

@@ -1,0 +1,216 @@
+open Ds_util
+
+type mutation = { mut_name : string; mut_bytes : string }
+
+(* ----------------------- primitive mutations ------------------------- *)
+
+let flip_bit data ~byte ~bit =
+  if byte < 0 || byte >= String.length data || bit < 0 || bit > 7 then data
+  else begin
+    let b = Bytes.of_string data in
+    Bytes.set b byte (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl bit)));
+    Bytes.to_string b
+  end
+
+let truncate data ~len =
+  let len = max 0 (min len (String.length data)) in
+  String.sub data 0 len
+
+let zero_range data ~pos ~len =
+  let n = String.length data in
+  if pos < 0 || len <= 0 || pos >= n then data
+  else begin
+    let len = min len (n - pos) in
+    let b = Bytes.of_string data in
+    Bytes.fill b pos len '\000';
+    Bytes.to_string b
+  end
+
+let set_bytes data ~pos values =
+  let n = String.length data in
+  if pos < 0 || pos + List.length values > n then data
+  else begin
+    let b = Bytes.of_string data in
+    List.iteri (fun i v -> Bytes.set b (pos + i) (Char.chr (v land 0xff))) values;
+    Bytes.to_string b
+  end
+
+let set_u16 data ~pos v = set_bytes data ~pos [ v; v lsr 8 ]
+let set_u32 data ~pos v = set_bytes data ~pos [ v; v lsr 8; v lsr 16; v lsr 24 ]
+
+(* ------------------------- ELF layout probing ------------------------ *)
+
+(* Just enough of the 64-bit little-endian layout the repo's writer
+   emits: header 64 bytes, e_shoff u64@40, e_shentsize u16@58,
+   e_shnum u16@60, e_shstrndx u16@62; each section header entry carries
+   sh_name u32@+0, sh_offset u64@+24, sh_size u64@+32. *)
+
+let ehdr_size = 64
+let shdr_size = 64
+
+let get_u16 s pos = Char.code s.[pos] lor (Char.code s.[pos + 1] lsl 8)
+
+let get_u64_as_int s pos =
+  let v = ref 0 in
+  for i = 7 downto 0 do
+    v := (!v lsl 8) lor Char.code s.[pos + i]
+  done;
+  !v
+
+type shdr = { sh_index : int; sh_pos : int; sh_off : int; sh_size : int }
+
+let shdrs data =
+  let n = String.length data in
+  if n < ehdr_size then []
+  else begin
+    let shoff = get_u64_as_int data 40 in
+    let shnum = get_u16 data 60 in
+    if shoff <= 0 || shnum <= 0 then []
+    else
+      List.filter_map
+        (fun i ->
+          let pos = shoff + (i * shdr_size) in
+          if pos < 0 || pos + shdr_size > n then None
+          else
+            Some
+              {
+                sh_index = i;
+                sh_pos = pos;
+                sh_off = get_u64_as_int data (pos + 24);
+                sh_size = get_u64_as_int data (pos + 32);
+              })
+        (List.init (min shnum 64) Fun.id)
+  end
+
+let section_boundaries data =
+  let n = String.length data in
+  if n < ehdr_size then []
+  else begin
+    let shoff = get_u64_as_int data 40 in
+    let secs = shdrs data in
+    let bounds =
+      ehdr_size :: shoff
+      :: List.concat_map (fun s -> [ s.sh_pos; s.sh_off; s.sh_off + s.sh_size ]) secs
+    in
+    List.sort_uniq compare (List.filter (fun b -> b >= 0 && b <= n) bounds)
+  end
+
+(* --------------------------- the corpus ------------------------------ *)
+
+let structured data =
+  let n = String.length data in
+  let secs = shdrs data in
+  let name fmt = Printf.ksprintf Fun.id fmt in
+  let header_flips =
+    List.init (min n ehdr_size) (fun i ->
+        { mut_name = name "hdr-flip-%d" i; mut_bytes = flip_bit data ~byte:i ~bit:(i mod 8) })
+  in
+  let truncations =
+    List.filter_map
+      (fun b ->
+        if b >= n then None
+        else Some { mut_name = name "trunc-%d" b; mut_bytes = truncate data ~len:b })
+      (section_boundaries data)
+  in
+  let per_section =
+    List.concat_map
+      (fun s ->
+        [
+          {
+            mut_name = name "shdr-off-huge-%d" s.sh_index;
+            mut_bytes = set_u32 data ~pos:(s.sh_pos + 24) 0xfffffff0;
+          }
+          (* the offset's high u32 stays zero: a 4 GiB offset, cleanly
+             out of bounds without overflowing the reader's int *);
+          {
+            mut_name = name "shdr-size-huge-%d" s.sh_index;
+            mut_bytes = set_u32 data ~pos:(s.sh_pos + 32) 0xfffffff0;
+          };
+          {
+            mut_name = name "shdr-name-bogus-%d" s.sh_index;
+            mut_bytes = set_u32 data ~pos:s.sh_pos 0x00fffff0;
+          };
+          {
+            mut_name = name "shdr-zero-%d" s.sh_index;
+            mut_bytes = zero_range data ~pos:s.sh_pos ~len:shdr_size;
+          };
+          {
+            mut_name = name "zero-sec-%d" s.sh_index;
+            mut_bytes = zero_range data ~pos:s.sh_off ~len:s.sh_size;
+          };
+        ])
+      secs
+  in
+  let table_level =
+    if n < ehdr_size then []
+    else begin
+      let shnum = get_u16 data 60 in
+      [
+        { mut_name = "shstrndx-bogus"; mut_bytes = set_u16 data ~pos:62 0xfff0 };
+        { mut_name = "shnum-zero"; mut_bytes = set_u16 data ~pos:60 0 };
+        { mut_name = "shnum-huge"; mut_bytes = set_u16 data ~pos:60 0xffff };
+      ]
+      @
+      if shnum > 1 then
+        [ { mut_name = "shnum-dec"; mut_bytes = set_u16 data ~pos:60 (shnum - 1) } ]
+      else []
+    end
+  in
+  header_flips @ truncations @ per_section @ table_level
+
+let mutations ?(count = 500) ~seed data =
+  let base = structured data in
+  let missing = count - List.length base in
+  if missing <= 0 || String.length data = 0 then base
+  else begin
+    let rng = Prng.of_string (Printf.sprintf "faultgen-%Ld-%d" seed (String.length data)) in
+    let random_flips =
+      List.init missing (fun k ->
+          let byte = Prng.int rng (String.length data) in
+          let bit = Prng.int rng 8 in
+          {
+            mut_name = Printf.sprintf "flip-%d-%d.%d" k byte bit;
+            mut_bytes = flip_bit data ~byte ~bit;
+          })
+    in
+    base @ random_flips
+  end
+
+(* ---------------------- outcome classification ---------------------- *)
+
+type outcome = Clean | Degraded | Fatal | Crashed of string
+
+let classify health bytes =
+  match health bytes with
+  | diags -> (
+      match Diag.worst diags with
+      | Some Diag.Fatal -> Fatal
+      | Some Diag.Degraded -> Degraded
+      | Some Diag.Warning | None -> Clean)
+  | exception e -> Crashed (Printexc.to_string e)
+
+type tally = {
+  n_total : int;
+  n_clean : int;
+  n_degraded : int;
+  n_fatal : int;
+  n_crashed : int;
+}
+
+let survey health muts =
+  let tally = ref { n_total = 0; n_clean = 0; n_degraded = 0; n_fatal = 0; n_crashed = 0 } in
+  let crashed = ref [] in
+  List.iter
+    (fun m ->
+      let t = !tally in
+      let t = { t with n_total = t.n_total + 1 } in
+      tally :=
+        (match classify health m.mut_bytes with
+        | Clean -> { t with n_clean = t.n_clean + 1 }
+        | Degraded -> { t with n_degraded = t.n_degraded + 1 }
+        | Fatal -> { t with n_fatal = t.n_fatal + 1 }
+        | Crashed e ->
+            crashed := (m.mut_name, e) :: !crashed;
+            { t with n_crashed = t.n_crashed + 1 }))
+    muts;
+  (!tally, List.rev !crashed)

@@ -1,0 +1,62 @@
+(** Seeded fault injection for the binary ingestion pipeline.
+
+    Generates deterministic corruptions of an ELF image (or any byte
+    blob): bit flips across the file header, truncations at every
+    section boundary, zeroed and deleted sections, corrupted section
+    header entries, bogus string-table indices, and uniformly seeded
+    random bit flips. The same [seed] and input bytes always produce the
+    same mutation corpus, so failures reproduce exactly.
+
+    The module knows just enough of the ELF on-disk layout (the 64-byte
+    header and the section header table it points at) to aim structured
+    mutations; everything else is layout-agnostic. It never interprets
+    the mutated bytes itself — callers feed them to the lenient parsers
+    and classify what comes back with {!classify}/{!survey}. *)
+
+type mutation = {
+  mut_name : string;  (** stable descriptive id, e.g. ["trunc-1024"] *)
+  mut_bytes : string;
+}
+
+val flip_bit : string -> byte:int -> bit:int -> string
+(** XOR one bit. Out-of-range positions return the input unchanged. *)
+
+val truncate : string -> len:int -> string
+(** Keep the first [len] bytes (clamped to the input size). *)
+
+val zero_range : string -> pos:int -> len:int -> string
+(** Zero [len] bytes at [pos] (clamped). *)
+
+val section_boundaries : string -> int list
+(** Sorted distinct file offsets where an ELF parser changes state:
+    the header end, each section's start and end, and the section header
+    table's start, entry starts and end. Empty when the input is too
+    short to carry an ELF header. *)
+
+val mutations : ?count:int -> seed:int64 -> string -> mutation list
+(** The full corpus for one input: all structured mutations, topped up
+    with seeded random bit flips until at least [count] (default 500)
+    mutations exist. Deterministic in [(seed, input)]. *)
+
+(** {2 Outcome classification} *)
+
+type outcome = Clean | Degraded | Fatal | Crashed of string
+
+val classify : (string -> Ds_util.Diag.t list) -> string -> outcome
+(** [classify health bytes] runs a lenient ingestion function returning
+    its diagnostics and maps the result onto the worst severity —
+    [Crashed] (with the exception text) when the supposedly never-raising
+    function raised, which is exactly what the harness asserts against. *)
+
+type tally = {
+  n_total : int;
+  n_clean : int;  (** the mutation hit don't-care bytes *)
+  n_degraded : int;
+  n_fatal : int;
+  n_crashed : int;
+}
+
+val survey :
+  (string -> Ds_util.Diag.t list) -> mutation list -> tally * (string * string) list
+(** Classify every mutation; the association list names each crashed
+    mutation with its exception text (empty on a healthy parser). *)

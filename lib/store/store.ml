@@ -222,7 +222,7 @@ let add t ~ns ~key payload =
       (* a read-only or full cache dir degrades the cache, not the run *)
       Log.warn (fun m -> m "cannot persist cache entry %s/%s: %s" ns key reason))
 
-let memo store ~ns ~key ~encode ~decode compute =
+let memo ?(cache_if = fun _ -> true) store ~ns ~key ~encode ~decode compute =
   match store with
   | None -> compute ()
   | Some t -> (
@@ -230,7 +230,7 @@ let memo store ~ns ~key ~encode ~decode compute =
       | Some v -> v
       | None ->
           let v = compute () in
-          add t ~ns ~key (encode v);
+          if cache_if v then add t ~ns ~key (encode v);
           v)
 
 let stats t =

@@ -76,6 +76,7 @@ val add : t -> ns:string -> key:string -> string -> unit
 (** Frame and persist a payload (temp file + atomic rename). *)
 
 val memo :
+  ?cache_if:('a -> bool) ->
   t option ->
   ns:string ->
   key:string ->
@@ -86,7 +87,10 @@ val memo :
 (** [memo store ~ns ~key ~encode ~decode compute]: the persistent tier.
     With [None] it is just [compute ()]; with [Some s] it returns the
     decoded cached artifact when present and intact, otherwise computes,
-    stores and returns. All failure modes degrade to recomputation. *)
+    stores and returns. All failure modes degrade to recomputation.
+    [cache_if] (default: always) gates persisting a freshly computed
+    value — e.g. a surface extracted from a degraded image should be
+    recomputed, not cached. *)
 
 val stats : t -> counters
 (** This handle's in-process counters. *)

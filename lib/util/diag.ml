@@ -1,0 +1,90 @@
+type severity = Warning | Degraded | Fatal
+
+let severity_to_string = function
+  | Warning -> "warning"
+  | Degraded -> "degraded"
+  | Fatal -> "fatal"
+
+let severity_rank = function Warning -> 0 | Degraded -> 1 | Fatal -> 2
+let severity_compare a b = compare (severity_rank a) (severity_rank b)
+
+type t = {
+  d_severity : severity;
+  d_component : string;
+  d_context : string option;
+  d_offset : int option;
+  d_message : string;
+}
+
+let v ?context ?offset severity ~component message =
+  {
+    d_severity = severity;
+    d_component = component;
+    d_context = context;
+    d_offset = offset;
+    d_message = message;
+  }
+
+let to_string d =
+  let off = match d.d_offset with None -> "" | Some o -> Printf.sprintf "@%d" o in
+  let ctx = match d.d_context with None -> "" | Some c -> Printf.sprintf " (%s)" c in
+  Printf.sprintf "%-8s %s%s%s: %s" (severity_to_string d.d_severity) d.d_component off ctx
+    d.d_message
+
+let demote d = match d.d_severity with Fatal -> { d with d_severity = Degraded } | _ -> d
+
+let worst = function
+  | [] -> None
+  | ds ->
+      Some
+        (List.fold_left
+           (fun acc d -> if severity_compare d.d_severity acc > 0 then d.d_severity else acc)
+           Warning ds)
+
+let is_degraded ds =
+  match worst ds with Some (Degraded | Fatal) -> true | Some Warning | None -> false
+
+let exit_code ds =
+  match worst ds with Some Fatal -> 1 | Some Degraded -> 2 | Some Warning | None -> 0
+
+module Collector = struct
+  type diag = t
+
+  type t = {
+    mutex : Mutex.t;
+    limit : int;
+    mutable rev : diag list;  (** retained, newest first *)
+    mutable kept : int;
+    mutable total : int;
+  }
+
+  let create ?(limit = 128) () = { mutex = Mutex.create (); limit; rev = []; kept = 0; total = 0 }
+
+  let emit t d =
+    Mutex.lock t.mutex;
+    t.total <- t.total + 1;
+    if t.kept < t.limit then begin
+      t.rev <- d :: t.rev;
+      t.kept <- t.kept + 1
+    end;
+    Mutex.unlock t.mutex
+
+  let count t =
+    Mutex.lock t.mutex;
+    let n = t.total in
+    Mutex.unlock t.mutex;
+    n
+
+  let diags t =
+    Mutex.lock t.mutex;
+    let kept = List.rev t.rev in
+    let dropped = t.total - t.kept in
+    Mutex.unlock t.mutex;
+    if dropped = 0 then kept
+    else
+      kept
+      @ [
+          v Warning ~component:"diag"
+            (Printf.sprintf "%d further diagnostics suppressed" dropped);
+        ]
+end

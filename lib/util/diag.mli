@@ -1,0 +1,75 @@
+(** Structured diagnostics for best-effort binary ingestion.
+
+    The four binary parsers (ELF, DWARF, BTF, BPF object) can run in two
+    modes: strict (the historical behaviour — raise a typed exception on
+    the first malformed byte) and lenient (extract whatever parses
+    cleanly and describe the rest as a list of diagnostics). A diagnostic
+    records what was lost, where, and how bad it is:
+
+    - [Fatal]: nothing usable could be extracted from the artifact
+      (e.g. not an ELF file at all).
+    - [Degraded]: the artifact was read, but part of the analysis surface
+      is missing or unreliable (e.g. a truncated [.BTF] section).
+    - [Warning]: cosmetic or informational; the analysis is unaffected.
+
+    The severity lattice is [Warning < Degraded < Fatal]; the health of a
+    run is the worst severity it emitted, and maps onto process exit
+    codes ([0] clean, [1] fatal, [2] degraded — see {!exit_code}). *)
+
+type severity = Warning | Degraded | Fatal
+
+val severity_to_string : severity -> string
+
+val severity_compare : severity -> severity -> int
+(** Orders [Warning < Degraded < Fatal]. *)
+
+type t = {
+  d_severity : severity;
+  d_component : string;
+      (** Which parser/stage emitted it: ["elf"], ["btf"], ["dwarf"],
+          ["obj"], ["vmlinux"], ["surface"]. *)
+  d_context : string option;
+      (** Optional finer location: a section or symbol name, or a tag
+          such as ["Unknown_machine"]. *)
+  d_offset : int option;  (** Byte offset into the component's input. *)
+  d_message : string;
+}
+
+val v : ?context:string -> ?offset:int -> severity -> component:string -> string -> t
+
+val to_string : t -> string
+(** One line: [severity component[@offset] (context): message]. *)
+
+val demote : t -> t
+(** [Fatal] becomes [Degraded]; used when a sub-parser's total failure
+    (fatal for that component) only degrades the enclosing artifact. *)
+
+val worst : t list -> severity option
+(** [None] on the empty list (a clean run). *)
+
+val is_degraded : t list -> bool
+(** True when any diagnostic is [Degraded] or [Fatal]. *)
+
+val exit_code : t list -> int
+(** [0] clean (no diagnostics, or warnings only), [1] fatal, [2] degraded. *)
+
+(** A bounded, domain-safe diagnostic sink. Parsers running under
+    [Par] pool workers may share one collector; emission order is
+    preserved and the total is capped (a corrupt 64k-section header
+    table should not produce 64k diagnostics — the tail is summarized
+    by a final suppression notice). *)
+module Collector : sig
+  type diag = t
+  type t
+
+  val create : ?limit:int -> unit -> t
+  (** [limit] (default 128) caps the retained diagnostics. *)
+
+  val emit : t -> diag -> unit
+  val count : t -> int
+  (** Total emitted, including any dropped past the limit. *)
+
+  val diags : t -> diag list
+  (** Retained diagnostics in emission order, plus a trailing
+      [Warning] notice when any were suppressed. *)
+end

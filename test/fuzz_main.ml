@@ -1,0 +1,78 @@
+(* The heavyweight fault-injection sweep behind the @fuzz alias: >=500
+   seeded mutations against every study image, each driven through the
+   full image -> surface pipeline, plus the same corpus against a
+   representative BPF object. Exits non-zero on any uncaught exception
+   or on a mutated run that loses data without leaving a diagnostic.
+   `dune build @fuzz` runs it; the root @check alias includes it. *)
+
+open Ds_ksrc
+open Depsurf
+module Faultgen = Ds_faultgen.Faultgen
+
+let mutation_count =
+  match Sys.getenv_opt "DEPSURF_FUZZ_COUNT" with
+  | Some n -> int_of_string n
+  | None -> 500
+
+let seed = 42L
+
+let surface_health bytes = Surface.health (Surface.extract_lenient bytes)
+let obj_health bytes = (Ds_bpf.Obj.read_lenient bytes).Ds_bpf.Obj.o_diags
+
+let failures = ref 0
+
+let report label (tally, crashed) =
+  Printf.printf "%-28s total %4d  clean %4d  degraded %4d  fatal %4d  crashed %d\n%!" label
+    tally.Faultgen.n_total tally.Faultgen.n_clean tally.Faultgen.n_degraded
+    tally.Faultgen.n_fatal tally.Faultgen.n_crashed;
+  List.iter
+    (fun (name, e) ->
+      incr failures;
+      Printf.printf "  CRASH %s: %s\n%!" name e)
+    crashed
+
+let check_clean label health bytes =
+  match Faultgen.classify health bytes with
+  | Faultgen.Clean -> ()
+  | Faultgen.Crashed e ->
+      incr failures;
+      Printf.printf "  CRASH on clean %s: %s\n%!" label e
+  | Faultgen.Degraded | Faultgen.Fatal ->
+      incr failures;
+      Printf.printf "  clean image %s reported diagnostics\n%!" label
+
+let () =
+  let ds = Dataset.build ~seed Calibration.test_scale in
+  List.iter
+    (fun (v, cfg) ->
+      let label =
+        Printf.sprintf "%s/%s" (Version.to_string v) (Config.to_string cfg)
+      in
+      let bytes = Ds_elf.Elf.write (Dataset.image ds v cfg) in
+      check_clean label surface_health bytes;
+      let muts = Faultgen.mutations ~count:mutation_count ~seed bytes in
+      report label (Faultgen.survey surface_health muts))
+    Dataset.study_images;
+  (* one representative BPF object through the same corpus *)
+  (match Ds_corpus.Table7.find "biotop" with
+  | None ->
+      incr failures;
+      print_endline "corpus tool biotop missing"
+  | Some profile ->
+      let v54 = Version.v 5 4 in
+      let pools = Ds_corpus.Pools.compute ds () in
+      let spec = Ds_corpus.Corpus.spec_for pools profile in
+      let k = Ds_bpf.Vmlinux.load (Dataset.image ds v54 Config.x86_generic) in
+      let obj =
+        Ds_bpf.Progbuild.build ~build_btf:k.Ds_bpf.Vmlinux.v_btf ~build_arch:Config.X86
+          ~tag:(Ds_bpf.Vmlinux.tag k) spec
+      in
+      let bytes = Ds_bpf.Obj.write obj in
+      check_clean "bpf object biotop" obj_health bytes;
+      let muts = Faultgen.mutations ~count:mutation_count ~seed bytes in
+      report "bpf object biotop" (Faultgen.survey obj_health muts));
+  if !failures > 0 then begin
+    Printf.printf "FUZZ FAILED: %d failure(s)\n" !failures;
+    exit 1
+  end
+  else print_endline "fuzz: all mutations survived with typed diagnostics"
