@@ -58,6 +58,36 @@ let read_file path =
   close_in ic;
   s
 
+(* Every BENCH_*.json is a series, not a snapshot: each harness run
+   appends one {pr, timestamp, metric} record to the file's "trajectory"
+   list (carried over from the previous file) before overwriting it, so
+   stacked PRs accumulate a per-PR perf history. PR number from
+   DEPSURF_PR; timestamp is unix seconds. *)
+let pr_number =
+  match Option.bind (Sys.getenv_opt "DEPSURF_PR") int_of_string_opt with
+  | Some n -> n
+  | None -> 4
+
+let with_trajectory path ~metric fields =
+  let open Json in
+  let previous =
+    if not (Sys.file_exists path) then []
+    else
+      match Json.of_string (read_file path) with
+      | exception _ -> []
+      | j -> ( match Json.member "trajectory" j with Some (List l) -> l | _ -> [])
+  in
+  let record =
+    Obj [ ("pr", Int pr_number); ("timestamp", Float (Unix.time ())); ("metric", Float metric) ]
+  in
+  Obj (fields @ [ ("trajectory", List (previous @ [ record ])) ])
+
+let write_json_file path j =
+  let oc = open_out path in
+  output_string oc (Json.to_string j);
+  output_char oc '\n';
+  close_out oc
+
 (* capture stdout produced by [f], for byte-identity checks *)
 let capture f =
   flush stdout;
@@ -348,7 +378,6 @@ let fig6 () =
 
 let table1 env () =
   section "Table 1: summary of dependency mismatches";
-  let maxf f xs = List.fold_left (fun acc x -> Float.max acc (f x)) 0. xs in
   let lts = List.map snd (Pipeline.lts_diffs env.e_cached) in
   let cfgs = List.map snd (Pipeline.config_diffs env.e_cached) in
   let t =
@@ -377,7 +406,7 @@ let table1 env () =
           List.length d.Diff.df_tracepoints.Diff.d_changed )
   in
   let freq diffs which part =
-    maxf
+    Stats.max_over
       (fun d ->
         let common, a, r, c = pop_of which d in
         let old_total = common + r in
@@ -941,7 +970,7 @@ let write_bench_json seq par =
   in
   let total_seq = t_evolve +. stage_total seq and total_par = t_evolve +. stage_total par in
   let j =
-    Obj
+    with_trajectory "BENCH_PIPELINE.json" ~metric:total_par
       [
         ("schema", String "depsurf-bench-pipeline/1");
         ("scale", String (if scale = Calibration.bench_scale then "bench" else "test"));
@@ -964,10 +993,7 @@ let write_bench_json seq par =
         ("speedup", Float (total_seq /. Float.max 1e-9 total_par));
       ]
   in
-  let oc = open_out "BENCH_PIPELINE.json" in
-  output_string oc (Json.to_string j);
-  output_char oc '\n';
-  close_out oc;
+  write_json_file "BENCH_PIPELINE.json" j;
   total_seq, total_par
 
 let biotop_matrix analysis =
@@ -1047,8 +1073,10 @@ let robustness () =
      strict path it shadows (budget: 5%) *)
   let reps = 20 in
   let avg f =
-    let (), dt = time (fun () -> for _ = 1 to reps do ignore (f ()) done) in
-    dt /. float_of_int reps
+    Stats.mean
+      (List.init reps (fun _ ->
+           let (), dt = time (fun () -> ignore (f ())) in
+           dt))
   in
   (* interleave so neither side soaks up a GC bias *)
   let t_strict0 = avg (fun () -> Surface.extract (Ds_elf.Elf.read image_bytes)) in
@@ -1118,7 +1146,7 @@ let robustness () =
   print_string (Texttable.render t);
   let open Json in
   let j =
-    Obj
+    with_trajectory "BENCH_ROBUST.json" ~metric:overhead_pct
       [
         ("schema", String "depsurf-bench-robust/1");
         ("scale", String (if scale = Calibration.bench_scale then "bench" else "test"));
@@ -1142,10 +1170,7 @@ let robustness () =
                results) );
       ]
   in
-  let oc = open_out "BENCH_ROBUST.json" in
-  output_string oc (Json.to_string j);
-  output_char oc '\n';
-  close_out oc;
+  write_json_file "BENCH_ROBUST.json" j;
   print_endline "(written to BENCH_ROBUST.json)";
   if !crashed_total > 0 || not identical then begin
     Printf.printf "robustness check: FAILED (%d uncaught exceptions)\n" !crashed_total;
@@ -1161,7 +1186,7 @@ let write_store_json ~warm ~(wstats : Store.counters) ~cold_total ~warm_total ~i
   let open Json in
   let es = Store.entries ~dir:cache_dir in
   let j =
-    Obj
+    with_trajectory "BENCH_STORE.json" ~metric:warm_total
       [
         ("schema", String "depsurf-bench-store/1");
         ("scale", String (if scale = Calibration.bench_scale then "bench" else "test"));
@@ -1186,10 +1211,7 @@ let write_store_json ~warm ~(wstats : Store.counters) ~cold_total ~warm_total ~i
         ("tables_identical", Bool identical);
       ]
   in
-  let oc = open_out "BENCH_STORE.json" in
-  output_string oc (Json.to_string j);
-  output_char oc '\n';
-  close_out oc
+  write_json_file "BENCH_STORE.json" j
 
 let store_timing () =
   section "Store timing: cold vs warm (persistent artifact cache)";
@@ -1271,6 +1293,184 @@ let store_timing () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Query service: cold vs warm latency under concurrent load            *)
+(* ------------------------------------------------------------------ *)
+
+module Serve = Ds_serve.Serve
+
+(* pull an int out of a nested JSON document; 0 when absent *)
+let jint j path =
+  let rec go j = function
+    | [] -> ( match j with Json.Int n -> n | Json.Float f -> int_of_float f | _ -> 0)
+    | k :: rest -> ( match Json.member k j with Some j' -> go j' rest | None -> 0)
+  in
+  go j path
+
+let rec adjacent_pairs = function
+  | a :: (b :: _ as tl) -> (a, b) :: adjacent_pairs tl
+  | _ -> []
+
+let serve_bench () =
+  section "Query service: cold vs warm latency under concurrent load";
+  (* a private dataset + cache dir so the cold phase is honestly cold:
+     nothing the main bench computed leaks into the server's tiers *)
+  let sdir =
+    let f = Filename.temp_file "depsurf-bench-serve" "" in
+    Sys.remove f;
+    f
+  in
+  let sstore = Store.open_ ~dir:sdir () in
+  let sds = Pipeline.dataset ~store:sstore scale in
+  let srv = Serve.create ~ds:sds ~pool () in
+  let sock = Filename.temp_file "depsurf-bench-serve" ".sock" in
+  Sys.remove sock;
+  let h = Serve.start srv (Serve.Unix_sock sock) in
+  let addr = Serve.bound_addr h in
+  let failed = Atomic.make false in
+  let get path =
+    let t0 = now () in
+    let status, _body = Serve.Client.request addr ~meth:"GET" ~path in
+    if status <> 200 then begin
+      Printf.printf "serve check: FAILED (GET %s -> %d)\n" path status;
+      Atomic.set failed true
+    end;
+    (now () -. t0) *. 1000.
+  in
+  (* the counters that must not move during a warm phase *)
+  let snapshot () =
+    let status, body = Serve.Client.request addr ~meth:"GET" ~path:"/metrics" in
+    if status <> 200 then failwith "metrics endpoint failed";
+    let j = Json.of_string body in
+    ( jint j [ "compiles" ],
+      jint j [ "store"; "misses" ],
+      jint j [ "counters"; "index.fill.surface" ],
+      jint j [ "counters"; "index.fill.diff" ] )
+  in
+  let run_clients clients reqs =
+    let doms =
+      List.init clients (fun _ -> Domain.spawn (fun () -> List.map (fun p -> get p) reqs))
+    in
+    List.concat_map Domain.join doms
+  in
+  let warm_reps = 20 in
+  let t =
+    Texttable.create
+      [
+        ("clients", Texttable.R); ("phase", Texttable.L); ("reqs", Texttable.R);
+        ("mean ms", Texttable.R); ("p50 ms", Texttable.R); ("p95 ms", Texttable.R);
+        ("p99 ms", Texttable.R); ("max ms", Texttable.R);
+      ]
+  in
+  let reservoir_of samples =
+    let r = Stats.Reservoir.create () in
+    List.iter (Stats.Reservoir.add r) samples;
+    r
+  in
+  let phase_cells r =
+    let q p = Stats.Reservoir.quantile r p in
+    ( Stats.Reservoir.count r, Stats.Reservoir.mean r, q 0.5, q 0.95, q 0.99,
+      Stats.Reservoir.max_seen r )
+  in
+  let phase_row clients phase r =
+    let n, mean, p50, p95, p99 , mx = phase_cells r in
+    Texttable.row t
+      [
+        string_of_int clients; phase; string_of_int n;
+        Printf.sprintf "%.2f" mean; Printf.sprintf "%.2f" p50; Printf.sprintf "%.2f" p95;
+        Printf.sprintf "%.2f" p99; Printf.sprintf "%.2f" mx;
+      ]
+  in
+  let phase_json r =
+    let n, mean, p50, p95, p99, mx = phase_cells r in
+    Json.Obj
+      [
+        ("requests", Json.Int n); ("mean_ms", Json.Float mean);
+        ("p50_ms", Json.Float p50); ("p95_ms", Json.Float p95);
+        ("p99_ms", Json.Float p99); ("max_ms", Json.Float mx);
+      ]
+  in
+  let warm_all = ref [] in
+  let expected_fills = ref (0, 0) in
+  let levels_json =
+    List.mapi
+      (fun li clients ->
+        (* each level queries its own disjoint slice of the study matrix,
+           so its cold phase never rides an earlier level's hot index *)
+        let images =
+          List.filteri (fun i _ -> i >= li * 3 && i < (li + 1) * 3) Dataset.study_images
+        in
+        let names = List.map Serve.image_name images in
+        let reqs =
+          List.map (fun n -> "/surface/" ^ n) names
+          @ List.map (fun (a, b) -> "/diff/" ^ a ^ "/" ^ b) (adjacent_pairs names)
+        in
+        let cold = run_clients clients reqs in
+        (* every client raced the same uncached keys: single-flight means
+           each key was computed exactly once, no matter the concurrency *)
+        let exp_s, exp_d = !expected_fills in
+        let exp_s = exp_s + List.length names
+        and exp_d = exp_d + List.length (adjacent_pairs names) in
+        expected_fills := (exp_s, exp_d);
+        let c0, m0, fs0, fd0 = snapshot () in
+        if fs0 <> exp_s || fd0 <> exp_d then begin
+          Printf.printf
+            "serve check: FAILED (single-flight: %d surface / %d diff fills, expected %d / %d)\n"
+            fs0 fd0 exp_s exp_d;
+          Atomic.set failed true
+        end;
+        let warm =
+          run_clients clients (List.concat (List.init warm_reps (fun _ -> reqs)))
+        in
+        let c1, m1, fs1, fd1 = snapshot () in
+        if c1 <> c0 || m1 <> m0 || fs1 <> fs0 || fd1 <> fd0 then begin
+          Printf.printf
+            "serve check: FAILED (warm phase touched the slow tiers: +%d compiles, +%d store \
+             misses, +%d index fills)\n"
+            (c1 - c0) (m1 - m0) (fs1 - fs0 + fd1 - fd0);
+          Atomic.set failed true
+        end;
+        warm_all := warm @ !warm_all;
+        let rc = reservoir_of cold and rw = reservoir_of warm in
+        phase_row clients "cold" rc;
+        phase_row clients "warm" rw;
+        Texttable.sep t;
+        Json.Obj
+          [
+            ("clients", Json.Int clients);
+            ("distinct_requests", Json.Int (List.length reqs));
+            ("warm_reps", Json.Int warm_reps);
+            ("cold", phase_json rc);
+            ("warm", phase_json rw);
+            ("warm_compile_delta", Json.Int (c1 - c0));
+            ("warm_store_miss_delta", Json.Int (m1 - m0));
+          ])
+      [ 1; 4 ]
+  in
+  Serve.stop h;
+  print_string (Texttable.render t);
+  let rw_all = reservoir_of !warm_all in
+  let _, _, _, warm_p95, _, _ = phase_cells rw_all in
+  let j =
+    with_trajectory "BENCH_SERVE.json" ~metric:warm_p95
+      [
+        ("schema", Json.String "depsurf-bench-serve/1");
+        ("scale", Json.String (if scale = Calibration.bench_scale then "bench" else "test"));
+        ("warm_p95_ms", Json.Float warm_p95);
+        ("levels", Json.List levels_json);
+      ]
+  in
+  write_json_file "BENCH_SERVE.json" j;
+  print_endline "(written to BENCH_SERVE.json)";
+  if Atomic.get failed then begin
+    print_endline "serve check: FAILED";
+    exit 1
+  end
+  else
+    print_endline
+      "serve check: warm index answered every repeat with 0 compiles, 0 store misses and 0 \
+       index fills; single-flight hydration held under concurrency: OK"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -1301,5 +1501,6 @@ let () =
   perf ();
   robustness ();
   store_timing ();
+  serve_bench ();
   Par.shutdown pool;
   Printf.printf "\ntotal: %.1fs\n" (now () -. t0)

@@ -46,17 +46,21 @@ let flavor_conv =
 let seed_arg =
   Arg.(value & opt int64 Pipeline.default_seed & info [ "seed" ] ~doc:"History seed.")
 
-let scale_conv =
-  Arg.conv
-    ( (function
-      | "test" -> Ok Calibration.test_scale
-      | "bench" -> Ok Calibration.bench_scale
-      | s -> Error (`Msg ("unknown scale: " ^ s))),
-      fun fmt _ -> Format.pp_print_string fmt "<scale>" )
-
+(* validated in the term (not an [Arg.conv]) so a bad value is a plain
+   usage error: one line on stderr, exit 1 — not cmdliner's 124 *)
 let scale_arg =
-  Arg.(value & opt scale_conv Calibration.test_scale
-       & info [ "scale" ] ~doc:"Kernel population scale: test or bench.")
+  let raw =
+    Arg.(value & opt string "test"
+         & info [ "scale" ] ~doc:"Kernel population scale: test or bench.")
+  in
+  let validate = function
+    | "test" -> Calibration.test_scale
+    | "bench" -> Calibration.bench_scale
+    | s ->
+        Printf.eprintf "depsurf: unknown --scale %s (expected test or bench)\n" s;
+        exit 1
+  in
+  Term.(const validate $ raw)
 
 let version_arg =
   Arg.(value & opt version_conv (Version.v 5 4) & info [ "kernel"; "k" ] ~doc:"Kernel version, e.g. 5.4.")
@@ -99,13 +103,23 @@ let with_store cache f =
 let mk_ds seed scale store = Dataset.build ~seed ?store scale
 
 let jobs_arg =
-  Arg.(value & opt int 0
-       & info [ "jobs"; "j" ]
-           ~doc:"Worker domains for the parallel pipeline (0 = \\$DEPSURF_JOBS, or all cores).")
+  let raw =
+    Arg.(value & opt (some int) None
+         & info [ "jobs"; "j" ]
+             ~doc:"Worker domains for the parallel pipeline (default: \\$DEPSURF_JOBS, or all \
+                   cores).")
+  in
+  let validate = function
+    | Some n when n < 1 ->
+        Printf.eprintf "depsurf: --jobs must be >= 1 (got %d)\n" n;
+        exit 1
+    | j -> j
+  in
+  Term.(const validate $ raw)
 
 (* run [f] with a domain pool sized by --jobs, shut down on exit *)
 let with_pool jobs f =
-  let jobs = if jobs >= 1 then jobs else Ds_util.Par.default_jobs () in
+  let jobs = match jobs with Some n -> n | None -> Ds_util.Par.default_jobs () in
   Ds_util.Par.run ~jobs f
 
 (* ---- surface ------------------------------------------------------- *)
@@ -660,6 +674,117 @@ let corpus_cmd =
   Cmd.v (Cmd.info "corpus" ~doc:"Analyze all 53 Table-7 programs.")
     Term.(const run $ seed_arg $ scale_arg $ cache_arg $ jobs_arg)
 
+(* ---- serve / query -------------------------------------------------- *)
+
+let socket_arg =
+  Arg.(value & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH" ~doc:"Serve over a Unix domain socket at \\$(docv).")
+
+let port_arg =
+  Arg.(value & opt (some int) None
+       & info [ "port"; "p" ] ~doc:"Serve over TCP on this port (0 = kernel-chosen).")
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~doc:"TCP bind/connect address.")
+
+let addr_of ~socket ~port ~host =
+  match socket, port with
+  | Some p, _ -> Ds_serve.Serve.Unix_sock p
+  | None, Some port -> Ds_serve.Serve.Tcp (host, port)
+  | None, None -> Ds_serve.Serve.Unix_sock "depsurf.sock"
+
+let addr_to_string = function
+  | Ds_serve.Serve.Unix_sock p -> "unix:" ^ p
+  | Ds_serve.Serve.Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+let serve_cmd =
+  let images_dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "images" ]
+             ~doc:"Also serve surfaces for every vmlinux-* file in this directory (extracted \
+                   leniently, keyed by file name).")
+  in
+  let run seed scale cache jobs socket port host images_dir =
+    (* one worker owns the accept loop, so serving needs at least 2 *)
+    let jobs =
+      match jobs with
+      | Some n when n < 2 ->
+          Printf.eprintf "depsurf: serve needs --jobs >= 2 (got %d)\n" n;
+          exit 1
+      | Some n -> Some n
+      | None -> Some (max 2 (Ds_util.Par.default_jobs ()))
+    in
+    with_store cache @@ fun store ->
+    let ds = mk_ds seed scale store in
+    with_pool jobs @@ fun pool ->
+    let t = Ds_serve.Serve.create ?images_dir ~ds ~pool () in
+    let h =
+      try Ds_serve.Serve.start t (addr_of ~socket ~port ~host)
+      with Unix.Unix_error (e, _, arg) ->
+        Printf.eprintf "depsurf: cannot listen on %s: %s (%s)\n"
+          (addr_to_string (addr_of ~socket ~port ~host))
+          (Unix.error_message e) arg;
+        exit 1
+    in
+    Printf.printf "depsurf serve: listening on %s\n"
+      (addr_to_string (Ds_serve.Serve.bound_addr h));
+    flush stdout;
+    (* serve until killed; connection handlers run on the pool *)
+    let rec forever () =
+      Unix.sleep 3600;
+      forever ()
+    in
+    forever ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the dependency-surface query service (GET /healthz, /images, \
+             /surface/IMAGE, /diff/A/B, /metrics; POST /mismatch).")
+    Term.(
+      const run $ seed_arg $ scale_arg $ cache_arg $ jobs_arg $ socket_arg $ port_arg
+      $ host_arg $ images_dir_arg)
+
+let query_cmd =
+  let path_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"PATH" ~doc:"Request path, e.g. /healthz or /surface/5.4-x86-generic.")
+  in
+  let data_arg =
+    Arg.(value & opt (some string) None
+         & info [ "data"; "d" ] ~docv:"FILE"
+             ~doc:"Send \\$(docv)'s bytes as the request body (implies POST).")
+  in
+  let meth_arg =
+    Arg.(value & opt (some string) None
+         & info [ "method"; "X" ] ~doc:"HTTP method (default: GET, or POST with --data).")
+  in
+  let run socket port host path data meth =
+    let addr = addr_of ~socket ~port ~host in
+    let body =
+      Option.map
+        (fun f ->
+          try read_file f
+          with Sys_error m ->
+            prerr_endline m;
+            exit 1)
+        data
+    in
+    let meth =
+      match meth with Some m -> m | None -> if body = None then "GET" else "POST"
+    in
+    match Ds_serve.Serve.Client.request ?body addr ~meth ~path with
+    | status, response ->
+        print_string response;
+        if status >= 400 then exit 1
+    | exception Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "depsurf: cannot reach %s: %s\n" (addr_to_string addr)
+          (Unix.error_message e);
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Send one request to a running depsurf serve instance.")
+    Term.(const run $ socket_arg $ port_arg $ host_arg $ path_arg $ data_arg $ meth_arg)
+
 (* ---- cache maintenance --------------------------------------------- *)
 
 (* maintenance needs an actual directory; --no-cache makes no sense here *)
@@ -748,4 +873,4 @@ let () =
           ~default
           [ surface_cmd; func_cmd; diff_cmd; report_cmd; corpus_cmd; dump_cmd; export_cmd;
              probe_cmd; vmlinux_h_cmd; gen_images_cmd; mkobj_cmd; analyze_cmd; doctor_cmd;
-             mutate_cmd; export_dataset_cmd; cache_cmd ]))
+             mutate_cmd; export_dataset_cmd; serve_cmd; query_cmd; cache_cmd ]))

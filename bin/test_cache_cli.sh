@@ -86,4 +86,19 @@ else
   [ $? -eq 1 ]
 fi
 
+# --- flag validation: bad --jobs / --scale fail fast -------------------
+# one-line usage error on stderr, exit 1 — before any work happens
+check_rejected() {
+  if "$CLI" "$@" > /dev/null 2> "$TMP/val.err"; then
+    echo "accepted bad flags: $*" >&2; exit 1
+  else
+    [ $? -eq 1 ]
+  fi
+  [ "$(wc -l < "$TMP/val.err")" -eq 1 ]
+}
+check_rejected report --tool biotop --jobs 0
+check_rejected report --tool biotop --jobs=-2
+check_rejected corpus --jobs 0
+check_rejected surface --scale huge
+
 echo "cache CLI e2e: OK"

@@ -1,0 +1,92 @@
+#!/bin/sh
+# End-to-end exercise of the query service through the CLI: serve over a
+# Unix socket, hit every endpoint with `depsurf query`, check that a
+# degraded on-disk image answers HTTP 200 (with "health": "degraded",
+# never a 500), compare /mismatch byte-for-byte with `depsurf report`,
+# then a 50-request load smoke with /metrics accounting for every one.
+set -eu
+
+CLI=$(cd "$(dirname "$1")" && pwd)/$(basename "$1")
+
+TMP=$(mktemp -d)
+SRV=""
+cleanup() {
+  [ -n "$SRV" ] && kill "$SRV" 2> /dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+SOCK="$TMP/ds.sock"
+
+# serving needs a worker for the accept loop on top of one handler
+if "$CLI" serve --socket "$SOCK" --jobs 1 > /dev/null 2> "$TMP/jobs.err"; then
+  echo "serve accepted --jobs 1" >&2; exit 1
+else
+  [ $? -eq 1 ]
+fi
+grep -q "jobs" "$TMP/jobs.err"
+
+# a degraded on-disk image: zero a mid-file region of a study vmlinux
+"$CLI" gen-images --dir "$TMP/img" > /dev/null
+IMG="$TMP/img/vmlinux-5.4-x86-generic"
+size=$(wc -c < "$IMG")
+mkdir "$TMP/served"
+"$CLI" mutate "$IMG" "$TMP/served/vmlinux-degraded" --zero $((size / 3)):512
+
+"$CLI" serve --socket "$SOCK" --images "$TMP/served" --cache-dir "$TMP/cache" \
+  > "$TMP/serve.log" 2>&1 &
+SRV=$!
+i=0
+while [ $i -lt 100 ]; do
+  [ -S "$SOCK" ] && break
+  sleep 0.1
+  i=$((i + 1))
+done
+[ -S "$SOCK" ]
+
+Q() { "$CLI" query --socket "$SOCK" "$@"; }
+
+# every endpoint answers
+Q /healthz | grep -q '"status": "ok"'
+Q /images > "$TMP/images.json"
+grep -q '"5.4-x86-generic"' "$TMP/images.json"
+grep -q '"vmlinux-degraded"' "$TMP/images.json"
+Q /surface/5.4-x86-generic | grep -q '"health": "clean"'
+Q "/surface/4.4-x86-generic?kind=func&name=vfs_fsync" | grep -q '"vfs_fsync"'
+Q /diff/4.4-x86-generic/5.4-x86-generic | grep -q '"across_versions"'
+
+# the degraded image is HTTP 200 (query exits 0) with its health visible
+Q /surface/vmlinux-degraded > "$TMP/degraded.json"
+grep -q '"health": "degraded"' "$TMP/degraded.json"
+grep -q '"diagnostics"' "$TMP/degraded.json"
+
+# errors are still errors: unknown image -> 404 -> exit 1
+if Q /surface/9.9-x86-generic > /dev/null 2>&1; then
+  echo "unknown image did not fail" >&2; exit 1
+else
+  [ $? -eq 1 ]
+fi
+
+# /mismatch is byte-identical to the CLI report for the same object
+"$CLI" mkobj --tool biotop --out "$TMP/biotop.bpf.o" > /dev/null
+"$CLI" report --tool biotop > "$TMP/report.cli"
+Q --data "$TMP/biotop.bpf.o" /mismatch > "$TMP/report.srv"
+cmp "$TMP/report.cli" "$TMP/report.srv"
+
+# load smoke: 50 warm requests, then /metrics must account for them
+i=0
+while [ $i -lt 50 ]; do
+  Q /surface/5.4-x86-generic > /dev/null
+  i=$((i + 1))
+done
+Q /metrics > "$TMP/metrics.json"
+total=$(sed -n 's/^ *"requests_total": \([0-9]*\).*/\1/p' "$TMP/metrics.json" | head -n 1)
+[ "$total" -ge 58 ]
+hits=$(sed -n 's/^ *"index.hit.surface": \([0-9]*\).*/\1/p' "$TMP/metrics.json" | head -n 1)
+[ "$hits" -ge 50 ]
+fills=$(sed -n 's/^ *"index.fill.surface": \([0-9]*\).*/\1/p' "$TMP/metrics.json" | head -n 1)
+[ "$fills" -le 3 ]
+grep -q '"latency_ms"' "$TMP/metrics.json"
+
+kill "$SRV"
+SRV=""
+echo "serve CLI e2e: OK"

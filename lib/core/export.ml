@@ -174,6 +174,52 @@ let surface (s : Surface.t) =
     ]
 
 
+let health_label diags =
+  match Ds_util.Diag.worst diags with
+  | None | Some Ds_util.Diag.Warning -> "clean"
+  | Some Ds_util.Diag.Degraded -> "degraded"
+  | Some Ds_util.Diag.Fatal -> "fatal"
+
+let health diags =
+  Json.Obj
+    [
+      ("health", Json.String (health_label diags));
+      ( "diagnostics",
+        Json.List (List.map (fun d -> Json.String (Ds_util.Diag.to_string d)) diags) );
+    ]
+
+let surface_with_health (s : Surface.t) =
+  match health (Surface.health s), surface s with
+  | Json.Obj h, Json.Obj fields -> Json.Obj (h @ fields)
+  | _ -> assert false
+
+let item_diff describe (d : 'c Diff.item_diff) =
+  Json.Obj
+    [
+      ("common", Json.Int d.Diff.d_common);
+      ("added", Json.List (List.map (fun n -> Json.String n) d.Diff.d_added));
+      ("removed", Json.List (List.map (fun n -> Json.String n) d.Diff.d_removed));
+      ( "changed",
+        Json.List
+          (List.map
+             (fun (name, changes) ->
+               Json.Obj
+                 [
+                   ("name", Json.String name);
+                   ("reasons", Json.List (List.map (fun c -> Json.String (describe c)) changes));
+                 ])
+             d.Diff.d_changed) );
+    ]
+
+let diff (d : Diff.t) =
+  Json.Obj
+    [
+      ("funcs", item_diff Diff.describe_func_change d.Diff.df_funcs);
+      ("structs", item_diff Diff.describe_field_change d.Diff.df_structs);
+      ("tracepoints", item_diff Diff.describe_tp_change d.Diff.df_tracepoints);
+      ("syscalls", item_diff (fun () -> "") d.Diff.df_syscalls);
+    ]
+
 let status_json (st : Report.status) =
   match st with
   | Report.St_changed reasons ->

@@ -33,3 +33,21 @@ val surface : Surface.t -> Json.t
 val matrix : Report.matrix -> Json.t
 (** A program's mismatch report: per dependency, per image, the status
     letters and human-readable reasons. *)
+
+(** {2 Query-service views (the [depsurf serve] wire format)} *)
+
+val health_label : Ds_util.Diag.t list -> string
+(** ["clean"] (no diagnostics, or warnings only), ["degraded"] or
+    ["fatal"] — the string the server puts in every surface response. *)
+
+val health : Ds_util.Diag.t list -> Json.t
+(** [{"health": ..., "diagnostics": [...]}] *)
+
+val surface_with_health : Surface.t -> Json.t
+(** {!surface} with the {!health} fields prepended, so a degraded image
+    still answers HTTP 200 and the caller can see what was lost. *)
+
+val diff : Diff.t -> Json.t
+(** A pairwise surface diff: per construct kind, common count plus
+    added/removed names and changed entries with human-readable
+    reasons. *)

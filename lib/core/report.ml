@@ -161,9 +161,7 @@ type matrix = {
   m_rows : dep_row list;
 }
 
-let matrix dataset ~images ~baseline obj =
-  let bv, bc = baseline in
-  let base_surface = Dataset.surface dataset bv bc in
+let matrix_of_surfaces ~baseline:(baseline_image, base_surface) ~targets obj =
   let deps = Depset.of_obj obj in
   let rows =
     List.map
@@ -172,18 +170,24 @@ let matrix dataset ~images ~baseline obj =
           r_dep = dep;
           r_cells =
             List.map
-              (fun (v, cfg) ->
-                let target = Dataset.surface dataset v cfg in
+              (fun (image, target) ->
                 {
-                  c_image = (v, cfg);
+                  c_image = image;
                   c_statuses = statuses ~baseline:base_surface ~target dep;
                   c_degraded = Surface.degraded target;
                 })
-              images;
+              targets;
         })
       deps
   in
-  { m_obj_name = obj.Ds_bpf.Obj.o_name; m_baseline = baseline; m_rows = rows }
+  { m_obj_name = obj.Ds_bpf.Obj.o_name; m_baseline = baseline_image; m_rows = rows }
+
+let matrix dataset ~images ~baseline obj =
+  let surface (v, cfg) = Dataset.surface dataset v cfg in
+  matrix_of_surfaces
+    ~baseline:(baseline, surface baseline)
+    ~targets:(List.map (fun img -> (img, surface img)) images)
+    obj
 
 let image_label (v, cfg) =
   if Config.equal cfg Config.x86_generic then Version.to_string v

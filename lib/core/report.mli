@@ -68,6 +68,17 @@ val matrix :
   Ds_bpf.Obj.t ->
   matrix
 
+val matrix_of_surfaces :
+  baseline:(Version.t * Config.t) * Surface.t ->
+  targets:((Version.t * Config.t) * Surface.t) list ->
+  Ds_bpf.Obj.t ->
+  matrix
+(** Same report over already-extracted surfaces — the path for targets
+    that do not come from a {!Dataset.t} (on-disk images, possibly
+    degraded, served by [depsurf serve] or [analyze --images]). Each
+    cell's [c_degraded] reflects the target surface's health, so a
+    leniently-extracted image carries its [~] marker into the render. *)
+
 val render_matrix : matrix -> string
 (** Figure 4-style text rendering: dependencies as columns, images as
     rows. *)

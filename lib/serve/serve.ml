@@ -1,0 +1,654 @@
+open Ds_ksrc
+open Depsurf
+module Par = Ds_util.Par
+module Metrics = Ds_util.Metrics
+module Json = Ds_util.Json
+module Store = Ds_store.Store
+
+(* ---- image naming -------------------------------------------------- *)
+
+let image_name ((v : Version.t), (cfg : Config.t)) =
+  Printf.sprintf "%d.%d-%s-%s" v.Version.major v.Version.minor
+    (Config.arch_to_string cfg.Config.arch)
+    (Config.flavor_to_string cfg.Config.flavor)
+
+let image_of_name name =
+  match String.split_on_char '-' name with
+  | [ vs; arch; flavor ] -> (
+      match String.split_on_char '.' vs with
+      | [ ma; mi ] -> (
+          match (int_of_string_opt ma, int_of_string_opt mi) with
+          | Some major, Some minor ->
+              let v = Version.v major minor in
+              let cfg =
+                match
+                  ( List.find_opt (fun a -> Config.arch_to_string a = arch) Config.arches,
+                    List.find_opt (fun f -> Config.flavor_to_string f = flavor) Config.flavors )
+                with
+                | Some a, Some f -> Some Config.{ arch = a; flavor = f }
+                | _ -> None
+              in
+              Option.bind cfg (fun cfg ->
+                  if List.exists (fun img -> img = (v, cfg)) Dataset.study_images then
+                    Some (v, cfg)
+                  else None)
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+(* ---- server state -------------------------------------------------- *)
+
+type t = {
+  sv_ds : Dataset.t;
+  sv_pool : Par.pool;
+  sv_metrics : Metrics.t;
+  sv_files : (string * string) list;  (** extra image name -> path *)
+  ix_surface : (string, string) Par.Memo.t;  (** image name -> response body *)
+  ix_diff : (string, string) Par.Memo.t;  (** "a|b" -> response body *)
+  ix_mismatch : (string, string) Par.Memo.t;  (** obj digest -> report *)
+  ix_file_surface : (string, Surface.t) Par.Memo.t;  (** lenient extracts *)
+}
+
+let create ?images_dir ~ds ~pool () =
+  let files =
+    match images_dir with
+    | None -> []
+    | Some dir ->
+        let entries = Sys.readdir dir in
+        Array.sort compare entries;
+        Array.to_list entries
+        |> List.filter (fun f -> String.length f > 8 && String.sub f 0 8 = "vmlinux-")
+        |> List.map (fun f -> (f, Filename.concat dir f))
+  in
+  {
+    sv_ds = ds;
+    sv_pool = pool;
+    sv_metrics = Metrics.create ();
+    sv_files = files;
+    ix_surface = Par.Memo.create 64;
+    ix_diff = Par.Memo.create 64;
+    ix_mismatch = Par.Memo.create 16;
+    ix_file_surface = Par.Memo.create 16;
+  }
+
+let metrics t = t.sv_metrics
+let dataset t = t.sv_ds
+
+(* hot-index lookup with hit/fill accounting; [Par.Memo] gives the
+   single-flight guarantee, so "index.fill.<kind>" advances exactly once
+   per key no matter how many requests race on it *)
+let indexed t memo kind key compute =
+  match Par.Memo.find_opt memo key with
+  | Some v ->
+      Metrics.incr t.sv_metrics ("index.hit." ^ kind);
+      v
+  | None ->
+      Par.Memo.find_or_compute memo key (fun () ->
+          Metrics.incr t.sv_metrics ("index.fill." ^ kind);
+          compute ())
+
+(* ---- sources ------------------------------------------------------- *)
+
+type source = Study of Version.t * Config.t | File of string
+
+let find_source t name =
+  match image_of_name name with
+  | Some (v, cfg) -> Some (Study (v, cfg))
+  | None -> Option.map (fun p -> File p) (List.assoc_opt name t.sv_files)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let surface_of_source t name = function
+  | Study (v, cfg) -> Dataset.surface t.sv_ds v cfg
+  | File path ->
+      Par.Memo.find_or_compute t.ix_file_surface name (fun () ->
+          Metrics.incr t.sv_metrics "compute.file_surface";
+          Surface.extract_lenient (read_file path))
+
+(* ---- JSON plumbing ------------------------------------------------- *)
+
+let json_body j = Json.to_string j ^ "\n"
+let ok_json j = (200, "application/json", json_body j)
+
+let error_json status msg =
+  (status, "application/json", json_body (Json.Obj [ ("error", Json.String msg) ]))
+
+let scale_label ds =
+  if Dataset.scale ds = Calibration.bench_scale then "bench"
+  else if Dataset.scale ds = Calibration.test_scale then "test"
+  else "custom"
+
+(* ---- endpoints ----------------------------------------------------- *)
+
+let healthz t =
+  ok_json
+    (Json.Obj
+       [
+         ("status", Json.String "ok");
+         ("scale", Json.String (scale_label t.sv_ds));
+         ("images", Json.Int (List.length Dataset.study_images + List.length t.sv_files));
+         ( "index",
+           Json.Obj
+             [
+               ("surfaces", Json.Int (Par.Memo.length t.ix_surface));
+               ("diffs", Json.Int (Par.Memo.length t.ix_diff));
+               ("mismatches", Json.Int (Par.Memo.length t.ix_mismatch));
+             ] );
+       ])
+
+let images t =
+  let study =
+    List.map
+      (fun img ->
+        Json.Obj
+          [ ("name", Json.String (image_name img)); ("kind", Json.String "study") ])
+      Dataset.study_images
+  in
+  let files =
+    List.map
+      (fun (name, _) ->
+        Json.Obj [ ("name", Json.String name); ("kind", Json.String "file") ])
+      t.sv_files
+  in
+  ok_json (Json.Obj [ ("images", Json.List (study @ files)) ])
+
+let construct_entry s kind name =
+  match kind with
+  | "func" -> Option.map Export.func_status (Surface.find_func s name)
+  | "struct" -> Option.map Export.struct_def (Surface.find_struct s name)
+  | "tracepoint" -> Option.map Export.tracepoint (Surface.find_tracepoint s name)
+  | "syscall" -> if Surface.has_syscall s name then Some (Json.Bool true) else None
+  | _ -> None
+
+let surface_endpoint t name query =
+  match find_source t name with
+  | None -> error_json 404 ("unknown image: " ^ name)
+  | Some src -> (
+      match (List.assoc_opt "kind" query, List.assoc_opt "name" query) with
+      | None, None ->
+          let body =
+            indexed t t.ix_surface "surface" name (fun () ->
+                Metrics.incr t.sv_metrics "compute.surface";
+                json_body (Export.surface_with_health (surface_of_source t name src)))
+          in
+          (200, "application/json", body)
+      | Some kind, Some cname -> (
+          if not (List.mem kind [ "func"; "struct"; "tracepoint"; "syscall" ]) then
+            error_json 400 ("unknown kind: " ^ kind ^ " (func|struct|tracepoint|syscall)")
+          else
+            let s = surface_of_source t name src in
+            match construct_entry s kind cname with
+            | None -> error_json 404 (Printf.sprintf "no %s %s on %s" kind cname name)
+            | Some entry ->
+                ok_json
+                  (Json.Obj
+                     [
+                       ("image", Json.String name);
+                       ("health", Json.String (Export.health_label (Surface.health s)));
+                       ("kind", Json.String kind);
+                       ("name", Json.String cname);
+                       ("entry", entry);
+                     ]))
+      | _ -> error_json 400 "kind= and name= must be given together")
+
+let diff_endpoint t a b =
+  match (image_of_name a, image_of_name b) with
+  | None, _ -> error_json 404 ("unknown image: " ^ a)
+  | _, None -> error_json 404 ("unknown image: " ^ b)
+  | Some (va, ca), Some (vb, cb) ->
+      let body =
+        indexed t t.ix_diff "diff" (a ^ "|" ^ b) (fun () ->
+            let sa = Dataset.surface t.sv_ds va ca in
+            let sb = Dataset.surface t.sv_ds vb cb in
+            let mode =
+              if Version.equal va vb then Diff.Across_configs else Diff.Across_versions
+            in
+            (* persistent tier: arbitrary pairs are store artifacts too,
+               so a restarted server re-hydrates instead of re-diffing *)
+            let d =
+              Store.memo (Dataset.store t.sv_ds) ~ns:"diff"
+                ~key:(Dataset.cache_key t.sv_ds ~label:"pair-diff" [ a; b ])
+                ~encode:Codec.encode_diff ~decode:Codec.decode_diff
+                (fun () ->
+                  Metrics.incr t.sv_metrics "compute.diff";
+                  Diff.compare_surfaces mode sa sb)
+            in
+            let fields = match Export.diff d with Json.Obj fs -> fs | _ -> [] in
+            json_body
+              (Json.Obj
+                 (("from", Json.String a) :: ("to", Json.String b)
+                 :: ( "mode",
+                      Json.String
+                        (match mode with
+                        | Diff.Across_versions -> "across_versions"
+                        | Diff.Across_configs -> "across_configs") )
+                 :: fields)))
+      in
+      (200, "application/json", body)
+
+(* stable-probe suggestions: every registry probe whose candidate hooks
+   overlap the object's dependency set, resolved across the x86 series *)
+let suggestions t obj =
+  let deps = Depset.of_obj obj in
+  let candidate_matches (c : Compat.candidate) =
+    (match Ds_bpf.Hook.target_function c.Compat.ca_hook with
+    | Some f -> List.mem (Depset.Dep_func f) deps
+    | None -> false)
+    ||
+    match Ds_bpf.Hook.target_tracepoint c.Compat.ca_hook with
+    | Some tp -> List.mem (Depset.Dep_tracepoint tp) deps
+    | None -> false
+  in
+  let relevant =
+    List.filter
+      (fun (p : Compat.probe) -> List.exists candidate_matches p.Compat.pb_candidates)
+      Compat.default_registry
+  in
+  match relevant with
+  | [] -> ""
+  | probes ->
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf "\nstable-probe suggestions (compat layer):\n";
+      List.iter
+        (fun (p : Compat.probe) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %s -- %s\n" p.Compat.pb_name p.Compat.pb_doc);
+          List.iter
+            (fun (label, (res : Compat.resolution)) ->
+              Buffer.add_string buf
+                (Printf.sprintf "    %-24s -> %s\n" label
+                   (match res.Compat.rs_hook with
+                   | Some hook -> Ds_bpf.Hook.to_string hook
+                   | None -> "UNRESOLVED")))
+            (Compat.coverage p t.sv_ds
+               (List.map (fun v -> (v, Config.x86_generic)) Version.all)))
+        probes;
+      Buffer.contents buf
+
+let mismatch_endpoint t query body =
+  if String.length body = 0 then error_json 400 "empty body: POST the BPF object bytes"
+  else
+    match Ds_bpf.Obj.read body with
+    | exception Ds_bpf.Obj.Bad_obj m -> error_json 400 ("bad BPF object: " ^ m)
+    | obj ->
+        let digest =
+          let h = Store.Hash.create () in
+          Store.Hash.string h body;
+          Store.Hash.hex h
+        in
+        let report =
+          indexed t t.ix_mismatch "mismatch" digest (fun () ->
+              Metrics.incr t.sv_metrics "compute.mismatch";
+              Report.render_matrix (Pipeline.analyze t.sv_ds obj))
+        in
+        let report =
+          if List.assoc_opt "suggest" query = Some "1" then report ^ suggestions t obj
+          else report
+        in
+        (200, "text/plain", report)
+
+let metrics_endpoint t =
+  let store_json =
+    match Dataset.store t.sv_ds with
+    | None -> Json.Null
+    | Some s ->
+        let c = Store.stats s in
+        Json.Obj
+          [
+            ("hits", Json.Int c.Store.c_hits);
+            ("misses", Json.Int c.Store.c_misses);
+            ("evictions", Json.Int c.Store.c_evictions);
+            ("writes", Json.Int c.Store.c_writes);
+            ("bytes_read", Json.Int c.Store.c_bytes_read);
+            ("bytes_written", Json.Int c.Store.c_bytes_written);
+          ]
+  in
+  let fields = match Metrics.to_json t.sv_metrics with Json.Obj fs -> fs | _ -> [] in
+  ok_json
+    (Json.Obj
+       (("requests_total", Json.Int (Metrics.counter t.sv_metrics "requests_total"))
+       :: ("compiles", Json.Int (Dataset.compile_count t.sv_ds))
+       :: ("store", store_json)
+       :: ( "index",
+            Json.Obj
+              [
+                ("surfaces", Json.Int (Par.Memo.length t.ix_surface));
+                ("diffs", Json.Int (Par.Memo.length t.ix_diff));
+                ("mismatches", Json.Int (Par.Memo.length t.ix_mismatch));
+              ] )
+       :: fields))
+
+(* ---- routing ------------------------------------------------------- *)
+
+let percent_decode s =
+  let len = String.length s in
+  let b = Buffer.create len in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Some (Char.code c - Char.code '0')
+    | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+    | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+    | _ -> None
+  in
+  let rec go i =
+    if i < len then
+      match s.[i] with
+      | '%' when i + 2 < len -> (
+          match (hex s.[i + 1], hex s.[i + 2]) with
+          | Some hi, Some lo ->
+              Buffer.add_char b (Char.chr ((hi * 16) + lo));
+              go (i + 3)
+          | _ ->
+              Buffer.add_char b '%';
+              go (i + 1))
+      | '+' ->
+          Buffer.add_char b ' ';
+          go (i + 1)
+      | c ->
+          Buffer.add_char b c;
+          go (i + 1)
+  in
+  go 0;
+  Buffer.contents b
+
+let parse_query qs =
+  String.split_on_char '&' qs
+  |> List.filter_map (fun kv ->
+         match String.index_opt kv '=' with
+         | None -> if kv = "" then None else Some (percent_decode kv, "")
+         | Some i ->
+             Some
+               ( percent_decode (String.sub kv 0 i),
+                 percent_decode (String.sub kv (i + 1) (String.length kv - i - 1)) ))
+
+let dispatch t ~meth ~segs ~query ~body =
+  match (meth, segs) with
+  | "GET", [ "healthz" ] -> healthz t
+  | "GET", [ "images" ] -> images t
+  | "GET", [ "surface"; name ] -> surface_endpoint t name query
+  | "GET", [ "diff"; a; b ] -> diff_endpoint t a b
+  | "POST", [ "mismatch" ] -> mismatch_endpoint t query body
+  | "GET", [ "metrics" ] -> metrics_endpoint t
+  | _, ([ "healthz" ] | [ "images" ] | [ "surface"; _ ] | [ "diff"; _; _ ] | [ "metrics" ]) ->
+      error_json 405 ("method not allowed: " ^ meth)
+  | _, [ "mismatch" ] -> error_json 405 "POST the BPF object bytes to /mismatch"
+  | _ -> error_json 404 "no such endpoint (healthz, images, surface, diff, mismatch, metrics)"
+
+let route_label segs =
+  match segs with
+  | [ "healthz" ] -> "/healthz"
+  | [ "images" ] -> "/images"
+  | "surface" :: _ -> "/surface"
+  | "diff" :: _ -> "/diff"
+  | [ "mismatch" ] -> "/mismatch"
+  | [ "metrics" ] -> "/metrics"
+  | _ -> "/other"
+
+let handle_request t ~meth ~target ~body =
+  let path, query =
+    match String.index_opt target '?' with
+    | None -> (target, [])
+    | Some i ->
+        ( String.sub target 0 i,
+          parse_query (String.sub target (i + 1) (String.length target - i - 1)) )
+  in
+  let segs =
+    String.split_on_char '/' path |> List.filter (fun s -> s <> "") |> List.map percent_decode
+  in
+  let label = route_label segs in
+  Metrics.incr t.sv_metrics "requests_total";
+  let t0 = Unix.gettimeofday () in
+  let ((status, _, _) as response) =
+    try dispatch t ~meth ~segs ~query ~body
+    with e -> error_json 500 ("internal error: " ^ Printexc.to_string e)
+  in
+  Metrics.record t.sv_metrics label (Unix.gettimeofday () -. t0);
+  Metrics.incr t.sv_metrics ("requests." ^ label);
+  if status >= 400 then Metrics.incr t.sv_metrics ("errors." ^ label);
+  response
+
+(* ---- HTTP over sockets --------------------------------------------- *)
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s off len in
+    write_all fd s (off + n) (len - n)
+  end
+
+let reason_of = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 431 -> "Request Header Fields Too Large"
+  | 500 -> "Internal Server Error"
+  | _ -> "Unknown"
+
+let send_response fd status ctype body =
+  let msg =
+    Printf.sprintf "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+      status (reason_of status) ctype (String.length body) body
+  in
+  write_all fd msg 0 (String.length msg)
+
+let find_crlfcrlf s =
+  let len = String.length s in
+  let rec go i =
+    if i + 3 >= len then None
+    else if s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n' then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let strip_cr s =
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+
+let max_header_bytes = 65536
+let max_body_bytes = 16 * 1024 * 1024
+
+exception Bad_request of string
+
+(* read one request: request line, headers, Content-Length body *)
+let recv_request fd =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec fill_headers () =
+    match find_crlfcrlf (Buffer.contents buf) with
+    | Some i -> i
+    | None ->
+        if Buffer.length buf > max_header_bytes then raise (Bad_request "headers too large");
+        let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+        if n = 0 then raise (Bad_request "connection closed before headers");
+        Buffer.add_subbytes buf chunk 0 n;
+        fill_headers ()
+  in
+  let hdr_end = fill_headers () in
+  let raw = Buffer.contents buf in
+  let header_text = String.sub raw 0 hdr_end in
+  let request_line, headers =
+    match List.map strip_cr (String.split_on_char '\n' header_text) with
+    | [] -> raise (Bad_request "empty request")
+    | rl :: hs ->
+        ( rl,
+          List.filter_map
+            (fun h ->
+              match String.index_opt h ':' with
+              | None -> None
+              | Some i ->
+                  Some
+                    ( String.lowercase_ascii (String.sub h 0 i),
+                      String.trim (String.sub h (i + 1) (String.length h - i - 1)) ))
+            hs )
+  in
+  let meth, target =
+    match String.split_on_char ' ' request_line with
+    | meth :: target :: _ -> (meth, target)
+    | _ -> raise (Bad_request ("bad request line: " ^ request_line))
+  in
+  let content_length =
+    match List.assoc_opt "content-length" headers with
+    | None -> 0
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some n when n >= 0 && n <= max_body_bytes -> n
+        | _ -> raise (Bad_request ("bad content-length: " ^ v)))
+  in
+  let body_start = hdr_end + 4 in
+  let body_buf = Buffer.create content_length in
+  Buffer.add_string body_buf (String.sub raw body_start (String.length raw - body_start));
+  while Buffer.length body_buf < content_length do
+    let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+    if n = 0 then raise (Bad_request "connection closed before body");
+    Buffer.add_subbytes body_buf chunk 0 n
+  done;
+  (meth, target, String.sub (Buffer.contents body_buf) 0 content_length)
+
+let handle_conn t fd =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* a stuck or byte-dribbling client must not pin a pool worker *)
+      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 30. with Unix.Unix_error _ -> ());
+      match recv_request fd with
+      | exception Bad_request m ->
+          Metrics.incr t.sv_metrics "errors.protocol";
+          (try send_response fd 400 "text/plain" ("bad request: " ^ m ^ "\n")
+           with Unix.Unix_error _ -> ())
+      | exception Unix.Unix_error _ -> Metrics.incr t.sv_metrics "errors.io"
+      | meth, target, body -> (
+          let status, ctype, rbody = handle_request t ~meth ~target ~body in
+          try send_response fd status ctype rbody
+          with Unix.Unix_error _ -> Metrics.incr t.sv_metrics "errors.io"))
+
+type addr = Unix_sock of string | Tcp of string * int
+
+type handle = {
+  h_sock : Unix.file_descr;
+  h_addr : addr;
+  h_stop : bool Atomic.t;
+  mutable h_loop : unit Par.future option;
+  h_path : string option;
+}
+
+let rec accept_loop t h =
+  if not (Atomic.get h.h_stop) then begin
+    (* the accept loop owns one worker for its whole lifetime; on a
+       2-worker pool the submitted connection handlers would otherwise
+       never run (the other "worker" is the caller, and it only helps
+       while blocked in [Par.await]). Draining here keeps any pool size
+       >= 2 live: spare workers race us for the queue, and when there
+       are none we handle the connections ourselves between selects. *)
+    while Par.drain_one t.sv_pool do () done;
+    (* select with a short timeout so [stop] is honoured promptly even
+       with no incoming connections *)
+    match Unix.select [ h.h_sock ] [] [] 0.05 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop t h
+    | [], _, _ -> accept_loop t h
+    | _ :: _, _, _ -> (
+        match Unix.accept h.h_sock with
+        | exception Unix.Unix_error _ -> accept_loop t h
+        | fd, _ ->
+            ignore (Par.submit t.sv_pool (fun () -> handle_conn t fd));
+            accept_loop t h)
+  end
+
+let start t addr =
+  if Par.jobs t.sv_pool < 2 then
+    invalid_arg "Serve.start: the pool needs at least 2 workers (one runs the accept loop)";
+  let domain, sockaddr, path =
+    match addr with
+    | Unix_sock p -> (Unix.PF_UNIX, Unix.ADDR_UNIX p, Some p)
+    | Tcp (host, port) ->
+        (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_of_string host, port), None)
+  in
+  let sock = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (match addr with
+  | Tcp _ -> Unix.setsockopt sock Unix.SO_REUSEADDR true
+  | Unix_sock p -> if Sys.file_exists p then try Unix.unlink p with Unix.Unix_error _ -> ());
+  (try
+     Unix.bind sock sockaddr;
+     Unix.listen sock 64
+   with e ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     raise e);
+  let bound =
+    match addr with
+    | Tcp (host, _) -> (
+        match Unix.getsockname sock with
+        | Unix.ADDR_INET (_, port) -> Tcp (host, port)
+        | _ -> addr)
+    | a -> a
+  in
+  let h = { h_sock = sock; h_addr = bound; h_stop = Atomic.make false; h_loop = None; h_path = path } in
+  h.h_loop <- Some (Par.submit t.sv_pool (fun () -> accept_loop t h));
+  h
+
+let bound_addr h = h.h_addr
+
+let stop h =
+  if not (Atomic.get h.h_stop) then begin
+    Atomic.set h.h_stop true;
+    (match h.h_loop with
+    | Some f -> ( try Par.await f with _ -> ())
+    | None -> ());
+    (try Unix.close h.h_sock with Unix.Unix_error _ -> ());
+    match h.h_path with
+    | Some p -> ( try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())
+    | None -> ()
+  end
+
+(* ---- client -------------------------------------------------------- *)
+
+module Client = struct
+  let read_all fd =
+    let buf = Buffer.create 4096 in
+    let chunk = Bytes.create 4096 in
+    let rec go () =
+      let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+      if n > 0 then begin
+        Buffer.add_subbytes buf chunk 0 n;
+        go ()
+      end
+    in
+    go ();
+    Buffer.contents buf
+
+  let request ?body addr ~meth ~path =
+    let domain, sockaddr =
+      match addr with
+      | Unix_sock p -> (Unix.PF_UNIX, Unix.ADDR_UNIX p)
+      | Tcp (host, port) -> (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+    in
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.connect fd sockaddr;
+        let payload = Option.value ~default:"" body in
+        let req =
+          Printf.sprintf "%s %s HTTP/1.1\r\nHost: depsurf\r\n%sConnection: close\r\n\r\n%s"
+            meth path
+            (if payload = "" then ""
+             else Printf.sprintf "Content-Length: %d\r\n" (String.length payload))
+            payload
+        in
+        write_all fd req 0 (String.length req);
+        let raw = read_all fd in
+        match find_crlfcrlf raw with
+        | None -> failwith "malformed HTTP response (no header terminator)"
+        | Some i ->
+            let status =
+              match String.split_on_char ' ' (List.hd (String.split_on_char '\n' raw)) with
+              | _ :: code :: _ -> (
+                  match int_of_string_opt code with
+                  | Some c -> c
+                  | None -> failwith "malformed HTTP status line")
+              | _ -> failwith "malformed HTTP status line"
+            in
+            (status, String.sub raw (i + 4) (String.length raw - i - 4)))
+end

@@ -1,0 +1,99 @@
+(** [ds_serve]: the dependency-surface query service behind
+    [depsurf serve].
+
+    DepSurf's consumers — verifier-diagnostic tools, supply-chain
+    monitors, CI gates — ask {e per-object, per-kernel} questions
+    ("does this BPF object still attach on 6.8?", "what changed between
+    these two LTS images?"), which is a query workload, not a batch
+    workload. This module turns the batch pipeline into a long-running
+    server:
+
+    - a minimal hand-rolled HTTP/1.1 + JSON protocol over Unix or TCP
+      sockets (no external dependencies);
+    - a concurrent accept loop on the existing {!Ds_util.Par} domain
+      pool — one worker runs the listener, the rest handle connections;
+    - a warm {e in-memory hot index} (image → rendered surface document,
+      pair → rendered diff, object digest → rendered mismatch report)
+      hydrated lazily through the dataset's memo tables and the
+      {!Ds_store} persistent tier, so the first query for an artifact
+      pays the compile/extract cost once and every later query is a
+      string lookup;
+    - single-flight hydration: concurrent requests for the same uncached
+      artifact coalesce into one computation via {!Ds_util.Par.Memo};
+    - per-endpoint metrics ({!Ds_util.Metrics}): request counters,
+      error counters, and latency histograms with p50/p95/p99.
+
+    Endpoints:
+
+    - [GET /healthz] — liveness + index occupancy;
+    - [GET /images] — every queryable image (study matrix + extra
+      on-disk images);
+    - [GET /surface/<image>] — a full surface document, health included
+      (degraded images answer HTTP 200 with ["health": "degraded"],
+      never a 500); [?kind=func|struct|tracepoint|syscall&name=X]
+      narrows to one construct;
+    - [GET /diff/<a>/<b>] — the pairwise declaration diff;
+    - [POST /mismatch] — body: raw BPF object bytes; response: the
+      per-image dependency-mismatch report, byte-identical to
+      [depsurf report] for the same object; [?suggest=1] appends
+      stable-probe suggestions from the {!Depsurf.Compat} registry;
+    - [GET /metrics] — counters, latency histograms, store counters,
+      compile count and index sizes. *)
+
+open Ds_ksrc
+
+type t
+(** Server state: dataset + hot index + metrics. Independent of any
+    socket, so tests can drive {!handle_request} directly. *)
+
+val create : ?images_dir:string -> ds:Depsurf.Dataset.t -> pool:Ds_util.Par.pool -> unit -> t
+(** [images_dir]: serve surfaces (extracted leniently, on demand) for
+    every [vmlinux-*] file in the directory, keyed by file name, in
+    addition to the study matrix. The pool must have at least 2 workers
+    when used with {!start} (one runs the accept loop). *)
+
+val metrics : t -> Ds_util.Metrics.t
+val dataset : t -> Depsurf.Dataset.t
+
+val image_name : Version.t * Config.t -> string
+(** URL name of a study image, e.g. ["5.4-x86-generic"]. *)
+
+val image_of_name : string -> (Version.t * Config.t) option
+(** Inverse of {!image_name}; [None] when not in the study matrix. *)
+
+val handle_request : t -> meth:string -> target:string -> body:string -> int * string * string
+(** Route and answer one request: [(status, content_type, body)]. Never
+    raises — internal errors become a 500 document. Exposed for unit
+    tests and in-process callers. *)
+
+(** {2 Socket front-end} *)
+
+type addr =
+  | Unix_sock of string  (** path of a Unix domain socket *)
+  | Tcp of string * int  (** host, port; port [0] picks a free port *)
+
+type handle
+
+val start : t -> addr -> handle
+(** Bind, listen, and submit the accept loop to the pool. Raises
+    [Invalid_argument] on a pool with fewer than 2 workers (the loop
+    would starve the connection handlers), [Unix.Unix_error] on bind
+    failures. *)
+
+val bound_addr : handle -> addr
+(** The actual address — with [Tcp (host, 0)] the kernel-chosen port. *)
+
+val stop : handle -> unit
+(** Stop accepting, wait for the accept loop to exit, close the
+    listener (and unlink a Unix socket path). In-flight connection
+    handlers drain through the pool. Idempotent. *)
+
+(** A minimal blocking HTTP/1.1 client for the same protocol: the load
+    generator, the CLI's [depsurf query], and the e2e tests. *)
+module Client : sig
+  val request : ?body:string -> addr -> meth:string -> path:string -> int * string
+  (** One request over a fresh connection; [(status, body)]. [body]
+      present sends a [Content-Length] payload (used with [POST]).
+      Raises [Unix.Unix_error] on connection failures and [Failure] on
+      malformed responses. *)
+end

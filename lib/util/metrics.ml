@@ -1,0 +1,109 @@
+type hist = { h_mutex : Mutex.t; h_res : Stats.Reservoir.t }
+
+type t = {
+  m_mutex : Mutex.t;  (** guards the two registries *)
+  m_counters : (string, int ref) Hashtbl.t;
+  m_hists : (string, hist) Hashtbl.t;
+}
+
+let create () =
+  { m_mutex = Mutex.create (); m_counters = Hashtbl.create 16; m_hists = Hashtbl.create 16 }
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let incr ?(by = 1) t name =
+  with_lock t.m_mutex (fun () ->
+      match Hashtbl.find_opt t.m_counters name with
+      | Some r -> r := !r + by
+      | None -> Hashtbl.replace t.m_counters name (ref by))
+
+let counter t name =
+  with_lock t.m_mutex (fun () ->
+      match Hashtbl.find_opt t.m_counters name with Some r -> !r | None -> 0)
+
+let counters t =
+  with_lock t.m_mutex (fun () ->
+      List.sort compare (Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.m_counters []))
+
+(* per-label histogram seeded from the label so the subsampling is
+   deterministic across runs *)
+let hist_of t label =
+  with_lock t.m_mutex (fun () ->
+      match Hashtbl.find_opt t.m_hists label with
+      | Some h -> h
+      | None ->
+          let seed =
+            String.fold_left (fun acc c -> Int64.add (Int64.mul acc 31L) (Int64.of_int (Char.code c))) 7L label
+          in
+          let h = { h_mutex = Mutex.create (); h_res = Stats.Reservoir.create ~seed () } in
+          Hashtbl.replace t.m_hists label h;
+          h)
+
+let record t label seconds =
+  let h = hist_of t label in
+  with_lock h.h_mutex (fun () -> Stats.Reservoir.add h.h_res seconds)
+
+let time t label f =
+  let t0 = Unix.gettimeofday () in
+  let finally () =
+    record t label (Unix.gettimeofday () -. t0);
+    incr t (label ^ ".count")
+  in
+  Fun.protect ~finally f
+
+type latency = {
+  l_count : int;
+  l_mean_ms : float;
+  l_p50_ms : float;
+  l_p95_ms : float;
+  l_p99_ms : float;
+  l_max_ms : float;
+}
+
+let snapshot_hist h =
+  with_lock h.h_mutex (fun () ->
+      let r = h.h_res in
+      if Stats.Reservoir.count r = 0 then None
+      else
+        let ms v = v *. 1000. in
+        Some
+          {
+            l_count = Stats.Reservoir.count r;
+            l_mean_ms = ms (Stats.Reservoir.mean r);
+            l_p50_ms = ms (Stats.Reservoir.quantile r 0.5);
+            l_p95_ms = ms (Stats.Reservoir.quantile r 0.95);
+            l_p99_ms = ms (Stats.Reservoir.quantile r 0.99);
+            l_max_ms = ms (Stats.Reservoir.max_seen r);
+          })
+
+let latency t label =
+  let h = with_lock t.m_mutex (fun () -> Hashtbl.find_opt t.m_hists label) in
+  Option.bind h snapshot_hist
+
+let latencies t =
+  let hs =
+    with_lock t.m_mutex (fun () ->
+        List.sort compare (Hashtbl.fold (fun k h acc -> (k, h) :: acc) t.m_hists []))
+  in
+  List.filter_map (fun (k, h) -> Option.map (fun l -> (k, l)) (snapshot_hist h)) hs
+
+let to_json t =
+  let counters_json = List.map (fun (k, v) -> (k, Json.Int v)) (counters t) in
+  let lat_json =
+    List.map
+      (fun (k, l) ->
+        ( k,
+          Json.Obj
+            [
+              ("count", Json.Int l.l_count);
+              ("mean", Json.Float l.l_mean_ms);
+              ("p50", Json.Float l.l_p50_ms);
+              ("p95", Json.Float l.l_p95_ms);
+              ("p99", Json.Float l.l_p99_ms);
+              ("max", Json.Float l.l_max_ms);
+            ] ))
+      (latencies t)
+  in
+  Json.Obj [ ("counters", Json.Obj counters_json); ("latency_ms", Json.Obj lat_json) ]

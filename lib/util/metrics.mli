@@ -1,0 +1,49 @@
+(** Domain-safe operational metrics for the query server (and any other
+    long-running component): named monotonic counters plus per-label
+    latency histograms backed by {!Stats.Reservoir}, so p50/p95/p99 stay
+    O(capacity) in memory under unbounded request streams.
+
+    One mutex guards the registry; counter bumps and latency records are
+    a few instructions under the lock, so worker domains of a
+    {!Par.pool} can share a single [t]. *)
+
+type t
+
+val create : unit -> t
+
+val incr : ?by:int -> t -> string -> unit
+(** Bump a named counter (created at zero on first use). *)
+
+val counter : t -> string -> int
+(** Current value; [0] for a counter never bumped. *)
+
+val counters : t -> (string * int) list
+(** Every counter, sorted by name. *)
+
+val record : t -> string -> float -> unit
+(** [record t label seconds]: add one latency observation to [label]'s
+    histogram (created on first use). *)
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** Run the thunk, {!record} its wall-clock duration under [label] and
+    bump the [label ^ ".count"] counter. The duration is recorded (and
+    the exception re-raised) when the thunk fails. *)
+
+type latency = {
+  l_count : int;  (** observations recorded *)
+  l_mean_ms : float;
+  l_p50_ms : float;
+  l_p95_ms : float;
+  l_p99_ms : float;
+  l_max_ms : float;
+}
+
+val latency : t -> string -> latency option
+(** [None] for a label with no observations. *)
+
+val latencies : t -> (string * latency) list
+(** Every histogram, sorted by label. *)
+
+val to_json : t -> Json.t
+(** [{"counters": {...}, "latency_ms": {label: {count, mean, p50, p95,
+    p99, max}}}] — the [/metrics] document, stable key order. *)

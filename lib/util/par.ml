@@ -108,6 +108,8 @@ let rec await fut =
           Mutex.unlock fut.f_mutex;
           await fut)
 
+let drain_one p = match try_pop p with Some t -> finish t; true | None -> false
+
 let map_list p f xs = List.map await (List.map (fun x -> submit p (fun () -> f x)) xs)
 
 let map_reduce p ~map ~reduce ~init xs =

@@ -30,6 +30,12 @@ val await : 'a future -> 'a
     same pool while waiting. Re-raises the task's exception (with its
     backtrace) if it failed. *)
 
+val drain_one : pool -> bool
+(** Pop one queued task and run it on the calling thread; [false] when
+    the queue is empty. Lets a long-lived task that occupies a worker
+    (e.g. a server's accept loop) keep the rest of the queue moving on
+    a small pool instead of starving it. *)
+
 val map_list : pool -> ('a -> 'b) -> 'a list -> 'b list
 (** Parallel [List.map]; results are in input order. The first failing
     element's exception (in input order) is re-raised. *)

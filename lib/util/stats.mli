@@ -1,5 +1,6 @@
-(** Small numeric helpers shared by the diff summaries and the bench
-    harness. *)
+(** Numeric statistics shared by the diff summaries, the bench harness
+    and the {!Metrics} latency histograms: means, spreads, quantiles, and
+    a bounded sampling reservoir for unbounded measurement streams. *)
 
 val percent : int -> int -> float
 (** [percent part whole] is [100 * part / whole], or [0.] when [whole = 0]. *)
@@ -7,6 +8,56 @@ val percent : int -> int -> float
 val mean : float list -> float
 (** Arithmetic mean; [0.] on the empty list. *)
 
+val stddev : float list -> float
+(** Population standard deviation; [0.] on fewer than two samples. *)
+
+val quantile : float -> float list -> float
+(** [quantile q xs] for [q] in [[0, 1]]: the linearly-interpolated
+    q-quantile of the samples (so [quantile 0.5] is the median and
+    [quantile 1.] the maximum). [0.] on the empty list; [q] is clamped
+    to [[0, 1]]. *)
+
+val max_over : ('a -> float) -> 'a list -> float
+(** Largest [f x] over the list; [0.] on the empty list. *)
+
 val ratio_scaled : int -> float -> int
 (** [ratio_scaled n rate] is [round (n * rate)], clamped to [>= 0]. Used to
     turn calibrated rates into integer counts. *)
+
+(** A fixed-capacity sampling reservoir (algorithm R with the repo's
+    deterministic {!Prng}): feed it any number of samples, read back an
+    unbiased bounded subset plus exact count/mean. Latency histograms keep
+    one reservoir per endpoint so memory stays O(capacity) under
+    arbitrarily long request streams. Not domain-safe on its own —
+    {!Metrics} adds the locking. *)
+module Reservoir : sig
+  type t
+
+  val create : ?capacity:int -> ?seed:int64 -> unit -> t
+  (** [capacity] defaults to 512 samples; [seed] (default 0) makes the
+      subsampling deterministic for tests. *)
+
+  val add : t -> float -> unit
+
+  val count : t -> int
+  (** Total samples offered, including any no longer retained. *)
+
+  val kept : t -> int
+  (** Samples currently retained ([min count capacity]). *)
+
+  val values : t -> float list
+  (** The retained samples (unordered). *)
+
+  val mean : t -> float
+  (** Exact mean over {e all} samples ever offered (running sum), not
+      just the retained subset. *)
+
+  val max_seen : t -> float
+  (** Exact maximum over all samples ever offered; [0.] when empty. *)
+
+  val stddev : t -> float
+  (** Standard deviation of the retained subset. *)
+
+  val quantile : t -> float -> float
+  (** Quantile of the retained subset (exact until [count > capacity]). *)
+end

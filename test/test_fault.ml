@@ -172,6 +172,51 @@ let qcheck_garbage_input_fatal_not_crash =
           false
       | Faultgen.Degraded | Faultgen.Fatal -> true)
 
+(* A degraded surface must be visible in the mismatch report: the image
+   row (and the legend) carry the [~] marker end-to-end, from
+   [Surface.s_health] through [Report.matrix_of_surfaces] to the
+   rendered matrix — the same path [depsurf serve]'s /mismatch uses. *)
+let test_degraded_matrix_marker () =
+  let ds = Dataset.build ~seed:Testenv.seed Calibration.test_scale in
+  let obj =
+    snd
+      (List.find
+         (fun ((p : Ds_corpus.Table7.profile), _) -> p.pr_name = "biotop")
+         (Ds_corpus.Corpus.build_all ds ()))
+  in
+  let base_img = (Version.v 5 4, Config.x86_generic) in
+  let target_img = (Version.v 4 4, Config.x86_generic) in
+  let base = Dataset.surface ds (fst base_img) (snd base_img) in
+  let clean_target = Dataset.surface ds (fst target_img) (snd target_img) in
+  let degraded_target =
+    Surface.with_health
+      [ Diag.v Diag.Degraded ~component:"surface" "dwarf section truncated" ]
+      clean_target
+  in
+  let render target =
+    Report.render_matrix
+      (Report.matrix_of_surfaces
+         ~baseline:(base_img, base)
+         ~targets:[ (target_img, target) ]
+         obj)
+  in
+  let clean_report = render clean_target in
+  let degraded_report = render degraded_target in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "degraded row marked" true (contains degraded_report "~ v4.4");
+  Alcotest.(check bool) "legend explains the marker" true
+    (contains degraded_report "~ degraded image");
+  Alcotest.(check bool) "clean row unmarked" false (contains clean_report "~ v4.4");
+  Alcotest.(check bool) "clean legend unmarked" false (contains clean_report "~ degraded image");
+  (* apart from the marker and legend, the statuses are the same: a
+     degraded image changes presentation, never the analysis *)
+  Alcotest.(check bool) "same width modulo marker" true
+    (String.length degraded_report >= String.length clean_report)
+
 let suites =
   [
     ( "fault",
@@ -186,6 +231,8 @@ let suites =
         Alcotest.test_case "clean image: lenient == strict" `Quick
           test_clean_lenient_equals_strict;
         Alcotest.test_case "corpus determinism" `Quick test_determinism;
+        Alcotest.test_case "degraded matrix carries ~ marker" `Quick
+          test_degraded_matrix_marker;
         QCheck_alcotest.to_alcotest qcheck_random_flip_no_crash;
         QCheck_alcotest.to_alcotest qcheck_random_truncation_no_crash;
         QCheck_alcotest.to_alcotest qcheck_garbage_input_fatal_not_crash;

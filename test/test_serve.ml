@@ -1,0 +1,266 @@
+(* The query server: routing, the hot index's single-flight guarantee,
+   /mismatch byte-identity with the CLI report path, and the socket
+   front-end (Unix + TCP) with its minimal client. Sockets stay inside
+   this process — the cross-process end-to-end lives in
+   bin/test_serve_cli.sh under the @check alias. *)
+
+open Ds_ksrc
+open Depsurf
+module Serve = Ds_serve.Serve
+module Par = Ds_util.Par
+module Json = Ds_util.Json
+module Metrics = Ds_util.Metrics
+module Diag = Ds_util.Diag
+module Faultgen = Ds_faultgen.Faultgen
+
+let ds = lazy (Dataset.build ~seed:Testenv.seed Calibration.test_scale)
+
+let with_server ?images_dir f =
+  Par.run ~jobs:4 (fun pool ->
+      f (Serve.create ?images_dir ~ds:(Lazy.force ds) ~pool ()) pool)
+
+let get t target = Serve.handle_request t ~meth:"GET" ~target ~body:""
+
+let member_str name j =
+  match Json.member name j with Some (Json.String s) -> s | _ -> "<missing>"
+
+(* ---- naming -------------------------------------------------------- *)
+
+let test_image_names () =
+  List.iter
+    (fun img ->
+      let name = Serve.image_name img in
+      match Serve.image_of_name name with
+      | Some img' -> Alcotest.(check bool) name true (img = img')
+      | None -> Alcotest.fail ("image_of_name failed on " ^ name))
+    Dataset.study_images;
+  Alcotest.(check bool) "v5.4 x86 generic" true
+    (Serve.image_of_name "5.4-x86-generic" = Some (Version.v 5 4, Config.x86_generic));
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool) ("reject " ^ bad) true (Serve.image_of_name bad = None))
+    [ "9.9-x86-generic"; "5.4-mips-generic"; "5.4-x86"; "5.4-x86-generic-extra"; "" ]
+
+(* ---- routing ------------------------------------------------------- *)
+
+let test_routing () =
+  with_server @@ fun t _ ->
+  let st, ct, body = get t "/healthz" in
+  Alcotest.(check int) "healthz status" 200 st;
+  Alcotest.(check string) "healthz type" "application/json" ct;
+  Alcotest.(check string) "healthz ok" "ok" (member_str "status" (Json.of_string body));
+  let st, _, _ = get t "/no/such/endpoint" in
+  Alcotest.(check int) "unknown -> 404" 404 st;
+  let st, _, _ = Serve.handle_request t ~meth:"POST" ~target:"/images" ~body:"" in
+  Alcotest.(check int) "POST /images -> 405" 405 st;
+  let st, _, _ = get t "/mismatch" in
+  Alcotest.(check int) "GET /mismatch -> 405" 405 st;
+  let st, _, _ = get t "/surface/4.4-x86-generic?kind=func" in
+  Alcotest.(check int) "kind without name -> 400" 400 st;
+  let st, _, _ = get t "/surface/9.9-x86-generic" in
+  Alcotest.(check int) "unknown image -> 404" 404 st;
+  let images = get t "/images" in
+  let _, _, body = images in
+  match Json.member "images" (Json.of_string body) with
+  | Some (Json.List l) ->
+      Alcotest.(check int) "25 study images" 25 (List.length l)
+  | _ -> Alcotest.fail "/images lacks an images list"
+
+let test_surface_queries () =
+  with_server @@ fun t _ ->
+  let st, _, body = get t "/surface/4.4-x86-generic" in
+  Alcotest.(check int) "surface status" 200 st;
+  let j = Json.of_string body in
+  Alcotest.(check string) "clean health" "clean" (member_str "health" j);
+  Alcotest.(check string) "version field" "v4.4" (member_str "version" j);
+  let st, _, body = get t "/surface/4.4-x86-generic?kind=func&name=vfs_fsync" in
+  Alcotest.(check int) "filtered status" 200 st;
+  let j = Json.of_string body in
+  Alcotest.(check string) "filtered name" "vfs_fsync" (member_str "name" j);
+  Alcotest.(check bool) "filtered entry present" true (Json.member "entry" j <> None);
+  let st, _, _ = get t "/surface/4.4-x86-generic?kind=func&name=no_such_fn_zzz" in
+  Alcotest.(check int) "absent construct -> 404" 404 st;
+  let st, _, _ = get t "/surface/4.4-x86-generic?kind=gadget&name=x" in
+  Alcotest.(check int) "bad kind -> 400" 400 st
+
+(* ---- single-flight hydration ---------------------------------------- *)
+
+let test_single_flight () =
+  with_server @@ fun t pool ->
+  let futures =
+    List.init 8 (fun _ -> Par.submit pool (fun () -> get t "/surface/4.8-x86-generic"))
+  in
+  let responses = List.map Par.await futures in
+  List.iter (fun (st, _, _) -> Alcotest.(check int) "all 200" 200 st) responses;
+  (match responses with
+  | (_, _, first) :: rest ->
+      List.iter
+        (fun (_, _, body) -> Alcotest.(check bool) "identical bodies" true (body = first))
+        rest
+  | [] -> Alcotest.fail "no responses");
+  let m = Serve.metrics t in
+  Alcotest.(check int) "one index fill" 1 (Metrics.counter m "index.fill.surface");
+  Alcotest.(check int) "one surface render" 1 (Metrics.counter m "compute.surface");
+  (* a second wave is all index hits *)
+  let hits0 = Metrics.counter m "index.hit.surface" in
+  let _ = get t "/surface/4.8-x86-generic" in
+  Alcotest.(check int) "warm hit" (hits0 + 1) (Metrics.counter m "index.hit.surface");
+  Alcotest.(check int) "still one fill" 1 (Metrics.counter m "index.fill.surface")
+
+(* ---- /mismatch ------------------------------------------------------ *)
+
+let corpus_obj name =
+  let built = Ds_corpus.Corpus.build_all (Lazy.force ds) () in
+  snd (List.find (fun ((p : Ds_corpus.Table7.profile), _) -> p.pr_name = name) built)
+
+let test_mismatch_identity () =
+  let obj = corpus_obj "biotop" in
+  let bytes = Ds_bpf.Obj.write obj in
+  with_server @@ fun t _ ->
+  let st, ct, body = Serve.handle_request t ~meth:"POST" ~target:"/mismatch" ~body:bytes in
+  Alcotest.(check int) "mismatch status" 200 st;
+  Alcotest.(check string) "mismatch type" "text/plain" ct;
+  let expected = Report.render_matrix (Pipeline.analyze (Lazy.force ds) obj) in
+  Alcotest.(check string) "byte-identical to the CLI report" expected body;
+  let _ = Serve.handle_request t ~meth:"POST" ~target:"/mismatch" ~body:bytes in
+  let m = Serve.metrics t in
+  Alcotest.(check int) "report rendered once" 1 (Metrics.counter m "compute.mismatch");
+  Alcotest.(check int) "second POST hits the index" 1 (Metrics.counter m "index.hit.mismatch");
+  let st, _, _ = Serve.handle_request t ~meth:"POST" ~target:"/mismatch" ~body:"garbage" in
+  Alcotest.(check int) "garbage -> 400" 400 st;
+  let st, _, _ = Serve.handle_request t ~meth:"POST" ~target:"/mismatch" ~body:"" in
+  Alcotest.(check int) "empty -> 400" 400 st
+
+(* ---- /metrics ------------------------------------------------------- *)
+
+let test_metrics_document () =
+  with_server @@ fun t _ ->
+  let _ = get t "/healthz" in
+  let _ = get t "/diff/4.4-x86-generic/5.4-x86-generic" in
+  let st, _, body = get t "/metrics" in
+  Alcotest.(check int) "metrics status" 200 st;
+  let j = Json.of_string body in
+  (match Json.member "requests_total" j with
+  | Some (Json.Int n) -> Alcotest.(check bool) "requests counted" true (n >= 3)
+  | _ -> Alcotest.fail "no requests_total");
+  Alcotest.(check bool) "compiles exposed" true (Json.member "compiles" j <> None);
+  Alcotest.(check bool) "index sizes exposed" true (Json.member "index" j <> None);
+  match Json.member "latency_ms" j with
+  | Some (Json.Obj labels) ->
+      Alcotest.(check bool) "diff latency histogram" true (List.mem_assoc "/diff" labels)
+  | _ -> Alcotest.fail "no latency_ms"
+
+(* ---- sockets -------------------------------------------------------- *)
+
+let temp_sock () =
+  let path = Filename.temp_file "dsserve" ".sock" in
+  Sys.remove path;
+  path
+
+let test_unix_socket_roundtrip () =
+  with_server @@ fun t _ ->
+  let path = temp_sock () in
+  let addr = Serve.Unix_sock path in
+  let h = Serve.start t addr in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.stop h;
+      Serve.stop h (* idempotent *))
+    (fun () ->
+      let st, body = Serve.Client.request addr ~meth:"GET" ~path:"/healthz" in
+      Alcotest.(check int) "healthz over unix socket" 200 st;
+      Alcotest.(check string) "status ok" "ok" (member_str "status" (Json.of_string body));
+      (* several sequential clients on fresh connections *)
+      for _ = 1 to 5 do
+        let st, _ = Serve.Client.request addr ~meth:"GET" ~path:"/images" in
+        Alcotest.(check int) "images over unix socket" 200 st
+      done);
+  Alcotest.(check bool) "socket unlinked on stop" false (Sys.file_exists path)
+
+let test_tcp_roundtrip () =
+  with_server @@ fun t _ ->
+  let h = Serve.start t (Serve.Tcp ("127.0.0.1", 0)) in
+  Fun.protect
+    ~finally:(fun () -> Serve.stop h)
+    (fun () ->
+      let addr = Serve.bound_addr h in
+      (match addr with
+      | Serve.Tcp (_, port) -> Alcotest.(check bool) "kernel-chosen port" true (port > 0)
+      | _ -> Alcotest.fail "expected a TCP bound address");
+      let st, _ = Serve.Client.request addr ~meth:"GET" ~path:"/healthz" in
+      Alcotest.(check int) "healthz over tcp" 200 st)
+
+let test_start_requires_two_workers () =
+  Par.run ~jobs:1 (fun pool ->
+      let t = Serve.create ~ds:(Lazy.force ds) ~pool () in
+      match Serve.start t (Serve.Tcp ("127.0.0.1", 0)) with
+      | _ -> Alcotest.fail "start on a 1-worker pool must be rejected"
+      | exception Invalid_argument _ -> ())
+
+(* ---- degraded file-backed images ------------------------------------ *)
+
+(* zero a mid-file region so lenient extraction is degraded — not clean,
+   not fatal — and the served document must carry ["health": "degraded"]
+   (same mutation the doctor e2e uses to trigger exit code 2) *)
+let degraded_image_bytes () =
+  let data = Ds_elf.Elf.write (Testenv.image (Version.v 5 4)) in
+  let len = String.length data in
+  let is_degraded m =
+    Diag.worst (Surface.health (Surface.extract_lenient m)) = Some Diag.Degraded
+  in
+  let rec go = function
+    | [] -> Alcotest.fail "no degrading mutation found"
+    | pos :: rest ->
+        let m = Faultgen.zero_range data ~pos ~len:512 in
+        if is_degraded m then m else go rest
+  in
+  go [ len / 3; len / 2; len / 4; 2 * len / 3 ]
+
+let test_degraded_file_image_is_200 () =
+  let dir = Filename.temp_file "dsserve" ".images" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let oc = open_out_bin (Filename.concat dir "vmlinux-broken") in
+  output_string oc (degraded_image_bytes ());
+  close_out oc;
+  with_server ~images_dir:dir @@ fun t _ ->
+  let st, _, body = get t "/images" in
+  Alcotest.(check int) "images status" 200 st;
+  Alcotest.(check bool) "file image listed" true
+    (let rec mem = function
+       | [] -> false
+       | Json.Obj fields :: rest ->
+           List.assoc_opt "name" fields = Some (Json.String "vmlinux-broken") || mem rest
+       | _ :: rest -> mem rest
+     in
+     match Json.member "images" (Json.of_string body) with
+     | Some (Json.List l) -> mem l
+     | _ -> false);
+  let st, _, body = get t "/surface/vmlinux-broken" in
+  Alcotest.(check int) "degraded image answers 200" 200 st;
+  let j = Json.of_string body in
+  Alcotest.(check string) "health degraded" "degraded" (member_str "health" j);
+  match Json.member "diagnostics" j with
+  | Some (Json.List (_ :: _)) -> ()
+  | _ -> Alcotest.fail "degraded surface must list its diagnostics"
+
+let suites =
+  [
+    ( "serve",
+      [
+        Alcotest.test_case "image names" `Quick test_image_names;
+        Alcotest.test_case "routing" `Quick test_routing;
+        Alcotest.test_case "surface queries" `Quick test_surface_queries;
+        Alcotest.test_case "single-flight hydration" `Quick test_single_flight;
+        Alcotest.test_case "mismatch byte-identity" `Slow test_mismatch_identity;
+        Alcotest.test_case "metrics document" `Quick test_metrics_document;
+      ] );
+    ( "serve.socket",
+      [
+        Alcotest.test_case "unix socket roundtrip" `Quick test_unix_socket_roundtrip;
+        Alcotest.test_case "tcp roundtrip" `Quick test_tcp_roundtrip;
+        Alcotest.test_case "1-worker pool rejected" `Quick test_start_requires_two_workers;
+        Alcotest.test_case "degraded file image answers 200" `Quick
+          test_degraded_file_image_is_200;
+      ] );
+  ]

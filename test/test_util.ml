@@ -134,7 +134,82 @@ let test_stats () =
   Alcotest.(check (float 1e-9)) "percent" 25. (Stats.percent 1 4);
   Alcotest.(check (float 1e-9)) "percent zero whole" 0. (Stats.percent 1 0);
   Alcotest.(check (float 1e-9)) "mean" 2. (Stats.mean [ 1.; 2.; 3. ]);
-  Alcotest.(check int) "ratio" 24 (Stats.ratio_scaled 100 0.24)
+  Alcotest.(check int) "ratio" 24 (Stats.ratio_scaled 100 0.24);
+  Alcotest.(check (float 1e-9)) "stddev" (sqrt (2. /. 3.)) (Stats.stddev [ 1.; 2.; 3. ]);
+  Alcotest.(check (float 1e-9)) "max_over" 3. (Stats.max_over Float.abs [ 1.; -3.; 2. ])
+
+let test_quantile () =
+  let xs = [ 1.; 2.; 3.; 4.; 5. ] in
+  Alcotest.(check (float 1e-9)) "median" 3. (Stats.quantile 0.5 xs);
+  Alcotest.(check (float 1e-9)) "min" 1. (Stats.quantile 0. xs);
+  Alcotest.(check (float 1e-9)) "max" 5. (Stats.quantile 1. xs);
+  Alcotest.(check (float 1e-9)) "interpolated p75" 4. (Stats.quantile 0.75 xs);
+  Alcotest.(check (float 1e-9)) "clamped above" 5. (Stats.quantile 2. xs);
+  Alcotest.(check (float 1e-9)) "clamped below" 1. (Stats.quantile (-1.) xs);
+  Alcotest.(check (float 1e-9)) "unsorted input" 3. (Stats.quantile 0.5 [ 5.; 1.; 3.; 2.; 4. ]);
+  Alcotest.(check (float 1e-9)) "empty" 0. (Stats.quantile 0.5 []);
+  Alcotest.(check (float 1e-9)) "singleton" 7. (Stats.quantile 0.99 [ 7. ])
+
+let test_reservoir () =
+  let r = Stats.Reservoir.create ~capacity:16 () in
+  for i = 1 to 10 do
+    Stats.Reservoir.add r (float_of_int i)
+  done;
+  (* under capacity: exact *)
+  Alcotest.(check int) "count" 10 (Stats.Reservoir.count r);
+  Alcotest.(check int) "kept all" 10 (Stats.Reservoir.kept r);
+  Alcotest.(check (float 1e-9)) "mean" 5.5 (Stats.Reservoir.mean r);
+  Alcotest.(check (float 1e-9)) "max" 10. (Stats.Reservoir.max_seen r);
+  Alcotest.(check (float 1e-9)) "median" 5.5 (Stats.Reservoir.quantile r 0.5);
+  (* over capacity: the sample is bounded but mean/max stay exact *)
+  let r = Stats.Reservoir.create ~capacity:8 ~seed:1L () in
+  for i = 1 to 1000 do
+    Stats.Reservoir.add r (float_of_int i)
+  done;
+  Alcotest.(check int) "count over capacity" 1000 (Stats.Reservoir.count r);
+  Alcotest.(check int) "kept bounded" 8 (Stats.Reservoir.kept r);
+  Alcotest.(check (float 1e-9)) "exact mean" 500.5 (Stats.Reservoir.mean r);
+  Alcotest.(check (float 1e-9)) "exact max" 1000. (Stats.Reservoir.max_seen r);
+  List.iter
+    (fun v -> Alcotest.(check bool) "samples from the stream" true (v >= 1. && v <= 1000.))
+    (Stats.Reservoir.values r);
+  (* deterministic under a fixed seed *)
+  let run () =
+    let r = Stats.Reservoir.create ~capacity:4 ~seed:9L () in
+    for i = 1 to 100 do
+      Stats.Reservoir.add r (float_of_int i)
+    done;
+    Stats.Reservoir.values r
+  in
+  Alcotest.(check bool) "seeded determinism" true (run () = run ())
+
+let test_metrics () =
+  let m = Metrics.create () in
+  Metrics.incr m "a";
+  Metrics.incr ~by:3 m "a";
+  Metrics.incr m "b";
+  Alcotest.(check int) "counter" 4 (Metrics.counter m "a");
+  Alcotest.(check int) "unknown counter" 0 (Metrics.counter m "zzz");
+  Alcotest.(check bool) "sorted counters" true (Metrics.counters m = [ ("a", 4); ("b", 1) ]);
+  Metrics.record m "lat" 0.010;
+  Metrics.record m "lat" 0.020;
+  (match Metrics.latency m "lat" with
+  | None -> Alcotest.fail "latency lost"
+  | Some l ->
+      Alcotest.(check int) "latency count" 2 l.Metrics.l_count;
+      Alcotest.(check (float 1e-6)) "latency mean ms" 15. l.Metrics.l_mean_ms;
+      Alcotest.(check (float 1e-6)) "latency max ms" 20. l.Metrics.l_max_ms);
+  Alcotest.(check bool) "no such histogram" true (Metrics.latency m "zzz" = None);
+  let v = Metrics.time m "timed" (fun () -> 42) in
+  Alcotest.(check int) "time passes value through" 42 v;
+  Alcotest.(check int) "time bumps count" 1 (Metrics.counter m "timed.count");
+  (match Metrics.time m "boom" (fun () -> failwith "x") with
+  | _ -> Alcotest.fail "exception swallowed"
+  | exception Failure _ -> ());
+  Alcotest.(check bool) "failed run still recorded" true (Metrics.latency m "boom" <> None);
+  match Metrics.to_json m with
+  | Json.Obj [ ("counters", Json.Obj _); ("latency_ms", Json.Obj _) ] -> ()
+  | _ -> Alcotest.fail "metrics json shape"
 
 let qcheck_leb128 =
   QCheck.Test.make ~name:"uleb128 roundtrip" ~count:500
@@ -188,5 +263,11 @@ let suites =
         Alcotest.test_case "bar" `Quick test_table_bar;
         Alcotest.test_case "formats" `Quick test_table_formats;
         Alcotest.test_case "stats" `Quick test_stats;
+      ] );
+    ( "util.stats",
+      [
+        Alcotest.test_case "quantile" `Quick test_quantile;
+        Alcotest.test_case "reservoir" `Quick test_reservoir;
+        Alcotest.test_case "metrics" `Quick test_metrics;
       ] );
   ]
