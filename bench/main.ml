@@ -66,7 +66,7 @@ let read_file path =
 let pr_number =
   match Option.bind (Sys.getenv_opt "DEPSURF_PR") int_of_string_opt with
   | Some n -> n
-  | None -> 4
+  | None -> 5
 
 let with_trajectory path ~metric fields =
   let open Json in
@@ -788,8 +788,9 @@ let ablation_threshold () =
   List.iter
     (fun threshold ->
       let model = Ds_kcc.Compile.compile ~inline_threshold:threshold src Config.x86_generic in
-      let img = Ds_elf.Elf.read (Ds_elf.Elf.write (Ds_kcc.Emit.emit model)) in
-      let s = Surface.extract img in
+      let s =
+        Ds_util.Diag.ok (Surface.extract (Ds_elf.Elf.write (Ds_kcc.Emit.emit model)))
+      in
       let c = Func_status.inline_census s in
       Printf.printf "  threshold %2d: full %4.1f%%  selective %4.1f%%\n" threshold
         (Stats.percent c.Func_status.ic_full c.Func_status.ic_total)
@@ -810,11 +811,12 @@ let perf () =
   let tests =
     [
       Test.make ~name:"surface-extraction (1 image)"
-        (Staged.stage (fun () -> ignore (Surface.extract (Ds_elf.Elf.read image_bytes))));
+        (Staged.stage (fun () -> ignore (Surface.extract image_bytes)));
       Test.make ~name:"surface-diff (LTS pair)"
         (Staged.stage (fun () -> ignore (Diff.compare_surfaces Diff.Across_versions s44 s68)));
       Test.make ~name:"depset-analysis (1 obj)"
-        (Staged.stage (fun () -> ignore (Depset.of_obj (Ds_bpf.Obj.read obj_bytes))));
+        (Staged.stage
+           (fun () -> ignore (Depset.of_obj (Ds_util.Diag.ok (Ds_bpf.Obj.read obj_bytes)))));
       (* Report.matrix directly: Pipeline.analyze would serve the cached
          matrix after the first iteration and we'd be timing the decoder *)
       Test.make ~name:"report-matrix (tracee, 21 images)"
@@ -1079,10 +1081,12 @@ let robustness () =
            dt))
   in
   (* interleave so neither side soaks up a GC bias *)
-  let t_strict0 = avg (fun () -> Surface.extract (Ds_elf.Elf.read image_bytes)) in
-  let t_lenient0 = avg (fun () -> Surface.extract_lenient image_bytes) in
-  let t_strict = Float.min t_strict0 (avg (fun () -> Surface.extract (Ds_elf.Elf.read image_bytes))) in
-  let t_lenient = Float.min t_lenient0 (avg (fun () -> Surface.extract_lenient image_bytes)) in
+  let t_strict0 = avg (fun () -> Surface.extract image_bytes) in
+  let t_lenient0 = avg (fun () -> Surface.extract ~mode:`Lenient image_bytes) in
+  let t_strict = Float.min t_strict0 (avg (fun () -> Surface.extract image_bytes)) in
+  let t_lenient =
+    Float.min t_lenient0 (avg (fun () -> Surface.extract ~mode:`Lenient image_bytes))
+  in
   let overhead_pct = ((t_lenient /. Float.max 1e-9 t_strict) -. 1.) *. 100. in
   Printf.printf "  clean-image extraction: strict %.2f ms, lenient %.2f ms (%+.1f%%)\n"
     (t_strict *. 1000.) (t_lenient *. 1000.) overhead_pct;
@@ -1090,8 +1094,10 @@ let robustness () =
     Printf.printf "WARNING: lenient ingestion %.1f%% slower than strict on clean images (>5%% budget)\n"
       overhead_pct;
   (* clean images must come out byte-identical with zero diagnostics *)
-  let strict_json = Json.to_string (Export.surface (Surface.extract (Ds_elf.Elf.read image_bytes))) in
-  let lenient_s = Surface.extract_lenient image_bytes in
+  let strict_json =
+    Json.to_string (Export.surface (Ds_util.Diag.ok (Surface.extract image_bytes)))
+  in
+  let lenient_s = Ds_util.Diag.ok (Surface.extract ~mode:`Lenient image_bytes) in
   let lenient_json = Json.to_string (Export.surface lenient_s) in
   let identical = String.equal strict_json lenient_json && Surface.health lenient_s = [] in
   if identical then
@@ -1105,15 +1111,17 @@ let robustness () =
   let surveys =
     [
       ( "elf", 500, image_bytes,
-        fun bytes -> (Ds_elf.Elf.read_lenient bytes).Ds_elf.Elf.r_diags );
+        fun bytes -> Ds_util.Diag.diags (Ds_elf.Elf.read ~mode:`Lenient bytes) );
       ( "btf", 500, sec ".BTF",
-        fun bytes -> (Ds_btf.Btf.decode_lenient bytes).Ds_btf.Btf.b_diags );
+        fun bytes -> Ds_util.Diag.diags (Ds_btf.Btf.decode ~mode:`Lenient bytes) );
       ( "dwarf", 500, sec ".debug_info",
-        fun bytes -> snd (Ds_dwarf.Info.decode_lenient ~info:bytes ~abbrev:dwarf_abbrev) );
+        fun bytes ->
+          Ds_util.Diag.diags
+            (Ds_dwarf.Info.decode ~mode:`Lenient ~info:bytes ~abbrev:dwarf_abbrev ()) );
       ( "bpf_obj", 500, obj_bytes,
-        fun bytes -> (Ds_bpf.Obj.read_lenient bytes).Ds_bpf.Obj.o_diags );
+        fun bytes -> Ds_util.Diag.diags (Ds_bpf.Obj.read ~mode:`Lenient bytes) );
       ( "pipeline", pipeline_count, image_bytes,
-        fun bytes -> Surface.health (Surface.extract_lenient bytes) );
+        fun bytes -> Surface.health (Ds_util.Diag.ok (Surface.extract ~mode:`Lenient bytes)) );
     ]
   in
   let t =
@@ -1177,6 +1185,86 @@ let robustness () =
     exit 1
   end
   else print_endline "robustness check: every mutation survived with typed diagnostics: OK"
+
+(* ------------------------------------------------------------------ *)
+(* Tracing: span overhead, enabled vs disabled                          *)
+(* ------------------------------------------------------------------ *)
+
+module Trace = Ds_trace.Trace
+
+let tracing () =
+  section "Tracing: span overhead (enabled vs disabled)";
+  let img = Dataset.image ds (Version.v 5 4) Config.x86_generic in
+  let image_bytes = Ds_elf.Elf.write img in
+  (* the traced workload: a full lenient extraction, which crosses every
+     instrumented parser (elf, dwarf, btf, vmlinux, surface) *)
+  let workload () = Surface.extract ~mode:`Lenient image_bytes in
+  (* Interleaved single runs: the process heap drifts across a long
+     bench run (major-GC state moves extraction times by 10-20% between
+     sections), so a before/after split would measure the drift, not
+     the tracing. Alternating run-by-run gives both sides the same
+     noise environment. *)
+  let time1 f =
+    let (), dt = time (fun () -> ignore (f ())) in
+    dt
+  in
+  let run_on () =
+    Trace.enable ();
+    let d = time1 workload in
+    Trace.disable ();
+    d
+  in
+  Gc.compact ();
+  let reps = 20 in
+  let offs = ref [] and ons = ref [] in
+  for i = 0 to (2 * reps) - 1 do
+    if i mod 2 = 0 then offs := time1 workload :: !offs
+    else ons := run_on () :: !ons
+  done;
+  (* min, not mean: GC and scheduler noise is strictly additive, so the
+     fastest run of each side is the honest per-run cost and the ratio
+     of minima isolates what tracing itself adds *)
+  let t_off = List.fold_left Float.min infinity !offs in
+  let t_on = List.fold_left Float.min infinity !ons in
+  let sps = Trace.spans () in
+  let dropped = Trace.drops () in
+  let overhead_pct = ((t_on /. Float.max 1e-9 t_off) -. 1.) *. 100. in
+  Printf.printf "  extraction: disabled %.2f ms, enabled %.2f ms (min-of-%d %+.1f%%)\n"
+    (t_off *. 1000.) (t_on *. 1000.) reps overhead_pct;
+  Printf.printf "  spans recorded: %d (dropped %d)\n" (List.length sps) dropped;
+  let nested_ok = Trace.well_nested sps = None in
+  if not nested_ok then print_endline "  tracing check: FAILED (spans not well nested)";
+  let names = List.sort_uniq compare (List.map (fun sp -> sp.Trace.sp_name) sps) in
+  let expect = [ "btf.decode"; "elf.read"; "surface.extract" ] in
+  let missing = List.filter (fun n -> not (List.mem n names)) expect in
+  if missing <> [] then
+    Printf.printf "  tracing check: FAILED (no %s spans recorded)\n"
+      (String.concat ", " missing);
+  Trace.clear ();
+  let open Json in
+  let j =
+    with_trajectory "BENCH_TRACE.json" ~metric:overhead_pct
+      [
+        ("schema", String "depsurf-bench-trace/1");
+        ("scale", String (if scale = Calibration.bench_scale then "bench" else "test"));
+        ("disabled_ms", Float (t_off *. 1000.));
+        ("enabled_ms", Float (t_on *. 1000.));
+        ("overhead_pct", Float overhead_pct);
+        ("spans", Int (List.length sps));
+        ("dropped", Int dropped);
+        ("span_names", List (List.map (fun n2 -> String n2) names));
+      ]
+  in
+  write_json_file "BENCH_TRACE.json" j;
+  print_endline "(written to BENCH_TRACE.json)";
+  if overhead_pct > 5. || not nested_ok || missing <> [] then begin
+    Printf.printf "tracing check: FAILED (overhead %+.1f%%, budget 5%%)\n" overhead_pct;
+    exit 1
+  end
+  else
+    Printf.printf
+      "tracing check: enabled tracing cost %+.1f%% (< 5%% budget), spans well nested: OK\n"
+      overhead_pct
 
 (* ------------------------------------------------------------------ *)
 (* Store timing: cold vs warm                                           *)
@@ -1340,7 +1428,7 @@ let serve_bench () =
   let snapshot () =
     let status, body = Serve.Client.request addr ~meth:"GET" ~path:"/metrics" in
     if status <> 200 then failwith "metrics endpoint failed";
-    let j = Json.of_string body in
+    let j = Api.data (Json.of_string body) in
     ( jint j [ "compiles" ],
       jint j [ "store"; "misses" ],
       jint j [ "counters"; "index.fill.surface" ],
@@ -1500,6 +1588,7 @@ let () =
   ablation_threshold ();
   perf ();
   robustness ();
+  tracing ();
   store_timing ();
   serve_bench ();
   Par.shutdown pool;

@@ -72,6 +72,7 @@ let flavor_arg =
 (* ---- persistent artifact cache (ds_store) -------------------------- *)
 
 module Store = Ds_store.Store
+module Trace = Ds_trace.Trace
 
 let cache_dir_arg =
   Arg.(
@@ -121,6 +122,41 @@ let jobs_arg =
 let with_pool jobs f =
   let jobs = match jobs with Some n -> n | None -> Ds_util.Par.default_jobs () in
   Ds_util.Par.run ~jobs f
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+(* ---- span tracing (--trace-out) ------------------------------------ *)
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Record a span trace of the whole run and write it as Chrome trace_event JSON to \\$(docv) (load it in chrome://tracing or Perfetto, or feed it to depsurf trace).")
+
+(* run [f] under a root span and dump the rings on the way out *)
+let with_trace trace_out ~name f =
+  match trace_out with
+  | None -> f ()
+  | Some path ->
+      Trace.enable ();
+      let result = Trace.span ~name f in
+      let sps = Trace.spans () in
+      write_file path (Ds_util.Json.to_string (Trace.chrome_json sps) ^ "\n");
+      Printf.eprintf "depsurf: wrote %d spans to %s (%d dropped)\n" (List.length sps) path
+        (Trace.drops ());
+      result
 
 (* ---- surface ------------------------------------------------------- *)
 
@@ -221,10 +257,11 @@ let report_cmd =
   let tool_arg =
     Arg.(required & opt (some string) None & info [ "tool"; "t" ] ~doc:"Corpus tool name (Table 7).")
   in
-  let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.") in
-  let run seed scale cache jobs tool json =
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON (v1 envelope).")
+  in
+  let run seed scale cache jobs tool json trace_out =
     with_store cache @@ fun store ->
-    let ds = mk_ds seed scale store in
     match Ds_corpus.Table7.find tool with
     | None ->
         Printf.eprintf "unknown tool %s; pick one of: %s\n" tool
@@ -232,19 +269,27 @@ let report_cmd =
              (List.map (fun (p : Ds_corpus.Table7.profile) -> p.pr_name) Ds_corpus.Table7.programs));
         exit 1
     | Some _ ->
+        with_trace trace_out ~name:"depsurf.report" @@ fun () ->
+        let ds = Trace.span ~name:"report.dataset" (fun () -> mk_ds seed scale store) in
         with_pool jobs @@ fun pool ->
-        Dataset.warm_list ~pool ds
-          ((Version.v 5 4, Config.x86_generic) :: Dataset.fig4_images);
-        let built = Ds_corpus.Corpus.build_all ds () in
+        Trace.span ~name:"report.warm" (fun () ->
+            Dataset.warm_list ~pool ds
+              ((Version.v 5 4, Config.x86_generic) :: Dataset.fig4_images));
+        let built =
+          Trace.span ~name:"report.corpus" (fun () -> Ds_corpus.Corpus.build_all ds ())
+        in
         let _, obj =
           List.find (fun ((p : Ds_corpus.Table7.profile), _) -> p.pr_name = tool) built
         in
-        let m = Pipeline.analyze ds obj in
-        if json then print_endline (Ds_util.Json.to_string (Export.matrix m))
-        else print_string (Report.render_matrix m)
+        let m = Trace.span ~name:"report.analyze" (fun () -> Pipeline.analyze ds obj) in
+        Trace.span ~name:"report.render" (fun () ->
+            if json then print_endline (Ds_util.Json.to_string (Api.envelope (Export.matrix m)))
+            else print_string (Report.render_matrix m))
   in
   Cmd.v (Cmd.info "report" ~doc:"Figure-4 style mismatch matrix for a corpus tool.")
-    Term.(const run $ seed_arg $ scale_arg $ cache_arg $ jobs_arg $ tool_arg $ json_arg)
+    Term.(
+      const run $ seed_arg $ scale_arg $ cache_arg $ jobs_arg $ tool_arg $ json_arg
+      $ trace_out_arg)
 
 (* ---- dump ---------------------------------------------------------- *)
 
@@ -342,18 +387,6 @@ let probe_cmd =
     Term.(const run $ seed_arg $ scale_arg $ cache_arg $ name_arg)
 
 (* ---- file-based workflows ------------------------------------------ *)
-
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
-
-let write_file path data =
-  let oc = open_out_bin path in
-  output_string oc data;
-  close_out oc
 
 let export_dataset_cmd =
   let dir_arg =
@@ -456,10 +489,11 @@ let analyze_cmd =
          & info [ "strict" ]
              ~doc:"Fail on the first malformed byte of an on-disk image instead of degrading.")
   in
-  let run seed scale cache jobs obj_path image_dir dataset_dir strict =
+  let run seed scale cache jobs obj_path image_dir dataset_dir strict trace_out =
     with_store cache @@ fun store ->
+    with_trace trace_out ~name:"depsurf.analyze" @@ fun () ->
     let obj =
-      try Ds_bpf.Obj.read (read_file obj_path)
+      try Ds_util.Diag.ok (Ds_bpf.Obj.read (read_file obj_path))
       with Ds_bpf.Obj.Bad_obj m | Sys_error m ->
         Printf.eprintf "cannot read %s: %s\n" obj_path m;
         exit 1
@@ -511,14 +545,14 @@ let analyze_cmd =
           |> List.map (fun f ->
                  let bytes = read_file (Filename.concat dir f) in
                  if strict then
-                   try Surface.extract (Ds_elf.Elf.read bytes) with
+                   try Ds_util.Diag.ok (Surface.extract bytes) with
                    | Ds_elf.Elf.Bad_elf m
                    | Ds_btf.Btf.Bad_btf m
                    | Ds_dwarf.Die.Bad_dwarf m
                    | Ds_bpf.Vmlinux.Bad_vmlinux m ->
                        Printf.eprintf "%s: %s\n" f m;
                        exit 1
-                 else Surface.extract_lenient bytes)
+                 else Ds_util.Diag.ok (Surface.extract ~mode:`Lenient bytes))
         in
         analyze_surfaces surfaces
   in
@@ -526,7 +560,7 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Analyze an on-disk eBPF object against kernel images.")
     Term.(
       const run $ seed_arg $ scale_arg $ cache_arg $ jobs_arg $ obj_arg $ image_dir_arg
-      $ dataset_dir_arg $ strict_arg)
+      $ dataset_dir_arg $ strict_arg $ trace_out_arg)
 
 (* ---- doctor -------------------------------------------------------- *)
 
@@ -550,7 +584,7 @@ let doctor_cmd =
         exit 1
     in
     if strict then begin
-      match Surface.extract (Ds_elf.Elf.read data) with
+      match Ds_util.Diag.ok (Surface.extract data) with
       | s ->
           Printf.printf "%s: clean\n" (Surface.tag s);
           exit 0
@@ -568,7 +602,7 @@ let doctor_cmd =
           exit 1
     end
     else begin
-      let s = Surface.extract_lenient data in
+      let s = Ds_util.Diag.ok (Surface.extract ~mode:`Lenient data) in
       let health = Surface.health s in
       let tag =
         if Diag.worst health = Some Diag.Fatal then "unidentified image" else Surface.tag s
@@ -646,8 +680,9 @@ let mutate_cmd =
 (* ---- corpus -------------------------------------------------------- *)
 
 let corpus_cmd =
-  let run seed scale cache jobs =
+  let run seed scale cache jobs trace_out =
     with_store cache @@ fun store ->
+    with_trace trace_out ~name:"depsurf.corpus" @@ fun () ->
     let ds = mk_ds seed scale store in
     with_pool jobs @@ fun pool ->
     let built = Ds_corpus.Corpus.build_all ds () in
@@ -672,7 +707,7 @@ let corpus_cmd =
       (Ds_util.Stats.percent (List.length impacted) (List.length results))
   in
   Cmd.v (Cmd.info "corpus" ~doc:"Analyze all 53 Table-7 programs.")
-    Term.(const run $ seed_arg $ scale_arg $ cache_arg $ jobs_arg)
+    Term.(const run $ seed_arg $ scale_arg $ cache_arg $ jobs_arg $ trace_out_arg)
 
 (* ---- serve / query -------------------------------------------------- *)
 
@@ -738,8 +773,9 @@ let serve_cmd =
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Run the dependency-surface query service (GET /healthz, /images, \
-             /surface/IMAGE, /diff/A/B, /metrics; POST /mismatch).")
+       ~doc:"Run the dependency-surface query service (GET /v1/healthz, /v1/images, \
+             /v1/surface/IMAGE, /v1/diff/A/B, /v1/metrics, /v1/trace/recent; POST \
+             /v1/mismatch; unprefixed legacy aliases).")
     Term.(
       const run $ seed_arg $ scale_arg $ cache_arg $ jobs_arg $ socket_arg $ port_arg
       $ host_arg $ images_dir_arg)
@@ -784,6 +820,80 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query" ~doc:"Send one request to a running depsurf serve instance.")
     Term.(const run $ socket_arg $ port_arg $ host_arg $ path_arg $ data_arg $ meth_arg)
+
+(* ---- trace analysis ------------------------------------------------- *)
+
+let trace_file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"TRACE" ~doc:"Chrome trace_event JSON file written by --trace-out.")
+
+let load_trace path =
+  let data =
+    try read_file path
+    with Sys_error m ->
+      prerr_endline m;
+      exit 1
+  in
+  match Trace.of_chrome (Ds_util.Json.of_string data) with
+  | sps -> sps
+  | exception Ds_util.Json.Parse_error m ->
+      Printf.eprintf "%s: bad JSON: %s\n" path m;
+      exit 1
+  | exception Trace.Bad_trace m ->
+      Printf.eprintf "%s: bad trace: %s\n" path m;
+      exit 1
+
+let trace_top_cmd =
+  let run path = print_string (Trace.top_table (load_trace path)) in
+  Cmd.v
+    (Cmd.info "top" ~doc:"Per-span-name self-time table (hottest first).")
+    Term.(const run $ trace_file_arg)
+
+let trace_flame_cmd =
+  let run path = print_string (Trace.collapsed (load_trace path)) in
+  Cmd.v
+    (Cmd.info "flame"
+       ~doc:"Collapsed-stack flamegraph text (one 'root;..;leaf self_us' line per path; feed              to flamegraph.pl).")
+    Term.(const run $ trace_file_arg)
+
+let trace_validate_cmd =
+  let min_coverage_arg =
+    Arg.(
+      value & opt float 0.90
+      & info [ "min-coverage" ]
+          ~doc:"Minimum fraction of the root span's wall time that must be attributed to its                 descendants.")
+  in
+  let run min_coverage path =
+    let sps = load_trace path in
+    if sps = [] then begin
+      Printf.eprintf "%s: empty trace\n" path;
+      exit 1
+    end;
+    (match Trace.well_nested sps with
+    | Some (child, parent) ->
+        Printf.eprintf "%s: span %d escapes its parent %d's interval\n" path child parent;
+        exit 1
+    | None -> ());
+    let cov = Trace.coverage sps in
+    Printf.printf "%s: %d spans, well nested, coverage %.3f\n" path (List.length sps) cov;
+    if cov < min_coverage then begin
+      Printf.eprintf "%s: coverage %.3f below the %.2f floor\n" path cov min_coverage;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Check a trace file: non-empty, well-nested spans, root coverage above the floor.              Exit 1 on any failure.")
+    Term.(const run $ min_coverage_arg $ trace_file_arg)
+
+let trace_cmd =
+  let default = Term.(ret (const (`Help (`Pager, Some "trace")))) in
+  Cmd.group
+    (Cmd.info "trace" ~doc:"Analyze span traces recorded with --trace-out.")
+    ~default
+    [ trace_top_cmd; trace_flame_cmd; trace_validate_cmd ]
 
 (* ---- cache maintenance --------------------------------------------- *)
 
@@ -873,4 +983,4 @@ let () =
           ~default
           [ surface_cmd; func_cmd; diff_cmd; report_cmd; corpus_cmd; dump_cmd; export_cmd;
              probe_cmd; vmlinux_h_cmd; gen_images_cmd; mkobj_cmd; analyze_cmd; doctor_cmd;
-             mutate_cmd; export_dataset_cmd; serve_cmd; query_cmd; cache_cmd ]))
+             mutate_cmd; export_dataset_cmd; serve_cmd; query_cmd; trace_cmd; cache_cmd ]))

@@ -3,7 +3,10 @@
 # Unix socket, hit every endpoint with `depsurf query`, check that a
 # degraded on-disk image answers HTTP 200 (with "health": "degraded",
 # never a 500), compare /mismatch byte-for-byte with `depsurf report`,
-# then a 50-request load smoke with /metrics accounting for every one.
+# check every /v1 route is byte-identical to its legacy alias, then a
+# 50-request load smoke with /metrics accounting for every one; finally
+# a TCP leg on a kernel-chosen port (--port 0) parsed from serve's
+# stdout.
 set -eu
 
 CLI=$(cd "$(dirname "$1")" && pwd)/$(basename "$1")
@@ -66,6 +69,25 @@ else
   [ $? -eq 1 ]
 fi
 
+# /v1/<route> answers byte-for-byte like its legacy alias
+for route in /healthz /images /surface/5.4-x86-generic \
+  /diff/4.4-x86-generic/5.4-x86-generic /surface/vmlinux-degraded; do
+  Q "$route" > "$TMP/legacy.json"
+  Q "/v1$route" > "$TMP/v1.json"
+  cmp "$TMP/legacy.json" "$TMP/v1.json"
+done
+
+# the envelope carries the API version on every JSON endpoint
+Q /v1/healthz | grep -q '"v": 1'
+
+# every request is traced: /v1/trace/recent reports finished spans
+Q /v1/trace/recent > "$TMP/trace.json"
+grep -q '"serve.request"' "$TMP/trace.json"
+grep -q '"dropped"' "$TMP/trace.json"
+
+# ?trace=1 inlines the request's own spans into the body
+Q '/v1/surface/5.4-x86-generic?trace=1' | grep -q '"trace"'
+
 # /mismatch is byte-identical to the CLI report for the same object
 "$CLI" mkobj --tool biotop --out "$TMP/biotop.bpf.o" > /dev/null
 "$CLI" report --tool biotop > "$TMP/report.cli"
@@ -86,6 +108,26 @@ hits=$(sed -n 's/^ *"index.hit.surface": \([0-9]*\).*/\1/p' "$TMP/metrics.json" 
 fills=$(sed -n 's/^ *"index.fill.surface": \([0-9]*\).*/\1/p' "$TMP/metrics.json" | head -n 1)
 [ "$fills" -le 3 ]
 grep -q '"latency_ms"' "$TMP/metrics.json"
+
+kill "$SRV"
+SRV=""
+
+# TCP leg: --port 0 binds a kernel-chosen port, printed on stdout as
+# tcp:HOST:PORT before any request is answered
+"$CLI" serve --port 0 --cache-dir "$TMP/cache" > "$TMP/tcp.log" 2>&1 &
+SRV=$!
+i=0
+while [ $i -lt 100 ]; do
+  grep -q "listening on tcp:" "$TMP/tcp.log" 2> /dev/null && break
+  sleep 0.1
+  i=$((i + 1))
+done
+PORT=$(sed -n 's/.*listening on tcp:127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' "$TMP/tcp.log" | head -n 1)
+[ -n "$PORT" ] && [ "$PORT" -gt 0 ]
+"$CLI" query --port "$PORT" /v1/healthz | grep -q '"status": "ok"'
+"$CLI" query --port "$PORT" /healthz > "$TMP/tcp-legacy.json"
+"$CLI" query --port "$PORT" /v1/healthz > "$TMP/tcp-v1.json"
+cmp "$TMP/tcp-legacy.json" "$TMP/tcp-v1.json"
 
 kill "$SRV"
 SRV=""

@@ -250,14 +250,16 @@ let write t =
       }
 
 let read_strict data =
-  let elf = try Elf.read data with Elf.Bad_elf m -> raise (Bad_obj m) in
+  let elf = try Diag.ok (Elf.read data) with Elf.Bad_elf m -> raise (Bad_obj m) in
   if elf.Elf.machine <> Elf.Bpf then raise (Bad_obj "not a BPF object");
   let section name =
     match Elf.find_section elf name with
     | Some s -> s.Elf.sec_data
     | None -> raise (Bad_obj ("missing section " ^ name))
   in
-  let btf = try Btf.decode (section ".BTF") with Ds_btf.Btf.Bad_btf m -> raise (Bad_obj m) in
+  let btf =
+    try Diag.ok (Btf.decode (section ".BTF")) with Ds_btf.Btf.Bad_btf m -> raise (Bad_obj m)
+  in
   let maps =
     match Elf.find_section elf ".maps" with
     | Some s -> decode_maps s.Elf.sec_data
@@ -304,11 +306,6 @@ let read_strict data =
   in
   { o_name; o_built_for; o_progs = progs; o_maps = maps; o_btf = btf }
 
-(* The .BTF.ext header reads and the per-prog instruction decodes used to
-   leak raw [Bytesio.Truncated]; map every escape to [Bad_obj]. *)
-let read data =
-  try read_strict data with Bytesio.Truncated what -> raise (Bad_obj ("truncated: " ^ what))
-
 type read_result = { o_obj : t; o_diags : Diag.t list }
 
 let empty_obj =
@@ -317,12 +314,13 @@ let empty_obj =
 let meta_section_names =
   [ ".BTF"; ".BTF.ext"; ".depsurf.meta"; ".maps"; ".depsurf.kfuncs" ]
 
-let read_lenient data =
+let read_lenient_impl data =
   let collector = Diag.Collector.create () in
   let emit ?context severity msg =
     Diag.Collector.emit collector (Diag.v ?context severity ~component:"bpf_obj" msg)
   in
-  let { Elf.r_elf = elf; r_diags } = Elf.read_lenient data in
+  let o = Elf.read ~mode:`Lenient data in
+  let elf = Diag.ok o and r_diags = Diag.diags o in
   List.iter (Diag.Collector.emit collector) r_diags;
   if Diag.worst r_diags = Some Diag.Fatal then
     (* not even an ELF container: nothing downstream to salvage *)
@@ -338,9 +336,9 @@ let read_lenient data =
           emit Diag.Degraded "missing section .BTF";
           Btf.create ()
       | Some s ->
-          let { Ds_btf.Btf.b_btf; b_diags } = Btf.decode_lenient s.Elf.sec_data in
-          List.iter (fun d -> Diag.Collector.emit collector (Diag.demote d)) b_diags;
-          b_btf
+          let bo = Btf.decode ~mode:`Lenient s.Elf.sec_data in
+          List.iter (fun d -> Diag.Collector.emit collector (Diag.demote d)) (Diag.diags bo);
+          Diag.ok bo
     in
     let o_maps =
       match Elf.find_section elf ".maps" with
@@ -425,6 +423,27 @@ let read_lenient data =
       o_diags = Diag.Collector.diags collector;
     }
   end
+
+(* The .BTF.ext header reads and the per-prog instruction decodes used to
+   leak raw [Bytesio.Truncated]; map every escape to [Bad_obj]. *)
+let read ?(mode = `Strict) data =
+  Ds_trace.Trace.span ~name:"obj.read"
+    ~attrs:[ ("bytes", string_of_int (String.length data)) ]
+    (fun () ->
+      match mode with
+      | `Strict ->
+          let obj =
+            try read_strict data
+            with Bytesio.Truncated what -> raise (Bad_obj ("truncated: " ^ what))
+          in
+          Diag.outcome obj
+      | `Lenient ->
+          let r = read_lenient_impl data in
+          Diag.outcome ~diags:r.o_diags r.o_obj)
+
+let read_lenient data =
+  let o = read ~mode:`Lenient data in
+  { o_obj = Diag.ok o; o_diags = Diag.diags o }
 
 (* Resolve an access chain against the object's own BTF, skipping
    modifiers and following pointers, as libbpf does. The first access

@@ -48,17 +48,19 @@ val write : t -> string
     programs share a section name (the section is the object's key for
     relocation and kfunc tables). *)
 
-val read : string -> t
-(** Strict read: raises [Bad_obj] on any malformed byte (raw
-    [Bytesio.Truncated] escapes are wrapped). *)
+val read : ?mode:Ds_util.Diag.mode -> string -> t Ds_util.Diag.outcome
+(** Unified entrypoint. [`Strict] (the default) raises [Bad_obj] on any
+    malformed byte (raw [Bytesio.Truncated] escapes are wrapped) and
+    returns empty [diags]. [`Lenient] never raises: undecodable pieces
+    (BTF, maps, relocations, individual program sections) are dropped
+    and recorded as diagnostics; a non-ELF or non-BPF input yields an
+    empty object with a [Fatal] diagnostic. *)
 
 type read_result = { o_obj : t; o_diags : Ds_util.Diag.t list }
 
 val read_lenient : string -> read_result
-(** Best-effort read: never raises. Undecodable pieces (BTF, maps,
-    relocations, individual program sections) are dropped and recorded
-    as diagnostics; a non-ELF or non-BPF input yields an empty object
-    with a [Fatal] diagnostic. *)
+[@@ocaml.deprecated "use Obj.read ~mode:`Lenient"]
+(** @deprecated Thin wrapper over [read ~mode:`Lenient]. *)
 
 val access_path : t -> int -> int list -> (string * string list) option
 (** [access_path obj type_id access] resolves a CO-RE access chain against

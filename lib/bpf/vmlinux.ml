@@ -137,14 +137,14 @@ let load_impl ~strict img =
         Ds_btf.Btf.create ()
     | Some s ->
         if strict then (
-          try Ds_btf.Btf.decode s.Elf.sec_data
+          try Diag.ok (Ds_btf.Btf.decode s.Elf.sec_data)
           with Ds_btf.Btf.Bad_btf m -> raise (Bad_vmlinux (".BTF: " ^ m)))
         else begin
-          let { Ds_btf.Btf.b_btf; b_diags } = Ds_btf.Btf.decode_lenient s.Elf.sec_data in
+          let bo = Ds_btf.Btf.decode ~mode:`Lenient s.Elf.sec_data in
           (* a dead .BTF is fatal for the BTF component but only degrades
              the image: structs fall back to DWARF *)
-          List.iter (fun d -> Diag.Collector.emit collector (Diag.demote d)) b_diags;
-          b_btf
+          List.iter (fun d -> Diag.Collector.emit collector (Diag.demote d)) (Diag.diags bo);
+          Diag.ok bo
         end
   in
   let ptr = Elf.Deref.ptr_size deref in
@@ -271,8 +271,11 @@ let load_impl ~strict img =
     k_diags = Diag.Collector.diags collector;
   }
 
-let load img = (load_impl ~strict:true img).k_kernel
-let load_lenient img = load_impl ~strict:false img
+let load img =
+  Ds_trace.Trace.span ~name:"vmlinux.load" (fun () -> (load_impl ~strict:true img).k_kernel)
+
+let load_lenient img =
+  Ds_trace.Trace.span ~name:"vmlinux.load" (fun () -> load_impl ~strict:false img)
 
 let symbols_named t name =
   List.filter (fun s -> s.Elf.sym_name = name) t.v_img.Elf.symbols

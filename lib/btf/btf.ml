@@ -287,8 +287,19 @@ let decode_impl ~strict data =
   | Stop -> ());
   { b_btf = t; b_diags = Diag.Collector.diags collector }
 
-let decode data = (decode_impl ~strict:true data).b_btf
-let decode_lenient data = decode_impl ~strict:false data
+let decode ?(mode = `Strict) data =
+  Ds_trace.Trace.span ~name:"btf.decode"
+    ~attrs:[ ("bytes", string_of_int (String.length data)) ]
+    (fun () ->
+      match mode with
+      | `Strict -> Diag.outcome (decode_impl ~strict:true data).b_btf
+      | `Lenient ->
+          let r = decode_impl ~strict:false data in
+          Diag.outcome ~diags:r.b_diags r.b_btf)
+
+let decode_lenient data =
+  let o = decode ~mode:`Lenient data in
+  { b_btf = o.Diag.ok; b_diags = o.Diag.diags }
 
 (* ------------------------------------------------------------------ *)
 (* Bridge to the C type model                                          *)

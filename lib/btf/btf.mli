@@ -48,16 +48,18 @@ val iteri : t -> (int -> kind -> unit) -> unit
 
 val encode : t -> string
 
-val decode : string -> t
-(** Strict decode: raises [Bad_btf] on the first malformed byte. *)
+val decode : ?mode:Ds_util.Diag.mode -> string -> t Ds_util.Diag.outcome
+(** Unified entrypoint. [`Strict] (the default) raises [Bad_btf] on the
+    first malformed byte and returns empty [diags]. [`Lenient] never
+    raises: every record decoded before the first failure point is kept
+    and the loss (truncated records, bad string offsets, unsupported
+    kinds, bogus section bounds) is described in [diags]. *)
 
 type decode_result = { b_btf : t; b_diags : Ds_util.Diag.t list }
 
 val decode_lenient : string -> decode_result
-(** Best-effort decode: never raises. Every record decoded before the
-    first failure point is kept; the loss (truncated records, bad string
-    offsets, unsupported kinds, bogus section bounds) is described in
-    [b_diags]. *)
+[@@ocaml.deprecated "use Btf.decode ~mode:`Lenient"]
+(** @deprecated Thin wrapper over [decode ~mode:`Lenient]. *)
 
 (** {2 Bridge to the canonical C type model} *)
 

@@ -1,0 +1,30 @@
+open Ds_util
+
+let version = 1
+
+let envelope ?(health = "clean") ?(diagnostics = []) data =
+  Json.Obj
+    [
+      ("v", Json.Int version);
+      ("health", Json.String health);
+      ("data", data);
+      ("diagnostics", Json.List diagnostics);
+    ]
+
+let of_diags ~data diags =
+  let health =
+    match Diag.worst diags with
+    | None | Some Diag.Warning -> "clean"
+    | Some Diag.Degraded -> "degraded"
+    | Some Diag.Fatal -> "fatal"
+  in
+  envelope ~health
+    ~diagnostics:(List.map (fun d -> Json.String (Diag.to_string d)) diags)
+    data
+
+let error ~status msg =
+  envelope ~health:"fatal"
+    ~diagnostics:[ Json.String msg ]
+    (Json.Obj [ ("error", Json.String msg); ("status", Json.Int status) ])
+
+let data j = match Json.member "data" j with Some d -> d | None -> j

@@ -1,0 +1,37 @@
+(** The versioned public response envelope.
+
+    Every JSON answer the project gives — serve endpoints and [--json]
+    CLI output alike — is wrapped in one shape:
+
+    {v
+    { "v": 1,
+      "health": "clean" | "degraded" | "fatal",
+      "data": <endpoint-specific payload>,
+      "diagnostics": [ "<Diag.to_string line>", ... ] }
+    v}
+
+    The [data] payload keeps the historical (appendix-format) encodings
+    from {!Export} byte-for-byte; the envelope only adds the version and
+    health wrapper around them. *)
+
+val version : int
+(** The current envelope version, [1]. *)
+
+val envelope :
+  ?health:string -> ?diagnostics:Ds_util.Json.t list -> Ds_util.Json.t -> Ds_util.Json.t
+(** Wrap a payload. [health] defaults to ["clean"], [diagnostics] to
+    the empty list. *)
+
+val of_diags : data:Ds_util.Json.t -> Ds_util.Diag.t list -> Ds_util.Json.t
+(** Wrap a payload deriving [health] from the worst diagnostic severity
+    (warnings count as clean) and rendering each diagnostic with
+    [Diag.to_string]. *)
+
+val error : status:int -> string -> Ds_util.Json.t
+(** The envelope used for error responses: [health = "fatal"], the
+    message as both diagnostic and [data.error], the HTTP status under
+    [data.status]. *)
+
+val data : Ds_util.Json.t -> Ds_util.Json.t
+(** Unwrap: the [data] member of an envelope, or the document itself
+    when it is not enveloped (pre-v1 producers). *)

@@ -79,22 +79,25 @@ let image t v cfg =
   Par.Memo.find_or_compute t.images (key v cfg) (fun () ->
       Store.memo t.store ~ns:"image"
         ~key:(cache_key t ~label:(key v cfg) [])
-        ~encode:Ds_elf.Elf.write ~decode:Ds_elf.Elf.read
+        ~encode:Ds_elf.Elf.write
+        ~decode:(fun s -> Ds_util.Diag.ok (Ds_elf.Elf.read s))
         (fun () -> Ds_kcc.Emit.emit (model t v cfg)))
 
 let vmlinux t v cfg =
   Par.Memo.find_or_compute t.vmlinuxes (key v cfg) (fun () ->
       (* Serialize and re-parse: every analysis works on the bytes a real
          image would provide, not on in-memory structures. *)
-      Ds_bpf.Vmlinux.load (Ds_elf.Elf.read (Ds_elf.Elf.write (image t v cfg))))
+      Ds_bpf.Vmlinux.load
+        (Ds_util.Diag.ok (Ds_elf.Elf.read (Ds_elf.Elf.write (image t v cfg)))))
 
 let surface t v cfg =
   Par.Memo.find_or_compute t.surfaces (key v cfg) (fun () ->
-      Store.memo t.store ~ns:"surface"
-        ~cache_if:(fun s -> not (Surface.degraded s))
-        ~key:(cache_key t ~label:(key v cfg) [])
-        ~encode:Codec_base.encode_surface ~decode:Codec_base.decode_surface
-        (fun () -> Surface.of_vmlinux (vmlinux t v cfg)))
+      Ds_trace.Trace.span ~name:"dataset.surface" ~attrs:[ ("image", key v cfg) ] (fun () ->
+          Store.memo t.store ~ns:"surface"
+            ~cache_if:(fun s -> not (Surface.degraded s))
+            ~key:(cache_key t ~label:(key v cfg) [])
+            ~encode:Codec_base.encode_surface ~decode:Codec_base.decode_surface
+            (fun () -> Surface.of_vmlinux (vmlinux t v cfg))))
 
 let x86_series t = List.map (fun v -> (v, surface t v Config.x86_generic)) Version.all
 

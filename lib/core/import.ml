@@ -244,5 +244,6 @@ let surface_of_json j =
 
 let surface_of_string s =
   match Json.of_string s with
-  | j -> surface_of_json j
+  (* accept both the bare dataset document and the v1 API envelope *)
+  | j -> surface_of_json (Api.data j)
   | exception Json.Parse_error m -> fail ("JSON: " ^ m)

@@ -34,7 +34,11 @@ let x86 c v = Dataset.surface c.c_ds v Config.x86_generic
 
 let version_diffs c pairs =
   maplist c
-    (fun (a, b) -> ((a, b), Diff.compare_surfaces Diff.Across_versions (x86 c a) (x86 c b)))
+    (fun (a, b) ->
+      Ds_trace.Trace.span ~name:"pipeline.diff"
+        ~attrs:[ ("from", Version.to_string a); ("to", Version.to_string b) ]
+        (fun () ->
+          ((a, b), Diff.compare_surfaces Diff.Across_versions (x86 c a) (x86 c b))))
     pairs
 
 (* the diff fan-outs also land in the persistent tier: a warm process
@@ -68,8 +72,12 @@ let config_diffs c =
           in
           maplist c
             (fun cfg ->
-              (cfg, Diff.compare_surfaces Diff.Across_configs base
-                      (Dataset.surface c.c_ds (Version.v 5 4) cfg)))
+              Ds_trace.Trace.span ~name:"pipeline.diff"
+                ~attrs:[ ("config", Config.to_string cfg) ]
+                (fun () ->
+                  ( cfg,
+                    Diff.compare_surfaces Diff.Across_configs base
+                      (Dataset.surface c.c_ds (Version.v 5 4) cfg) )))
             others))
 
 let image_tag (v, cfg) = Version.to_string v ^ "/" ^ Config.to_string cfg
@@ -83,8 +91,10 @@ let analyze ds ?(images = Dataset.fig4_images) ?(baseline = (Version.v 5 4, Conf
       ~label:("matrix-" ^ obj.Ds_bpf.Obj.o_name)
       (Ds_bpf.Obj.write obj :: image_tag baseline :: List.map image_tag images)
   in
-  Store.memo (Dataset.store ds) ~ns:"matrix" ~key ~encode:Codec.encode_matrix
-    ~decode:Codec.decode_matrix (fun () -> Report.matrix ds ~images ~baseline obj)
+  Ds_trace.Trace.span ~name:"pipeline.analyze" ~attrs:[ ("obj", obj.Ds_bpf.Obj.o_name) ]
+    (fun () ->
+      Store.memo (Dataset.store ds) ~ns:"matrix" ~key ~encode:Codec.encode_matrix
+        ~decode:Codec.decode_matrix (fun () -> Report.matrix ds ~images ~baseline obj))
 
 let load_on ds v cfg obj = Ds_bpf.Loader.load_and_attach (Dataset.vmlinux ds v cfg) obj
 
@@ -96,4 +106,4 @@ let build_program ds ?(build = (Version.v 5 4, Config.x86_generic)) spec =
       ~tag:(Ds_bpf.Vmlinux.tag k) spec
   in
   (* round-trip through the wire format *)
-  Ds_bpf.Obj.read (Ds_bpf.Obj.write obj)
+  Ds_util.Diag.ok (Ds_bpf.Obj.read (Ds_bpf.Obj.write obj))

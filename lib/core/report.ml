@@ -171,11 +171,18 @@ let matrix_of_surfaces ~baseline:(baseline_image, base_surface) ~targets obj =
           r_cells =
             List.map
               (fun (image, target) ->
-                {
-                  c_image = image;
-                  c_statuses = statuses ~baseline:base_surface ~target dep;
-                  c_degraded = Surface.degraded target;
-                })
+                Ds_trace.Trace.span ~name:"report.cell"
+                  ~attrs:
+                    [
+                      ("dep", Depset.dep_to_string dep);
+                      ("image", Version.to_string (fst image));
+                    ]
+                  (fun () ->
+                    {
+                      c_image = image;
+                      c_statuses = statuses ~baseline:base_surface ~target dep;
+                      c_degraded = Surface.degraded target;
+                    }))
               targets;
         })
       deps

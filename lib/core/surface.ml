@@ -201,7 +201,7 @@ let of_vmlinux (k : Ds_bpf.Vmlinux.t) =
     | Some s -> s.Elf.sec_data
     | None -> raise (Ds_bpf.Vmlinux.Bad_vmlinux "missing .debug_abbrev")
   in
-  let cus = Ds_dwarf.Info.decode ~info ~abbrev in
+  let cus = Diag.ok (Ds_dwarf.Info.decode ~info ~abbrev ()) in
   (* Structs from BTF (event structs handled with tracepoints). *)
   let env, btf_funcs =
     Ds_btf.Btf.to_env ~ptr_size:(Config.ptr_size k.Ds_bpf.Vmlinux.v_arch) k.Ds_bpf.Vmlinux.v_btf
@@ -217,7 +217,8 @@ let of_vmlinux_lenient ?(health = []) (k : Ds_bpf.Vmlinux.t) =
   let cus, dwarf_diags =
     match (Elf.find_section img ".debug_info", Elf.find_section img ".debug_abbrev") with
     | Some i, Some a ->
-        Ds_dwarf.Info.decode_lenient ~info:i.Elf.sec_data ~abbrev:a.Elf.sec_data
+        let o = Ds_dwarf.Info.decode ~mode:`Lenient ~info:i.Elf.sec_data ~abbrev:a.Elf.sec_data () in
+        (Diag.ok o, Diag.diags o)
     | None, _ -> ([], [ sdiag "missing .debug_info; function surface unavailable" ])
     | _, None -> ([], [ sdiag "missing .debug_abbrev; function surface unavailable" ])
   in
@@ -290,7 +291,7 @@ let v ~version ~arch ~flavor ~gcc ~funcs ~structs ~tracepoints ~syscalls =
 
 let with_health health t = { t with s_health = health }
 
-let extract img = of_vmlinux (Ds_bpf.Vmlinux.load img)
+let of_image img = of_vmlinux (Ds_bpf.Vmlinux.load img)
 
 (* Surface for an image nothing could be extracted from: empty lists,
    placeholder identity, the diagnostics telling the story. *)
@@ -299,8 +300,9 @@ let stub ~health =
     (v ~version:(Version.v 0 0) ~arch:Config.X86 ~flavor:Config.Generic ~gcc:(0, 0) ~funcs:[]
        ~structs:[] ~tracepoints:[] ~syscalls:[])
 
-let extract_lenient data =
-  let { Elf.r_elf = img; r_diags } = Elf.read_lenient data in
+let extract_lenient_impl data =
+  let o = Elf.read ~mode:`Lenient data in
+  let img = Diag.ok o and r_diags = Diag.diags o in
   if Diag.worst r_diags = Some Diag.Fatal then stub ~health:r_diags
   else begin
     let { Ds_bpf.Vmlinux.k_kernel; k_diags } = Ds_bpf.Vmlinux.load_lenient img in
@@ -308,6 +310,18 @@ let extract_lenient data =
     if Diag.worst k_diags = Some Diag.Fatal then stub ~health
     else of_vmlinux_lenient ~health k_kernel
   end
+
+let extract ?(mode = `Strict) data =
+  Ds_trace.Trace.span ~name:"surface.extract"
+    ~attrs:[ ("bytes", string_of_int (String.length data)) ]
+    (fun () ->
+      match mode with
+      | `Strict -> Diag.outcome (of_image (Diag.ok (Elf.read data)))
+      | `Lenient ->
+          let t = extract_lenient_impl data in
+          Diag.outcome ~diags:t.s_health t)
+
+let extract_lenient data = Diag.ok (extract ~mode:`Lenient data)
 
 let health t = t.s_health
 let degraded t = Diag.is_degraded t.s_health

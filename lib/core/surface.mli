@@ -72,14 +72,23 @@ val v :
 
 val with_health : Ds_util.Diag.t list -> t -> t
 
-val extract : Ds_elf.Elf.t -> t
-(** Full extraction from an image. *)
+val extract : ?mode:Ds_util.Diag.mode -> string -> t Ds_util.Diag.outcome
+(** Unified entrypoint: full extraction straight from the raw image
+    bytes. [`Strict] (the default) raises the parsers' typed exceptions
+    ([Bad_elf], [Bad_vmlinux], ...) on the first problem and returns
+    empty [diags]. [`Lenient] never raises: whatever the four parsers
+    could not recover is described in [diags] (mirrored in the
+    surface's [s_health]); a hopeless input (not an ELF, or a BPF
+    object) yields an empty surface whose health carries a [Fatal]
+    diagnostic. *)
 
 val extract_lenient : string -> t
-(** Best-effort extraction straight from the raw image bytes: never
-    raises. Whatever the four parsers could not recover is described in
-    [s_health]; a hopeless input (not an ELF, or a BPF object) yields an
-    empty surface whose health carries a [Fatal] diagnostic. *)
+[@@ocaml.deprecated "use Surface.extract ~mode:`Lenient"]
+(** @deprecated Thin wrapper over [extract ~mode:`Lenient]. *)
+
+val of_image : Ds_elf.Elf.t -> t
+(** Strict extraction from an already-parsed image (the historical
+    [extract]). *)
 
 val of_vmlinux : Ds_bpf.Vmlinux.t -> t
 (** Reuse an already-loaded kernel view (avoids re-decoding BTF and the

@@ -187,6 +187,7 @@ let obj_key ds ~build pr =
     [ Version.to_string (fst build) ^ "/" ^ Config.to_string (snd build) ]
 
 let build_all ds ?(build = (Version.v 5 4, Config.x86_generic)) () =
+  Ds_trace.Trace.span ~name:"corpus.build_all" @@ fun () ->
   (* Persistent caching of the built objects is all-or-nothing: the pool
      draws in [spec_for] advance mutable cursors, so rebuilding only the
      missing programs would hand them different draws than a full build.
@@ -200,7 +201,8 @@ let build_all ds ?(build = (Version.v 5 4, Config.x86_generic)) () =
           | [] -> Some (List.rev acc)
           | pr :: rest -> (
               match
-                Ds_store.Store.find store ~ns:"obj" ~key:(obj_key ds ~build pr) ~decode:Obj.read
+                Ds_store.Store.find store ~ns:"obj" ~key:(obj_key ds ~build pr)
+                  ~decode:(fun b -> Ds_util.Diag.ok (Obj.read b))
               with
               | Some obj -> go ((pr, obj) :: acc) rest
               | None -> None)
@@ -235,8 +237,10 @@ let analyze_all_matrices ds ?pool ?(images = Depsurf.Dataset.fig4_images)
   let analyze (pr, obj) =
     (* through [Pipeline.analyze], so matrices land in the persistent
        tier too *)
-    let m = Depsurf.Pipeline.analyze ds ~images ~baseline obj in
-    (pr, m, Depsurf.Report.summarize m)
+    Ds_trace.Trace.span ~name:"corpus.analyze" ~attrs:[ ("program", pr.Table7.pr_name) ]
+      (fun () ->
+        let m = Depsurf.Pipeline.analyze ds ~images ~baseline obj in
+        (pr, m, Depsurf.Report.summarize m))
   in
   match pool with
   | None -> List.map analyze built

@@ -409,5 +409,20 @@ let decode_impl ~strict ~info ~abbrev =
     diag Diag.Degraded (Printf.sprintf "%d dangling references dropped" !dangling);
   { dw_arena = { dies; root_ids = arena.root_ids }; dw_diags = Diag.Collector.diags collector }
 
-let decode ~info ~abbrev = (decode_impl ~strict:true ~info ~abbrev).dw_arena
-let decode_lenient ~info ~abbrev = decode_impl ~strict:false ~info ~abbrev
+let decode ?(mode = `Strict) ~info ~abbrev () =
+  Ds_trace.Trace.span ~name:"dwarf.die.decode"
+    ~attrs:
+      [
+        ("info_bytes", string_of_int (String.length info));
+        ("abbrev_bytes", string_of_int (String.length abbrev));
+      ]
+    (fun () ->
+      match mode with
+      | `Strict -> Diag.outcome (decode_impl ~strict:true ~info ~abbrev).dw_arena
+      | `Lenient ->
+          let r = decode_impl ~strict:false ~info ~abbrev in
+          Diag.outcome ~diags:r.dw_diags r.dw_arena)
+
+let decode_lenient ~info ~abbrev =
+  let o = decode ~mode:`Lenient ~info ~abbrev () in
+  { dw_arena = o.Diag.ok; dw_diags = o.Diag.diags }

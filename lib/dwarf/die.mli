@@ -115,13 +115,17 @@ val has_flag : die -> int -> bool
 val encode : t -> string * string
 (** [encode t] is [(debug_info, debug_abbrev)]. *)
 
-val decode : info:string -> abbrev:string -> t
-(** Strict decode: raises [Bad_dwarf] on the first malformed byte. *)
+val decode :
+  ?mode:Ds_util.Diag.mode -> info:string -> abbrev:string -> unit -> t Ds_util.Diag.outcome
+(** Unified entrypoint. [`Strict] (the default) raises [Bad_dwarf] on
+    the first malformed byte, returning empty [diags]. [`Lenient] never
+    raises: a failure inside one compile unit skips just that unit
+    (resynchronizing on the unit header's length field), dangling
+    references are dropped, and the losses are described in [diags].
+    The trailing [unit] forces resolution of the optional [?mode]. *)
 
 type decode_result = { dw_arena : t; dw_diags : Ds_util.Diag.t list }
 
 val decode_lenient : info:string -> abbrev:string -> decode_result
-(** Best-effort decode: never raises. A failure inside one compile unit
-    skips just that unit (resynchronizing on the unit header's length
-    field); dangling references are dropped. Losses are described in
-    [dw_diags]. *)
+[@@ocaml.deprecated "use Die.decode ~mode:`Lenient"]
+(** @deprecated Thin wrapper over [decode ~mode:`Lenient]. *)

@@ -477,12 +477,13 @@ let decode_cu_of arena =
   in
   decode_cu
 
-let decode ~info ~abbrev =
-  let arena = Die.decode ~info ~abbrev in
+let decode_strict ~info ~abbrev =
+  let arena = Ds_util.Diag.ok (Die.decode ~info ~abbrev ()) in
   List.map (decode_cu_of arena) (Die.roots arena)
 
-let decode_lenient ~info ~abbrev =
-  let { Die.dw_arena = arena; dw_diags } = Die.decode_lenient ~info ~abbrev in
+let decode_lenient_impl ~info ~abbrev =
+  let o = Die.decode ~mode:`Lenient ~info ~abbrev () in
+  let arena = Ds_util.Diag.ok o and dw_diags = Ds_util.Diag.diags o in
   let decode_cu = decode_cu_of arena in
   let skipped = ref 0 in
   let cus =
@@ -506,3 +507,15 @@ let decode_lenient ~info ~abbrev =
     else []
   in
   (cus, diags)
+
+let decode ?(mode = `Strict) ~info ~abbrev () =
+  Ds_trace.Trace.span ~name:"dwarf.info.decode" (fun () ->
+      match mode with
+      | `Strict -> Ds_util.Diag.outcome (decode_strict ~info ~abbrev)
+      | `Lenient ->
+          let cus, diags = decode_lenient_impl ~info ~abbrev in
+          Ds_util.Diag.outcome ~diags cus)
+
+let decode_lenient ~info ~abbrev =
+  let o = decode ~mode:`Lenient ~info ~abbrev () in
+  (Ds_util.Diag.ok o, Ds_util.Diag.diags o)

@@ -47,11 +47,15 @@ type cu = {
 val encode : cu list -> string * string
 (** [(debug_info, debug_abbrev)] sections. *)
 
-val decode : info:string -> abbrev:string -> cu list
-(** Inverse of {!encode}. Raises [Die.Bad_dwarf] on malformed input
-    (strict mode). *)
+val decode :
+  ?mode:Ds_util.Diag.mode -> info:string -> abbrev:string -> unit -> cu list Ds_util.Diag.outcome
+(** Unified entrypoint; inverse of {!encode}. [`Strict] (the default)
+    raises [Die.Bad_dwarf] on malformed input, returning empty [diags].
+    [`Lenient] never raises: malformed compile units are skipped
+    individually (resynchronizing on unit boundaries) and the losses are
+    described in [diags]. The trailing [unit] forces resolution of the
+    optional [?mode]. *)
 
 val decode_lenient : info:string -> abbrev:string -> cu list * Ds_util.Diag.t list
-(** Best-effort decode: never raises. Malformed compile units are
-    skipped individually (resynchronizing on unit boundaries); the
-    losses are described by the diagnostics. *)
+[@@ocaml.deprecated "use Info.decode ~mode:`Lenient"]
+(** @deprecated Thin wrapper over [decode ~mode:`Lenient]. *)

@@ -267,13 +267,16 @@ let read_impl ~strict data =
       (* Section headers are laid out sequentially: once one fails to read,
          the rest of the table is gone too — one diagnostic, not 64k. *)
       let headers = ref [] in
-      (try
-         for i = 1 to shnum - 1 do
-           headers := (i, read_shdr i) :: !headers
-         done
-       with Bytesio.Truncated what ->
-         diag ~offset:shoff Diag.Degraded
-           (Printf.sprintf "section header table truncated (%s)" what));
+      Ds_trace.Trace.span ~name:"elf.shdrs"
+        ~attrs:[ ("shnum", string_of_int shnum) ]
+        (fun () ->
+          try
+            for i = 1 to shnum - 1 do
+              headers := (i, read_shdr i) :: !headers
+            done
+          with Bytesio.Truncated what ->
+            diag ~offset:shoff Diag.Degraded
+              (Printf.sprintf "section header table truncated (%s)" what));
       let named =
         List.filter_map
           (fun (i, (name_off, addr, off, size)) ->
@@ -306,6 +309,7 @@ let read_impl ~strict data =
       in
       let find name = List.find_opt (fun s -> s.sec_name = name) sections in
       let symbols =
+        Ds_trace.Trace.span ~name:"elf.symtab" (fun () ->
         match (find ".symtab", find ".strtab") with
         | Some symtab, Some strtab ->
             let str = Bytesio.Reader.of_string ~endian strtab.sec_data in
@@ -355,7 +359,7 @@ let read_impl ~strict data =
               diag ~context:".symtab" Diag.Degraded
                 (Printf.sprintf "%d of %d symbol records malformed (skipped)" !bad (n - 1));
             List.rev !out
-        | _ -> []
+        | _ -> [])
       in
       let sections =
         List.filter (fun s -> s.sec_name <> ".symtab" && s.sec_name <> ".strtab") sections
@@ -365,11 +369,24 @@ let read_impl ~strict data =
   in
   { r_elf = elf; r_diags = Diag.Collector.diags collector }
 
-let read data =
-  try (read_impl ~strict:true data).r_elf
-  with Bytesio.Truncated what -> raise (Bad_elf ("truncated: " ^ what))
+let read ?(mode = `Strict) data =
+  Ds_trace.Trace.span ~name:"elf.read"
+    ~attrs:[ ("bytes", string_of_int (String.length data)) ]
+    (fun () ->
+      match mode with
+      | `Strict ->
+          let r =
+            try read_impl ~strict:true data
+            with Bytesio.Truncated what -> raise (Bad_elf ("truncated: " ^ what))
+          in
+          Diag.outcome r.r_elf
+      | `Lenient ->
+          let r = read_impl ~strict:false data in
+          Diag.outcome ~diags:r.r_diags r.r_elf)
 
-let read_lenient data = read_impl ~strict:false data
+let read_lenient data =
+  let o = read ~mode:`Lenient data in
+  { r_elf = o.Diag.ok; r_diags = o.Diag.diags }
 
 let find_section t name = List.find_opt (fun s -> s.sec_name = name) t.sections
 

@@ -43,18 +43,21 @@ exception Bad_elf of string
 val write : t -> string
 (** Serialize to ELF64 bytes. *)
 
-val read : string -> t
-(** Parse bytes produced by {!write} (or any file using the same subset).
-    Raises [Bad_elf] on malformed input (strict mode). *)
+val read : ?mode:Ds_util.Diag.mode -> string -> t Ds_util.Diag.outcome
+(** Unified entrypoint. [`Strict] (the default) parses bytes produced by
+    {!write} (or any file using the same subset) and raises [Bad_elf] on
+    the first malformed byte, returning empty [diags]. [`Lenient] never
+    raises: whatever parses cleanly is kept (malformed sections, symbol
+    records or an unknown [e_machine] are skipped or defaulted) and
+    everything lost is described in [diags]; an unrecoverable failure
+    (not an ELF file at all) yields an empty image plus a [Fatal]
+    diagnostic. *)
 
 type read_result = { r_elf : t; r_diags : Ds_util.Diag.t list }
 
 val read_lenient : string -> read_result
-(** Best-effort parse: never raises. Whatever parses cleanly is kept
-    (malformed sections, symbol records or an unknown [e_machine] are
-    skipped or defaulted), and everything lost is described in
-    [r_diags]. An unrecoverable failure (not an ELF file at all) yields
-    an empty image plus a [Fatal] diagnostic. *)
+[@@ocaml.deprecated "use Elf.read ~mode:`Lenient"]
+(** @deprecated Thin wrapper over [read ~mode:`Lenient]. *)
 
 val find_section : t -> string -> section option
 val section_reader : t -> string -> Ds_util.Bytesio.Reader.t option

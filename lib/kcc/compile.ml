@@ -215,6 +215,13 @@ let text_base_for arch =
   if Config.ptr_size arch = 4 then 0xc0008000L else 0xffffffff81000000L
 
 let compile ?inline_threshold src cfg =
+  Ds_trace.Trace.span ~name:"kcc.compile"
+    ~attrs:
+      [
+        ("version", Version.to_string (Source.version src));
+        ("config", Config.to_string cfg);
+      ]
+  @@ fun () ->
   let gcc = Version.gcc_of (Source.version src) in
   let arch = cfg.Config.arch in
   let text_base = text_base_for arch in
@@ -336,7 +343,11 @@ let compile ?inline_threshold src cfg =
             { i_func = f; i_tu = tu; i_symbols = symbols; i_sites = List.mapi mk_site decided })
           includers
   in
-  let instances = List.concat_map compile_func funcs in
+  let instances =
+    Ds_trace.Trace.span ~name:"kcc.compile.instances"
+      ~attrs:[ ("funcs", string_of_int (List.length funcs)) ]
+      (fun () -> List.concat_map compile_func funcs)
+  in
   let syscalls =
     List.map
       (fun (s : syscall_def) ->
@@ -348,7 +359,7 @@ let compile ?inline_threshold src cfg =
     m_source_version = Source.version src;
     m_config = cfg;
     m_gcc = gcc;
-    m_env = build_env src cfg;
+    m_env = Ds_trace.Trace.span ~name:"kcc.compile.env" (fun () -> build_env src cfg);
     m_instances = instances;
     m_tracepoints = Source.tracepoints_in src cfg;
     m_syscalls = syscalls;

@@ -38,6 +38,13 @@ let syscall_impl_proto =
     }
 
 let emit m =
+  Ds_trace.Trace.span ~name:"kcc.emit"
+    ~attrs:
+      [
+        ("version", Version.to_string m.m_source_version);
+        ("config", Config.to_string m.m_config);
+      ]
+  @@ fun () ->
   let endian = Elf.machine_endian (match m.m_config.Config.arch with
     | Config.X86 -> Elf.X86_64
     | Config.Arm64 -> Elf.Aarch64
@@ -299,7 +306,9 @@ let emit m =
                   cu_typedefs = [];
                 }))
   in
-  let debug_info, debug_abbrev = Ds_dwarf.Info.encode cus in
+  let debug_info, debug_abbrev =
+    Ds_trace.Trace.span ~name:"kcc.emit.dwarf" (fun () -> Ds_dwarf.Info.encode cus)
+  in
   (* --- BTF --------------------------------------------------------------- *)
   let seen = Hashtbl.create 512 in
   let plain_symbol_funcs =
@@ -321,7 +330,10 @@ let emit m =
         tp_funcs
     @ List.map (fun (_, sym, _) -> Decl.{ fname = sym; proto = syscall_impl_proto }) m.m_syscalls
   in
-  let btf = Ds_btf.Btf.encode (Ds_btf.Btf.of_env m.m_env btf_funcs) in
+  let btf =
+    Ds_trace.Trace.span ~name:"kcc.emit.btf" (fun () ->
+        Ds_btf.Btf.encode (Ds_btf.Btf.of_env m.m_env btf_funcs))
+  in
   (* --- assemble ---------------------------------------------------------- *)
   Elf.
     {

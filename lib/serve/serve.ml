@@ -4,6 +4,7 @@ module Par = Ds_util.Par
 module Metrics = Ds_util.Metrics
 module Json = Ds_util.Json
 module Store = Ds_store.Store
+module Trace = Ds_trace.Trace
 
 (* ---- image naming -------------------------------------------------- *)
 
@@ -60,6 +61,9 @@ let create ?images_dir ~ds ~pool () =
         |> List.filter (fun f -> String.length f > 8 && String.sub f 0 8 = "vmlinux-")
         |> List.map (fun f -> (f, Filename.concat dir f))
   in
+  (* every request is traced; spans land in the per-domain rings and are
+     served back via /v1/trace/recent and ?trace=1 *)
+  Trace.enable ();
   {
     sv_ds = ds;
     sv_pool = pool;
@@ -107,15 +111,14 @@ let surface_of_source t name = function
   | File path ->
       Par.Memo.find_or_compute t.ix_file_surface name (fun () ->
           Metrics.incr t.sv_metrics "compute.file_surface";
-          Surface.extract_lenient (read_file path))
+          Ds_util.Diag.ok (Surface.extract ~mode:`Lenient (read_file path)))
 
 (* ---- JSON plumbing ------------------------------------------------- *)
 
 let json_body j = Json.to_string j ^ "\n"
 let ok_json j = (200, "application/json", json_body j)
 
-let error_json status msg =
-  (status, "application/json", json_body (Json.Obj [ ("error", Json.String msg) ]))
+let error_json status msg = (status, "application/json", json_body (Api.error ~status msg))
 
 let scale_label ds =
   if Dataset.scale ds = Calibration.bench_scale then "bench"
@@ -126,7 +129,8 @@ let scale_label ds =
 
 let healthz t =
   ok_json
-    (Json.Obj
+    (Api.envelope
+    @@ Json.Obj
        [
          ("status", Json.String "ok");
          ("scale", Json.String (scale_label t.sv_ds));
@@ -154,7 +158,7 @@ let images t =
         Json.Obj [ ("name", Json.String name); ("kind", Json.String "file") ])
       t.sv_files
   in
-  ok_json (Json.Obj [ ("images", Json.List (study @ files)) ])
+  ok_json (Api.envelope (Json.Obj [ ("images", Json.List (study @ files)) ]))
 
 let construct_entry s kind name =
   match kind with
@@ -173,7 +177,9 @@ let surface_endpoint t name query =
           let body =
             indexed t t.ix_surface "surface" name (fun () ->
                 Metrics.incr t.sv_metrics "compute.surface";
-                json_body (Export.surface_with_health (surface_of_source t name src)))
+                let s = surface_of_source t name src in
+                json_body
+                  (Api.of_diags ~data:(Export.surface_with_health s) (Surface.health s)))
           in
           (200, "application/json", body)
       | Some kind, Some cname -> (
@@ -185,14 +191,17 @@ let surface_endpoint t name query =
             | None -> error_json 404 (Printf.sprintf "no %s %s on %s" kind cname name)
             | Some entry ->
                 ok_json
-                  (Json.Obj
-                     [
-                       ("image", Json.String name);
-                       ("health", Json.String (Export.health_label (Surface.health s)));
-                       ("kind", Json.String kind);
-                       ("name", Json.String cname);
-                       ("entry", entry);
-                     ]))
+                  (Api.of_diags
+                     ~data:
+                       (Json.Obj
+                          [
+                            ("image", Json.String name);
+                            ("health", Json.String (Export.health_label (Surface.health s)));
+                            ("kind", Json.String kind);
+                            ("name", Json.String cname);
+                            ("entry", entry);
+                          ])
+                     (Surface.health s)))
       | _ -> error_json 400 "kind= and name= must be given together")
 
 let diff_endpoint t a b =
@@ -219,14 +228,15 @@ let diff_endpoint t a b =
             in
             let fields = match Export.diff d with Json.Obj fs -> fs | _ -> [] in
             json_body
-              (Json.Obj
-                 (("from", Json.String a) :: ("to", Json.String b)
-                 :: ( "mode",
-                      Json.String
-                        (match mode with
-                        | Diff.Across_versions -> "across_versions"
-                        | Diff.Across_configs -> "across_configs") )
-                 :: fields)))
+              (Api.envelope
+              @@ Json.Obj
+                   (("from", Json.String a) :: ("to", Json.String b)
+                   :: ( "mode",
+                        Json.String
+                          (match mode with
+                          | Diff.Across_versions -> "across_versions"
+                          | Diff.Across_configs -> "across_configs") )
+                   :: fields)))
       in
       (200, "application/json", body)
 
@@ -272,7 +282,7 @@ let suggestions t obj =
 let mismatch_endpoint t query body =
   if String.length body = 0 then error_json 400 "empty body: POST the BPF object bytes"
   else
-    match Ds_bpf.Obj.read body with
+    match Ds_util.Diag.ok (Ds_bpf.Obj.read body) with
     | exception Ds_bpf.Obj.Bad_obj m -> error_json 400 ("bad BPF object: " ^ m)
     | obj ->
         let digest =
@@ -309,7 +319,8 @@ let metrics_endpoint t =
   in
   let fields = match Metrics.to_json t.sv_metrics with Json.Obj fs -> fs | _ -> [] in
   ok_json
-    (Json.Obj
+    (Api.envelope
+    @@ Json.Obj
        (("requests_total", Json.Int (Metrics.counter t.sv_metrics "requests_total"))
        :: ("compiles", Json.Int (Dataset.compile_count t.sv_ds))
        :: ("store", store_json)
@@ -365,6 +376,53 @@ let parse_query qs =
                ( percent_decode (String.sub kv 0 i),
                  percent_decode (String.sub kv (i + 1) (String.length kv - i - 1)) ))
 
+(* ---- /trace/recent ------------------------------------------------- *)
+
+let trace_endpoint query =
+  let limit =
+    match Option.bind (List.assoc_opt "limit" query) int_of_string_opt with
+    | Some n when n > 0 -> n
+    | _ -> 100
+  in
+  let sps = Trace.recent ~limit () in
+  ok_json
+    (Api.envelope
+       (Json.Obj
+          [
+            ("spans", Json.List (List.map Trace.span_json sps));
+            ("dropped", Json.Int (Trace.drops ()));
+          ]))
+
+(* the request's own span plus every finished span whose ancestor chain
+   reaches it; used for the ?trace=1 inline view of one request *)
+let trace_descendants root_id =
+  if root_id = 0 then []
+  else begin
+    let sps = Trace.spans () in
+    let parent = Hashtbl.create 64 in
+    List.iter (fun sp -> Hashtbl.replace parent sp.Trace.sp_id sp.Trace.sp_parent) sps;
+    let reaches id =
+      let rec go id depth =
+        if depth > 64 || id = 0 then false
+        else if id = root_id then true
+        else match Hashtbl.find_opt parent id with Some p -> go p (depth + 1) | None -> false
+      in
+      go id 0
+    in
+    List.filter
+      (fun sp -> sp.Trace.sp_id = root_id || reaches sp.Trace.sp_parent)
+      sps
+  end
+
+let inject_trace root_id body =
+  match Json.of_string body with
+  | exception _ -> body
+  | Json.Obj fields ->
+      let sps = trace_descendants root_id in
+      json_body
+        (Json.Obj (fields @ [ ("trace", Json.List (List.map Trace.span_json sps)) ]))
+  | _ -> body
+
 let dispatch t ~meth ~segs ~query ~body =
   match (meth, segs) with
   | "GET", [ "healthz" ] -> healthz t
@@ -373,10 +431,16 @@ let dispatch t ~meth ~segs ~query ~body =
   | "GET", [ "diff"; a; b ] -> diff_endpoint t a b
   | "POST", [ "mismatch" ] -> mismatch_endpoint t query body
   | "GET", [ "metrics" ] -> metrics_endpoint t
-  | _, ([ "healthz" ] | [ "images" ] | [ "surface"; _ ] | [ "diff"; _; _ ] | [ "metrics" ]) ->
+  | "GET", [ "trace"; "recent" ] -> trace_endpoint query
+  | ( _,
+      ( [ "healthz" ] | [ "images" ] | [ "surface"; _ ] | [ "diff"; _; _ ] | [ "metrics" ]
+      | [ "trace"; "recent" ] ) ) ->
       error_json 405 ("method not allowed: " ^ meth)
   | _, [ "mismatch" ] -> error_json 405 "POST the BPF object bytes to /mismatch"
-  | _ -> error_json 404 "no such endpoint (healthz, images, surface, diff, mismatch, metrics)"
+  | _ ->
+      error_json 404
+        "no such endpoint (healthz, images, surface, diff, mismatch, metrics, trace/recent; \
+         all also under /v1)"
 
 let route_label segs =
   match segs with
@@ -386,6 +450,7 @@ let route_label segs =
   | "diff" :: _ -> "/diff"
   | [ "mismatch" ] -> "/mismatch"
   | [ "metrics" ] -> "/metrics"
+  | "trace" :: _ -> "/trace"
   | _ -> "/other"
 
 let handle_request t ~meth ~target ~body =
@@ -399,17 +464,30 @@ let handle_request t ~meth ~target ~body =
   let segs =
     String.split_on_char '/' path |> List.filter (fun s -> s <> "") |> List.map percent_decode
   in
+  (* /v1/<route> and the bare legacy <route> share one handler (and one
+     cached body), which makes the byte-identical-alias guarantee
+     structural rather than something each endpoint re-implements *)
+  let segs = match segs with "v1" :: rest -> rest | segs -> segs in
   let label = route_label segs in
   Metrics.incr t.sv_metrics "requests_total";
   let t0 = Unix.gettimeofday () in
-  let ((status, _, _) as response) =
-    try dispatch t ~meth ~segs ~query ~body
-    with e -> error_json 500 ("internal error: " ^ Printexc.to_string e)
+  let trace_id = ref 0 in
+  let status, ctype, rbody =
+    Trace.span ~name:"serve.request" ~attrs:[ ("method", meth); ("route", label) ]
+      (fun () ->
+        trace_id := Trace.current_id ();
+        try dispatch t ~meth ~segs ~query ~body
+        with e -> error_json 500 ("internal error: " ^ Printexc.to_string e))
+  in
+  let rbody =
+    if List.assoc_opt "trace" query = Some "1" && ctype = "application/json" then
+      inject_trace !trace_id rbody
+    else rbody
   in
   Metrics.record t.sv_metrics label (Unix.gettimeofday () -. t0);
   Metrics.incr t.sv_metrics ("requests." ^ label);
   if status >= 400 then Metrics.incr t.sv_metrics ("errors." ^ label);
-  response
+  (status, ctype, [ ("x-depsurf-trace", string_of_int !trace_id) ], rbody)
 
 (* ---- HTTP over sockets --------------------------------------------- *)
 
@@ -428,10 +506,15 @@ let reason_of = function
   | 500 -> "Internal Server Error"
   | _ -> "Unknown"
 
-let send_response fd status ctype body =
+let send_response fd status ctype extra_headers body =
+  let extra =
+    String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) extra_headers)
+  in
   let msg =
-    Printf.sprintf "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
-      status (reason_of status) ctype (String.length body) body
+    Printf.sprintf
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n%sConnection: close\r\n\r\n%s"
+      status (reason_of status) ctype (String.length body) extra body
   in
   write_all fd msg 0 (String.length msg)
 
@@ -517,12 +600,12 @@ let handle_conn t fd =
       match recv_request fd with
       | exception Bad_request m ->
           Metrics.incr t.sv_metrics "errors.protocol";
-          (try send_response fd 400 "text/plain" ("bad request: " ^ m ^ "\n")
+          (try send_response fd 400 "text/plain" [] ("bad request: " ^ m ^ "\n")
            with Unix.Unix_error _ -> ())
       | exception Unix.Unix_error _ -> Metrics.incr t.sv_metrics "errors.io"
       | meth, target, body -> (
-          let status, ctype, rbody = handle_request t ~meth ~target ~body in
-          try send_response fd status ctype rbody
+          let status, ctype, headers, rbody = handle_request t ~meth ~target ~body in
+          try send_response fd status ctype headers rbody
           with Unix.Unix_error _ -> Metrics.incr t.sv_metrics "errors.io"))
 
 type addr = Unix_sock of string | Tcp of string * int
@@ -618,7 +701,7 @@ module Client = struct
     go ();
     Buffer.contents buf
 
-  let request ?body addr ~meth ~path =
+  let request_full ?body addr ~meth ~path =
     let domain, sockaddr =
       match addr with
       | Unix_sock p -> (Unix.PF_UNIX, Unix.ADDR_UNIX p)
@@ -650,5 +733,21 @@ module Client = struct
                   | None -> failwith "malformed HTTP status line")
               | _ -> failwith "malformed HTTP status line"
             in
-            (status, String.sub raw (i + 4) (String.length raw - i - 4)))
+            let headers =
+              String.split_on_char '\n' (String.sub raw 0 i)
+              |> List.filter_map (fun line ->
+                     let line = strip_cr line in
+                     match String.index_opt line ':' with
+                     | None -> None
+                     | Some j ->
+                         Some
+                           ( String.lowercase_ascii (String.sub line 0 j),
+                             String.trim
+                               (String.sub line (j + 1) (String.length line - j - 1)) ))
+            in
+            (status, headers, String.sub raw (i + 4) (String.length raw - i - 4)))
+
+  let request ?body addr ~meth ~path =
+    let status, _, body = request_full ?body addr ~meth ~path in
+    (status, body)
 end

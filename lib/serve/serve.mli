@@ -23,22 +23,35 @@
     - per-endpoint metrics ({!Ds_util.Metrics}): request counters,
       error counters, and latency histograms with p50/p95/p99.
 
-    Endpoints:
+    Endpoints (canonically under [/v1/...]; the bare legacy paths are
+    kept as byte-identical aliases — both forms dispatch to the same
+    handler and share the same cached body):
 
-    - [GET /healthz] — liveness + index occupancy;
-    - [GET /images] — every queryable image (study matrix + extra
+    - [GET /v1/healthz] — liveness + index occupancy;
+    - [GET /v1/images] — every queryable image (study matrix + extra
       on-disk images);
-    - [GET /surface/<image>] — a full surface document, health included
-      (degraded images answer HTTP 200 with ["health": "degraded"],
-      never a 500); [?kind=func|struct|tracepoint|syscall&name=X]
-      narrows to one construct;
-    - [GET /diff/<a>/<b>] — the pairwise declaration diff;
-    - [POST /mismatch] — body: raw BPF object bytes; response: the
-      per-image dependency-mismatch report, byte-identical to
-      [depsurf report] for the same object; [?suggest=1] appends
-      stable-probe suggestions from the {!Depsurf.Compat} registry;
-    - [GET /metrics] — counters, latency histograms, store counters,
-      compile count and index sizes. *)
+    - [GET /v1/surface/<image>] — a full surface document, health
+      included (degraded images answer HTTP 200 with
+      ["health": "degraded"], never a 500);
+      [?kind=func|struct|tracepoint|syscall&name=X] narrows to one
+      construct;
+    - [GET /v1/diff/<a>/<b>] — the pairwise declaration diff;
+    - [POST /v1/mismatch] — body: raw BPF object bytes; response: the
+      per-image dependency-mismatch report ([text/plain]),
+      byte-identical to [depsurf report] for the same object;
+      [?suggest=1] appends stable-probe suggestions from the
+      {!Depsurf.Compat} registry;
+    - [GET /v1/metrics] — counters, latency histograms, store counters,
+      compile count and index sizes;
+    - [GET /v1/trace/recent] — most recently finished tracing spans
+      ([?limit=N], default 100) plus the ring-drop counter.
+
+    Every JSON response is wrapped in the versioned {!Depsurf.Api}
+    envelope [{v; health; data; diagnostics}]. Every response carries an
+    [x-depsurf-trace] header with the id of the request's
+    ["serve.request"] span, and [?trace=1] on any JSON endpoint inlines
+    that request's finished descendant spans under a ["trace"] member of
+    the (enveloped) body. *)
 
 open Ds_ksrc
 
@@ -61,9 +74,12 @@ val image_name : Version.t * Config.t -> string
 val image_of_name : string -> (Version.t * Config.t) option
 (** Inverse of {!image_name}; [None] when not in the study matrix. *)
 
-val handle_request : t -> meth:string -> target:string -> body:string -> int * string * string
-(** Route and answer one request: [(status, content_type, body)]. Never
-    raises — internal errors become a 500 document. Exposed for unit
+val handle_request :
+  t -> meth:string -> target:string -> body:string -> int * string * (string * string) list * string
+(** Route and answer one request:
+    [(status, content_type, headers, body)] where [headers] is the
+    extra response headers (always including [x-depsurf-trace]). Never
+    raises — internal errors become a 500 envelope. Exposed for unit
     tests and in-process callers. *)
 
 (** {2 Socket front-end} *)
@@ -96,4 +112,9 @@ module Client : sig
       present sends a [Content-Length] payload (used with [POST]).
       Raises [Unix.Unix_error] on connection failures and [Failure] on
       malformed responses. *)
+
+  val request_full :
+    ?body:string -> addr -> meth:string -> path:string -> int * (string * string) list * string
+  (** Like {!request} but also returns the response headers as
+      [(lowercased-name, value)] pairs. *)
 end

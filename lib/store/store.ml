@@ -191,28 +191,38 @@ let evict t ~ns ~key ~reason path =
   Atomic.incr t.evictions
 
 let find t ~ns ~key ~decode =
+  Ds_trace.Trace.span ~name:"store.find" ~attrs:[ ("ns", ns); ("key", key) ]
+  @@ fun () ->
   let path = entry_path t.t_dir ~ns ~key in
   match read_file path with
   | exception Sys_error _ ->
       Atomic.incr t.misses;
+      Ds_trace.Trace.set_attr "outcome" "miss";
       None
   | data -> (
       match Frame.decode ~ns data with
       | Frame.Corrupt reason ->
           evict t ~ns ~key ~reason path;
+          Ds_trace.Trace.set_attr "outcome" "evict";
           None
       | Frame.Ok payload -> (
           match decode payload with
           | v ->
               Atomic.incr t.hits;
               ignore (Atomic.fetch_and_add t.bytes_read (String.length data));
+              Ds_trace.Trace.set_attr "outcome" "hit";
+              Ds_trace.Trace.set_attr "bytes" (string_of_int (String.length data));
               Some v
           | exception e ->
               (* intact frame, undecodable payload: stale codec *)
               evict t ~ns ~key ~reason:("decode: " ^ Printexc.to_string e) path;
+              Ds_trace.Trace.set_attr "outcome" "evict";
               None))
 
 let add t ~ns ~key payload =
+  Ds_trace.Trace.span ~name:"store.add"
+    ~attrs:[ ("ns", ns); ("key", key); ("bytes", string_of_int (String.length payload)) ]
+  @@ fun () ->
   let frame = Frame.encode ~ns payload in
   (match write_atomic (entry_path t.t_dir ~ns ~key) frame with
   | () ->
@@ -339,6 +349,7 @@ let sweep_parts dir =
     (namespaces dir)
 
 let verify ~dir =
+  Ds_trace.Trace.span ~name:"store.verify" @@ fun () ->
   sweep_parts dir;
   List.fold_left
     (fun (ok, bad) e ->

@@ -1,0 +1,373 @@
+open Ds_util
+
+type span = {
+  sp_id : int;
+  sp_parent : int;  (** [0] = no parent (root span) *)
+  sp_name : string;
+  mutable sp_attrs : (string * string) list;
+  sp_start : float;
+  mutable sp_stop : float;
+  sp_domain : int;
+}
+
+(* One ring per domain, written only by its owning domain: [record] is a
+   plain slot store + count bump, no lock, no CAS. Cross-domain readers
+   (exports, the serve /trace/recent endpoint) take a racy snapshot; the
+   OCaml memory model makes such reads stale-at-worst, never torn, which
+   is the right trade for an observability path that must not perturb
+   the code it measures. *)
+type ring = {
+  rg_domain : int;
+  rg_cap : int;
+  rg_slots : span option array;
+  mutable rg_count : int;  (** total spans ever recorded; grows past [rg_cap] *)
+}
+
+type frame = {
+  fr_id : int;
+  fr_span : span option;
+      (** [None] for context frames inherited across a [Par] task handoff
+          or installed with [with_parent]: they parent new spans but have
+          no local span to finish or attribute to. *)
+}
+
+type dstate = { ds_ring : ring; mutable ds_stack : frame list }
+
+let default_capacity = 16384
+
+let capacity =
+  match Option.bind (Sys.getenv_opt "DEPSURF_TRACE_CAP") int_of_string_opt with
+  | Some n when n >= 16 -> n
+  | _ -> default_capacity
+
+let enabled_flag = Atomic.make false
+let next_id = Atomic.make 1
+let registry_mutex = Mutex.create ()
+let registry : ring list ref = ref []
+
+let dls_key =
+  Domain.DLS.new_key (fun () ->
+      let rg =
+        {
+          rg_domain = (Domain.self () :> int);
+          rg_cap = capacity;
+          rg_slots = Array.make capacity None;
+          rg_count = 0;
+        }
+      in
+      Mutex.lock registry_mutex;
+      registry := rg :: !registry;
+      Mutex.unlock registry_mutex;
+      { ds_ring = rg; ds_stack = [] })
+
+let enabled () = Atomic.get enabled_flag
+
+let now = Unix.gettimeofday
+
+let record rg sp =
+  rg.rg_slots.(rg.rg_count mod rg.rg_cap) <- Some sp;
+  rg.rg_count <- rg.rg_count + 1
+
+(* Because spans finish LIFO within a domain, an outermost span is
+   recorded after all its children: under drop-oldest pressure the roots
+   and near-root phases survive and the leaf spam is what gets evicted. *)
+let span ?(attrs = []) ~name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let ds = Domain.DLS.get dls_key in
+    let parent = match ds.ds_stack with [] -> 0 | fr :: _ -> fr.fr_id in
+    let sp =
+      {
+        sp_id = Atomic.fetch_and_add next_id 1;
+        sp_parent = parent;
+        sp_name = name;
+        sp_attrs = attrs;
+        sp_start = now ();
+        sp_stop = 0.;
+        sp_domain = ds.ds_ring.rg_domain;
+      }
+    in
+    ds.ds_stack <- { fr_id = sp.sp_id; fr_span = Some sp } :: ds.ds_stack;
+    let finish () =
+      sp.sp_stop <- now ();
+      (match ds.ds_stack with _ :: tl -> ds.ds_stack <- tl | [] -> ());
+      record ds.ds_ring sp
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        sp.sp_attrs <- ("error", Printexc.to_string e) :: sp.sp_attrs;
+        finish ();
+        Printexc.raise_with_backtrace e bt
+  end
+
+let with_parent parent f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let ds = Domain.DLS.get dls_key in
+    let saved = ds.ds_stack in
+    ds.ds_stack <- { fr_id = parent; fr_span = None } :: saved;
+    Fun.protect ~finally:(fun () -> ds.ds_stack <- saved) f
+  end
+
+let current_id () =
+  if not (Atomic.get enabled_flag) then 0
+  else match (Domain.DLS.get dls_key).ds_stack with [] -> 0 | fr :: _ -> fr.fr_id
+
+let set_attr k v =
+  if Atomic.get enabled_flag then
+    let ds = Domain.DLS.get dls_key in
+    let rec innermost_span = function
+      | [] -> ()
+      | { fr_span = Some sp; _ } :: _ -> sp.sp_attrs <- (k, v) :: sp.sp_attrs
+      | { fr_span = None; _ } :: tl -> innermost_span tl
+    in
+    innermost_span ds.ds_stack
+
+let capture_context () =
+  let parent = current_id () in
+  { Par.ctx_wrap = (fun f -> with_parent parent f) }
+
+let enable () =
+  Atomic.set enabled_flag true;
+  Par.set_task_context (Some capture_context)
+
+let disable () = Atomic.set enabled_flag false
+
+let rings () =
+  Mutex.lock registry_mutex;
+  let rs = !registry in
+  Mutex.unlock registry_mutex;
+  rs
+
+let drops () =
+  List.fold_left (fun acc rg -> acc + max 0 (rg.rg_count - rg.rg_cap)) 0 (rings ())
+
+let spans () =
+  let acc = ref [] in
+  List.iter
+    (fun rg ->
+      Array.iter (function Some sp -> acc := sp :: !acc | None -> ()) rg.rg_slots)
+    (rings ());
+  List.sort (fun a b -> compare (a.sp_start, a.sp_id) (b.sp_start, b.sp_id)) !acc
+
+(* Quiescent use only (between bench iterations, in tests): resetting a
+   ring races with its owning domain if that domain is mid-span. *)
+let clear () =
+  List.iter
+    (fun rg ->
+      Array.fill rg.rg_slots 0 rg.rg_cap None;
+      rg.rg_count <- 0)
+    (rings ())
+
+let recent ?(limit = 100) () =
+  let by_stop = List.sort (fun a b -> compare (b.sp_stop, b.sp_id) (a.sp_stop, a.sp_id)) (spans ()) in
+  List.filteri (fun i _ -> i < limit) by_stop
+
+(* ---- analysis ------------------------------------------------------- *)
+
+let dur_us sp = max 0 (int_of_float (sp.sp_stop *. 1e6) - int_of_float (sp.sp_start *. 1e6))
+
+(* Self time = own duration minus the summed durations of direct
+   children, clamped at zero: children that ran in parallel on other
+   domains can overlap in wall time and oversubtract. *)
+let self_us_by_id sps =
+  let self = Hashtbl.create 256 in
+  List.iter (fun sp -> Hashtbl.replace self sp.sp_id (dur_us sp)) sps;
+  List.iter
+    (fun sp ->
+      if sp.sp_parent <> 0 then
+        match Hashtbl.find_opt self sp.sp_parent with
+        | Some s -> Hashtbl.replace self sp.sp_parent (s - dur_us sp)
+        | None -> ())
+    sps;
+  Hashtbl.iter (fun id s -> if s < 0 then Hashtbl.replace self id 0) self;
+  self
+
+let top sps =
+  let self = self_us_by_id sps in
+  let agg = Hashtbl.create 64 in
+  List.iter
+    (fun sp ->
+      let s = match Hashtbl.find_opt self sp.sp_id with Some s -> s | None -> 0 in
+      let count, total, slf =
+        match Hashtbl.find_opt agg sp.sp_name with Some x -> x | None -> (0, 0, 0)
+      in
+      Hashtbl.replace agg sp.sp_name (count + 1, total + dur_us sp, slf + s))
+    sps;
+  Hashtbl.fold (fun name (c, t, s) acc -> (name, c, t, s) :: acc) agg []
+  |> List.sort (fun (na, _, _, sa) (nb, _, _, sb) -> compare (sb, na) (sa, nb))
+
+let top_table sps =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-40s %8s %12s %12s\n" "span" "count" "total_us" "self_us");
+  List.iter
+    (fun (name, count, total, self) ->
+      Buffer.add_string buf (Printf.sprintf "%-40s %8d %12d %12d\n" name count total self))
+    (top sps);
+  Buffer.contents buf
+
+let path_of by_id sp =
+  let rec up acc sp depth =
+    if depth > 64 then acc
+    else
+      match Hashtbl.find_opt by_id sp.sp_parent with
+      | Some p -> up (p.sp_name :: acc) p (depth + 1)
+      | None -> acc
+  in
+  String.concat ";" (up [ sp.sp_name ] sp 0)
+
+let collapsed sps =
+  let by_id = Hashtbl.create 256 in
+  List.iter (fun sp -> Hashtbl.replace by_id sp.sp_id sp) sps;
+  let self = self_us_by_id sps in
+  let agg = Hashtbl.create 64 in
+  List.iter
+    (fun sp ->
+      let s = match Hashtbl.find_opt self sp.sp_id with Some s -> s | None -> 0 in
+      let p = path_of by_id sp in
+      Hashtbl.replace agg p (s + match Hashtbl.find_opt agg p with Some x -> x | None -> 0))
+    sps;
+  Hashtbl.fold (fun p s acc -> (p, s) :: acc) agg []
+  |> List.sort compare
+  |> List.map (fun (p, s) -> Printf.sprintf "%s %d" p s)
+  |> fun lines -> String.concat "\n" lines ^ "\n"
+
+let root_of sps =
+  let roots = List.filter (fun sp -> sp.sp_parent = 0) sps in
+  match roots with
+  | [] -> None
+  | _ ->
+      Some (List.fold_left (fun acc sp -> if dur_us sp > dur_us acc then sp else acc)
+              (List.hd roots) roots)
+
+let coverage sps =
+  match root_of sps with
+  | None -> 0.
+  | Some root ->
+      let d = dur_us root in
+      if d = 0 then 1.
+      else
+        let self = self_us_by_id sps in
+        let root_self = match Hashtbl.find_opt self root.sp_id with Some s -> s | None -> d in
+        1. -. (float_of_int root_self /. float_of_int d)
+
+let well_nested sps =
+  let by_id = Hashtbl.create 256 in
+  List.iter (fun sp -> Hashtbl.replace by_id sp.sp_id sp) sps;
+  let bad = ref None in
+  List.iter
+    (fun sp ->
+      if !bad = None && sp.sp_parent <> 0 then
+        match Hashtbl.find_opt by_id sp.sp_parent with
+        | None -> ()
+        | Some p ->
+            (* only same-domain nesting is a timing invariant: a child
+               handed to another domain can outlive its logical parent's
+               phase boundaries by scheduling jitter *)
+            if
+              sp.sp_domain = p.sp_domain
+              && (sp.sp_start < p.sp_start -. 1e-9 || sp.sp_stop > p.sp_stop +. 1e-9)
+            then bad := Some (sp.sp_id, p.sp_id))
+    sps;
+  !bad
+
+(* ---- exports -------------------------------------------------------- *)
+
+(* Chrome trace_event "X" (complete) events. Timestamps are emitted as
+   integer microseconds relative to the earliest span start: Json.Float
+   prints with %g (6 significant digits), which would destroy
+   epoch-microsecond precision. Flooring each endpoint through the same
+   monotone rebase preserves well-nestedness. *)
+let chrome_json sps =
+  let t0 = List.fold_left (fun acc sp -> Float.min acc sp.sp_start) infinity sps in
+  let t0 = if sps = [] then 0. else t0 in
+  let us t = int_of_float ((t -. t0) *. 1e6) in
+  let events =
+    List.map
+      (fun sp ->
+        let ts = us sp.sp_start in
+        let dur = max 0 (us sp.sp_stop - ts) in
+        Json.Obj
+          [
+            ("name", Json.String sp.sp_name);
+            ("cat", Json.String "depsurf");
+            ("ph", Json.String "X");
+            ("ts", Json.Int ts);
+            ("dur", Json.Int dur);
+            ("pid", Json.Int 1);
+            ("tid", Json.Int sp.sp_domain);
+            ( "args",
+              Json.Obj
+                (("id", Json.Int sp.sp_id)
+                :: ("parent", Json.Int sp.sp_parent)
+                :: List.rev_map (fun (k, v) -> (k, Json.String v)) sp.sp_attrs) );
+          ])
+      sps
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List events);
+      ("displayTimeUnit", Json.String "ms");
+      ("otherData", Json.Obj [ ("dropped", Json.Int (drops ())) ]);
+    ]
+
+let span_json sp =
+  Json.Obj
+    [
+      ("id", Json.Int sp.sp_id);
+      ("parent", Json.Int sp.sp_parent);
+      ("name", Json.String sp.sp_name);
+      ("start_us", Json.Int (int_of_float (sp.sp_start *. 1e6)));
+      ("dur_us", Json.Int (dur_us sp));
+      ("domain", Json.Int sp.sp_domain);
+      ("attrs", Json.Obj (List.rev_map (fun (k, v) -> (k, Json.String v)) sp.sp_attrs));
+    ]
+
+exception Bad_trace of string
+
+let of_chrome j =
+  let fail msg = raise (Bad_trace msg) in
+  let events =
+    match Json.member "traceEvents" j with
+    | Some (Json.List es) -> es
+    | _ -> fail "missing traceEvents array"
+  in
+  List.map
+    (fun ev ->
+      let geti k =
+        match Json.member k ev with
+        | Some (Json.Int n) -> n
+        | _ -> fail (Printf.sprintf "event field %S missing or not an integer" k)
+      in
+      let name =
+        match Json.member "name" ev with Some (Json.String s) -> s | _ -> fail "event has no name"
+      in
+      let args = match Json.member "args" ev with Some a -> a | None -> Json.Obj [] in
+      let arg_int k = match Json.member k args with Some (Json.Int n) -> n | _ -> 0 in
+      let attrs =
+        match args with
+        | Json.Obj kvs ->
+            List.filter_map
+              (function
+                | ("id", _) | ("parent", _) -> None
+                | k, Json.String v -> Some (k, v)
+                | _ -> None)
+              kvs
+        | _ -> []
+      in
+      let ts = geti "ts" and dur = geti "dur" in
+      {
+        sp_id = arg_int "id";
+        sp_parent = arg_int "parent";
+        sp_name = name;
+        sp_attrs = attrs;
+        sp_start = float_of_int ts /. 1e6;
+        sp_stop = float_of_int (ts + dur) /. 1e6;
+        sp_domain = geti "tid";
+      })
+    events

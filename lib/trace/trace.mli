@@ -1,0 +1,126 @@
+(** Hierarchical span tracing for the whole pipeline.
+
+    {2 Span model}
+
+    A span is one timed, named region of execution with string
+    attributes and a parent link; spans form trees rooted at parentless
+    spans ([sp_parent = 0]). {!span} opens a child of the innermost
+    span (or inherited context) on the calling domain's stack, runs the
+    thunk, and records the finished span — including on exception,
+    adding an ["error"] attribute and re-raising.
+
+    {2 Ring buffers}
+
+    Each domain owns one bounded ring (capacity {!default_capacity},
+    override with [DEPSURF_TRACE_CAP]); recording is a lock-free
+    single-writer slot store that overwrites the oldest span when full.
+    Spans finish LIFO, so roots and phase spans are recorded after — and
+    therefore survive — their leaf children under drop pressure. The
+    total overwritten count is exposed by {!drops}. Cross-domain reads
+    (exports, the serve endpoint) are racy-by-design snapshots: stale at
+    worst, never torn.
+
+    {2 Cross-domain parenting}
+
+    [Trace] installs a [Par.set_task_context] hook on {!enable}: the
+    submitting thread's current span id is captured at [Par.submit] time
+    and re-installed (as a context frame, not a span) around the task
+    body on whichever worker executes it, so pool fan-outs keep their
+    logical parent even though they run on another domain's stack.
+
+    When disabled (the default), every entrypoint is a near-free no-op —
+    one atomic load on the {!span} fast path. *)
+
+type span = {
+  sp_id : int;
+  sp_parent : int;  (** [0] = root (no parent) *)
+  sp_name : string;
+  mutable sp_attrs : (string * string) list;
+  sp_start : float;  (** [Unix.gettimeofday] seconds *)
+  mutable sp_stop : float;
+  sp_domain : int;
+}
+
+val default_capacity : int
+(** Per-domain ring capacity (16384) unless [DEPSURF_TRACE_CAP] is set. *)
+
+val enable : unit -> unit
+(** Turn tracing on and install the [Par] task-context hook. *)
+
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val span : ?attrs:(string * string) list -> name:string -> (unit -> 'a) -> 'a
+(** [span ~name f] runs [f] inside a new span. When tracing is
+    disabled this is just [f ()]. *)
+
+val with_parent : int -> (unit -> 'a) -> 'a
+(** Run a thunk with the given span id as ambient parent (a context
+    frame): new spans opened inside become its children. Used for
+    cross-domain handoff; id [0] makes new spans roots. *)
+
+val current_id : unit -> int
+(** Innermost span (or context) id on this domain, [0] if none or
+    tracing is disabled. *)
+
+val set_attr : string -> string -> unit
+(** Attach an attribute to the innermost {e local} open span (skipping
+    inherited context frames). No-op when disabled or no span is open. *)
+
+val drops : unit -> int
+(** Total spans overwritten (drop-oldest) across all rings. *)
+
+val spans : unit -> span list
+(** Snapshot of all recorded spans across all domain rings, ordered by
+    start time. Racy-but-safe when other domains are still recording. *)
+
+val recent : ?limit:int -> unit -> span list
+(** Most recently finished spans, newest first (default limit 100). *)
+
+val clear : unit -> unit
+(** Reset all rings. Only meaningful when no domain is mid-span
+    (between bench iterations, in tests). *)
+
+(** {2 Analysis} *)
+
+val dur_us : span -> int
+
+val self_us_by_id : span list -> (int, int) Hashtbl.t
+(** Self time per span id: own duration minus direct children's summed
+    durations, clamped at [0] (parallel children overlap wall time). *)
+
+val top : span list -> (string * int * int * int) list
+(** Aggregate by span name: [(name, count, total_us, self_us)], sorted
+    by self time descending. *)
+
+val top_table : span list -> string
+(** {!top} rendered as an aligned text table. *)
+
+val collapsed : span list -> string
+(** Collapsed-stack flamegraph text: one [root;...;leaf self_us] line
+    per distinct path, sorted, newline-terminated. *)
+
+val coverage : span list -> float
+(** Fraction of the root span's wall time attributed to descendants
+    ([1.0] = no unexplained gaps). Root = parentless span with the
+    longest duration; [0.] when there is none. *)
+
+val well_nested : span list -> (int * int) option
+(** [Some (child_id, parent_id)] for the first same-domain child whose
+    interval escapes its parent's, [None] when properly nested. *)
+
+(** {2 Exports} *)
+
+val chrome_json : span list -> Ds_util.Json.t
+(** Chrome [trace_event] document (["X"] complete events, integer
+    microseconds rebased to the earliest start, one [tid] per domain,
+    span/parent ids under [args], drop count under [otherData]). *)
+
+val span_json : span -> Ds_util.Json.t
+(** One span as a flat JSON object (serve wire view). *)
+
+exception Bad_trace of string
+
+val of_chrome : Ds_util.Json.t -> span list
+(** Parse a {!chrome_json} document back into spans (for [depsurf trace
+    top|flame|validate FILE]). Raises {!Bad_trace} on malformed input. *)

@@ -47,6 +47,14 @@ let is_degraded ds =
 let exit_code ds =
   match worst ds with Some Fatal -> 1 | Some Degraded -> 2 | Some Warning | None -> 0
 
+type mode = [ `Strict | `Lenient ]
+
+type 'a outcome = { ok : 'a; diags : t list }
+
+let outcome ?(diags = []) ok = { ok; diags }
+let ok o = o.ok
+let diags o = o.diags
+
 module Collector = struct
   type diag = t
 

@@ -53,6 +53,22 @@ val is_degraded : t list -> bool
 val exit_code : t list -> int
 (** [0] clean (no diagnostics, or warnings only), [1] fatal, [2] degraded. *)
 
+type mode = [ `Strict | `Lenient ]
+(** Parsing mode shared by every binary parser's unified entrypoint.
+    [`Strict] preserves the historical behaviour: raise the parser's
+    typed exception on the first malformed byte. [`Lenient] extracts
+    whatever parses cleanly and reports the rest as diagnostics. *)
+
+type 'a outcome = { ok : 'a; diags : t list }
+(** The shared result shape of the unified [read ?mode] entrypoints:
+    the extracted value plus the diagnostics describing what was lost
+    along the way ([diags = []] in strict mode — strict raises
+    instead of degrading). *)
+
+val outcome : ?diags:t list -> 'a -> 'a outcome
+val ok : 'a outcome -> 'a
+val diags : 'a outcome -> t list
+
 (** A bounded, domain-safe diagnostic sink. Parsers running under
     [Par] pool workers may share one collector; emission order is
     preserved and the total is capped (a corrupt 64k-section header

@@ -21,6 +21,20 @@ and pool = {
   mutable p_workers : unit Domain.t list;
 }
 
+type task_wrap = { ctx_wrap : 'a. (unit -> 'a) -> 'a }
+
+let identity_wrap = { ctx_wrap = (fun f -> f ()) }
+
+(* Capture function, consulted once per [submit] on the submitting
+   thread; the resulting wrap runs around the task body on whichever
+   worker picks it up. Lets a tracing layer thread its ambient context
+   (e.g. the current span id) across the pool handoff without Par
+   depending on it. *)
+let task_context : (unit -> task_wrap) Atomic.t = Atomic.make (fun () -> identity_wrap)
+
+let set_task_context capture =
+  Atomic.set task_context (match capture with None -> fun () -> identity_wrap | Some c -> c)
+
 let default_jobs () =
   match Option.bind (Sys.getenv_opt "DEPSURF_JOBS") int_of_string_opt with
   | Some n when n >= 1 -> n
@@ -75,12 +89,13 @@ let create ?jobs () =
 
 let submit p f =
   let fut = { f_mutex = Mutex.create (); f_cond = Condition.create (); f_state = Pending; f_pool = p } in
+  let wrap = (Atomic.get task_context) () in
   Mutex.lock p.p_mutex;
   if p.p_down then begin
     Mutex.unlock p.p_mutex;
     invalid_arg "Par.submit: pool is shut down"
   end;
-  Queue.push (Task (fut, f)) p.p_queue;
+  Queue.push (Task (fut, fun () -> wrap.ctx_wrap f)) p.p_queue;
   Condition.signal p.p_pending;
   Mutex.unlock p.p_mutex;
   fut

@@ -25,6 +25,19 @@ val jobs : pool -> int
 val submit : pool -> (unit -> 'a) -> 'a future
 (** Enqueue a task. Raises [Invalid_argument] after {!shutdown}. *)
 
+type task_wrap = { ctx_wrap : 'a. (unit -> 'a) -> 'a }
+(** A polymorphic wrapper run around a task's body on the worker that
+    executes it. *)
+
+val set_task_context : (unit -> task_wrap) option -> unit
+(** Install a context-capture hook. The capture function is called once
+    per {!submit}, on the submitting thread, and the wrap it returns
+    runs around the task body on whichever domain executes it — letting
+    an observability layer (e.g. [Ds_trace]) propagate ambient state
+    such as the current span id across the pool handoff. [None]
+    restores the identity wrap. Process-global; intended to be set once
+    at startup. *)
+
 val await : 'a future -> 'a
 (** Block until the task finishes, executing other queued tasks of the
     same pool while waiting. Re-raises the task's exception (with its

@@ -16,8 +16,8 @@ let mutation_count =
 
 let seed = 42L
 
-let surface_health bytes = Surface.health (Surface.extract_lenient bytes)
-let obj_health bytes = (Ds_bpf.Obj.read_lenient bytes).Ds_bpf.Obj.o_diags
+let surface_health bytes = Surface.health (Ds_util.Diag.ok (Surface.extract ~mode:`Lenient bytes))
+let obj_health bytes = Ds_util.Diag.diags (Ds_bpf.Obj.read ~mode:`Lenient bytes)
 
 let failures = ref 0
 

@@ -207,7 +207,7 @@ let build_obj ?(v = v44) spec =
 
 let test_obj_roundtrip () =
   let obj = build_obj biotop_spec in
-  let obj' = Obj.read (Obj.write obj) in
+  let obj' = Ds_util.Diag.ok (Obj.read (Obj.write obj)) in
   Alcotest.(check string) "name" "biotop" obj'.Obj.o_name;
   Alcotest.(check int) "progs" 2 (List.length obj'.Obj.o_progs);
   let p = List.hd obj'.Obj.o_progs in
@@ -308,7 +308,7 @@ let qcheck_obj_roundtrip =
       let obj =
         Progbuild.build ~build_btf:k.Vmlinux.v_btf ~build_arch:Config.X86 ~tag:"t" spec
       in
-      let obj' = Obj.read (Obj.write obj) in
+      let obj' = Ds_util.Diag.ok (Obj.read (Obj.write obj)) in
       obj'.Obj.o_name = obj.Obj.o_name
       && List.length obj'.Obj.o_progs = List.length obj.Obj.o_progs
       && List.for_all2

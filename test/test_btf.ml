@@ -73,7 +73,7 @@ let test_low_level_roundtrip () =
          })
   in
   ignore s;
-  let t' = decode (encode t) in
+  let t' = Ds_util.Diag.ok (decode (encode t)) in
   Alcotest.(check int) "count" (length t) (length t');
   (match get t' 1 with
   | Int { name; bits; signed } ->
@@ -107,7 +107,7 @@ let test_all_kinds_roundtrip () =
   ignore (add t (Float { name = "double"; bits = 64 }));
   let proto = add t (Func_proto { ret = i; params = [ { p_name = "x"; p_type = i } ] }) in
   ignore (add t (Func { name = "f"; proto }));
-  let t' = decode (encode t) in
+  let t' = Ds_util.Diag.ok (decode (encode t)) in
   Alcotest.(check int) "all records survive" (length t) (length t');
   for id = 1 to length t do
     Alcotest.(check bool) (Printf.sprintf "record %d equal" id) true (get t id = get t' id)
@@ -119,7 +119,7 @@ let test_all_kinds_roundtrip () =
 let test_env_roundtrip () =
   let env = sample_env () in
   let t = of_env env sample_funcs in
-  let t' = decode (encode t) in
+  let t' = Ds_util.Diag.ok (decode (encode t)) in
   let env', funcs' = to_env ~ptr_size:8 t' in
   let task = Option.get (Decl.find_struct env' "task_struct") in
   let orig = Option.get (Decl.find_struct env "task_struct") in
@@ -172,7 +172,7 @@ let test_fwd_for_opaque () =
         };
     ]
   in
-  let t = decode (encode (of_env env funcs)) in
+  let t = Ds_util.Diag.ok (decode (encode (of_env env funcs))) in
   let has_fwd = ref false in
   iteri t (fun _ k -> match k with Fwd { name = "socket"; union = false } -> has_fwd := true | _ -> ());
   Alcotest.(check bool) "fwd emitted" true !has_fwd;
@@ -190,7 +190,7 @@ let test_self_referential () =
   let t = of_env env [] in
   (* task_struct.parent is task_struct*; ensure decoding terminates and the
      pointer resolves back to a task_struct reference. *)
-  let env', _ = to_env ~ptr_size:8 (decode (encode t)) in
+  let env', _ = to_env ~ptr_size:8 (Ds_util.Diag.ok (decode (encode t))) in
   let task = Option.get (Decl.find_struct env' "task_struct") in
   let parent = List.find (fun (f : Decl.field) -> f.fname = "parent") task.fields in
   match parent.ftype with
@@ -229,7 +229,7 @@ let test_struct_to_c () =
 
 let test_vmlinux_h () =
   let t = of_env (sample_env ()) sample_funcs in
-  let h = Ds_btf.Btf_dump.vmlinux_h (decode (encode t)) in
+  let h = Ds_btf.Btf_dump.vmlinux_h (Ds_util.Diag.ok (decode (encode t))) in
   Alcotest.(check bool) "guard" true (contains h "#ifndef __VMLINUX_H__");
   Alcotest.(check bool) "typedefs" true (contains h "typedef long unsigned int size_t;");
   Alcotest.(check bool) "forward decls" true (contains h "struct task_struct;");

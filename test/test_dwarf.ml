@@ -78,7 +78,7 @@ let sample_cus () =
 
 let roundtrip cus =
   let info, abbrev = Info.encode cus in
-  Info.decode ~info ~abbrev
+  Ds_util.Diag.ok (Info.decode ~info ~abbrev ())
 
 let test_cu_structure () =
   let cus = roundtrip (sample_cus ()) in
@@ -164,7 +164,7 @@ let test_die_low_level () =
   Die.Builder.add_root b cu;
   let arena = Die.Builder.finish b in
   let info, abbrev = Die.encode arena in
-  let arena' = Die.decode ~info ~abbrev in
+  let arena' = Ds_util.Diag.ok (Die.decode ~info ~abbrev ()) in
   Alcotest.(check int) "die count" (Die.size arena) (Die.size arena');
   let root = List.hd (Die.roots arena') in
   let cu_die = Die.get arena' root in
@@ -186,7 +186,7 @@ let test_die_refs () =
   in
   Die.Builder.add_root b cu;
   let info, abbrev = Die.encode (Die.Builder.finish b) in
-  let arena' = Die.decode ~info ~abbrev in
+  let arena' = Ds_util.Diag.ok (Die.decode ~info ~abbrev ()) in
   let cu_die = Die.get arena' (List.hd (Die.roots arena')) in
   let ptr_die =
     List.find (fun id -> (Die.get arena' id).Die.tag = Dw.tag_pointer_type) cu_die.Die.children
@@ -199,11 +199,11 @@ let test_die_refs () =
 
 let test_bad_input () =
   Alcotest.check_raises "garbage abbrev" (Die.Bad_dwarf "truncated abbrev") (fun () ->
-      ignore (Die.decode ~info:"" ~abbrev:"\x81"))
+      ignore (Die.decode ~info:"" ~abbrev:"\x81" ()))
 
 let test_empty_cu_list () =
   let info, abbrev = Info.encode [] in
-  Alcotest.(check (list pass)) "no cus" [] (Info.decode ~info ~abbrev)
+  Alcotest.(check (list pass)) "no cus" [] (Ds_util.Diag.ok (Info.decode ~info ~abbrev ()))
 
 (* random CU generator for the roundtrip property *)
 let gen_ctype_simple =
@@ -276,7 +276,7 @@ let qcheck_info_roundtrip =
     (QCheck.make QCheck.Gen.(list_size (int_range 0 4) gen_cu))
     (fun cus ->
       let info, abbrev = Info.encode cus in
-      let cus' = Info.decode ~info ~abbrev in
+      let cus' = Ds_util.Diag.ok (Info.decode ~info ~abbrev ()) in
       List.length cus = List.length cus'
       && List.for_all2
            (fun (a : Info.cu) (b : Info.cu) ->

@@ -40,7 +40,7 @@ let sample_image machine =
 let check_roundtrip machine () =
   let img = sample_image machine in
   let bytes = Elf.write img in
-  let img' = Elf.read bytes in
+  let img' = Ds_util.Diag.ok (Elf.read bytes) in
   Alcotest.(check string) "machine" (Elf.machine_to_string machine)
     (Elf.machine_to_string img'.Elf.machine);
   Alcotest.(check int) "sections" 3 (List.length img'.Elf.sections);
@@ -67,7 +67,7 @@ let test_symbols_at () =
   Alcotest.(check int) "none" 0 (List.length (Elf.symbols_at img 0xdeadL))
 
 let test_deref_ptr () =
-  let img = Elf.read (Elf.write (sample_image X86_64)) in
+  let img = Ds_util.Diag.ok (Elf.read (Elf.write (sample_image X86_64))) in
   let d = Elf.Deref.make img in
   Alcotest.(check int) "ptr size" 8 (Elf.Deref.ptr_size d);
   Alcotest.(check int64) "read ptr" 0x1122334455667788L
@@ -78,7 +78,7 @@ let test_deref_ptr () =
   Alcotest.(check bool) "not in image" false (Elf.Deref.in_image d 0x1234L)
 
 let test_deref_big_endian () =
-  let img = Elf.read (Elf.write (sample_image Ppc64)) in
+  let img = Ds_util.Diag.ok (Elf.read (Elf.write (sample_image Ppc64))) in
   let d = Elf.Deref.make img in
   Alcotest.(check int64) "big-endian ptr" 0x1122334455667788L
     (Elf.Deref.read_ptr d 0xffff000000020000L)
@@ -86,13 +86,13 @@ let test_deref_big_endian () =
 let test_deref_arm32 () =
   (* arm32 stores 4-byte pointers; the image above wrote a u64 (LE), so the
      first 4 bytes read back as the low word. *)
-  let img = Elf.read (Elf.write (sample_image Arm)) in
+  let img = Ds_util.Diag.ok (Elf.read (Elf.write (sample_image Arm))) in
   let d = Elf.Deref.make img in
   Alcotest.(check int) "ptr size 4" 4 (Elf.Deref.ptr_size d);
   Alcotest.(check int64) "low word" 0x55667788L (Elf.Deref.read_ptr d 0xffff000000020000L)
 
 let test_deref_unmapped () =
-  let img = Elf.read (Elf.write (sample_image X86_64)) in
+  let img = Ds_util.Diag.ok (Elf.read (Elf.write (sample_image X86_64))) in
   let d = Elf.Deref.make img in
   Alcotest.check_raises "unmapped" (Elf.Bad_elf "unmapped address 0x999") (fun () ->
       ignore (Elf.Deref.read_ptr d 0x999L));
@@ -101,7 +101,7 @@ let test_deref_unmapped () =
 
 let test_empty_symbols () =
   let img = Elf.{ machine = X86_64; sections = [ { sec_name = ".x"; sec_addr = 0L; sec_data = "d" } ]; symbols = [] } in
-  let img' = Elf.read (Elf.write img) in
+  let img' = Ds_util.Diag.ok (Elf.read (Elf.write img)) in
   Alcotest.(check int) "no symbols" 0 (List.length img'.Elf.symbols);
   Alcotest.(check int) "one section" 1 (List.length img'.Elf.sections)
 
@@ -117,7 +117,7 @@ let qcheck_section_roundtrip =
             symbols = [];
           }
       in
-      let img' = Elf.read (Elf.write img) in
+      let img' = Ds_util.Diag.ok (Elf.read (Elf.write img)) in
       match Elf.find_section img' ".blob" with
       | Some s -> s.Elf.sec_data = data
       | None -> false)
@@ -148,7 +148,7 @@ let qcheck_symbols_roundtrip =
             symbols;
           }
       in
-      let img' = Elf.read (Elf.write img) in
+      let img' = Ds_util.Diag.ok (Elf.read (Elf.write img)) in
       List.length img'.Elf.symbols = List.length symbols
       && List.for_all2
            (fun (a : Elf.symbol) (b : Elf.symbol) ->

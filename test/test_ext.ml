@@ -471,7 +471,7 @@ let test_corrupted_btf_rejected () =
   let img = Testenv.image (Version.v 4 4) in
   let sec = Option.get (Ds_elf.Elf.find_section img ".BTF") in
   let bad = corrupt sec.Ds_elf.Elf.sec_data 0 '\xFF' in
-  match Ds_btf.Btf.decode bad with
+  match Ds_util.Diag.ok (Ds_btf.Btf.decode bad) with
   | exception Ds_btf.Btf.Bad_btf _ -> ()
   | _ -> Alcotest.fail "corrupted BTF accepted"
 
@@ -481,7 +481,7 @@ let test_corrupted_obj_rejected () =
   in
   let bytes = Obj.write obj in
   (* truncating the file kills section parsing *)
-  match Obj.read (String.sub bytes 0 (String.length bytes / 2)) with
+  match Ds_util.Diag.ok (Obj.read (String.sub bytes 0 (String.length bytes / 2))) with
   | exception Obj.Bad_obj _ -> ()
   | exception Ds_elf.Elf.Bad_elf _ -> ()
   | _ -> Alcotest.fail "truncated object accepted"

@@ -20,10 +20,10 @@ let section name =
   | None -> Alcotest.fail ("study image lacks " ^ name)
 
 (* health functions for Faultgen.classify, one per pipeline level *)
-let elf_health bytes = (Elf.read_lenient bytes).Elf.r_diags
-let btf_health bytes = (Ds_btf.Btf.decode_lenient bytes).Ds_btf.Btf.b_diags
-let surface_health bytes = Surface.health (Surface.extract_lenient bytes)
-let obj_health bytes = (Ds_bpf.Obj.read_lenient bytes).Ds_bpf.Obj.o_diags
+let elf_health bytes = Ds_util.Diag.diags (Elf.read ~mode:`Lenient bytes)
+let btf_health bytes = Ds_util.Diag.diags (Ds_btf.Btf.decode ~mode:`Lenient bytes)
+let surface_health bytes = Surface.health (Ds_util.Diag.ok (Surface.extract ~mode:`Lenient bytes))
+let obj_health bytes = Ds_util.Diag.diags (Ds_bpf.Obj.read ~mode:`Lenient bytes)
 
 let no_crash name health bytes =
   match Faultgen.classify health bytes with
@@ -67,17 +67,17 @@ let test_dwarf_header_sweep () =
   let info = section ".debug_info" in
   let abbrev = section ".debug_abbrev" in
   (* unit header is 11 bytes; sweep past it into the first DIEs *)
-  let sweep_info m = snd (Ds_dwarf.Info.decode_lenient ~info:m ~abbrev)
-  and sweep_abbrev m = snd (Ds_dwarf.Info.decode_lenient ~info ~abbrev:m) in
+  let sweep_info m = Ds_util.Diag.diags (Ds_dwarf.Info.decode ~mode:`Lenient ~info:m ~abbrev ())
+  and sweep_abbrev m = Ds_util.Diag.diags (Ds_dwarf.Info.decode ~mode:`Lenient ~info ~abbrev:m ()) in
   let strict_ok decode m =
     match decode m with
     | _ -> ()
     | exception Ds_dwarf.Die.Bad_dwarf _ | (exception Bytesio.Truncated _) -> ()
   in
   sweep_header ~limit:32 ~health:sweep_info info
-    ~strict_ok:(strict_ok (fun m -> ignore (Ds_dwarf.Info.decode ~info:m ~abbrev)));
+    ~strict_ok:(strict_ok (fun m -> ignore (Ds_dwarf.Info.decode ~info:m ~abbrev ())));
   sweep_header ~limit:32 ~health:sweep_abbrev abbrev
-    ~strict_ok:(strict_ok (fun m -> ignore (Ds_dwarf.Info.decode ~info ~abbrev:m)))
+    ~strict_ok:(strict_ok (fun m -> ignore (Ds_dwarf.Info.decode ~info ~abbrev:m ())))
 
 (* The full structured corpus (boundary truncations, zeroed/corrupted
    section headers, bogus string-table indices...) through the complete
@@ -112,14 +112,14 @@ let test_obj_structured_corpus () =
 (* ------------------------------------------------------------------ *)
 
 let test_clean_image_zero_diags () =
-  let s = Surface.extract_lenient (Lazy.force image_bytes) in
+  let s = Ds_util.Diag.ok (Surface.extract ~mode:`Lenient (Lazy.force image_bytes)) in
   Alcotest.(check int) "no diagnostics" 0 (List.length (Surface.health s));
   Alcotest.(check bool) "not degraded" false (Surface.degraded s)
 
 let test_clean_lenient_equals_strict () =
   let data = Lazy.force image_bytes in
-  let lenient = Surface.extract_lenient data in
-  let strict = Surface.extract (Elf.read data) in
+  let lenient = Ds_util.Diag.ok (Surface.extract ~mode:`Lenient data) in
+  let strict = Ds_util.Diag.ok (Surface.extract data) in
   Alcotest.(check string) "identical export JSON"
     (Json.to_string (Export.surface strict))
     (Json.to_string (Export.surface lenient))
@@ -217,6 +217,43 @@ let test_degraded_matrix_marker () =
   Alcotest.(check bool) "same width modulo marker" true
     (String.length degraded_report >= String.length clean_report)
 
+(* ------------------------------------------------------------------ *)
+(* Deprecated wrappers: thin, equivalent forwards to read ?mode        *)
+(* ------------------------------------------------------------------ *)
+
+(* the *_lenient entrypoints are deprecated aliases of the unified
+   [read ~mode:`Lenient] API; until they are removed they must stay
+   byte-equivalent to it *)
+module Legacy = struct
+  [@@@ocaml.alert "-deprecated"]
+  [@@@ocaml.warning "-3"]
+
+  let test_wrappers_equivalent () =
+    let data = Lazy.force image_bytes in
+    let m = Faultgen.zero_range data ~pos:(String.length data / 2) ~len:512 in
+    let strings ds = List.map Diag.to_string ds in
+    let r = Elf.read_lenient m and u = Elf.read ~mode:`Lenient m in
+    Alcotest.(check (list string)) "elf diags" (strings (Diag.diags u)) (strings r.Elf.r_diags);
+    Alcotest.(check string) "elf image" (Elf.write (Diag.ok u)) (Elf.write r.Elf.r_elf);
+    let surface_json s = Json.to_string (Export.surface s) in
+    Alcotest.(check string) "surface"
+      (surface_json (Diag.ok (Surface.extract ~mode:`Lenient m)))
+      (surface_json (Surface.extract_lenient m));
+    let btf_bytes = "\x9f\xeb\x01\x00" in
+    let b = Ds_btf.Btf.decode_lenient btf_bytes
+    and ub = Ds_btf.Btf.decode ~mode:`Lenient btf_bytes in
+    Alcotest.(check (list string)) "btf diags"
+      (strings (Diag.diags ub)) (strings b.Ds_btf.Btf.b_diags);
+    let o = Ds_bpf.Obj.read_lenient "garbage"
+    and uo = Ds_bpf.Obj.read ~mode:`Lenient "garbage" in
+    Alcotest.(check (list string)) "obj diags"
+      (strings (Diag.diags uo)) (strings o.Ds_bpf.Obj.o_diags);
+    let cus, ds = Ds_dwarf.Info.decode_lenient ~info:"\x01" ~abbrev:"" in
+    let ud = Ds_dwarf.Info.decode ~mode:`Lenient ~info:"\x01" ~abbrev:"" () in
+    Alcotest.(check int) "dwarf cus" (List.length (Diag.ok ud)) (List.length cus);
+    Alcotest.(check (list string)) "dwarf diags" (strings (Diag.diags ud)) (strings ds)
+end
+
 let suites =
   [
     ( "fault",
@@ -236,5 +273,7 @@ let suites =
         QCheck_alcotest.to_alcotest qcheck_random_flip_no_crash;
         QCheck_alcotest.to_alcotest qcheck_random_truncation_no_crash;
         QCheck_alcotest.to_alcotest qcheck_garbage_input_fatal_not_crash;
+        Alcotest.test_case "deprecated wrappers forward" `Quick
+          Legacy.test_wrappers_equivalent;
       ] );
   ]

@@ -176,7 +176,7 @@ let test_emit_dwarf_decodes () =
   let img = Testenv.image v44 in
   let info = (Option.get (Elf.find_section img ".debug_info")).Elf.sec_data in
   let abbrev = (Option.get (Elf.find_section img ".debug_abbrev")).Elf.sec_data in
-  let cus = Ds_dwarf.Info.decode ~info ~abbrev in
+  let cus = Ds_util.Diag.ok (Ds_dwarf.Info.decode ~info ~abbrev ()) in
   Alcotest.(check bool) "many CUs" true (List.length cus > 10);
   let all_sps = List.concat_map (fun cu -> cu.Ds_dwarf.Info.cu_subprograms) cus in
   Alcotest.(check bool) "vfs_fsync subprogram" true
@@ -189,12 +189,12 @@ let test_emit_dwarf_decodes () =
 
 let test_emit_btf_decodes () =
   let img = Testenv.image v44 in
-  let btf = Ds_btf.Btf.decode (Option.get (Elf.find_section img ".BTF")).Elf.sec_data in
+  let btf = Ds_util.Diag.ok (Ds_btf.Btf.decode (Option.get (Elf.find_section img ".BTF")).Elf.sec_data) in
   Alcotest.(check bool) "task_struct in BTF" true (Ds_btf.Btf.find_struct btf "task_struct" <> None);
   Alcotest.(check bool) "vfs_fsync func in BTF" true (Ds_btf.Btf.find_func btf "vfs_fsync" <> None);
   (* fully-inlined statics never reach BTF *)
   let m = Testenv.model v519 in
-  let btf519 = Ds_btf.Btf.decode (Option.get (Elf.find_section (Testenv.image v519) ".BTF")).Elf.sec_data in
+  let btf519 = Ds_util.Diag.ok (Ds_btf.Btf.decode (Option.get (Elf.find_section (Testenv.image v519) ".BTF")).Elf.sec_data) in
   ignore m;
   Alcotest.(check bool) "inlined blk_account_io_start absent from 5.19 BTF" true
     (Ds_btf.Btf.find_func btf519 "blk_account_io_start" = None)
@@ -217,7 +217,7 @@ let test_emit_arm32_and_ppc () =
 
 let test_elf_write_read_roundtrip () =
   let img = Testenv.image v44 in
-  let img' = Elf.read (Elf.write img) in
+  let img' = Ds_util.Diag.ok (Elf.read (Elf.write img)) in
   Alcotest.(check int) "sections" (List.length img.Elf.sections) (List.length img'.Elf.sections);
   Alcotest.(check int) "symbols" (List.length img.Elf.symbols) (List.length img'.Elf.symbols)
 
@@ -237,7 +237,7 @@ let test_dwarf_symbols_consistent () =
   let img = Testenv.image v44 in
   let info = (Option.get (Elf.find_section img ".debug_info")).Elf.sec_data in
   let abbrev = (Option.get (Elf.find_section img ".debug_abbrev")).Elf.sec_data in
-  let cus = Ds_dwarf.Info.decode ~info ~abbrev in
+  let cus = Ds_util.Diag.ok (Ds_dwarf.Info.decode ~info ~abbrev ()) in
   let addr_set = Hashtbl.create 1024 in
   List.iter
     (fun (s : Elf.symbol) ->

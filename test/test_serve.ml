@@ -19,10 +19,18 @@ let with_server ?images_dir f =
   Par.run ~jobs:4 (fun pool ->
       f (Serve.create ?images_dir ~ds:(Lazy.force ds) ~pool ()) pool)
 
-let get t target = Serve.handle_request t ~meth:"GET" ~target ~body:""
+let get4 t target = Serve.handle_request t ~meth:"GET" ~target ~body:""
+
+let get t target =
+  let st, ct, _, body = get4 t target in
+  (st, ct, body)
 
 let member_str name j =
   match Json.member name j with Some (Json.String s) -> s | _ -> "<missing>"
+
+(* every JSON endpoint answers inside the v1 envelope; [payload] digs out
+   the data member so the assertions below read the document itself *)
+let payload body = Api.data (Json.of_string body)
 
 (* ---- naming -------------------------------------------------------- *)
 
@@ -48,10 +56,13 @@ let test_routing () =
   let st, ct, body = get t "/healthz" in
   Alcotest.(check int) "healthz status" 200 st;
   Alcotest.(check string) "healthz type" "application/json" ct;
-  Alcotest.(check string) "healthz ok" "ok" (member_str "status" (Json.of_string body));
+  Alcotest.(check string) "healthz ok" "ok" (member_str "status" (payload body));
+  (match Json.member "v" (Json.of_string body) with
+  | Some (Json.Int 1) -> ()
+  | _ -> Alcotest.fail "healthz must carry the v1 envelope version");
   let st, _, _ = get t "/no/such/endpoint" in
   Alcotest.(check int) "unknown -> 404" 404 st;
-  let st, _, _ = Serve.handle_request t ~meth:"POST" ~target:"/images" ~body:"" in
+  let st, _, _, _ = Serve.handle_request t ~meth:"POST" ~target:"/images" ~body:"" in
   Alcotest.(check int) "POST /images -> 405" 405 st;
   let st, _, _ = get t "/mismatch" in
   Alcotest.(check int) "GET /mismatch -> 405" 405 st;
@@ -61,7 +72,7 @@ let test_routing () =
   Alcotest.(check int) "unknown image -> 404" 404 st;
   let images = get t "/images" in
   let _, _, body = images in
-  match Json.member "images" (Json.of_string body) with
+  match Json.member "images" (payload body) with
   | Some (Json.List l) ->
       Alcotest.(check int) "25 study images" 25 (List.length l)
   | _ -> Alcotest.fail "/images lacks an images list"
@@ -72,10 +83,10 @@ let test_surface_queries () =
   Alcotest.(check int) "surface status" 200 st;
   let j = Json.of_string body in
   Alcotest.(check string) "clean health" "clean" (member_str "health" j);
-  Alcotest.(check string) "version field" "v4.4" (member_str "version" j);
+  Alcotest.(check string) "version field" "v4.4" (member_str "version" (payload body));
   let st, _, body = get t "/surface/4.4-x86-generic?kind=func&name=vfs_fsync" in
   Alcotest.(check int) "filtered status" 200 st;
-  let j = Json.of_string body in
+  let j = payload body in
   Alcotest.(check string) "filtered name" "vfs_fsync" (member_str "name" j);
   Alcotest.(check bool) "filtered entry present" true (Json.member "entry" j <> None);
   let st, _, _ = get t "/surface/4.4-x86-generic?kind=func&name=no_such_fn_zzz" in
@@ -91,7 +102,7 @@ let test_single_flight () =
     List.init 8 (fun _ -> Par.submit pool (fun () -> get t "/surface/4.8-x86-generic"))
   in
   let responses = List.map Par.await futures in
-  List.iter (fun (st, _, _) -> Alcotest.(check int) "all 200" 200 st) responses;
+  List.iter (fun (st, _, body) -> Alcotest.(check int) ("all 200: " ^ body) 200 st) responses;
   (match responses with
   | (_, _, first) :: rest ->
       List.iter
@@ -117,7 +128,7 @@ let test_mismatch_identity () =
   let obj = corpus_obj "biotop" in
   let bytes = Ds_bpf.Obj.write obj in
   with_server @@ fun t _ ->
-  let st, ct, body = Serve.handle_request t ~meth:"POST" ~target:"/mismatch" ~body:bytes in
+  let st, ct, _, body = Serve.handle_request t ~meth:"POST" ~target:"/mismatch" ~body:bytes in
   Alcotest.(check int) "mismatch status" 200 st;
   Alcotest.(check string) "mismatch type" "text/plain" ct;
   let expected = Report.render_matrix (Pipeline.analyze (Lazy.force ds) obj) in
@@ -126,9 +137,9 @@ let test_mismatch_identity () =
   let m = Serve.metrics t in
   Alcotest.(check int) "report rendered once" 1 (Metrics.counter m "compute.mismatch");
   Alcotest.(check int) "second POST hits the index" 1 (Metrics.counter m "index.hit.mismatch");
-  let st, _, _ = Serve.handle_request t ~meth:"POST" ~target:"/mismatch" ~body:"garbage" in
+  let st, _, _, _ = Serve.handle_request t ~meth:"POST" ~target:"/mismatch" ~body:"garbage" in
   Alcotest.(check int) "garbage -> 400" 400 st;
-  let st, _, _ = Serve.handle_request t ~meth:"POST" ~target:"/mismatch" ~body:"" in
+  let st, _, _, _ = Serve.handle_request t ~meth:"POST" ~target:"/mismatch" ~body:"" in
   Alcotest.(check int) "empty -> 400" 400 st
 
 (* ---- /metrics ------------------------------------------------------- *)
@@ -139,7 +150,7 @@ let test_metrics_document () =
   let _ = get t "/diff/4.4-x86-generic/5.4-x86-generic" in
   let st, _, body = get t "/metrics" in
   Alcotest.(check int) "metrics status" 200 st;
-  let j = Json.of_string body in
+  let j = payload body in
   (match Json.member "requests_total" j with
   | Some (Json.Int n) -> Alcotest.(check bool) "requests counted" true (n >= 3)
   | _ -> Alcotest.fail "no requests_total");
@@ -169,7 +180,7 @@ let test_unix_socket_roundtrip () =
     (fun () ->
       let st, body = Serve.Client.request addr ~meth:"GET" ~path:"/healthz" in
       Alcotest.(check int) "healthz over unix socket" 200 st;
-      Alcotest.(check string) "status ok" "ok" (member_str "status" (Json.of_string body));
+      Alcotest.(check string) "status ok" "ok" (member_str "status" (Api.data (Json.of_string body)));
       (* several sequential clients on fresh connections *)
       for _ = 1 to 5 do
         let st, _ = Serve.Client.request addr ~meth:"GET" ~path:"/images" in
@@ -206,7 +217,7 @@ let degraded_image_bytes () =
   let data = Ds_elf.Elf.write (Testenv.image (Version.v 5 4)) in
   let len = String.length data in
   let is_degraded m =
-    Diag.worst (Surface.health (Surface.extract_lenient m)) = Some Diag.Degraded
+    Diag.worst (Surface.health (Diag.ok (Surface.extract ~mode:`Lenient m))) = Some Diag.Degraded
   in
   let rec go = function
     | [] -> Alcotest.fail "no degrading mutation found"
@@ -233,7 +244,7 @@ let test_degraded_file_image_is_200 () =
            List.assoc_opt "name" fields = Some (Json.String "vmlinux-broken") || mem rest
        | _ :: rest -> mem rest
      in
-     match Json.member "images" (Json.of_string body) with
+     match Json.member "images" (payload body) with
      | Some (Json.List l) -> mem l
      | _ -> false);
   let st, _, body = get t "/surface/vmlinux-broken" in
@@ -243,6 +254,71 @@ let test_degraded_file_image_is_200 () =
   match Json.member "diagnostics" j with
   | Some (Json.List (_ :: _)) -> ()
   | _ -> Alcotest.fail "degraded surface must list its diagnostics"
+
+(* ---- v1 envelope, aliases, tracing ---------------------------------- *)
+
+(* the /v1 prefix is the canonical spelling; the unprefixed legacy routes
+   must answer byte-for-byte identically (golden aliasing contract) *)
+let test_v1_aliases_byte_identical () =
+  with_server @@ fun t _ ->
+  List.iter
+    (fun path ->
+      let st_l, ct_l, body_l = get t path
+      and st_v, ct_v, body_v = get t ("/v1" ^ path) in
+      Alcotest.(check int) ("status " ^ path) st_l st_v;
+      Alcotest.(check string) ("ctype " ^ path) ct_l ct_v;
+      Alcotest.(check string) ("body " ^ path) body_l body_v)
+    [
+      "/healthz";
+      "/images";
+      "/surface/4.4-x86-generic";
+      "/surface/4.4-x86-generic?kind=func&name=vfs_fsync";
+      "/diff/4.4-x86-generic/5.4-x86-generic";
+      "/no/such/endpoint";
+    ];
+  (* /metrics moves between two requests (counters, latency), so only the
+     status and shape are comparable, not the bytes *)
+  let st_l, ct_l, _ = get t "/metrics" and st_v, ct_v, _ = get t "/v1/metrics" in
+  Alcotest.(check int) "metrics status" st_l st_v;
+  Alcotest.(check string) "metrics ctype" ct_l ct_v
+
+let test_trace_header_and_recent () =
+  with_server @@ fun t _ ->
+  let _, _, hdrs, _ = get4 t "/healthz" in
+  (match List.assoc_opt "x-depsurf-trace" hdrs with
+  | Some id -> Alcotest.(check bool) "span id positive" true (int_of_string id > 0)
+  | None -> Alcotest.fail "response lacks x-depsurf-trace");
+  (* ids must differ between requests *)
+  let _, _, h1, _ = get4 t "/images" in
+  let _, _, h2, _ = get4 t "/images" in
+  Alcotest.(check bool) "fresh span per request" true
+    (List.assoc_opt "x-depsurf-trace" h1 <> List.assoc_opt "x-depsurf-trace" h2);
+  let st, _, body = get t "/v1/trace/recent" in
+  Alcotest.(check int) "trace recent 200" 200 st;
+  let j = payload body in
+  (match Json.member "spans" j with
+  | Some (Json.List (_ :: _ as l)) ->
+      let has_request =
+        List.exists
+          (function
+            | Json.Obj fields ->
+                List.assoc_opt "name" fields = Some (Json.String "serve.request")
+            | _ -> false)
+          l
+      in
+      Alcotest.(check bool) "serve.request span recorded" true has_request
+  | _ -> Alcotest.fail "trace recent must list spans");
+  match Json.member "dropped" j with
+  | Some (Json.Int _) -> ()
+  | _ -> Alcotest.fail "trace recent must report the drop counter"
+
+let test_trace_inline_query () =
+  with_server @@ fun t _ ->
+  let st, _, body = get t "/healthz?trace=1" in
+  Alcotest.(check int) "traced healthz 200" 200 st;
+  match Json.member "trace" (Json.of_string body) with
+  | Some (Json.List (_ :: _)) -> ()
+  | _ -> Alcotest.fail "?trace=1 must append the request's spans"
 
 let suites =
   [
@@ -254,6 +330,9 @@ let suites =
         Alcotest.test_case "single-flight hydration" `Quick test_single_flight;
         Alcotest.test_case "mismatch byte-identity" `Slow test_mismatch_identity;
         Alcotest.test_case "metrics document" `Quick test_metrics_document;
+        Alcotest.test_case "v1 aliases byte-identical" `Quick test_v1_aliases_byte_identical;
+        Alcotest.test_case "trace header and recent" `Quick test_trace_header_and_recent;
+        Alcotest.test_case "inline trace query" `Quick test_trace_inline_query;
       ] );
     ( "serve.socket",
       [

@@ -1,0 +1,183 @@
+(* ds_trace: span nesting and parentage, ring drop-oldest behaviour,
+   cross-domain parent propagation through the Par pool, the Chrome
+   trace_event export and its parser, and the analysis helpers backing
+   `depsurf trace top|flame|validate`. *)
+
+module Trace = Ds_trace.Trace
+module Par = Ds_util.Par
+module Json = Ds_util.Json
+
+(* each test owns the (global) rings *)
+let fresh () =
+  Trace.enable ();
+  Trace.clear ()
+
+let find_span name = List.find (fun sp -> sp.Trace.sp_name = name)
+
+let test_nesting () =
+  fresh ();
+  let inner_id = ref 0 in
+  Trace.span ~name:"root" (fun () ->
+      Trace.span ~name:"left" (fun () -> inner_id := Trace.current_id ());
+      Trace.span ~name:"right" ignore);
+  let sps = Trace.spans () in
+  Alcotest.(check int) "three spans" 3 (List.length sps);
+  let root = find_span "root" sps
+  and left = find_span "left" sps
+  and right = find_span "right" sps in
+  Alcotest.(check int) "root is parentless" 0 root.Trace.sp_parent;
+  Alcotest.(check int) "left under root" root.Trace.sp_id left.Trace.sp_parent;
+  Alcotest.(check int) "right under root" root.Trace.sp_id right.Trace.sp_parent;
+  Alcotest.(check int) "current_id saw the open span" left.Trace.sp_id !inner_id;
+  Alcotest.(check int) "no open span left behind" 0 (Trace.current_id ());
+  Alcotest.(check bool) "well nested" true (Trace.well_nested sps = None)
+
+let test_attrs_and_error () =
+  fresh ();
+  Trace.span ~name:"tagged" ~attrs:[ ("k", "v") ] (fun () ->
+      Trace.set_attr "late" "addition");
+  (match Alcotest.check_raises "exception re-raised" Exit (fun () ->
+             Trace.span ~name:"boom" (fun () -> raise Exit))
+   with
+  | () -> ());
+  let sps = Trace.spans () in
+  let tagged = find_span "tagged" sps and boom = find_span "boom" sps in
+  Alcotest.(check (option string)) "literal attr" (Some "v")
+    (List.assoc_opt "k" tagged.Trace.sp_attrs);
+  Alcotest.(check (option string)) "set_attr lands" (Some "addition")
+    (List.assoc_opt "late" tagged.Trace.sp_attrs);
+  Alcotest.(check bool) "error attr recorded" true
+    (List.mem_assoc "error" boom.Trace.sp_attrs)
+
+let test_disabled_is_passthrough () =
+  fresh ();
+  Trace.disable ();
+  let r = Trace.span ~name:"ghost" (fun () -> 41 + 1) in
+  Alcotest.(check int) "value flows through" 42 r;
+  Alcotest.(check int) "no ambient id" 0 (Trace.current_id ());
+  Trace.enable ();
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Trace.spans ()))
+
+let test_ring_drop_oldest () =
+  fresh ();
+  let n = Trace.default_capacity + 64 in
+  Trace.span ~name:"root" (fun () ->
+      for _ = 1 to n do
+        Trace.span ~name:"leaf" ignore
+      done);
+  Alcotest.(check bool) "drops counted" true (Trace.drops () > 0);
+  let sps = Trace.spans () in
+  Alcotest.(check bool) "ring stays bounded" true
+    (List.length sps <= Trace.default_capacity);
+  (* spans finish LIFO: the root closes last, so drop pressure evicts
+     leaves, never the root *)
+  Alcotest.(check bool) "root survives" true
+    (List.exists (fun sp -> sp.Trace.sp_name = "root") sps);
+  let recent = Trace.recent ~limit:5 () in
+  Alcotest.(check int) "recent honours the limit" 5 (List.length recent);
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a.Trace.sp_stop >= b.Trace.sp_stop && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "recent is newest-first" true (sorted recent);
+  (* the root stops last of all, so it cannot age out of the top 100 *)
+  Alcotest.(check bool) "root among the recent" true
+    (List.exists (fun sp -> sp.Trace.sp_name = "root") (Trace.recent ()))
+
+let test_cross_domain_parent () =
+  fresh ();
+  Par.run ~jobs:3 (fun pool ->
+      Trace.span ~name:"root" (fun () ->
+          let fs =
+            List.init 4 (fun i ->
+                Par.submit pool (fun () ->
+                    Trace.span ~name:(Printf.sprintf "task%d" i) ignore;
+                    Domain.self ()))
+          in
+          ignore (List.map Par.await fs)));
+  let sps = Trace.spans () in
+  let root = find_span "root" sps in
+  let tasks = List.filter (fun sp -> sp.Trace.sp_name <> "root") sps in
+  Alcotest.(check int) "all tasks recorded" 4 (List.length tasks);
+  List.iter
+    (fun sp ->
+      Alcotest.(check int)
+        ("task keeps its submitter's span as parent: " ^ sp.Trace.sp_name)
+        root.Trace.sp_id sp.Trace.sp_parent)
+    tasks
+
+let test_chrome_roundtrip () =
+  fresh ();
+  Trace.span ~name:"root" ~attrs:[ ("phase", "x") ] (fun () ->
+      Trace.span ~name:"child" (fun () -> Unix.sleepf 0.002));
+  let sps = Trace.spans () in
+  let doc = Trace.chrome_json sps in
+  (* the document must be self-contained JSON text *)
+  let sps' = Trace.of_chrome (Json.of_string (Json.to_string doc)) in
+  Alcotest.(check int) "span count survives" (List.length sps) (List.length sps');
+  let root' = find_span "root" sps' and child' = find_span "child" sps' in
+  Alcotest.(check int) "parent link survives" root'.Trace.sp_id child'.Trace.sp_parent;
+  Alcotest.(check bool) "durations in microseconds" true (Trace.dur_us child' >= 1_000);
+  Alcotest.(check bool) "still well nested" true (Trace.well_nested sps' = None);
+  List.iter
+    (fun bad ->
+      Alcotest.check_raises ("reject " ^ Json.to_string bad)
+        (Trace.Bad_trace "missing traceEvents array")
+        (fun () -> ignore (Trace.of_chrome bad)))
+    [ Json.Int 3; Json.Obj [ ("traceEvents", Json.Int 1) ] ]
+
+let test_analysis () =
+  fresh ();
+  Trace.span ~name:"root" (fun () ->
+      Trace.span ~name:"work" (fun () -> Unix.sleepf 0.004);
+      Trace.span ~name:"work" (fun () -> Unix.sleepf 0.004));
+  let sps = Trace.spans () in
+  (match Trace.top sps with
+  | (name, count, total, self) :: _ ->
+      (* both "work" spans sleep; root's self time is near zero, so the
+         aggregate must lead with "work" *)
+      Alcotest.(check string) "top by self time" "work" name;
+      Alcotest.(check int) "aggregated count" 2 count;
+      Alcotest.(check bool) "total >= self" true (total >= self)
+  | [] -> Alcotest.fail "top is empty");
+  let flame = Trace.collapsed sps in
+  Alcotest.(check bool) "collapsed path" true
+    (List.exists
+       (fun line -> String.length line > 10 && String.sub line 0 10 = "root;work ")
+       (String.split_on_char '\n' flame));
+  let cov = Trace.coverage sps in
+  Alcotest.(check bool) "children explain most of the root" true (cov > 0.5 && cov <= 1.0);
+  let table = Trace.top_table sps in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "table mentions work" true (contains table "work")
+
+let test_span_json_fields () =
+  fresh ();
+  Trace.span ~name:"one" ~attrs:[ ("a", "b") ] ignore;
+  let sp = List.hd (Trace.spans ()) in
+  match Trace.span_json sp with
+  | Json.Obj fields ->
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) ("field " ^ k) true (List.mem_assoc k fields))
+        [ "id"; "parent"; "name"; "dur_us"; "domain"; "attrs" ]
+  | _ -> Alcotest.fail "span_json must be an object"
+
+let suites =
+  [
+    ( "trace",
+      [
+        Alcotest.test_case "nesting and parentage" `Quick test_nesting;
+        Alcotest.test_case "attrs and error capture" `Quick test_attrs_and_error;
+        Alcotest.test_case "disabled passthrough" `Quick test_disabled_is_passthrough;
+        Alcotest.test_case "ring drop-oldest" `Quick test_ring_drop_oldest;
+        Alcotest.test_case "cross-domain parenting" `Quick test_cross_domain_parent;
+        Alcotest.test_case "chrome roundtrip" `Quick test_chrome_roundtrip;
+        Alcotest.test_case "top, flame, coverage" `Quick test_analysis;
+        Alcotest.test_case "span json fields" `Quick test_span_json_fields;
+      ] );
+  ]
