@@ -424,7 +424,7 @@ let gen_images_cmd =
     if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
     with_pool jobs (fun pool ->
         ignore
-          (Ds_util.Par.map_list pool
+          (Ds_util.Par.map_list_chunked pool
              (fun (v, cfg) -> ignore (Dataset.image ds v cfg))
              Dataset.study_images));
     List.iter
@@ -794,7 +794,17 @@ let query_cmd =
     Arg.(value & opt (some string) None
          & info [ "method"; "X" ] ~doc:"HTTP method (default: GET, or POST with --data).")
   in
-  let run socket port host path data meth =
+  let header_arg =
+    Arg.(value & opt_all string []
+         & info [ "header"; "H" ] ~docv:"NAME: VALUE"
+             ~doc:"Add a request header (repeatable), e.g. -H 'If-None-Match: \"abc\"'.")
+  in
+  let include_arg =
+    Arg.(value & flag
+         & info [ "include"; "i" ]
+             ~doc:"Print the response status line and headers before the body.")
+  in
+  let run socket port host path data meth hdrs incl =
     let addr = addr_of ~socket ~port ~host in
     let body =
       Option.map
@@ -808,8 +818,23 @@ let query_cmd =
     let meth =
       match meth with Some m -> m | None -> if body = None then "GET" else "POST"
     in
-    match Ds_serve.Serve.Client.request ?body addr ~meth ~path with
-    | status, response ->
+    let headers =
+      List.map
+        (fun h ->
+          match Ds_util.Strutil.cut ~on:':' h with
+          | Some (name, value) -> (String.trim name, String.trim value)
+          | None ->
+              Printf.eprintf "depsurf: bad --header %S (want 'Name: value')\n" h;
+              exit 1)
+        hdrs
+    in
+    match Ds_serve.Serve.Client.request_full ?body ~headers addr ~meth ~path with
+    | status, rheaders, response ->
+        if incl then begin
+          Printf.printf "HTTP/1.1 %d\n" status;
+          List.iter (fun (k, v) -> Printf.printf "%s: %s\n" k v) rheaders;
+          print_newline ()
+        end;
         print_string response;
         if status >= 400 then exit 1
     | exception Unix.Unix_error (e, _, _) ->
@@ -819,7 +844,9 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Send one request to a running depsurf serve instance.")
-    Term.(const run $ socket_arg $ port_arg $ host_arg $ path_arg $ data_arg $ meth_arg)
+    Term.(
+      const run $ socket_arg $ port_arg $ host_arg $ path_arg $ data_arg $ meth_arg
+      $ header_arg $ include_arg)
 
 (* ---- trace analysis ------------------------------------------------- *)
 

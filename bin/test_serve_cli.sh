@@ -3,10 +3,11 @@
 # Unix socket, hit every endpoint with `depsurf query`, check that a
 # degraded on-disk image answers HTTP 200 (with "health": "degraded",
 # never a 500), compare /mismatch byte-for-byte with `depsurf report`,
-# check every /v1 route is byte-identical to its legacy alias, then a
-# 50-request load smoke with /metrics accounting for every one; finally
-# a TCP leg on a kernel-chosen port (--port 0) parsed from serve's
-# stdout.
+# check every /v1 route is byte-identical to its legacy alias, check
+# that the response-byte cache serves warm hits byte-identical to the
+# first render and that If-None-Match answers 304, then a 50-request
+# load smoke with /metrics accounting for every one; finally a TCP leg
+# on a kernel-chosen port (--port 0) parsed from serve's stdout.
 set -eu
 
 CLI=$(cd "$(dirname "$1")" && pwd)/$(basename "$1")
@@ -94,7 +95,32 @@ Q '/v1/surface/5.4-x86-generic?trace=1' | grep -q '"trace"'
 Q --data "$TMP/biotop.bpf.o" /mismatch > "$TMP/report.srv"
 cmp "$TMP/report.cli" "$TMP/report.srv"
 
-# load smoke: 50 warm requests, then /metrics must account for them
+# response-byte cache: the first hit renders (miss), every later hit is
+# served from the cache — and the cached bytes are identical to the
+# rendered ones
+Q -i /surface/4.8-x86-generic > "$TMP/first.http"
+grep -q '^x-depsurf-cache: miss$' "$TMP/first.http"
+Q -i /surface/4.8-x86-generic > "$TMP/second.http"
+grep -q '^x-depsurf-cache: hit$' "$TMP/second.http"
+sed -e '1,/^$/d' "$TMP/first.http" > "$TMP/first.body"
+sed -e '1,/^$/d' "$TMP/second.http" > "$TMP/cached.body"
+cmp "$TMP/first.body" "$TMP/cached.body"
+
+# conditional requests: send the ETag back, get an empty-bodied 304
+ETAG=$(sed -n 's/^etag: \(.*\)$/\1/p' "$TMP/second.http" | head -n 1)
+[ -n "$ETAG" ]
+Q -i -H "If-None-Match: $ETAG" /surface/4.8-x86-generic > "$TMP/cond.http"
+grep -q '^HTTP/1.1 304$' "$TMP/cond.http"
+grep -q "^etag: " "$TMP/cond.http"
+# nothing after the blank line: the 304 body is empty
+[ -z "$(sed -e '1,/^$/d' "$TMP/cond.http")" ]
+# a stale validator still gets the full representation
+Q -i -H 'If-None-Match: "stale"' /surface/4.8-x86-generic > "$TMP/stale.http"
+grep -q '^HTTP/1.1 200$' "$TMP/stale.http"
+
+# load smoke: 50 warm requests, then /metrics must account for them;
+# warm traffic is absorbed by the response cache (the index was hit only
+# while filling it)
 i=0
 while [ $i -lt 50 ]; do
   Q /surface/5.4-x86-generic > /dev/null
@@ -103,10 +129,13 @@ done
 Q /metrics > "$TMP/metrics.json"
 total=$(sed -n 's/^ *"requests_total": \([0-9]*\).*/\1/p' "$TMP/metrics.json" | head -n 1)
 [ "$total" -ge 58 ]
-hits=$(sed -n 's/^ *"index.hit.surface": \([0-9]*\).*/\1/p' "$TMP/metrics.json" | head -n 1)
-[ "$hits" -ge 50 ]
+chits=$(sed -n 's/^ *"cache.hit": \([0-9]*\).*/\1/p' "$TMP/metrics.json" | head -n 1)
+[ "$chits" -ge 50 ]
+notmod=$(sed -n 's/^ *"cache.notmod": \([0-9]*\).*/\1/p' "$TMP/metrics.json" | head -n 1)
+[ "$notmod" -ge 1 ]
 fills=$(sed -n 's/^ *"index.fill.surface": \([0-9]*\).*/\1/p' "$TMP/metrics.json" | head -n 1)
 [ "$fills" -le 3 ]
+grep -q '"response_cache"' "$TMP/metrics.json"
 grep -q '"latency_ms"' "$TMP/metrics.json"
 
 kill "$SRV"

@@ -48,11 +48,9 @@ let of_section s =
   match strip "tracepoint/" s with
   | None -> None
   | Some rest -> (
-      match String.index_opt rest '/' with
+      match Ds_util.Strutil.cut ~on:'/' rest with
       | None -> None
-      | Some i ->
-          let category = String.sub rest 0 i in
-          let event = String.sub rest (i + 1) (String.length rest - i - 1) in
+      | Some (category, event) ->
           if category = "syscalls" then
             match strip "sys_enter_" event with
             | Some sc -> Some (Syscall_enter sc)

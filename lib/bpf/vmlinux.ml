@@ -47,12 +47,11 @@ let parse_banner s =
   in
   let gcc =
     let marker = "gcc version " in
-    let rec find i =
-      if i + String.length marker > String.length s then fail ()
-      else if String.sub s i (String.length marker) = marker then i + String.length marker
-      else find (i + 1)
+    let at =
+      match Ds_util.Strutil.find_sub s ~sub:marker with
+      | Some i -> i + String.length marker
+      | None -> fail ()
     in
-    let at = find 0 in
     try
       Scanf.sscanf
         (String.sub s at (String.length s - at))

@@ -106,7 +106,7 @@ let warm t = List.iter (fun (v, cfg) -> ignore (surface t v cfg)) study_images
 let warm_list ?pool t imgs =
   match pool with
   | None -> List.iter (fun (v, cfg) -> ignore (surface t v cfg)) imgs
-  | Some p -> ignore (Par.map_list p (fun (v, cfg) -> ignore (surface t v cfg)) imgs)
+  | Some p -> ignore (Par.map_list_chunked p (fun (v, cfg) -> ignore (surface t v cfg)) imgs)
 
 let warm_par ?pool t =
   match pool with

@@ -134,15 +134,9 @@ let func_entry_of_json j : Surface.func_entry =
         List.filter_map
           (function
             | Json.String s -> (
-                match String.index_opt s ':' with
-                | Some i ->
-                    Some
-                      Surface.
-                        {
-                          is_tu = String.sub s 0 i;
-                          is_caller = String.sub s (i + 1) (String.length s - i - 1);
-                          is_pc = 0L;
-                        }
+                match Ds_util.Strutil.cut ~on:':' s with
+                | Some (tu, caller) ->
+                    Some Surface.{ is_tu = tu; is_caller = caller; is_pc = 0L }
                 | None -> None)
             | _ -> None)
           (list_field "caller_inline" inst))

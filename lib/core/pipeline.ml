@@ -28,7 +28,7 @@ let dataset_cached ?(seed = default_seed) ?pool ?store scale =
 let cached_dataset c = c.c_ds
 
 let maplist c f xs =
-  match c.c_pool with None -> List.map f xs | Some p -> Par.map_list p f xs
+  match c.c_pool with None -> List.map f xs | Some p -> Par.map_list_chunked p f xs
 
 let x86 c v = Dataset.surface c.c_ds v Config.x86_generic
 

@@ -82,10 +82,7 @@ let dedup xs =
       end)
     xs
 
-let category_of_tp name =
-  match String.index_opt name '_' with
-  | Some i -> String.sub name 0 i
-  | None -> "misc"
+let category_of_tp name = Ds_util.Strutil.prefix_before ~on:'_' ~default:"misc" name
 
 let spec_for pools (pr : Table7.profile) =
   let c = pr.Table7.pr_counts in
@@ -244,7 +241,7 @@ let analyze_all_matrices ds ?pool ?(images = Depsurf.Dataset.fig4_images)
   in
   match pool with
   | None -> List.map analyze built
-  | Some p -> Ds_util.Par.map_list p analyze built
+  | Some p -> Ds_util.Par.map_list_chunked p analyze built
 
 let analyze_all ds ?pool ?images ?baseline built =
   List.map (fun (pr, _, s) -> (pr, s)) (analyze_all_matrices ds ?pool ?images ?baseline built)

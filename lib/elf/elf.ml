@@ -213,7 +213,8 @@ let read_impl ~strict data =
   let elf =
     try
       if len < ehdr_size then fatal ~offset:len (stub X86_64) "too short";
-      if String.sub data 0 4 <> "\x7fELF" then fatal ~offset:0 (stub X86_64) "bad magic";
+      if not (data.[0] = '\x7f' && data.[1] = 'E' && data.[2] = 'L' && data.[3] = 'F') then
+        fatal ~offset:0 (stub X86_64) "bad magic";
       let endian =
         match data.[5] with
         | '\001' -> Bytesio.Little

@@ -1,0 +1,36 @@
+(** The serve response-byte cache: an LRU of fully serialized responses.
+
+    A warm hit returns the exact bytes (status, content-type, body) plus
+    the strong ETag computed over them when the entry was filled, so the
+    request skips the Export → JSON → envelope pipeline entirely. The
+    {e caller} builds keys — [Serve] keys on (endpoint segments,
+    normalized query params, index generation), so bumping the
+    generation makes every older entry unreachable; stale entries then
+    age out through the LRU. Thread-safe (one mutex; all operations are
+    O(1) plus hashing). *)
+
+type entry = {
+  e_status : int;
+  e_ctype : string;
+  e_body : string;
+  e_etag : string;  (** strong ETag, quoted, digest of the body bytes *)
+}
+
+type t
+
+val create : ?max_entries:int -> ?max_bytes:int -> unit -> t
+(** Defaults: 512 entries, 64 MiB of cached bytes (body-dominated
+    accounting). Eviction is strictly LRU, driven by whichever cap is
+    exceeded. Raises [Invalid_argument] on non-positive caps. *)
+
+val find : t -> string -> entry option
+(** Lookup; a hit moves the entry to the most-recently-used position. *)
+
+val add : t -> string -> entry -> int
+(** Insert (replacing any entry under the same key) and evict from the
+    LRU tail until both caps hold again; returns the number of entries
+    evicted. An entry larger than the byte cap is not stored (returns
+    0). *)
+
+val stats : t -> int * int
+(** [(entries, bytes)] currently cached. *)

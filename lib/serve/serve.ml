@@ -44,6 +44,8 @@ type t = {
   sv_pool : Par.pool;
   sv_metrics : Metrics.t;
   sv_files : (string * string) list;  (** extra image name -> path *)
+  sv_cache : Respcache.t;  (** serialized (status, ctype, body, etag) per request key *)
+  sv_generation : int Atomic.t;  (** part of every cache key; bump to invalidate *)
   ix_surface : (string, string) Par.Memo.t;  (** image name -> response body *)
   ix_diff : (string, string) Par.Memo.t;  (** "a|b" -> response body *)
   ix_mismatch : (string, string) Par.Memo.t;  (** obj digest -> report *)
@@ -69,6 +71,8 @@ let create ?images_dir ~ds ~pool () =
     sv_pool = pool;
     sv_metrics = Metrics.create ();
     sv_files = files;
+    sv_cache = Respcache.create ();
+    sv_generation = Atomic.make 0;
     ix_surface = Par.Memo.create 64;
     ix_diff = Par.Memo.create 64;
     ix_mismatch = Par.Memo.create 16;
@@ -77,6 +81,12 @@ let create ?images_dir ~ds ~pool () =
 
 let metrics t = t.sv_metrics
 let dataset t = t.sv_ds
+let generation t = Atomic.get t.sv_generation
+
+(* Nothing mutates the indexes today (the study matrix is fixed and
+   [images_dir] is scanned once at [create]); this is the hook index
+   mutations must call so cached bytes and ETags stop matching. *)
+let invalidate t = Atomic.incr t.sv_generation
 
 (* hot-index lookup with hit/fill accounting; [Par.Memo] gives the
    single-flight guarantee, so "index.fill.<kind>" advances exactly once
@@ -318,6 +328,7 @@ let metrics_endpoint t =
           ]
   in
   let fields = match Metrics.to_json t.sv_metrics with Json.Obj fs -> fs | _ -> [] in
+  let cache_entries, cache_bytes = Respcache.stats t.sv_cache in
   ok_json
     (Api.envelope
     @@ Json.Obj
@@ -330,6 +341,13 @@ let metrics_endpoint t =
                 ("surfaces", Json.Int (Par.Memo.length t.ix_surface));
                 ("diffs", Json.Int (Par.Memo.length t.ix_diff));
                 ("mismatches", Json.Int (Par.Memo.length t.ix_mismatch));
+              ] )
+       :: ( "response_cache",
+            Json.Obj
+              [
+                ("entries", Json.Int cache_entries);
+                ("bytes", Json.Int cache_bytes);
+                ("generation", Json.Int (Atomic.get t.sv_generation));
               ] )
        :: fields))
 
@@ -369,12 +387,9 @@ let percent_decode s =
 let parse_query qs =
   String.split_on_char '&' qs
   |> List.filter_map (fun kv ->
-         match String.index_opt kv '=' with
+         match Ds_util.Strutil.cut ~on:'=' kv with
          | None -> if kv = "" then None else Some (percent_decode kv, "")
-         | Some i ->
-             Some
-               ( percent_decode (String.sub kv 0 i),
-                 percent_decode (String.sub kv (i + 1) (String.length kv - i - 1)) ))
+         | Some (k, v) -> Some (percent_decode k, percent_decode v))
 
 (* ---- /trace/recent ------------------------------------------------- *)
 
@@ -453,13 +468,47 @@ let route_label segs =
   | "trace" :: _ -> "/trace"
   | _ -> "/other"
 
-let handle_request t ~meth ~target ~body =
+(* Only responses that are pure functions of (segs, query, generation)
+   are cacheable: healthz/metrics/trace bodies report live counters, and
+   ?trace=1 inlines the current request's own spans. *)
+let cacheable_route ~meth ~segs ~query =
+  meth = "GET"
+  && (match segs with [ "images" ] | [ "surface"; _ ] | [ "diff"; _; _ ] -> true | _ -> false)
+  && List.assoc_opt "trace" query <> Some "1"
+
+let cache_key t ~segs ~query =
+  let b = Buffer.create 64 in
+  Buffer.add_string b (string_of_int (Atomic.get t.sv_generation));
+  List.iter
+    (fun s ->
+      Buffer.add_char b '/';
+      Buffer.add_string b s)
+    segs;
+  (* normalized params: order-insensitive *)
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char b '?';
+      Buffer.add_string b k;
+      Buffer.add_char b '=';
+      Buffer.add_string b v)
+    (List.sort compare query);
+  Buffer.contents b
+
+let etag_of_body body =
+  let h = Store.Hash.create () in
+  Store.Hash.string h body;
+  "\"" ^ Store.Hash.hex h ^ "\""
+
+(* RFC 9110 If-None-Match: "*" or a comma-separated list of entity tags *)
+let etag_matches header etag =
+  String.trim header = "*"
+  || List.exists (fun tok -> String.trim tok = etag) (String.split_on_char ',' header)
+
+let handle_request ?(headers = []) t ~meth ~target ~body =
   let path, query =
-    match String.index_opt target '?' with
+    match Ds_util.Strutil.cut ~on:'?' target with
     | None -> (target, [])
-    | Some i ->
-        ( String.sub target 0 i,
-          parse_query (String.sub target (i + 1) (String.length target - i - 1)) )
+    | Some (path, qs) -> (path, parse_query qs)
   in
   let segs =
     String.split_on_char '/' path |> List.filter (fun s -> s <> "") |> List.map percent_decode
@@ -472,22 +521,68 @@ let handle_request t ~meth ~target ~body =
   Metrics.incr t.sv_metrics "requests_total";
   let t0 = Unix.gettimeofday () in
   let trace_id = ref 0 in
-  let status, ctype, rbody =
+  let status, ctype, rbody, etag =
     Trace.span ~name:"serve.request" ~attrs:[ ("method", meth); ("route", label) ]
       (fun () ->
         trace_id := Trace.current_id ();
-        try dispatch t ~meth ~segs ~query ~body
-        with e -> error_json 500 ("internal error: " ^ Printexc.to_string e))
+        try
+          if not (cacheable_route ~meth ~segs ~query) then
+            let status, ctype, rbody = dispatch t ~meth ~segs ~query ~body in
+            (status, ctype, rbody, None)
+          else
+            let key = cache_key t ~segs ~query in
+            match Respcache.find t.sv_cache key with
+            | Some e ->
+                Metrics.incr t.sv_metrics "cache.hit";
+                (e.Respcache.e_status, e.Respcache.e_ctype, e.Respcache.e_body,
+                 Some (e.Respcache.e_etag, "hit"))
+            | None ->
+                Metrics.incr t.sv_metrics "cache.miss";
+                let status, ctype, rbody = dispatch t ~meth ~segs ~query ~body in
+                if status <> 200 then (status, ctype, rbody, None)
+                else begin
+                  let etag = etag_of_body rbody in
+                  let evicted =
+                    Respcache.add t.sv_cache key
+                      { Respcache.e_status = status; e_ctype = ctype; e_body = rbody;
+                        e_etag = etag }
+                  in
+                  for _ = 1 to evicted do Metrics.incr t.sv_metrics "cache.evict" done;
+                  (status, ctype, rbody, Some (etag, "miss"))
+                end
+        with e ->
+          let status, ctype, rbody = error_json 500 ("internal error: " ^ Printexc.to_string e) in
+          (status, ctype, rbody, None))
   in
   let rbody =
     if List.assoc_opt "trace" query = Some "1" && ctype = "application/json" then
       inject_trace !trace_id rbody
     else rbody
   in
+  (* conditional requests: a matching If-None-Match turns the response
+     into an empty-body 304 carrying the same ETag — the warm client
+     path pays for headers, never for a multi-MB body *)
+  let status, rbody =
+    match (etag, List.assoc_opt "if-none-match" headers) with
+    | Some (tag, _), Some header when etag_matches header tag ->
+        Metrics.incr t.sv_metrics "cache.notmod";
+        (304, "")
+    | _ -> (status, rbody)
+  in
   Metrics.record t.sv_metrics label (Unix.gettimeofday () -. t0);
   Metrics.incr t.sv_metrics ("requests." ^ label);
   if status >= 400 then Metrics.incr t.sv_metrics ("errors." ^ label);
-  (status, ctype, [ ("x-depsurf-trace", string_of_int !trace_id) ], rbody)
+  let resp_headers =
+    match etag with
+    | None -> [ ("x-depsurf-trace", string_of_int !trace_id) ]
+    | Some (tag, state) ->
+        [
+          ("x-depsurf-trace", string_of_int !trace_id);
+          ("ETag", tag);
+          ("x-depsurf-cache", state);
+        ]
+  in
+  (status, ctype, resp_headers, rbody)
 
 (* ---- HTTP over sockets --------------------------------------------- *)
 
@@ -499,6 +594,7 @@ let rec write_all fd s off len =
 
 let reason_of = function
   | 200 -> "OK"
+  | 304 -> "Not Modified"
   | 400 -> "Bad Request"
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
@@ -506,72 +602,147 @@ let reason_of = function
   | 500 -> "Internal Server Error"
   | _ -> "Unknown"
 
+(* head and body go out as two writes: the old [Printf.sprintf "...%s"]
+   re-copied every multi-MB body into the header string on every request *)
 let send_response fd status ctype extra_headers body =
-  let extra =
-    String.concat ""
-      (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) extra_headers)
-  in
-  let msg =
-    Printf.sprintf
-      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n%sConnection: close\r\n\r\n%s"
-      status (reason_of status) ctype (String.length body) extra body
-  in
-  write_all fd msg 0 (String.length msg)
-
-let find_crlfcrlf s =
-  let len = String.length s in
-  let rec go i =
-    if i + 3 >= len then None
-    else if s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n' then Some i
-    else go (i + 1)
-  in
-  go 0
-
-let strip_cr s =
-  let n = String.length s in
-  if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n" status
+       (reason_of status) ctype (String.length body));
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b k;
+      Buffer.add_string b ": ";
+      Buffer.add_string b v;
+      Buffer.add_string b "\r\n")
+    extra_headers;
+  Buffer.add_string b "Connection: close\r\n\r\n";
+  write_all fd (Buffer.contents b) 0 (Buffer.length b);
+  write_all fd body 0 (String.length body)
 
 let max_header_bytes = 65536
 let max_body_bytes = 16 * 1024 * 1024
 
 exception Bad_request of string
 
-(* read one request: request line, headers, Content-Length body *)
-let recv_request fd =
-  let buf = Buffer.create 1024 in
-  let chunk = Bytes.create 4096 in
-  let rec fill_headers () =
-    match find_crlfcrlf (Buffer.contents buf) with
+module Slice = Ds_util.Bytesio.Slice
+
+(* A growing receive buffer that scans for the \r\n\r\n head terminator
+   incrementally — each byte is examined once, instead of re-walking a
+   [Buffer.contents] copy of everything received after every read. *)
+type recv_buf = { mutable rb_data : Bytes.t; mutable rb_len : int }
+
+let recv_create n = { rb_data = Bytes.create n; rb_len = 0 }
+
+let recv_read rb fd ~on_eof =
+  if rb.rb_len = Bytes.length rb.rb_data then begin
+    let b = Bytes.create (2 * Bytes.length rb.rb_data) in
+    Bytes.blit rb.rb_data 0 b 0 rb.rb_len;
+    rb.rb_data <- b
+  end;
+  let n = Unix.read fd rb.rb_data rb.rb_len (Bytes.length rb.rb_data - rb.rb_len) in
+  if n = 0 then on_eof ();
+  rb.rb_len <- rb.rb_len + n
+
+(* index of the head terminator, reading as needed; scanning resumes
+   where the previous read left off *)
+let recv_head rb fd ~too_large ~on_eof =
+  let rec find from =
+    let b = rb.rb_data in
+    let limit = rb.rb_len - 3 in
+    let rec go i =
+      if i >= limit then None
+      else if
+        Bytes.unsafe_get b i = '\r'
+        && Bytes.unsafe_get b (i + 1) = '\n'
+        && Bytes.unsafe_get b (i + 2) = '\r'
+        && Bytes.unsafe_get b (i + 3) = '\n'
+      then Some i
+      else go (i + 1)
+    in
+    match go from with
     | Some i -> i
     | None ->
-        if Buffer.length buf > max_header_bytes then raise (Bad_request "headers too large");
-        let n = Unix.read fd chunk 0 (Bytes.length chunk) in
-        if n = 0 then raise (Bad_request "connection closed before headers");
-        Buffer.add_subbytes buf chunk 0 n;
-        fill_headers ()
+        if rb.rb_len > max_header_bytes then too_large ();
+        let prev = rb.rb_len in
+        recv_read rb fd ~on_eof;
+        find (max 0 (prev - 3))
   in
-  let hdr_end = fill_headers () in
-  let raw = Buffer.contents buf in
-  let header_text = String.sub raw 0 hdr_end in
-  let request_line, headers =
-    match List.map strip_cr (String.split_on_char '\n' header_text) with
-    | [] -> raise (Bad_request "empty request")
-    | rl :: hs ->
-        ( rl,
-          List.filter_map
-            (fun h ->
-              match String.index_opt h ':' with
-              | None -> None
-              | Some i ->
-                  Some
-                    ( String.lowercase_ascii (String.sub h 0 i),
-                      String.trim (String.sub h (i + 1) (String.length h - i - 1)) ))
-            hs )
+  find 0
+
+(* read [need] body bytes into place: the prefix already received past
+   the head, then straight [Unix.read]s into the result buffer — no
+   intermediate Buffer or per-chunk copies *)
+let recv_body rb fd ~body_start ~need ~on_eof =
+  if need = 0 then ""
+  else begin
+    let b = Bytes.create need in
+    let have = min (rb.rb_len - body_start) need in
+    Bytes.blit rb.rb_data body_start b 0 have;
+    let got = ref have in
+    while !got < need do
+      let n = Unix.read fd b !got (need - !got) in
+      if n = 0 then on_eof ();
+      got := !got + n
+    done;
+    Bytes.unsafe_to_string b
+  end
+
+(* Single pass over a head block: first line plus (lowercased-name,
+   trimmed-value) pairs, one allocation per name and per value — the
+   old parser built 3+ intermediate strings per header line
+   (split_on_char + strip_cr + String.sub + lowercase + trim). Lines
+   are split on '\n' with an optional trailing '\r', preserving the
+   historical lenient behaviour (pinned by the golden e2e test). *)
+let parse_head head =
+  let hdr_end = String.length head in
+  let line_at i =
+    let j =
+      match String.index_from_opt head i '\n' with Some j when j < hdr_end -> j | _ -> hdr_end
+    in
+    let stop = if j > i && head.[j - 1] = '\r' then j - 1 else j in
+    (Slice.make head ~pos:i ~len:(stop - i), j + 1)
   in
+  let first, next = line_at 0 in
+  let headers = ref [] in
+  let i = ref next in
+  while !i < hdr_end do
+    let line, next = line_at !i in
+    (match Slice.index_opt line ':' with
+    | None -> ()
+    | Some c ->
+        let name = Slice.lowercase_string (Slice.sub line ~pos:0 ~len:c) in
+        let value =
+          Slice.to_string
+            (Slice.trim (Slice.sub line ~pos:(c + 1) ~len:(Slice.length line - c - 1)))
+        in
+        headers := (name, value) :: !headers);
+    i := next
+  done;
+  (first, List.rev !headers)
+
+(* read one request: request line, headers, Content-Length body *)
+let recv_request fd =
+  let rb = recv_create 8192 in
+  let on_eof () = raise (Bad_request "connection closed before headers") in
+  let hdr_end =
+    recv_head rb fd ~on_eof ~too_large:(fun () -> raise (Bad_request "headers too large"))
+  in
+  let request_line, headers = parse_head (Bytes.sub_string rb.rb_data 0 hdr_end) in
   let meth, target =
-    match String.split_on_char ' ' request_line with
-    | meth :: target :: _ -> (meth, target)
-    | _ -> raise (Bad_request ("bad request line: " ^ request_line))
+    match Slice.index_opt request_line ' ' with
+    | None ->
+        raise (Bad_request ("bad request line: " ^ Slice.to_string request_line))
+    | Some i ->
+        let rest =
+          Slice.sub request_line ~pos:(i + 1) ~len:(Slice.length request_line - i - 1)
+        in
+        let target =
+          match Slice.index_opt rest ' ' with
+          | None -> rest
+          | Some j -> Slice.sub rest ~pos:0 ~len:j
+        in
+        (Slice.to_string (Slice.sub request_line ~pos:0 ~len:i), Slice.to_string target)
   in
   let content_length =
     match List.assoc_opt "content-length" headers with
@@ -581,15 +752,11 @@ let recv_request fd =
         | Some n when n >= 0 && n <= max_body_bytes -> n
         | _ -> raise (Bad_request ("bad content-length: " ^ v)))
   in
-  let body_start = hdr_end + 4 in
-  let body_buf = Buffer.create content_length in
-  Buffer.add_string body_buf (String.sub raw body_start (String.length raw - body_start));
-  while Buffer.length body_buf < content_length do
-    let n = Unix.read fd chunk 0 (Bytes.length chunk) in
-    if n = 0 then raise (Bad_request "connection closed before body");
-    Buffer.add_subbytes body_buf chunk 0 n
-  done;
-  (meth, target, String.sub (Buffer.contents body_buf) 0 content_length)
+  let body =
+    recv_body rb fd ~body_start:(hdr_end + 4) ~need:content_length
+      ~on_eof:(fun () -> raise (Bad_request "connection closed before body"))
+  in
+  (meth, target, headers, body)
 
 let handle_conn t fd =
   Fun.protect
@@ -603,9 +770,9 @@ let handle_conn t fd =
           (try send_response fd 400 "text/plain" [] ("bad request: " ^ m ^ "\n")
            with Unix.Unix_error _ -> ())
       | exception Unix.Unix_error _ -> Metrics.incr t.sv_metrics "errors.io"
-      | meth, target, body -> (
-          let status, ctype, headers, rbody = handle_request t ~meth ~target ~body in
-          try send_response fd status ctype headers rbody
+      | meth, target, headers, body -> (
+          let status, ctype, rheaders, rbody = handle_request t ~headers ~meth ~target ~body in
+          try send_response fd status ctype rheaders rbody
           with Unix.Unix_error _ -> Metrics.incr t.sv_metrics "errors.io"))
 
 type addr = Unix_sock of string | Tcp of string * int
@@ -614,18 +781,19 @@ type handle = {
   h_sock : Unix.file_descr;
   h_addr : addr;
   h_stop : bool Atomic.t;
-  mutable h_loop : unit Par.future option;
+  mutable h_loop : unit Domain.t option;
   h_path : string option;
 }
 
 let rec accept_loop t h =
   if not (Atomic.get h.h_stop) then begin
-    (* the accept loop owns one worker for its whole lifetime; on a
-       2-worker pool the submitted connection handlers would otherwise
-       never run (the other "worker" is the caller, and it only helps
-       while blocked in [Par.await]). Draining here keeps any pool size
-       >= 2 live: spare workers race us for the queue, and when there
-       are none we handle the connections ourselves between selects. *)
+    (* The accept loop runs on its own domain, outside the pool's
+       execution budget (it spends its life blocked in [select], which
+       releases the runtime lock, so it costs the GC nothing). Draining
+       here keeps the server live on any host: spare pool workers race
+       us for the queued connection handlers, and when there are none
+       (e.g. a 1-core host spawns no workers at all) we handle the
+       connections ourselves between selects. *)
     while Par.drain_one t.sv_pool do () done;
     (* select with a short timeout so [stop] is honoured promptly even
        with no incoming connections *)
@@ -641,6 +809,9 @@ let rec accept_loop t h =
   end
 
 let start t addr =
+  (* kept for API stability: the accept loop now runs on its own domain,
+     but a serving pool sized for a single task has no headroom for the
+     connection handlers it queues *)
   if Par.jobs t.sv_pool < 2 then
     invalid_arg "Serve.start: the pool needs at least 2 workers (one runs the accept loop)";
   let domain, sockaddr, path =
@@ -668,7 +839,7 @@ let start t addr =
     | a -> a
   in
   let h = { h_sock = sock; h_addr = bound; h_stop = Atomic.make false; h_loop = None; h_path = path } in
-  h.h_loop <- Some (Par.submit t.sv_pool (fun () -> accept_loop t h));
+  h.h_loop <- Some (Domain.spawn (fun () -> accept_loop t h));
   h
 
 let bound_addr h = h.h_addr
@@ -677,7 +848,7 @@ let stop h =
   if not (Atomic.get h.h_stop) then begin
     Atomic.set h.h_stop true;
     (match h.h_loop with
-    | Some f -> ( try Par.await f with _ -> ())
+    | Some d -> ( try Domain.join d with _ -> ())
     | None -> ());
     (try Unix.close h.h_sock with Unix.Unix_error _ -> ());
     match h.h_path with
@@ -688,20 +859,7 @@ let stop h =
 (* ---- client -------------------------------------------------------- *)
 
 module Client = struct
-  let read_all fd =
-    let buf = Buffer.create 4096 in
-    let chunk = Bytes.create 4096 in
-    let rec go () =
-      let n = Unix.read fd chunk 0 (Bytes.length chunk) in
-      if n > 0 then begin
-        Buffer.add_subbytes buf chunk 0 n;
-        go ()
-      end
-    in
-    go ();
-    Buffer.contents buf
-
-  let request_full ?body addr ~meth ~path =
+  let request_full ?body ?(headers = []) addr ~meth ~path =
     let domain, sockaddr =
       match addr with
       | Unix_sock p -> (Unix.PF_UNIX, Unix.ADDR_UNIX p)
@@ -713,41 +871,66 @@ module Client = struct
       (fun () ->
         Unix.connect fd sockaddr;
         let payload = Option.value ~default:"" body in
-        let req =
-          Printf.sprintf "%s %s HTTP/1.1\r\nHost: depsurf\r\n%sConnection: close\r\n\r\n%s"
-            meth path
-            (if payload = "" then ""
-             else Printf.sprintf "Content-Length: %d\r\n" (String.length payload))
-            payload
-        in
+        let req = Buffer.create 256 in
+        Buffer.add_string req
+          (Printf.sprintf "%s %s HTTP/1.1\r\nHost: depsurf\r\n" meth path);
+        List.iter
+          (fun (k, v) -> Buffer.add_string req (Printf.sprintf "%s: %s\r\n" k v))
+          headers;
+        if payload <> "" then
+          Buffer.add_string req (Printf.sprintf "Content-Length: %d\r\n" (String.length payload));
+        Buffer.add_string req "Connection: close\r\n\r\n";
+        Buffer.add_string req payload;
+        let req = Buffer.contents req in
         write_all fd req 0 (String.length req);
-        let raw = read_all fd in
-        match find_crlfcrlf raw with
-        | None -> failwith "malformed HTTP response (no header terminator)"
-        | Some i ->
-            let status =
-              match String.split_on_char ' ' (List.hd (String.split_on_char '\n' raw)) with
-              | _ :: code :: _ -> (
-                  match int_of_string_opt code with
-                  | Some c -> c
-                  | None -> failwith "malformed HTTP status line")
-              | _ -> failwith "malformed HTTP status line"
-            in
-            let headers =
-              String.split_on_char '\n' (String.sub raw 0 i)
-              |> List.filter_map (fun line ->
-                     let line = strip_cr line in
-                     match String.index_opt line ':' with
-                     | None -> None
-                     | Some j ->
-                         Some
-                           ( String.lowercase_ascii (String.sub line 0 j),
-                             String.trim
-                               (String.sub line (j + 1) (String.length line - j - 1)) ))
-            in
-            (status, headers, String.sub raw (i + 4) (String.length raw - i - 4)))
+        (* parse the head region only — never split or copy the body
+           along the way, and read it in 64 KiB chunks (the old client
+           buffered 4 KiB at a time and then split the entire multi-MB
+           response on '\n' to find the status line) *)
+        let rb = recv_create 65536 in
+        let on_eof () = failwith "malformed HTTP response (no header terminator)" in
+        let hdr_end =
+          recv_head rb fd ~on_eof ~too_large:(fun () -> failwith "response headers too large")
+        in
+        let status_line, resp_headers = parse_head (Bytes.sub_string rb.rb_data 0 hdr_end) in
+        let status =
+          let bad () = failwith "malformed HTTP status line" in
+          match Slice.index_opt status_line ' ' with
+          | None -> bad ()
+          | Some i -> (
+              let rest =
+                Slice.sub status_line ~pos:(i + 1) ~len:(Slice.length status_line - i - 1)
+              in
+              let code =
+                match Slice.index_opt rest ' ' with
+                | None -> rest
+                | Some j -> Slice.sub rest ~pos:0 ~len:j
+              in
+              match int_of_string_opt (Slice.to_string code) with
+              | Some c -> c
+              | None -> bad ())
+        in
+        let body_start = hdr_end + 4 in
+        let rbody =
+          match
+            Option.bind (List.assoc_opt "content-length" resp_headers) int_of_string_opt
+          with
+          | Some need when need >= 0 ->
+              recv_body rb fd ~body_start ~need ~on_eof:(fun () ->
+                  failwith "connection closed before response body")
+          | _ ->
+              (* no Content-Length: drain to EOF *)
+              let rec drain () =
+                match recv_read rb fd ~on_eof:(fun () -> raise Exit) with
+                | () -> drain ()
+                | exception Exit -> ()
+              in
+              drain ();
+              Bytes.sub_string rb.rb_data body_start (rb.rb_len - body_start)
+        in
+        (status, resp_headers, rbody))
 
-  let request ?body addr ~meth ~path =
-    let status, _, body = request_full ?body addr ~meth ~path in
+  let request ?body ?headers addr ~meth ~path =
+    let status, _, body = request_full ?body ?headers addr ~meth ~path in
     (status, body)
 end

@@ -20,8 +20,17 @@
       string lookup;
     - single-flight hydration: concurrent requests for the same uncached
       artifact coalesce into one computation via {!Ds_util.Par.Memo};
+    - a {e response-byte cache} ({!Respcache}) in front of the hot
+      index: cacheable GETs ([/images], [/surface/...], [/diff/...])
+      are stored as fully serialized envelope+body bytes keyed by
+      (endpoint, normalized params, index generation), so a warm hit
+      skips Export → JSON → envelope entirely; every cacheable response
+      carries a strong [ETag] (content digest over the cached bytes)
+      and an [x-depsurf-cache: hit|miss] header, and a matching
+      [If-None-Match] answers [304 Not Modified] with an empty body;
     - per-endpoint metrics ({!Ds_util.Metrics}): request counters,
-      error counters, and latency histograms with p50/p95/p99.
+      error counters, cache hit/miss/evict counters, and latency
+      histograms with p50/p95/p99.
 
     Endpoints (canonically under [/v1/...]; the bare legacy paths are
     kept as byte-identical aliases — both forms dispatch to the same
@@ -68,6 +77,16 @@ val create : ?images_dir:string -> ds:Depsurf.Dataset.t -> pool:Ds_util.Par.pool
 val metrics : t -> Ds_util.Metrics.t
 val dataset : t -> Depsurf.Dataset.t
 
+val generation : t -> int
+(** The current index generation, part of every response-cache key. *)
+
+val invalidate : t -> unit
+(** Bump the index generation: every cached response (and the ETag a
+    client may hold for it) stops matching, and the next request for
+    each key re-renders and re-caches. Index mutations must call this;
+    today nothing mutates the index after {!create}, so it is driven by
+    tests and future mutation endpoints. *)
+
 val image_name : Version.t * Config.t -> string
 (** URL name of a study image, e.g. ["5.4-x86-generic"]. *)
 
@@ -75,12 +94,20 @@ val image_of_name : string -> (Version.t * Config.t) option
 (** Inverse of {!image_name}; [None] when not in the study matrix. *)
 
 val handle_request :
-  t -> meth:string -> target:string -> body:string -> int * string * (string * string) list * string
+  ?headers:(string * string) list ->
+  t ->
+  meth:string ->
+  target:string ->
+  body:string ->
+  int * string * (string * string) list * string
 (** Route and answer one request:
     [(status, content_type, headers, body)] where [headers] is the
-    extra response headers (always including [x-depsurf-trace]). Never
-    raises — internal errors become a 500 envelope. Exposed for unit
-    tests and in-process callers. *)
+    extra response headers (always including [x-depsurf-trace], plus
+    [ETag] and [x-depsurf-cache] on cacheable GETs). [?headers] is the
+    request headers as [(lowercased-name, value)] pairs; a matching
+    [if-none-match] turns a cacheable response into an empty-body 304.
+    Never raises — internal errors become a 500 envelope. Exposed for
+    unit tests and in-process callers. *)
 
 (** {2 Socket front-end} *)
 
@@ -107,14 +134,27 @@ val stop : handle -> unit
 (** A minimal blocking HTTP/1.1 client for the same protocol: the load
     generator, the CLI's [depsurf query], and the e2e tests. *)
 module Client : sig
-  val request : ?body:string -> addr -> meth:string -> path:string -> int * string
+  val request :
+    ?body:string ->
+    ?headers:(string * string) list ->
+    addr ->
+    meth:string ->
+    path:string ->
+    int * string
   (** One request over a fresh connection; [(status, body)]. [body]
-      present sends a [Content-Length] payload (used with [POST]).
-      Raises [Unix.Unix_error] on connection failures and [Failure] on
+      present sends a [Content-Length] payload (used with [POST]);
+      [headers] adds request headers (e.g.
+      [("If-None-Match", etag)] for a conditional GET). Raises
+      [Unix.Unix_error] on connection failures and [Failure] on
       malformed responses. *)
 
   val request_full :
-    ?body:string -> addr -> meth:string -> path:string -> int * (string * string) list * string
+    ?body:string ->
+    ?headers:(string * string) list ->
+    addr ->
+    meth:string ->
+    path:string ->
+    int * (string * string) list * string
   (** Like {!request} but also returns the response headers as
       [(lowercased-name, value)] pairs. *)
 end

@@ -70,8 +70,7 @@ module Frame = struct
   let decode ~ns data =
     match
       let r = Bytesio.Reader.of_string data in
-      let m = Bytesio.Reader.bytes r 4 in
-      if m <> magic then Corrupt "bad magic"
+      if not (Bytesio.Reader.expect r magic) then Corrupt "bad magic"
       else
         let v = Bytesio.Reader.u16 r in
         if v <> format_version then Corrupt (Printf.sprintf "format version %d" v)

@@ -2,6 +2,66 @@ type endian = Little | Big
 
 exception Truncated of string
 
+module Slice = struct
+  type t = { data : string; off : int; len : int }
+
+  let of_string data = { data; off = 0; len = String.length data }
+
+  let make data ~pos ~len =
+    if pos < 0 || len < 0 || pos > String.length data - len then
+      invalid_arg "Bytesio.Slice.make";
+    { data; off = pos; len }
+
+  let length t = t.len
+  let is_empty t = t.len = 0
+
+  let get t i =
+    if i < 0 || i >= t.len then invalid_arg "Bytesio.Slice.get";
+    String.unsafe_get t.data (t.off + i)
+
+  let sub t ~pos ~len =
+    if pos < 0 || len < 0 || pos > t.len - len then invalid_arg "Bytesio.Slice.sub";
+    { data = t.data; off = t.off + pos; len }
+
+  let to_string t = String.sub t.data t.off t.len
+
+  let index_opt t c =
+    match String.index_from_opt t.data t.off c with
+    | Some i when i < t.off + t.len -> Some (i - t.off)
+    | _ -> None
+
+  let is_ws c = c = ' ' || c = '\t' || c = '\r' || c = '\n'
+
+  let trim t =
+    let lo = ref 0 and hi = ref t.len in
+    while !lo < !hi && is_ws (String.unsafe_get t.data (t.off + !lo)) do incr lo done;
+    while !hi > !lo && is_ws (String.unsafe_get t.data (t.off + !hi - 1)) do decr hi done;
+    { t with off = t.off + !lo; len = !hi - !lo }
+
+  let lowercase_string t =
+    String.init t.len (fun i -> Char.lowercase_ascii (String.unsafe_get t.data (t.off + i)))
+
+  let equal_string t s =
+    t.len = String.length s
+    &&
+    let rec go i =
+      i >= t.len
+      || (String.unsafe_get t.data (t.off + i) = String.unsafe_get s i && go (i + 1))
+    in
+    go 0
+
+  let equal_caseless_string t s =
+    t.len = String.length s
+    &&
+    let rec go i =
+      i >= t.len
+      || Char.lowercase_ascii (String.unsafe_get t.data (t.off + i))
+         = Char.lowercase_ascii (String.unsafe_get s i)
+         && go (i + 1)
+    in
+    go 0
+end
+
 module Writer = struct
   type t = { buf : Buffer.t; endian : endian }
 
@@ -156,6 +216,29 @@ module Reader = struct
     let s = String.sub t.data (t.base + t.off) n in
     t.off <- t.off + n;
     s
+
+  (* non-copying variant of [bytes]: a view into the backing string.
+     The slice pins the whole backing buffer alive — convert with
+     [Slice.to_string] before retaining it in a long-lived structure. *)
+  let slice t n =
+    need t n;
+    let s = Slice.make t.data ~pos:(t.base + t.off) ~len:n in
+    t.off <- t.off + n;
+    s
+
+  (* positional magic-bytes check: no allocation, unlike reading via
+     [bytes] and comparing the copy *)
+  let expect t s =
+    let n = String.length s in
+    need t n;
+    let rec eq i =
+      i >= n
+      || (String.unsafe_get t.data (t.base + t.off + i) = String.unsafe_get s i
+          && eq (i + 1))
+    in
+    let ok = eq 0 in
+    if ok then t.off <- t.off + n;
+    ok
 
   let cstring t =
     let start = t.off in

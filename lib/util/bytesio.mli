@@ -12,6 +12,48 @@ type endian = Little | Big
 exception Truncated of string
 (** Raised by {!Reader} on reads past the end of the buffer. *)
 
+(** A non-copying view of a region of a string: offset + length over the
+    backing buffer, no [Bigstringaf] (or any C stubs) involved. Used by
+    the binary parsers and the HTTP front-end to scan, compare and split
+    without the per-record [String.sub] copies.
+
+    Safety rules: a slice {e pins the entire backing string} alive, so
+    convert with {!to_string} before storing a slice in a long-lived
+    structure (an index entry, a parsed record); and slices are only
+    valid views of immutable strings — never wrap a [Bytes.t] that is
+    still being mutated. *)
+module Slice : sig
+  type t
+
+  val of_string : string -> t
+  val make : string -> pos:int -> len:int -> t
+  (** Raises [Invalid_argument] when the region is out of bounds. *)
+
+  val length : t -> int
+  val is_empty : t -> bool
+
+  val get : t -> int -> char
+  (** Raises [Invalid_argument] out of bounds. *)
+
+  val sub : t -> pos:int -> len:int -> t
+  (** A sub-view; no copy. *)
+
+  val to_string : t -> string
+  (** The one explicit copy. *)
+
+  val index_opt : t -> char -> int option
+  val trim : t -> t
+  (** Drop ASCII whitespace from both ends; no copy. *)
+
+  val lowercase_string : t -> string
+  (** ASCII-lowercased contents, in a single allocation. *)
+
+  val equal_string : t -> string -> bool
+  (** Positional comparison; no allocation. *)
+
+  val equal_caseless_string : t -> string -> bool
+end
+
 module Writer : sig
   type t
 
@@ -63,6 +105,17 @@ module Reader : sig
   val uleb128 : t -> int
   val sleb128 : t -> int
   val bytes : t -> int -> string
+
+  val slice : t -> int -> Slice.t
+  (** Like {!bytes} but returns a non-copying view of the backing
+      string (which it pins alive — see the {!Slice} safety rules). *)
+
+  val expect : t -> string -> bool
+  (** [expect r magic] compares the next bytes against [magic] without
+      allocating; consumes them and returns [true] on a match, leaves
+      the cursor in place and returns [false] otherwise. Raises
+      [Truncated] when fewer than [String.length magic] bytes remain. *)
+
   val cstring : t -> string
   (** Reads up to (and consumes) the next NUL byte. *)
 

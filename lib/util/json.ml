@@ -90,7 +90,10 @@ let expect p c =
 
 let literal p word value =
   let n = String.length word in
-  if p.pos + n <= String.length p.src && String.sub p.src p.pos n = word then begin
+  let rec matches i =
+    i >= n || (String.unsafe_get p.src (p.pos + i) = String.unsafe_get word i && matches (i + 1))
+  in
+  if p.pos + n <= String.length p.src && matches 0 then begin
     p.pos <- p.pos + n;
     value
   end
@@ -115,9 +118,20 @@ let parse_string_body p =
         | Some 'u' ->
             advance p;
             if p.pos + 4 > String.length p.src then fail "bad \\u escape";
-            let hex = String.sub p.src p.pos 4 in
+            let hex_digit c =
+              match c with
+              | '0' .. '9' -> Char.code c - Char.code '0'
+              | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+              | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+              | _ -> fail "bad \\u escape"
+            in
+            let code =
+              (hex_digit p.src.[p.pos] lsl 12)
+              lor (hex_digit p.src.[p.pos + 1] lsl 8)
+              lor (hex_digit p.src.[p.pos + 2] lsl 4)
+              lor hex_digit p.src.[p.pos + 3]
+            in
             p.pos <- p.pos + 4;
-            let code = int_of_string ("0x" ^ hex) in
             (* BMP only; enough for our own output *)
             if code < 0x80 then Buffer.add_char buf (Char.chr code)
             else Buffer.add_string buf (Printf.sprintf "\\u%04x" code);
@@ -136,11 +150,15 @@ let parse_number p =
   let is_num_char c =
     (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
   in
+  (* classify while scanning: one [String.sub] for the conversion itself,
+     no extra copy + [String.contains] re-scans *)
+  let is_float = ref false in
   while (match peek p with Some c when is_num_char c -> true | _ -> false) do
+    (match p.src.[p.pos] with '.' | 'e' | 'E' -> is_float := true | _ -> ());
     advance p
   done;
   let s = String.sub p.src start (p.pos - start) in
-  if String.contains s '.' || String.contains s 'e' || String.contains s 'E' then
+  if !is_float then
     match float_of_string_opt s with
     | Some f -> Float f
     | None -> fail ("bad number " ^ s)

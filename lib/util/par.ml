@@ -19,6 +19,23 @@ and pool = {
   p_queue : task Queue.t;
   mutable p_down : bool;
   mutable p_workers : unit Domain.t list;
+  (* Execution throttle: number of tasks running right now, and the cap
+     every claim path respects before picking up new work. On a host
+     with fewer cores than [p_jobs], domains crunching simultaneously
+     only fight over the cores and the minor-GC stop-the-world
+     rendezvous, so the cap is the core count. Claiming (queue pop +
+     active increment) is atomic under [p_mutex], so the cap cannot be
+     raced past. Two deliberate exemptions keep the pool deadlock-free:
+     a domain already running a pool task (nested [await]/[drain_one],
+     tracked per-domain by [exec_depth]) always pops — its inline
+     execution is the only guaranteed progress — and [shutdown]'s final
+     drain always pops. A throttled [await] caller instead waits on
+     [p_pending], which every task completion broadcasts. Long-lived
+     tasks (e.g. a server accept loop) pin a slot for their lifetime:
+     do not mix [map_list] from outside the pool with such a task on a
+     1-core host. *)
+  mutable p_active : int;
+  p_max_active : int;
 }
 
 type task_wrap = { ctx_wrap : 'a. (unit -> 'a) -> 'a }
@@ -51,25 +68,66 @@ let finish (Task (fut, f)) =
   Condition.broadcast fut.f_cond;
   Mutex.unlock fut.f_mutex
 
-let try_pop p =
+(* how many pool tasks the current domain is executing right now; > 0
+   means we are inside a task body and inline progress trumps the cap *)
+let exec_depth : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+(* run a task whose slot was already claimed (p_active incremented) *)
+let run_claimed p t =
+  let depth = Domain.DLS.get exec_depth in
+  incr depth;
+  Fun.protect
+    ~finally:(fun () ->
+      decr depth;
+      Mutex.lock p.p_mutex;
+      p.p_active <- p.p_active - 1;
+      (* a slot freed up — and maybe a future completed: wake every
+         throttled worker and waiting caller to re-check (signal would
+         wake only one and can strand an [await]er) *)
+      Condition.broadcast p.p_pending;
+      Mutex.unlock p.p_mutex)
+    (fun () -> finish t)
+
+(* atomically pop a task and take an execution slot; [force] ignores
+   the cap (nested execution, shutdown drain) *)
+let claim ?(force = false) p =
   Mutex.lock p.p_mutex;
-  let t = Queue.take_opt p.p_queue in
+  let t =
+    if force || p.p_active < p.p_max_active then (
+      match Queue.take_opt p.p_queue with
+      | Some t ->
+          p.p_active <- p.p_active + 1;
+          Some t
+      | None -> None)
+    else None
+  in
   Mutex.unlock p.p_mutex;
   t
 
 let rec worker p =
   Mutex.lock p.p_mutex;
-  while Queue.is_empty p.p_queue && not p.p_down do
+  while (Queue.is_empty p.p_queue || p.p_active >= p.p_max_active) && not p.p_down do
     Condition.wait p.p_pending p.p_mutex
   done;
-  match Queue.take_opt p.p_queue with
-  | None ->
-      (* shut down with an empty queue *)
-      Mutex.unlock p.p_mutex
+  (* when shut down, drain regardless of the cap *)
+  let t =
+    if p.p_down || p.p_active < p.p_max_active then (
+      match Queue.take_opt p.p_queue with
+      | Some t ->
+          p.p_active <- p.p_active + 1;
+          Some t
+      | None -> None)
+    else None
+  in
+  let down = p.p_down in
+  Mutex.unlock p.p_mutex;
+  match t with
   | Some t ->
-      Mutex.unlock p.p_mutex;
-      finish t;
+      run_claimed p t;
       worker p
+  | None ->
+      (* a helper raced us to the task; keep serving unless shut down *)
+      if not down then worker p
 
 let create ?jobs () =
   let n = match jobs with Some n when n >= 1 -> n | Some _ | None -> default_jobs () in
@@ -81,10 +139,19 @@ let create ?jobs () =
       p_queue = Queue.create ();
       p_down = false;
       p_workers = [];
+      p_active = 0;
+      p_max_active = max 1 (min n (Domain.recommended_domain_count ()));
     }
   in
-  (* the caller is the n-th worker: it executes tasks inside [await] *)
-  p.p_workers <- List.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker p));
+  (* The caller counts as one executor (it runs tasks inside [await]),
+     so only [p_max_active - 1] worker domains are spawned. In
+     particular a 1-core host gets zero workers regardless of [jobs]:
+     an idle domain parked in [Condition.wait] still joins every
+     stop-the-world minor-GC rendezvous, which alone costs 15-70% on
+     allocation-heavy work — the pool must not pay that for domains
+     that could never run anyway. *)
+  p.p_workers <-
+    List.init (p.p_max_active - 1) (fun _ -> Domain.spawn (fun () -> worker p));
   p
 
 let submit p f =
@@ -109,23 +176,70 @@ let rec await fut =
   | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
   | Pending -> (
       (* help: run queued tasks instead of blocking, so a 1-domain pool
-         makes progress and larger pools keep the caller busy *)
-      match try_pop fut.f_pool with
+         makes progress and larger pools keep the caller busy — but
+         honour the execution cap unless we are already inside a task
+         (where inline progress is the only deadlock-safe choice) *)
+      let p = fut.f_pool in
+      let nested = !(Domain.DLS.get exec_depth) > 0 in
+      match claim ~force:nested p with
       | Some t ->
-          finish t;
+          run_claimed p t;
           await fut
       | None ->
-          let pending f = match f.f_state with Pending -> true | _ -> false in
-          Mutex.lock fut.f_mutex;
-          while pending fut do
-            Condition.wait fut.f_cond fut.f_mutex
-          done;
-          Mutex.unlock fut.f_mutex;
-          await fut)
+          let throttled = ref false in
+          if not nested then begin
+            (* tasks may be queued with the cores saturated: wait for a
+               slot (every completion broadcasts p_pending), then retry *)
+            Mutex.lock p.p_mutex;
+            if p.p_active >= p.p_max_active && not (Queue.is_empty p.p_queue) then begin
+              Condition.wait p.p_pending p.p_mutex;
+              throttled := true
+            end;
+            Mutex.unlock p.p_mutex
+          end;
+          if !throttled then await fut
+          else begin
+            let pending f = match f.f_state with Pending -> true | _ -> false in
+            Mutex.lock fut.f_mutex;
+            while pending fut do
+              Condition.wait fut.f_cond fut.f_mutex
+            done;
+            Mutex.unlock fut.f_mutex;
+            await fut
+          end)
 
-let drain_one p = match try_pop p with Some t -> finish t; true | None -> false
+(* inline progress for a domain that must not block (e.g. the serve
+   accept loop between selects): always pops, ignoring the cap *)
+let drain_one p =
+  match claim ~force:true p with
+  | Some t ->
+      run_claimed p t;
+      true
+  | None -> false
 
 let map_list p f xs = List.map await (List.map (fun x -> submit p (fun () -> f x)) xs)
+
+(* split [xs] into runs of [chunk] elements, preserving order *)
+let chunks_of chunk xs =
+  let rec take k acc rest =
+    if k = 0 then (List.rev acc, rest)
+    else match rest with [] -> (List.rev acc, []) | x :: tl -> take (k - 1) (x :: acc) tl
+  in
+  let rec go xs = match xs with [] -> [] | _ -> let c, rest = take chunk [] xs in c :: go rest in
+  go xs
+
+let map_list_chunked ?chunk p f xs =
+  let chunk =
+    match chunk with
+    | Some c when c >= 1 -> c
+    | Some _ -> invalid_arg "Par.map_list_chunked: chunk must be >= 1"
+    | None -> max 1 (List.length xs / (p.p_jobs * 4))
+  in
+  if chunk <= 1 then map_list p f xs
+  else
+    chunks_of chunk xs
+    |> List.map (fun c -> submit p (fun () -> List.map f c))
+    |> List.concat_map await
 
 let map_reduce p ~map ~reduce ~init xs =
   List.fold_left reduce init (map_list p map xs)
@@ -136,7 +250,13 @@ let shutdown p =
   Condition.broadcast p.p_pending;
   Mutex.unlock p.p_mutex;
   (* drain whatever the workers leave behind, then join them *)
-  let rec drain () = match try_pop p with Some t -> finish t; drain () | None -> () in
+  let rec drain () =
+    match claim ~force:true p with
+    | Some t ->
+        run_claimed p t;
+        drain ()
+    | None -> ()
+  in
   drain ();
   List.iter Domain.join p.p_workers;
   p.p_workers <- []

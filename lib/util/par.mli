@@ -2,11 +2,24 @@
     parallel fan-outs of the pipeline (per-image compile/parse/surface
     chains, pairwise diffs, per-program report matrices).
 
-    Determinism contract: {!map_list} and {!map_reduce} preserve input
-    order, so parallel runs produce byte-identical tables and figures as
-    long as the mapped function is pure. A pool of size 1 degrades to
-    plain sequential execution in the calling domain — no worker domains
-    are spawned. *)
+    Determinism contract: {!map_list}, {!map_list_chunked} and
+    {!map_reduce} preserve input order, so parallel runs produce
+    byte-identical tables and figures as long as the mapped function is
+    pure. A pool of size 1 degrades to plain sequential execution in the
+    calling domain — no worker domains are spawned.
+
+    Oversubscription throttle: at most
+    [min jobs (Domain.recommended_domain_count ())] tasks execute at
+    once, and the pool only spawns that many executors in the first
+    place (the caller counts as one). On a host with fewer cores than
+    [jobs] the surplus domains are never created: even an idle domain
+    parked in [Condition.wait] joins every stop-the-world minor-GC
+    rendezvous, which used to make [jobs=4] on one core up to twice as
+    slow as sequential on allocation-heavy stages. A caller blocked in
+    {!await} helps only while a slot is free; a domain already inside a
+    pool task (nested {!await}, {!drain_one}) always pops — inline
+    progress there is the deadlock-safe path. The semantics of [jobs]
+    are unchanged, only the scheduling. *)
 
 type pool
 type 'a future
@@ -16,9 +29,10 @@ val default_jobs : unit -> int
     [Domain.recommended_domain_count ()]. *)
 
 val create : ?jobs:int -> unit -> pool
-(** Spawn a pool of [jobs] total domains: the caller plus [jobs - 1]
-    workers (the calling domain executes queued tasks while it waits in
-    {!await}). Default: {!default_jobs}. *)
+(** Create a pool admitting [jobs] concurrent tasks, spawning
+    [min jobs (Domain.recommended_domain_count ()) - 1] worker domains
+    (the calling domain executes queued tasks while it waits in
+    {!await}, so it counts as one executor). Default: {!default_jobs}. *)
 
 val jobs : pool -> int
 
@@ -52,6 +66,16 @@ val drain_one : pool -> bool
 val map_list : pool -> ('a -> 'b) -> 'a list -> 'b list
 (** Parallel [List.map]; results are in input order. The first failing
     element's exception (in input order) is re-raised. *)
+
+val map_list_chunked : ?chunk:int -> pool -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map_list} with one pool task per {e chunk} of consecutive elements
+    instead of one per element, cutting the per-element future/queue/lock
+    cost on fine-grained fan-outs. [chunk] defaults to
+    [max 1 (n / (jobs * 4))] — 4 chunks per worker for load balance,
+    degenerating to {!map_list} for small [n]. Same determinism and
+    exception contract as {!map_list} (a chunk maps its elements
+    left-to-right, so the first failing element in input order still
+    wins). Raises [Invalid_argument] when [chunk < 1]. *)
 
 val map_reduce : pool -> map:('a -> 'b) -> reduce:('c -> 'b -> 'c) -> init:'c -> 'a list -> 'c
 (** [map] runs in parallel; the fold runs left-to-right in input order in

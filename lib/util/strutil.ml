@@ -1,0 +1,19 @@
+let cut ~on s =
+  match String.index_opt s on with
+  | None -> None
+  | Some i -> Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let prefix_before ~on ~default s =
+  match String.index_opt s on with None -> default | Some i -> String.sub s 0 i
+
+let find_sub ?(from = 0) s ~sub =
+  let n = String.length s and m = String.length sub in
+  if from < 0 then invalid_arg "Strutil.find_sub";
+  if m = 0 then if from <= n then Some from else None
+  else begin
+    let rec at i j =
+      j >= m || (String.unsafe_get s (i + j) = String.unsafe_get sub j && at i (j + 1))
+    in
+    let rec go i = if i > n - m then None else if at i 0 then Some i else go (i + 1) in
+    go from
+  end

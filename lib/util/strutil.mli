@@ -1,0 +1,17 @@
+(** Small string-splitting helpers shared by the parsers and the HTTP
+    front-end, consolidating the [String.index_opt] + [String.sub]
+    pattern that used to be re-implemented at each call site. *)
+
+val cut : on:char -> string -> (string * string) option
+(** [cut ~on s] splits [s] at the {e first} occurrence of [on]:
+    [Some (before, after)], neither part containing that occurrence;
+    [None] when [on] does not occur. *)
+
+val prefix_before : on:char -> default:string -> string -> string
+(** [prefix_before ~on ~default s] is everything before the first
+    occurrence of [on], or [default] when [on] does not occur. *)
+
+val find_sub : ?from:int -> string -> sub:string -> int option
+(** Index of the first occurrence of [sub] at or after [from]
+    (default 0), by positional comparison — no per-position allocation.
+    The empty [sub] matches at [from]. *)

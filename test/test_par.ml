@@ -23,6 +23,37 @@ let test_map_reduce_ordered () =
       let got = Par.map_reduce p ~map:string_of_int ~reduce:( ^ ) ~init:"" xs in
       Alcotest.(check string) "left-to-right fold" expected got)
 
+let test_map_list_chunked () =
+  let xs = List.init 203 Fun.id in
+  let f x = (x * 3) - 1 in
+  let expected = List.map f xs in
+  Par.run ~jobs:4 (fun p ->
+      (* auto chunk, explicit chunk sizes (including ones that do not
+         divide the list length), and the degenerate chunk=1 all keep
+         input order *)
+      Alcotest.(check (list int)) "auto chunk" expected (Par.map_list_chunked p f xs);
+      List.iter
+        (fun c ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "chunk=%d" c)
+            expected
+            (Par.map_list_chunked ~chunk:c p f xs))
+        [ 1; 2; 7; 50; 203; 1000 ];
+      Alcotest.(check (list int)) "empty list" [] (Par.map_list_chunked p f []);
+      Alcotest.check_raises "chunk=0 rejected"
+        (Invalid_argument "Par.map_list_chunked: chunk must be >= 1") (fun () ->
+          ignore (Par.map_list_chunked ~chunk:0 p f xs)));
+  Par.run ~jobs:1 (fun p ->
+      Alcotest.(check (list int)) "jobs=1" expected (Par.map_list_chunked p f xs))
+
+let test_map_list_chunked_exception () =
+  Par.run ~jobs:4 (fun p ->
+      Alcotest.check_raises "chunked re-raises" (Failure "bad 42") (fun () ->
+          ignore
+            (Par.map_list_chunked ~chunk:10 p
+               (fun x -> if x = 42 then failwith "bad 42" else x)
+               (List.init 100 Fun.id))))
+
 let test_future_exception () =
   Par.run ~jobs:4 (fun p ->
       let fut = Par.submit p (fun () -> failwith "boom") in
@@ -165,6 +196,8 @@ let suites =
       [
         Alcotest.test_case "map_list deterministic" `Quick test_map_list_deterministic;
         Alcotest.test_case "map_reduce ordered" `Quick test_map_reduce_ordered;
+        Alcotest.test_case "map_list_chunked deterministic" `Quick test_map_list_chunked;
+        Alcotest.test_case "map_list_chunked exception" `Quick test_map_list_chunked_exception;
         Alcotest.test_case "future exception" `Quick test_future_exception;
         Alcotest.test_case "shutdown" `Quick test_shutdown;
         Alcotest.test_case "memo exactly-once" `Quick test_memo_exactly_once;

@@ -112,9 +112,10 @@ let test_single_flight () =
   let m = Serve.metrics t in
   Alcotest.(check int) "one index fill" 1 (Metrics.counter m "index.fill.surface");
   Alcotest.(check int) "one surface render" 1 (Metrics.counter m "compute.surface");
-  (* a second wave is all index hits *)
+  (* a second wave is all index hits; ?trace=1 bypasses the response-byte
+     cache, so this request must reach the hot index *)
   let hits0 = Metrics.counter m "index.hit.surface" in
-  let _ = get t "/surface/4.8-x86-generic" in
+  let _ = get t "/surface/4.8-x86-generic?trace=1" in
   Alcotest.(check int) "warm hit" (hits0 + 1) (Metrics.counter m "index.hit.surface");
   Alcotest.(check int) "still one fill" 1 (Metrics.counter m "index.fill.surface")
 
@@ -201,6 +202,74 @@ let test_tcp_roundtrip () =
       let st, _ = Serve.Client.request addr ~meth:"GET" ~path:"/healthz" in
       Alcotest.(check int) "healthz over tcp" 200 st)
 
+(* golden pin of the server-side header parser's legacy-lenient behavior:
+   bare-LF line endings, unusual whitespace around values, and mixed-case
+   names must keep parsing exactly as the old three-allocation splitter
+   did, now that the parser is single-pass *)
+let raw_roundtrip addr data =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close sock)
+    (fun () ->
+      (match addr with
+      | Serve.Unix_sock path -> Unix.connect sock (Unix.ADDR_UNIX path)
+      | Serve.Tcp _ -> Alcotest.fail "raw_roundtrip wants a unix socket");
+      ignore (Unix.write_substring sock data 0 (String.length data));
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read sock chunk 0 4096 with
+        | 0 -> ()
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            drain ()
+      in
+      drain ();
+      Buffer.contents buf)
+
+let test_raw_header_parsing () =
+  with_server @@ fun t _ ->
+  let path = temp_sock () in
+  let addr = Serve.Unix_sock path in
+  let h = Serve.start t addr in
+  Fun.protect
+    ~finally:(fun () -> Serve.stop h)
+    (fun () ->
+      let status r =
+        Scanf.sscanf r "HTTP/1.1 %d" (fun s -> s)
+      in
+      (* CRLF request *)
+      let r = raw_roundtrip addr "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n" in
+      Alcotest.(check int) "crlf request" 200 (status r);
+      (* bare-LF line endings inside the head are accepted (legacy
+         leniency: lines split on '\n', '\r' optional) as long as the
+         head ends with the usual blank line *)
+      let r = raw_roundtrip addr "GET /healthz HTTP/1.1\nHost: x\r\n\r\n" in
+      Alcotest.(check int) "bare-lf request line" 200 (status r);
+      (* mixed-case names and padded values still parse: grab an etag,
+         then send the validator back with odd casing and spacing *)
+      let r = raw_roundtrip addr "GET /images HTTP/1.1\r\nHost: x\r\n\r\n" in
+      let etag =
+        let tag_at i =
+          let j = String.index_from r (i + 6) '"' in
+          String.sub r i (j - i + 1)
+        in
+        match Ds_util.Strutil.find_sub r ~sub:"ETag: \"" with
+        | Some i -> tag_at (i + 6)
+        | None -> Alcotest.fail "no ETag in raw response"
+      in
+      let r =
+        raw_roundtrip addr
+          ("GET /images HTTP/1.1\r\nHost: x\r\nIF-NONE-MATCH:   " ^ etag ^ "  \r\n\r\n")
+      in
+      Alcotest.(check int) "case+padding conditional" 304 (status r);
+      (* a headerless value after the colon is the empty string, not a crash *)
+      let r = raw_roundtrip addr "GET /healthz HTTP/1.1\r\nX-Empty:\r\n\r\n" in
+      Alcotest.(check int) "empty header value" 200 (status r);
+      (* missing request-line spaces are a 400, connection still answered *)
+      let r = raw_roundtrip addr "GARBAGE\r\n\r\n" in
+      Alcotest.(check int) "bad request line" 400 (status r))
+
 let test_start_requires_two_workers () =
   Par.run ~jobs:1 (fun pool ->
       let t = Serve.create ~ds:(Lazy.force ds) ~pool () in
@@ -254,6 +323,130 @@ let test_degraded_file_image_is_200 () =
   match Json.member "diagnostics" j with
   | Some (Json.List (_ :: _)) -> ()
   | _ -> Alcotest.fail "degraded surface must list its diagnostics"
+
+(* ---- response-byte cache & conditional requests --------------------- *)
+
+let cache_state hdrs = List.assoc_opt "x-depsurf-cache" hdrs
+let etag_of hdrs = List.assoc_opt "ETag" hdrs
+
+let test_response_cache_hit_identity () =
+  with_server @@ fun t _ ->
+  let st1, ct1, h1, b1 = get4 t "/surface/4.4-x86-generic" in
+  Alcotest.(check int) "first 200" 200 st1;
+  Alcotest.(check (option string)) "first is a miss" (Some "miss") (cache_state h1);
+  let st2, ct2, h2, b2 = get4 t "/surface/4.4-x86-generic" in
+  Alcotest.(check (option string)) "second is a hit" (Some "hit") (cache_state h2);
+  (* the cached response must be byte-identical to the rendered one *)
+  Alcotest.(check int) "same status" st1 st2;
+  Alcotest.(check string) "same content-type" ct1 ct2;
+  Alcotest.(check string) "same body bytes" b1 b2;
+  Alcotest.(check bool) "stable etag" true (etag_of h1 <> None && etag_of h1 = etag_of h2);
+  (* the v1 alias shares the cache entry (same key after prefix strip) *)
+  let _, _, h3, b3 = get4 t "/v1/surface/4.4-x86-generic" in
+  Alcotest.(check (option string)) "alias hits the same entry" (Some "hit") (cache_state h3);
+  Alcotest.(check string) "alias body identical" b1 b3;
+  let m = Serve.metrics t in
+  Alcotest.(check bool) "miss counted" true (Metrics.counter m "cache.miss" >= 1);
+  Alcotest.(check bool) "hits counted" true (Metrics.counter m "cache.hit" >= 2);
+  (* counters and occupancy are visible in /metrics *)
+  let _, _, body = get t "/metrics" in
+  match Json.member "response_cache" (payload body) with
+  | Some (Json.Obj fields) -> (
+      match List.assoc_opt "entries" fields with
+      | Some (Json.Int n) -> Alcotest.(check bool) "entries > 0" true (n > 0)
+      | _ -> Alcotest.fail "response_cache lacks entries")
+  | _ -> Alcotest.fail "/metrics lacks response_cache"
+
+let test_conditional_requests () =
+  with_server @@ fun t _ ->
+  let _, _, h1, _ = get4 t "/images" in
+  let etag = match etag_of h1 with Some e -> e | None -> Alcotest.fail "no ETag" in
+  (* matching If-None-Match: 304, empty body, ETag still present *)
+  let st, _, h, body =
+    Serve.handle_request t ~headers:[ ("if-none-match", etag) ] ~meth:"GET" ~target:"/images"
+      ~body:""
+  in
+  Alcotest.(check int) "if-none-match -> 304" 304 st;
+  Alcotest.(check string) "304 body empty" "" body;
+  Alcotest.(check (option string)) "304 carries the etag" (Some etag) (etag_of h);
+  (* a list of candidates containing the etag also matches *)
+  let st, _, _, _ =
+    Serve.handle_request t
+      ~headers:[ ("if-none-match", "\"deadbeef\", " ^ etag) ]
+      ~meth:"GET" ~target:"/images" ~body:""
+  in
+  Alcotest.(check int) "etag list -> 304" 304 st;
+  let st, _, _, _ =
+    Serve.handle_request t ~headers:[ ("if-none-match", "*") ] ~meth:"GET" ~target:"/images"
+      ~body:""
+  in
+  Alcotest.(check int) "star -> 304" 304 st;
+  (* a stale validator gets the full response *)
+  let st, _, _, body =
+    Serve.handle_request t
+      ~headers:[ ("if-none-match", "\"deadbeef\"") ]
+      ~meth:"GET" ~target:"/images" ~body:""
+  in
+  Alcotest.(check int) "stale etag -> 200" 200 st;
+  Alcotest.(check bool) "stale etag gets a body" true (String.length body > 0);
+  let m = Serve.metrics t in
+  Alcotest.(check int) "notmod counted" 3 (Metrics.counter m "cache.notmod")
+
+let test_generation_invalidates () =
+  with_server @@ fun t _ ->
+  let _, _, h1, b1 = get4 t "/images" in
+  Alcotest.(check (option string)) "cold miss" (Some "miss") (cache_state h1);
+  let _, _, h2, _ = get4 t "/images" in
+  Alcotest.(check (option string)) "warm hit" (Some "hit") (cache_state h2);
+  let gen0 = Serve.generation t in
+  Serve.invalidate t;
+  Alcotest.(check int) "generation bumped" (gen0 + 1) (Serve.generation t);
+  let _, _, h3, b3 = get4 t "/images" in
+  Alcotest.(check (option string)) "invalidated -> miss" (Some "miss") (cache_state h3);
+  (* the index itself did not change, so the re-rendered bytes — and
+     therefore the content-digest ETag — are unchanged *)
+  Alcotest.(check string) "re-rendered body identical" b1 b3;
+  Alcotest.(check bool) "etag stable across generations" true (etag_of h1 = etag_of h3)
+
+let test_cache_scope () =
+  with_server @@ fun t _ ->
+  (* dynamic endpoints are never cached *)
+  let _, _, h, _ = get4 t "/healthz" in
+  Alcotest.(check (option string)) "healthz uncached" None (cache_state h);
+  let _, _, h, _ = get4 t "/metrics" in
+  Alcotest.(check (option string)) "metrics uncached" None (cache_state h);
+  (* ?trace=1 bypasses the cache: the trace member is per-request *)
+  let _, _, h, _ = get4 t "/images?trace=1" in
+  Alcotest.(check (option string)) "trace=1 uncached" None (cache_state h);
+  (* errors are not cached either *)
+  let _, _, h, _ = get4 t "/surface/9.9-x86-generic" in
+  let first = cache_state h in
+  let _, _, h, _ = get4 t "/surface/9.9-x86-generic" in
+  Alcotest.(check bool) "404 never served from cache" true
+    (first <> Some "hit" && cache_state h <> Some "hit")
+
+let test_respcache_lru () =
+  let module R = Ds_serve.Respcache in
+  let e body = R.{ e_status = 200; e_ctype = "t"; e_body = body; e_etag = "\"x\"" } in
+  let c = R.create ~max_entries:2 () in
+  Alcotest.(check int) "no eviction" 0 (R.add c "a" (e "1"));
+  Alcotest.(check int) "no eviction" 0 (R.add c "b" (e "2"));
+  (* touch a so b is the LRU tail *)
+  Alcotest.(check bool) "a present" true (R.find c "a" <> None);
+  Alcotest.(check int) "one eviction" 1 (R.add c "c" (e "3"));
+  Alcotest.(check bool) "b evicted" true (R.find c "b" = None);
+  Alcotest.(check bool) "a survives" true (R.find c "a" <> None);
+  Alcotest.(check bool) "c present" true (R.find c "c" <> None);
+  (* byte-cap eviction: each entry is body + overhead, so a small cap
+     admits only the newest entry *)
+  let c = R.create ~max_bytes:400 () in
+  ignore (R.add c "a" (e (String.make 200 'x')));
+  Alcotest.(check int) "byte cap evicts" 1 (R.add c "b" (e (String.make 200 'y')));
+  Alcotest.(check bool) "newest kept" true (R.find c "b" <> None);
+  (* an entry larger than the whole cap is refused outright *)
+  let c = R.create ~max_bytes:100 () in
+  Alcotest.(check int) "oversized refused" 0 (R.add c "big" (e (String.make 500 'z')));
+  Alcotest.(check (pair int int)) "nothing stored" (0, 0) (R.stats c)
 
 (* ---- v1 envelope, aliases, tracing ---------------------------------- *)
 
@@ -330,6 +523,11 @@ let suites =
         Alcotest.test_case "single-flight hydration" `Quick test_single_flight;
         Alcotest.test_case "mismatch byte-identity" `Slow test_mismatch_identity;
         Alcotest.test_case "metrics document" `Quick test_metrics_document;
+        Alcotest.test_case "cache hit identity" `Quick test_response_cache_hit_identity;
+        Alcotest.test_case "conditional requests" `Quick test_conditional_requests;
+        Alcotest.test_case "generation invalidates" `Quick test_generation_invalidates;
+        Alcotest.test_case "cache scope" `Quick test_cache_scope;
+        Alcotest.test_case "respcache lru" `Quick test_respcache_lru;
         Alcotest.test_case "v1 aliases byte-identical" `Quick test_v1_aliases_byte_identical;
         Alcotest.test_case "trace header and recent" `Quick test_trace_header_and_recent;
         Alcotest.test_case "inline trace query" `Quick test_trace_inline_query;
@@ -338,6 +536,7 @@ let suites =
       [
         Alcotest.test_case "unix socket roundtrip" `Quick test_unix_socket_roundtrip;
         Alcotest.test_case "tcp roundtrip" `Quick test_tcp_roundtrip;
+        Alcotest.test_case "raw header parsing" `Quick test_raw_header_parsing;
         Alcotest.test_case "1-worker pool rejected" `Quick test_start_requires_two_workers;
         Alcotest.test_case "degraded file image answers 200" `Quick
           test_degraded_file_image_is_200;

@@ -106,6 +106,96 @@ let test_sub_reader () =
   Alcotest.check_raises "sub out of range" (Bytesio.Truncated "sub") (fun () ->
       ignore (Bytesio.Reader.sub r ~pos:8 ~len:4))
 
+let test_slice () =
+  let s = Bytesio.Slice.of_string "  Hello-World  " in
+  Alcotest.(check int) "length" 15 (Bytesio.Slice.length s);
+  let t = Bytesio.Slice.trim s in
+  Alcotest.(check string) "trim" "Hello-World" (Bytesio.Slice.to_string t);
+  Alcotest.(check bool) "trim copies nothing" true (Bytesio.Slice.length t = 11);
+  Alcotest.(check char) "get" 'H' (Bytesio.Slice.get t 0);
+  (match Bytesio.Slice.index_opt t '-' with
+  | Some 5 -> ()
+  | other ->
+      Alcotest.failf "index_opt: expected Some 5, got %s"
+        (match other with Some i -> string_of_int i | None -> "None"));
+  Alcotest.(check bool) "index outside window" true
+    (Bytesio.Slice.index_opt t ' ' = None);
+  let head = Bytesio.Slice.sub t ~pos:0 ~len:5 in
+  Alcotest.(check string) "sub" "Hello" (Bytesio.Slice.to_string head);
+  Alcotest.(check bool) "equal_string" true (Bytesio.Slice.equal_string head "Hello");
+  Alcotest.(check bool) "equal_string mismatch" false (Bytesio.Slice.equal_string head "World");
+  Alcotest.(check bool) "caseless" true (Bytesio.Slice.equal_caseless_string head "hELLo");
+  Alcotest.(check string) "lowercase" "hello" (Bytesio.Slice.lowercase_string head);
+  Alcotest.(check bool) "empty trim" true
+    (Bytesio.Slice.is_empty (Bytesio.Slice.trim (Bytesio.Slice.of_string "   ")));
+  Alcotest.check_raises "out of bounds" (Invalid_argument "Bytesio.Slice.make") (fun () ->
+      ignore (Bytesio.Slice.make "abc" ~pos:2 ~len:5))
+
+let test_reader_slice_expect () =
+  let r = Bytesio.Reader.of_string "\x7fELFrest" in
+  Alcotest.(check bool) "expect consumes on match" true (Bytesio.Reader.expect r "\x7fELF");
+  let s = Bytesio.Reader.slice r 4 in
+  Alcotest.(check string) "slice reads without copy" "rest" (Bytesio.Slice.to_string s);
+  let r = Bytesio.Reader.of_string "XYZW" in
+  Alcotest.(check bool) "expect rejects without consuming" false (Bytesio.Reader.expect r "ABCD");
+  Alcotest.(check string) "position unchanged" "XYZW" (Bytesio.Reader.bytes r 4);
+  let r = Bytesio.Reader.of_string "ab" in
+  Alcotest.check_raises "expect past end" (Bytesio.Truncated "need 4 at 0/2") (fun () ->
+      ignore (Bytesio.Reader.expect r "ABCD"))
+
+let test_strutil () =
+  Alcotest.(check (option (pair string string))) "cut" (Some ("a", "b=c"))
+    (Strutil.cut ~on:'=' "a=b=c");
+  Alcotest.(check (option (pair string string))) "cut missing" None (Strutil.cut ~on:'=' "abc");
+  Alcotest.(check (option (pair string string))) "cut leading" (Some ("", "x"))
+    (Strutil.cut ~on:':' ":x");
+  Alcotest.(check (option (pair string string))) "cut trailing" (Some ("x", ""))
+    (Strutil.cut ~on:':' "x:");
+  Alcotest.(check string) "prefix_before" "block"
+    (Strutil.prefix_before ~on:'_' ~default:"misc" "block_rq_issue");
+  Alcotest.(check string) "prefix_before default" "misc"
+    (Strutil.prefix_before ~on:'_' ~default:"misc" "plainname");
+  Alcotest.(check (option int)) "find_sub" (Some 5) (Strutil.find_sub "gcc is gcc" ~sub:"s g");
+  Alcotest.(check (option int)) "find_sub first hit" (Some 0) (Strutil.find_sub "gcc is gcc" ~sub:"gcc");
+  Alcotest.(check (option int)) "find_sub from" (Some 7)
+    (Strutil.find_sub ~from:1 "gcc is gcc" ~sub:"gcc");
+  Alcotest.(check (option int)) "find_sub missing" None (Strutil.find_sub "short" ~sub:"missing");
+  Alcotest.(check (option int)) "find_sub empty" (Some 2) (Strutil.find_sub ~from:2 "abc" ~sub:"")
+
+let test_json_escapes () =
+  (* \u escapes decode positionally, including surrogateless BMP chars,
+     and bad hex is a parse error, not an exception from int_of_string *)
+  (match Json.of_string {|"a\u0041\u0021b"|} with
+  | Json.String s -> Alcotest.(check string) "ascii \\u escapes" "aA!b" s
+  | _ -> Alcotest.fail "expected a string");
+  (* >= 0x80 is passed through verbatim as the escape text (BMP-only parser) *)
+  (match Json.of_string {|"\u00e9"|} with
+  | Json.String s -> Alcotest.(check string) "non-ascii \\u passthrough" {|\u00e9|} s
+  | _ -> Alcotest.fail "expected a string");
+  (match Json.of_string {|"tab\tquote\"slash\\"|} with
+  | Json.String s -> Alcotest.(check string) "simple escapes" "tab\tquote\"slash\\" s
+  | _ -> Alcotest.fail "expected a string");
+  List.iter
+    (fun bad ->
+      match Json.of_string bad with
+      | exception Json.Parse_error _ -> ()
+      | _ -> Alcotest.failf "accepted %s" bad)
+    [ {|"\uzzzz"|}; {|"\u00"|}; "tru"; "truX"; "nul"; "[true, fa]" ]
+
+let test_json_literals_numbers () =
+  Alcotest.(check bool) "true" true (Json.of_string "true" = Json.Bool true);
+  Alcotest.(check bool) "false" true (Json.of_string "false" = Json.Bool false);
+  Alcotest.(check bool) "null" true (Json.of_string "null" = Json.Null);
+  Alcotest.(check bool) "int" true (Json.of_string "-42" = Json.Int (-42));
+  (match Json.of_string "2.5e2" with
+  | Json.Float f -> Alcotest.(check (float 1e-9)) "float" 250. f
+  | _ -> Alcotest.fail "expected a float");
+  (match Json.of_string "0.125" with
+  | Json.Float f -> Alcotest.(check (float 1e-9)) "decimal" 0.125 f
+  | _ -> Alcotest.fail "expected a float");
+  (* large integers stay exact ints *)
+  Alcotest.(check bool) "big int" true (Json.of_string "123456789012345" = Json.Int 123456789012345)
+
 let test_table_render () =
   let t = Texttable.create ~title:"T" [ ("a", Texttable.L); ("b", Texttable.R) ] in
   Texttable.row t [ "x"; "1" ];
@@ -254,8 +344,17 @@ let suites =
         Alcotest.test_case "truncated" `Quick test_truncated;
         Alcotest.test_case "align" `Quick test_align;
         Alcotest.test_case "sub reader" `Quick test_sub_reader;
+        Alcotest.test_case "slice" `Quick test_slice;
+        Alcotest.test_case "reader slice + expect" `Quick test_reader_slice_expect;
         QCheck_alcotest.to_alcotest qcheck_leb128;
         QCheck_alcotest.to_alcotest qcheck_sleb128;
+      ] );
+    ( "util.strutil",
+      [ Alcotest.test_case "cut / prefix_before / find_sub" `Quick test_strutil ] );
+    ( "util.json",
+      [
+        Alcotest.test_case "string escapes" `Quick test_json_escapes;
+        Alcotest.test_case "literals and numbers" `Quick test_json_literals_numbers;
       ] );
     ( "util.table",
       [
