@@ -66,7 +66,7 @@ let read_file path =
 let pr_number =
   match Option.bind (Sys.getenv_opt "DEPSURF_PR") int_of_string_opt with
   | Some n -> n
-  | None -> 6
+  | None -> 7
 
 let with_trajectory path ~metric fields =
   let open Json in
@@ -1764,6 +1764,156 @@ let serve_bench () =
        index fills; single-flight hydration held under concurrency: OK"
 
 (* ------------------------------------------------------------------ *)
+(* Dependency graph: build determinism, warm load, closure latency,    *)
+(* blast radius over the corpus                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Graph = Ds_graph.Graph
+module Blast = Ds_graph.Blast
+
+let graph_bench () =
+  section "Dependency graph: build, warm load, reverse-closure latency, blast radius";
+  let failed = Atomic.make false in
+  let v = Version.v 5 4 and cfg = Config.x86_generic in
+  let s = x86 v in
+  (* determinism: the pooled chunked build must produce the same bytes
+     as the sequential one, whatever the chunking *)
+  let g_seq, t_seq = time (fun () -> Graph.build s) in
+  let g_par, t_par = time (fun () -> Graph.build ~pool s) in
+  let b_seq = Graph.encode g_seq and b_par = Graph.encode g_par in
+  Printf.printf "  %s: %d nodes, %d edges; build jobs=1 %.1fms, jobs=%d %.1fms\n"
+    (Graph.tag g_par) (Graph.n_nodes g_par) (Graph.n_edges g_par) (t_seq *. 1000.) par_jobs
+    (t_par *. 1000.);
+  if String.equal b_seq b_par then
+    print_endline "  graph determinism: jobs=1 and pooled encodings byte-identical: OK"
+  else begin
+    print_endline "  graph determinism: FAILED (pooled build differs from sequential)";
+    Atomic.set failed true
+  end;
+  if not (String.equal (Graph.encode (Graph.decode b_par)) b_par) then begin
+    print_endline "  graph codec: FAILED (decode . encode is not the identity)";
+    Atomic.set failed true
+  end;
+  (* cold persist through of_dataset, then a warm probe the way a second
+     process would come in: a fresh store handle on the same directory,
+     a raw Store.find + decode, and build_count must not move *)
+  let _, t_cold = time (fun () -> Graph.of_dataset ~pool ds v cfg) in
+  let builds0 = Graph.build_count () in
+  let store_w = Store.open_ ~dir:cache_dir () in
+  let warm, t_warm =
+    time (fun () ->
+        Store.find store_w ~ns:Graph.ns ~key:(Graph.store_key ds v cfg) ~decode:Graph.decode)
+  in
+  let warm_rebuilds = Graph.build_count () - builds0 in
+  (match warm with
+  | Some g_warm when String.equal (Graph.encode g_warm) b_par && warm_rebuilds = 0 ->
+      Printf.printf
+        "  warm load: %.1fms from the store, 0 rebuilds, byte-identical to the cold build: OK\n"
+        (t_warm *. 1000.)
+  | Some _ ->
+      Printf.printf
+        "  warm load gate: FAILED (stored graph differs from the cold build, or %d rebuilds)\n"
+        warm_rebuilds;
+      Atomic.set failed true
+  | None ->
+      print_endline "  warm load gate: FAILED (no stored graph under the graph namespace)";
+      Atomic.set failed true);
+  (* warm reverse-closure latency: the serve/CLI hot-path unit *)
+  let g = Graph.of_dataset ~pool ds v cfg in
+  let probe =
+    let d = Depset.Dep_func "vfs_fsync" in
+    if Graph.mem g d then d
+    else Depset.Dep_func (List.hd s.Surface.s_funcs).Surface.fe_name
+  in
+  let r = Stats.Reservoir.create () in
+  for _ = 1 to 200 do
+    let _, dt = time (fun () -> ignore (Graph.rclosure g probe)) in
+    Stats.Reservoir.add r (dt *. 1000.)
+  done;
+  let rclosure_p95 = Stats.Reservoir.quantile r 0.95 in
+  Printf.printf "  rclosure(%s): closure %d, p50 %.3fms, p95 %.3fms over 200 runs\n"
+    (Depset.dep_to_string probe)
+    (List.length (Graph.rclosure g probe))
+    (Stats.Reservoir.quantile r 0.5) rclosure_p95;
+  if rclosure_p95 >= 5. then begin
+    Printf.printf "  rclosure gate: FAILED (warm p95 %.3fms, budget 5ms)\n" rclosure_p95;
+    Atomic.set failed true
+  end
+  else Printf.printf "  rclosure gate: warm p95 %.3fms < 5ms: OK\n" rclosure_p95;
+  (* blast radius: take symbols the release diffs actually changed and
+     find one whose reverse closure reaches the corpus — the paper's
+     "which programs break next release" question end to end *)
+  let changed_funcs =
+    List.concat_map
+      (fun ((_, b), (d : Diff.t)) ->
+        List.map (fun (n, _) -> (b, n)) d.Diff.df_funcs.Diff.d_changed
+        @ List.map (fun n -> (b, n)) d.Diff.df_funcs.Diff.d_removed)
+      (Lazy.force release_diffs)
+  in
+  let blast_hit =
+    let rec go tries = function
+      | [] -> None
+      | _ when tries = 0 -> None
+      | (release, name) :: rest -> (
+          match Blast.query ~pool ds ~release (Depset.Dep_func name) with
+          | Ok r when r.Blast.bl_affected <> [] -> Some r
+          | _ -> go (tries - 1) rest)
+    in
+    go 25 changed_funcs
+  in
+  (match blast_hit with
+  | Some r ->
+      Printf.printf
+        "  blast: %s in %s -> closure %d, %d corpus program(s) transitively affected: OK\n"
+        (Depset.dep_to_string r.Blast.bl_node)
+        (Version.to_string r.Blast.bl_release)
+        r.Blast.bl_closure_size
+        (List.length r.Blast.bl_affected)
+  | None ->
+      print_endline
+        "  blast gate: FAILED (no changed symbol with a non-empty corpus blast radius in 25 \
+         probes)";
+      Atomic.set failed true);
+  let open Json in
+  let j =
+    with_trajectory "BENCH_GRAPH.json" ~metric:rclosure_p95
+      [
+        ("schema", String "depsurf-bench-graph/1");
+        ("scale", String (if scale = Calibration.bench_scale then "bench" else "test"));
+        ("image", String (Graph.tag g_par));
+        ("nodes", Int (Graph.n_nodes g_par));
+        ("edges", Int (Graph.n_edges g_par));
+        ("build_seq_ms", Float (t_seq *. 1000.));
+        ("build_par_ms", Float (t_par *. 1000.));
+        ("cold_of_dataset_ms", Float (t_cold *. 1000.));
+        ("warm_load_ms", Float (t_warm *. 1000.));
+        ("warm_rebuilds", Int warm_rebuilds);
+        ("rclosure_p95_ms", Float rclosure_p95);
+        ( "blast",
+          match blast_hit with
+          | None -> Null
+          | Some r ->
+              Obj
+                [
+                  ("node", String (Depset.dep_to_string r.Blast.bl_node));
+                  ("release", String (Version.to_string r.Blast.bl_release));
+                  ("closure_size", Int r.Blast.bl_closure_size);
+                  ("affected", Int (List.length r.Blast.bl_affected));
+                ] );
+      ]
+  in
+  write_json_file "BENCH_GRAPH.json" j;
+  print_endline "(written to BENCH_GRAPH.json)";
+  if Atomic.get failed then begin
+    print_endline "graph check: FAILED";
+    exit 1
+  end
+  else
+    print_endline
+      "graph check: deterministic build, warm store load with 0 rebuilds, sub-5ms closures, \
+       non-empty corpus blast radius: OK"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -1796,5 +1946,6 @@ let () =
   tracing ();
   store_timing ();
   serve_bench ();
+  graph_bench ();
   Par.shutdown pool;
   Printf.printf "\ntotal: %.1fs\n" (now () -. t0)

@@ -922,6 +922,108 @@ let trace_cmd =
     ~default
     [ trace_top_cmd; trace_flame_cmd; trace_validate_cmd ]
 
+(* ---- dependency graph ----------------------------------------------- *)
+
+let node_conv =
+  let parse s =
+    match Depset.dep_of_string s with
+    | Some d -> Ok d
+    | None ->
+        Error (`Msg ("bad node (want kind:name, e.g. func:vfs_fsync or struct:request): " ^ s))
+  in
+  Arg.conv (parse, fun fmt d -> Format.pp_print_string fmt (Depset.dep_to_string d))
+
+let node_arg =
+  Arg.(
+    required
+    & pos 0 (some node_conv) None
+    & info [] ~docv:"NODE"
+        ~doc:
+          "Graph node in kind:name syntax (func:, struct:, field:STRUCT::FIELD, tracepoint:, \
+           syscall:); a bare name means func:.")
+
+let graph_image_arg =
+  Arg.(
+    value & opt string "5.4-x86-generic"
+    & info [ "image" ] ~doc:"Study image, e.g. 5.4-x86-generic.")
+
+let graph_json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Emit the v1 envelope JSON, byte-identical to the /v1/graph/... endpoint.")
+
+let graph_query_cmd name doc dir =
+  let transitive_arg =
+    Arg.(value & flag
+         & info [ "transitive" ] ~doc:"Full transitive closure instead of direct neighbours.")
+  in
+  let run seed scale cache jobs image transitive json node =
+    with_store cache @@ fun store ->
+    let v, cfg =
+      match Ds_serve.Serve.image_of_name image with
+      | Some i -> i
+      | None ->
+          Printf.eprintf "depsurf: unknown image %s (want e.g. 5.4-x86-generic)\n" image;
+          exit 1
+    in
+    let ds = mk_ds seed scale store in
+    with_pool jobs @@ fun pool ->
+    let g = Ds_graph.Graph.of_dataset ~pool ds v cfg in
+    if json then
+      print_endline
+        (Ds_util.Json.to_string (Api.envelope (Ds_graph.Graph.query_json g ~dir ~transitive node)))
+    else print_string (Ds_graph.Graph.query_table g ~dir ~transitive node)
+  in
+  Cmd.v (Cmd.info name ~doc)
+    Term.(
+      const run $ seed_arg $ scale_arg $ cache_arg $ jobs_arg $ graph_image_arg $ transitive_arg
+      $ graph_json_arg $ node_arg)
+
+let graph_blast_cmd =
+  let release_arg =
+    Arg.(
+      required
+      & opt (some version_conv) None
+      & info [ "release"; "r" ] ~doc:"The release the change lands in, e.g. 5.4.")
+  in
+  let run seed scale cache jobs release json node =
+    with_store cache @@ fun store ->
+    let ds = mk_ds seed scale store in
+    with_pool jobs @@ fun pool ->
+    match Ds_graph.Blast.query ~pool ds ~release node with
+    | Error m ->
+        Printf.eprintf "depsurf: %s\n" m;
+        exit 1
+    | Ok r ->
+        if json then
+          print_endline (Ds_util.Json.to_string (Api.envelope (Ds_graph.Blast.json r)))
+        else print_string (Ds_graph.Blast.table r)
+  in
+  Cmd.v
+    (Cmd.info "blast"
+       ~doc:
+         "Blast radius: the corpus programs transitively affected if NODE changes (or \
+          disappears) in --release, via the reverse closure on the previous release's graph.")
+    Term.(
+      const run $ seed_arg $ scale_arg $ cache_arg $ jobs_arg $ release_arg $ graph_json_arg
+      $ node_arg)
+
+let graph_cmd =
+  let default = Term.(ret (const (`Help (`Pager, Some "graph")))) in
+  Cmd.group
+    (Cmd.info "graph"
+       ~doc:
+         "Query the transitive dependency graph (deps, rdeps, blast radius) of the study \
+          images.")
+    ~default
+    [
+      graph_query_cmd "deps" "Direct (or --transitive) dependencies of a node." `Deps;
+      graph_query_cmd "rdeps"
+        "Reverse dependencies: what depends on a node (the blast direction)." `Rdeps;
+      graph_blast_cmd;
+    ]
+
 (* ---- cache maintenance --------------------------------------------- *)
 
 (* maintenance needs an actual directory; --no-cache makes no sense here *)
@@ -1010,4 +1112,5 @@ let () =
           ~default
           [ surface_cmd; func_cmd; diff_cmd; report_cmd; corpus_cmd; dump_cmd; export_cmd;
              probe_cmd; vmlinux_h_cmd; gen_images_cmd; mkobj_cmd; analyze_cmd; doctor_cmd;
-             mutate_cmd; export_dataset_cmd; serve_cmd; query_cmd; trace_cmd; cache_cmd ]))
+             mutate_cmd; export_dataset_cmd; serve_cmd; query_cmd; trace_cmd; graph_cmd;
+             cache_cmd ]))

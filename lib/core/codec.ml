@@ -82,6 +82,28 @@ let encode_matrix (m : Report.matrix) =
     m.m_rows;
   W.contents w
 
+(* Primitive helpers re-exported for sibling codecs (ds_graph) that
+   frame their own payloads but must stay wire-compatible with this
+   codec's conventions (and share the [Decode_error] discipline). *)
+module Prim = struct
+  let w_str = w_str
+  let r_str = r_str
+  let w_bool = w_bool
+  let r_bool = r_bool
+  let w_list = w_list
+  let r_list = r_list
+  let w_opt = w_opt
+  let r_opt = r_opt
+  let w_version = w_version
+  let r_version = r_version
+  let w_config = w_config
+  let r_config = r_config
+  let w_dep = w_dep
+  let r_dep = r_dep
+  let expect_eof = expect_eof
+  let fail = fail
+end
+
 let decode_matrix data : Report.matrix =
   let r = R.of_string data in
   let m_obj_name = r_str r in

@@ -24,6 +24,26 @@ let dep_to_string = function
   | Dep_tracepoint t -> "tracepoint:" ^ t
   | Dep_syscall s -> "syscall:" ^ s
 
+let dep_of_string s =
+  match Ds_util.Strutil.cut ~on:':' s with
+  | None -> if s = "" then None else Some (Dep_func s)
+  | Some (kind, name) -> (
+      if name = "" then None
+      else
+        match kind with
+        | "func" -> Some (Dep_func name)
+        | "struct" -> Some (Dep_struct name)
+        | "field" -> (
+            match Ds_util.Strutil.find_sub name ~sub:"::" with
+            | Some i when i > 0 && i + 2 < String.length name ->
+                Some
+                  (Dep_field
+                     (String.sub name 0 i, String.sub name (i + 2) (String.length name - i - 2)))
+            | _ -> None)
+        | "tracepoint" -> Some (Dep_tracepoint name)
+        | "syscall" -> Some (Dep_syscall name)
+        | _ -> None)
+
 (* Expand a resolved access chain into its intermediate struct/field
    dependencies, following links through the object's own BTF. *)
 let chain_deps obj root_struct path =

@@ -11,7 +11,16 @@ type dep =
   | Dep_syscall of string
 
 val compare_dep : dep -> dep -> int
+
 val dep_to_string : dep -> string
+(** ["func:NAME"], ["struct:NAME"], ["field:STRUCT::FIELD"],
+    ["tracepoint:NAME"], ["syscall:NAME"] — the canonical node syntax of
+    the dependency graph (CLI arguments, [/v1/graph/*] path segments). *)
+
+val dep_of_string : string -> dep option
+(** Inverse of {!dep_to_string}. A bare name with no [kind:] prefix
+    parses as [Dep_func] (the common CLI shorthand); [None] on an
+    unknown kind, an empty name, or a malformed [field:] payload. *)
 
 val of_obj : Ds_bpf.Obj.t -> dep list
 (** Deduplicated, ordered: functions, structs, fields, tracepoints,

@@ -266,3 +266,7 @@ let matrix (m : Report.matrix) =
                  ])
              m.Report.m_rows) );
     ]
+
+let dep d = Json.String (Depset.dep_to_string d)
+
+let dep_list deps = Json.List (List.map dep deps)

@@ -51,3 +51,10 @@ val diff : Diff.t -> Json.t
 (** A pairwise surface diff: per construct kind, common count plus
     added/removed names and changed entries with human-readable
     reasons. *)
+
+val dep : Depset.dep -> Json.t
+(** A dependency node in the canonical ["kind:name"] syntax of
+    {!Depset.dep_to_string} — the node encoding of the [/v1/graph/*]
+    endpoints. *)
+
+val dep_list : Depset.dep list -> Json.t

@@ -308,3 +308,11 @@ let summarize m =
 let clean s =
   s.ms_absent = zero && s.ms_changed = zero && s.ms_full_inline = 0
   && s.ms_selective_inline = 0 && s.ms_transformed = 0 && s.ms_duplicated = 0
+
+let mismatched_deps m =
+  List.filter_map
+    (fun row ->
+      match worst (List.concat_map (fun c -> c.c_statuses) row.r_cells) with
+      | St_ok -> None
+      | st -> Some (row.r_dep, st))
+    m.m_rows

@@ -98,3 +98,9 @@ val summarize : matrix -> mismatch_summary
 
 val clean : mismatch_summary -> bool
 (** No mismatch of any kind (the blue rows of Table 7). *)
+
+val mismatched_deps : matrix -> (Depset.dep * status) list
+(** The rows whose dominant status across every image is not [St_ok],
+    with that dominant status — the per-program feed for blast-radius
+    discovery ("which dependencies have a known mismatch somewhere"),
+    in the matrix's row order. *)

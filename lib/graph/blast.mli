@@ -1,0 +1,55 @@
+(** Blast-radius queries: which corpus programs break, transitively, if
+    a symbol changes (or is removed) in a given release?
+
+    The answer intersects two things the repo already computes — the
+    reverse dependency closure of the symbol in the {e previous}
+    release's graph (the surface programs were written against), and
+    the declaration diff between that release and the queried one
+    ({!Depsurf.Diff}, the machinery behind the paper's Tables 1/3/4/5).
+    A corpus program is affected when any dependency of its object file
+    ({!Depsurf.Depset.of_obj}) lands in the closure: directly (it hooks
+    or reads the symbol) or transitively (it probes a caller, reads a
+    struct embedding the changed struct, ...). *)
+
+open Ds_ksrc
+
+type affected = {
+  af_name : string;  (** corpus program (Table 7 row) *)
+  af_subsystem : string;
+  af_via : Depsurf.Depset.dep list;
+      (** the program's own dependencies that fall inside the closure,
+          sorted; always non-empty *)
+}
+
+type result = {
+  bl_node : Depsurf.Depset.dep;
+  bl_release : Version.t;  (** the release being queried *)
+  bl_prev : Version.t;  (** its predecessor: diff is prev -> release *)
+  bl_removed : bool;  (** the construct disappeared in [bl_release] *)
+  bl_reasons : string list;
+      (** human-readable change reasons from the diff; empty when the
+          construct is unchanged in this pair *)
+  bl_closure_size : int;
+      (** reverse closure size, the queried node included *)
+  bl_affected : affected list;  (** in Table 7 (paper) order *)
+}
+
+val query :
+  ?pool:Ds_util.Par.pool ->
+  Depsurf.Dataset.t ->
+  release:Version.t ->
+  Depsurf.Depset.dep ->
+  (result, string) Stdlib.result
+(** [Error] on a release outside the study matrix (or its first entry,
+    which has no predecessor). A node absent from the graph still
+    answers [Ok] with an empty closure and no affected programs. The
+    graph comes from {!Graph.of_dataset} (memoized, store-backed); the
+    corpus objects from {!Ds_corpus.Corpus.build_all} (store-backed
+    under the ["obj"] namespace). *)
+
+val json : result -> Ds_util.Json.t
+(** The wire view shared byte-for-byte by [depsurf graph blast --json]
+    and [/v1/graph/blast]. *)
+
+val table : result -> string
+(** Human-readable rendering. *)

@@ -46,10 +46,14 @@ type t = {
   sv_files : (string * string) list;  (** extra image name -> path *)
   sv_cache : Respcache.t;  (** serialized (status, ctype, body, etag) per request key *)
   sv_generation : int Atomic.t;  (** part of every cache key; bump to invalidate *)
+  sv_store_gen : int Atomic.t;  (** last-seen store maintenance generation *)
+  sv_store_checked : float Atomic.t;  (** last revalidation poll (gettimeofday) *)
   ix_surface : (string, string) Par.Memo.t;  (** image name -> response body *)
   ix_diff : (string, string) Par.Memo.t;  (** "a|b" -> response body *)
   ix_mismatch : (string, string) Par.Memo.t;  (** obj digest -> report *)
   ix_file_surface : (string, Surface.t) Par.Memo.t;  (** lenient extracts *)
+  ix_graph : (string, string) Par.Memo.t;  (** graph query key -> response body *)
+  ix_blast : (string, string) Par.Memo.t;  (** "sym|release" -> response body *)
 }
 
 let create ?images_dir ~ds ~pool () =
@@ -73,10 +77,18 @@ let create ?images_dir ~ds ~pool () =
     sv_files = files;
     sv_cache = Respcache.create ();
     sv_generation = Atomic.make 0;
+    sv_store_gen =
+      Atomic.make
+        (match Dataset.store ds with
+        | None -> 0
+        | Some s -> Store.maintenance_generation ~dir:(Store.dir s));
+    sv_store_checked = Atomic.make (Unix.gettimeofday ());
     ix_surface = Par.Memo.create 64;
     ix_diff = Par.Memo.create 64;
     ix_mismatch = Par.Memo.create 16;
     ix_file_surface = Par.Memo.create 16;
+    ix_graph = Par.Memo.create 64;
+    ix_blast = Par.Memo.create 16;
   }
 
 let metrics t = t.sv_metrics
@@ -87,6 +99,31 @@ let generation t = Atomic.get t.sv_generation
    [images_dir] is scanned once at [create]); this is the hook index
    mutations must call so cached bytes and ETags stop matching. *)
 let invalidate t = Atomic.incr t.sv_generation
+
+(* The one external mutation source: `depsurf cache clear`/`gc`/`verify`
+   run against this server's store directory. They bump the store's
+   persisted maintenance generation; when it moves, drop every cached
+   response byte so nothing keyed to the pre-maintenance store keeps
+   being served. CAS so racing requests bump [sv_generation] once. *)
+let revalidate_store t =
+  match Dataset.store t.sv_ds with
+  | None -> ()
+  | Some s ->
+      let gen = Store.maintenance_generation ~dir:(Store.dir s) in
+      let seen = Atomic.get t.sv_store_gen in
+      if gen <> seen && Atomic.compare_and_set t.sv_store_gen seen gen then begin
+        Metrics.incr t.sv_metrics "cache.store_invalidate";
+        invalidate t
+      end
+
+(* poll the generation file at most once a second on the request path:
+   a stat+read per request would make every cacheable GET pay disk for
+   an event that almost never happens *)
+let revalidate_throttled t =
+  let now = Unix.gettimeofday () in
+  let last = Atomic.get t.sv_store_checked in
+  if now -. last >= 1.0 && Atomic.compare_and_set t.sv_store_checked last now then
+    revalidate_store t
 
 (* hot-index lookup with hit/fill accounting; [Par.Memo] gives the
    single-flight guarantee, so "index.fill.<kind>" advances exactly once
@@ -151,6 +188,8 @@ let healthz t =
                ("surfaces", Json.Int (Par.Memo.length t.ix_surface));
                ("diffs", Json.Int (Par.Memo.length t.ix_diff));
                ("mismatches", Json.Int (Par.Memo.length t.ix_mismatch));
+               ("graphs", Json.Int (Par.Memo.length t.ix_graph));
+               ("blasts", Json.Int (Par.Memo.length t.ix_blast));
              ] );
        ])
 
@@ -250,6 +289,71 @@ let diff_endpoint t a b =
       in
       (200, "application/json", body)
 
+(* ---- /graph/* ------------------------------------------------------ *)
+
+let default_graph_image = (Version.v 5 4, Config.x86_generic)
+
+let version_of_string s =
+  let s =
+    if String.length s > 0 && s.[0] = 'v' then String.sub s 1 (String.length s - 1) else s
+  in
+  match String.split_on_char '.' s with
+  | [ ma; mi ] -> (
+      match (int_of_string_opt ma, int_of_string_opt mi) with
+      | Some major, Some minor -> Some (Version.v major minor)
+      | _ -> None)
+  | _ -> None
+
+let graph_query_endpoint t dir sym query =
+  match Depset.dep_of_string sym with
+  | None -> error_json 400 ("bad node syntax: " ^ sym ^ " (kind:name or a bare function name)")
+  | Some node -> (
+      let image =
+        match List.assoc_opt "image" query with
+        | None | Some "" -> Some default_graph_image
+        | Some name -> image_of_name name
+      in
+      match image with
+      | None -> error_json 404 ("unknown image: " ^ Option.value ~default:"" (List.assoc_opt "image" query))
+      | Some (v, cfg) ->
+          let transitive = List.assoc_opt "transitive" query = Some "1" in
+          let dname = match dir with `Deps -> "deps" | `Rdeps -> "rdeps" in
+          let key =
+            Printf.sprintf "%s|%s|%s|%b" dname (image_name (v, cfg)) (Depset.dep_to_string node)
+              transitive
+          in
+          let body =
+            indexed t t.ix_graph "graph" key (fun () ->
+                Metrics.incr t.sv_metrics "compute.graph";
+                let g = Ds_graph.Graph.of_dataset ~pool:t.sv_pool t.sv_ds v cfg in
+                json_body (Api.envelope (Ds_graph.Graph.query_json g ~dir ~transitive node)))
+          in
+          (200, "application/json", body))
+
+let graph_blast_endpoint t sym query =
+  match Depset.dep_of_string sym with
+  | None -> error_json 400 ("bad node syntax: " ^ sym ^ " (kind:name or a bare function name)")
+  | Some node -> (
+      match Option.bind (List.assoc_opt "release" query) version_of_string with
+      | None -> error_json 400 "release=MAJOR.MINOR is required"
+      | Some release ->
+          let known = List.exists (Version.equal release) Version.all in
+          let first = List.hd Version.all in
+          if (not known) || Version.equal release first then
+            error_json 404
+              (Printf.sprintf "release %s is not a diffable study release"
+                 (Version.to_string release))
+          else
+            let key = Depset.dep_to_string node ^ "|" ^ Version.to_string release in
+            let body =
+              indexed t t.ix_blast "blast" key (fun () ->
+                  Metrics.incr t.sv_metrics "compute.blast";
+                  match Ds_graph.Blast.query ~pool:t.sv_pool t.sv_ds ~release node with
+                  | Ok r -> json_body (Api.envelope (Ds_graph.Blast.json r))
+                  | Error e -> failwith e)
+            in
+            (200, "application/json", body))
+
 (* stable-probe suggestions: every registry probe whose candidate hooks
    overlap the object's dependency set, resolved across the x86 series *)
 let suggestions t obj =
@@ -341,6 +445,8 @@ let metrics_endpoint t =
                 ("surfaces", Json.Int (Par.Memo.length t.ix_surface));
                 ("diffs", Json.Int (Par.Memo.length t.ix_diff));
                 ("mismatches", Json.Int (Par.Memo.length t.ix_mismatch));
+                ("graphs", Json.Int (Par.Memo.length t.ix_graph));
+                ("blasts", Json.Int (Par.Memo.length t.ix_blast));
               ] )
        :: ( "response_cache",
             Json.Obj
@@ -444,18 +550,22 @@ let dispatch t ~meth ~segs ~query ~body =
   | "GET", [ "images" ] -> images t
   | "GET", [ "surface"; name ] -> surface_endpoint t name query
   | "GET", [ "diff"; a; b ] -> diff_endpoint t a b
+  | "GET", [ "graph"; "deps"; sym ] -> graph_query_endpoint t `Deps sym query
+  | "GET", [ "graph"; "rdeps"; sym ] -> graph_query_endpoint t `Rdeps sym query
+  | "GET", [ "graph"; "blast"; sym ] -> graph_blast_endpoint t sym query
   | "POST", [ "mismatch" ] -> mismatch_endpoint t query body
   | "GET", [ "metrics" ] -> metrics_endpoint t
   | "GET", [ "trace"; "recent" ] -> trace_endpoint query
   | ( _,
-      ( [ "healthz" ] | [ "images" ] | [ "surface"; _ ] | [ "diff"; _; _ ] | [ "metrics" ]
-      | [ "trace"; "recent" ] ) ) ->
+      ( [ "healthz" ] | [ "images" ] | [ "surface"; _ ] | [ "diff"; _; _ ]
+      | [ "graph"; ("deps" | "rdeps" | "blast"); _ ]
+      | [ "metrics" ] | [ "trace"; "recent" ] ) ) ->
       error_json 405 ("method not allowed: " ^ meth)
   | _, [ "mismatch" ] -> error_json 405 "POST the BPF object bytes to /mismatch"
   | _ ->
       error_json 404
-        "no such endpoint (healthz, images, surface, diff, mismatch, metrics, trace/recent; \
-         all also under /v1)"
+        "no such endpoint (healthz, images, surface, diff, graph/deps, graph/rdeps, \
+         graph/blast, mismatch, metrics, trace/recent; all also under /v1)"
 
 let route_label segs =
   match segs with
@@ -463,6 +573,7 @@ let route_label segs =
   | [ "images" ] -> "/images"
   | "surface" :: _ -> "/surface"
   | "diff" :: _ -> "/diff"
+  | "graph" :: _ -> "/graph"
   | [ "mismatch" ] -> "/mismatch"
   | [ "metrics" ] -> "/metrics"
   | "trace" :: _ -> "/trace"
@@ -473,7 +584,11 @@ let route_label segs =
    ?trace=1 inlines the current request's own spans. *)
 let cacheable_route ~meth ~segs ~query =
   meth = "GET"
-  && (match segs with [ "images" ] | [ "surface"; _ ] | [ "diff"; _; _ ] -> true | _ -> false)
+  && (match segs with
+     | [ "images" ] | [ "surface"; _ ] | [ "diff"; _; _ ]
+     | [ "graph"; ("deps" | "rdeps" | "blast"); _ ] ->
+         true
+     | _ -> false)
   && List.assoc_opt "trace" query <> Some "1"
 
 let cache_key t ~segs ~query =
@@ -529,7 +644,11 @@ let handle_request ?(headers = []) t ~meth ~target ~body =
           if not (cacheable_route ~meth ~segs ~query) then
             let status, ctype, rbody = dispatch t ~meth ~segs ~query ~body in
             (status, ctype, rbody, None)
-          else
+          else begin
+            (* external store maintenance must not leave stale bytes in
+               the response cache — cheap throttled poll, see
+               [revalidate_store] *)
+            revalidate_throttled t;
             let key = cache_key t ~segs ~query in
             match Respcache.find t.sv_cache key with
             | Some e ->
@@ -550,6 +669,7 @@ let handle_request ?(headers = []) t ~meth ~target ~body =
                   for _ = 1 to evicted do Metrics.incr t.sv_metrics "cache.evict" done;
                   (status, ctype, rbody, Some (etag, "miss"))
                 end
+          end
         with e ->
           let status, ctype, rbody = error_json 500 ("internal error: " ^ Printexc.to_string e) in
           (status, ctype, rbody, None))

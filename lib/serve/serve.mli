@@ -45,6 +45,16 @@
       [?kind=func|struct|tracepoint|syscall&name=X] narrows to one
       construct;
     - [GET /v1/diff/<a>/<b>] — the pairwise declaration diff;
+    - [GET /v1/graph/deps/<node>], [GET /v1/graph/rdeps/<node>] — the
+      dependency graph's forward/reverse neighbours of a node (canonical
+      ["kind:name"] syntax, bare names meaning [func:]);
+      [?image=5.4-x86-generic] (the default) picks the image,
+      [?transitive=1] the full closure. Unknown nodes answer 200 with
+      ["found": false];
+    - [GET /v1/graph/blast/<node>?release=X.Y] — the blast radius: the
+      corpus programs transitively affected if the node changes (or is
+      removed) in release X.Y, via the reverse closure on the previous
+      release's graph intersected with each program's dependency set;
     - [POST /v1/mismatch] — body: raw BPF object bytes; response: the
       per-image dependency-mismatch report ([text/plain]),
       byte-identical to [depsurf report] for the same object;
@@ -86,6 +96,17 @@ val invalidate : t -> unit
     each key re-renders and re-caches. Index mutations must call this;
     today nothing mutates the index after {!create}, so it is driven by
     tests and future mutation endpoints. *)
+
+val revalidate_store : t -> unit
+(** Compare the dataset store's persisted maintenance generation
+    ({!Ds_store.Store.maintenance_generation}) against the last value
+    this server saw; when it moved (someone ran
+    [depsurf cache clear]/[gc]/[verify] against a live server's cache
+    directory), call {!invalidate} once so no response bytes keyed to
+    the pre-maintenance store keep being served. No-op without a store.
+    Called automatically on the cacheable-GET path, throttled to at
+    most one generation-file read per second; exposed so tests (and
+    maintenance run in-process) can trigger it deterministically. *)
 
 val image_name : Version.t * Config.t -> string
 (** URL name of a study image, e.g. ["5.4-x86-generic"]. *)

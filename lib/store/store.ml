@@ -347,22 +347,49 @@ let sweep_parts dir =
         (list_dir (Filename.concat dir ns)))
     (namespaces dir)
 
+(* Maintenance generation: a monotonic counter persisted next to the
+   entries, bumped whenever maintenance deletes something. A live
+   server whose hot index hydrates from this directory polls it to
+   invalidate its response-byte cache ({!Ds_serve.Serve}) — without it,
+   `depsurf cache clear`/`gc` against a running server's cache dir
+   would leave the server returning bytes for entries that no longer
+   exist. The file survives {!clear} (it is not an entry), so the
+   counter never restarts at a value a watcher has already seen. *)
+let maintgen_file dir = Filename.concat dir "maintgen"
+
+let maintenance_generation ~dir =
+  match read_file (maintgen_file dir) with
+  | data -> ( match int_of_string_opt (String.trim data) with Some n -> n | None -> 0)
+  | exception Sys_error _ -> 0
+
+let bump_maintgen dir =
+  let next = maintenance_generation ~dir + 1 in
+  match write_atomic (maintgen_file dir) (string_of_int next ^ "\n") with
+  | () -> ()
+  | exception Sys_error reason ->
+      Log.warn (fun m -> m "cannot bump maintenance generation: %s" reason)
+
 let verify ~dir =
   Ds_trace.Trace.span ~name:"store.verify" @@ fun () ->
   sweep_parts dir;
-  List.fold_left
-    (fun (ok, bad) e ->
-      let path = Filename.concat (Filename.concat dir e.e_ns) (e.e_key ^ entry_suffix) in
-      match read_file path with
-      | exception Sys_error _ -> (ok, bad)
-      | data -> (
-          match Frame.decode ~ns:e.e_ns data with
-          | Frame.Ok _ -> (ok + 1, bad)
-          | Frame.Corrupt reason ->
-              Log.warn (fun m -> m "evicting corrupt cache entry %s/%s: %s" e.e_ns e.e_key reason);
-              remove_quiet path;
-              (ok, bad + 1)))
-    (0, 0) (entries ~dir)
+  let ok, bad =
+    List.fold_left
+      (fun (ok, bad) e ->
+        let path = Filename.concat (Filename.concat dir e.e_ns) (e.e_key ^ entry_suffix) in
+        match read_file path with
+        | exception Sys_error _ -> (ok, bad)
+        | data -> (
+            match Frame.decode ~ns:e.e_ns data with
+            | Frame.Ok _ -> (ok + 1, bad)
+            | Frame.Corrupt reason ->
+                Log.warn (fun m ->
+                    m "evicting corrupt cache entry %s/%s: %s" e.e_ns e.e_key reason);
+                remove_quiet path;
+                (ok, bad + 1)))
+      (0, 0) (entries ~dir)
+  in
+  if bad > 0 then bump_maintgen dir;
+  (ok, bad)
 
 let gc ~dir ~max_bytes =
   sweep_parts dir;
@@ -377,6 +404,7 @@ let gc ~dir ~max_bytes =
         end)
       (0, 0) (entries ~dir)
   in
+  if evicted > 0 then bump_maintgen dir;
   evicted
 
 let clear ~dir =
@@ -386,4 +414,8 @@ let clear ~dir =
     (fun e -> remove_quiet (Filename.concat (Filename.concat dir e.e_ns) (e.e_key ^ entry_suffix)))
     es;
   remove_quiet (stats_file dir);
+  (* unconditional: even an already-empty dir signals "maintenance ran
+     here", and the bump after the deletions means a watcher that sees
+     the new generation also sees the emptied directory *)
+  bump_maintgen dir;
   List.length es

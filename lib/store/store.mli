@@ -122,3 +122,13 @@ val gc : dir:string -> max_bytes:int -> int
 val clear : dir:string -> int
 (** Delete every entry (and the persisted counters); returns the number
     of entries deleted. *)
+
+val maintenance_generation : dir:string -> int
+(** A monotonic counter ([<dir>/maintgen], [0] when absent) bumped by
+    every maintenance operation that deletes something: always by
+    {!clear}, and by {!verify}/{!gc} when they evicted at least one
+    entry. A live server caching responses hydrated from this directory
+    compares it against its last-seen value to drop stale bytes (see
+    [Ds_serve.Serve.revalidate_store]); the file is written {e after}
+    the deletions, so observing a new generation implies the mutated
+    directory is already visible. *)

@@ -229,13 +229,20 @@ let chunks_of chunk xs =
   go xs
 
 let map_list_chunked ?chunk p f xs =
+  let n = List.length xs in
   let chunk =
     match chunk with
     | Some c when c >= 1 -> c
     | Some _ -> invalid_arg "Par.map_list_chunked: chunk must be >= 1"
-    | None -> max 1 (List.length xs / (p.p_jobs * 4))
+    | None -> max 1 (n / (p.p_jobs * 4))
   in
-  if chunk <= 1 then map_list p f xs
+  (* Edge guards: an empty input and a chunk covering the whole list
+     would each submit at most one task whose await runs it inline
+     anyway — skip the queue entirely so neither touches the pool
+     (both work even on a shut-down pool). *)
+  if n = 0 then []
+  else if chunk >= n then List.map f xs
+  else if chunk <= 1 then map_list p f xs
   else
     chunks_of chunk xs
     |> List.map (fun c -> submit p (fun () -> List.map f c))

@@ -75,7 +75,10 @@ val map_list_chunked : ?chunk:int -> pool -> ('a -> 'b) -> 'a list -> 'b list
     degenerating to {!map_list} for small [n]. Same determinism and
     exception contract as {!map_list} (a chunk maps its elements
     left-to-right, so the first failing element in input order still
-    wins). Raises [Invalid_argument] when [chunk < 1]. *)
+    wins). An empty input returns [[]] and a [chunk] covering the whole
+    list maps in the calling domain — neither submits a pool task, so
+    both work even against a shut-down pool. Raises [Invalid_argument]
+    when [chunk < 1]. *)
 
 val map_reduce : pool -> map:('a -> 'b) -> reduce:('c -> 'b -> 'c) -> init:'c -> 'a list -> 'c
 (** [map] runs in parallel; the fold runs left-to-right in input order in

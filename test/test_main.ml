@@ -3,5 +3,5 @@ let () =
     (Test_util.suites @ Test_par.suites @ Test_ctypes.suites @ Test_elf.suites
    @ Test_btf.suites @ Test_dwarf.suites @ Test_ksrc.suites @ Test_kcc.suites
    @ Test_bpf.suites @ Test_depsurf.suites @ Test_corpus.suites @ Test_ext.suites
-   @ Test_store.suites @ Test_fault.suites @ Test_serve.suites @ Test_trace.suites
-   @ Test_export.suites)
+   @ Test_store.suites @ Test_fault.suites @ Test_serve.suites @ Test_graph.suites
+   @ Test_trace.suites @ Test_export.suites)

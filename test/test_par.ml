@@ -54,6 +54,20 @@ let test_map_list_chunked_exception () =
                (fun x -> if x = 42 then failwith "bad 42" else x)
                (List.init 100 Fun.id))))
 
+let test_map_list_chunked_edges_no_queue () =
+  (* the empty-input and chunk >= length edges short-circuit before the
+     queue: they must keep working on a pool that is already shut down
+     (submitting there raises), proving no future is ever created *)
+  let p = Par.create ~jobs:2 () in
+  Par.shutdown p;
+  Alcotest.(check (list int)) "empty on a shut-down pool" [] (Par.map_list_chunked p succ []);
+  Alcotest.(check (list int))
+    "chunk >= length on a shut-down pool" [ 2; 3; 4 ]
+    (Par.map_list_chunked ~chunk:10 p succ [ 1; 2; 3 ]);
+  Alcotest.(check (list int))
+    "explicit chunk = length on a shut-down pool" [ 0; 2; 4 ]
+    (Par.map_list_chunked ~chunk:3 p (fun x -> 2 * x) [ 0; 1; 2 ])
+
 let test_future_exception () =
   Par.run ~jobs:4 (fun p ->
       let fut = Par.submit p (fun () -> failwith "boom") in
@@ -198,6 +212,8 @@ let suites =
         Alcotest.test_case "map_reduce ordered" `Quick test_map_reduce_ordered;
         Alcotest.test_case "map_list_chunked deterministic" `Quick test_map_list_chunked;
         Alcotest.test_case "map_list_chunked exception" `Quick test_map_list_chunked_exception;
+        Alcotest.test_case "map_list_chunked edges skip the queue" `Quick
+          test_map_list_chunked_edges_no_queue;
         Alcotest.test_case "future exception" `Quick test_future_exception;
         Alcotest.test_case "shutdown" `Quick test_shutdown;
         Alcotest.test_case "memo exactly-once" `Quick test_memo_exactly_once;

@@ -448,6 +448,126 @@ let test_respcache_lru () =
   Alcotest.(check int) "oversized refused" 0 (R.add c "big" (e (String.make 500 'z')));
   Alcotest.(check (pair int int)) "nothing stored" (0, 0) (R.stats c)
 
+(* ---- /graph/* -------------------------------------------------------- *)
+
+let test_graph_endpoints () =
+  with_server @@ fun t _ ->
+  (* the served bytes are the shared query_json document in the v1
+     envelope plus the trailing newline — the same expression the CLI's
+     [depsurf graph ... --json] prints, so the two are byte-identical by
+     construction; pin that contract here *)
+  let st, ct, h1, body = get4 t "/v1/graph/deps/vfs_fsync" in
+  Alcotest.(check int) "deps status" 200 st;
+  Alcotest.(check string) "deps type" "application/json" ct;
+  let expected =
+    let g =
+      Ds_graph.Graph.of_dataset (Lazy.force ds) (Version.v 5 4) Config.x86_generic
+    in
+    Json.to_string
+      (Api.envelope
+         (Ds_graph.Graph.query_json g ~dir:`Deps ~transitive:false
+            (Depset.Dep_func "vfs_fsync")))
+    ^ "\n"
+  in
+  Alcotest.(check string) "body is the CLI's --json bytes" expected body;
+  (* cacheable: second request is a response-cache hit with a stable ETag *)
+  let _, _, h2, body2 = get4 t "/v1/graph/deps/vfs_fsync" in
+  Alcotest.(check (option string)) "second is a hit" (Some "hit") (cache_state h2);
+  Alcotest.(check string) "hit body identical" body body2;
+  Alcotest.(check bool) "stable etag" true (etag_of h1 <> None && etag_of h1 = etag_of h2);
+  (* a matching validator answers 304 *)
+  (match etag_of h1 with
+  | Some etag ->
+      let st, _, _, b =
+        Serve.handle_request t
+          ~headers:[ ("if-none-match", etag) ]
+          ~meth:"GET" ~target:"/v1/graph/deps/vfs_fsync" ~body:""
+      in
+      Alcotest.(check int) "if-none-match -> 304" 304 st;
+      Alcotest.(check string) "304 body empty" "" b
+  | None -> Alcotest.fail "no ETag on /graph/deps");
+  (* rdeps with ?transitive=1 reports the reverse closure's size *)
+  let st, _, body = get t "/v1/graph/rdeps/func:vfs_fsync?transitive=1" in
+  Alcotest.(check int) "rdeps status" 200 st;
+  (match Json.member "count" (payload body) with
+  | Some (Json.Int n) ->
+      let g =
+        Ds_graph.Graph.of_dataset (Lazy.force ds) (Version.v 5 4) Config.x86_generic
+      in
+      Alcotest.(check int) "count = rclosure size" n
+        (List.length (Ds_graph.Graph.rclosure g (Depset.Dep_func "vfs_fsync")))
+  | _ -> Alcotest.fail "rdeps lacks a count");
+  (* unknown nodes are a valid (empty) answer, not an error *)
+  let st, _, body = get t "/v1/graph/rdeps/no_such_fn_zzz" in
+  Alcotest.(check int) "unknown node -> 200" 200 st;
+  Alcotest.(check bool) "found false" true
+    (Json.member "found" (payload body) = Some (Json.Bool false));
+  (* malformed node syntax and unknown images are client errors *)
+  let st, _, _ = get t "/v1/graph/deps/bogus:x" in
+  Alcotest.(check int) "bad node syntax -> 400" 400 st;
+  let st, _, _ = get t "/v1/graph/deps/vfs_fsync?image=9.9-x86-generic" in
+  Alcotest.(check int) "unknown image -> 404" 404 st
+
+let test_graph_blast_endpoint () =
+  with_server @@ fun t _ ->
+  let st, _, _ = get t "/v1/graph/blast/blk_account_io_start" in
+  Alcotest.(check int) "missing release -> 400" 400 st;
+  let st, _, _ = get t "/v1/graph/blast/blk_account_io_start?release=9.9" in
+  Alcotest.(check int) "unknown release -> 404" 404 st;
+  let st, _, _ = get t "/v1/graph/blast/blk_account_io_start?release=4.4" in
+  Alcotest.(check int) "first study release -> 404" 404 st;
+  let st, _, body = get t "/v1/graph/blast/blk_account_io_start?release=5.8" in
+  Alcotest.(check int) "blast status" 200 st;
+  let j = payload body in
+  Alcotest.(check string) "prev release" "v5.4" (member_str "prev" j);
+  (match Json.member "affected" j with
+  | Some (Json.List l) ->
+      Alcotest.(check bool) "biotop in the blast radius" true
+        (List.exists
+           (function
+             | Json.Obj fields ->
+                 List.assoc_opt "program" fields = Some (Json.String "biotop")
+             | _ -> false)
+           l)
+  | _ -> Alcotest.fail "blast lacks an affected list");
+  (* rendered once, then served from the hot index / response cache *)
+  let _ = get t "/v1/graph/blast/blk_account_io_start?release=5.8" in
+  let m = Serve.metrics t in
+  Alcotest.(check int) "one blast compute" 1 (Metrics.counter m "compute.blast")
+
+(* ---- store maintenance revalidation ---------------------------------- *)
+
+(* [depsurf cache clear/gc/verify] against a live server's cache dir must
+   not leave stale response bytes: the persisted maintenance generation
+   moves, and the next revalidation drops every cached response *)
+let test_store_revalidation () =
+  let dir = Filename.temp_file "dsserve" ".store" in
+  Sys.remove dir;
+  let store = Ds_store.Store.open_ ~dir () in
+  let ds' = Dataset.build ~seed:Testenv.seed ~store Calibration.test_scale in
+  Par.run ~jobs:4 @@ fun pool ->
+  let t = Serve.create ~ds:ds' ~pool () in
+  let _, _, h, b1 = get4 t "/images" in
+  Alcotest.(check (option string)) "cold miss" (Some "miss") (cache_state h);
+  let _, _, h, _ = get4 t "/images" in
+  Alcotest.(check (option string)) "warm hit" (Some "hit") (cache_state h);
+  (* no maintenance happened: revalidation is a no-op *)
+  let gen0 = Serve.generation t in
+  Serve.revalidate_store t;
+  Alcotest.(check int) "no-op without maintenance" gen0 (Serve.generation t);
+  (* out-of-process maintenance: clear the store behind the server *)
+  let _ = Ds_store.Store.clear ~dir in
+  Serve.revalidate_store t;
+  Alcotest.(check int) "maintenance bumps the generation" (gen0 + 1) (Serve.generation t);
+  let m = Serve.metrics t in
+  Alcotest.(check int) "invalidation counted" 1 (Metrics.counter m "cache.store_invalidate");
+  let _, _, h, b2 = get4 t "/images" in
+  Alcotest.(check (option string)) "cached bytes dropped" (Some "miss") (cache_state h);
+  Alcotest.(check string) "re-rendered body identical" b1 b2;
+  (* the generation is sticky: a second revalidation sees the new value *)
+  Serve.revalidate_store t;
+  Alcotest.(check int) "sticky after revalidation" (gen0 + 1) (Serve.generation t)
+
 (* ---- v1 envelope, aliases, tracing ---------------------------------- *)
 
 (* the /v1 prefix is the canonical spelling; the unprefixed legacy routes
@@ -467,6 +587,8 @@ let test_v1_aliases_byte_identical () =
       "/surface/4.4-x86-generic";
       "/surface/4.4-x86-generic?kind=func&name=vfs_fsync";
       "/diff/4.4-x86-generic/5.4-x86-generic";
+      "/graph/deps/vfs_fsync";
+      "/graph/rdeps/func:vfs_fsync?transitive=1";
       "/no/such/endpoint";
     ];
   (* /metrics moves between two requests (counters, latency), so only the
@@ -527,6 +649,9 @@ let suites =
         Alcotest.test_case "conditional requests" `Quick test_conditional_requests;
         Alcotest.test_case "generation invalidates" `Quick test_generation_invalidates;
         Alcotest.test_case "cache scope" `Quick test_cache_scope;
+        Alcotest.test_case "graph endpoints" `Quick test_graph_endpoints;
+        Alcotest.test_case "graph blast endpoint" `Slow test_graph_blast_endpoint;
+        Alcotest.test_case "store maintenance revalidation" `Quick test_store_revalidation;
         Alcotest.test_case "respcache lru" `Quick test_respcache_lru;
         Alcotest.test_case "v1 aliases byte-identical" `Quick test_v1_aliases_byte_identical;
         Alcotest.test_case "trace header and recent" `Quick test_trace_header_and_recent;

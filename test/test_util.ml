@@ -301,6 +301,58 @@ let test_metrics () =
   | Json.Obj [ ("counters", Json.Obj _); ("latency_ms", Json.Obj _) ] -> ()
   | _ -> Alcotest.fail "metrics json shape"
 
+(* Strutil properties vs character-by-character reference
+   implementations, over a 3-letter alphabet so needles actually occur *)
+
+let naive_cut ~on s =
+  let rec go i =
+    if i >= String.length s then None
+    else if s.[i] = on then
+      Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+    else go (i + 1)
+  in
+  go 0
+
+let naive_find_sub ~from s ~sub =
+  let n = String.length s and m = String.length sub in
+  if m = 0 then if from <= n then Some from else None
+  else
+    let rec go i =
+      if i + m > n then None else if String.sub s i m = sub then Some i else go (i + 1)
+    in
+    go from
+
+let abc_string max_len =
+  QCheck.string_gen_of_size (QCheck.Gen.int_bound max_len) (QCheck.Gen.oneofl [ 'a'; 'b'; 'c' ])
+
+let qcheck_cut =
+  QCheck.Test.make ~name:"cut matches reference" ~count:1000
+    QCheck.(pair (abc_string 16) (oneofl [ 'a'; 'b'; 'c'; 'z' ]))
+    (fun (s, on) -> Strutil.cut ~on s = naive_cut ~on s)
+
+let qcheck_prefix_before =
+  QCheck.Test.make ~name:"prefix_before consistent with cut" ~count:1000
+    QCheck.(pair (abc_string 16) (oneofl [ 'a'; 'b'; 'c'; 'z' ]))
+    (fun (s, on) ->
+      Strutil.prefix_before ~on ~default:"DFLT" s
+      = (match Strutil.cut ~on s with Some (before, _) -> before | None -> "DFLT"))
+
+let qcheck_find_sub =
+  QCheck.Test.make ~name:"find_sub matches reference (incl. empty needle)" ~count:1000
+    QCheck.(triple (abc_string 16) (abc_string 4) (int_bound 20))
+    (fun (s, sub, from) -> Strutil.find_sub ~from s ~sub = naive_find_sub ~from s ~sub)
+
+let qcheck_find_sub_at_end =
+  (* a needle planted exactly at the end must be found, and never past
+     its own position *)
+  QCheck.Test.make ~name:"find_sub finds a needle at the end" ~count:1000
+    QCheck.(pair (abc_string 12) (abc_string 4))
+    (fun (s, sub) ->
+      let hay = s ^ sub in
+      match Strutil.find_sub hay ~sub with
+      | None -> false
+      | Some i -> i <= String.length s && naive_find_sub ~from:0 hay ~sub = Some i)
+
 let qcheck_leb128 =
   QCheck.Test.make ~name:"uleb128 roundtrip" ~count:500
     QCheck.(int_bound ((1 lsl 50) - 1))
@@ -350,7 +402,13 @@ let suites =
         QCheck_alcotest.to_alcotest qcheck_sleb128;
       ] );
     ( "util.strutil",
-      [ Alcotest.test_case "cut / prefix_before / find_sub" `Quick test_strutil ] );
+      [
+        Alcotest.test_case "cut / prefix_before / find_sub" `Quick test_strutil;
+        QCheck_alcotest.to_alcotest qcheck_cut;
+        QCheck_alcotest.to_alcotest qcheck_prefix_before;
+        QCheck_alcotest.to_alcotest qcheck_find_sub;
+        QCheck_alcotest.to_alcotest qcheck_find_sub_at_end;
+      ] );
     ( "util.json",
       [
         Alcotest.test_case "string escapes" `Quick test_json_escapes;
