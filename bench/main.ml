@@ -66,7 +66,7 @@ let read_file path =
 let pr_number =
   match Option.bind (Sys.getenv_opt "DEPSURF_PR") int_of_string_opt with
   | Some n -> n
-  | None -> 7
+  | None -> 8
 
 let with_trajectory path ~metric fields =
   let open Json in
@@ -1710,6 +1710,133 @@ let serve_bench () =
   in
   Serve.stop h;
   print_string (Texttable.render t);
+  (* ---- overload: 4x the admission capacity -------------------------- *)
+  (* a deliberately small server (4 slots) under 16 hammering clients:
+     every answer must be a 200 or a 503-with-Retry-After (no other
+     5xx, no dropped connections), shedding must actually engage, the
+     accepted requests must keep their tail, no fd may leak, and the
+     final drain must abandon nothing *)
+  let overload_json =
+    let limits = { (Serve.default_limits ()) with Serve.li_max_inflight = 4 } in
+    let srv2 = Serve.create ~limits ~ds:sds ~pool () in
+    let sock2 = Filename.temp_file "depsurf-bench-overload" ".sock" in
+    Sys.remove sock2;
+    let h2 = Serve.start srv2 (Serve.Unix_sock sock2) in
+    let addr2 = Serve.bound_addr h2 in
+    (* warm the route so the burst measures admission, not hydration *)
+    (match Serve.Client.request addr2 ~meth:"GET" ~path:"/healthz" with
+    | 200, _ -> ()
+    | st, _ -> failwith (Printf.sprintf "overload warmup: healthz -> %d" st));
+    let fd_before = Ds_util.Fdcount.count () in
+    let clients = 4 * limits.Serve.li_max_inflight and per_client = 25 in
+    let ok = Atomic.make 0 and shed = Atomic.make 0 and bad = Atomic.make 0 in
+    let doms =
+      List.init clients (fun _ ->
+          Domain.spawn (fun () ->
+              for _ = 1 to per_client do
+                match Serve.Client.request_full addr2 ~meth:"GET" ~path:"/healthz" with
+                | 200, _, _ -> Atomic.incr ok
+                | 503, hdrs, _ ->
+                    if List.assoc_opt "retry-after" hdrs = None then Atomic.incr bad
+                    else Atomic.incr shed
+                | _, _, _ -> Atomic.incr bad
+                | exception _ -> Atomic.incr bad
+              done))
+    in
+    List.iter Domain.join doms;
+    let ok = Atomic.get ok and shed = Atomic.get shed and bad = Atomic.get bad in
+    if ok + shed + bad <> clients * per_client then begin
+      Printf.printf "serve overload: FAILED (%d answers for %d requests)\n" (ok + shed + bad)
+        (clients * per_client);
+      Atomic.set failed true
+    end;
+    if bad > 0 then begin
+      Printf.printf
+        "serve overload: FAILED (%d responses were neither 200 nor 503-with-Retry-After)\n" bad;
+      Atomic.set failed true
+    end;
+    if ok = 0 || shed = 0 then begin
+      Printf.printf
+        "serve overload: FAILED (degenerate mix: %d served, %d shed — overload must both \
+         shed and keep serving)\n"
+        ok shed;
+      Atomic.set failed true
+    end;
+    (* server-side tail of the accepted requests (client-side numbers
+       would fold in our own scheduler noise): /metrics .latency_ms *)
+    let _, mbody = Serve.Client.request addr2 ~meth:"GET" ~path:"/metrics" in
+    let mj = Api.data (Json.of_string mbody) in
+    let accepted_p95 =
+      match
+        Option.bind (Json.member "latency_ms" mj) (fun l ->
+            Option.bind (Json.member "/healthz" l) (fun h ->
+                Option.bind (Json.member "p95" h) jfloat))
+      with
+      | Some f -> f
+      | None -> nan
+    in
+    if not (accepted_p95 < 5.) then begin
+      Printf.printf "serve overload: FAILED (accepted p95 = %.2fms, budget 5ms)\n" accepted_p95;
+      Atomic.set failed true
+    end;
+    let sheds_metric = jint mj [ "counters"; "overload.shed" ] in
+    (* drain with one request mid-flight: the burst is over, so a lone
+       client keeps issuing requests while we stop — every answer it
+       already holds must be complete, and the server must abandon
+       nothing *)
+    let drained_ok = Atomic.make 0 and drained_dropped = Atomic.make 0 in
+    let late_client =
+      Domain.spawn (fun () ->
+          let rec go n =
+            if n = 0 then ()
+            else
+              match Serve.Client.request addr2 ~meth:"GET" ~path:"/healthz" with
+              | 200, _ -> Atomic.incr drained_ok; go (n - 1)
+              | 503, _ -> go (n - 1)
+              | _, _ -> Atomic.incr drained_dropped
+              | exception _ ->
+                  (* connect refused after the listener closed: not a
+                     drop, the request was never accepted *)
+                  ()
+          in
+          go 200)
+    in
+    Unix.sleepf 0.05;
+    Serve.stop h2;
+    Domain.join late_client;
+    if Atomic.get drained_dropped > 0 then begin
+      Printf.printf "serve overload: FAILED (%d accepted requests dropped by the drain)\n"
+        (Atomic.get drained_dropped);
+      Atomic.set failed true
+    end;
+    let abandoned = Ds_util.Metrics.counter (Serve.metrics srv2) "drain.abandoned" in
+    if abandoned > 0 then begin
+      Printf.printf "serve overload: FAILED (drain abandoned %d connections)\n" abandoned;
+      Atomic.set failed true
+    end;
+    let fd_after = Ds_util.Fdcount.count () in
+    if not (Ds_util.Fdcount.no_growth ~slack:2 ~before:fd_before ~after:fd_after ()) then begin
+      Printf.printf "serve overload: FAILED (fd growth %d -> %d)\n" fd_before fd_after;
+      Atomic.set failed true
+    end;
+    if not (Atomic.get failed) then
+      Printf.printf
+        "serve overload gate: %d served / %d shed of %d at 4x capacity, accepted p95 %.2fms, \
+         fd %d -> %d, drain clean: OK\n"
+        ok shed (clients * per_client) accepted_p95 fd_before fd_after;
+    Json.Obj
+      [
+        ("clients", Json.Int clients);
+        ("max_inflight", Json.Int limits.Serve.li_max_inflight);
+        ("requests", Json.Int (clients * per_client));
+        ("served", Json.Int ok);
+        ("shed", Json.Int shed);
+        ("shed_metric", Json.Int sheds_metric);
+        ("accepted_p95_ms", Json.Float accepted_p95);
+        ("drain_abandoned", Json.Int abandoned);
+        ("drained_late_ok", Json.Int (Atomic.get drained_ok));
+      ]
+  in
   let rw_all = reservoir_of !warm_all in
   let _, _, _, warm_full_p95, _, _ = phase_cells rw_all in
   (* the headline warm metric: conditional revalidation at 1 client *)
@@ -1723,6 +1850,7 @@ let serve_bench () =
         ("warm_p95_ms", Json.Float warm_p95);
         ("warm_full_p95_ms", Json.Float warm_full_p95);
         ("levels", Json.List levels_json);
+        ("overload", overload_json);
       ]
   in
   write_json_file "BENCH_SERVE.json" j;

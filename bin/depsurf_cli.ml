@@ -764,12 +764,24 @@ let serve_cmd =
     Printf.printf "depsurf serve: listening on %s\n"
       (addr_to_string (Ds_serve.Serve.bound_addr h));
     flush stdout;
-    (* serve until killed; connection handlers run on the pool *)
-    let rec forever () =
-      Unix.sleep 3600;
-      forever ()
-    in
-    forever ()
+    (* serve until SIGTERM/SIGINT, then drain gracefully: in-flight
+       requests finish (up to the drain deadline) before the listener
+       closes and the process exits 0 *)
+    let stopping = Atomic.make false in
+    let on_signal _ = Atomic.set stopping true in
+    (try Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
+     with Invalid_argument _ | Sys_error _ -> ());
+    (try Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal)
+     with Invalid_argument _ | Sys_error _ -> ());
+    while not (Atomic.get stopping) do
+      try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done;
+    Printf.printf "depsurf serve: draining (%d in flight)\n"
+      (Ds_serve.Admission.inflight (Ds_serve.Serve.admission t));
+    flush stdout;
+    Ds_serve.Serve.stop h;
+    Printf.printf "depsurf serve: stopped\n";
+    flush stdout
   in
   Cmd.v
     (Cmd.info "serve"
@@ -804,7 +816,14 @@ let query_cmd =
          & info [ "include"; "i" ]
              ~doc:"Print the response status line and headers before the body.")
   in
-  let run socket port host path data meth hdrs incl =
+  let retries_arg =
+    Arg.(value & opt int 0
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Retry GETs up to \\$(docv) times on connection errors and 503s, with \
+                   capped exponential backoff honouring Retry-After. Non-GET requests are \
+                   never retried.")
+  in
+  let run socket port host path data meth hdrs incl retries =
     let addr = addr_of ~socket ~port ~host in
     let body =
       Option.map
@@ -828,7 +847,12 @@ let query_cmd =
               exit 1)
         hdrs
     in
-    match Ds_serve.Serve.Client.request_full ?body ~headers addr ~meth ~path with
+    let do_request () =
+      if retries > 0 && meth = "GET" && body = None then
+        Ds_serve.Serve.Client.request_retry ~headers ~retries addr ~meth ~path
+      else Ds_serve.Serve.Client.request_full ?body ~headers addr ~meth ~path
+    in
+    match do_request () with
     | status, rheaders, response ->
         if incl then begin
           Printf.printf "HTTP/1.1 %d\n" status;
@@ -846,7 +870,7 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Send one request to a running depsurf serve instance.")
     Term.(
       const run $ socket_arg $ port_arg $ host_arg $ path_arg $ data_arg $ meth_arg
-      $ header_arg $ include_arg)
+      $ header_arg $ include_arg $ retries_arg)
 
 (* ---- trace analysis ------------------------------------------------- *)
 

@@ -8,10 +8,23 @@ set -eu
 
 CLI=$(cd "$(dirname "$1")" && pwd)/$(basename "$1")
 
+# hard timeout for every query leg: a wedged server fails fast
+if command -v timeout > /dev/null 2>&1; then TO="timeout 60"; else TO=""; fi
+
 TMP=$(mktemp -d)
 SRV=""
 cleanup() {
-  [ -n "$SRV" ] && kill "$SRV" 2> /dev/null || true
+  # also runs on failure paths (set -e): kill hard, reap, then sweep
+  if [ -n "$SRV" ]; then
+    kill "$SRV" 2> /dev/null || true
+    i=0
+    while [ $i -lt 50 ] && kill -0 "$SRV" 2> /dev/null; do
+      sleep 0.1
+      i=$((i + 1))
+    done
+    kill -9 "$SRV" 2> /dev/null || true
+    wait "$SRV" 2> /dev/null || true
+  fi
   rm -rf "$TMP"
 }
 trap cleanup EXIT
@@ -71,7 +84,7 @@ while [ $i -lt 100 ]; do
 done
 [ -S "$SOCK" ]
 
-Q() { "$CLI" query --socket "$SOCK" "$@"; }
+Q() { $TO "$CLI" query --socket "$SOCK" "$@"; }
 
 Q '/v1/graph/rdeps/func:vfs_fsync?transitive=1' > "$TMP/srv-rdeps.json"
 cmp "$TMP/srv-rdeps.json" "$TMP/j1.json"
@@ -92,6 +105,9 @@ grep -q '^x-depsurf-cache: hit$' "$TMP/hit.http"
 sed -e '1,/^$/d' "$TMP/hit.http" > "$TMP/hit.body"
 cmp "$TMP/hit.body" "$TMP/srv-deps.json"
 
+# SIGTERM drains gracefully and exits 0
 kill "$SRV"
+wait "$SRV"
 SRV=""
+grep -q "depsurf serve: stopped" "$TMP/serve.log"
 echo "graph CLI e2e: OK"

@@ -12,10 +12,25 @@ set -eu
 
 CLI=$(cd "$(dirname "$1")" && pwd)/$(basename "$1")
 
+# every query leg runs under a hard timeout so a wedged server fails the
+# test instead of hanging the build forever
+if command -v timeout > /dev/null 2>&1; then TO="timeout 60"; else TO=""; fi
+
 TMP=$(mktemp -d)
 SRV=""
 cleanup() {
-  [ -n "$SRV" ] && kill "$SRV" 2> /dev/null || true
+  # also runs on failure paths (set -e): kill hard, reap, then sweep —
+  # a SIGKILL'd server can't linger holding the socket or the tmp dir
+  if [ -n "$SRV" ]; then
+    kill "$SRV" 2> /dev/null || true
+    i=0
+    while [ $i -lt 50 ] && kill -0 "$SRV" 2> /dev/null; do
+      sleep 0.1
+      i=$((i + 1))
+    done
+    kill -9 "$SRV" 2> /dev/null || true
+    wait "$SRV" 2> /dev/null || true
+  fi
   rm -rf "$TMP"
 }
 trap cleanup EXIT
@@ -47,7 +62,7 @@ while [ $i -lt 100 ]; do
 done
 [ -S "$SOCK" ]
 
-Q() { "$CLI" query --socket "$SOCK" "$@"; }
+Q() { $TO "$CLI" query --socket "$SOCK" "$@"; }
 
 # every endpoint answers
 Q /healthz | grep -q '"status": "ok"'
@@ -138,8 +153,13 @@ fills=$(sed -n 's/^ *"index.fill.surface": \([0-9]*\).*/\1/p' "$TMP/metrics.json
 grep -q '"response_cache"' "$TMP/metrics.json"
 grep -q '"latency_ms"' "$TMP/metrics.json"
 
+# SIGTERM is a graceful drain: the server logs the stop, exits 0, and
+# unlinks its socket on the way out
 kill "$SRV"
+wait "$SRV"
 SRV=""
+grep -q "depsurf serve: stopped" "$TMP/serve.log"
+[ ! -S "$SOCK" ]
 
 # TCP leg: --port 0 binds a kernel-chosen port, printed on stdout as
 # tcp:HOST:PORT before any request is answered
@@ -153,11 +173,19 @@ while [ $i -lt 100 ]; do
 done
 PORT=$(sed -n 's/.*listening on tcp:127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' "$TMP/tcp.log" | head -n 1)
 [ -n "$PORT" ] && [ "$PORT" -gt 0 ]
-"$CLI" query --port "$PORT" /v1/healthz | grep -q '"status": "ok"'
-"$CLI" query --port "$PORT" /healthz > "$TMP/tcp-legacy.json"
-"$CLI" query --port "$PORT" /v1/healthz > "$TMP/tcp-v1.json"
+$TO "$CLI" query --port "$PORT" /v1/healthz | grep -q '"status": "ok"'
+$TO "$CLI" query --port "$PORT" /healthz > "$TMP/tcp-legacy.json"
+$TO "$CLI" query --port "$PORT" /v1/healthz > "$TMP/tcp-v1.json"
 cmp "$TMP/tcp-legacy.json" "$TMP/tcp-v1.json"
 
+# --retries rides out a restart window: against a dead address it must
+# fail only after backing off (not instantly, not forever)
 kill "$SRV"
+wait "$SRV"
 SRV=""
+if $TO "$CLI" query --port "$PORT" --retries 2 /v1/healthz > /dev/null 2>&1; then
+  echo "query --retries succeeded against a stopped server" >&2; exit 1
+else
+  [ $? -eq 1 ]
+fi
 echo "serve CLI e2e: OK"

@@ -1,0 +1,47 @@
+(** Seeded misbehaving-HTTP-client scenarios for the serve front-end's
+    chaos suite ([@serve-chaos]).
+
+    Like {!Faultgen} for BPF objects, this is the generator half of a
+    survey: pure, deterministic data describing {e how} a client
+    misbehaves at the socket level, with the actual socket I/O owned by
+    the driver. The taxonomy:
+
+    - well-formed requests (control group — must answer 200);
+    - slow trickle (slowloris): a valid request dribbled a few bytes at
+      a time (server read-timeout → 408, or 200 if it completes);
+    - torn request: a prefix of a valid request, then the client
+      vanishes;
+    - stall: connect, send little or nothing, wait out the server;
+    - mid-response abort: valid request, read a few bytes, slam the
+      connection while the server writes;
+    - churn: connect and immediately abort;
+    - oversized header block (> 64KiB → 431);
+    - oversized declared body (> 16MiB → 413);
+    - garbage bytes (→ 400).
+
+    The invariants the driver asserts: the server never crashes, never
+    leaks an fd, answers every answerable scenario with an expected
+    status, and every >= 400 answer is a structured JSON envelope. *)
+
+type step =
+  | Send of string  (** write these bytes *)
+  | Pause of float  (** sleep this many seconds before the next step *)
+  | Recv of int  (** read up to this many response bytes (0 = to EOF) *)
+  | Abort  (** close the socket immediately *)
+
+type expectation =
+  | Any_status of int list
+      (** the server must answer with one of these statuses *)
+  | No_answer
+      (** the client behaved such that no answer can be required *)
+
+type scenario
+
+val name : scenario -> string
+val steps : scenario -> step list
+val expect : scenario -> expectation
+
+val generate : seed:int64 -> int -> scenario list
+(** [generate ~seed n]: [n] scenarios, deterministic in [seed]. The
+    first scenarios cover each kind of the taxonomy once; the rest are
+    drawn at random. *)

@@ -1,0 +1,101 @@
+module Diag = Ds_util.Diag
+
+(* Admission control for the socket front-end: a bounded count of
+   accepted-but-unfinished connections, classified onto the Diag
+   severity lattice. The accept loop asks [admit] per connection;
+   handlers pair it with [release] when the connection closes. *)
+
+type t = {
+  ad_limit : int;
+  ad_mutex : Mutex.t;
+  mutable ad_inflight : int;
+  mutable ad_peak : int;
+  mutable ad_shed : int;
+  mutable ad_ewma_s : float;  (* observed per-connection service time *)
+  mutable ad_last_severity : Diag.severity option;  (* for transition logs *)
+}
+
+let create ~limit () =
+  {
+    ad_limit = max 1 limit;
+    ad_mutex = Mutex.create ();
+    ad_inflight = 0;
+    ad_peak = 0;
+    ad_shed = 0;
+    ad_ewma_s = 0.;
+    ad_last_severity = None;
+  }
+
+let limit t = t.ad_limit
+
+let with_lock t f =
+  Mutex.lock t.ad_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.ad_mutex) f
+
+let inflight t = with_lock t (fun () -> t.ad_inflight)
+let peak t = with_lock t (fun () -> t.ad_peak)
+let shed_total t = with_lock t (fun () -> t.ad_shed)
+
+(* Pressure lattice over queue depth, as a fraction of the limit:
+     depth/limit <  1/2  -> admit, no pressure
+     depth/limit >= 1/2  -> Warning   (admit; log on transition)
+     depth/limit >= 3/4  -> Degraded  (admit; x-depsurf-pressure header)
+     depth/limit >= 1    -> Fatal     (shed: 503 + Retry-After)        *)
+let classify ~limit depth =
+  if depth > limit then Some Diag.Fatal
+  else if 4 * depth >= 3 * limit then Some Diag.Degraded
+  else if 2 * depth >= limit then Some Diag.Warning
+  else None
+
+let ewma_s t = with_lock t (fun () -> t.ad_ewma_s)
+
+(* Retry-After from observed service time: the time to drain a full
+   queue at the current per-connection cost, clamped to [1, 30]s so a
+   cold first estimate neither answers 0 nor parks clients forever. *)
+let retry_after t =
+  let ewma, depth = with_lock t (fun () -> (t.ad_ewma_s, t.ad_inflight)) in
+  let est = ewma *. float_of_int (max 1 depth) in
+  int_of_float (Float.min 30. (Float.max 1. (Float.ceil est)))
+
+type decision =
+  | Admit of Diag.severity option * bool
+      (** pressure at admission; [true] when it is a transition (worth
+          one log line, not one per connection) *)
+  | Shed of int  (** suggested Retry-After, seconds *)
+
+let admit t =
+  with_lock t (fun () ->
+      let depth = t.ad_inflight + 1 in
+      match classify ~limit:t.ad_limit depth with
+      | Some Diag.Fatal ->
+          t.ad_shed <- t.ad_shed + 1;
+          let est = t.ad_ewma_s *. float_of_int (max 1 t.ad_inflight) in
+          Shed (int_of_float (Float.min 30. (Float.max 1. (Float.ceil est))))
+      | sev ->
+          t.ad_inflight <- depth;
+          if depth > t.ad_peak then t.ad_peak <- depth;
+          let transition = sev <> t.ad_last_severity in
+          t.ad_last_severity <- sev;
+          Admit (sev, transition && sev <> None))
+
+let release t ~service_s =
+  with_lock t (fun () ->
+      t.ad_inflight <- max 0 (t.ad_inflight - 1);
+      (* EWMA with alpha 1/8; first observation seeds it directly *)
+      t.ad_ewma_s <-
+        (if t.ad_ewma_s = 0. then service_s
+         else t.ad_ewma_s +. ((service_s -. t.ad_ewma_s) /. 8.)))
+
+let stats_json t =
+  let inflight, peak, shed, ewma =
+    with_lock t (fun () -> (t.ad_inflight, t.ad_peak, t.ad_shed, t.ad_ewma_s))
+  in
+  Ds_util.Json.Obj
+    [
+      ("limit", Ds_util.Json.Int t.ad_limit);
+      ("inflight", Ds_util.Json.Int inflight);
+      ("peak", Ds_util.Json.Int peak);
+      ("shed", Ds_util.Json.Int shed);
+      ("service_ewma_ms", Ds_util.Json.Float (ewma *. 1000.));
+      ("retry_after_s", Ds_util.Json.Int (retry_after t));
+    ]

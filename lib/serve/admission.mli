@@ -1,0 +1,49 @@
+(** Admission control for the serve socket front-end.
+
+    Tracks accepted-but-unfinished connections against a configurable
+    limit and classifies queue pressure onto the {!Ds_util.Diag}
+    severity lattice:
+
+    - below half the limit: no pressure;
+    - [Warning] (>= 1/2): admit, log once per transition;
+    - [Degraded] (>= 3/4): admit, responses carry
+      [x-depsurf-pressure: degraded];
+    - [Fatal] (over the limit): shed with [503] and a [Retry-After]
+      computed from the EWMA of observed service time times the queue
+      depth (clamped to [1, 30] seconds).
+
+    Domain-safe; the accept loop and every connection handler share one
+    value. *)
+
+type t
+
+val create : limit:int -> unit -> t
+(** [limit] is clamped to at least 1. *)
+
+val limit : t -> int
+val inflight : t -> int
+val peak : t -> int
+val shed_total : t -> int
+
+val classify : limit:int -> int -> Ds_util.Diag.severity option
+(** Pure pressure classification of a queue depth (exposed for property
+    tests): [None] below half the limit, then [Warning]/[Degraded], and
+    [Fatal] strictly over the limit. *)
+
+type decision =
+  | Admit of Ds_util.Diag.severity option * bool
+      (** pressure at admission; the bool is [true] on a severity
+          transition (log once, not per connection) *)
+  | Shed of int  (** Retry-After seconds *)
+
+val admit : t -> decision
+(** Take a slot (incrementing the in-flight count) or shed. Every
+    [Admit] must be paired with exactly one {!release}. *)
+
+val release : t -> service_s:float -> unit
+(** Give the slot back, feeding the observed service time into the
+    Retry-After estimate. *)
+
+val ewma_s : t -> float
+val retry_after : t -> int
+val stats_json : t -> Ds_util.Json.t

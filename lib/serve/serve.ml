@@ -3,8 +3,40 @@ open Depsurf
 module Par = Ds_util.Par
 module Metrics = Ds_util.Metrics
 module Json = Ds_util.Json
+module Deadline = Ds_util.Deadline
+module Diag = Ds_util.Diag
 module Store = Ds_store.Store
 module Trace = Ds_trace.Trace
+
+(* ---- overload & lifecycle limits ----------------------------------- *)
+
+type limits = {
+  li_max_inflight : int;
+      (* admission cap: accepted-but-unfinished connections; over it,
+         new connections are shed with 503 + Retry-After *)
+  li_read_timeout_s : float;
+      (* whole-receive deadline (request line + headers + body): a
+         trickling or stalled client gets 408, not a parked worker *)
+  li_handle_deadline_s : float;
+      (* cooperative compute budget per request (Deadline); over it the
+         handler answers 503 instead of burning a worker *)
+  li_write_timeout_s : float;  (* per-socket send timeout *)
+  li_drain_deadline_s : float;  (* stop: max wait for in-flight requests *)
+}
+
+let env_int name default =
+  match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+  | Some n when n > 0 -> n
+  | _ -> default
+
+let default_limits () =
+  {
+    li_max_inflight = env_int "DEPSURF_MAX_INFLIGHT" 64;
+    li_read_timeout_s = 10.;
+    li_handle_deadline_s = float_of_int (env_int "DEPSURF_DEADLINE_MS" 30_000) /. 1000.;
+    li_write_timeout_s = 10.;
+    li_drain_deadline_s = 10.;
+  }
 
 (* ---- image naming -------------------------------------------------- *)
 
@@ -43,6 +75,8 @@ type t = {
   sv_ds : Dataset.t;
   sv_pool : Par.pool;
   sv_metrics : Metrics.t;
+  sv_limits : limits;
+  sv_adm : Admission.t;  (** accepted-connection bookkeeping + shedding *)
   sv_files : (string * string) list;  (** extra image name -> path *)
   sv_cache : Respcache.t;  (** serialized (status, ctype, body, etag) per request key *)
   sv_generation : int Atomic.t;  (** part of every cache key; bump to invalidate *)
@@ -56,7 +90,8 @@ type t = {
   ix_blast : (string, string) Par.Memo.t;  (** "sym|release" -> response body *)
 }
 
-let create ?images_dir ~ds ~pool () =
+let create ?images_dir ?limits ~ds ~pool () =
+  let limits = match limits with Some l -> l | None -> default_limits () in
   let files =
     match images_dir with
     | None -> []
@@ -74,6 +109,8 @@ let create ?images_dir ~ds ~pool () =
     sv_ds = ds;
     sv_pool = pool;
     sv_metrics = Metrics.create ();
+    sv_limits = limits;
+    sv_adm = Admission.create ~limit:limits.li_max_inflight ();
     sv_files = files;
     sv_cache = Respcache.create ();
     sv_generation = Atomic.make 0;
@@ -93,6 +130,8 @@ let create ?images_dir ~ds ~pool () =
 
 let metrics t = t.sv_metrics
 let dataset t = t.sv_ds
+let limits t = t.sv_limits
+let admission t = t.sv_adm
 let generation t = Atomic.get t.sv_generation
 
 (* Nothing mutates the indexes today (the study matrix is fixed and
@@ -135,6 +174,9 @@ let indexed t memo kind key compute =
       v
   | None ->
       Par.Memo.find_or_compute memo key (fun () ->
+          (* cooperative budget check before the expensive fill: an
+             already-over-deadline request gives its worker back here *)
+          Deadline.check ();
           Metrics.incr t.sv_metrics ("index.fill." ^ kind);
           compute ())
 
@@ -455,6 +497,7 @@ let metrics_endpoint t =
                 ("bytes", Json.Int cache_bytes);
                 ("generation", Json.Int (Atomic.get t.sv_generation));
               ] )
+       :: ("admission", Admission.stats_json t.sv_adm)
        :: fields))
 
 (* ---- routing ------------------------------------------------------- *)
@@ -545,6 +588,7 @@ let inject_trace root_id body =
   | _ -> body
 
 let dispatch t ~meth ~segs ~query ~body =
+  Deadline.check ();
   match (meth, segs) with
   | "GET", [ "healthz" ] -> healthz t
   | "GET", [ "images" ] -> images t
@@ -619,7 +663,7 @@ let etag_matches header etag =
   String.trim header = "*"
   || List.exists (fun tok -> String.trim tok = etag) (String.split_on_char ',' header)
 
-let handle_request ?(headers = []) t ~meth ~target ~body =
+let handle_request ?(headers = []) ?pressure t ~meth ~target ~body =
   let path, query =
     match Ds_util.Strutil.cut ~on:'?' target with
     | None -> (target, [])
@@ -636,11 +680,16 @@ let handle_request ?(headers = []) t ~meth ~target ~body =
   Metrics.incr t.sv_metrics "requests_total";
   let t0 = Unix.gettimeofday () in
   let trace_id = ref 0 in
+  let retry_after = ref None in
   let status, ctype, rbody, etag =
     Trace.span ~name:"serve.request" ~attrs:[ ("method", meth); ("route", label) ]
       (fun () ->
         trace_id := Trace.current_id ();
         try
+          (* the per-request compute budget; Par.submit carries it onto
+             any pool fan-out the handler performs *)
+          Deadline.with_timeout ~label:"serve.handle" t.sv_limits.li_handle_deadline_s
+          @@ fun () ->
           if not (cacheable_route ~meth ~segs ~query) then
             let status, ctype, rbody = dispatch t ~meth ~segs ~query ~body in
             (status, ctype, rbody, None)
@@ -670,9 +719,29 @@ let handle_request ?(headers = []) t ~meth ~target ~body =
                   (status, ctype, rbody, Some (etag, "miss"))
                 end
           end
-        with e ->
-          let status, ctype, rbody = error_json 500 ("internal error: " ^ Printexc.to_string e) in
-          (status, ctype, rbody, None))
+        with
+        | Deadline.Expired (_, over) ->
+            (* the handler ran out of its budget: overload, not a bug —
+               tell the client when to come back, free the worker *)
+            Metrics.incr t.sv_metrics "overload.deadline";
+            let ra = Admission.retry_after t.sv_adm in
+            retry_after := Some ra;
+            Trace.span ~name:"serve.timeout"
+              ~attrs:
+                [
+                  ("pressure", "deadline"); ("route", label);
+                  ("over_ms", Printf.sprintf "%.0f" (over *. 1000.));
+                ]
+              (fun () -> ());
+            let status, ctype, rbody =
+              error_json 503
+                (Printf.sprintf "deadline exceeded after %.0fms"
+                   (t.sv_limits.li_handle_deadline_s *. 1000.))
+            in
+            (status, ctype, rbody, None)
+        | e ->
+            let status, ctype, rbody = error_json 500 ("internal error: " ^ Printexc.to_string e) in
+            (status, ctype, rbody, None))
   in
   let rbody =
     if List.assoc_opt "trace" query = Some "1" && ctype = "application/json" then
@@ -702,6 +771,18 @@ let handle_request ?(headers = []) t ~meth ~target ~body =
           ("x-depsurf-cache", state);
         ]
   in
+  let resp_headers =
+    match !retry_after with
+    | Some ra -> ("Retry-After", string_of_int ra) :: resp_headers
+    | None -> resp_headers
+  in
+  (* admission pressure at accept time rides on the response so clients
+     can back off before being shed *)
+  let resp_headers =
+    match pressure with
+    | Some sev -> ("x-depsurf-pressure", Diag.severity_to_string sev) :: resp_headers
+    | None -> resp_headers
+  in
   (status, ctype, resp_headers, rbody)
 
 (* ---- HTTP over sockets --------------------------------------------- *)
@@ -718,8 +799,11 @@ let reason_of = function
   | 400 -> "Bad Request"
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 413 -> "Content Too Large"
   | 431 -> "Request Header Fields Too Large"
   | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
   | _ -> "Unknown"
 
 (* head and body go out as two writes: the old [Printf.sprintf "...%s"]
@@ -745,6 +829,13 @@ let max_body_bytes = 16 * 1024 * 1024
 
 exception Bad_request of string
 
+(* oversized input carries its canonical status: 431 for the header
+   block, 413 for the body *)
+exception Too_large of int * string
+
+(* the whole-receive deadline fired (stalled or trickling client) *)
+exception Timed_out of string
+
 module Slice = Ds_util.Bytesio.Slice
 
 (* A growing receive buffer that scans for the \r\n\r\n head terminator
@@ -764,9 +855,17 @@ let recv_read rb fd ~on_eof =
   if n = 0 then on_eof ();
   rb.rb_len <- rb.rb_len + n
 
+(* raise once the whole-receive deadline has passed: SO_RCVTIMEO covers
+   a fully stalled peer, this covers the trickler that keeps each
+   individual read alive while never finishing the request *)
+let deadline_guard ?deadline what =
+  match deadline with
+  | Some at when Unix.gettimeofday () > at -> raise (Timed_out what)
+  | _ -> ()
+
 (* index of the head terminator, reading as needed; scanning resumes
    where the previous read left off *)
-let recv_head rb fd ~too_large ~on_eof =
+let recv_head ?deadline rb fd ~too_large ~on_eof =
   let rec find from =
     let b = rb.rb_data in
     let limit = rb.rb_len - 3 in
@@ -781,9 +880,14 @@ let recv_head rb fd ~too_large ~on_eof =
       else go (i + 1)
     in
     match go from with
-    | Some i -> i
+    | Some i ->
+        (* over-cap heads are rejected even when the terminator arrived
+           in the same read burst as the overflow *)
+        if i + 4 > max_header_bytes then too_large ();
+        i
     | None ->
         if rb.rb_len > max_header_bytes then too_large ();
+        deadline_guard ?deadline "timed out reading request headers";
         let prev = rb.rb_len in
         recv_read rb fd ~on_eof;
         find (max 0 (prev - 3))
@@ -793,7 +897,7 @@ let recv_head rb fd ~too_large ~on_eof =
 (* read [need] body bytes into place: the prefix already received past
    the head, then straight [Unix.read]s into the result buffer — no
    intermediate Buffer or per-chunk copies *)
-let recv_body rb fd ~body_start ~need ~on_eof =
+let recv_body ?deadline rb fd ~body_start ~need ~on_eof =
   if need = 0 then ""
   else begin
     let b = Bytes.create need in
@@ -801,6 +905,7 @@ let recv_body rb fd ~body_start ~need ~on_eof =
     Bytes.blit rb.rb_data body_start b 0 have;
     let got = ref have in
     while !got < need do
+      deadline_guard ?deadline "timed out reading request body";
       let n = Unix.read fd b !got (need - !got) in
       if n = 0 then on_eof ();
       got := !got + n
@@ -841,12 +946,15 @@ let parse_head head =
   done;
   (first, List.rev !headers)
 
-(* read one request: request line, headers, Content-Length body *)
-let recv_request fd =
+(* read one request: request line, headers, Content-Length body. The
+   deadline bounds the whole receive; a socket-level timeout
+   (SO_RCVTIMEO, surfacing as EAGAIN) is folded into the same 408. *)
+let recv_request ?deadline fd =
   let rb = recv_create 8192 in
   let on_eof () = raise (Bad_request "connection closed before headers") in
   let hdr_end =
-    recv_head rb fd ~on_eof ~too_large:(fun () -> raise (Bad_request "headers too large"))
+    recv_head ?deadline rb fd ~on_eof ~too_large:(fun () ->
+        raise (Too_large (431, "request headers exceed 64KiB")))
   in
   let request_line, headers = parse_head (Bytes.sub_string rb.rb_data 0 hdr_end) in
   let meth, target =
@@ -870,28 +978,66 @@ let recv_request fd =
     | Some v -> (
         match int_of_string_opt v with
         | Some n when n >= 0 && n <= max_body_bytes -> n
+        | Some n when n > max_body_bytes ->
+            raise (Too_large (413, Printf.sprintf "request body of %d bytes exceeds 16MiB" n))
         | _ -> raise (Bad_request ("bad content-length: " ^ v)))
   in
   let body =
-    recv_body rb fd ~body_start:(hdr_end + 4) ~need:content_length
+    recv_body ?deadline rb fd ~body_start:(hdr_end + 4) ~need:content_length
       ~on_eof:(fun () -> raise (Bad_request "connection closed before body"))
   in
   (meth, target, headers, body)
 
-let handle_conn t fd =
+(* every rejection the socket layer produces is the same structured
+   envelope the routed endpoints answer with — chaos clients must never
+   see a bare text error *)
+let send_reject t fd status msg =
+  let status, ctype, body = error_json status msg in
+  try send_response fd status ctype [] body
+  with Unix.Unix_error _ -> Metrics.incr t.sv_metrics "errors.io"
+
+let handle_conn t ?pressure fd =
+  let li = t.sv_limits in
+  let t0 = Unix.gettimeofday () in
   Fun.protect
-    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    ~finally:(fun () ->
+      (* the admission slot is given back on every path — including
+         rejections, timeouts and handler exceptions — and the fd is
+         closed exactly once *)
+      Admission.release t.sv_adm ~service_s:(Unix.gettimeofday () -. t0);
+      try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
-      (* a stuck or byte-dribbling client must not pin a pool worker *)
-      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 30. with Unix.Unix_error _ -> ());
-      match recv_request fd with
+      (* a stuck or byte-dribbling client must not pin a pool worker:
+         per-read timeouts at the socket, a whole-receive deadline above
+         them, and a bounded send *)
+      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO li.li_read_timeout_s
+       with Unix.Unix_error _ | Invalid_argument _ -> ());
+      (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO li.li_write_timeout_s
+       with Unix.Unix_error _ | Invalid_argument _ -> ());
+      match recv_request ~deadline:(t0 +. li.li_read_timeout_s) fd with
+      | exception Timed_out m ->
+          Metrics.incr t.sv_metrics "errors.timeout";
+          Trace.span ~name:"serve.timeout" ~attrs:[ ("pressure", "read"); ("error", m) ]
+            (fun () -> ());
+          send_reject t fd 408 m
+      | exception Too_large (status, m) ->
+          Metrics.incr t.sv_metrics "errors.protocol";
+          send_reject t fd status m
       | exception Bad_request m ->
           Metrics.incr t.sv_metrics "errors.protocol";
-          (try send_response fd 400 "text/plain" [] ("bad request: " ^ m ^ "\n")
-           with Unix.Unix_error _ -> ())
+          send_reject t fd 400 ("bad request: " ^ m)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _) ->
+          (* SO_RCVTIMEO fired with nothing mid-flight to classify *)
+          Metrics.incr t.sv_metrics "errors.timeout";
+          Trace.span ~name:"serve.timeout"
+            ~attrs:[ ("pressure", "read"); ("error", "socket read timed out") ]
+            (fun () -> ());
+          send_reject t fd 408 "timed out reading request"
       | exception Unix.Unix_error _ -> Metrics.incr t.sv_metrics "errors.io"
       | meth, target, headers, body -> (
-          let status, ctype, rheaders, rbody = handle_request t ~headers ~meth ~target ~body in
+          let status, ctype, rheaders, rbody =
+            handle_request t ?pressure ~headers ~meth ~target ~body
+          in
           try send_response fd status ctype rheaders rbody
           with Unix.Unix_error _ -> Metrics.incr t.sv_metrics "errors.io"))
 
@@ -903,7 +1049,56 @@ type handle = {
   h_stop : bool Atomic.t;
   mutable h_loop : unit Domain.t option;
   h_path : string option;
+  h_serve : t;  (** for the drain on [stop]: admission depth + pool *)
 }
+
+(* One admitted connection: log pressure transitions, count the
+   degraded band, hand the handler (tagged with its pressure) to the
+   pool. One shed connection: answer 503 + Retry-After inline — the
+   write is small and bounded by SO_SNDTIMEO, so the accept loop is
+   never parked on a slow victim. *)
+let place_conn t fd =
+  match Admission.admit t.sv_adm with
+  | Admission.Shed ra ->
+      Metrics.incr t.sv_metrics "overload.shed";
+      Trace.span ~name:"serve.shed"
+        ~attrs:[ ("pressure", "fatal"); ("retry_after_s", string_of_int ra) ]
+        (fun () ->
+          (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO 1.
+           with Unix.Unix_error _ | Invalid_argument _ -> ());
+          let status, ctype, body =
+            error_json 503
+              (Printf.sprintf "overloaded: %d connections in flight (limit %d)"
+                 (Admission.inflight t.sv_adm) (Admission.limit t.sv_adm))
+          in
+          (try send_response fd status ctype [ ("Retry-After", string_of_int ra) ] body
+           with Unix.Unix_error _ -> ());
+          try Unix.close fd with Unix.Unix_error _ -> ())
+  | Admission.Admit (sev, transition) ->
+      Metrics.incr t.sv_metrics "admission.admitted";
+      (match sev with
+      | Some Diag.Degraded -> Metrics.incr t.sv_metrics "overload.degraded"
+      | Some Diag.Warning -> Metrics.incr t.sv_metrics "overload.warning"
+      | _ -> ());
+      if transition then
+        Logs.warn (fun m ->
+            m "serve: admission pressure %s (%d/%d in flight)"
+              (match sev with Some s -> Diag.severity_to_string s | None -> "clear")
+              (Admission.inflight t.sv_adm) (Admission.limit t.sv_adm));
+      let pressure = match sev with Some Diag.Degraded -> Some Diag.Degraded | _ -> None in
+      ignore (Par.submit t.sv_pool (fun () -> handle_conn t ?pressure fd))
+
+(* drain the listen backlog in one burst (the listener is non-blocking):
+   admission sees the true pending depth instead of one connection per
+   select round, which is what makes shedding engage under a stampede *)
+let rec accept_burst t h budget =
+  if budget > 0 then
+    match Unix.accept h.h_sock with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+    | exception Unix.Unix_error _ -> ()
+    | fd, _ ->
+        place_conn t fd;
+        accept_burst t h (budget - 1)
 
 let rec accept_loop t h =
   if not (Atomic.get h.h_stop) then begin
@@ -920,12 +1115,9 @@ let rec accept_loop t h =
     match Unix.select [ h.h_sock ] [] [] 0.05 with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop t h
     | [], _, _ -> accept_loop t h
-    | _ :: _, _, _ -> (
-        match Unix.accept h.h_sock with
-        | exception Unix.Unix_error _ -> accept_loop t h
-        | fd, _ ->
-            ignore (Par.submit t.sv_pool (fun () -> handle_conn t fd));
-            accept_loop t h)
+    | _ :: _, _, _ ->
+        accept_burst t h 128;
+        accept_loop t h
   end
 
 let start t addr =
@@ -958,18 +1150,56 @@ let start t addr =
         | _ -> addr)
     | a -> a
   in
-  let h = { h_sock = sock; h_addr = bound; h_stop = Atomic.make false; h_loop = None; h_path = path } in
+  (* non-blocking listener: the accept loop drains the backlog in
+     bursts after each select instead of one connection per round *)
+  Unix.set_nonblock sock;
+  let h =
+    {
+      h_sock = sock;
+      h_addr = bound;
+      h_stop = Atomic.make false;
+      h_loop = None;
+      h_path = path;
+      h_serve = t;
+    }
+  in
   h.h_loop <- Some (Domain.spawn (fun () -> accept_loop t h));
   h
 
 let bound_addr h = h.h_addr
 
+(* Graceful drain, in strict order: (1) stop accepting — the loop
+   domain exits, so nothing new is admitted; (2) finish every admitted
+   connection within the drain deadline, running queued handlers
+   ourselves so even a workerless 1-core pool completes them; (3) close
+   the listener last and unlink the socket path. A connection the
+   server accepted is therefore always answered, which is the
+   zero-dropped-connections contract the tests and bench assert. *)
 let stop h =
   if not (Atomic.get h.h_stop) then begin
+    let t = h.h_serve in
     Atomic.set h.h_stop true;
     (match h.h_loop with
     | Some d -> ( try Domain.join d with _ -> ())
     | None -> ());
+    let pending = Admission.inflight t.sv_adm in
+    Trace.span ~name:"serve.drain"
+      ~attrs:[ ("pressure", "drain"); ("inflight", string_of_int pending) ]
+      (fun () ->
+        let deadline = Unix.gettimeofday () +. t.sv_limits.li_drain_deadline_s in
+        let rec drain () =
+          if Admission.inflight t.sv_adm > 0 && Unix.gettimeofday () < deadline then begin
+            if not (Par.drain_one t.sv_pool) then Unix.sleepf 0.002;
+            drain ()
+          end
+        in
+        drain ();
+        let left = Admission.inflight t.sv_adm in
+        if left > 0 then begin
+          Metrics.incr t.sv_metrics ~by:left "drain.abandoned";
+          Logs.warn (fun m ->
+              m "serve: drain deadline passed with %d connections still in flight" left)
+        end);
     (try Unix.close h.h_sock with Unix.Unix_error _ -> ());
     match h.h_path with
     | Some p -> ( try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())
@@ -979,7 +1209,7 @@ let stop h =
 (* ---- client -------------------------------------------------------- *)
 
 module Client = struct
-  let request_full ?body ?(headers = []) addr ~meth ~path =
+  let request_full ?body ?(headers = []) ?(timeout_s = 30.) addr ~meth ~path =
     let domain, sockaddr =
       match addr with
       | Unix_sock p -> (Unix.PF_UNIX, Unix.ADDR_UNIX p)
@@ -990,6 +1220,11 @@ module Client = struct
       ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
       (fun () ->
         Unix.connect fd sockaddr;
+        (* a wedged or trickling server must not park the client forever *)
+        (try
+           Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s;
+           Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout_s
+         with Unix.Unix_error _ | Invalid_argument _ -> ());
         let payload = Option.value ~default:"" body in
         let req = Buffer.create 256 in
         Buffer.add_string req
@@ -1039,8 +1274,16 @@ module Client = struct
               recv_body rb fd ~body_start ~need ~on_eof:(fun () ->
                   failwith "connection closed before response body")
           | _ ->
-              (* no Content-Length: drain to EOF *)
+              (* no Content-Length: drain to EOF — but bounded. The old
+                 loop read forever against a trickling peer; cap the
+                 bytes at the server's own body limit and the time at
+                 [timeout_s]. *)
+              let deadline = Unix.gettimeofday () +. timeout_s in
               let rec drain () =
+                if rb.rb_len - body_start > max_body_bytes then
+                  failwith "response body exceeds 16MiB with no Content-Length";
+                if Unix.gettimeofday () > deadline then
+                  failwith "timed out draining response body";
                 match recv_read rb fd ~on_eof:(fun () -> raise Exit) with
                 | () -> drain ()
                 | exception Exit -> ()
@@ -1050,7 +1293,51 @@ module Client = struct
         in
         (status, resp_headers, rbody))
 
-  let request ?body ?headers addr ~meth ~path =
-    let status, _, body = request_full ?body ?headers addr ~meth ~path in
+  let request ?body ?headers ?timeout_s addr ~meth ~path =
+    let status, _, body = request_full ?body ?headers ?timeout_s addr ~meth ~path in
     (status, body)
+
+  (* Capped exponential backoff with deterministic jitter, honouring a
+     server-provided Retry-After. Only idempotent GETs are retried:
+     anything else may have been applied by a server that died before
+     answering, and replaying it is not the client's call to make. *)
+  let retryable_error = function
+    | Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.EPIPE | Unix.ENOENT | Unix.EAGAIN
+    | Unix.EWOULDBLOCK | Unix.ETIMEDOUT ->
+        true
+    | _ -> false
+
+  let backoff_delay ~prng ~base_ms ~cap_ms ~retry_after attempt =
+    let exp = base_ms *. (2. ** float_of_int attempt) in
+    let chosen =
+      match retry_after with
+      | Some ra_s -> Float.max (ra_s *. 1000.) exp  (* honour the server's ask *)
+      | None -> exp
+    in
+    let capped = Float.min cap_ms chosen in
+    (* full jitter on the top half: [0.5c, 1.0c] spreads a thundering
+       herd without ever retrying before half the intended delay *)
+    capped *. (0.5 +. Ds_util.Prng.float prng 0.5) /. 1000.
+
+  let request_retry ?(headers = []) ?timeout_s ?(retries = 3) ?(base_ms = 50.)
+      ?(cap_ms = 2000.) ?(seed = 0L) addr ~meth ~path =
+    let prng = Ds_util.Prng.create seed in
+    let attempt_once () = request_full ~headers ?timeout_s addr ~meth ~path in
+    let rec go attempt =
+      let retry ~retry_after =
+        Unix.sleepf (backoff_delay ~prng ~base_ms ~cap_ms ~retry_after attempt);
+        go (attempt + 1)
+      in
+      match attempt_once () with
+      | (status, rheaders, _) as resp ->
+          if status = 503 && meth = "GET" && attempt < retries then
+            let retry_after =
+              Option.bind (List.assoc_opt "retry-after" rheaders) float_of_string_opt
+            in
+            retry ~retry_after
+          else resp
+      | exception Unix.Unix_error (e, _, _) when meth = "GET" && attempt < retries && retryable_error e ->
+          retry ~retry_after:None
+    in
+    go 0
 end

@@ -78,14 +78,46 @@ type t
 (** Server state: dataset + hot index + metrics. Independent of any
     socket, so tests can drive {!handle_request} directly. *)
 
-val create : ?images_dir:string -> ds:Depsurf.Dataset.t -> pool:Ds_util.Par.pool -> unit -> t
+type limits = {
+  li_max_inflight : int;
+      (** admission limit on accepted-but-unfinished connections;
+          default 64, or [DEPSURF_MAX_INFLIGHT] *)
+  li_read_timeout_s : float;
+      (** whole-request receive budget (header + body), slowloris
+          defence; default 10s *)
+  li_handle_deadline_s : float;
+      (** cooperative {!Ds_util.Deadline} on request handling; default
+          30s, or [DEPSURF_DEADLINE_MS] / 1000 *)
+  li_write_timeout_s : float;  (** per-socket send timeout; default 10s *)
+  li_drain_deadline_s : float;
+      (** how long {!stop} waits for in-flight connections; default 10s *)
+}
+
+val default_limits : unit -> limits
+(** The defaults above, with [DEPSURF_MAX_INFLIGHT] and
+    [DEPSURF_DEADLINE_MS] read from the environment. *)
+
+val create :
+  ?images_dir:string ->
+  ?limits:limits ->
+  ds:Depsurf.Dataset.t ->
+  pool:Ds_util.Par.pool ->
+  unit ->
+  t
 (** [images_dir]: serve surfaces (extracted leniently, on demand) for
     every [vmlinux-*] file in the directory, keyed by file name, in
     addition to the study matrix. The pool must have at least 2 workers
-    when used with {!start} (one runs the accept loop). *)
+    when used with {!start} (one runs the accept loop). [limits]
+    defaults to {!default_limits}. *)
 
 val metrics : t -> Ds_util.Metrics.t
 val dataset : t -> Depsurf.Dataset.t
+val limits : t -> limits
+
+val admission : t -> Admission.t
+(** The admission-control state shared by the accept loop and every
+    connection handler; its stats are the ["admission"] object of
+    [/v1/metrics]. *)
 
 val generation : t -> int
 (** The current index generation, part of every response-cache key. *)
@@ -116,6 +148,7 @@ val image_of_name : string -> (Version.t * Config.t) option
 
 val handle_request :
   ?headers:(string * string) list ->
+  ?pressure:Ds_util.Diag.severity ->
   t ->
   meth:string ->
   target:string ->
@@ -127,8 +160,13 @@ val handle_request :
     [ETag] and [x-depsurf-cache] on cacheable GETs). [?headers] is the
     request headers as [(lowercased-name, value)] pairs; a matching
     [if-none-match] turns a cacheable response into an empty-body 304.
-    Never raises — internal errors become a 500 envelope. Exposed for
-    unit tests and in-process callers. *)
+    [?pressure:Degraded] stamps the response with
+    [x-depsurf-pressure: degraded] (the socket layer passes the
+    admission pressure through). Handling runs under the configured
+    {!limits} deadline: expiry answers a [503] envelope with
+    [Retry-After] instead of running arbitrarily long. Never raises —
+    internal errors become a 500 envelope. Exposed for unit tests and
+    in-process callers. *)
 
 (** {2 Socket front-end} *)
 
@@ -148,9 +186,12 @@ val bound_addr : handle -> addr
 (** The actual address — with [Tcp (host, 0)] the kernel-chosen port. *)
 
 val stop : handle -> unit
-(** Stop accepting, wait for the accept loop to exit, close the
-    listener (and unlink a Unix socket path). In-flight connection
-    handlers drain through the pool. Idempotent. *)
+(** Graceful drain, in order: stop accepting (join the accept loop),
+    wait for every in-flight connection to finish — helping the pool's
+    queue along — up to [li_drain_deadline_s], then close the listener
+    last (and unlink a Unix socket path). Connections still running at
+    the deadline are abandoned and counted under the [drain.abandoned]
+    metric. The drain is recorded as a ["serve.drain"] span. Idempotent. *)
 
 (** A minimal blocking HTTP/1.1 client for the same protocol: the load
     generator, the CLI's [depsurf query], and the e2e tests. *)
@@ -158,6 +199,7 @@ module Client : sig
   val request :
     ?body:string ->
     ?headers:(string * string) list ->
+    ?timeout_s:float ->
     addr ->
     meth:string ->
     path:string ->
@@ -165,17 +207,49 @@ module Client : sig
   (** One request over a fresh connection; [(status, body)]. [body]
       present sends a [Content-Length] payload (used with [POST]);
       [headers] adds request headers (e.g.
-      [("If-None-Match", etag)] for a conditional GET). Raises
-      [Unix.Unix_error] on connection failures and [Failure] on
-      malformed responses. *)
+      [("If-None-Match", etag)] for a conditional GET). [timeout_s]
+      (default 30) bounds every socket send/receive and the
+      drain-to-EOF of an unsized response body (which is also capped at
+      16MiB). Raises [Unix.Unix_error] on connection failures and
+      [Failure] on malformed responses. *)
 
   val request_full :
     ?body:string ->
     ?headers:(string * string) list ->
+    ?timeout_s:float ->
     addr ->
     meth:string ->
     path:string ->
     int * (string * string) list * string
   (** Like {!request} but also returns the response headers as
       [(lowercased-name, value)] pairs. *)
+
+  val request_retry :
+    ?headers:(string * string) list ->
+    ?timeout_s:float ->
+    ?retries:int ->
+    ?base_ms:float ->
+    ?cap_ms:float ->
+    ?seed:int64 ->
+    addr ->
+    meth:string ->
+    path:string ->
+    int * (string * string) list * string
+  (** {!request_full} with capped exponential backoff (base 50ms,
+      cap 2s, deterministic jitter from [seed]) on connection errors
+      and on [503] responses — honouring a server [Retry-After] up to
+      the cap. Only [GET]s are retried; any other method fails or
+      returns its first answer as-is, since a non-idempotent request
+      may already have been applied. At most [retries] (default 3)
+      re-attempts. *)
+
+  val backoff_delay :
+    prng:Ds_util.Prng.t ->
+    base_ms:float ->
+    cap_ms:float ->
+    retry_after:float option ->
+    int ->
+    float
+  (** The delay (seconds) before re-attempt [n] (0-based): jittered
+      [min cap (max retry_after (base * 2^n))]. Exposed for tests. *)
 end

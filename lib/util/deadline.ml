@@ -1,0 +1,56 @@
+(* A cooperative deadline carried in domain-local storage. The serving
+   layer arms one per request; compute code calls [check] at loop
+   boundaries; [Par.submit] captures the submitter's ambient deadline
+   and re-installs it around the task body, so a request's budget
+   follows its work across the pool. *)
+
+type ctx = { dl_at : float; dl_label : string }
+
+exception Expired of string * float
+
+let () =
+  Printexc.register_printer (function
+    | Expired (label, over) ->
+        Some (Printf.sprintf "Deadline.Expired(%s, %.3fs over)" label over)
+    | _ -> None)
+
+(* one mutable slot per domain; nesting saves/restores around the scope *)
+let key : ctx option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+type ambient = ctx option
+
+let capture () = !(Domain.DLS.get key)
+
+let with_ambient amb f =
+  let slot = Domain.DLS.get key in
+  let saved = !slot in
+  slot := amb;
+  Fun.protect ~finally:(fun () -> slot := saved) f
+
+let with_deadline ?(label = "deadline") at f =
+  (* nested deadlines tighten, never loosen: the effective deadline is
+     the innermost minimum *)
+  let eff =
+    match capture () with
+    | Some outer when outer.dl_at <= at -> Some outer
+    | _ -> Some { dl_at = at; dl_label = label }
+  in
+  with_ambient eff f
+
+let with_timeout ?label seconds f =
+  with_deadline ?label (Unix.gettimeofday () +. seconds) f
+
+let remaining () =
+  match capture () with
+  | None -> infinity
+  | Some c -> c.dl_at -. Unix.gettimeofday ()
+
+let armed () = capture () <> None
+let expired () = remaining () < 0.
+
+let check () =
+  match capture () with
+  | None -> ()
+  | Some c ->
+      let over = Unix.gettimeofday () -. c.dl_at in
+      if over > 0. then raise (Expired (c.dl_label, over))

@@ -1,0 +1,45 @@
+(** Cooperative per-task deadlines, carried in domain-local storage.
+
+    A server arms a deadline around a request handler with
+    {!with_timeout}; long-running compute calls {!check} at its loop
+    boundaries and is cut short with {!Expired} the moment the budget
+    is gone — the worker is released instead of burning to completion
+    for a caller that has already been answered.
+
+    {!Par.submit} captures the submitting domain's ambient deadline and
+    re-installs it around the task body on whichever worker runs it, so
+    a request's budget follows its fan-out across the pool. Deadlines
+    nest by tightening: an inner {!with_timeout} can only shorten the
+    effective deadline, never extend the outer one. *)
+
+exception Expired of string * float
+(** [(label, seconds_over)]: raised by {!check} once the innermost
+    deadline has passed. *)
+
+val with_deadline : ?label:string -> float -> (unit -> 'a) -> 'a
+(** [with_deadline at f] runs [f] with an absolute deadline (epoch
+    seconds, as {!Unix.gettimeofday}). Restores the previous ambient
+    deadline on exit, also on exception. *)
+
+val with_timeout : ?label:string -> float -> (unit -> 'a) -> 'a
+(** [with_timeout seconds f]: {!with_deadline} at [now + seconds]. *)
+
+val check : unit -> unit
+(** Raise {!Expired} when the ambient deadline has passed; no-op when
+    none is armed or time remains. Cheap enough for inner loops (one
+    DLS read + one [gettimeofday]). *)
+
+val remaining : unit -> float
+(** Seconds until the ambient deadline; [infinity] when none armed. *)
+
+val armed : unit -> bool
+val expired : unit -> bool
+
+(**/**)
+
+type ambient
+(** Opaque captured deadline state, for context propagation across
+    domain handoffs (used by {!Par.submit}). *)
+
+val capture : unit -> ambient
+val with_ambient : ambient -> (unit -> 'a) -> 'a

@@ -1,0 +1,15 @@
+(** Open file-descriptor accounting for leak assertions.
+
+    Linux-only by mechanism ([/proc/self/fd]); on hosts without procfs
+    every count is [-1] and {!no_growth} passes vacuously, so suites
+    using it degrade to a no-op instead of a false failure. *)
+
+val count : unit -> int
+(** Number of open descriptors (excluding the one used to read the
+    listing), or [-1] when [/proc/self/fd] is unavailable. *)
+
+val supported : unit -> bool
+
+val no_growth : ?slack:int -> before:int -> after:int -> unit -> bool
+(** [after <= before + slack] (default slack 0), or either count is
+    unknown. *)

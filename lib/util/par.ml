@@ -157,12 +157,18 @@ let create ?jobs () =
 let submit p f =
   let fut = { f_mutex = Mutex.create (); f_cond = Condition.create (); f_state = Pending; f_pool = p } in
   let wrap = (Atomic.get task_context) () in
+  (* the submitter's cooperative deadline travels with the task: a
+     request's compute budget keeps applying on whichever worker runs
+     the fan-out (see Deadline) *)
+  let dl = Deadline.capture () in
   Mutex.lock p.p_mutex;
   if p.p_down then begin
     Mutex.unlock p.p_mutex;
     invalid_arg "Par.submit: pool is shut down"
   end;
-  Queue.push (Task (fut, fun () -> wrap.ctx_wrap f)) p.p_queue;
+  Queue.push
+    (Task (fut, fun () -> Deadline.with_ambient dl (fun () -> wrap.ctx_wrap f)))
+    p.p_queue;
   Condition.signal p.p_pending;
   Mutex.unlock p.p_mutex;
   fut

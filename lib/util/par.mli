@@ -37,7 +37,10 @@ val create : ?jobs:int -> unit -> pool
 val jobs : pool -> int
 
 val submit : pool -> (unit -> 'a) -> 'a future
-(** Enqueue a task. Raises [Invalid_argument] after {!shutdown}. *)
+(** Enqueue a task. Raises [Invalid_argument] after {!shutdown}. The
+    submitting domain's ambient {!Deadline} (if armed) is captured and
+    re-installed around the task body on the executing worker, so a
+    cooperative request budget follows its fan-out across the pool. *)
 
 type task_wrap = { ctx_wrap : 'a. (unit -> 'a) -> 'a }
 (** A polymorphic wrapper run around a task's body on the worker that

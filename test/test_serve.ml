@@ -635,6 +635,290 @@ let test_trace_inline_query () =
   | Some (Json.List (_ :: _)) -> ()
   | _ -> Alcotest.fail "?trace=1 must append the request's spans"
 
+(* ---- overload, deadlines, drain ------------------------------------- *)
+
+module Admission = Ds_serve.Admission
+module Trace = Ds_trace.Trace
+
+let mk_limits ?(max_inflight = 64) ?(read_s = 10.) ?(handle_s = 30.) () =
+  {
+    (Serve.default_limits ()) with
+    Serve.li_max_inflight = max_inflight;
+    li_read_timeout_s = read_s;
+    li_handle_deadline_s = handle_s;
+  }
+
+let with_limited_server limits f =
+  Par.run ~jobs:4 (fun pool ->
+      f (Serve.create ~limits ~ds:(Lazy.force ds) ~pool ()) pool)
+
+let span_recorded name attr =
+  List.exists
+    (fun sp -> sp.Trace.sp_name = name && List.mem attr sp.Trace.sp_attrs)
+    (Trace.recent ~limit:500 ())
+
+let test_admission_lattice () =
+  let c = Admission.classify ~limit:8 in
+  Alcotest.(check bool) "empty queue clean" true (c 0 = None);
+  Alcotest.(check bool) "under half clean" true (c 3 = None);
+  Alcotest.(check bool) "half is warning" true (c 4 = Some Diag.Warning);
+  Alcotest.(check bool) "3/4 is degraded" true (c 6 = Some Diag.Degraded);
+  Alcotest.(check bool) "at limit still admitted" true (c 8 = Some Diag.Degraded);
+  Alcotest.(check bool) "over limit fatal" true (c 9 = Some Diag.Fatal);
+  let a = Admission.create ~limit:2 () in
+  (match Admission.admit a with
+  | Admission.Admit _ -> ()
+  | Admission.Shed _ -> Alcotest.fail "first connection shed");
+  (match Admission.admit a with
+  | Admission.Admit _ -> ()
+  | Admission.Shed _ -> Alcotest.fail "second connection shed");
+  (match Admission.admit a with
+  | Admission.Shed ra -> Alcotest.(check bool) "retry-after >= 1" true (ra >= 1)
+  | Admission.Admit _ -> Alcotest.fail "third connection must shed");
+  Alcotest.(check int) "shed counted" 1 (Admission.shed_total a);
+  Admission.release a ~service_s:0.01;
+  (match Admission.admit a with
+  | Admission.Admit _ -> ()
+  | Admission.Shed _ -> Alcotest.fail "freed slot must admit");
+  Alcotest.(check int) "inflight tracks" 2 (Admission.inflight a);
+  Alcotest.(check int) "peak tracks" 2 (Admission.peak a)
+
+(* stampede past the limit: the overflow is shed inline with a 503 and
+   a Retry-After while admitted connections still get answered *)
+let test_shed_under_overload () =
+  with_limited_server (mk_limits ~max_inflight:2 ~read_s:1.0 ()) @@ fun t _ ->
+  let path = temp_sock () in
+  let h = Serve.start t (Serve.Unix_sock path) in
+  Fun.protect
+    ~finally:(fun () -> Serve.stop h)
+    (fun () ->
+      (* idle connections: each admitted one parks in the read until its
+         timeout, holding its slot, so the later ones must shed *)
+      let conns =
+        List.init 6 (fun _ ->
+            let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            Unix.connect fd (Unix.ADDR_UNIX path);
+            fd)
+      in
+      let read_all fd =
+        let buf = Buffer.create 1024 in
+        let chunk = Bytes.create 1024 in
+        (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.
+         with Unix.Unix_error _ | Invalid_argument _ -> ());
+        let rec go () =
+          match Unix.read fd chunk 0 1024 with
+          | 0 -> ()
+          | n ->
+              Buffer.add_subbytes buf chunk 0 n;
+              go ()
+          | exception Unix.Unix_error _ -> ()
+        in
+        go ();
+        Buffer.contents buf
+      in
+      let responses = List.map read_all conns in
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) conns;
+      let statuses =
+        List.map (fun r -> try Scanf.sscanf r "HTTP/1.1 %d" Fun.id with _ -> -1) responses
+      in
+      let sheds = List.filter (fun s -> s = 503) statuses in
+      Alcotest.(check bool)
+        ("at least 3 shed: " ^ String.concat "," (List.map string_of_int statuses))
+        true
+        (List.length sheds >= 3);
+      (* every 503 carries Retry-After and a JSON envelope *)
+      List.iter2
+        (fun st r ->
+          if st = 503 then begin
+            (match Ds_util.Strutil.find_sub r ~sub:"Retry-After: " with
+            | Some _ -> ()
+            | None -> Alcotest.fail ("503 without Retry-After: " ^ r));
+            match Ds_util.Strutil.find_sub r ~sub:"\r\n\r\n" with
+            | Some i -> (
+                let body = String.sub r (i + 4) (String.length r - i - 4) in
+                match Json.member "error" (Api.data (Json.of_string body)) with
+                | Some (Json.String _) -> ()
+                | _ -> Alcotest.fail "503 body lacks data.error")
+            | None -> Alcotest.fail "503 without body"
+          end)
+        statuses responses;
+      let m = Serve.metrics t in
+      Alcotest.(check bool) "shed metric" true (Metrics.counter m "overload.shed" >= 3);
+      Alcotest.(check bool) "admitted metric" true
+        (Metrics.counter m "admission.admitted" >= 2);
+      Alcotest.(check bool) "serve.shed span pinned" true
+        (span_recorded "serve.shed" ("pressure", "fatal"));
+      (* the admission stats are part of /v1/metrics *)
+      let _, _, body = get t "/v1/metrics" in
+      match Json.member "admission" (payload body) with
+      | Some (Json.Obj fields) ->
+          Alcotest.(check bool) "admission.limit in metrics" true
+            (List.assoc_opt "limit" fields = Some (Json.Int 2));
+          Alcotest.(check bool) "admission.shed in metrics" true
+            (match List.assoc_opt "shed" fields with
+            | Some (Json.Int n) -> n >= 3
+            | _ -> false)
+      | _ -> Alcotest.fail "/v1/metrics lacks the admission object")
+
+let test_degraded_pressure_header () =
+  with_server @@ fun t _ ->
+  let _, _, hdrs, _ =
+    Serve.handle_request t ~pressure:Diag.Degraded ~meth:"GET" ~target:"/healthz" ~body:""
+  in
+  Alcotest.(check (option string))
+    "pressure header" (Some "degraded")
+    (List.assoc_opt "x-depsurf-pressure" hdrs);
+  let _, _, hdrs, _ = get4 t "/healthz" in
+  Alcotest.(check (option string)) "no header without pressure" None
+    (List.assoc_opt "x-depsurf-pressure" hdrs)
+
+(* an expired handling deadline answers 503 + Retry-After, not a hang
+   and not a 500 *)
+let test_deadline_expiry_503 () =
+  with_limited_server (mk_limits ~handle_s:1e-9 ()) @@ fun t _ ->
+  let st, _, hdrs, body = get4 t "/surface/4.4-x86-generic" in
+  Alcotest.(check int) "deadline -> 503" 503 st;
+  Alcotest.(check bool) "retry-after present" true
+    (List.assoc_opt "Retry-After" hdrs <> None);
+  (match Json.member "error" (Api.data (Json.of_string body)) with
+  | Some (Json.String m) ->
+      Alcotest.(check bool) ("mentions deadline: " ^ m) true
+        (Ds_util.Strutil.find_sub m ~sub:"deadline" <> None)
+  | _ -> Alcotest.fail "503 body lacks data.error");
+  Alcotest.(check bool) "deadline metric" true
+    (Metrics.counter (Serve.metrics t) "overload.deadline" >= 1);
+  Alcotest.(check bool) "serve.timeout span pinned" true
+    (span_recorded "serve.timeout" ("pressure", "deadline"))
+
+(* a stalled client is evicted with a 408 envelope instead of pinning a
+   pool worker forever *)
+let test_stalled_client_408 () =
+  with_limited_server (mk_limits ~read_s:0.3 ()) @@ fun t _ ->
+  let path = temp_sock () in
+  let h = Serve.start t (Serve.Unix_sock path) in
+  Fun.protect
+    ~finally:(fun () -> Serve.stop h)
+    (fun () ->
+      let r = raw_roundtrip (Serve.Unix_sock path) "GET /heal" in
+      let st = try Scanf.sscanf r "HTTP/1.1 %d" Fun.id with _ -> -1 in
+      Alcotest.(check int) "stall -> 408" 408 st;
+      Alcotest.(check bool) "timeout metric" true
+        (Metrics.counter (Serve.metrics t) "errors.timeout" >= 1);
+      Alcotest.(check bool) "serve.timeout read span" true
+        (span_recorded "serve.timeout" ("pressure", "read")))
+
+let test_oversized_requests_rejected () =
+  with_server @@ fun t _ ->
+  let path = temp_sock () in
+  let h = Serve.start t (Serve.Unix_sock path) in
+  Fun.protect
+    ~finally:(fun () -> Serve.stop h)
+    (fun () ->
+      let status r = try Scanf.sscanf r "HTTP/1.1 %d" Fun.id with _ -> -1 in
+      let big =
+        "GET /healthz HTTP/1.1\r\nX-Pad: " ^ String.make 70_000 'a' ^ "\r\n\r\n"
+      in
+      Alcotest.(check int) "oversized head -> 431" 431
+        (status (raw_roundtrip (Serve.Unix_sock path) big));
+      let fat =
+        "POST /v1/mismatch HTTP/1.1\r\nContent-Length: 20000000\r\n\r\nxx"
+      in
+      Alcotest.(check int) "oversized body -> 413" 413
+        (status (raw_roundtrip (Serve.Unix_sock path) fat)))
+
+(* graceful drain: stop must wait for an in-flight connection to finish
+   and answer it — zero dropped — before the listener closes *)
+let test_drain_zero_dropped () =
+  with_limited_server (mk_limits ~read_s:5.0 ()) @@ fun t _ ->
+  let path = temp_sock () in
+  let h = Serve.start t (Serve.Unix_sock path) in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Serve.stop h)
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      let part = "GET /healthz HTTP/1.1\r\nHost: x" in
+      ignore (Unix.write_substring fd part 0 (String.length part));
+      (* wait until the connection holds its admission slot *)
+      let deadline = Unix.gettimeofday () +. 5. in
+      while Admission.inflight (Serve.admission t) < 1 && Unix.gettimeofday () < deadline do
+        Unix.sleepf 0.005
+      done;
+      Alcotest.(check int) "connection admitted" 1 (Admission.inflight (Serve.admission t));
+      let stopper = Domain.spawn (fun () -> Serve.stop h) in
+      (* the drain is now waiting on us; finish the request *)
+      Unix.sleepf 0.1;
+      ignore (Unix.write_substring fd "\r\n\r\n" 0 4);
+      let buf = Buffer.create 256 in
+      let chunk = Bytes.create 256 in
+      let rec go () =
+        match Unix.read fd chunk 0 256 with
+        | 0 -> ()
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            go ()
+        | exception Unix.Unix_error _ -> ()
+      in
+      go ();
+      Domain.join stopper;
+      let r = Buffer.contents buf in
+      let st = try Scanf.sscanf r "HTTP/1.1 %d" Fun.id with _ -> -1 in
+      Alcotest.(check int) "in-flight request answered during drain" 200 st;
+      Alcotest.(check int) "nothing abandoned" 0
+        (Metrics.counter (Serve.metrics t) "drain.abandoned");
+      Alcotest.(check bool) "serve.drain span pinned" true
+        (span_recorded "serve.drain" ("pressure", "drain"));
+      Alcotest.(check bool) "socket unlinked" false (Sys.file_exists path))
+
+let test_client_retry () =
+  (* pure backoff shape first: exponential, capped, jittered in
+     [c/2, c], honouring Retry-After *)
+  let prng = Ds_util.Prng.create 7L in
+  let d0 = Serve.Client.backoff_delay ~prng ~base_ms:50. ~cap_ms:2000. ~retry_after:None 0 in
+  Alcotest.(check bool) "attempt 0 in [25,50]ms" true (d0 >= 0.025 && d0 <= 0.05);
+  let d10 = Serve.Client.backoff_delay ~prng ~base_ms:50. ~cap_ms:2000. ~retry_after:None 10 in
+  Alcotest.(check bool) "attempt 10 capped at 2s" true (d10 >= 1.0 && d10 <= 2.0);
+  let dra =
+    Serve.Client.backoff_delay ~prng ~base_ms:50. ~cap_ms:2000. ~retry_after:(Some 10.) 0
+  in
+  Alcotest.(check bool) "retry-after honoured up to cap" true (dra >= 1.0 && dra <= 2.0);
+  (* a live server answers through request_retry unchanged *)
+  with_server @@ fun t _ ->
+  let path = temp_sock () in
+  let h = Serve.start t (Serve.Unix_sock path) in
+  Fun.protect
+    ~finally:(fun () -> Serve.stop h)
+    (fun () ->
+      let st, _, _ =
+        Serve.Client.request_retry (Serve.Unix_sock path) ~meth:"GET" ~path:"/healthz"
+      in
+      Alcotest.(check int) "request_retry 200" 200 st);
+  (* a dead address exhausts its retries and re-raises *)
+  let t0 = Unix.gettimeofday () in
+  (match
+     Serve.Client.request_retry ~retries:2 ~base_ms:5. ~cap_ms:20.
+       (Serve.Unix_sock (path ^ ".gone"))
+       ~meth:"GET" ~path:"/healthz"
+   with
+  | _ -> Alcotest.fail "request to a dead socket must raise"
+  | exception Unix.Unix_error _ -> ());
+  Alcotest.(check bool) "retries actually slept" true (Unix.gettimeofday () -. t0 >= 0.005)
+
+let test_deadline_propagates_through_pool () =
+  Par.run ~jobs:4 (fun pool ->
+      Ds_util.Deadline.with_timeout ~label:"test" 60. (fun () ->
+          let fut =
+            Par.submit pool (fun () ->
+                Alcotest.(check bool) "armed on worker" true (Ds_util.Deadline.armed ());
+                Ds_util.Deadline.remaining ())
+          in
+          let rem = Par.await fut in
+          Alcotest.(check bool) "remaining sane" true (rem > 0. && rem <= 60.));
+      let fut = Par.submit pool (fun () -> Ds_util.Deadline.armed ()) in
+      Alcotest.(check bool) "unarmed outside" false (Par.await fut))
+
 let suites =
   [
     ( "serve",
@@ -665,5 +949,19 @@ let suites =
         Alcotest.test_case "1-worker pool rejected" `Quick test_start_requires_two_workers;
         Alcotest.test_case "degraded file image answers 200" `Quick
           test_degraded_file_image_is_200;
+      ] );
+    ( "serve.overload",
+      [
+        Alcotest.test_case "admission lattice" `Quick test_admission_lattice;
+        Alcotest.test_case "shed under overload" `Quick test_shed_under_overload;
+        Alcotest.test_case "degraded pressure header" `Quick test_degraded_pressure_header;
+        Alcotest.test_case "deadline expiry 503" `Quick test_deadline_expiry_503;
+        Alcotest.test_case "stalled client 408" `Quick test_stalled_client_408;
+        Alcotest.test_case "oversized requests rejected" `Quick
+          test_oversized_requests_rejected;
+        Alcotest.test_case "drain zero dropped" `Quick test_drain_zero_dropped;
+        Alcotest.test_case "client retry" `Quick test_client_retry;
+        Alcotest.test_case "deadline through pool" `Quick
+          test_deadline_propagates_through_pool;
       ] );
   ]

@@ -376,6 +376,144 @@ let qcheck_prng_int =
       let v = Prng.int (Prng.create seed) bound in
       v >= 0 && v < bound)
 
+(* ---- diag severity lattice (properties) ----------------------------- *)
+
+let severity_gen = QCheck.oneofl [ Diag.Warning; Diag.Degraded; Diag.Fatal ]
+let diag_of sev = Diag.v sev ~component:"test" "msg"
+
+let qcheck_severity_total_order =
+  QCheck.Test.make ~name:"severity_compare is a total order" ~count:500
+    QCheck.(triple severity_gen severity_gen severity_gen)
+    (fun (a, b, c) ->
+      let ( <= ) x y = Diag.severity_compare x y <= 0 in
+      (* antisymmetry + transitivity on the 3-point chain *)
+      (if a <= b && b <= a then a = b else true)
+      && (if a <= b && b <= c then a <= c else true)
+      && (a <= b || b <= a))
+
+let qcheck_worst_is_join =
+  (* [worst] is the lattice join: order- and duplication-insensitive,
+     and every element is <= the join *)
+  QCheck.Test.make ~name:"worst is the lattice join" ~count:500
+    QCheck.(list_of_size (QCheck.Gen.int_bound 8) severity_gen)
+    (fun sevs ->
+      let diags = List.map diag_of sevs in
+      match (Diag.worst diags, sevs) with
+      | None, [] -> true
+      | None, _ :: _ | Some _, [] -> false
+      | Some w, _ :: _ ->
+          List.mem w sevs
+          && List.for_all (fun s -> Diag.severity_compare s w <= 0) sevs
+          && Diag.worst (List.rev diags) = Some w
+          && Diag.worst (diags @ diags) = Some w)
+
+let qcheck_admission_classify_monotone =
+  (* pressure never decreases as the queue deepens, and the lattice
+     bands sit exactly at their documented thresholds *)
+  QCheck.Test.make ~name:"admission classify is monotone in depth" ~count:500
+    QCheck.(pair (int_range 1 64) (int_range 0 128))
+    (fun (limit, depth) ->
+      let sev_rank = function
+        | None -> 0
+        | Some Diag.Warning -> 1
+        | Some Diag.Degraded -> 2
+        | Some Diag.Fatal -> 3
+      in
+      let c d = Ds_serve.Admission.classify ~limit d in
+      sev_rank (c depth) <= sev_rank (c (depth + 1))
+      && c 0 = None
+      && c (limit + 1) = Some Diag.Fatal
+      && (limit < 2 || c (limit / 2 - 1) <> Some Diag.Fatal))
+
+let qcheck_demote_never_raises_severity =
+  QCheck.Test.make ~name:"demote lowers Fatal, never raises severity" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_bound 6) severity_gen)
+    (fun sevs ->
+      let diags = List.map diag_of sevs in
+      let demoted = List.map Diag.demote diags in
+      List.for_all (fun d -> d.Diag.d_severity <> Diag.Fatal) demoted
+      && List.for_all2
+           (fun d d' -> Diag.severity_compare d'.Diag.d_severity d.Diag.d_severity <= 0)
+           diags demoted
+      (* demotion can only lower the join, and exit codes follow:
+         demoted runs never exit 1 *)
+      && (match (Diag.worst diags, Diag.worst demoted) with
+         | None, None -> true
+         | Some w, Some w' -> Diag.severity_compare w' w <= 0
+         | _ -> false)
+      && Diag.exit_code demoted <> 1)
+
+(* ---- metrics under domain contention -------------------------------- *)
+
+let test_metrics_domain_hammer () =
+  let m = Metrics.create () in
+  let domains = 4 and per_domain = 5_000 in
+  let workers =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              Metrics.incr m "hammer.total";
+              if i mod 2 = 0 then Metrics.incr ~by:3 m "hammer.even";
+              Metrics.incr m (Printf.sprintf "hammer.domain.%d" d);
+              if i mod 50 = 0 then Metrics.record m "hammer.lat" 0.001
+            done))
+  in
+  List.iter Domain.join workers;
+  Alcotest.(check int) "total exact under contention" (domains * per_domain)
+    (Metrics.counter m "hammer.total");
+  Alcotest.(check int) "by:3 exact" (domains * per_domain / 2 * 3)
+    (Metrics.counter m "hammer.even");
+  for d = 0 to domains - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "domain %d private counter" d)
+      per_domain
+      (Metrics.counter m (Printf.sprintf "hammer.domain.%d" d))
+  done;
+  match Metrics.latency m "hammer.lat" with
+  | Some l -> Alcotest.(check int) "latency count exact" (domains * (per_domain / 50)) l.l_count
+  | None -> Alcotest.fail "histogram lost under contention"
+
+(* ---- cooperative deadlines ------------------------------------------ *)
+
+let test_deadline_basics () =
+  Alcotest.(check bool) "unarmed by default" false (Deadline.armed ());
+  Alcotest.(check bool) "unarmed remaining infinite" true
+    (Deadline.remaining () = infinity);
+  Deadline.check ();  (* no-op unarmed *)
+  let r =
+    Deadline.with_timeout ~label:"outer" 60. (fun () ->
+        Alcotest.(check bool) "armed inside" true (Deadline.armed ());
+        let rem = Deadline.remaining () in
+        Alcotest.(check bool) "remaining near budget" true (rem > 50. && rem <= 60.);
+        Deadline.check ();
+        17)
+  in
+  Alcotest.(check int) "value through" 17 r;
+  Alcotest.(check bool) "disarmed after" false (Deadline.armed ())
+
+let test_deadline_expiry_raises () =
+  match
+    Deadline.with_timeout ~label:"tiny" 1e-9 (fun () ->
+        Unix.sleepf 0.002;
+        Deadline.check ();
+        `Unreachable)
+  with
+  | `Unreachable -> Alcotest.fail "expired deadline must raise"
+  | exception Deadline.Expired (label, over) ->
+      Alcotest.(check string) "label carried" "tiny" label;
+      Alcotest.(check bool) "over-by positive" true (over > 0.)
+
+let test_deadline_nesting_tightens () =
+  (* an inner with_timeout can only tighten: the outer (tighter) budget
+     wins over a looser inner request *)
+  Deadline.with_timeout ~label:"outer" 0.05 (fun () ->
+      Deadline.with_timeout ~label:"inner" 3600. (fun () ->
+          Alcotest.(check bool) "outer budget kept" true (Deadline.remaining () <= 0.05));
+      (* and a tighter inner applies, then unwinds back to the outer *)
+      Deadline.with_timeout ~label:"tight" 0.001 (fun () ->
+          Alcotest.(check bool) "tightened" true (Deadline.remaining () <= 0.001));
+      Alcotest.(check bool) "restored after inner" true (Deadline.remaining () > 0.001))
+
 let suites =
   [
     ( "util.prng",
@@ -426,5 +564,19 @@ let suites =
         Alcotest.test_case "quantile" `Quick test_quantile;
         Alcotest.test_case "reservoir" `Quick test_reservoir;
         Alcotest.test_case "metrics" `Quick test_metrics;
+        Alcotest.test_case "metrics domain hammer" `Quick test_metrics_domain_hammer;
+      ] );
+    ( "util.diag",
+      [
+        QCheck_alcotest.to_alcotest qcheck_severity_total_order;
+        QCheck_alcotest.to_alcotest qcheck_worst_is_join;
+        QCheck_alcotest.to_alcotest qcheck_admission_classify_monotone;
+        QCheck_alcotest.to_alcotest qcheck_demote_never_raises_severity;
+      ] );
+    ( "util.deadline",
+      [
+        Alcotest.test_case "basics" `Quick test_deadline_basics;
+        Alcotest.test_case "expiry raises" `Quick test_deadline_expiry_raises;
+        Alcotest.test_case "nesting tightens" `Quick test_deadline_nesting_tightens;
       ] );
   ]
