@@ -996,15 +996,19 @@ let send_reject t fd status msg =
   try send_response fd status ctype [] body
   with Unix.Unix_error _ -> Metrics.incr t.sv_metrics "errors.io"
 
-let handle_conn t ?pressure fd =
+let handle_conn t ?pressure ~admitted_at fd =
   let li = t.sv_limits in
+  (* the read deadline starts at worker pickup (the client is not
+     penalised for our queue), but the EWMA behind Retry-After measures
+     the full slot hold since admission — pool queue wait included, which
+     dominates exactly when the estimate matters *)
   let t0 = Unix.gettimeofday () in
   Fun.protect
     ~finally:(fun () ->
       (* the admission slot is given back on every path — including
          rejections, timeouts and handler exceptions — and the fd is
          closed exactly once *)
-      Admission.release t.sv_adm ~service_s:(Unix.gettimeofday () -. t0);
+      Admission.release t.sv_adm ~service_s:(Unix.gettimeofday () -. admitted_at);
       try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
       (* a stuck or byte-dribbling client must not pin a pool worker:
@@ -1075,6 +1079,7 @@ let place_conn t fd =
            with Unix.Unix_error _ -> ());
           try Unix.close fd with Unix.Unix_error _ -> ())
   | Admission.Admit (sev, transition) ->
+      let admitted_at = Unix.gettimeofday () in
       Metrics.incr t.sv_metrics "admission.admitted";
       (match sev with
       | Some Diag.Degraded -> Metrics.incr t.sv_metrics "overload.degraded"
@@ -1086,7 +1091,13 @@ let place_conn t fd =
               (match sev with Some s -> Diag.severity_to_string s | None -> "clear")
               (Admission.inflight t.sv_adm) (Admission.limit t.sv_adm));
       let pressure = match sev with Some Diag.Degraded -> Some Diag.Degraded | _ -> None in
-      ignore (Par.submit t.sv_pool (fun () -> handle_conn t ?pressure fd))
+      (try ignore (Par.submit t.sv_pool (fun () -> handle_conn t ?pressure ~admitted_at fd))
+       with Invalid_argument _ ->
+         (* pool shut down under us (stop race): give the slot back and
+            close the fd instead of leaking both and killing the accept
+            domain *)
+         Admission.release t.sv_adm ~service_s:(Unix.gettimeofday () -. admitted_at);
+         (try Unix.close fd with Unix.Unix_error _ -> ()))
 
 (* drain the listen backlog in one burst (the listener is non-blocking):
    admission sees the true pending depth instead of one connection per
@@ -1308,16 +1319,18 @@ module Client = struct
     | _ -> false
 
   let backoff_delay ~prng ~base_ms ~cap_ms ~retry_after attempt =
-    let exp = base_ms *. (2. ** float_of_int attempt) in
+    (* the cap bounds only our own exponential growth; a server-provided
+       Retry-After is an explicit ask and is honoured in full — clamping
+       it would send the herd back early during shedding *)
+    let exp = Float.min cap_ms (base_ms *. (2. ** float_of_int attempt)) in
     let chosen =
       match retry_after with
-      | Some ra_s -> Float.max (ra_s *. 1000.) exp  (* honour the server's ask *)
+      | Some ra_s -> Float.max (ra_s *. 1000.) exp
       | None -> exp
     in
-    let capped = Float.min cap_ms chosen in
     (* full jitter on the top half: [0.5c, 1.0c] spreads a thundering
        herd without ever retrying before half the intended delay *)
-    capped *. (0.5 +. Ds_util.Prng.float prng 0.5) /. 1000.
+    chosen *. (0.5 +. Ds_util.Prng.float prng 0.5) /. 1000.
 
   let request_retry ?(headers = []) ?timeout_s ?(retries = 3) ?(base_ms = 50.)
       ?(cap_ms = 2000.) ?(seed = 0L) addr ~meth ~path =

@@ -237,8 +237,9 @@ module Client : sig
     int * (string * string) list * string
   (** {!request_full} with capped exponential backoff (base 50ms,
       cap 2s, deterministic jitter from [seed]) on connection errors
-      and on [503] responses — honouring a server [Retry-After] up to
-      the cap. Only [GET]s are retried; any other method fails or
+      and on [503] responses — a server [Retry-After] is honoured in
+      full, above the cap if the server asks for longer. Only [GET]s
+      are retried; any other method fails or
       returns its first answer as-is, since a non-idempotent request
       may already have been applied. At most [retries] (default 3)
       re-attempts. *)
@@ -251,5 +252,6 @@ module Client : sig
     int ->
     float
   (** The delay (seconds) before re-attempt [n] (0-based): jittered
-      [min cap (max retry_after (base * 2^n))]. Exposed for tests. *)
+      [max retry_after (min cap (base * 2^n))] — the cap bounds the
+      exponential term only, never a server's ask. Exposed for tests. *)
 end

@@ -335,6 +335,15 @@ module Memo = struct
         | exception e ->
             let bt = Printexc.get_raw_backtrace () in
             fill cell (Broken (e, bt));
+            (* broadcast the failure to everyone already waiting on this
+               cell, but evict it so the next lookup retries: a transient
+               failure (an expired request deadline, an I/O hiccup) must
+               not poison the key until process restart *)
+            Mutex.lock t.m_mutex;
+            (match Hashtbl.find_opt t.m_tbl k with
+            | Some c when c == cell -> Hashtbl.remove t.m_tbl k
+            | _ -> ());
+            Mutex.unlock t.m_mutex;
             Printexc.raise_with_backtrace e bt)
 
   let find_opt t k =

@@ -109,9 +109,11 @@ module Memo : sig
 
   val find_or_compute : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
   (** Return the memoized value for the key, computing it with the
-      supplied thunk exactly once across all domains. If the computing
-      thunk raises, the same exception is re-raised for every waiter and
-      for all later lookups of that key. *)
+      supplied thunk at most once at a time across all domains. If the
+      computing thunk raises, the same exception is re-raised for every
+      waiter of that in-flight computation and the key is evicted, so
+      the next lookup retries — a transient failure (e.g. an expired
+      request deadline during the fill) never poisons the key. *)
 
   val find_opt : ('k, 'v) t -> 'k -> 'v option
   (** [Some v] only for keys whose computation already finished. *)

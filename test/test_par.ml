@@ -134,9 +134,30 @@ let test_memo_exception () =
         failwith "cannot")
   in
   Alcotest.check_raises "first lookup raises" (Failure "cannot") (fun () -> ignore (get ()));
-  Alcotest.check_raises "later lookups re-raise" (Failure "cannot") (fun () -> ignore (get ()));
-  Alcotest.(check int) "thunk ran once" 1 (Atomic.get attempts);
-  Alcotest.(check int) "no completed entry" 0 (Par.Memo.length memo)
+  Alcotest.check_raises "failed fill evicted: retry raises afresh" (Failure "cannot") (fun () ->
+      ignore (get ()));
+  Alcotest.(check int) "thunk re-ran after eviction" 2 (Atomic.get attempts);
+  Alcotest.(check int) "no completed entry" 0 (Par.Memo.length memo);
+  (* a later successful fill heals the key permanently *)
+  let v = Par.Memo.find_or_compute memo "broken" (fun () -> 7) in
+  Alcotest.(check int) "healed" 7 v;
+  Alcotest.(check int) "healed value cached" 7
+    (Par.Memo.find_or_compute memo "broken" (fun () -> 8));
+  Alcotest.(check int) "one completed entry" 1 (Par.Memo.length memo)
+
+let test_memo_deadline_not_poisoned () =
+  (* regression: an over-budget request that is first to compute a key
+     must not cache Deadline.Expired for every later full-budget caller *)
+  let memo = Par.Memo.create 4 in
+  let fill () =
+    Par.Memo.find_or_compute memo "hot" (fun () ->
+        Ds_util.Deadline.check ();
+        42)
+  in
+  (try Ds_util.Deadline.with_deadline (Unix.gettimeofday () -. 1.) (fun () -> ignore (fill ()))
+   with Ds_util.Deadline.Expired _ -> ());
+  Alcotest.(check int) "fresh caller recomputes after expiry" 42 (fill ());
+  Alcotest.(check (option int)) "key completed" (Some 42) (Par.Memo.find_opt memo "hot")
 
 let test_dataset_concurrent_surface () =
   let ds = Depsurf.Dataset.build ~seed:42L Calibration.test_scale in
@@ -218,6 +239,7 @@ let suites =
         Alcotest.test_case "shutdown" `Quick test_shutdown;
         Alcotest.test_case "memo exactly-once" `Quick test_memo_exactly_once;
         Alcotest.test_case "memo exception" `Quick test_memo_exception;
+        Alcotest.test_case "memo deadline not poisoned" `Quick test_memo_deadline_not_poisoned;
         Alcotest.test_case "dataset concurrent surface" `Quick test_dataset_concurrent_surface;
         Alcotest.test_case "cached diffs parallel equal" `Quick test_cached_diffs_parallel_equal;
         Alcotest.test_case "golden matrix jobs=1 vs 4" `Slow test_golden_matrix_jobs;
