@@ -66,7 +66,7 @@ let read_file path =
 let pr_number =
   match Option.bind (Sys.getenv_opt "DEPSURF_PR") int_of_string_opt with
   | Some n -> n
-  | None -> 8
+  | None -> 9
 
 let with_trajectory path ~metric fields =
   let open Json in
@@ -2042,6 +2042,126 @@ let graph_bench () =
        non-empty corpus blast radius: OK"
 
 (* ------------------------------------------------------------------ *)
+(* Verifier diagnostics: cold verify, warm decode-only re-verify, fuzz  *)
+(* survival                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Verify = Ds_verify.Verify
+
+let verify_bench () =
+  section "Verifier diagnostics: cold verify, warm re-verify, fuzz survival";
+  let failed = Atomic.make false in
+  let v = Version.v 5 4 and cfg = Config.x86_generic in
+  let obj =
+    snd (List.find (fun ((p : T7.profile), _) -> p.T7.pr_name = "biotop") (Lazy.force corpus))
+  in
+  let bytes = Ds_bpf.Obj.write obj in
+  let cold, t_cold = time (fun () -> Verify.of_dataset ds v cfg bytes) in
+  Printf.printf "  %s: %d program(s), %d rejected; cold verify %.1fms\n" cold.Verify.rp_obj
+    (List.length cold.Verify.rp_progs)
+    (List.length (Verify.findings cold))
+    (t_cold *. 1000.);
+  if Verify.findings cold <> [] then begin
+    print_endline "  clean-object gate: FAILED (corpus object rejected)";
+    Atomic.set failed true
+  end;
+  (* warm re-verify the way a second process would come in: a fresh
+     store handle on the same directory, a raw Store.find + decode, and
+     build_count must not move — decode-only, zero recomputes *)
+  let image = Ds_bpf.Vmlinux.tag (Dataset.vmlinux ds v cfg) in
+  let key = Verify.store_key ds ~image ~digest:(Verify.digest bytes) in
+  let builds0 = Atomic.get Verify.build_count in
+  let store_w = Store.open_ ~dir:cache_dir () in
+  let r = Stats.Reservoir.create () in
+  let warm = ref None in
+  for _ = 1 to 200 do
+    let w, dt =
+      time (fun () -> Store.find store_w ~ns:Verify.ns ~key ~decode:Verify.decode)
+    in
+    warm := w;
+    Stats.Reservoir.add r (dt *. 1000.)
+  done;
+  let warm_recomputes = Atomic.get Verify.build_count - builds0 in
+  let warm_p95 = Stats.Reservoir.quantile r 0.95 in
+  (match !warm with
+  | Some w when w = cold && warm_recomputes = 0 ->
+      Printf.printf
+        "  warm re-verify: p50 %.3fms, p95 %.3fms over 200 decode-only loads, 0 recomputes: OK\n"
+        (Stats.Reservoir.quantile r 0.5) warm_p95
+  | Some _ ->
+      Printf.printf
+        "  warm re-verify gate: FAILED (stored report differs from the cold verify, or %d \
+         recomputes)\n"
+        warm_recomputes;
+      Atomic.set failed true
+  | None ->
+      print_endline "  warm re-verify gate: FAILED (no stored report under the verify namespace)";
+      Atomic.set failed true);
+  if warm_p95 >= 10. then begin
+    Printf.printf "  warm re-verify gate: FAILED (p95 %.3fms, budget 10ms)\n" warm_p95;
+    Atomic.set failed true
+  end;
+  (* fuzz survival: instruction-stream mutants per program plus
+     whole-object mutants, all through the diagnostic pipeline — zero
+     crashes, every rejection classified to a taxonomy rule *)
+  let campaign =
+    List.fold_left
+      (fun acc prog -> Verify.merge acc (Verify.campaign_insns ~count:200 ~seed:42L prog))
+      (Verify.campaign_obj ~count:200 ~seed:42L bytes)
+      obj.Ds_bpf.Obj.o_progs
+  in
+  let crashed = List.length campaign.Verify.cp_crashed in
+  let survival =
+    100. *. float_of_int (campaign.Verify.cp_total - crashed)
+    /. float_of_int campaign.Verify.cp_total
+  in
+  Printf.printf
+    "  fuzz: %d mutants -> %d accepted, %d rejected across %d rule(s); survival %.1f%%, \
+     unclassified %d\n"
+    campaign.Verify.cp_total campaign.Verify.cp_accepted campaign.Verify.cp_rejected
+    (List.length campaign.Verify.cp_rules)
+    survival campaign.Verify.cp_unclassified;
+  if crashed > 0 || campaign.Verify.cp_unclassified > 0 then begin
+    Printf.printf
+      "  fuzz gate: FAILED (%d crash(es), %d unclassified rejection(s); survival and \
+       classification must be 100%%)\n"
+      crashed campaign.Verify.cp_unclassified;
+    Atomic.set failed true
+  end
+  else print_endline "  fuzz gate: 100% survival, every rejection classified: OK";
+  let open Json in
+  let j =
+    with_trajectory "BENCH_VERIFY.json" ~metric:warm_p95
+      [
+        ("schema", String "depsurf-bench-verify/1");
+        ("scale", String (if scale = Calibration.bench_scale then "bench" else "test"));
+        ("image", String image);
+        ("object", String cold.Verify.rp_obj);
+        ("programs", Int (List.length cold.Verify.rp_progs));
+        ("cold_verify_ms", Float (t_cold *. 1000.));
+        ("warm_p95_ms", Float warm_p95);
+        ("warm_recomputes", Int warm_recomputes);
+        ("fuzz_mutants", Int campaign.Verify.cp_total);
+        ("fuzz_rejected", Int campaign.Verify.cp_rejected);
+        ("fuzz_crashed", Int crashed);
+        ("fuzz_unclassified", Int campaign.Verify.cp_unclassified);
+        ("fuzz_survival_pct", Float survival);
+        ( "fuzz_rules",
+          Obj (List.map (fun (id, n) -> (id, Int n)) campaign.Verify.cp_rules) );
+      ]
+  in
+  write_json_file "BENCH_VERIFY.json" j;
+  print_endline "(written to BENCH_VERIFY.json)";
+  if Atomic.get failed then begin
+    print_endline "verify check: FAILED";
+    exit 1
+  end
+  else
+    print_endline
+      "verify check: clean corpus object accepted, warm re-verify decode-only with 0 \
+       recomputes, 100% fuzz survival, every rejection classified: OK"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -2075,5 +2195,6 @@ let () =
   store_timing ();
   serve_bench ();
   graph_bench ();
+  verify_bench ();
   Par.shutdown pool;
   Printf.printf "\ntotal: %.1fs\n" (now () -. t0)

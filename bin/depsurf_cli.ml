@@ -449,7 +449,14 @@ let mkobj_cmd =
   let out_arg =
     Arg.(value & opt (some string) None & info [ "out"; "o" ] ~doc:"Output path (default TOOL.bpf.o).")
   in
-  let run seed scale cache tool out =
+  let sabotage_arg =
+    Arg.(value & flag
+         & info [ "sabotage" ]
+             ~doc:"Rewrite the first program's instructions into a known verifier-rejected \
+                   sequence (a scalar dereference), for exercising the doctor//v1/verify \
+                   rejection paths.")
+  in
+  let run seed scale cache tool out sabotage =
     with_store cache @@ fun store ->
     let ds = mk_ds seed scale store in
     match Ds_corpus.Table7.find tool with
@@ -461,13 +468,36 @@ let mkobj_cmd =
         let _, obj =
           List.find (fun ((p : Ds_corpus.Table7.profile), _) -> p.pr_name = tool) built
         in
+        let obj =
+          if not sabotage then obj
+          else
+            match obj.Ds_bpf.Obj.o_progs with
+            | [] -> obj
+            | p :: rest ->
+                (* r1 (the ctx pointer) overwritten with a scalar, then
+                   dereferenced: rejected as unsafe-load-scalar *)
+                let bad =
+                  Ds_bpf.Insn.
+                    [
+                      Mov_imm { dst = 1; imm = 7 };
+                      Ldx { dst = 2; src = 1; off = 0; size = DW };
+                      Mov_imm { dst = 0; imm = 0 };
+                      Exit;
+                    ]
+                in
+                {
+                  obj with
+                  Ds_bpf.Obj.o_progs =
+                    { p with Ds_bpf.Obj.p_insns = bad; p_relocs = [] } :: rest;
+                }
+        in
         let path = Option.value ~default:(tool ^ ".bpf.o") out in
         write_file path (Ds_bpf.Obj.write obj);
         Printf.printf "wrote %s\n" path
   in
   Cmd.v
     (Cmd.info "mkobj" ~doc:"Write a corpus tool's eBPF object file to disk.")
-    Term.(const run $ seed_arg $ scale_arg $ cache_arg $ tool_arg $ out_arg)
+    Term.(const run $ seed_arg $ scale_arg $ cache_arg $ tool_arg $ out_arg $ sabotage_arg)
 
 let analyze_cmd =
   let obj_arg =
@@ -564,10 +594,18 @@ let analyze_cmd =
 
 (* ---- doctor -------------------------------------------------------- *)
 
+(* an ELF relocatable with e_machine = EM_BPF (247): a BPF object, not a
+   vmlinux image — doctor routes it to the verifier-diagnostics path *)
+let is_bpf_object data =
+  String.length data >= 20
+  && String.sub data 0 4 = "\x7fELF"
+  && Char.code data.[18] lor (Char.code data.[19] lsl 8) = 247
+
 let doctor_cmd =
   let image_arg =
     Arg.(required & pos 0 (some string) None
-         & info [] ~docv:"IMAGE" ~doc:"Path to a vmlinux image (or any candidate file).")
+         & info [] ~docv:"FILE"
+             ~doc:"Path to a vmlinux image or a BPF object (or any candidate file).")
   in
   let strict_arg =
     Arg.(value & flag
@@ -575,7 +613,13 @@ let doctor_cmd =
              ~doc:"Strict mode: report only the first malformed byte, as the parsers did \
                    historically.")
   in
-  let run strict path =
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"BPF objects only: print the structured rejection report as the public \
+                   envelope, byte-identical to POST /v1/verify.")
+  in
+  let run seed scale cache strict json kernel arch flavor path =
     let module Diag = Ds_util.Diag in
     let data =
       try read_file path
@@ -583,7 +627,21 @@ let doctor_cmd =
         prerr_endline m;
         exit 1
     in
-    if strict then begin
+    if is_bpf_object data then begin
+      (* per-program verifier-rejection sections, name-checked against
+         the study kernel picked by --kernel/--arch/--flavor *)
+      with_store cache @@ fun store ->
+      let ds = mk_ds seed scale store in
+      let rep = Ds_verify.Verify.of_dataset ds kernel Config.{ arch; flavor } data in
+      if json then print_string (Ds_util.Json.to_string (Ds_verify.Verify.envelope rep) ^ "\n")
+      else print_string (Ds_verify.Verify.render rep);
+      exit (Diag.exit_code rep.Ds_verify.Verify.rp_diags)
+    end
+    else if json then begin
+      prerr_endline "depsurf: --json applies to BPF objects only";
+      exit 1
+    end
+    else if strict then begin
       match Ds_util.Diag.ok (Surface.extract data) with
       | s ->
           Printf.printf "%s: clean\n" (Surface.tag s);
@@ -617,9 +675,13 @@ let doctor_cmd =
   in
   Cmd.v
     (Cmd.info "doctor"
-       ~doc:"Diagnose a kernel image's ingestion health. Exit 0 when clean, 1 when nothing \
-             usable could be extracted, 2 when the surface is degraded.")
-    Term.(const run $ strict_arg $ image_arg)
+       ~doc:"Diagnose a file's ingestion health: a vmlinux image's surface extraction, or a \
+             BPF object's per-program verifier rejections (structured taxonomy reports; \
+             --json prints the /v1/verify envelope). Exit 0 when clean, 1 when nothing \
+             usable could be extracted, 2 when degraded (including rejected programs).")
+    Term.(
+      const run $ seed_arg $ scale_arg $ cache_arg $ strict_arg $ json_arg $ version_arg
+      $ arch_arg $ flavor_arg $ image_arg)
 
 (* ---- mutate -------------------------------------------------------- *)
 
@@ -628,7 +690,19 @@ let mutate_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"IN" ~doc:"Input file.")
   in
   let out_arg =
-    Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT" ~doc:"Output file.")
+    Arg.(value & pos 1 (some string) None
+         & info [] ~docv:"OUT" ~doc:"Output file (required unless --survey).")
+  in
+  let survey_arg =
+    Arg.(value & flag
+         & info [ "survey" ]
+             ~doc:"Run the full seeded mutation corpus against IN and tally the outcomes \
+                   instead of writing one mutant. BPF objects tally verifier rejections by \
+                   taxonomy rule id; other inputs tally lenient-extraction health. Exits 1 \
+                   on any crash or unclassified rejection.")
+  in
+  let count_arg =
+    Arg.(value & opt int 500 & info [ "count" ] ~doc:"Minimum mutants per survey corpus.")
   in
   let trunc_arg =
     Arg.(value & opt (some int) None & info [ "trunc" ] ~doc:"Keep only the first N bytes.")
@@ -640,12 +714,56 @@ let mutate_cmd =
     Arg.(value & opt (some string) None
          & info [ "zero" ] ~docv:"POS:LEN" ~doc:"Zero LEN bytes starting at POS.")
   in
-  let run inp outp trunc flip zero =
+  let survey seed count data =
+    if is_bpf_object data then begin
+      let module V = Ds_verify.Verify in
+      (* whole-object mutants through the lenient loader+verifier, plus
+         per-program instruction-stream mutants through the verifier;
+         one tally, aggregated by taxonomy rule id *)
+      let obj = Ds_util.Diag.ok (Ds_bpf.Obj.read ~mode:`Lenient data) in
+      let c =
+        List.fold_left
+          (fun acc p -> V.merge acc (V.campaign_insns ~count ~seed p))
+          (V.campaign_obj ~count ~seed data)
+          obj.Ds_bpf.Obj.o_progs
+      in
+      Printf.printf "mutants %d: accepted %d, rejected %d, crashed %d, unclassified %d\n"
+        c.V.cp_total c.V.cp_accepted c.V.cp_rejected
+        (List.length c.V.cp_crashed) c.V.cp_unclassified;
+      List.iter (fun (id, n) -> Printf.printf "  %-28s %d\n" id n) c.V.cp_rules;
+      List.iter
+        (fun (name, e) -> Printf.printf "  CRASH %s: %s\n" name e)
+        c.V.cp_crashed;
+      exit (if c.V.cp_crashed <> [] || c.V.cp_unclassified > 0 then 1 else 0)
+    end
+    else begin
+      let muts = Ds_faultgen.Faultgen.mutations ~count ~seed data in
+      let health bytes =
+        Surface.health (Ds_util.Diag.ok (Surface.extract ~mode:`Lenient bytes))
+      in
+      let t, crashed = Ds_faultgen.Faultgen.survey health muts in
+      Printf.printf "mutants %d: clean %d, degraded %d, fatal %d, crashed %d\n"
+        t.Ds_faultgen.Faultgen.n_total t.Ds_faultgen.Faultgen.n_clean
+        t.Ds_faultgen.Faultgen.n_degraded t.Ds_faultgen.Faultgen.n_fatal
+        t.Ds_faultgen.Faultgen.n_crashed;
+      List.iter (fun (name, e) -> Printf.printf "  CRASH %s: %s\n" name e) crashed;
+      exit (if t.Ds_faultgen.Faultgen.n_crashed > 0 then 1 else 0)
+    end
+  in
+  let run seed inp outp trunc flip zero do_survey count =
     let data =
       try read_file inp
       with Sys_error m ->
         prerr_endline m;
         exit 1
+    in
+    if do_survey then survey seed count data;
+    let outp =
+      match outp with
+      | Some p -> p
+      | None ->
+          prerr_endline "depsurf: OUT is required unless --survey is given";
+          exit 1
     in
     let data =
       match trunc with Some n -> Ds_faultgen.Faultgen.truncate data ~len:n | None -> data
@@ -674,8 +792,12 @@ let mutate_cmd =
   in
   Cmd.v
     (Cmd.info "mutate"
-       ~doc:"Deterministically corrupt a file (for exercising doctor and the lenient parsers).")
-    Term.(const run $ in_arg $ out_arg $ trunc_arg $ flip_arg $ zero_arg)
+       ~doc:"Deterministically corrupt a file (for exercising doctor and the lenient \
+             parsers), or --survey a whole seeded mutation corpus and tally outcomes — for \
+             BPF objects, by verifier-rejection taxonomy rule.")
+    Term.(
+      const run $ seed_arg $ in_arg $ out_arg $ trunc_arg $ flip_arg $ zero_arg $ survey_arg
+      $ count_arg)
 
 (* ---- corpus -------------------------------------------------------- *)
 
@@ -787,7 +909,7 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Run the dependency-surface query service (GET /v1/healthz, /v1/images, \
              /v1/surface/IMAGE, /v1/diff/A/B, /v1/metrics, /v1/trace/recent; POST \
-             /v1/mismatch; unprefixed legacy aliases).")
+             /v1/mismatch, /v1/verify; unprefixed legacy aliases).")
     Term.(
       const run $ seed_arg $ scale_arg $ cache_arg $ jobs_arg $ socket_arg $ port_arg
       $ host_arg $ images_dir_arg)

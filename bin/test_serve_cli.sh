@@ -110,6 +110,49 @@ Q '/v1/surface/5.4-x86-generic?trace=1' | grep -q '"trace"'
 Q --data "$TMP/biotop.bpf.o" /mismatch > "$TMP/report.srv"
 cmp "$TMP/report.cli" "$TMP/report.srv"
 
+# /v1/verify is byte-identical to `doctor --json` for the same object,
+# and the clean corpus object is accepted (doctor exits 0)
+"$CLI" doctor --json "$TMP/biotop.bpf.o" > "$TMP/verify.cli"
+Q --data "$TMP/biotop.bpf.o" /v1/verify > "$TMP/verify.srv"
+cmp "$TMP/verify.cli" "$TMP/verify.srv"
+grep -q '"health": "clean"' "$TMP/verify.srv"
+
+# a rejected program is data on both surfaces: the server answers 200
+# with "health": "degraded" and the named taxonomy rule, the doctor
+# exits 2 (degraded) with the same envelope
+"$CLI" mkobj --tool biotop --sabotage --out "$TMP/bad.bpf.o" > /dev/null
+Q --data "$TMP/bad.bpf.o" /v1/verify > "$TMP/verify.bad.srv"
+grep -q '"health": "degraded"' "$TMP/verify.bad.srv"
+grep -q '"unsafe-load-scalar"' "$TMP/verify.bad.srv"
+set +e
+"$CLI" doctor --json "$TMP/bad.bpf.o" > "$TMP/verify.bad.cli"
+rc=$?
+set -e
+[ "$rc" -eq 2 ]
+cmp "$TMP/verify.bad.cli" "$TMP/verify.bad.srv"
+
+# a corrupted object still answers structured JSON, never a crash
+size=$(wc -c < "$TMP/biotop.bpf.o")
+"$CLI" mutate "$TMP/biotop.bpf.o" "$TMP/mut.bpf.o" --zero $((size / 2)):64
+Q --data "$TMP/mut.bpf.o" /v1/verify > "$TMP/verify.mut.srv"
+grep -q '"health"' "$TMP/verify.mut.srv"
+grep -q '"programs"' "$TMP/verify.mut.srv"
+
+# repeat POSTs of the same digest hit the response cache, and the ETag
+# supports conditional POSTs (304 with an empty body)
+Q -i --data "$TMP/biotop.bpf.o" /v1/verify > "$TMP/verify1.http"
+Q -i --data "$TMP/biotop.bpf.o" /v1/verify > "$TMP/verify2.http"
+grep -q '^x-depsurf-cache: hit$' "$TMP/verify2.http"
+VETAG=$(sed -n 's/^etag: \(.*\)$/\1/p' "$TMP/verify2.http" | head -n 1)
+[ -n "$VETAG" ]
+Q -i -H "If-None-Match: $VETAG" --data "$TMP/biotop.bpf.o" /v1/verify > "$TMP/verify304.http"
+grep -q '^HTTP/1.1 304$' "$TMP/verify304.http"
+[ -z "$(sed -e '1,/^$/d' "$TMP/verify304.http")" ]
+# a different object is a different digest: no false sharing
+Q -i --data "$TMP/bad.bpf.o" /v1/verify > "$TMP/verify.other.http"
+sed -e '1,/^$/d' "$TMP/verify.other.http" > "$TMP/verify.other.body"
+cmp "$TMP/verify.other.body" "$TMP/verify.bad.srv"
+
 # response-byte cache: the first hit renders (miss), every later hit is
 # served from the cache — and the cached bytes are identical to the
 # rendered ones

@@ -20,6 +20,8 @@ let insn_to_string = function
   | Insn.Kfunc_call idx -> Printf.sprintf "call kfunc[%d]" idx
   | Insn.Exit -> "exit"
 
+let line i insn = Printf.sprintf "%4d: %s" i (insn_to_string insn)
+
 let reloc_note obj (r : Obj.core_reloc) =
   let kind = match r.Obj.cr_kind with
     | Obj.Field_byte_offset -> "byte_off"
@@ -38,7 +40,7 @@ let prog ?obj (p : Obj.prog) =
   Buffer.add_string buf (Printf.sprintf "%s: ; SEC(\"%s\")\n" p.Obj.p_name p.Obj.p_section);
   List.iteri
     (fun i insn ->
-      Buffer.add_string buf (Printf.sprintf "%4d: %-40s" i (insn_to_string insn));
+      Buffer.add_string buf (Printf.sprintf "%-46s" (line i insn));
       (match List.find_opt (fun r -> r.Obj.cr_insn = i) p.Obj.p_relocs with
       | Some r -> Buffer.add_string buf (reloc_note obj r)
       | None -> ());

@@ -4,6 +4,10 @@
 val insn_to_string : Insn.t -> string
 (** One instruction, e.g. ["r7 = *(u64 *)(r6 + 112)"]. *)
 
+val line : int -> Insn.t -> string
+(** One numbered listing line, ["%4d: <insn>"] — the unit {!prog} and
+    the {!Ds_verify} disassembly windows are built from. *)
+
 val prog : ?obj:Obj.t -> Obj.prog -> string
 (** Numbered listing; when [obj] is given, instructions carrying CO-RE
     relocations are annotated with the resolved struct::field path. *)

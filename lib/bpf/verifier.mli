@@ -10,18 +10,66 @@
     - helpers must exist; calls clobber R1–R5 and define R0 (kfunc calls
       are accepted here and name-checked against kernel BTF at load);
     - only forward jumps (no loops), bounded program size; branches fork
-      the abstract state and {e both} paths must verify;
+      the abstract state and {e both} paths must verify — under a total
+      forked-state budget ({!max_states});
     - every path ends with [Exit] and R0 initialized there. *)
 
 type reg_state = Uninit | Scalar | Ctx | Stack
+
+(** The closed set of rules a program can violate — one constructor per
+    distinct rejection the checker can produce, so downstream diagnostics
+    ({!Ds_verify}) classify structurally instead of parsing message
+    strings. *)
+type rule =
+  | Empty_program
+  | Size_cap  (** more than {!max_insns} instructions *)
+  | No_exit  (** fell off the end of the stream *)
+  | Invalid_register  (** register outside r0–r10 *)
+  | Uninit_register  (** read of a never-written register *)
+  | Write_r10  (** write to the read-only frame pointer *)
+  | Ctx_oob  (** ctx load beyond {!ctx_limit} *)
+  | Stack_oob_read  (** stack load outside [[-512, 0)] *)
+  | Stack_oob_write  (** stack store outside [[-512, 0)] *)
+  | Scalar_deref  (** load through a scalar (unchecked pointer) *)
+  | Ctx_write  (** store into the read-only context *)
+  | Bad_store_target  (** store through a scalar/uninit register *)
+  | Unknown_helper  (** call to a helper id not in the registry *)
+  | Backward_jump  (** back-edge: loops are not allowed *)
+  | Jump_oob  (** forward jump past the end of the program *)
+  | Uninit_r0_exit  (** exit with R0 never written *)
+  | Path_explosion  (** forked-state budget {!max_states} exhausted *)
 
 type error = {
   ve_insn : int;  (** offending instruction index, -1 for whole-program *)
   ve_msg : string;
 }
 
+(** A structured rejection: everything {!error} carries, plus the
+    violated {!rule}, the abstract register file at the failure point
+    (indices 0–10; [None] for whole-program rejections that never
+    started executing), and the forked-path trail — the [(branch pc,
+    taken?)] decisions, oldest first, of the exploration path that
+    reached the failure. *)
+type rejection = {
+  rj_rule : rule;
+  rj_insn : int;  (** same convention as [ve_insn] *)
+  rj_msg : string;  (** byte-identical to the historical [ve_msg] *)
+  rj_regs : reg_state array option;
+  rj_trail : (int * bool) list;
+}
+
 val max_insns : int
+
 val ctx_limit : int
 (** Maximum context offset a load may use. *)
 
+val max_states : int
+(** Total forked (pc, register-file) states one verification may
+    explore; exceeding it rejects with {!Path_explosion}. *)
+
+val verify_full : Insn.t list -> (unit, rejection) result
+(** The structured entrypoint. Never raises. *)
+
 val verify : Insn.t list -> (unit, error) result
+(** {!verify_full} with the rejection flattened to the historical
+    [{ve_insn; ve_msg}] pair (messages unchanged). *)

@@ -176,6 +176,82 @@ let mutations ?(count = 500) ~seed data =
     base @ random_flips
   end
 
+(* ----------------------- bytecode mutations -------------------------- *)
+
+(* Seeded corpus over an encoded eBPF instruction stream (8-byte insns:
+   opcode, reg nibbles, u16 offset, u32 imm). The structured mutants aim
+   every field the verifier judges — opcode, registers, jump offsets,
+   immediates — plus stream-shape faults: insn-boundary and ragged
+   truncations, splices (rotations at an insn boundary) and single-insn
+   duplications. Deterministic in (seed, input), like [mutations]. *)
+let bytecode_mutations ?(count = 500) ~seed data =
+  let n = String.length data in
+  let n_insns = n / 8 in
+  let name fmt = Printf.ksprintf Fun.id fmt in
+  let per_insn =
+    List.concat_map
+      (fun i ->
+        let base = 8 * i in
+        [
+          (* opcode: one flipped bit, and a byte no decoder knows *)
+          { mut_name = name "op-flip-%d" i; mut_bytes = flip_bit data ~byte:base ~bit:(i mod 8) };
+          { mut_name = name "op-bogus-%d" i; mut_bytes = set_bytes data ~pos:base [ 0xff ] };
+          (* registers: bump the dst nibble (low) and the src nibble (high) *)
+          { mut_name = name "reg-dst-%d" i; mut_bytes = flip_bit data ~byte:(base + 1) ~bit:3 };
+          { mut_name = name "reg-src-%d" i; mut_bytes = flip_bit data ~byte:(base + 1) ~bit:7 };
+          (* offset: far positive (ctx/jump out of range) and negative *)
+          { mut_name = name "off-huge-%d" i; mut_bytes = set_u16 data ~pos:(base + 2) 0x7ff0 };
+          { mut_name = name "off-neg-%d" i; mut_bytes = set_u16 data ~pos:(base + 2) 0xfff8 };
+          (* immediate: unknown helper ids, giant constants *)
+          { mut_name = name "imm-huge-%d" i; mut_bytes = set_u32 data ~pos:(base + 4) 0x7ffffff0 };
+        ])
+      (List.init (min n_insns 64) Fun.id)
+  in
+  let truncations =
+    List.filter_map
+      (fun i -> if i = n_insns then None
+        else Some { mut_name = name "trunc-insn-%d" i; mut_bytes = truncate data ~len:(8 * i) })
+      (List.init (min n_insns 64) Fun.id)
+    @ (if n >= 8 then [ { mut_name = "trunc-ragged"; mut_bytes = truncate data ~len:(n - 3) } ]
+       else [])
+  in
+  let splices =
+    if n_insns < 2 then []
+    else
+      List.concat_map
+        (fun k ->
+          let cut = 8 * k in
+          [
+            (* rotation: the tail spliced in front of the head *)
+            {
+              mut_name = name "splice-%d" k;
+              mut_bytes = String.sub data cut (n - cut) ^ String.sub data 0 cut;
+            };
+            (* duplication: insn k-1 emitted twice *)
+            {
+              mut_name = name "dup-%d" (k - 1);
+              mut_bytes = String.sub data 0 cut ^ String.sub data (cut - 8) (n - cut + 8);
+            };
+          ])
+        (List.init (min (n_insns - 1) 16) (fun k -> k + 1))
+  in
+  let base = per_insn @ truncations @ splices in
+  let missing = count - List.length base in
+  if missing <= 0 || n = 0 then base
+  else begin
+    let rng = Prng.of_string (Printf.sprintf "faultgen-bc-%Ld-%d" seed n) in
+    let random_flips =
+      List.init missing (fun k ->
+          let byte = Prng.int rng n in
+          let bit = Prng.int rng 8 in
+          {
+            mut_name = Printf.sprintf "bc-flip-%d-%d.%d" k byte bit;
+            mut_bytes = flip_bit data ~byte ~bit;
+          })
+    in
+    base @ random_flips
+  end
+
 (* ---------------------- outcome classification ---------------------- *)
 
 type outcome = Clean | Degraded | Fatal | Crashed of string

@@ -38,6 +38,15 @@ val mutations : ?count:int -> seed:int64 -> string -> mutation list
     with seeded random bit flips until at least [count] (default 500)
     mutations exist. Deterministic in [(seed, input)]. *)
 
+val bytecode_mutations : ?count:int -> seed:int64 -> string -> mutation list
+(** Like {!mutations} but aimed at an encoded eBPF instruction stream
+    (8-byte insns): per-instruction opcode/register/offset/immediate
+    flips, truncations at (and between) instruction boundaries, splices
+    and duplications, topped up with seeded random bit flips until at
+    least [count] (default 500). Deterministic in [(seed, input)].
+    Callers feed the mutants to {!Ds_verify.Verify.verify_stream} and
+    assert every rejection classifies. *)
+
 (** {2 Outcome classification} *)
 
 type outcome = Clean | Degraded | Fatal | Crashed of string

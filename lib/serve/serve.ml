@@ -85,6 +85,7 @@ type t = {
   ix_surface : (string, string) Par.Memo.t;  (** image name -> response body *)
   ix_diff : (string, string) Par.Memo.t;  (** "a|b" -> response body *)
   ix_mismatch : (string, string) Par.Memo.t;  (** obj digest -> report *)
+  ix_verify : (string, string) Par.Memo.t;  (** "image|digest" -> response body *)
   ix_file_surface : (string, Surface.t) Par.Memo.t;  (** lenient extracts *)
   ix_graph : (string, string) Par.Memo.t;  (** graph query key -> response body *)
   ix_blast : (string, string) Par.Memo.t;  (** "sym|release" -> response body *)
@@ -123,6 +124,7 @@ let create ?images_dir ?limits ~ds ~pool () =
     ix_surface = Par.Memo.create 64;
     ix_diff = Par.Memo.create 64;
     ix_mismatch = Par.Memo.create 16;
+    ix_verify = Par.Memo.create 16;
     ix_file_surface = Par.Memo.create 16;
     ix_graph = Par.Memo.create 64;
     ix_blast = Par.Memo.create 16;
@@ -230,6 +232,7 @@ let healthz t =
                ("surfaces", Json.Int (Par.Memo.length t.ix_surface));
                ("diffs", Json.Int (Par.Memo.length t.ix_diff));
                ("mismatches", Json.Int (Par.Memo.length t.ix_mismatch));
+               ("verifies", Json.Int (Par.Memo.length t.ix_verify));
                ("graphs", Json.Int (Par.Memo.length t.ix_graph));
                ("blasts", Json.Int (Par.Memo.length t.ix_blast));
              ] );
@@ -457,6 +460,33 @@ let mismatch_endpoint t query body =
         in
         (200, "text/plain", report)
 
+(* Structured verifier-rejection diagnostics for one object against one
+   study image. The body is the exact [Verify.envelope] bytes [depsurf
+   doctor --json] prints, so the CLI and the service stay comparable
+   with [cmp]. Unlike /mismatch, a rejected object still answers 200 —
+   the rejection is the payload; only a request-shaped problem (empty
+   body, unknown image) is an HTTP error. *)
+let verify_endpoint t query body =
+  if String.length body = 0 then error_json 400 "empty body: POST the BPF object bytes"
+  else begin
+    let image = Option.value ~default:"5.4-x86-generic" (List.assoc_opt "image" query) in
+    match image_of_name image with
+    | None -> error_json 400 ("unknown study image: " ^ image)
+    | Some (v, cfg) ->
+        let digest = Ds_verify.Verify.digest body in
+        let rbody =
+          indexed t t.ix_verify "verify" (image ^ "|" ^ digest) (fun () ->
+              Metrics.incr t.sv_metrics "compute.verify";
+              Trace.span ~name:"verify.obj"
+                ~attrs:[ ("image", image); ("digest", digest) ]
+                (fun () ->
+                  json_body
+                    (Ds_verify.Verify.envelope
+                       (Ds_verify.Verify.of_dataset t.sv_ds v cfg body))))
+        in
+        (200, "application/json", rbody)
+  end
+
 let metrics_endpoint t =
   let store_json =
     match Dataset.store t.sv_ds with
@@ -487,6 +517,7 @@ let metrics_endpoint t =
                 ("surfaces", Json.Int (Par.Memo.length t.ix_surface));
                 ("diffs", Json.Int (Par.Memo.length t.ix_diff));
                 ("mismatches", Json.Int (Par.Memo.length t.ix_mismatch));
+                ("verifies", Json.Int (Par.Memo.length t.ix_verify));
                 ("graphs", Json.Int (Par.Memo.length t.ix_graph));
                 ("blasts", Json.Int (Par.Memo.length t.ix_blast));
               ] )
@@ -598,6 +629,7 @@ let dispatch t ~meth ~segs ~query ~body =
   | "GET", [ "graph"; "rdeps"; sym ] -> graph_query_endpoint t `Rdeps sym query
   | "GET", [ "graph"; "blast"; sym ] -> graph_blast_endpoint t sym query
   | "POST", [ "mismatch" ] -> mismatch_endpoint t query body
+  | "POST", [ "verify" ] -> verify_endpoint t query body
   | "GET", [ "metrics" ] -> metrics_endpoint t
   | "GET", [ "trace"; "recent" ] -> trace_endpoint query
   | ( _,
@@ -606,10 +638,11 @@ let dispatch t ~meth ~segs ~query ~body =
       | [ "metrics" ] | [ "trace"; "recent" ] ) ) ->
       error_json 405 ("method not allowed: " ^ meth)
   | _, [ "mismatch" ] -> error_json 405 "POST the BPF object bytes to /mismatch"
+  | _, [ "verify" ] -> error_json 405 "POST the BPF object bytes to /verify"
   | _ ->
       error_json 404
         "no such endpoint (healthz, images, surface, diff, graph/deps, graph/rdeps, \
-         graph/blast, mismatch, metrics, trace/recent; all also under /v1)"
+         graph/blast, mismatch, verify, metrics, trace/recent; all also under /v1)"
 
 let route_label segs =
   match segs with
@@ -619,23 +652,27 @@ let route_label segs =
   | "diff" :: _ -> "/diff"
   | "graph" :: _ -> "/graph"
   | [ "mismatch" ] -> "/mismatch"
+  | [ "verify" ] -> "/verify"
   | [ "metrics" ] -> "/metrics"
   | "trace" :: _ -> "/trace"
   | _ -> "/other"
 
-(* Only responses that are pure functions of (segs, query, generation)
-   are cacheable: healthz/metrics/trace bodies report live counters, and
-   ?trace=1 inlines the current request's own spans. *)
+(* Only responses that are pure functions of (segs, query, body,
+   generation) are cacheable: healthz/metrics/trace bodies report live
+   counters, and ?trace=1 inlines the current request's own spans.
+   POST /verify qualifies — its answer is a function of the posted
+   bytes, which enter the key as a content digest. *)
 let cacheable_route ~meth ~segs ~query =
-  meth = "GET"
-  && (match segs with
-     | [ "images" ] | [ "surface"; _ ] | [ "diff"; _; _ ]
-     | [ "graph"; ("deps" | "rdeps" | "blast"); _ ] ->
-         true
-     | _ -> false)
+  (match (meth, segs) with
+  | ( "GET",
+      ( [ "images" ] | [ "surface"; _ ] | [ "diff"; _; _ ]
+      | [ "graph"; ("deps" | "rdeps" | "blast"); _ ] ) ) ->
+      true
+  | "POST", [ "verify" ] -> true
+  | _ -> false)
   && List.assoc_opt "trace" query <> Some "1"
 
-let cache_key t ~segs ~query =
+let cache_key t ~segs ~query ~body =
   let b = Buffer.create 64 in
   Buffer.add_string b (string_of_int (Atomic.get t.sv_generation));
   List.iter
@@ -651,6 +688,12 @@ let cache_key t ~segs ~query =
       Buffer.add_char b '=';
       Buffer.add_string b v)
     (List.sort compare query);
+  (* request bodies (POST /verify) participate by digest: repeat posts
+     of the same object bytes share one cached response *)
+  if String.length body > 0 then begin
+    Buffer.add_char b '#';
+    Buffer.add_string b (Ds_verify.Verify.digest body)
+  end;
   Buffer.contents b
 
 let etag_of_body body =
@@ -698,7 +741,7 @@ let handle_request ?(headers = []) ?pressure t ~meth ~target ~body =
                the response cache — cheap throttled poll, see
                [revalidate_store] *)
             revalidate_throttled t;
-            let key = cache_key t ~segs ~query in
+            let key = cache_key t ~segs ~query ~body in
             match Respcache.find t.sv_cache key with
             | Some e ->
                 Metrics.incr t.sv_metrics "cache.hit";

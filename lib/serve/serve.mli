@@ -60,6 +60,15 @@
       byte-identical to [depsurf report] for the same object;
       [?suggest=1] appends stable-probe suggestions from the
       {!Depsurf.Compat} registry;
+    - [POST /v1/verify] — body: raw BPF object bytes; response: the
+      structured verifier-rejection report ({!Ds_verify.Verify}) in the
+      envelope, byte-identical to [depsurf doctor --json] for the same
+      object; [?image=5.4-x86-generic] (the default) picks the study
+      kernel whose BTF kfunc names are checked against. A rejected
+      program is data, not an error: the response is 200 with
+      [health: "degraded"]. Responses are cached (and [ETag]-tagged) by
+      (image, body digest), so repeat posts of the same object hit the
+      response cache and [If-None-Match] answers 304;
     - [GET /v1/metrics] — counters, latency histograms, store counters,
       compile count and index sizes;
     - [GET /v1/trace/recent] — most recently finished tracing spans

@@ -1,0 +1,469 @@
+open Ds_util
+open Ds_bpf
+module W = Bytesio.Writer
+module R = Bytesio.Reader
+module P = Depsurf.Codec.Prim
+
+let component = "verify"
+
+type finding = {
+  fd_rule : Taxonomy.t;
+  fd_insn : int;
+  fd_msg : string;
+  fd_window : (int * string) list;
+  fd_regs : (string * string) list;
+  fd_trail : (int * bool) list;
+  fd_suggestion : string;
+}
+
+type prog_report = {
+  pr_name : string;
+  pr_section : string;
+  pr_insns : int;
+  pr_finding : finding option;
+}
+
+type report = {
+  rp_obj : string;
+  rp_kernel : string option;
+  rp_digest : string;
+  rp_progs : prog_report list;
+  rp_diags : Diag.t list;
+}
+
+let digest bytes =
+  let h = Ds_store.Store.Hash.create () in
+  Ds_store.Store.Hash.string h bytes;
+  Ds_store.Store.Hash.hex h
+
+(* ---------------------------- findings ------------------------------- *)
+
+let window insns at =
+  if at < 0 then []
+  else begin
+    let arr = Array.of_list insns in
+    let n = Array.length arr in
+    if n = 0 then []
+    else begin
+      let lo = max 0 (at - 2) and hi = min (n - 1) (at + 2) in
+      List.init (hi - lo + 1) (fun k ->
+          let i = lo + k in
+          (i, Disasm.line i arr.(i)))
+    end
+  end
+
+let reg_state_str = function
+  | Verifier.Uninit -> "uninit"
+  | Verifier.Scalar -> "scalar"
+  | Verifier.Ctx -> "ctx"
+  | Verifier.Stack -> "stack"
+
+let regs_render = function
+  | None -> []
+  | Some a ->
+      List.init (Array.length a) (fun i -> (Printf.sprintf "r%d" i, reg_state_str a.(i)))
+
+let mk_finding ?section ?detail ~rule ~insns ~insn ~msg ~regs ~trail () =
+  {
+    fd_rule = rule;
+    fd_insn = insn;
+    fd_msg = msg;
+    fd_window = window insns insn;
+    fd_regs = regs;
+    fd_trail = trail;
+    fd_suggestion = Taxonomy.suggestion ?section ?detail rule;
+  }
+
+let of_rejection ?section insns (r : Verifier.rejection) =
+  let rule = Taxonomy.of_verifier r.Verifier.rj_rule in
+  (* name the missing helper in the suggestion when we can see the call;
+     [rj_insn] is [-1] on whole-program rejections ([nth_opt] raises on
+     negative indices, it does not answer [None]) *)
+  let detail =
+    if r.Verifier.rj_insn < 0 then None
+    else
+      match (rule, List.nth_opt insns r.Verifier.rj_insn) with
+      | Taxonomy.Unknown_helper, Some (Insn.Call id) -> Some (string_of_int id)
+      | _ -> None
+  in
+  mk_finding ?section ?detail ~rule ~insns ~insn:r.Verifier.rj_insn
+    ~msg:r.Verifier.rj_msg
+    ~regs:(regs_render r.Verifier.rj_regs)
+    ~trail:r.Verifier.rj_trail ()
+
+let verify_insns ?section insns =
+  match Verifier.verify_full insns with
+  | Ok () -> None
+  | Error r -> Some (of_rejection ?section insns r)
+
+let verify_stream ?section bytes =
+  match Insn.decode bytes with
+  | exception Insn.Bad_insn msg ->
+      Some
+        (mk_finding ?section ~rule:Taxonomy.Malformed_insn ~insns:[] ~insn:(-1)
+           ~msg ~regs:[] ~trail:[] ())
+  | insns -> verify_insns ?section insns
+
+(* The loader's structural kfunc checks (Loader.resolve_kfuncs), redone
+   here so a report can carry them: the index must hit the object's
+   kfunc table and — when a target kernel is supplied — the name must
+   exist in its BTF. Messages match the loader's byte-for-byte. *)
+let kfunc_finding ?kernel (p : Obj.prog) =
+  let section = p.Obj.p_section in
+  let rec scan i = function
+    | [] -> None
+    | Insn.Kfunc_call idx :: rest -> (
+        match List.nth_opt p.Obj.p_kfuncs idx with
+        | None ->
+            Some
+              (mk_finding ~section ~rule:Taxonomy.Kfunc_index_oob
+                 ~insns:p.Obj.p_insns ~insn:i ~msg:"kfunc index out of range"
+                 ~regs:[] ~trail:[] ())
+        | Some name -> (
+            match kernel with
+            | Some vm when Ds_btf.Btf.find_func vm.Vmlinux.v_btf name = None ->
+                Some
+                  (mk_finding ~section ~detail:name ~rule:Taxonomy.Unknown_kfunc
+                     ~insns:p.Obj.p_insns ~insn:i
+                     ~msg:
+                       (Printf.sprintf "calling kernel function %s is not allowed"
+                          name)
+                     ~regs:[] ~trail:[] ())
+            | _ -> scan (i + 1) rest))
+    | _ :: rest -> scan (i + 1) rest
+  in
+  scan 0 p.Obj.p_insns
+
+let verify_prog ?kernel (p : Obj.prog) =
+  match verify_insns ~section:p.Obj.p_section p.Obj.p_insns with
+  | Some f -> Some f
+  | None -> kfunc_finding ?kernel p
+
+let build_count = Atomic.make 0
+
+let verify_bytes ?kernel bytes =
+  Atomic.incr build_count;
+  let outcome = Obj.read ~mode:`Lenient bytes in
+  let obj = Diag.ok outcome in
+  let progs =
+    List.map
+      (fun (p : Obj.prog) ->
+        {
+          pr_name = p.Obj.p_name;
+          pr_section = p.Obj.p_section;
+          pr_insns = List.length p.Obj.p_insns;
+          pr_finding = verify_prog ?kernel p;
+        })
+      obj.Obj.o_progs
+  in
+  let rejection_diags =
+    List.filter_map
+      (fun pr ->
+        Option.map
+          (fun f ->
+            Diag.v ~context:pr.pr_name
+              ?offset:(if f.fd_insn >= 0 then Some f.fd_insn else None)
+              Diag.Degraded ~component
+              (Printf.sprintf "%s rejected: %s (%s)" pr.pr_name f.fd_msg
+                 (Taxonomy.id f.fd_rule)))
+          pr.pr_finding)
+      progs
+  in
+  {
+    rp_obj = obj.Obj.o_name;
+    rp_kernel = Option.map Vmlinux.tag kernel;
+    rp_digest = digest bytes;
+    rp_progs = progs;
+    rp_diags = Diag.diags outcome @ rejection_diags;
+  }
+
+(* ---------------------------- persistence ---------------------------- *)
+
+let ns = "verify"
+let codec_version = 1
+
+let w_severity w s =
+  W.u8 w (match s with Diag.Warning -> 0 | Diag.Degraded -> 1 | Diag.Fatal -> 2)
+
+let r_severity r =
+  match R.u8 r with
+  | 0 -> Diag.Warning
+  | 1 -> Diag.Degraded
+  | 2 -> Diag.Fatal
+  | n -> P.fail "verify: unknown severity tag %d" n
+
+let w_diag w (d : Diag.t) =
+  w_severity w d.Diag.d_severity;
+  P.w_str w d.Diag.d_component;
+  P.w_opt w P.w_str d.Diag.d_context;
+  P.w_opt w (fun w o -> W.uleb128 w o) d.Diag.d_offset;
+  P.w_str w d.Diag.d_message
+
+let r_diag r =
+  let d_severity = r_severity r in
+  let d_component = P.r_str r in
+  let d_context = P.r_opt r P.r_str in
+  let d_offset = P.r_opt r R.uleb128 in
+  let d_message = P.r_str r in
+  { Diag.d_severity; d_component; d_context; d_offset; d_message }
+
+let w_finding w f =
+  P.w_str w (Taxonomy.id f.fd_rule);
+  W.sleb128 w f.fd_insn;
+  P.w_str w f.fd_msg;
+  P.w_list w
+    (fun w (i, l) ->
+      W.uleb128 w i;
+      P.w_str w l)
+    f.fd_window;
+  P.w_list w
+    (fun w (a, b) ->
+      P.w_str w a;
+      P.w_str w b)
+    f.fd_regs;
+  P.w_list w
+    (fun w (i, taken) ->
+      W.uleb128 w i;
+      P.w_bool w taken)
+    f.fd_trail;
+  P.w_str w f.fd_suggestion
+
+let r_finding r =
+  let rule_id = P.r_str r in
+  let fd_rule =
+    match Taxonomy.of_id rule_id with
+    | Some t -> t
+    | None -> P.fail "verify: unknown rule id %S" rule_id
+  in
+  let fd_insn = R.sleb128 r in
+  let fd_msg = P.r_str r in
+  let fd_window =
+    P.r_list r (fun r ->
+        let i = R.uleb128 r in
+        let l = P.r_str r in
+        (i, l))
+  in
+  let fd_regs =
+    P.r_list r (fun r ->
+        let a = P.r_str r in
+        let b = P.r_str r in
+        (a, b))
+  in
+  let fd_trail =
+    P.r_list r (fun r ->
+        let i = R.uleb128 r in
+        let taken = P.r_bool r in
+        (i, taken))
+  in
+  let fd_suggestion = P.r_str r in
+  { fd_rule; fd_insn; fd_msg; fd_window; fd_regs; fd_trail; fd_suggestion }
+
+let w_prog w pr =
+  P.w_str w pr.pr_name;
+  P.w_str w pr.pr_section;
+  W.uleb128 w pr.pr_insns;
+  P.w_opt w w_finding pr.pr_finding
+
+let r_prog r =
+  let pr_name = P.r_str r in
+  let pr_section = P.r_str r in
+  let pr_insns = R.uleb128 r in
+  let pr_finding = P.r_opt r r_finding in
+  { pr_name; pr_section; pr_insns; pr_finding }
+
+let encode rep =
+  let w = W.create () in
+  P.w_str w rep.rp_obj;
+  P.w_opt w P.w_str rep.rp_kernel;
+  P.w_str w rep.rp_digest;
+  P.w_list w w_prog rep.rp_progs;
+  P.w_list w w_diag rep.rp_diags;
+  W.contents w
+
+let decode_exn data =
+  let r = R.of_string data in
+  let rp_obj = P.r_str r in
+  let rp_kernel = P.r_opt r P.r_str in
+  let rp_digest = P.r_str r in
+  let rp_progs = P.r_list r r_prog in
+  let rp_diags = P.r_list r r_diag in
+  P.expect_eof r;
+  { rp_obj; rp_kernel; rp_digest; rp_progs; rp_diags }
+
+let decode data =
+  try decode_exn data
+  with Bytesio.Truncated what -> P.fail "verify: truncated payload (%s)" what
+
+let store_key ds ~image ~digest =
+  Depsurf.Dataset.cache_key ds ~label:"verify"
+    [ image; digest; "c" ^ string_of_int codec_version ]
+
+(* single flight across domains, keyed by the content-addressed store
+   key so distinct datasets/objects never collide *)
+let memo : (string, report) Par.Memo.t = Par.Memo.create 16
+
+let of_dataset ds v cfg bytes =
+  let kernel = Depsurf.Dataset.vmlinux ds v cfg in
+  let key = store_key ds ~image:(Vmlinux.tag kernel) ~digest:(digest bytes) in
+  Par.Memo.find_or_compute memo key (fun () ->
+      Ds_store.Store.memo (Depsurf.Dataset.store ds) ~ns ~key ~encode ~decode
+        ~cache_if:(fun r -> Diag.worst r.rp_diags <> Some Diag.Fatal)
+        (fun () -> verify_bytes ~kernel bytes))
+
+(* ------------------------------- views ------------------------------- *)
+
+let findings rep =
+  List.filter_map (fun pr -> Option.map (fun f -> (pr, f)) pr.pr_finding) rep.rp_progs
+
+let finding_json f =
+  Json.Obj
+    [
+      ("rule", Json.String (Taxonomy.id f.fd_rule));
+      ("dependency_induced", Json.Bool (Taxonomy.dependency_induced f.fd_rule));
+      ("insn", Json.Int f.fd_insn);
+      ("msg", Json.String f.fd_msg);
+      ("window", Json.List (List.map (fun (_, l) -> Json.String l) f.fd_window));
+      ("regs", Json.Obj (List.map (fun (r, s) -> (r, Json.String s)) f.fd_regs));
+      ( "trail",
+        Json.List
+          (List.map
+             (fun (i, taken) ->
+               Json.Obj [ ("insn", Json.Int i); ("taken", Json.Bool taken) ])
+             f.fd_trail) );
+      ("suggestion", Json.String f.fd_suggestion);
+    ]
+
+let prog_json pr =
+  Json.Obj
+    ([
+       ("name", Json.String pr.pr_name);
+       ("section", Json.String pr.pr_section);
+       ("insns", Json.Int pr.pr_insns);
+       ( "verdict",
+         Json.String (match pr.pr_finding with None -> "accepted" | Some _ -> "rejected") );
+     ]
+    @ match pr.pr_finding with None -> [] | Some f -> [ ("rejection", finding_json f) ])
+
+let report_json rep =
+  let rejected = List.length (findings rep) in
+  Json.Obj
+    [
+      ("object", Json.String rep.rp_obj);
+      ("kernel", match rep.rp_kernel with Some k -> Json.String k | None -> Json.Null);
+      ("digest", Json.String rep.rp_digest);
+      ("accepted", Json.Int (List.length rep.rp_progs - rejected));
+      ("rejected", Json.Int rejected);
+      ("programs", Json.List (List.map prog_json rep.rp_progs));
+    ]
+
+let envelope rep = Depsurf.Api.of_diags ~data:(report_json rep) rep.rp_diags
+
+let render rep =
+  let buf = Buffer.create 512 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "object %s  digest %s%s\n" rep.rp_obj
+    (String.sub rep.rp_digest 0 (min 12 (String.length rep.rp_digest)))
+    (match rep.rp_kernel with Some k -> "  kernel " ^ k | None -> "");
+  List.iter
+    (fun pr ->
+      match pr.pr_finding with
+      | None -> pf "  %-24s %-36s ok (%d insns)\n" pr.pr_name pr.pr_section pr.pr_insns
+      | Some f ->
+          pf "  %-24s %-36s REJECTED: %s\n" pr.pr_name pr.pr_section (Taxonomy.id f.fd_rule);
+          pf "      %s\n"
+            (if f.fd_insn >= 0 then Printf.sprintf "at insn %d: %s" f.fd_insn f.fd_msg
+             else f.fd_msg);
+          List.iter
+            (fun (i, l) -> pf "      %s%s\n" l (if i = f.fd_insn then "   <-- here" else ""))
+            f.fd_window;
+          (let live = List.filter (fun (_, s) -> s <> "uninit") f.fd_regs in
+           if live <> [] then
+             pf "      regs: %s\n"
+               (String.concat " " (List.map (fun (r, s) -> r ^ "=" ^ s) live)));
+          if f.fd_trail <> [] then
+            pf "      path: %s\n"
+              (String.concat " -> "
+                 (List.map
+                    (fun (i, taken) ->
+                      Printf.sprintf "%d:%s" i (if taken then "taken" else "fall"))
+                    f.fd_trail));
+          pf "      hint: %s\n" f.fd_suggestion)
+    rep.rp_progs;
+  Buffer.contents buf
+
+(* --------------------------- fuzz campaigns -------------------------- *)
+
+type campaign = {
+  cp_total : int;
+  cp_accepted : int;
+  cp_rejected : int;
+  cp_crashed : (string * string) list;
+  cp_unclassified : int;
+  cp_rules : (string * int) list;
+}
+
+let merge a b =
+  let tally =
+    List.fold_left
+      (fun acc (k, v) ->
+        (k, v + Option.value ~default:0 (List.assoc_opt k acc))
+        :: List.remove_assoc k acc)
+      a.cp_rules b.cp_rules
+  in
+  {
+    cp_total = a.cp_total + b.cp_total;
+    cp_accepted = a.cp_accepted + b.cp_accepted;
+    cp_rejected = a.cp_rejected + b.cp_rejected;
+    cp_crashed = a.cp_crashed @ b.cp_crashed;
+    cp_unclassified = a.cp_unclassified + b.cp_unclassified;
+    cp_rules = List.sort compare tally;
+  }
+
+(* a finding "classifies" when its rule id round-trips through the
+   closed taxonomy and it carries a suggestion — the no-leak contract *)
+let classified f =
+  Taxonomy.of_id (Taxonomy.id f.fd_rule) = Some f.fd_rule && f.fd_suggestion <> ""
+
+let run_campaign muts check =
+  let total = ref 0 and accepted = ref 0 and rejected = ref 0 in
+  let unclassified = ref 0 in
+  let crashed = ref [] in
+  let rules : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (m : Ds_faultgen.Faultgen.mutation) ->
+      incr total;
+      match check m.Ds_faultgen.Faultgen.mut_bytes with
+      | exception e -> crashed := (m.Ds_faultgen.Faultgen.mut_name, Printexc.to_string e) :: !crashed
+      | [] -> incr accepted
+      | fs ->
+          incr rejected;
+          List.iter
+            (fun f ->
+              if not (classified f) then incr unclassified
+              else begin
+                let id = Taxonomy.id f.fd_rule in
+                Hashtbl.replace rules id
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt rules id))
+              end)
+            fs)
+    muts;
+  {
+    cp_total = !total;
+    cp_accepted = !accepted;
+    cp_rejected = !rejected;
+    cp_crashed = List.rev !crashed;
+    cp_unclassified = !unclassified;
+    cp_rules = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) rules []);
+  }
+
+let campaign_insns ?count ~seed (p : Obj.prog) =
+  let data = Insn.encode p.Obj.p_insns in
+  let muts = Ds_faultgen.Faultgen.bytecode_mutations ?count ~seed data in
+  run_campaign muts (fun bytes ->
+      match verify_stream ~section:p.Obj.p_section bytes with
+      | None -> []
+      | Some f -> [ f ])
+
+let campaign_obj ?count ~seed ?kernel bytes =
+  let muts = Ds_faultgen.Faultgen.mutations ?count ~seed bytes in
+  run_campaign muts (fun b -> List.map snd (findings (verify_bytes ?kernel b)))

@@ -143,6 +143,84 @@ let test_mismatch_identity () =
   let st, _, _, _ = Serve.handle_request t ~meth:"POST" ~target:"/mismatch" ~body:"" in
   Alcotest.(check int) "empty -> 400" 400 st
 
+(* ---- /verify -------------------------------------------------------- *)
+
+let test_verify_endpoint () =
+  let obj = corpus_obj "biotop" in
+  let bytes = Ds_bpf.Obj.write obj in
+  with_server @@ fun t _ ->
+  let st, ct, hdrs, body =
+    Serve.handle_request t ~meth:"POST" ~target:"/verify" ~body:bytes
+  in
+  Alcotest.(check int) "verify status" 200 st;
+  Alcotest.(check string) "verify type" "application/json" ct;
+  (* byte-identical to the CLI's `doctor --json` payload *)
+  let expected =
+    let v, cfg = (Version.v 5 4, Config.x86_generic) in
+    Json.to_string
+      (Ds_verify.Verify.envelope (Ds_verify.Verify.of_dataset (Lazy.force ds) v cfg bytes))
+    ^ "\n"
+  in
+  Alcotest.(check string) "byte-identical to doctor --json" expected body;
+  (match Json.member "accepted" (payload body) with
+  | Some (Json.Int n) -> Alcotest.(check bool) "programs verified" true (n >= 1)
+  | _ -> Alcotest.fail "no accepted count in verify payload");
+  (* a repeat POST of the same digest is a cache hit with a matching ETag *)
+  let m = Serve.metrics t in
+  let st2, _, hdrs2, body2 =
+    Serve.handle_request t ~meth:"POST" ~target:"/verify" ~body:bytes
+  in
+  Alcotest.(check int) "repeat status" 200 st2;
+  Alcotest.(check bool) "repeat body identical" true (body = body2);
+  Alcotest.(check int) "verified once" 1 (Metrics.counter m "compute.verify");
+  Alcotest.(check string) "repeat is a cache hit" "hit"
+    (List.assoc "x-depsurf-cache" hdrs2);
+  let etag = List.assoc "ETag" hdrs in
+  Alcotest.(check string) "stable etag" etag (List.assoc "ETag" hdrs2);
+  let st3, _, _, body3 =
+    Serve.handle_request t
+      ~headers:[ ("if-none-match", etag) ]
+      ~meth:"POST" ~target:"/verify" ~body:bytes
+  in
+  Alcotest.(check int) "if-none-match -> 304" 304 st3;
+  Alcotest.(check string) "304 empty body" "" body3;
+  (* an object the verifier rejects is data, not an error: 200 degraded *)
+  let sabotage =
+    let prog =
+      {
+        Ds_bpf.Obj.p_name = "bad";
+        p_section = "kprobe/do_unlinkat";
+        p_insns =
+          Ds_bpf.Insn.
+            [
+              Mov_imm { dst = 1; imm = 7 };
+              Ldx { dst = 2; src = 1; off = 0; size = DW };
+              Mov_imm { dst = 0; imm = 0 };
+              Exit;
+            ];
+        p_relocs = [];
+        p_kfuncs = [];
+      }
+    in
+    Ds_bpf.Obj.write { obj with Ds_bpf.Obj.o_name = "sabotaged"; o_progs = [ prog ] }
+  in
+  let st, _, _, body = Serve.handle_request t ~meth:"POST" ~target:"/verify" ~body:sabotage in
+  Alcotest.(check int) "rejected object is 200" 200 st;
+  Alcotest.(check string) "health degraded" "degraded"
+    (member_str "health" (Json.of_string body));
+  (match Json.member "rejected" (payload body) with
+  | Some (Json.Int 1) -> ()
+  | _ -> Alcotest.fail "rejected count missing");
+  (* parameter validation *)
+  let st, _, _, _ = Serve.handle_request t ~meth:"POST" ~target:"/verify" ~body:"" in
+  Alcotest.(check int) "empty body -> 400" 400 st;
+  let st, _, _, _ =
+    Serve.handle_request t ~meth:"POST" ~target:"/verify?image=9.9-x86-generic" ~body:bytes
+  in
+  Alcotest.(check int) "unknown image -> 400" 400 st;
+  let st, _, _, _ = Serve.handle_request t ~meth:"GET" ~target:"/verify" ~body:"" in
+  Alcotest.(check int) "GET /verify -> 405" 405 st
+
 (* ---- /metrics ------------------------------------------------------- *)
 
 let test_metrics_document () =
@@ -929,6 +1007,7 @@ let suites =
         Alcotest.test_case "surface queries" `Quick test_surface_queries;
         Alcotest.test_case "single-flight hydration" `Quick test_single_flight;
         Alcotest.test_case "mismatch byte-identity" `Slow test_mismatch_identity;
+        Alcotest.test_case "verify endpoint" `Slow test_verify_endpoint;
         Alcotest.test_case "metrics document" `Quick test_metrics_document;
         Alcotest.test_case "cache hit identity" `Quick test_response_cache_hit_identity;
         Alcotest.test_case "conditional requests" `Quick test_conditional_requests;
