@@ -66,7 +66,7 @@ let read_file path =
 let pr_number =
   match Option.bind (Sys.getenv_opt "DEPSURF_PR") int_of_string_opt with
   | Some n -> n
-  | None -> 9
+  | None -> 10
 
 let with_trajectory path ~metric fields =
   let open Json in
@@ -2162,6 +2162,189 @@ let verify_bench () =
        recomputes, 100% fuzz survival, every rejection classified: OK"
 
 (* ------------------------------------------------------------------ *)
+(* Release watch: warm delta ingest vs full re-extraction, O(changed)  *)
+(* ops, long-poll notification latency over a live socket              *)
+(* ------------------------------------------------------------------ *)
+
+module Watch = Ds_watch.Watch
+
+let watch_bench () =
+  section "Release watch: delta ingest, O(changed) ops, long-poll latency";
+  let failed = Atomic.make false in
+  let v = Version.v 5 4 and cfg = Config.x86_generic in
+  let base = (v, cfg) in
+  let s = x86 v in
+  let victim, next =
+    match s.Surface.s_funcs with
+    | f :: fs ->
+        ( f.Surface.fe_name,
+          Surface.v ~version:s.Surface.s_version ~arch:s.Surface.s_arch
+            ~flavor:s.Surface.s_flavor ~gcc:s.Surface.s_gcc ~funcs:fs
+            ~structs:s.Surface.s_structs ~tracepoints:s.Surface.s_tracepoints
+            ~syscalls:s.Surface.s_syscalls )
+    | [] -> failwith "bench surface has no funcs"
+  in
+  let payload = Codec.encode_surface next in
+  let w = Watch.create ~pool ds in
+  let bsub = Watch.subscribe w ~label:"bench" [ Depset.Dep_func victim ] in
+  (* image ingest: the cold pass pays one full surface extraction, the
+     warm pass must be decode-only — 0 extractions, served from the
+     store's delta tier *)
+  let img = Ds_elf.Elf.write (Dataset.image ds (Version.v 4 15) cfg) in
+  let ex0 = Watch.extractions w in
+  let r_cold, t_cold =
+    time (fun () -> Watch.ingest w ~base ~name:"evolved" (`Image img))
+  in
+  let cold_extractions = Watch.extractions w - ex0 in
+  (match r_cold with
+  | Ok r when (not r.Watch.ig_warm) && cold_extractions = 1 ->
+      Printf.printf "  cold image ingest: %.1fms, %d extraction, ops +%d -%d ~%d\n"
+        (t_cold *. 1000.) cold_extractions r.Watch.ig_ops.Delta.dc_adds
+        r.Watch.ig_ops.Delta.dc_removes r.Watch.ig_ops.Delta.dc_changes
+  | Ok _ ->
+      Printf.printf "  watch gate: FAILED (cold ingest warm=? extractions=%d)\n"
+        cold_extractions;
+      Atomic.set failed true
+  | Error e ->
+      Printf.printf "  watch gate: FAILED (cold ingest: %s)\n" e;
+      Atomic.set failed true);
+  let ex1 = Watch.extractions w in
+  let r_warm, t_warm =
+    time (fun () -> Watch.ingest w ~base ~name:"evolved" (`Image img))
+  in
+  let warm_extractions = Watch.extractions w - ex1 in
+  (match r_warm with
+  | Ok r when r.Watch.ig_warm && warm_extractions = 0 ->
+      Printf.printf
+        "  warm re-ingest gate: %.1fms vs %.1fms cold, 0 re-extractions: OK\n"
+        (t_warm *. 1000.) (t_cold *. 1000.)
+  | Ok r ->
+      Printf.printf "  warm re-ingest gate: FAILED (warm=%b, %d extraction(s))\n"
+        r.Watch.ig_warm warm_extractions;
+      Atomic.set failed true
+  | Error e ->
+      Printf.printf "  warm re-ingest gate: FAILED (%s)\n" e;
+      Atomic.set failed true);
+  (* O(changed): a release that drops exactly one func must cost exactly
+     one delta op (and no extraction at all for surface payloads), and
+     its event must reach the subscription *)
+  let one_ops, one_matched =
+    match Watch.ingest w ~base ~name:"one-symbol" (`Surface payload) with
+    | Ok r ->
+        let c = r.Watch.ig_ops in
+        ( c.Delta.dc_adds + c.Delta.dc_removes + c.Delta.dc_changes,
+          List.exists (fun (e : Watch.event) -> e.Watch.ev_sub = bsub.Watch.sb_id)
+            r.Watch.ig_events )
+    | Error e ->
+        Printf.printf "  one-symbol ingest: FAILED (%s)\n" e;
+        Atomic.set failed true;
+        (-1, false)
+  in
+  if one_ops = 1 && one_matched then
+    print_endline "  O(changed) gate: one dropped func = 1 delta op, event delivered: OK"
+  else begin
+    Printf.printf "  O(changed) gate: FAILED (%d op(s), matched=%b)\n" one_ops one_matched;
+    Atomic.set failed true
+  end;
+  (* byte-identical reconstruction through the wire format *)
+  let d = Delta.diff_surfaces ~base:s next in
+  let rebuilt = Delta.apply ~base:s (Delta.decode (Delta.encode d)) in
+  if String.equal (Codec.encode_surface rebuilt) payload then
+    print_endline "  reconstruction gate: apply(base, delta) byte-identical: OK"
+  else begin
+    print_endline "  reconstruction gate: FAILED (reconstructed surface differs)";
+    Atomic.set failed true
+  end;
+  (* long-poll notification latency over a live unix socket: park a
+     poller at the current cursor, ingest (warm), measure park-to-200.
+     The budget is 50ms — wakeup is the on_change listener, not the
+     accept loop's periodic sweep. *)
+  let srv = Serve.create ~ds ~pool () in
+  let sock = Filename.temp_file "depsurf-bench-watch" ".sock" in
+  Sys.remove sock;
+  let h = Serve.start srv (Serve.Unix_sock sock) in
+  let addr = Serve.bound_addr h in
+  let wsrv = Serve.watch srv in
+  let lsub = Watch.subscribe wsrv [ Depset.Dep_func victim ] in
+  let iters = 30 in
+  let r_lat = Stats.Reservoir.create () in
+  (try
+     for i = 1 to iters do
+       let since = Watch.cursor wsrv in
+       let poller =
+         Domain.spawn (fun () ->
+             let status, _, _ =
+               Serve.Client.request_full addr ~meth:"GET"
+                 ~path:(Printf.sprintf "/v1/watch/%s?since=%d&wait=5" lsub.Watch.sb_id since)
+             in
+             (status, now ()))
+       in
+       let deadline = now () +. 2. in
+       while Serve.parked_count srv = 0 && now () < deadline do
+         Unix.sleepf 0.002
+       done;
+       if Serve.parked_count srv = 0 then begin
+         Printf.printf "  long-poll gate: FAILED (poller %d never parked)\n" i;
+         Atomic.set failed true
+       end;
+       let t0 = now () in
+       let status, _, _ =
+         Serve.Client.request_full ~body:payload addr ~meth:"POST"
+           ~path:"/v1/watch/ingest?base=5.4-x86-generic&name=lp&kind=surface"
+       in
+       if status <> 200 then begin
+         Printf.printf "  long-poll gate: FAILED (ingest %d -> %d)\n" i status;
+         Atomic.set failed true
+       end;
+       let pstatus, t_recv = Domain.join poller in
+       if pstatus <> 200 then begin
+         Printf.printf "  long-poll gate: FAILED (poller %d -> %d)\n" i pstatus;
+         Atomic.set failed true
+       end;
+       Stats.Reservoir.add r_lat (Float.max 0. (t_recv -. t0) *. 1000.)
+     done
+   with e ->
+     Serve.stop h;
+     raise e);
+  Serve.stop h;
+  let notify_p50 = Stats.Reservoir.quantile r_lat 0.5 in
+  let notify_p95 = Stats.Reservoir.quantile r_lat 0.95 in
+  Printf.printf "  long-poll delivery: p50 %.2fms, p95 %.2fms over %d parked polls\n"
+    notify_p50 notify_p95 iters;
+  if notify_p95 >= 50. then begin
+    Printf.printf "  long-poll gate: FAILED (notification p95 %.2fms, budget 50ms)\n"
+      notify_p95;
+    Atomic.set failed true
+  end
+  else Printf.printf "  long-poll gate: notification p95 %.2fms < 50ms: OK\n" notify_p95;
+  let open Json in
+  let j =
+    with_trajectory "BENCH_WATCH.json" ~metric:notify_p95
+      [
+        ("schema", String "depsurf-bench-watch/1");
+        ("scale", String (if scale = Calibration.bench_scale then "bench" else "test"));
+        ("base", String (Watch.image_name base));
+        ("cold_image_ingest_ms", Float (t_cold *. 1000.));
+        ("warm_image_ingest_ms", Float (t_warm *. 1000.));
+        ("warm_extractions", Int warm_extractions);
+        ("one_symbol_ops", Int one_ops);
+        ("notify_p50_ms", Float notify_p50);
+        ("notify_p95_ms", Float notify_p95);
+        ("polls", Int iters);
+      ]
+  in
+  write_json_file "BENCH_WATCH.json" j;
+  print_endline "(written to BENCH_WATCH.json)";
+  if Atomic.get failed then begin
+    print_endline "watch check: FAILED";
+    exit 1
+  end
+  else
+    print_endline
+      "watch check: warm delta ingest with 0 re-extractions, 1 op per dropped symbol, \
+       byte-identical reconstruction, sub-50ms long-poll delivery: OK"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -2196,5 +2379,6 @@ let () =
   serve_bench ();
   graph_bench ();
   verify_bench ();
+  watch_bench ();
   Par.shutdown pool;
   Printf.printf "\ntotal: %.1fs\n" (now () -. t0)

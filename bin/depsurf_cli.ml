@@ -861,7 +861,14 @@ let serve_cmd =
              ~doc:"Also serve surfaces for every vmlinux-* file in this directory (extracted \
                    leniently, keyed by file name).")
   in
-  let run seed scale cache jobs socket port host images_dir =
+  let no_legacy_arg =
+    Arg.(value & flag
+         & info [ "no-legacy-routes" ]
+             ~doc:"Disable the unprefixed legacy aliases: they answer 404 with a pointer \
+                   to the /v1 spelling. Without this flag they still work but carry \
+                   Deprecation and Sunset headers.")
+  in
+  let run seed scale cache jobs socket port host images_dir no_legacy =
     (* one worker owns the accept loop, so serving needs at least 2 *)
     let jobs =
       match jobs with
@@ -874,7 +881,7 @@ let serve_cmd =
     with_store cache @@ fun store ->
     let ds = mk_ds seed scale store in
     with_pool jobs @@ fun pool ->
-    let t = Ds_serve.Serve.create ?images_dir ~ds ~pool () in
+    let t = Ds_serve.Serve.create ?images_dir ~legacy:(not no_legacy) ~ds ~pool () in
     let h =
       try Ds_serve.Serve.start t (addr_of ~socket ~port ~host)
       with Unix.Unix_error (e, _, arg) ->
@@ -912,7 +919,7 @@ let serve_cmd =
              /v1/mismatch, /v1/verify; unprefixed legacy aliases).")
     Term.(
       const run $ seed_arg $ scale_arg $ cache_arg $ jobs_arg $ socket_arg $ port_arg
-      $ host_arg $ images_dir_arg)
+      $ host_arg $ images_dir_arg $ no_legacy_arg)
 
 let query_cmd =
   let path_arg =
@@ -993,6 +1000,229 @@ let query_cmd =
     Term.(
       const run $ socket_arg $ port_arg $ host_arg $ path_arg $ data_arg $ meth_arg
       $ header_arg $ include_arg $ retries_arg)
+
+
+(* ---- watch (release subscriptions over a running serve) ------------- *)
+
+let watch_request ?body ?(meth = "GET") ~socket ~port ~host path =
+  let addr = addr_of ~socket ~port ~host in
+  match Ds_serve.Serve.Client.request_full ?body addr ~meth ~path with
+  | resp -> resp
+  | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "depsurf: cannot reach %s: %s\n" (addr_to_string addr)
+        (Unix.error_message e);
+      exit 1
+
+let watch_fail body =
+  (* surface the server's structured diagnostics, not raw JSON *)
+  (match Ds_util.Json.of_string body with
+  | exception Ds_util.Json.Parse_error _ -> prerr_endline body
+  | j -> (
+      (match Ds_util.Json.member "diagnostics" j with
+      | Some (Ds_util.Json.List l) ->
+          List.iter
+            (function Ds_util.Json.String m -> Printf.eprintf "depsurf: %s\n" m | _ -> ())
+            l
+      | _ -> ());
+      match Ds_util.Json.member "data" j with
+      | Some (Ds_util.Json.Obj fs) -> (
+          match List.assoc_opt "error" fs with
+          | Some (Ds_util.Json.String m) -> Printf.eprintf "depsurf: %s\n" m
+          | _ -> ())
+      | _ -> prerr_endline body));
+  exit 1
+
+let watch_dep_arg =
+  Arg.(value & opt_all string []
+       & info [ "dep" ] ~docv:"KIND:NAME"
+           ~doc:"Depend on this construct, e.g. func:vfs_read, struct:task_struct, \
+                 tracepoint:sched_switch, syscall:openat, field:file.f_op (repeatable).")
+
+let watch_label_arg =
+  Arg.(value & opt (some string) None
+       & info [ "label" ] ~doc:"Human-readable subscription label.")
+
+(* the registration body travels as the v1 mutation envelope — the CLI
+   is the reference client for the enveloped spelling *)
+let register_body deps label =
+  let fields =
+    ("deps", Ds_util.Json.List (List.map (fun d -> Ds_util.Json.String d) deps))
+    :: (match label with Some l -> [ ("label", Ds_util.Json.String l) ] | None -> [])
+  in
+  Ds_util.Json.to_string
+    (Ds_util.Json.Obj
+       [ ("v", Ds_util.Json.Int 1); ("body", Ds_util.Json.Obj fields) ])
+
+let register_sub ~socket ~port ~host deps label =
+  let body = register_body deps label in
+  let status, _, rbody =
+    watch_request ~meth:"POST" ~body ~socket ~port ~host "/v1/subscriptions"
+  in
+  if status <> 200 then watch_fail rbody;
+  match
+    Option.bind (Ds_util.Json.member "data" (Ds_util.Json.of_string rbody))
+      (Ds_util.Json.member "id")
+  with
+  | Some (Ds_util.Json.String id) -> (id, rbody)
+  | _ ->
+      prerr_endline rbody;
+      exit 1
+
+let watch_register_cmd =
+  let run socket port host deps label =
+    if deps = [] then begin
+      Printf.eprintf "depsurf: watch register needs at least one --dep\n";
+      exit 1
+    end;
+    let _, rbody = register_sub ~socket ~port ~host deps label in
+    print_endline rbody
+  in
+  Cmd.v
+    (Cmd.info "register"
+       ~doc:"Register a depset subscription (idempotent: the id is a content digest of \
+             the canonical depset).")
+    Term.(const run $ socket_arg $ port_arg $ host_arg $ watch_dep_arg $ watch_label_arg)
+
+let watch_list_cmd =
+  let run socket port host =
+    let status, _, rbody = watch_request ~socket ~port ~host "/v1/subscriptions" in
+    if status <> 200 then watch_fail rbody;
+    print_endline rbody
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List registered subscriptions and the current event cursor.")
+    Term.(const run $ socket_arg $ port_arg $ host_arg)
+
+let watch_sub_pos =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SUB-ID")
+
+let watch_unregister_cmd =
+  let run socket port host id =
+    let status, _, rbody =
+      watch_request ~meth:"DELETE" ~socket ~port ~host ("/v1/subscriptions/" ^ id)
+    in
+    if status <> 200 then watch_fail rbody;
+    print_endline rbody
+  in
+  Cmd.v
+    (Cmd.info "unregister" ~doc:"Delete a subscription (and its recorded events).")
+    Term.(const run $ socket_arg $ port_arg $ host_arg $ watch_sub_pos)
+
+let watch_ingest_cmd =
+  let base_arg =
+    Arg.(required & opt (some string) None
+         & info [ "base" ] ~docv:"IMAGE"
+             ~doc:"Study-matrix base image the release evolves from, e.g. 5.4-x86-generic.")
+  in
+  let name_arg =
+    Arg.(value & opt string "release"
+         & info [ "name" ] ~doc:"Label for the ingested release in recorded events.")
+  in
+  let kind_arg =
+    Arg.(value & opt string "image"
+         & info [ "kind" ] ~docv:"image|surface"
+             ~doc:"Payload kind: a raw vmlinux image (extracted leniently) or \
+                   pre-encoded surface codec bytes.")
+  in
+  let file_pos =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"The release payload.")
+  in
+  let run socket port host base name kind file =
+    let body =
+      try read_file file
+      with Sys_error m ->
+        prerr_endline m;
+        exit 1
+    in
+    let path =
+      Printf.sprintf "/v1/watch/ingest?base=%s&name=%s&kind=%s" base name kind
+    in
+    let status, _, rbody = watch_request ~meth:"POST" ~body ~socket ~port ~host path in
+    if status <> 200 then watch_fail rbody;
+    print_endline rbody
+  in
+  Cmd.v
+    (Cmd.info "ingest"
+       ~doc:"Ingest an evolved release against a base image: delta-encode it into the \
+             store and notify matching subscriptions.")
+    Term.(
+      const run $ socket_arg $ port_arg $ host_arg $ base_arg $ name_arg $ kind_arg
+      $ file_pos)
+
+let watch_follow_cmd =
+  let sub_pos =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"SUB-ID" ~doc:"Subscription to follow (or use --dep to \
+                                        register-and-follow).")
+  in
+  let since_arg =
+    Arg.(value & opt int 0
+         & info [ "since" ] ~docv:"CURSOR" ~doc:"Replay events after this cursor first.")
+  in
+  let wait_arg =
+    Arg.(value & opt float 25.
+         & info [ "wait" ] ~docv:"SECONDS" ~doc:"Long-poll park time per request.")
+  in
+  let polls_arg =
+    Arg.(value & opt int 0
+         & info [ "polls" ] ~docv:"N"
+             ~doc:"Stop after \\$(docv) polls (0 = follow forever). A poll that delivers \
+                   events and one that times out both count.")
+  in
+  let run socket port host sub deps label since wait polls =
+    let id =
+      match (sub, deps) with
+      | Some id, [] -> id
+      | None, _ :: _ ->
+          let id, _ = register_sub ~socket ~port ~host deps label in
+          Printf.printf "depsurf watch: following %s\n" id;
+          flush stdout;
+          id
+      | Some _, _ :: _ ->
+          Printf.eprintf "depsurf: pass either SUB-ID or --dep, not both\n";
+          exit 1
+      | None, [] ->
+          Printf.eprintf "depsurf: watch follow needs a SUB-ID or --dep flags\n";
+          exit 1
+    in
+    let cursor = ref since in
+    let n = ref 0 in
+    let stop = ref false in
+    while not !stop do
+      incr n;
+      let path = Printf.sprintf "/v1/watch/%s?since=%d&wait=%g" id !cursor wait in
+      let status, _, rbody = watch_request ~socket ~port ~host path in
+      (match status with
+      | 200 -> (
+          print_endline rbody;
+          flush stdout;
+          match
+            Option.bind (Ds_util.Json.member "data" (Ds_util.Json.of_string rbody))
+              (Ds_util.Json.member "cursor")
+          with
+          | Some (Ds_util.Json.Int c) -> cursor := max !cursor c
+          | _ -> ())
+      | 204 -> () (* park timed out (or the server drained): poll again *)
+      | _ -> watch_fail rbody);
+      if polls > 0 && !n >= polls then stop := true
+    done
+  in
+  Cmd.v
+    (Cmd.info "follow"
+       ~doc:"Long-poll a subscription's mismatch events, resuming from a cursor. With \
+             --dep, registers the depset first (idempotent) and follows it.")
+    Term.(
+      const run $ socket_arg $ port_arg $ host_arg $ sub_pos $ watch_dep_arg
+      $ watch_label_arg $ since_arg $ wait_arg $ polls_arg)
+
+let watch_cmd =
+  Cmd.group
+    (Cmd.info "watch"
+       ~doc:"Standing release monitoring against a running depsurf serve: register \
+             depset subscriptions, ingest evolved releases, follow mismatch events.")
+    [ watch_register_cmd; watch_list_cmd; watch_unregister_cmd; watch_ingest_cmd;
+      watch_follow_cmd ]
 
 (* ---- trace analysis ------------------------------------------------- *)
 
@@ -1258,5 +1488,5 @@ let () =
           ~default
           [ surface_cmd; func_cmd; diff_cmd; report_cmd; corpus_cmd; dump_cmd; export_cmd;
              probe_cmd; vmlinux_h_cmd; gen_images_cmd; mkobj_cmd; analyze_cmd; doctor_cmd;
-             mutate_cmd; export_dataset_cmd; serve_cmd; query_cmd; trace_cmd; graph_cmd;
+             mutate_cmd; export_dataset_cmd; serve_cmd; query_cmd; watch_cmd; trace_cmd; graph_cmd;
              cache_cmd ]))

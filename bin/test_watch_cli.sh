@@ -1,0 +1,153 @@
+#!/bin/sh
+# End-to-end exercise of the release-watch tier through the CLI:
+# register a depset subscription (enveloped via `depsurf watch register`
+# and bare via `depsurf query`, same content-addressed id), park a
+# long-poll follower, ingest a sabotaged release whose delta removes the
+# subscribed func, check the follower is woken with the mismatch event,
+# replay the cursor byte-identically, check the warm re-ingest performs
+# zero new extractions, then the legacy-sunset legs: Deprecation +
+# Sunset headers and the http.legacy_hits counter on unprefixed routes,
+# and a --no-legacy-routes restart (same store: subscriptions persist)
+# where legacy spellings answer 404 and /v1 still works.
+set -eu
+
+CLI=$(cd "$(dirname "$1")" && pwd)/$(basename "$1")
+
+if command -v timeout > /dev/null 2>&1; then TO="timeout 120"; else TO=""; fi
+
+TMP=$(mktemp -d)
+SRV=""
+stop_server() {
+  if [ -n "$SRV" ]; then
+    kill "$SRV" 2> /dev/null || true
+    i=0
+    while [ $i -lt 100 ] && kill -0 "$SRV" 2> /dev/null; do
+      sleep 0.1
+      i=$((i + 1))
+    done
+    kill -9 "$SRV" 2> /dev/null || true
+    wait "$SRV" 2> /dev/null || true
+    SRV=""
+  fi
+}
+cleanup() {
+  stop_server
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+SOCK="$TMP/ds.sock"
+
+Q() { $TO "$CLI" query --socket "$SOCK" "$@"; }
+
+start_server() {
+  "$CLI" serve --socket "$SOCK" --cache-dir "$TMP/cache" "$@" > "$TMP/serve.log" 2>&1 &
+  SRV=$!
+  i=0
+  while [ $i -lt 200 ]; do
+    [ -S "$SOCK" ] && break
+    sleep 0.1
+    i=$((i + 1))
+  done
+  [ -S "$SOCK" ]
+}
+
+json_id() { sed -n 's/.*"id": "\([^"]*\)".*/\1/p' "$1" | head -n 1; }
+
+echo "== watch e2e: images"
+$TO "$CLI" gen-images --dir "$TMP/img" > /dev/null
+RELEASE="$TMP/img/vmlinux-4.15-x86-generic"
+[ -f "$RELEASE" ]
+
+start_server
+
+# a func the 4.15 "release" lacks relative to base 5.4: its delta will
+# report it removed, which is the mismatch the subscription must catch.
+# Fall back to a changed func (a Change op notifies the same way).
+Q /v1/diff/5.4-x86-generic/4.15-x86-generic > "$TMP/diff.json"
+VICTIM=$(awk '
+  /"funcs": \{/ { infuncs = 1 }
+  infuncs && /"structs": \{/ { exit }
+  infuncs && /"removed": \[$/ { getline; gsub(/[ ",]/, ""); print; exit }
+' "$TMP/diff.json")
+if [ -z "$VICTIM" ]; then
+  VICTIM=$(awk '
+    /"funcs": \{/ { infuncs = 1 }
+    infuncs && /"structs": \{/ { exit }
+    infuncs && /"name": "/ { sub(/.*"name": "/, ""); sub(/".*/, ""); print; exit }
+  ' "$TMP/diff.json")
+fi
+[ -n "$VICTIM" ] || { echo "no func differs between 5.4 and 4.15" >&2; exit 1; }
+echo "== watch e2e: victim func $VICTIM"
+
+echo "== watch e2e: register (enveloped CLI vs bare query, one id)"
+$TO "$CLI" watch register --socket "$SOCK" --dep "func:$VICTIM" --label e2e \
+  > "$TMP/reg.json"
+ID=$(json_id "$TMP/reg.json")
+[ -n "$ID" ]
+printf '{"deps": ["func:%s"], "label": "e2e"}' "$VICTIM" > "$TMP/sub.json"
+Q -d "$TMP/sub.json" /v1/subscriptions > "$TMP/reg2.json"
+ID2=$(json_id "$TMP/reg2.json")
+[ "$ID" = "$ID2" ] || { echo "envelope vs bare ids differ: $ID vs $ID2" >&2; exit 1; }
+$TO "$CLI" watch list --socket "$SOCK" | grep -q "$ID"
+
+echo "== watch e2e: park a follower, ingest the sabotaged release"
+$TO "$CLI" watch follow --socket "$SOCK" "$ID" --wait 60 --polls 1 \
+  > "$TMP/follow.out" 2>&1 &
+FOL=$!
+sleep 1
+$TO "$CLI" watch ingest --socket "$SOCK" --base 5.4-x86-generic --name sabotaged \
+  "$RELEASE" > "$TMP/ingest.json"
+grep -q '"warm": false' "$TMP/ingest.json"
+grep -q '"matched": 1' "$TMP/ingest.json"
+wait "$FOL"
+grep -q '"release": "sabotaged"' "$TMP/follow.out"
+grep -q "func:$VICTIM" "$TMP/follow.out"
+
+echo "== watch e2e: cursor replay is byte-identical"
+Q "/v1/watch/$ID?since=0" > "$TMP/replay1.json"
+Q "/v1/watch/$ID?since=0" > "$TMP/replay2.json"
+cmp "$TMP/replay1.json" "$TMP/replay2.json"
+CURSOR=$(sed -n 's/^ *"cursor": \([0-9]*\).*/\1/p' "$TMP/replay1.json" | head -n 1)
+[ -n "$CURSOR" ]
+# past the cursor there is nothing yet: 204, empty body (query prints nothing)
+PAST=$(Q "/v1/watch/$ID?since=$CURSOR")
+[ -z "$PAST" ]
+
+echo "== watch e2e: warm re-ingest, no new extraction"
+Q /v1/metrics | grep -q '"extractions": 1'
+$TO "$CLI" watch ingest --socket "$SOCK" --base 5.4-x86-generic --name sabotaged \
+  "$RELEASE" > "$TMP/ingest2.json"
+grep -q '"warm": true' "$TMP/ingest2.json"
+Q /v1/metrics | grep -q '"extractions": 1'
+
+echo "== watch e2e: legacy sunset headers + counter"
+Q -i /healthz > "$TMP/legacy.out"
+grep -qi '^deprecation: true' "$TMP/legacy.out"
+grep -qi '^sunset: ' "$TMP/legacy.out"
+Q -i /v1/healthz > "$TMP/v1.out"
+if grep -qi '^deprecation:' "$TMP/v1.out"; then
+  echo "/v1 route carries a Deprecation header" >&2; exit 1
+fi
+Q /v1/metrics | grep -q '"http.legacy_hits"'
+
+echo "== watch e2e: --no-legacy-routes restart (store persists)"
+Q "/v1/watch/$ID?since=0" > "$TMP/final.json"
+stop_server
+start_server --no-legacy-routes
+# the subscription and its recorded events survive the restart
+$TO "$CLI" watch list --socket "$SOCK" | grep -q "$ID"
+Q "/v1/watch/$ID?since=0" > "$TMP/replayed.json"
+cmp "$TMP/final.json" "$TMP/replayed.json"
+if Q /healthz > "$TMP/legacy404.out" 2>&1; then
+  echo "legacy route answered under --no-legacy-routes" >&2; exit 1
+fi
+grep -q '/v1/healthz' "$TMP/legacy404.out"
+Q /v1/healthz | grep -q '"status": "ok"'
+
+echo "== watch e2e: unregister"
+$TO "$CLI" watch unregister --socket "$SOCK" "$ID" > /dev/null
+if $TO "$CLI" watch list --socket "$SOCK" | grep -q "$ID"; then
+  echo "subscription survived unregister" >&2; exit 1
+fi
+
+echo "watch e2e: all legs passed"

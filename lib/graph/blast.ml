@@ -56,6 +56,19 @@ let fate_of (d : Diff.t) (node : Depset.dep) =
         changed d.Diff.df_tracepoints.d_changed Diff.describe_tp_change t )
   | Depset.Dep_syscall s -> (List.mem s d.Diff.df_syscalls.d_removed, [])
 
+let fate = fate_of
+
+let closure g node = if Graph.mem g node then node :: Graph.rclosure g node else []
+
+let hit_set g ~changed =
+  let tbl = Hashtbl.create 256 in
+  List.iter (fun node -> List.iter (fun d -> Hashtbl.replace tbl d ()) (closure g node)) changed;
+  tbl
+
+let hits g ~changed deps =
+  let tbl = hit_set g ~changed in
+  List.filter (Hashtbl.mem tbl) deps
+
 let query ?pool ds ~release node =
   match prev_of release with
   | None ->
@@ -74,9 +87,8 @@ let query ?pool ds ~release node =
       (* the closure is computed on the graph of the surface programs
          were still working against: the previous release *)
       let g = Graph.of_dataset ?pool ds prev cfg in
-      let closure = if Graph.mem g node then node :: Graph.rclosure g node else [] in
-      let in_closure = Hashtbl.create (List.length closure) in
-      List.iter (fun d -> Hashtbl.replace in_closure d ()) closure;
+      let closure = closure g node in
+      let in_closure = hit_set g ~changed:[ node ] in
       let old_s = Depsurf.Dataset.surface ds prev cfg in
       let new_s = Depsurf.Dataset.surface ds release cfg in
       let diff = Diff.compare_surfaces Diff.Across_versions old_s new_s in

@@ -34,6 +34,26 @@ type result = {
   bl_affected : affected list;  (** in Table 7 (paper) order *)
 }
 
+val fate : Depsurf.Diff.t -> Depsurf.Depset.dep -> bool * string list
+(** [(removed, change reasons)] of one construct in a release diff —
+    the per-node view {!query} reports as [bl_removed]/[bl_reasons],
+    shared with the watch tier's per-event reason lines. *)
+
+val closure : Graph.t -> Depsurf.Depset.dep -> Depsurf.Depset.dep list
+(** The node plus its reverse dependency closure in the given graph;
+    [[]] when the node is absent. *)
+
+val hit_set : Graph.t -> changed:Depsurf.Depset.dep list -> (Depsurf.Depset.dep, unit) Hashtbl.t
+(** Union of {!closure} over [changed]: every construct transitively
+    affected when those constructs disappear or change. *)
+
+val hits :
+  Graph.t -> changed:Depsurf.Depset.dep list -> Depsurf.Depset.dep list -> Depsurf.Depset.dep list
+(** [hits g ~changed deps]: the subset of [deps] (order preserved)
+    falling in {!hit_set} — the intersection primitive behind both
+    {!query}'s per-program [af_via] lists and the watch tier's
+    subscription matching. *)
+
 val query :
   ?pool:Ds_util.Par.pool ->
   Depsurf.Dataset.t ->

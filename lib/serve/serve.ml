@@ -7,6 +7,7 @@ module Deadline = Ds_util.Deadline
 module Diag = Ds_util.Diag
 module Store = Ds_store.Store
 module Trace = Ds_trace.Trace
+module Watch = Ds_watch.Watch
 
 (* ---- overload & lifecycle limits ----------------------------------- *)
 
@@ -40,34 +41,10 @@ let default_limits () =
 
 (* ---- image naming -------------------------------------------------- *)
 
-let image_name ((v : Version.t), (cfg : Config.t)) =
-  Printf.sprintf "%d.%d-%s-%s" v.Version.major v.Version.minor
-    (Config.arch_to_string cfg.Config.arch)
-    (Config.flavor_to_string cfg.Config.flavor)
-
-let image_of_name name =
-  match String.split_on_char '-' name with
-  | [ vs; arch; flavor ] -> (
-      match String.split_on_char '.' vs with
-      | [ ma; mi ] -> (
-          match (int_of_string_opt ma, int_of_string_opt mi) with
-          | Some major, Some minor ->
-              let v = Version.v major minor in
-              let cfg =
-                match
-                  ( List.find_opt (fun a -> Config.arch_to_string a = arch) Config.arches,
-                    List.find_opt (fun f -> Config.flavor_to_string f = flavor) Config.flavors )
-                with
-                | Some a, Some f -> Some Config.{ arch = a; flavor = f }
-                | _ -> None
-              in
-              Option.bind cfg (fun cfg ->
-                  if List.exists (fun img -> img = (v, cfg)) Dataset.study_images then
-                    Some (v, cfg)
-                  else None)
-          | _ -> None)
-      | _ -> None)
-  | _ -> None
+(* the study-matrix naming now lives with the watch tier (which persists
+   base names in its delta keys); re-exported here for API stability *)
+let image_name = Watch.image_name
+let image_of_name = Watch.image_of_name
 
 (* ---- server state -------------------------------------------------- *)
 
@@ -89,9 +66,33 @@ type t = {
   ix_file_surface : (string, Surface.t) Par.Memo.t;  (** lenient extracts *)
   ix_graph : (string, string) Par.Memo.t;  (** graph query key -> response body *)
   ix_blast : (string, string) Par.Memo.t;  (** "sym|release" -> response body *)
+  sv_watch : Watch.t;  (** subscriptions + delta ingest + events *)
+  sv_legacy : bool;  (** serve unprefixed legacy routes (--no-legacy-routes) *)
+  sv_parked : parked list ref;  (** long-pollers waiting for events, fd ownership here *)
+  sv_park_mu : Mutex.t;
+  sv_draining : bool Atomic.t;  (** SIGTERM drain: parked pollers answer immediately *)
+  sv_notify : bool Atomic.t;  (** watch wakeup listener installed (once) *)
 }
 
-let create ?images_dir ?limits ~ds ~pool () =
+(* A parked long-poll: the connection was admitted, its request fully
+   read, and nothing was ready — instead of pinning a pool worker (on a
+   1-core host the accept domain itself runs the handlers, so a blocking
+   wait would deadlock the server) the fd is handed to this lot and the
+   worker returns. Delivery re-enters [handle_request], so a woken
+   poller gets the exact response (headers, tracing, metrics) an
+   immediate request would have produced. *)
+and parked = {
+  pk_fd : Unix.file_descr;
+  pk_sub : string;
+  pk_since : int;
+  pk_target : string;  (** original request target, re-dispatched on delivery *)
+  pk_headers : (string * string) list;
+  pk_pressure : Diag.severity option;
+  pk_admitted_at : float;  (** admission slot held while parked *)
+  pk_expiry : float;  (** deadline-bounded: wait capped by the handle budget *)
+}
+
+let create ?images_dir ?limits ?(legacy = true) ~ds ~pool () =
   let limits = match limits with Some l -> l | None -> default_limits () in
   let files =
     match images_dir with
@@ -106,10 +107,11 @@ let create ?images_dir ?limits ~ds ~pool () =
   (* every request is traced; spans land in the per-domain rings and are
      served back via /v1/trace/recent and ?trace=1 *)
   Trace.enable ();
+  let metrics = Metrics.create () in
   {
     sv_ds = ds;
     sv_pool = pool;
-    sv_metrics = Metrics.create ();
+    sv_metrics = metrics;
     sv_limits = limits;
     sv_adm = Admission.create ~limit:limits.li_max_inflight ();
     sv_files = files;
@@ -128,9 +130,22 @@ let create ?images_dir ?limits ~ds ~pool () =
     ix_file_surface = Par.Memo.create 16;
     ix_graph = Par.Memo.create 64;
     ix_blast = Par.Memo.create 16;
+    sv_watch = Watch.create ~pool ~metrics ds;
+    sv_legacy = legacy;
+    sv_parked = ref [];
+    sv_park_mu = Mutex.create ();
+    sv_draining = Atomic.make false;
+    sv_notify = Atomic.make false;
   }
 
 let metrics t = t.sv_metrics
+let watch t = t.sv_watch
+
+let parked_count t =
+  Mutex.lock t.sv_park_mu;
+  let n = List.length !(t.sv_parked) in
+  Mutex.unlock t.sv_park_mu;
+  n
 let dataset t = t.sv_ds
 let limits t = t.sv_limits
 let admission t = t.sv_adm
@@ -209,7 +224,11 @@ let surface_of_source t name = function
 let json_body j = Json.to_string j ^ "\n"
 let ok_json j = (200, "application/json", json_body j)
 
-let error_json status msg = (status, "application/json", json_body (Api.error ~status msg))
+(* every non-2xx body, socket-layer rejections included, goes through
+   the one [Api.error_envelope] constructor: {v, health, diagnostics}
+   uniformly, golden-pinned in the tests *)
+let error_json ?diagnostics status msg =
+  (status, "application/json", json_body (Api.error_envelope ~status ?diagnostics msg))
 
 let scale_label ds =
   if Dataset.scale ds = Calibration.bench_scale then "bench"
@@ -529,7 +548,145 @@ let metrics_endpoint t =
                 ("generation", Json.Int (Atomic.get t.sv_generation));
               ] )
        :: ("admission", Admission.stats_json t.sv_adm)
+       :: ( "watch",
+            Json.Obj
+              [
+                ("subscriptions", Json.Int (List.length (Watch.subs t.sv_watch)));
+                ("cursor", Json.Int (Watch.cursor t.sv_watch));
+                ("parked", Json.Int (parked_count t));
+                ("extractions", Json.Int (Watch.extractions t.sv_watch));
+              ] )
        :: fields))
+
+
+(* ---- watch & subscriptions ------------------------------------------ *)
+
+(* deps arrive as canonical "kind:name" strings (bare names mean func:),
+   either in the JSON body or as a comma-separated ?deps= param *)
+let parse_dep_strings strs =
+  let deps, bad =
+    List.fold_left
+      (fun (deps, bad) s ->
+        match Depset.dep_of_string s with
+        | Some d -> (d :: deps, bad)
+        | None -> (deps, s :: bad))
+      ([], []) strs
+  in
+  if bad <> [] then
+    Error (List.rev_map (fun s -> Printf.sprintf "unparseable dependency %S" s) bad)
+  else Ok (List.rev deps)
+
+let subscriptions_create t query body =
+  let from_query () =
+    match List.assoc_opt "deps" query with
+    | None | Some "" -> []
+    | Some s -> String.split_on_char ',' s |> List.filter (fun s -> s <> "")
+  in
+  let parsed =
+    if String.length body = 0 then Ok (from_query (), List.assoc_opt "label" query)
+    else
+      match Json.of_string body with
+      | exception Json.Parse_error m -> Error [ "subscription body is not JSON: " ^ m ]
+      | j ->
+          let deps =
+            match Json.member "deps" j with
+            | Some (Json.List l) ->
+                Ok
+                  (List.filter_map
+                     (function Json.String s -> Some s | _ -> None)
+                     l)
+            | Some _ -> Error [ "\"deps\" must be a list of strings" ]
+            | None -> Ok (from_query ())
+          in
+          let label =
+            match Json.member "label" j with
+            | Some (Json.String l) -> Some l
+            | _ -> List.assoc_opt "label" query
+          in
+          Result.map (fun d -> (d, label)) deps
+  in
+  match parsed with
+  | Error diags -> error_json ~diagnostics:diags 400 "invalid subscription request"
+  | Ok ([], _) ->
+      error_json 400 "no dependencies: pass a JSON body {\"deps\": [\"func:vfs_read\", ...]}"
+  | Ok (strs, label) -> (
+      match parse_dep_strings strs with
+      | Error diags -> error_json ~diagnostics:diags 400 "invalid subscription request"
+      | Ok deps ->
+          let sub = Watch.subscribe t.sv_watch ?label deps in
+          ok_json (Api.envelope (Watch.sub_json t.sv_watch sub)))
+
+let subscriptions_list t =
+  let subs = Watch.subs t.sv_watch in
+  ok_json
+    (Api.envelope
+       (Json.Obj
+          [
+            ("subscriptions", Json.List (List.map (Watch.sub_json t.sv_watch) subs));
+            ("cursor", Json.Int (Watch.cursor t.sv_watch));
+          ]))
+
+let subscription_get t id =
+  match Watch.find_sub t.sv_watch id with
+  | None -> error_json 404 ("no such subscription: " ^ id)
+  | Some sub -> ok_json (Api.envelope (Watch.sub_json t.sv_watch sub))
+
+let subscription_delete t id =
+  if Watch.unsubscribe t.sv_watch id then
+    ok_json (Api.envelope (Json.Obj [ ("removed", Json.String id) ]))
+  else error_json 404 ("no such subscription: " ^ id)
+
+let watch_ingest t query body =
+  if String.length body = 0 then
+    error_json 400 "empty body: POST the release image (or ?kind=surface codec bytes)"
+  else
+    match List.assoc_opt "base" query with
+    | None -> error_json 400 "missing ?base=<study image> parameter"
+    | Some base_name -> (
+        match image_of_name base_name with
+        | None -> error_json 400 ("unknown study image: " ^ base_name)
+        | Some base -> (
+            let name =
+              match List.assoc_opt "name" query with
+              | Some n when n <> "" -> n
+              | _ -> "release"
+            in
+            let payload =
+              match List.assoc_opt "kind" query with
+              | Some "surface" -> `Surface body
+              | _ -> `Image body
+            in
+            match Watch.ingest t.sv_watch ~base ~name payload with
+            | Error m -> error_json 400 m
+            | Ok r -> ok_json (Api.envelope (Watch.ingest_json r))))
+
+(* the immediate (non-parked) answer: 200 with pending events, or an
+   empty 204 — parking happens at the socket layer ([handle_conn]),
+   which re-dispatches here on wakeup so both paths share one renderer *)
+let watch_poll t id query =
+  match Watch.find_sub t.sv_watch id with
+  | None -> error_json 404 ("no such subscription: " ^ id)
+  | Some _ -> (
+      let since =
+        match Option.bind (List.assoc_opt "since" query) int_of_string_opt with
+        | Some n when n >= 0 -> n
+        | _ -> 0
+      in
+      match Watch.events_after t.sv_watch ~sub:id ~since with
+      | [] -> (204, "application/json", "")
+      | events ->
+          let cursor =
+            List.fold_left (fun acc e -> max acc e.Watch.ev_seq) since events
+          in
+          ok_json
+            (Api.envelope
+               (Json.Obj
+                  [
+                    ("subscription", Json.String id);
+                    ("since", Json.Int since);
+                    ("cursor", Json.Int cursor);
+                    ("events", Json.List (List.map Watch.event_json events));
+                  ])))
 
 (* ---- routing ------------------------------------------------------- *)
 
@@ -618,6 +775,18 @@ let inject_trace root_id body =
         (Json.Obj (fields @ [ ("trace", Json.List (List.map Trace.span_json sps)) ]))
   | _ -> body
 
+(* satellite: the one mutation envelope shared by every POST endpoint —
+   [{v; params; body}] is unwrapped here so the endpoints only ever see
+   effective (params, body); a bare body passes through untouched *)
+let with_mutation t query body f =
+  match Api.parse_mutation body with
+  | Error problems -> error_json ~diagnostics:problems 400 "invalid request envelope"
+  | Ok m ->
+      if m.Api.mu_enveloped then Metrics.incr t.sv_metrics "requests.enveloped";
+      (* envelope params win over query-string duplicates (assoc finds
+         the first binding) *)
+      f t (m.Api.mu_params @ query) m.Api.mu_body
+
 let dispatch t ~meth ~segs ~query ~body =
   Deadline.check ();
   match (meth, segs) with
@@ -628,8 +797,14 @@ let dispatch t ~meth ~segs ~query ~body =
   | "GET", [ "graph"; "deps"; sym ] -> graph_query_endpoint t `Deps sym query
   | "GET", [ "graph"; "rdeps"; sym ] -> graph_query_endpoint t `Rdeps sym query
   | "GET", [ "graph"; "blast"; sym ] -> graph_blast_endpoint t sym query
-  | "POST", [ "mismatch" ] -> mismatch_endpoint t query body
-  | "POST", [ "verify" ] -> verify_endpoint t query body
+  | "POST", [ "mismatch" ] -> with_mutation t query body mismatch_endpoint
+  | "POST", [ "verify" ] -> with_mutation t query body verify_endpoint
+  | "POST", [ "subscriptions" ] -> with_mutation t query body subscriptions_create
+  | "GET", [ "subscriptions" ] -> subscriptions_list t
+  | "GET", [ "subscriptions"; id ] -> subscription_get t id
+  | "DELETE", [ "subscriptions"; id ] -> subscription_delete t id
+  | "POST", [ "watch"; "ingest" ] -> watch_ingest t query body
+  | "GET", [ "watch"; id ] -> watch_poll t id query
   | "GET", [ "metrics" ] -> metrics_endpoint t
   | "GET", [ "trace"; "recent" ] -> trace_endpoint query
   | ( _,
@@ -639,10 +814,17 @@ let dispatch t ~meth ~segs ~query ~body =
       error_json 405 ("method not allowed: " ^ meth)
   | _, [ "mismatch" ] -> error_json 405 "POST the BPF object bytes to /mismatch"
   | _, [ "verify" ] -> error_json 405 "POST the BPF object bytes to /verify"
+  | _, [ "subscriptions" ] ->
+      error_json 405 "POST a depset to /subscriptions, or GET to list"
+  | _, [ "subscriptions"; _ ] -> error_json 405 "GET or DELETE /subscriptions/<id>"
+  | _, [ "watch"; "ingest" ] ->
+      error_json 405 "POST the release image to /watch/ingest?base=<image>"
+  | _, [ "watch"; _ ] -> error_json 405 "GET /watch/<sub-id>?since=<cursor>"
   | _ ->
       error_json 404
         "no such endpoint (healthz, images, surface, diff, graph/deps, graph/rdeps, \
-         graph/blast, mismatch, verify, metrics, trace/recent; all also under /v1)"
+         graph/blast, mismatch, verify, subscriptions, watch/ingest, watch/<sub-id>, \
+         metrics, trace/recent; all also under /v1)"
 
 let route_label segs =
   match segs with
@@ -654,6 +836,8 @@ let route_label segs =
   | [ "mismatch" ] -> "/mismatch"
   | [ "verify" ] -> "/verify"
   | [ "metrics" ] -> "/metrics"
+  | "subscriptions" :: _ -> "/subscriptions"
+  | "watch" :: _ -> "/watch"
   | "trace" :: _ -> "/trace"
   | _ -> "/other"
 
@@ -696,6 +880,9 @@ let cache_key t ~segs ~query ~body =
   end;
   Buffer.contents b
 
+(* the announced retirement date for the unprefixed legacy aliases *)
+let sunset_date = "Thu, 01 Jul 2027 00:00:00 GMT"
+
 let etag_of_body body =
   let h = Store.Hash.create () in
   Store.Hash.string h body;
@@ -718,8 +905,11 @@ let handle_request ?(headers = []) ?pressure t ~meth ~target ~body =
   (* /v1/<route> and the bare legacy <route> share one handler (and one
      cached body), which makes the byte-identical-alias guarantee
      structural rather than something each endpoint re-implements *)
+  let is_v1 = match segs with "v1" :: _ -> true | _ -> false in
   let segs = match segs with "v1" :: rest -> rest | segs -> segs in
   let label = route_label segs in
+  let legacy_hit = (not is_v1) && segs <> [] in
+  if legacy_hit then Metrics.incr t.sv_metrics "http.legacy_hits";
   Metrics.incr t.sv_metrics "requests_total";
   let t0 = Unix.gettimeofday () in
   let trace_id = ref 0 in
@@ -733,7 +923,14 @@ let handle_request ?(headers = []) ?pressure t ~meth ~target ~body =
              any pool fan-out the handler performs *)
           Deadline.with_timeout ~label:"serve.handle" t.sv_limits.li_handle_deadline_s
           @@ fun () ->
-          if not (cacheable_route ~meth ~segs ~query) then
+          if legacy_hit && not t.sv_legacy then
+            (* sunset enforced: the unprefixed aliases are gone, and the
+               404 must precede the cache (legacy and /v1 share keys) *)
+            let status, ctype, rbody =
+              error_json 404 ("legacy route disabled: use /v1" ^ path)
+            in
+            (status, ctype, rbody, None)
+          else if not (cacheable_route ~meth ~segs ~query) then
             let status, ctype, rbody = dispatch t ~meth ~segs ~query ~body in
             (status, ctype, rbody, None)
           else begin
@@ -826,6 +1023,13 @@ let handle_request ?(headers = []) ?pressure t ~meth ~target ~body =
     | Some sev -> ("x-depsurf-pressure", Diag.severity_to_string sev) :: resp_headers
     | None -> resp_headers
   in
+  (* satellite: unprefixed legacy spellings still answer (byte-identical
+     body) but are marked for retirement, RFC 8594-style *)
+  let resp_headers =
+    if legacy_hit && t.sv_legacy then
+      ("Deprecation", "true") :: ("Sunset", sunset_date) :: resp_headers
+    else resp_headers
+  in
   (status, ctype, resp_headers, rbody)
 
 (* ---- HTTP over sockets --------------------------------------------- *)
@@ -838,6 +1042,7 @@ let rec write_all fd s off len =
 
 let reason_of = function
   | 200 -> "OK"
+  | 204 -> "No Content"
   | 304 -> "Not Modified"
   | 400 -> "Bad Request"
   | 404 -> "Not Found"
@@ -1039,6 +1244,148 @@ let send_reject t fd status msg =
   try send_response fd status ctype [] body
   with Unix.Unix_error _ -> Metrics.incr t.sv_metrics "errors.io"
 
+(* ---- long-poll parking lot ----------------------------------------- *)
+
+(* Parking happens at the socket layer, not by blocking a handler: on a
+   1-core host the pool has no worker domains at all and the accept-loop
+   domain runs handlers inline, so a handler that slept for [wait]
+   seconds would wedge the whole server. Instead the connection's fd
+   moves into [sv_parked] (keeping its admission slot — parked pollers
+   are real in-flight work the shed limit must see) and is woken by the
+   {!Watch.on_change} listener, the accept loop's periodic sweep, or the
+   drain on [stop]. Delivery re-enters [handle_request], so a parked
+   poller and an immediate one produce byte-identical responses. *)
+
+let park_cap t = max 1 (t.sv_limits.li_max_inflight / 2)
+
+(* a parked long-poll client sends nothing more on the socket: any
+   readability (EOF or stray bytes) means it is gone *)
+let parked_disconnected fd =
+  match Unix.select [ fd ] [] [] 0. with
+  | exception Unix.Unix_error _ -> true
+  | [], _, _ -> false
+  | _ :: _, _, _ -> true
+
+let finish_parked t (p : parked) =
+  Admission.release t.sv_adm ~service_s:(Unix.gettimeofday () -. p.pk_admitted_at);
+  try Unix.close p.pk_fd with Unix.Unix_error _ -> ()
+
+let deliver_parked t (p : parked) =
+  Fun.protect
+    ~finally:(fun () -> finish_parked t p)
+    (fun () ->
+      let status, ctype, rheaders, rbody =
+        handle_request t ?pressure:p.pk_pressure ~headers:p.pk_headers ~meth:"GET"
+          ~target:p.pk_target ~body:""
+      in
+      Metrics.incr t.sv_metrics (if status = 200 then "watch.notify" else "watch.timeout");
+      try send_response p.pk_fd status ctype rheaders rbody
+      with Unix.Unix_error _ -> Metrics.incr t.sv_metrics "errors.io")
+
+(* Wake every parked poller whose answer is ready: events past its
+   cursor, its deadline passed, its subscription deleted, or ~force
+   (drain — everyone leaves with a clean 204/200). The lot is detached
+   under the mutex and survivors merged back, so concurrent sweepers
+   (ingest listener vs accept loop) each own a disjoint set. *)
+let sweep_parked ?(force = false) t =
+  let now = Unix.gettimeofday () in
+  Mutex.lock t.sv_park_mu;
+  let all = !(t.sv_parked) in
+  t.sv_parked := [];
+  Mutex.unlock t.sv_park_mu;
+  if all <> [] then begin
+    let dead, live = List.partition (fun p -> parked_disconnected p.pk_fd) all in
+    let ready, keep =
+      List.partition
+        (fun (p : parked) ->
+          force || now >= p.pk_expiry
+          || Watch.find_sub t.sv_watch p.pk_sub = None
+          || Watch.events_after t.sv_watch ~sub:p.pk_sub ~since:p.pk_since <> [])
+        live
+    in
+    Mutex.lock t.sv_park_mu;
+    t.sv_parked := keep @ !(t.sv_parked);
+    Mutex.unlock t.sv_park_mu;
+    List.iter
+      (fun p ->
+        Metrics.incr t.sv_metrics "watch.disconnect";
+        finish_parked t p)
+      dead;
+    List.iter (fun p -> deliver_parked t p) ready
+  end
+
+(* does this request ask to be parked? GET /v1/watch/<id>?wait=<s>, with
+   the same legacy gating as the routed path *)
+let park_candidate t ~meth ~target =
+  if meth <> "GET" then None
+  else
+    let path, query =
+      match Ds_util.Strutil.cut ~on:'?' target with
+      | None -> (target, [])
+      | Some (path, qs) -> (path, parse_query qs)
+    in
+    let segs =
+      String.split_on_char '/' path |> List.filter (fun s -> s <> "") |> List.map percent_decode
+    in
+    let is_v1, segs =
+      match segs with "v1" :: rest -> (true, rest) | segs -> (false, segs)
+    in
+    if (not is_v1) && not t.sv_legacy then None
+    else
+      match segs with
+      | [ "watch"; id ] when id <> "ingest" -> (
+          match Option.bind (List.assoc_opt "wait" query) float_of_string_opt with
+          | Some w when w > 0. ->
+              let since =
+                match Option.bind (List.assoc_opt "since" query) int_of_string_opt with
+                | Some n when n >= 0 -> n
+                | _ -> 0
+              in
+              Some (id, since, w)
+          | _ -> None)
+      | _ -> None
+
+(* true = the fd now belongs to the lot (the caller must not close it);
+   false = answer immediately. The immediate path covers every refusal:
+   events already pending (200), unknown sub (404), lot full or draining
+   (204 now — wait degrades to zero rather than erroring). *)
+let try_park t ~fd ~pressure ~admitted_at ~sub ~since ~wait ~target ~headers =
+  if Atomic.get t.sv_draining then false
+  else if Watch.find_sub t.sv_watch sub = None then false
+  else if Watch.events_after t.sv_watch ~sub ~since <> [] then false
+  else if parked_count t >= park_cap t then begin
+    Metrics.incr t.sv_metrics "watch.park_reject";
+    false
+  end
+  else begin
+    (* the park deadline is bounded by the same per-request budget every
+       handler gets *)
+    let wait = Float.min wait t.sv_limits.li_handle_deadline_s in
+    let p =
+      {
+        pk_fd = fd;
+        pk_sub = sub;
+        pk_since = since;
+        pk_target = target;
+        pk_headers = headers;
+        pk_pressure = pressure;
+        pk_admitted_at = admitted_at;
+        pk_expiry = Unix.gettimeofday () +. wait;
+      }
+    in
+    Mutex.lock t.sv_park_mu;
+    t.sv_parked := p :: !(t.sv_parked);
+    Mutex.unlock t.sv_park_mu;
+    Metrics.incr t.sv_metrics "watch.parked";
+    (* race guard: an ingest (or stop) between the emptiness check and
+       the insert would have swept before we were in the lot *)
+    if
+      Atomic.get t.sv_draining
+      || Watch.events_after t.sv_watch ~sub ~since <> []
+    then sweep_parked t;
+    true
+  end
+
 let handle_conn t ?pressure ~admitted_at fd =
   let li = t.sv_limits in
   (* the read deadline starts at worker pickup (the client is not
@@ -1046,13 +1393,18 @@ let handle_conn t ?pressure ~admitted_at fd =
      the full slot hold since admission — pool queue wait included, which
      dominates exactly when the estimate matters *)
   let t0 = Unix.gettimeofday () in
+  (* set when the fd is handed to the parking lot: slot release and
+     close then belong to the sweeper, not to this worker *)
+  let parked = ref false in
   Fun.protect
     ~finally:(fun () ->
       (* the admission slot is given back on every path — including
          rejections, timeouts and handler exceptions — and the fd is
          closed exactly once *)
-      Admission.release t.sv_adm ~service_s:(Unix.gettimeofday () -. admitted_at);
-      try Unix.close fd with Unix.Unix_error _ -> ())
+      if not !parked then begin
+        Admission.release t.sv_adm ~service_s:(Unix.gettimeofday () -. admitted_at);
+        try Unix.close fd with Unix.Unix_error _ -> ()
+      end)
     (fun () ->
       (* a stuck or byte-dribbling client must not pin a pool worker:
          per-read timeouts at the socket, a whole-receive deadline above
@@ -1082,11 +1434,17 @@ let handle_conn t ?pressure ~admitted_at fd =
           send_reject t fd 408 "timed out reading request"
       | exception Unix.Unix_error _ -> Metrics.incr t.sv_metrics "errors.io"
       | meth, target, headers, body -> (
-          let status, ctype, rheaders, rbody =
-            handle_request t ?pressure ~headers ~meth ~target ~body
-          in
-          try send_response fd status ctype rheaders rbody
-          with Unix.Unix_error _ -> Metrics.incr t.sv_metrics "errors.io"))
+          (match park_candidate t ~meth ~target with
+          | Some (sub, since, wait) when String.length body = 0 ->
+              parked :=
+                try_park t ~fd ~pressure ~admitted_at ~sub ~since ~wait ~target ~headers
+          | _ -> ());
+          if not !parked then
+            let status, ctype, rheaders, rbody =
+              handle_request t ?pressure ~headers ~meth ~target ~body
+            in
+            try send_response fd status ctype rheaders rbody
+            with Unix.Unix_error _ -> Metrics.incr t.sv_metrics "errors.io"))
 
 type addr = Unix_sock of string | Tcp of string * int
 
@@ -1164,6 +1522,9 @@ let rec accept_loop t h =
        (e.g. a 1-core host spawns no workers at all) we handle the
        connections ourselves between selects. *)
     while Par.drain_one t.sv_pool do () done;
+    (* wake parked long-pollers whose deadline passed or whose client
+       hung up — the on_change listener covers the fast (event) path *)
+    sweep_parked t;
     (* select with a short timeout so [stop] is honoured promptly even
        with no incoming connections *)
     match Unix.select [ h.h_sock ] [] [] 0.05 with
@@ -1217,6 +1578,12 @@ let start t addr =
       h_serve = t;
     }
   in
+  Atomic.set t.sv_draining false;
+  (* one listener per serve handle, however many start/stop cycles it
+     sees: ingests wake parked pollers directly, which is what holds
+     notification latency to sub-milliseconds *)
+  if Atomic.compare_and_set t.sv_notify false true then
+    Watch.on_change t.sv_watch (fun () -> sweep_parked t);
   h.h_loop <- Some (Domain.spawn (fun () -> accept_loop t h));
   h
 
@@ -1236,6 +1603,12 @@ let stop h =
     (match h.h_loop with
     | Some d -> ( try Domain.join d with _ -> ())
     | None -> ());
+    (* flush the parking lot before the drain loop: parked pollers hold
+       admission slots, and the drain contract says every admitted
+       connection is answered — they leave with a clean 204 (or a 200 if
+       events raced in) *)
+    Atomic.set t.sv_draining true;
+    sweep_parked ~force:true t;
     let pending = Admission.inflight t.sv_adm in
     Trace.span ~name:"serve.drain"
       ~attrs:[ ("pressure", "drain"); ("inflight", string_of_int pending) ]

@@ -72,7 +72,45 @@
     - [GET /v1/metrics] — counters, latency histograms, store counters,
       compile count and index sizes;
     - [GET /v1/trace/recent] — most recently finished tracing spans
-      ([?limit=N], default 100) plus the ring-drop counter.
+      ([?limit=N], default 100) plus the ring-drop counter;
+    - [POST /v1/subscriptions] — register a watch subscription: a JSON
+      body [{"deps": ["func:vfs_read", "struct:request", ...],
+      "label": "..."}]. The id is content-addressed (digest of the
+      canonical depset), so re-registering the same set is idempotent;
+    - [GET /v1/subscriptions], [GET /v1/subscriptions/<id>],
+      [DELETE /v1/subscriptions/<id>] — registry CRUD;
+    - [POST /v1/watch/ingest?base=<image>&name=<label>] — incremental
+      release ingest: body is a raw vmlinux image ([?kind=image], the
+      default; lenient extraction) or a {!Depsurf.Codec}-encoded surface
+      ([?kind=surface]). The release is stored as a {!Depsurf.Delta}
+      against the base in the store's ["delta"] namespace (re-ingesting
+      the same bytes is warm: no extraction, O(changed) ops), the
+      delta's removed/changed constructs are intersected with every
+      subscription — transitively, via {!Ds_graph.Blast} reverse
+      closures — and one mismatch event is recorded per affected
+      subscription;
+    - [GET /v1/watch/<sub-id>?since=<cursor>&wait=<seconds>] — long-poll
+      for mismatch events with [seq > since]: [200] with the events when
+      some exist, otherwise the connection parks (deadline-bounded by
+      the handle budget, admission-aware: parked pollers hold their
+      admission slot but never a pool worker) until an ingest produces a
+      matching event, the wait expires, or the server drains — the
+      latter two answer a clean [204]. [wait=0] (the default) answers
+      immediately.
+
+    {b Mutation envelope.} The mutating endpoints ([POST /v1/mismatch],
+    [POST /v1/verify], [POST /v1/subscriptions], [POST /v1/watch/ingest])
+    also accept the {!Depsurf.Api.parse_mutation} request envelope
+    [{"v": 1, "params": {...}, "body": <base64 | inline JSON>}] —
+    envelope params override query-string params; bare bodies keep
+    working byte-identically. Envelope validation failures answer a 400
+    whose [diagnostics] list every problem.
+
+    {b Legacy sunset.} The unprefixed legacy aliases answer with
+    [Deprecation: true] and [Sunset] headers and count the
+    [http.legacy_hits] metric; with [create ~legacy:false]
+    ([depsurf serve --no-legacy-routes]) they answer 404 with a pointer
+    to the [/v1] spelling.
 
     Every JSON response is wrapped in the versioned {!Depsurf.Api}
     envelope [{v; health; data; diagnostics}]. Every response carries an
@@ -109,6 +147,7 @@ val default_limits : unit -> limits
 val create :
   ?images_dir:string ->
   ?limits:limits ->
+  ?legacy:bool ->
   ds:Depsurf.Dataset.t ->
   pool:Ds_util.Par.pool ->
   unit ->
@@ -117,7 +156,17 @@ val create :
     every [vmlinux-*] file in the directory, keyed by file name, in
     addition to the study matrix. The pool must have at least 2 workers
     when used with {!start} (one runs the accept loop). [limits]
-    defaults to {!default_limits}. *)
+    defaults to {!default_limits}. [legacy] (default [true]) keeps the
+    unprefixed legacy routes; [false] sunsets them (404 with a pointer
+    to [/v1]). *)
+
+val watch : t -> Ds_watch.Watch.t
+(** The server's subscription registry / ingest engine (shares the
+    server's metrics registry and pool). *)
+
+val parked_count : t -> int
+(** Long-pollers currently parked (fd held, no worker). Exposed for
+    tests and the bench. *)
 
 val metrics : t -> Ds_util.Metrics.t
 val dataset : t -> Depsurf.Dataset.t

@@ -1,0 +1,71 @@
+let alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+let encode s =
+  let n = String.length s in
+  let out = Buffer.create ((n + 2) / 3 * 4) in
+  let byte i = Char.code s.[i] in
+  let emit v = Buffer.add_char out alphabet.[v land 63] in
+  let i = ref 0 in
+  while !i + 2 < n do
+    let b0 = byte !i and b1 = byte (!i + 1) and b2 = byte (!i + 2) in
+    emit (b0 lsr 2);
+    emit ((b0 lsl 4) lor (b1 lsr 4));
+    emit ((b1 lsl 2) lor (b2 lsr 6));
+    emit b2;
+    i := !i + 3
+  done;
+  (match n - !i with
+  | 1 ->
+      let b0 = byte !i in
+      emit (b0 lsr 2);
+      emit (b0 lsl 4);
+      Buffer.add_string out "=="
+  | 2 ->
+      let b0 = byte !i and b1 = byte (!i + 1) in
+      emit (b0 lsr 2);
+      emit ((b0 lsl 4) lor (b1 lsr 4));
+      emit (b1 lsl 2);
+      Buffer.add_char out '='
+  | _ -> ());
+  Buffer.contents out
+
+let rev_table =
+  lazy
+    (let t = Array.make 256 (-1) in
+     String.iteri (fun i c -> t.(Char.code c) <- i) alphabet;
+     t)
+
+let decode s =
+  let t = Lazy.force rev_table in
+  let n = String.length s in
+  if n mod 4 <> 0 then None
+  else if n = 0 then Some ""
+  else
+    let pad =
+      if s.[n - 1] = '=' then if n >= 2 && s.[n - 2] = '=' then 2 else 1 else 0
+    in
+    let out = Buffer.create (n / 4 * 3) in
+    let exception Bad in
+    let sextet i =
+      (* '=' is only legal in the final [pad] positions *)
+      if s.[i] = '=' then if i >= n - pad then 0 else raise Bad
+      else
+        match t.(Char.code s.[i]) with -1 -> raise Bad | v -> v
+    in
+    match
+      let i = ref 0 in
+      while !i < n do
+        let v0 = sextet !i and v1 = sextet (!i + 1) in
+        let v2 = sextet (!i + 2) and v3 = sextet (!i + 3) in
+        if (s.[!i] = '=' || s.[!i + 1] = '=') && !i + 4 <= n then
+          (* padding may start at position 2 of the last quantum only *)
+          raise Bad;
+        if (s.[!i + 2] = '=' || s.[!i + 3] = '=') && !i + 4 < n then raise Bad;
+        Buffer.add_char out (Char.chr ((v0 lsl 2) lor (v1 lsr 4)));
+        if s.[!i + 2] <> '=' then Buffer.add_char out (Char.chr (((v1 lsl 4) lor (v2 lsr 2)) land 255));
+        if s.[!i + 3] <> '=' then Buffer.add_char out (Char.chr (((v2 lsl 6) lor v3) land 255));
+        i := !i + 4
+      done
+    with
+    | () -> Some (Buffer.contents out)
+    | exception Bad -> None

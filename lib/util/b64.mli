@@ -1,0 +1,12 @@
+(** RFC 4648 base64 (standard alphabet, padded) — used by the API's
+    mutation envelope to carry binary bodies (BPF objects, kernel
+    images) inside JSON. Hand-rolled: the serve tier takes no
+    dependencies beyond the stdlib. *)
+
+val encode : string -> string
+
+val decode : string -> string option
+(** [None] on characters outside the alphabet, bad padding, or a length
+    that is not a multiple of 4. Embedded whitespace is rejected too:
+    envelope producers are expected to emit canonical unwrapped
+    base64. *)

@@ -111,7 +111,7 @@ let check_envelope sc status body =
       | Some (Json.String _) -> ()
       | _ -> fail "%s: %d envelope lacks data.error" (Chaos.name sc) status)
 
-let allowed_statuses = [ 200; 304; 400; 404; 405; 408; 413; 431; 503 ]
+let allowed_statuses = [ 200; 204; 304; 400; 404; 405; 408; 413; 431; 503 ]
 
 let check_scenario sc raw =
   match Chaos.expect sc with
@@ -177,6 +177,86 @@ let () =
                 done))
       in
       List.iter Domain.join churners;
+      (* long-poll chaos: clients that park on /v1/watch and hang up
+         mid-wait must not leak fds, wedge the parking lot, or crash the
+         server; a well-behaved poller racing an ingest still gets its
+         event. Runs before the fd accounting so parked-corpse leaks are
+         caught by the global check. *)
+      (let base = Dataset.surface ds (Version.v 5 4) Config.x86_generic in
+       let victim =
+         match base.Surface.s_funcs with f :: _ -> f.Surface.fe_name | [] -> "vfs_read"
+       in
+       match
+         Serve.Client.request_full
+           ~body:(Printf.sprintf {|{"deps": ["func:%s"]}|} victim)
+           (Serve.Unix_sock sock_path) ~meth:"POST" ~path:"/v1/subscriptions"
+       with
+       | exception e -> fail "watch chaos: register: %s" (Printexc.to_string e)
+       | st, _, _ when st <> 200 -> fail "watch chaos: register answered %d" st
+       | _, _, sub_body -> (
+           match Json.member "id" (Api.data (Json.of_string sub_body)) with
+           | Some (Json.String sub_id) ->
+               let quitters =
+                 List.init 6 (fun i ->
+                     Domain.spawn (fun () ->
+                         let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+                         (try
+                            Unix.connect fd sockaddr;
+                            let req =
+                              Printf.sprintf
+                                "GET /v1/watch/%s?wait=4 HTTP/1.1\r\nHost: x\r\n\r\n"
+                                sub_id
+                            in
+                            ignore (Unix.write_substring fd req 0 (String.length req));
+                            (* park, then slam the connection mid-wait *)
+                            Unix.sleepf (0.05 +. (float_of_int i *. 0.03))
+                          with Unix.Unix_error _ -> ());
+                         try Unix.close fd with Unix.Unix_error _ -> ()))
+               in
+               let poller =
+                 Domain.spawn (fun () ->
+                     Serve.Client.request_full ~timeout_s:10.
+                       (Serve.Unix_sock sock_path) ~meth:"GET"
+                       ~path:(Printf.sprintf "/v1/watch/%s?wait=8&since=0" sub_id))
+               in
+               List.iter Domain.join quitters;
+               (* an ingest that breaks the subscribed dep wakes the
+                  honest poller *)
+               let next =
+                 Depsurf.Codec.encode_surface
+                   (Surface.v ~version:base.Surface.s_version ~arch:base.Surface.s_arch
+                      ~flavor:base.Surface.s_flavor ~gcc:base.Surface.s_gcc
+                      ~funcs:
+                        (List.filter
+                           (fun f -> f.Surface.fe_name <> victim)
+                           base.Surface.s_funcs)
+                      ~structs:base.Surface.s_structs
+                      ~tracepoints:base.Surface.s_tracepoints
+                      ~syscalls:base.Surface.s_syscalls)
+               in
+               (match
+                  Serve.Client.request_full ~body:next (Serve.Unix_sock sock_path)
+                    ~meth:"POST"
+                    ~path:"/v1/watch/ingest?base=5.4-x86-generic&name=chaos&kind=surface"
+                with
+               | 200, _, _ -> ()
+               | st, _, _ -> fail "watch chaos: ingest answered %d" st
+               | exception e -> fail "watch chaos: ingest: %s" (Printexc.to_string e));
+               (match Domain.join poller with
+               | 200, _, _ -> ()
+               | st, _, _ -> fail "watch chaos: honest poller answered %d, wanted 200" st
+               | exception e -> fail "watch chaos: poller: %s" (Printexc.to_string e));
+               (* give the accept loop a sweep round to reap corpses *)
+               let rec settle tries =
+                 if Serve.parked_count t > 0 && tries > 0 then begin
+                   Unix.sleepf 0.1;
+                   settle (tries - 1)
+                 end
+               in
+               settle 30;
+               if Serve.parked_count t <> 0 then
+                 fail "watch chaos: %d connections still parked" (Serve.parked_count t)
+           | _ -> fail "watch chaos: no subscription id in %S" sub_body));
       (* the server must still be alive and answering *)
       (match Serve.Client.request (Serve.Unix_sock sock_path) ~meth:"GET" ~path:"/healthz" with
       | 200, _ -> ()
@@ -196,7 +276,12 @@ let () =
         (Ds_util.Metrics.counter m "errors.protocol")
         (Ds_util.Metrics.counter m "errors.io")
         (Ds_util.Metrics.counter m "admission.admitted")
-        fd_before fd_after);
+        fd_before fd_after;
+      Printf.printf "chaos: watch parked=%d notified=%d timeouts=%d disconnects=%d\n%!"
+        (Ds_util.Metrics.counter m "watch.parked")
+        (Ds_util.Metrics.counter m "watch.notify")
+        (Ds_util.Metrics.counter m "watch.timeout")
+        (Ds_util.Metrics.counter m "watch.disconnect"));
   (try Sys.remove sock_path with Sys_error _ -> ());
   (try Unix.rmdir dir with Unix.Unix_error _ -> ());
   if !failures > 0 then begin

@@ -4,4 +4,5 @@ let () =
    @ Test_btf.suites @ Test_dwarf.suites @ Test_ksrc.suites @ Test_kcc.suites
    @ Test_bpf.suites @ Test_depsurf.suites @ Test_corpus.suites @ Test_ext.suites
    @ Test_store.suites @ Test_fault.suites @ Test_serve.suites @ Test_graph.suites
-   @ Test_trace.suites @ Test_export.suites @ Test_verify.suites)
+   @ Test_trace.suites @ Test_export.suites @ Test_verify.suites
+   @ Test_delta.suites @ Test_watch.suites)

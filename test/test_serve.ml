@@ -998,6 +998,310 @@ let test_deadline_propagates_through_pool () =
       let fut = Par.submit pool (fun () -> Ds_util.Deadline.armed ()) in
       Alcotest.(check bool) "unarmed outside" false (Par.await fut))
 
+
+(* ---- watch API, mutation envelope, legacy sunset -------------------- *)
+
+let post t target body =
+  let st, ct, _, rbody = Serve.handle_request t ~meth:"POST" ~target ~body in
+  (st, ct, rbody)
+
+let b64 s = Ds_util.B64.encode s
+
+let test_subscriptions_crud () =
+  with_server @@ fun t _ ->
+  let st, _, body =
+    post t "/v1/subscriptions" {|{"deps": ["func:vfs_read", "struct:file"], "label": "probe"}|}
+  in
+  Alcotest.(check int) "create 200" 200 st;
+  let id = member_str "id" (payload body) in
+  Alcotest.(check bool) "content-addressed id" true (String.length id > 8);
+  (* re-registering the same set (different order) answers the same id *)
+  let _, _, body2 = post t "/v1/subscriptions" {|{"deps": ["struct:file", "vfs_read"]}|} in
+  Alcotest.(check string) "idempotent create" id (member_str "id" (payload body2));
+  let st, _, body = get t ("/v1/subscriptions/" ^ id) in
+  Alcotest.(check int) "get 200" 200 st;
+  Alcotest.(check string) "label kept" "probe" (member_str "label" (payload body));
+  let st, _, body = get t "/v1/subscriptions" in
+  Alcotest.(check int) "list 200" 200 st;
+  (match Json.member "subscriptions" (payload body) with
+  | Some (Json.List [ _ ]) -> ()
+  | _ -> Alcotest.fail "expected one listed subscription");
+  let st, _, _, _ =
+    Serve.handle_request t ~meth:"DELETE" ~target:("/v1/subscriptions/" ^ id) ~body:""
+  in
+  Alcotest.(check int) "delete 200" 200 st;
+  let st, _, _ = get t ("/v1/subscriptions/" ^ id) in
+  Alcotest.(check int) "gone 404" 404 st;
+  (* bad deps are rejected with one diagnostic per offender *)
+  let st, _, body = post t "/v1/subscriptions" {|{"deps": ["nosuchkind:x", "field:broken"]}|} in
+  Alcotest.(check int) "bad deps 400" 400 st;
+  (match Json.member "diagnostics" (Json.of_string body) with
+  (* the envelope's top-line message plus one diagnostic per offender *)
+  | Some (Json.List l) -> Alcotest.(check int) "per-dep diagnostics" 3 (List.length l)
+  | _ -> Alcotest.fail "missing diagnostics");
+  let st, _, _, _ = Serve.handle_request t ~meth:"PUT" ~target:"/v1/subscriptions" ~body:"" in
+  Alcotest.(check int) "PUT 405" 405 st
+
+let test_mutation_envelope_equivalence () =
+  with_server @@ fun t _ ->
+  let bytes = Ds_bpf.Obj.write (corpus_obj "biotop") in
+  let bare = post t "/v1/verify?image=5.4-x86-generic" bytes in
+  (* enveloped spelling 1: body as base64, image as an envelope param *)
+  let env1 =
+    Printf.sprintf {|{"v": 1, "params": {"image": "5.4-x86-generic"}, "body": "%s"}|}
+      (b64 bytes)
+  in
+  let enveloped = post t "/v1/verify" env1 in
+  let strip (st, ct, body) = (st, ct, body) in
+  Alcotest.(check bool) "bare and enveloped verify agree" true (strip bare = strip enveloped);
+  (* subscriptions: inline-JSON envelope body vs bare body *)
+  let bare_sub = post t "/v1/subscriptions" {|{"deps": ["func:vfs_fsync"]}|} in
+  let env_sub =
+    post t "/v1/subscriptions" {|{"v": 1, "body": {"deps": ["func:vfs_fsync"]}}|}
+  in
+  Alcotest.(check bool) "bare and enveloped subscription agree" true (bare_sub = env_sub);
+  (* malformed envelopes answer 400 with accumulated diagnostics *)
+  let st, _, body =
+    post t "/v1/subscriptions" {|{"v": 7, "params": {"a": []}, "junk": 1, "body": "%%%"}|}
+  in
+  Alcotest.(check int) "envelope 400" 400 st;
+  (match Json.member "diagnostics" (Json.of_string body) with
+  | Some (Json.List (_ :: _ :: _)) -> ()
+  | _ -> Alcotest.fail "expected several envelope diagnostics");
+  Alcotest.(check string) "envelope health fatal" "fatal"
+    (member_str "health" (Json.of_string body))
+
+(* golden pin of the error envelope's exact wire bytes: every non-2xx
+   body is rendered by Api.error_envelope, so this is the contract
+   error-handling clients parse against *)
+let test_error_envelope_golden () =
+  Alcotest.(check string) "error envelope bytes"
+    "{\n\
+    \  \"v\": 1,\n\
+    \  \"health\": \"fatal\",\n\
+    \  \"data\": {\n\
+    \    \"error\": \"method not allowed\",\n\
+    \    \"status\": 405\n\
+    \  },\n\
+    \  \"diagnostics\": [\n\
+    \    \"method not allowed\",\n\
+    \    \"use GET\"\n\
+    \  ]\n\
+     }"
+    (Json.to_string
+       (Api.error_envelope ~status:405 ~diagnostics:[ "use GET" ] "method not allowed"))
+
+let test_error_envelope_uniform () =
+  with_server @@ fun t _ ->
+  (* every non-2xx body is the same envelope: v + health + diagnostics *)
+  List.iter
+    (fun (meth, target) ->
+      let st, ct, _, body = Serve.handle_request t ~meth ~target ~body:"" in
+      Alcotest.(check bool) (target ^ " is an error") true (st >= 400);
+      Alcotest.(check string) (target ^ " json") "application/json" ct;
+      let j = Json.of_string body in
+      (match Json.member "v" j with
+      | Some (Json.Int 1) -> ()
+      | _ -> Alcotest.fail (target ^ ": missing v"));
+      Alcotest.(check string) (target ^ " health") "fatal" (member_str "health" j);
+      (match Json.member "diagnostics" j with
+      | Some (Json.List (_ :: _)) -> ()
+      | _ -> Alcotest.fail (target ^ ": missing diagnostics"));
+      match Json.member "data" j with
+      | Some (Json.Obj fields) ->
+          (match List.assoc_opt "status" fields with
+          | Some (Json.Int s) -> Alcotest.(check int) (target ^ " echoed status") st s
+          | _ -> Alcotest.fail (target ^ ": no status"));
+          if List.assoc_opt "error" fields = None then
+            Alcotest.fail (target ^ ": no error message")
+      | _ -> Alcotest.fail (target ^ ": no data"))
+    [
+      ("GET", "/v1/nosuch");
+      ("POST", "/v1/images");
+      ("POST", "/v1/mismatch");
+      ("GET", "/v1/surface/9.9-x86-generic");
+      ("GET", "/v1/watch/deadbeef");
+      ("PATCH", "/v1/watch/ingest");
+    ]
+
+let test_legacy_sunset_headers () =
+  with_server @@ fun t _ ->
+  let _, _, headers, _ = Serve.handle_request t ~meth:"GET" ~target:"/healthz" ~body:"" in
+  Alcotest.(check (option string)) "deprecation header" (Some "true")
+    (List.assoc_opt "Deprecation" headers);
+  Alcotest.(check bool) "sunset header" true (List.assoc_opt "Sunset" headers <> None);
+  let _, _, headers, _ = Serve.handle_request t ~meth:"GET" ~target:"/v1/healthz" ~body:"" in
+  Alcotest.(check (option string)) "no deprecation on /v1" None
+    (List.assoc_opt "Deprecation" headers);
+  let before = Metrics.counter (Serve.metrics t) "http.legacy_hits" in
+  let _ = get t "/images" in
+  let _ = get t "/v1/images" in
+  Alcotest.(check int) "legacy counter counts only legacy" (before + 1)
+    (Metrics.counter (Serve.metrics t) "http.legacy_hits")
+
+let test_no_legacy_routes () =
+  Par.run ~jobs:4 @@ fun pool ->
+  let t = Serve.create ~legacy:false ~ds:(Lazy.force ds) ~pool () in
+  let st, _, _, body = Serve.handle_request t ~meth:"GET" ~target:"/healthz" ~body:"" in
+  Alcotest.(check int) "legacy 404" 404 st;
+  Alcotest.(check bool) "404 points at /v1" true
+    (let j = Json.of_string body in
+     match Json.member "data" j with
+     | Some (Json.Obj fields) -> (
+         match List.assoc_opt "error" fields with
+         | Some (Json.String m) ->
+             Ds_util.Strutil.find_sub m ~sub:"/v1/healthz" <> None
+         | _ -> false)
+     | _ -> false);
+  let st, _, _, _ = Serve.handle_request t ~meth:"GET" ~target:"/v1/healthz" ~body:"" in
+  Alcotest.(check int) "/v1 still answers" 200 st;
+  (* the shared response cache must not leak a /v1 body onto a disabled
+     legacy spelling *)
+  let st, _, _, _ = Serve.handle_request t ~meth:"GET" ~target:"/v1/images" ~body:"" in
+  Alcotest.(check int) "prime /v1/images" 200 st;
+  let st, _, _, _ = Serve.handle_request t ~meth:"GET" ~target:"/images" ~body:"" in
+  Alcotest.(check int) "legacy images still 404" 404 st
+
+let test_watch_poll_immediate () =
+  with_server @@ fun t _ ->
+  let st, _, _ = get t "/v1/watch/deadbeef" in
+  Alcotest.(check int) "unknown sub 404" 404 st;
+  let _, _, body = post t "/v1/subscriptions" {|{"deps": ["func:vfs_read"]}|} in
+  let id = member_str "id" (payload body) in
+  let st, _, rbody = get t ("/v1/watch/" ^ id) in
+  Alcotest.(check int) "no events: 204" 204 st;
+  Alcotest.(check string) "no body" "" rbody;
+  (* ingest a release that removes the subscribed func, then poll again *)
+  let base = Dataset.surface (Lazy.force ds) (Version.v 5 4) Config.x86_generic in
+  let next =
+    Surface.v ~version:base.Surface.s_version ~arch:base.Surface.s_arch
+      ~flavor:base.Surface.s_flavor ~gcc:base.Surface.s_gcc
+      ~funcs:(List.filter (fun f -> f.Surface.fe_name <> "vfs_read") base.Surface.s_funcs)
+      ~structs:base.Surface.s_structs ~tracepoints:base.Surface.s_tracepoints
+      ~syscalls:base.Surface.s_syscalls
+  in
+  let st, _, ibody =
+    post t "/v1/watch/ingest?base=5.4-x86-generic&name=r1&kind=surface"
+      (Codec.encode_surface next)
+  in
+  Alcotest.(check int) "ingest 200" 200 st;
+  (match Json.member "matched" (payload ibody) with
+  | Some (Json.Int n) -> Alcotest.(check int) "one matched sub" 1 n
+  | _ -> Alcotest.fail "no matched count");
+  let st, _, body1 = get t ("/v1/watch/" ^ id ^ "?since=0") in
+  Alcotest.(check int) "events: 200" 200 st;
+  let cursor =
+    match Json.member "cursor" (payload body1) with
+    | Some (Json.Int c) -> c
+    | _ -> Alcotest.fail "no cursor"
+  in
+  Alcotest.(check bool) "cursor advanced" true (cursor >= 1);
+  (* byte-identical replay from the same cursor *)
+  let _, _, body2 = get t ("/v1/watch/" ^ id ^ "?since=0") in
+  Alcotest.(check string) "replay byte-identical" body1 body2;
+  let st, _, _ = get t ("/v1/watch/" ^ id ^ "?since=" ^ string_of_int cursor) in
+  Alcotest.(check int) "past cursor: 204" 204 st
+
+
+(* ---- long-poll parking over real sockets ---------------------------- *)
+
+(* a release surface with the named func dropped, as codec bytes — the
+   minimal breaking ingest payload *)
+let sabotaged_surface_bytes victim =
+  let base = Dataset.surface (Lazy.force ds) (Version.v 5 4) Config.x86_generic in
+  Codec.encode_surface
+    (Surface.v ~version:base.Surface.s_version ~arch:base.Surface.s_arch
+       ~flavor:base.Surface.s_flavor ~gcc:base.Surface.s_gcc
+       ~funcs:(List.filter (fun f -> f.Surface.fe_name <> victim) base.Surface.s_funcs)
+       ~structs:base.Surface.s_structs ~tracepoints:base.Surface.s_tracepoints
+       ~syscalls:base.Surface.s_syscalls)
+
+let register_over addr victim =
+  let st, _, body =
+    Serve.Client.request_full
+      ~body:(Printf.sprintf {|{"deps": ["func:%s"]}|} victim)
+      addr ~meth:"POST" ~path:"/v1/subscriptions"
+  in
+  Alcotest.(check int) "subscription created" 200 st;
+  match Json.member "id" (Api.data (Json.of_string body)) with
+  | Some (Json.String id) -> id
+  | _ -> Alcotest.fail "no subscription id"
+
+let rec await_parked ?(tries = 100) t =
+  if Serve.parked_count t = 0 then
+    if tries = 0 then Alcotest.fail "poller never parked"
+    else begin
+      Unix.sleepf 0.05;
+      await_parked ~tries:(tries - 1) t
+    end
+
+let test_long_poll_delivery () =
+  with_server @@ fun t _ ->
+  let base = Dataset.surface (Lazy.force ds) (Version.v 5 4) Config.x86_generic in
+  let victim = (List.hd base.Surface.s_funcs).Surface.fe_name in
+  let path = temp_sock () in
+  let addr = Serve.Unix_sock path in
+  let h = Serve.start t addr in
+  Fun.protect
+    ~finally:(fun () -> Serve.stop h)
+    (fun () ->
+      let id = register_over addr victim in
+      (* the poller parks: no worker is held, and the answer arrives
+         when the ingest lands, not at the wait deadline *)
+      let poller =
+        Domain.spawn (fun () ->
+            let t0 = Unix.gettimeofday () in
+            let resp =
+              Serve.Client.request_full ~timeout_s:15. addr ~meth:"GET"
+                ~path:(Printf.sprintf "/v1/watch/%s?wait=10&since=0" id)
+            in
+            (resp, Unix.gettimeofday () -. t0))
+      in
+      await_parked t;
+      let st, _, _ =
+        Serve.Client.request_full ~body:(sabotaged_surface_bytes victim) addr ~meth:"POST"
+          ~path:"/v1/watch/ingest?base=5.4-x86-generic&name=chaos&kind=surface"
+      in
+      Alcotest.(check int) "ingest 200" 200 st;
+      let (st, _, body), elapsed = Domain.join poller in
+      Alcotest.(check int) "poller woken with events" 200 st;
+      Alcotest.(check bool) "woken well before the wait deadline" true (elapsed < 8.);
+      (match Json.member "events" (Api.data (Json.of_string body)) with
+      | Some (Json.List (_ :: _)) -> ()
+      | _ -> Alcotest.fail "empty long-poll delivery");
+      Alcotest.(check int) "lot empty after delivery" 0 (Serve.parked_count t);
+      (* with the cursor past the event, a bounded wait times out clean *)
+      let cursor =
+        match Json.member "cursor" (Api.data (Json.of_string body)) with
+        | Some (Json.Int c) -> c
+        | _ -> Alcotest.fail "no cursor"
+      in
+      let st, _, body =
+        Serve.Client.request_full addr ~meth:"GET"
+          ~path:(Printf.sprintf "/v1/watch/%s?wait=0.3&since=%d" id cursor)
+      in
+      Alcotest.(check int) "timed-out park is 204" 204 st;
+      Alcotest.(check string) "204 has no body" "" body)
+
+let test_drain_releases_parked () =
+  with_server @@ fun t _ ->
+  let path = temp_sock () in
+  let addr = Serve.Unix_sock path in
+  let h = Serve.start t addr in
+  let id = register_over addr "vfs_read" in
+  let poller =
+    Domain.spawn (fun () ->
+        Serve.Client.request_full ~timeout_s:15. addr ~meth:"GET"
+          ~path:(Printf.sprintf "/v1/watch/%s?wait=12" id))
+  in
+  await_parked t;
+  (* stop with a poller parked: the drain contract says it is answered —
+     a clean 204, not a slammed connection *)
+  Serve.stop h;
+  let st, _, _ = Domain.join poller in
+  Alcotest.(check int) "drained poller gets 204" 204 st;
+  Alcotest.(check int) "lot empty after stop" 0 (Serve.parked_count t)
+
 let suites =
   [
     ( "serve",
@@ -1020,6 +1324,14 @@ let suites =
         Alcotest.test_case "v1 aliases byte-identical" `Quick test_v1_aliases_byte_identical;
         Alcotest.test_case "trace header and recent" `Quick test_trace_header_and_recent;
         Alcotest.test_case "inline trace query" `Quick test_trace_inline_query;
+        Alcotest.test_case "subscriptions crud" `Quick test_subscriptions_crud;
+        Alcotest.test_case "mutation envelope equivalence" `Slow
+          test_mutation_envelope_equivalence;
+        Alcotest.test_case "error envelope golden" `Quick test_error_envelope_golden;
+        Alcotest.test_case "uniform error envelope" `Quick test_error_envelope_uniform;
+        Alcotest.test_case "legacy sunset headers" `Quick test_legacy_sunset_headers;
+        Alcotest.test_case "no-legacy-routes 404" `Quick test_no_legacy_routes;
+        Alcotest.test_case "watch poll" `Quick test_watch_poll_immediate;
       ] );
     ( "serve.socket",
       [
@@ -1029,6 +1341,9 @@ let suites =
         Alcotest.test_case "1-worker pool rejected" `Quick test_start_requires_two_workers;
         Alcotest.test_case "degraded file image answers 200" `Quick
           test_degraded_file_image_is_200;
+        Alcotest.test_case "long-poll delivery" `Quick test_long_poll_delivery;
+        Alcotest.test_case "drain releases parked pollers" `Quick
+          test_drain_releases_parked;
       ] );
     ( "serve.overload",
       [
